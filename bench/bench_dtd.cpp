@@ -1,0 +1,113 @@
+// Experiments E5 and E14: Fig 6's determinization pitfall, and weak
+// validation throughput for path DTDs (Section 4.1) — registerless weak
+// validator versus the full stack validator.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dtd/path_dtd.h"
+#include "trees/encoding.h"
+#include "trees/tree.h"
+
+namespace sst {
+namespace {
+
+// The A-flat catalog schema from examples/dtd_validation.cpp:
+// catalog -> (section+item)^+, section -> (section+item)^*,
+// item -> (name+price)^*, name/price -> ()^*.
+PathDtd CatalogDtd() {
+  PathDtd dtd;
+  dtd.num_symbols = 5;
+  dtd.initial_symbol = 0;
+  dtd.productions.resize(5);
+  dtd.productions[0] = {{1, 2}, false};  // catalog
+  dtd.productions[1] = {{1, 2}, true};   // section
+  dtd.productions[2] = {{3, 4}, true};   // item
+  dtd.productions[3] = {{}, true};       // name
+  dtd.productions[4] = {{}, true};       // price
+  return dtd;
+}
+
+// Fig 6's specialized DTD.
+SpecializedPathDtd Fig6Dtd() {
+  SpecializedPathDtd result;
+  result.dtd.num_symbols = 4;
+  result.dtd.initial_symbol = 0;
+  result.dtd.productions.resize(4);
+  result.dtd.productions[0] = {{0, 1, 2}, true};
+  result.dtd.productions[1] = {{0, 1, 2}, true};
+  result.dtd.productions[2] = {{3}, true};
+  result.dtd.productions[3] = {{0, 1}, true};
+  result.projection = {0, 1, 0, 2};
+  result.num_projected_symbols = 3;
+  return result;
+}
+
+// A large conforming document for the catalog DTD.
+EventStream ConformingDocument(int sections) {
+  Rng rng(3);
+  Tree tree;
+  int root = tree.AddRoot(0);
+  std::vector<int> open_sections = {root};
+  for (int i = 0; i < sections; ++i) {
+    int parent = open_sections[rng.NextBelow(open_sections.size())];
+    int section = tree.AddChild(parent, 1);
+    if (open_sections.size() < 40) open_sections.push_back(section);
+    int items = static_cast<int>(rng.NextBelow(4));
+    for (int j = 0; j < items; ++j) {
+      int item = tree.AddChild(section, 2);
+      if (rng.NextBool(0.8)) tree.AddChild(item, 3);
+      if (rng.NextBool(0.8)) tree.AddChild(item, 4);
+    }
+  }
+  return Encode(tree);
+}
+
+void BM_Fig6DeterminizationPitfall(benchmark::State& state) {
+  SpecializedPathDtd dtd = Fig6Dtd();
+  for (auto _ : state) {
+    Dfa minimal = PathLanguageMinimalDfa(dtd);
+    bool a_flat = IsAFlat(minimal);
+    benchmark::DoNotOptimize(a_flat);
+    SST_CHECK(!a_flat);  // the paper's point: fails after determinization
+  }
+  state.SetLabel("A-flat fails after determinize+minimize (Fig 6)");
+}
+BENCHMARK(BM_Fig6DeterminizationPitfall);
+
+void BM_RegisterlessWeakValidation(benchmark::State& state) {
+  PathDtd dtd = CatalogDtd();
+  SST_CHECK(IsRegisterlessWeaklyValidatable(dtd));
+  std::unique_ptr<StreamMachine> validator =
+      BuildRegisterlessDtdValidator(dtd);
+  EventStream events = ConformingDocument(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunAcceptor(validator.get(), events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["tags"] = static_cast<double>(events.size());
+}
+BENCHMARK(BM_RegisterlessWeakValidation)->Range(1 << 10, 1 << 16);
+
+void BM_StackValidation(benchmark::State& state) {
+  PathDtd dtd = CatalogDtd();
+  StackDtdValidator validator(&dtd);
+  EventStream events = ConformingDocument(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunAcceptor(&validator, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["tags"] = static_cast<double>(events.size());
+}
+BENCHMARK(BM_StackValidation)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

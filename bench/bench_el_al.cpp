@@ -1,0 +1,148 @@
+// Experiment E12: boolean-query (EL/AL) recognition throughput — the
+// Lemma 3.11 synopsis automaton and the Theorem 3.2(2) AL recognizer versus
+// the stack-based adapter baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "bench_util.h"
+#include "base/check.h"
+#include "dra/tag_dfa.h"
+#include "eval/adapters.h"
+#include "eval/al_recognizer.h"
+#include "eval/el_synopsis.h"
+#include "eval/stack_evaluator.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+constexpr int kDocNodes = 1 << 16;
+
+// Co-finite language (E-flat): every word except ab — the recognizer
+// accepts trees with some branch other than exactly 'ab'.
+Dfa EFlatLanguage() {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  return Complement(CompileRegex("ab", alphabet));
+}
+
+// Finite language (A-flat): all branches must be ab or abc.
+Dfa AFlatLanguage() {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  return CompileRegex("ab|abc", alphabet);
+}
+
+int64_t DriveAcceptor(StreamMachine* machine, const EventStream& events) {
+  machine->Reset();
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine->OnOpen(event.symbol);
+    } else {
+      machine->OnClose(event.symbol);
+    }
+  }
+  return machine->InAcceptingState() ? 1 : 0;
+}
+
+void BM_ExistsSynopsis(benchmark::State& state) {
+  Dfa dfa = EFlatLanguage();
+  ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(&machine, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ExistsSynopsis)->DenseRange(0, 2);
+
+void BM_ExistsMaterialized(benchmark::State& state) {
+  // The same recognizer as an explicit table automaton (what the facade
+  // compiles when the state space fits the budget).
+  Dfa dfa = EFlatLanguage();
+  std::optional<TagDfa> materialized =
+      MaterializeElRecognizer(dfa, /*blind=*/false, 1 << 16);
+  SST_CHECK(materialized.has_value());
+  TagDfaMachine machine(&*materialized);
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(&machine, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["automaton_states"] = materialized->num_states;
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ExistsMaterialized)->DenseRange(0, 2);
+
+void BM_ForallMaterialized(benchmark::State& state) {
+  Dfa dfa = AFlatLanguage();
+  std::optional<TagDfa> materialized =
+      MaterializeForallRecognizer(dfa, /*blind=*/false, 1 << 16);
+  SST_CHECK(materialized.has_value());
+  TagDfaMachine machine(&*materialized);
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 13));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(&machine, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["automaton_states"] = materialized->num_states;
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ForallMaterialized)->DenseRange(0, 2);
+
+void BM_ExistsStackAdapter(benchmark::State& state) {
+  Dfa dfa = EFlatLanguage();
+  ExistsAdapter machine(std::make_unique<StackQueryEvaluator>(&dfa));
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 11));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(&machine, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ExistsStackAdapter)->DenseRange(0, 2);
+
+void BM_ForallRecognizer(benchmark::State& state) {
+  Dfa dfa = AFlatLanguage();
+  std::unique_ptr<StreamMachine> machine =
+      BuildForallRecognizer(dfa, /*blind=*/false);
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 13));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(machine.get(), events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ForallRecognizer)->DenseRange(0, 2);
+
+void BM_ForallStackAdapter(benchmark::State& state) {
+  Dfa dfa = AFlatLanguage();
+  ForallAdapter machine(std::make_unique<StackQueryEvaluator>(&dfa));
+  EventStream events = Encode(bench::MakeDocument(
+      static_cast<bench::DocShape>(state.range(0)), kDocNodes, 3, 13));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DriveAcceptor(&machine, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_ForallStackAdapter)->DenseRange(0, 2);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

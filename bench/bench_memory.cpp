@@ -1,0 +1,84 @@
+// Experiment E11: auxiliary memory versus document depth. The stack
+// baseline's working set grows linearly with the depth of the document; a
+// depth-register automaton keeps a constant number of registers no matter
+// how deep the stream nests (the paper's core systems argument).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+EventStream DeepDocument(int depth) {
+  // A chain of `depth` nodes plus a small random crown at the bottom.
+  Rng rng(7);
+  Word labels;
+  labels.reserve(depth);
+  for (int i = 0; i < depth; ++i) {
+    labels.push_back(static_cast<Symbol>(rng.NextBelow(3)));
+  }
+  return Encode(ChainTree(labels));
+}
+
+void BM_StackMemory(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  EventStream events = DeepDocument(static_cast<int>(state.range(0)));
+  StackQueryEvaluator machine(&dfa);
+  for (auto _ : state) {
+    machine.Reset();
+    for (const TagEvent& event : events) {
+      if (event.open) {
+        machine.OnOpen(event.symbol);
+      } else {
+        machine.OnClose(event.symbol);
+      }
+    }
+    benchmark::DoNotOptimize(machine.max_stack_depth());
+  }
+  // Auxiliary memory in machine words (stacked DFA states).
+  state.counters["aux_memory_words"] =
+      static_cast<double>(machine.max_stack_depth());
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_StackMemory)->RangeMultiplier(10)->Range(10, 1000000);
+
+void BM_StacklessMemory(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  EventStream events = DeepDocument(static_cast<int>(state.range(0)));
+  StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+  size_t peak_registers = 0;
+  for (auto _ : state) {
+    machine.Reset();
+    peak_registers = 0;
+    for (const TagEvent& event : events) {
+      if (event.open) {
+        machine.OnOpen(event.symbol);
+      } else {
+        machine.OnClose(event.symbol);
+      }
+      peak_registers = std::max(peak_registers, machine.live_registers());
+    }
+    benchmark::DoNotOptimize(peak_registers);
+  }
+  state.counters["aux_memory_words"] = static_cast<double>(peak_registers);
+  state.counters["depth"] = static_cast<double>(state.range(0));
+  state.counters["register_budget"] =
+      static_cast<double>(machine.num_registers());
+}
+BENCHMARK(BM_StacklessMemory)->RangeMultiplier(10)->Range(10, 1000000);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

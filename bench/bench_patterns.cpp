@@ -1,0 +1,72 @@
+// Experiment E13: descendant-pattern matching (Proposition 2.8) —
+// streaming matcher throughput versus pattern size, against the in-memory
+// dynamic-programming matcher (which needs the whole tree materialized).
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "dra/machine.h"
+#include "patterns/descendant_pattern.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+constexpr int kDocNodes = 1 << 15;
+
+Tree MakePattern(int nodes, uint64_t seed) {
+  Rng rng(seed);
+  return RandomTree(nodes, 3, 0.5, &rng);
+}
+
+void BM_StreamingMatcher(benchmark::State& state) {
+  Tree pattern = MakePattern(static_cast<int>(state.range(0)), 55);
+  Tree document = bench::MakeDocument(bench::DocShape::kMixed, kDocNodes, 3,
+                                      56);
+  EventStream events = Encode(document);
+  DescendantPatternMatcher matcher(pattern);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunAcceptor(&matcher, events));
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["pattern_nodes"] = pattern.size();
+  state.counters["registers"] = matcher.num_registers();
+}
+BENCHMARK(BM_StreamingMatcher)->DenseRange(1, 6);
+
+void BM_InMemoryDpMatcher(benchmark::State& state) {
+  Tree pattern = MakePattern(static_cast<int>(state.range(0)), 55);
+  Tree document = bench::MakeDocument(bench::DocShape::kMixed, kDocNodes, 3,
+                                      56);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ContainsPattern(document, pattern));
+  }
+  state.SetBytesProcessed(state.iterations() * 2 *
+                          static_cast<int64_t>(document.size()));
+  state.counters["pattern_nodes"] = pattern.size();
+}
+BENCHMARK(BM_InMemoryDpMatcher)->DenseRange(1, 6);
+
+void BM_MatcherVerifiedAgainstOracle(benchmark::State& state) {
+  // Correctness-in-the-loop variant on a fresh document per iteration.
+  Tree pattern = MakePattern(3, 57);
+  DescendantPatternMatcher matcher(pattern);
+  Rng rng(58);
+  int64_t agreements = 0;
+  for (auto _ : state) {
+    Tree document = RandomTree(512, 3, rng.NextDouble(), &rng);
+    bool streamed = RunAcceptor(&matcher, Encode(document));
+    bool oracle = ContainsPattern(document, pattern);
+    if (streamed != oracle) state.SkipWithError("matcher disagreed");
+    ++agreements;
+  }
+  state.counters["verified_documents"] = static_cast<double>(agreements);
+}
+BENCHMARK(BM_MatcherVerifiedAgainstOracle);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,198 @@
+// Experiment E10 (markup encoding): streaming evaluation throughput of the
+// three evaluator tiers on the queries of Example 2.12, across document
+// shapes. The paper's motivating claim (Section 1): stack maintenance is
+// the expensive part; the stackless tiers should sustain markedly higher
+// throughput on deep documents while the ordering registerless >= stackless
+// >> stack holds overall.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "bench_util.h"
+#include "dra/tag_dfa.h"
+#include "base/rng.h"
+#include "eval/byte_runner.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+constexpr int kDocNodes = 1 << 17;  // 128k nodes = 256 KiB compact markup
+
+EventStream Document(bench::DocShape shape) {
+  return Encode(bench::MakeDocument(shape, kDocNodes, 3, 42));
+}
+
+// Counts selected nodes so the work cannot be optimized away.
+template <typename Machine>
+int64_t Drive(Machine& machine, const EventStream& events) {
+  machine.Reset();
+  int64_t selected = 0;
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine.OnOpen(event.symbol);
+      selected += machine.InAcceptingState() ? 1 : 0;
+    } else {
+      machine.OnClose(event.symbol);
+    }
+  }
+  return selected;
+}
+
+void BM_StackBaseline(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  EventStream events =
+      Document(static_cast<bench::DocShape>(state.range(0)));
+  StackQueryEvaluator machine(&dfa);
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["peak_stack"] =
+      static_cast<double>(machine.max_stack_depth());
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_StackBaseline)->DenseRange(0, 2);
+
+void BM_Registerless(benchmark::State& state) {
+  // a Γ* b is almost-reversible: Lemma 3.5's plain DFA applies.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  EventStream events =
+      Document(static_cast<bench::DocShape>(state.range(0)));
+  TagDfaMachine machine(&evaluator);
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_Registerless)->DenseRange(0, 2);
+
+void BM_Stackless(benchmark::State& state) {
+  // Γ*aΓ*b is HAR but not almost-reversible: Lemma 3.8's DRA applies.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+  EventStream events =
+      Document(static_cast<bench::DocShape>(state.range(0)));
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["registers"] = machine.num_registers();
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_Stackless)->DenseRange(0, 2);
+
+void BM_StackBaselineSameQueryAsStackless(benchmark::State& state) {
+  // Apples-to-apples for the stackless tier: the same Γ*aΓ*b query on the
+  // stack baseline.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  EventStream events =
+      Document(static_cast<bench::DocShape>(state.range(0)));
+  StackQueryEvaluator machine(&dfa);
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::MarkupBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_StackBaselineSameQueryAsStackless)->DenseRange(0, 2);
+
+// --- Byte-level runners (Section 4.3 outlook) ---------------------------
+//
+// The registerless tier degenerates to one fused table lookup per input
+// byte; the stack baseline must also maintain O(depth) memory. On very deep
+// documents the stack exceeds cache and the gap widens.
+
+constexpr int kByteDocNodes = 1 << 21;  // 4 MiB of compact markup
+
+std::string ByteDocument(int shape) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Tree tree;
+  if (shape == 3) {
+    // Pathologically deep: a pure chain (depth = node count).
+    Rng rng(9);
+    Word labels;
+    for (int i = 0; i < kByteDocNodes; ++i) {
+      labels.push_back(static_cast<Symbol>(rng.NextBelow(3)));
+    }
+    tree = ChainTree(labels);
+  } else {
+    tree = bench::MakeDocument(static_cast<bench::DocShape>(shape),
+                               kByteDocNodes, 3, 44);
+  }
+  return ToCompactMarkup(alphabet, Encode(tree));
+}
+
+const char* ByteShapeName(int shape) {
+  return shape == 3 ? "chain" : bench::ShapeName(
+                                    static_cast<bench::DocShape>(shape));
+}
+
+void BM_ByteRegisterless(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ByteTagDfaRunner runner(BuildRegisterlessQueryAutomaton(dfa, false));
+  std::string bytes = ByteDocument(static_cast<int>(state.range(0)));
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = runner.CountSelections(bytes);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(ByteShapeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ByteRegisterless)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ByteStackBaseline(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ByteStackRunner runner(dfa);
+  std::string bytes = ByteDocument(static_cast<int>(state.range(0)));
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = runner.CountSelections(bytes);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.counters["peak_stack"] = static_cast<double>(runner.max_stack_depth());
+  state.SetLabel(ByteShapeName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ByteStackBaseline)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Experiment E10 (term encoding): the same throughput comparison under the
+// JSON-style encoding, using the blind constructions of Theorems B.1/B.2.
+// Closing events carry no label (symbol -1).
+
+#include <benchmark/benchmark.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "bench_util.h"
+#include "dra/tag_dfa.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+constexpr int kDocNodes = 1 << 17;
+
+EventStream TermDocument(bench::DocShape shape) {
+  EventStream events = Encode(bench::MakeDocument(shape, kDocNodes, 3, 42));
+  for (TagEvent& event : events) {
+    if (!event.open) event.symbol = -1;
+  }
+  return events;
+}
+
+template <typename Machine>
+int64_t Drive(Machine& machine, const EventStream& events) {
+  machine.Reset();
+  int64_t selected = 0;
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine.OnOpen(event.symbol);
+      selected += machine.InAcceptingState() ? 1 : 0;
+    } else {
+      machine.OnClose(event.symbol);
+    }
+  }
+  return selected;
+}
+
+void BM_TermStackBaseline(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  EventStream events =
+      TermDocument(static_cast<bench::DocShape>(state.range(0)));
+  StackQueryEvaluator machine(&dfa);
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::TermBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_TermStackBaseline)->DenseRange(0, 2);
+
+void BM_TermRegisterless(benchmark::State& state) {
+  // a Γ* b is blindly almost-reversible (Section 4.2).
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/true);
+  EventStream events =
+      TermDocument(static_cast<bench::DocShape>(state.range(0)));
+  TagDfaMachine machine(&evaluator);
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::TermBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_TermRegisterless)->DenseRange(0, 2);
+
+void BM_TermStackless(benchmark::State& state) {
+  // Γ*aΓ*b is blindly HAR (Section 4.2): Theorem B.2's DRA applies.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  StacklessQueryEvaluator machine(dfa, /*blind=*/true);
+  EventStream events =
+      TermDocument(static_cast<bench::DocShape>(state.range(0)));
+  int64_t selected = 0;
+  for (auto _ : state) {
+    selected = Drive(machine, events);
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetBytesProcessed(state.iterations() * bench::TermBytes(events));
+  state.counters["selected"] = static_cast<double>(selected);
+  state.SetLabel(bench::ShapeName(static_cast<bench::DocShape>(
+      state.range(0))));
+}
+BENCHMARK(BM_TermStackless)->DenseRange(0, 2);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

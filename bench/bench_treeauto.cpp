@@ -1,0 +1,109 @@
+// Propositions 2.3 and 2.13 as executable procedures: cost of translating
+// restricted DRAs to tree automata, of tree-automata membership, and of
+// the exact RPQ-ness decision via hedge-automata equivalence.
+
+#include <benchmark/benchmark.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "dra/tag_dfa.h"
+#include "eval/stackless_query.h"
+#include "treeauto/hedge_automaton.h"
+#include "treeauto/hedge_builders.h"
+#include "treeauto/marked_trees.h"
+#include "treeauto/restricted_to_tree_automaton.h"
+#include "treeauto/rpqness.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+Dra SeenADra() {
+  TagDfa dfa = TagDfa::Create(2, 2);
+  dfa.initial = 0;
+  dfa.accepting = {false, true};
+  dfa.SetNextOpen(0, 0, 1);
+  dfa.SetNextOpen(0, 1, 0);
+  for (Symbol s = 0; s < 2; ++s) {
+    dfa.SetNextClose(0, s, 0);
+    dfa.SetNextOpen(1, s, 1);
+    dfa.SetNextClose(1, s, 1);
+  }
+  return DraFromTagDfa(dfa);
+}
+
+void BM_Prop23Translation(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra = MaterializeStacklessQueryDra(dfa, false, 50000);
+  SST_CHECK(dra.has_value());
+  for (auto _ : state) {
+    RestrictedDraTreeAutomaton nta(*dra);
+    benchmark::DoNotOptimize(nta.NumCandidateStates());
+  }
+}
+BENCHMARK(BM_Prop23Translation);
+
+void BM_Prop23Membership(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra = MaterializeStacklessQueryDra(dfa, false, 50000);
+  SST_CHECK(dra.has_value());
+  RestrictedDraTreeAutomaton nta(*dra);
+  Rng rng(3);
+  Tree tree = RandomTree(static_cast<int>(state.range(0)), 2, 0.5, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nta.Accepts(tree));
+  }
+  state.counters["tree_nodes"] = tree.size();
+}
+BENCHMARK(BM_Prop23Membership)->Range(16, 1024);
+
+void BM_HedgeMembership(benchmark::State& state) {
+  HedgeAutomaton automaton = SomeLabelHedgeAutomaton(2, 0);
+  Rng rng(5);
+  Tree tree = RandomTree(static_cast<int>(state.range(0)), 2, 0.5, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HedgeAccepts(automaton, tree));
+  }
+  state.counters["tree_nodes"] = tree.size();
+}
+BENCHMARK(BM_HedgeMembership)->Range(16, 4096);
+
+void BM_HedgeDeterminizeAndEquivalence(benchmark::State& state) {
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  HedgeAutomaton some_b = SomeLabelHedgeAutomaton(2, 1);
+  for (auto _ : state) {
+    std::optional<bool> equal = HedgeEquivalent(some_a, some_b, 512);
+    SST_CHECK(equal.has_value() && !*equal);
+  }
+}
+BENCHMARK(BM_HedgeDeterminizeAndEquivalence);
+
+void BM_Prop213Exact(benchmark::State& state) {
+  Dra dra = SeenADra();
+  for (auto _ : state) {
+    std::optional<bool> is_rpq = IsRpqExact(dra, 4000);
+    SST_CHECK(is_rpq.has_value() && !*is_rpq);
+  }
+  state.SetLabel("'seen an a' query correctly refuted as non-RPQ");
+}
+BENCHMARK(BM_Prop213Exact);
+
+void BM_Prop213Bounded(benchmark::State& state) {
+  Dra dra = SeenADra();
+  const int bound = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    RpqnessResult result = CheckRpqness(dra, bound);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["universe_max_nodes"] = bound;
+}
+BENCHMARK(BM_Prop213Bounded)->DenseRange(3, 7);
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+#ifndef SST_BENCH_BENCH_UTIL_H_
+#define SST_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/tree.h"
+
+namespace sst::bench {
+
+// Document shapes used across throughput experiments. Sizes are node
+// counts; the markup encoding has 2 bytes per node in compact form.
+enum class DocShape { kDeep, kBushy, kMixed };
+
+inline const char* ShapeName(DocShape shape) {
+  switch (shape) {
+    case DocShape::kDeep:
+      return "deep";
+    case DocShape::kBushy:
+      return "bushy";
+    case DocShape::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+inline Tree MakeDocument(DocShape shape, int nodes, int num_symbols,
+                         uint64_t seed) {
+  Rng rng(seed);
+  switch (shape) {
+    case DocShape::kDeep:
+      return RandomTree(nodes, num_symbols, 0.95, &rng);
+    case DocShape::kBushy:
+      return RandomTree(nodes, num_symbols, 0.05, &rng);
+    case DocShape::kMixed:
+      return RandomTree(nodes, num_symbols, 0.5, &rng);
+  }
+  return RandomTree(nodes, num_symbols, 0.5, &rng);
+}
+
+// Bytes of the compact markup serialization (1 byte per tag).
+inline int64_t MarkupBytes(const EventStream& events) {
+  return static_cast<int64_t>(events.size());
+}
+
+// Bytes of the compact term serialization (2 bytes per opening tag `x{`,
+// 1 per closing `}`).
+inline int64_t TermBytes(const EventStream& events) {
+  return static_cast<int64_t>(events.size() / 2 * 3);
+}
+
+}  // namespace sst::bench
+
+#endif  // SST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Weak validation of streamed documents against a path DTD (Section 4.1).
+// The document source is trusted to be well-formed (Segoufin & Vianu's
+// setting); the question is only whether its branches conform. When the
+// path language is A-flat, a plain finite automaton suffices — no stack.
+//
+// The demo DTD models a simple catalog:
+//   catalog -> (section + item)^+    section -> (section + item)^*
+//   item    -> (name + price)^*      name, price -> ()^*
+// The catalog and section symbols allow the same children (they differ only
+// in whether a leaf is permitted), which makes the path language A-flat;
+// and we validate a conforming and a violating document with both the
+// registerless validator (Theorem 3.2(2)) and the stack baseline.
+
+#include <cstdio>
+
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dtd/path_dtd.h"
+#include "trees/encoding.h"
+
+int main() {
+  sst::Alphabet alphabet;
+  sst::Symbol catalog = alphabet.Intern("catalog");
+  sst::Symbol section = alphabet.Intern("section");
+  sst::Symbol item = alphabet.Intern("item");
+  sst::Symbol name = alphabet.Intern("name");
+  sst::Symbol price = alphabet.Intern("price");
+
+  sst::PathDtd dtd;
+  dtd.num_symbols = alphabet.size();
+  dtd.initial_symbol = catalog;
+  dtd.productions.resize(alphabet.size());
+  dtd.productions[catalog] = {{section, item}, /*allows_leaf=*/false};
+  dtd.productions[section] = {{section, item}, /*allows_leaf=*/true};
+  dtd.productions[item] = {{name, price}, /*allows_leaf=*/true};
+  dtd.productions[name] = {{}, true};
+  dtd.productions[price] = {{}, true};
+
+  bool registerless = sst::IsRegisterlessWeaklyValidatable(dtd);
+  std::printf("path language A-flat (registerless weak validation): %s\n",
+              registerless ? "yes" : "no");
+
+  const char* good =
+      "<catalog><section><item><name></name><price></price></item>"
+      "<section><item><name></name></item></section></section></catalog>";
+  const char* bad =
+      "<catalog><section><item><price></price><section></section></item>"
+      "</section></catalog>";  // section under item is not allowed
+
+  for (const char* doc : {good, bad}) {
+    sst::Alphabet parse_alphabet = alphabet;
+    std::optional<sst::EventStream> events =
+        sst::ParseXmlLite(&parse_alphabet, doc);
+    if (!events.has_value()) {
+      std::printf("malformed document\n");
+      continue;
+    }
+    sst::StackDtdValidator stack_validator(&dtd);
+    bool stack_verdict = sst::RunAcceptor(&stack_validator, *events);
+    std::printf("\ndocument: %.40s...\n", doc);
+    std::printf("  stack validator: %s (peak stack %zu frames)\n",
+                stack_verdict ? "valid" : "INVALID",
+                stack_validator.max_stack_depth());
+    if (registerless) {
+      std::unique_ptr<sst::StreamMachine> weak_validator =
+          sst::BuildRegisterlessDtdValidator(dtd);
+      bool weak_verdict = sst::RunAcceptor(weak_validator.get(), *events);
+      std::printf("  registerless weak validator: %s (0 stack frames)\n",
+                  weak_verdict ? "valid" : "INVALID");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// The refuter as a user tool: ask why a query cannot be evaluated without
+// a stack and get an executable certificate — two concrete documents that
+// differ on "some branch matches" yet drive the best-possible stackless
+// machine into the same verdict (Lemmas 3.12 / 3.16 made tangible).
+//
+//   ./impossibility_report            # //a/b, the paper's hard query
+//   ./impossibility_report '/a/b'     # any XPath over {a,b,c}
+
+#include <cstdio>
+#include <string>
+
+#include "core/stackless.h"
+#include "trees/encoding.h"
+
+int main(int argc, char** argv) {
+  std::string xpath = argc > 1 ? argv[1] : "//a/b";
+  sst::Alphabet alphabet = sst::Alphabet::FromLetters("abc");
+  sst::Rpq rpq = sst::Rpq::FromXPath(xpath, alphabet);
+  sst::QueryLimitsReport report = sst::ExplainQueryLimits(rpq);
+
+  std::printf("query: %s\n", xpath.c_str());
+  std::printf("registerless: %s   stackless: %s\n",
+              report.registerless ? "yes" : "no",
+              report.stackless ? "yes" : "no");
+  std::printf("%s\n", report.summary.c_str());
+
+  if (report.certificate_in_el.has_value()) {
+    sst::EventStream in_el = sst::Encode(*report.certificate_in_el);
+    sst::EventStream out_el = sst::Encode(*report.certificate_out_el);
+    std::printf("\ncertificate (%d and %d nodes):\n",
+                report.certificate_in_el->size(),
+                report.certificate_out_el->size());
+    if (report.certificate_in_el->size() <= 60) {
+      std::printf("  in EL:  %s\n",
+                  sst::ToCompactMarkup(alphabet, in_el).c_str());
+      std::printf("  out EL: %s\n",
+                  sst::ToCompactMarkup(alphabet, out_el).c_str());
+    } else {
+      std::printf("  (too large to print; sizes above)\n");
+    }
+    std::printf(
+        "the first tree has a matching branch, the second has none, and\n"
+        "the best-effort machine cannot tell them apart.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: classify an XPath query per the paper's characterization
+// theorems, compile the strongest streaming evaluator, and run it over a
+// streamed XML-lite document.
+//
+//   ./quickstart [xpath] [document]
+//
+// Defaults reproduce Example 2.12's first query /a//b over a small document.
+
+#include <cstdio>
+#include <string>
+
+#include "core/stackless.h"
+#include "trees/encoding.h"
+
+int main(int argc, char** argv) {
+  std::string xpath = argc > 1 ? argv[1] : "/a//b";
+  std::string document =
+      argc > 2 ? argv[2]
+               : "<a><b></b><c><b></b><a><b></b></a></c><c></c></a>";
+
+  // Parse the document once to learn its vocabulary; in a production
+  // pipeline the alphabet comes from the schema.
+  sst::Alphabet alphabet;
+  std::optional<sst::EventStream> events =
+      sst::ParseXmlLite(&alphabet, document);
+  if (!events.has_value() || !sst::IsValidEncoding(*events)) {
+    std::fprintf(stderr, "error: document is not well-formed XML-lite\n");
+    return 1;
+  }
+
+  sst::Rpq rpq = sst::Rpq::FromXPath(xpath, alphabet);
+  sst::Classification classification = sst::ClassifyQuery(rpq);
+  std::printf("query: %s\n", xpath.c_str());
+  std::printf("%s", classification.ToString().c_str());
+
+  sst::CompiledQuery compiled =
+      sst::CompileQuery(rpq, sst::StreamEncoding::kMarkup);
+  std::printf("compiled evaluator: %s\n",
+              sst::EvaluatorKindName(compiled.kind));
+
+  // Stream the document through the evaluator and report pre-selected
+  // nodes as they open (this is the whole point of pre-selection: the
+  // subtree of a match can be forwarded downstream with no extra memory).
+  compiled.machine->Reset();
+  int node_index = 0;
+  int matches = 0;
+  for (const sst::TagEvent& event : *events) {
+    if (event.open) {
+      compiled.machine->OnOpen(event.symbol);
+      if (compiled.machine->InAcceptingState()) {
+        std::printf("match: node #%d <%s>\n", node_index,
+                    alphabet.LabelOf(event.symbol).c_str());
+        ++matches;
+      }
+      ++node_index;
+    } else {
+      compiled.machine->OnClose(event.symbol);
+    }
+  }
+  std::printf("%d node(s) selected out of %d\n", matches, node_index);
+  return 0;
+}

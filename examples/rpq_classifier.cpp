@@ -1,0 +1,49 @@
+// Reproduces (and generalizes) the table of Example 2.12: for each query,
+// report whether it is registerless / stackless under the markup (XML) and
+// term (JSON) encodings, per Theorems 3.1, 3.2, B.1 and B.2.
+//
+//   ./rpq_classifier                # the paper's four queries over {a,b,c}
+//   ./rpq_classifier 'regex' ...    # your own regexes over {a,b,c}
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stackless.h"
+
+int main(int argc, char** argv) {
+  sst::Alphabet alphabet = sst::Alphabet::FromLetters("abc");
+  struct Entry {
+    std::string name;
+    std::string regex;
+  };
+  std::vector<Entry> entries;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) entries.push_back({argv[i], argv[i]});
+  } else {
+    entries = {
+        {"/a//b   ($.a..b)  = a G*b", "a.*b"},
+        {"/a/b    ($.a.b)   = a b", "ab"},
+        {"//a//b  ($..a..b) = G*a G*b", ".*a.*b"},
+        {"//a/b   ($..a.b)  = G*a b", ".*ab"},
+    };
+  }
+
+  std::printf("%-30s | %-12s %-12s | %-12s %-12s\n", "query",
+              "XML reg-less", "XML stackless", "JSON reg-less",
+              "JSON stackless");
+  std::printf("%s\n", std::string(88, '-').c_str());
+  for (const Entry& entry : entries) {
+    sst::Rpq rpq = sst::Rpq::FromRegex(entry.regex, alphabet);
+    sst::Classification c = sst::ClassifyQuery(rpq);
+    auto mark = [](bool b) { return b ? "yes" : "no"; };
+    std::printf("%-30s | %-12s %-13s | %-13s %-12s\n", entry.name.c_str(),
+                mark(c.QueryRegisterless()), mark(c.QueryStackless()),
+                mark(c.TermQueryRegisterless()),
+                mark(c.TermQueryStackless()));
+  }
+  std::printf(
+      "\n(registerless = plain DFA on the tag stream; stackless = one depth\n"
+      " counter plus depth registers; otherwise a stack is unavoidable.)\n");
+  return 0;
+}

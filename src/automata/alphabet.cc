@@ -1,0 +1,53 @@
+#include "automata/alphabet.h"
+
+#include "base/check.h"
+
+namespace sst {
+
+Alphabet Alphabet::FromLetters(std::string_view letters) {
+  Alphabet result;
+  for (char c : letters) result.Intern(std::string_view(&c, 1));
+  return result;
+}
+
+Symbol Alphabet::Intern(std::string_view label) {
+  auto it = index_.find(std::string(label));
+  if (it != index_.end()) return it->second;
+  Symbol s = static_cast<Symbol>(labels_.size());
+  labels_.emplace_back(label);
+  index_.emplace(labels_.back(), s);
+  return s;
+}
+
+Symbol Alphabet::Find(std::string_view label) const {
+  auto it = index_.find(std::string(label));
+  return it == index_.end() ? -1 : it->second;
+}
+
+Word WordFromString(const Alphabet& alphabet, std::string_view text) {
+  Word word;
+  word.reserve(text.size());
+  for (char c : text) {
+    Symbol s = alphabet.Find(std::string_view(&c, 1));
+    SST_CHECK_MSG(s >= 0, "unknown letter in word");
+    word.push_back(s);
+  }
+  return word;
+}
+
+std::string WordToString(const Alphabet& alphabet, const Word& word) {
+  std::string out;
+  for (Symbol s : word) {
+    const std::string& label = alphabet.LabelOf(s);
+    if (label.size() == 1) {
+      out += label;
+    } else {
+      out += '<';
+      out += label;
+      out += '>';
+    }
+  }
+  return out;
+}
+
+}  // namespace sst

@@ -1,0 +1,64 @@
+#include "automata/determinize.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace sst {
+
+namespace {
+
+std::vector<int> EpsilonClosure(const Nfa& nfa, std::vector<int> states) {
+  std::vector<bool> in_set(nfa.num_states, false);
+  for (int q : states) in_set[q] = true;
+  for (size_t i = 0; i < states.size(); ++i) {
+    for (const auto& [symbol, to] : nfa.edges[states[i]]) {
+      if (symbol == Nfa::kEpsilon && !in_set[to]) {
+        in_set[to] = true;
+        states.push_back(to);
+      }
+    }
+  }
+  std::sort(states.begin(), states.end());
+  return states;
+}
+
+}  // namespace
+
+Dfa Determinize(const Nfa& nfa) {
+  const int k = nfa.num_symbols;
+  std::map<std::vector<int>, int> id;
+  std::vector<std::vector<int>> subsets;
+  auto intern = [&](std::vector<int> subset) {
+    auto [it, inserted] = id.emplace(subset, static_cast<int>(subsets.size()));
+    if (inserted) subsets.push_back(std::move(subset));
+    return it->second;
+  };
+
+  Dfa dfa;
+  dfa.num_symbols = k;
+  dfa.initial = intern(EpsilonClosure(nfa, {nfa.initial}));
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    bool acc = false;
+    for (int q : subsets[i]) acc = acc || nfa.accepting[q];
+    dfa.accepting.push_back(acc);
+    for (Symbol a = 0; a < k; ++a) {
+      std::vector<int> targets;
+      std::vector<bool> seen(nfa.num_states, false);
+      for (int q : subsets[i]) {
+        for (const auto& [symbol, to] : nfa.edges[q]) {
+          if (symbol == a && !seen[to]) {
+            seen[to] = true;
+            targets.push_back(to);
+          }
+        }
+      }
+      dfa.next_table.push_back(intern(EpsilonClosure(nfa, std::move(targets))));
+    }
+  }
+  dfa.num_states = static_cast<int>(subsets.size());
+  return dfa;
+}
+
+}  // namespace sst

@@ -1,0 +1,15 @@
+#ifndef SST_AUTOMATA_DETERMINIZE_H_
+#define SST_AUTOMATA_DETERMINIZE_H_
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+
+namespace sst {
+
+// Subset construction; the result is complete (the empty subset acts as the
+// rejecting sink) and contains only reachable states.
+Dfa Determinize(const Nfa& nfa);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_DETERMINIZE_H_

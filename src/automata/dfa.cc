@@ -1,0 +1,217 @@
+#include "automata/dfa.h"
+
+#include <deque>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+Dfa Dfa::Create(int num_states, int num_symbols) {
+  Dfa dfa;
+  dfa.num_states = num_states;
+  dfa.num_symbols = num_symbols;
+  dfa.next_table.assign(static_cast<size_t>(num_states) * num_symbols, 0);
+  dfa.accepting.assign(num_states, false);
+  return dfa;
+}
+
+int Dfa::Run(int state, const Word& word) const {
+  for (Symbol a : word) state = Next(state, a);
+  return state;
+}
+
+bool Dfa::IsValid() const {
+  if (initial < 0 || initial >= num_states) return false;
+  for (int to : next_table) {
+    if (to < 0 || to >= num_states) return false;
+  }
+  return true;
+}
+
+std::string Dfa::ToString(const Alphabet& alphabet) const {
+  std::string out = "initial=" + std::to_string(initial) + "\n";
+  for (int q = 0; q < num_states; ++q) {
+    out += std::to_string(q);
+    out += accepting[q] ? " [acc]" : "      ";
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      out += "  " + alphabet.LabelOf(a) + "->" + std::to_string(Next(q, a));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Dfa Complement(const Dfa& dfa) {
+  Dfa result = dfa;
+  for (int q = 0; q < result.num_states; ++q) {
+    result.accepting[q] = !result.accepting[q];
+  }
+  return result;
+}
+
+namespace {
+
+// Reachable product construction; `want(a_acc, b_acc)` decides acceptance.
+template <typename AcceptFn>
+Dfa Product(const Dfa& a, const Dfa& b, AcceptFn want) {
+  SST_CHECK(a.num_symbols == b.num_symbols);
+  const int k = a.num_symbols;
+  std::vector<int> id(static_cast<size_t>(a.num_states) * b.num_states, -1);
+  auto key = [&](int p, int q) {
+    return static_cast<size_t>(p) * b.num_states + q;
+  };
+  std::vector<std::pair<int, int>> states;
+  auto intern = [&](int p, int q) {
+    int& slot = id[key(p, q)];
+    if (slot < 0) {
+      slot = static_cast<int>(states.size());
+      states.emplace_back(p, q);
+    }
+    return slot;
+  };
+  Dfa result;
+  result.num_symbols = k;
+  result.initial = intern(a.initial, b.initial);
+  for (size_t i = 0; i < states.size(); ++i) {
+    auto [p, q] = states[i];
+    result.accepting.push_back(want(a.accepting[p], b.accepting[q]));
+    for (Symbol s = 0; s < k; ++s) {
+      result.next_table.push_back(intern(a.Next(p, s), b.Next(q, s)));
+    }
+  }
+  result.num_states = static_cast<int>(states.size());
+  return result;
+}
+
+}  // namespace
+
+Dfa Intersection(const Dfa& a, const Dfa& b) {
+  return Product(a, b, [](bool x, bool y) { return x && y; });
+}
+
+Dfa UnionDfa(const Dfa& a, const Dfa& b) {
+  return Product(a, b, [](bool x, bool y) { return x || y; });
+}
+
+Dfa Trim(const Dfa& dfa) {
+  std::vector<int> remap(dfa.num_states, -1);
+  std::vector<int> order;
+  remap[dfa.initial] = 0;
+  order.push_back(dfa.initial);
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int to = dfa.Next(order[i], a);
+      if (remap[to] < 0) {
+        remap[to] = static_cast<int>(order.size());
+        order.push_back(to);
+      }
+    }
+  }
+  Dfa result = Dfa::Create(static_cast<int>(order.size()), dfa.num_symbols);
+  result.initial = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int q = order[i];
+    result.accepting[i] = dfa.accepting[q];
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      result.SetNext(static_cast<int>(i), a, remap[dfa.Next(q, a)]);
+    }
+  }
+  return result;
+}
+
+bool FindDistinguishingWord(const Dfa& a, const Dfa& b, Word* witness) {
+  SST_CHECK(a.num_symbols == b.num_symbols);
+  const int k = a.num_symbols;
+  // BFS over reachable pairs, remembering parent edges for witness recovery.
+  struct Entry {
+    int parent = -1;
+    Symbol via = -1;
+  };
+  std::vector<Entry> info;
+  std::vector<int> id(static_cast<size_t>(a.num_states) * b.num_states, -1);
+  std::vector<std::pair<int, int>> states;
+  auto intern = [&](int p, int q, int parent, Symbol via) {
+    size_t key = static_cast<size_t>(p) * b.num_states + q;
+    if (id[key] < 0) {
+      id[key] = static_cast<int>(states.size());
+      states.emplace_back(p, q);
+      info.push_back({parent, via});
+    }
+    return id[key];
+  };
+  intern(a.initial, b.initial, -1, -1);
+  for (size_t i = 0; i < states.size(); ++i) {
+    auto [p, q] = states[i];
+    if (a.accepting[p] != b.accepting[q]) {
+      if (witness != nullptr) {
+        Word rev;
+        for (int cur = static_cast<int>(i); info[cur].parent >= 0;
+             cur = info[cur].parent) {
+          rev.push_back(info[cur].via);
+        }
+        witness->assign(rev.rbegin(), rev.rend());
+      }
+      return true;
+    }
+    for (Symbol s = 0; s < k; ++s) {
+      intern(a.Next(p, s), b.Next(q, s), static_cast<int>(i), s);
+    }
+  }
+  return false;
+}
+
+bool EquivalentDfa(const Dfa& a, const Dfa& b) {
+  return !FindDistinguishingWord(a, b, nullptr);
+}
+
+bool FindConnectingWord(const Dfa& dfa, int from, int to, bool nonempty,
+                        Word* word) {
+  if (from == to && !nonempty) {
+    word->clear();
+    return true;
+  }
+  struct Entry {
+    int parent = -1;
+    Symbol via = -1;
+  };
+  std::vector<Entry> info(dfa.num_states);
+  std::vector<bool> seen(dfa.num_states, false);
+  std::deque<int> queue;
+  // Seed with one-step successors so the found path is nonempty when the
+  // source equals the target.
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+    int succ = dfa.Next(from, a);
+    if (!seen[succ]) {
+      seen[succ] = true;
+      info[succ] = {-1, a};
+      queue.push_back(succ);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    if (q == to) {
+      Word rev;
+      int cur = q;
+      for (;;) {
+        rev.push_back(info[cur].via);
+        if (info[cur].parent < 0) break;
+        cur = info[cur].parent;
+      }
+      word->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int succ = dfa.Next(q, a);
+      if (!seen[succ]) {
+        seen[succ] = true;
+        info[succ] = {q, a};
+        queue.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sst

@@ -1,0 +1,68 @@
+#ifndef SST_AUTOMATA_DFA_H_
+#define SST_AUTOMATA_DFA_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace sst {
+
+// Complete deterministic finite automaton over symbols [0, num_symbols).
+// All constructions in the library assume completeness (the paper's
+// definitions are stated for complete deterministic automata); builders in
+// this module always produce complete DFAs.
+struct Dfa {
+  int num_states = 0;
+  int num_symbols = 0;
+  int initial = 0;
+  std::vector<int> next_table;  // num_states * num_symbols entries
+  std::vector<bool> accepting;
+
+  // Builds a DFA with every transition pointing at state 0.
+  static Dfa Create(int num_states, int num_symbols);
+
+  int Next(int state, Symbol a) const {
+    return next_table[static_cast<size_t>(state) * num_symbols + a];
+  }
+  void SetNext(int state, Symbol a, int to) {
+    next_table[static_cast<size_t>(state) * num_symbols + a] = to;
+  }
+
+  // State reached from `state` by `word` (paper notation: state · word).
+  int Run(int state, const Word& word) const;
+
+  bool Accepts(const Word& word) const {
+    return accepting[Run(initial, word)];
+  }
+
+  // True if every transition targets a valid state.
+  bool IsValid() const;
+
+  // Human-readable dump for debugging and golden tests.
+  std::string ToString(const Alphabet& alphabet) const;
+};
+
+// Language-level operations. Both operands must share num_symbols.
+Dfa Complement(const Dfa& dfa);
+Dfa Intersection(const Dfa& a, const Dfa& b);
+Dfa UnionDfa(const Dfa& a, const Dfa& b);
+
+// Restricts to states reachable from the initial state (preserves language).
+Dfa Trim(const Dfa& dfa);
+
+// True if the two DFAs accept the same language (product reachability).
+bool EquivalentDfa(const Dfa& a, const Dfa& b);
+
+// Finds a word accepted by exactly one of the two DFAs, or returns false if
+// the languages coincide.
+bool FindDistinguishingWord(const Dfa& a, const Dfa& b, Word* witness);
+
+// Shortest word w such that from·w == to, via BFS; false if unreachable.
+// If `nonempty` is set the word is required to have length >= 1.
+bool FindConnectingWord(const Dfa& dfa, int from, int to, bool nonempty,
+                        Word* word);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_DFA_H_

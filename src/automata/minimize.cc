@@ -1,0 +1,220 @@
+#include "automata/minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/nfa.h"
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Hopcroft's partition-refinement algorithm on the trimmed DFA.
+std::vector<int> HopcroftClasses(const Dfa& dfa) {
+  const int n = dfa.num_states;
+  const int k = dfa.num_symbols;
+
+  // Inverse transitions: for each (state, symbol), the list of predecessors.
+  std::vector<std::vector<int>> inverse(static_cast<size_t>(n) * k);
+  for (int q = 0; q < n; ++q) {
+    for (Symbol a = 0; a < k; ++a) {
+      inverse[static_cast<size_t>(dfa.Next(q, a)) * k + a].push_back(q);
+    }
+  }
+
+  // Partition as: class id per state + member lists.
+  std::vector<int> class_of(n, 0);
+  std::vector<std::vector<int>> members;
+  {
+    std::vector<int> acc, rej;
+    for (int q = 0; q < n; ++q) {
+      (dfa.accepting[q] ? acc : rej).push_back(q);
+    }
+    if (acc.empty() || rej.empty()) {
+      return class_of;  // single class
+    }
+    members.push_back(std::move(acc));
+    members.push_back(std::move(rej));
+    for (int q : members[1]) class_of[q] = 1;
+  }
+
+  // Worklist of (class, symbol) splitters.
+  std::deque<std::pair<int, Symbol>> worklist;
+  std::set<std::pair<int, Symbol>> in_worklist;
+  auto push = [&](int c, Symbol a) {
+    if (in_worklist.insert({c, a}).second) worklist.emplace_back(c, a);
+  };
+  {
+    int smaller = members[0].size() <= members[1].size() ? 0 : 1;
+    for (Symbol a = 0; a < k; ++a) {
+      push(smaller, a);
+      push(1 - smaller, a);  // pushing both is correct and simple
+    }
+  }
+
+  std::vector<int> touched_count;   // per class: how many members are hit
+  std::vector<int> touched_classes;
+  std::vector<bool> hit(n, false);
+
+  while (!worklist.empty()) {
+    auto [splitter, a] = worklist.front();
+    worklist.pop_front();
+    in_worklist.erase({splitter, a});
+
+    // X = predecessors by `a` of the splitter class.
+    std::vector<int> x;
+    for (int q : members[splitter]) {
+      for (int p : inverse[static_cast<size_t>(q) * k + a]) x.push_back(p);
+    }
+    if (x.empty()) continue;
+
+    touched_count.assign(members.size(), 0);
+    touched_classes.clear();
+    for (int p : x) {
+      if (!hit[p]) {
+        hit[p] = true;
+        int c = class_of[p];
+        if (touched_count[c]++ == 0) touched_classes.push_back(c);
+      }
+    }
+
+    for (int c : touched_classes) {
+      int hits = touched_count[c];
+      if (hits == static_cast<int>(members[c].size())) continue;  // no split
+      // Split class c into hit and non-hit parts.
+      std::vector<int> hit_part, rest;
+      hit_part.reserve(hits);
+      for (int q : members[c]) {
+        (hit[q] ? hit_part : rest).push_back(q);
+      }
+      int new_class = static_cast<int>(members.size());
+      // Keep the larger part in place; the smaller becomes the new class.
+      if (hit_part.size() <= rest.size()) {
+        members[c] = std::move(rest);
+        members.push_back(std::move(hit_part));
+      } else {
+        members[c] = std::move(hit_part);
+        members.push_back(std::move(rest));
+      }
+      for (int q : members[new_class]) class_of[q] = new_class;
+      for (Symbol s = 0; s < k; ++s) {
+        if (in_worklist.count({c, s})) {
+          push(new_class, s);
+        } else {
+          // Push the smaller of the two parts.
+          int smaller = members[new_class].size() <= members[c].size()
+                            ? new_class
+                            : c;
+          push(smaller, s);
+        }
+      }
+    }
+    for (int p : x) hit[p] = false;
+  }
+  return class_of;
+}
+
+// Moore refinement: split classes by (acceptance, successor-class vector)
+// until stable.
+std::vector<int> MooreClasses(const Dfa& dfa) {
+  const int n = dfa.num_states;
+  const int k = dfa.num_symbols;
+  std::vector<int> class_of(n, 0);
+  int count = 1;
+  {
+    bool any_accepting = false, any_rejecting = false;
+    for (int q = 0; q < n; ++q) {
+      (dfa.accepting[q] ? any_accepting : any_rejecting) = true;
+    }
+    if (any_accepting && any_rejecting) {
+      count = 2;
+      for (int q = 0; q < n; ++q) class_of[q] = dfa.accepting[q] ? 1 : 0;
+    }
+  }
+  for (;;) {
+    std::map<std::vector<int>, int> signature_id;
+    std::vector<int> next(n);
+    for (int q = 0; q < n; ++q) {
+      std::vector<int> signature;
+      signature.reserve(k + 1);
+      signature.push_back(class_of[q]);
+      for (Symbol a = 0; a < k; ++a) {
+        signature.push_back(class_of[dfa.Next(q, a)]);
+      }
+      auto [it, inserted] = signature_id.emplace(
+          std::move(signature), static_cast<int>(signature_id.size()));
+      next[q] = it->second;
+    }
+    int new_count = static_cast<int>(signature_id.size());
+    // The new partition refines the old one; equal size means stability.
+    if (new_count == count) return class_of;
+    class_of = std::move(next);
+    count = new_count;
+  }
+}
+
+// Renumbers classes canonically (BFS order from the initial class) and
+// materializes the quotient automaton.
+Dfa QuotientByClasses(const Dfa& dfa, const std::vector<int>& class_of) {
+  int num_classes = *std::max_element(class_of.begin(), class_of.end()) + 1;
+  std::vector<int> order(num_classes, -1);
+  std::vector<int> bfs;
+  order[class_of[dfa.initial]] = 0;
+  bfs.push_back(dfa.initial);
+  std::vector<bool> class_seen(num_classes, false);
+  class_seen[class_of[dfa.initial]] = true;
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    int q = bfs[i];
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int to = dfa.Next(q, a);
+      int c = class_of[to];
+      if (!class_seen[c]) {
+        class_seen[c] = true;
+        order[c] = static_cast<int>(bfs.size());
+        bfs.push_back(to);
+      }
+    }
+  }
+  Dfa result = Dfa::Create(static_cast<int>(bfs.size()), dfa.num_symbols);
+  result.initial = 0;
+  for (size_t i = 0; i < bfs.size(); ++i) {
+    int rep = bfs[i];
+    result.accepting[i] = dfa.accepting[rep];
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      result.SetNext(static_cast<int>(i), a, order[class_of[dfa.Next(rep, a)]]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Dfa MinimizeMoore(const Dfa& input) {
+  SST_CHECK(input.IsValid());
+  Dfa dfa = Trim(input);
+  return QuotientByClasses(dfa, MooreClasses(dfa));
+}
+
+Dfa Minimize(const Dfa& input) {
+  SST_CHECK(input.IsValid());
+  Dfa dfa = Trim(input);
+  return QuotientByClasses(dfa, HopcroftClasses(dfa));
+}
+
+Dfa RegexToMinimalDfa(const Regex& regex, int num_symbols) {
+  return Minimize(Determinize(RegexToNfa(regex, num_symbols)));
+}
+
+Dfa CompileRegex(std::string_view pattern, const Alphabet& alphabet) {
+  RegexPtr regex = ParseRegex(pattern, alphabet);
+  return RegexToMinimalDfa(*regex, alphabet.size());
+}
+
+}  // namespace sst

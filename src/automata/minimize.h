@@ -1,0 +1,29 @@
+#ifndef SST_AUTOMATA_MINIMIZE_H_
+#define SST_AUTOMATA_MINIMIZE_H_
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+
+namespace sst {
+
+// Hopcroft minimization. Input must be a valid complete DFA; the result is
+// the minimal complete DFA for the language, containing only reachable
+// states. Every syntactic-class definition in the paper (Definitions 3.4,
+// 3.6, 3.9) is stated on the minimal automaton, so this is the canonical
+// entry point for building automata to classify.
+Dfa Minimize(const Dfa& dfa);
+
+// Moore's O(n^2) partition refinement — an independent implementation used
+// to cross-check Hopcroft in tests and as the ablation baseline in
+// benchmarks. Produces the same canonical result as Minimize.
+Dfa MinimizeMoore(const Dfa& dfa);
+
+// Convenience pipeline: regex -> NFA -> DFA -> minimal DFA.
+Dfa RegexToMinimalDfa(const Regex& regex, int num_symbols);
+
+// Parse + compile in one step.
+Dfa CompileRegex(std::string_view pattern, const Alphabet& alphabet);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_MINIMIZE_H_

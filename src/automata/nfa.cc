@@ -1,0 +1,121 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace sst {
+
+int Nfa::AddState() {
+  edges.emplace_back();
+  accepting.push_back(false);
+  return num_states++;
+}
+
+void Nfa::AddEdge(int from, Symbol symbol, int to) {
+  SST_CHECK(from >= 0 && from < num_states && to >= 0 && to < num_states);
+  edges[from].emplace_back(symbol, to);
+}
+
+namespace {
+
+void EpsilonClose(const Nfa& nfa, std::vector<int>* states) {
+  std::vector<bool> in_set(nfa.num_states, false);
+  for (int q : *states) in_set[q] = true;
+  for (size_t i = 0; i < states->size(); ++i) {
+    for (const auto& [symbol, to] : nfa.edges[(*states)[i]]) {
+      if (symbol == Nfa::kEpsilon && !in_set[to]) {
+        in_set[to] = true;
+        states->push_back(to);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+}  // namespace
+
+bool Nfa::Accepts(const Word& word) const {
+  std::vector<int> current = {initial};
+  EpsilonClose(*this, &current);
+  for (Symbol a : word) {
+    std::vector<bool> seen(num_states, false);
+    std::vector<int> next;
+    for (int q : current) {
+      for (const auto& [symbol, to] : edges[q]) {
+        if (symbol == a && !seen[to]) {
+          seen[to] = true;
+          next.push_back(to);
+        }
+      }
+    }
+    EpsilonClose(*this, &next);
+    current = std::move(next);
+  }
+  for (int q : current) {
+    if (accepting[q]) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Builds the fragment for `regex` into `nfa`, returning (entry, exit).
+std::pair<int, int> Build(const Regex& regex, Nfa* nfa) {
+  int entry = nfa->AddState();
+  int exit = nfa->AddState();
+  switch (regex.kind) {
+    case Regex::Kind::kEmptySet:
+      break;  // no path from entry to exit
+    case Regex::Kind::kEpsilon:
+      nfa->AddEdge(entry, Nfa::kEpsilon, exit);
+      break;
+    case Regex::Kind::kSymbol:
+      nfa->AddEdge(entry, regex.symbol, exit);
+      break;
+    case Regex::Kind::kAny:
+      for (Symbol a = 0; a < nfa->num_symbols; ++a) {
+        nfa->AddEdge(entry, a, exit);
+      }
+      break;
+    case Regex::Kind::kConcat: {
+      auto [e1, x1] = Build(*regex.children[0], nfa);
+      auto [e2, x2] = Build(*regex.children[1], nfa);
+      nfa->AddEdge(entry, Nfa::kEpsilon, e1);
+      nfa->AddEdge(x1, Nfa::kEpsilon, e2);
+      nfa->AddEdge(x2, Nfa::kEpsilon, exit);
+      break;
+    }
+    case Regex::Kind::kUnion: {
+      auto [e1, x1] = Build(*regex.children[0], nfa);
+      auto [e2, x2] = Build(*regex.children[1], nfa);
+      nfa->AddEdge(entry, Nfa::kEpsilon, e1);
+      nfa->AddEdge(entry, Nfa::kEpsilon, e2);
+      nfa->AddEdge(x1, Nfa::kEpsilon, exit);
+      nfa->AddEdge(x2, Nfa::kEpsilon, exit);
+      break;
+    }
+    case Regex::Kind::kStar: {
+      auto [e1, x1] = Build(*regex.children[0], nfa);
+      nfa->AddEdge(entry, Nfa::kEpsilon, exit);
+      nfa->AddEdge(entry, Nfa::kEpsilon, e1);
+      nfa->AddEdge(x1, Nfa::kEpsilon, e1);
+      nfa->AddEdge(x1, Nfa::kEpsilon, exit);
+      break;
+    }
+  }
+  return {entry, exit};
+}
+
+}  // namespace
+
+Nfa RegexToNfa(const Regex& regex, int num_symbols) {
+  Nfa nfa;
+  nfa.num_symbols = num_symbols;
+  auto [entry, exit] = Build(regex, &nfa);
+  nfa.initial = entry;
+  nfa.accepting[exit] = true;
+  return nfa;
+}
+
+}  // namespace sst

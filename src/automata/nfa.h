@@ -1,0 +1,33 @@
+#ifndef SST_AUTOMATA_NFA_H_
+#define SST_AUTOMATA_NFA_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/regex.h"
+
+namespace sst {
+
+// Nondeterministic finite automaton with epsilon transitions (symbol -1).
+struct Nfa {
+  static constexpr Symbol kEpsilon = -1;
+
+  int num_states = 0;
+  int num_symbols = 0;
+  int initial = 0;
+  // edges[q] = list of (symbol-or-epsilon, target).
+  std::vector<std::vector<std::pair<Symbol, int>>> edges;
+  std::vector<bool> accepting;
+
+  int AddState();
+  void AddEdge(int from, Symbol symbol, int to);
+  bool Accepts(const Word& word) const;
+};
+
+// Thompson construction. `num_symbols` fixes the expansion of the wildcard.
+Nfa RegexToNfa(const Regex& regex, int num_symbols);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_NFA_H_

@@ -1,0 +1,68 @@
+#include "automata/random_dfa.h"
+
+#include <numeric>
+#include <vector>
+
+namespace sst {
+
+Dfa RandomDfa(int num_states, int num_symbols, double accept_probability,
+              Rng* rng) {
+  Dfa dfa = Dfa::Create(num_states, num_symbols);
+  for (int q = 0; q < num_states; ++q) {
+    dfa.accepting[q] = rng->NextBool(accept_probability);
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      dfa.SetNext(q, a, static_cast<int>(rng->NextBelow(num_states)));
+    }
+  }
+  return dfa;
+}
+
+Dfa RandomPermutationDfa(int num_states, int num_symbols,
+                         double accept_probability, Rng* rng) {
+  Dfa dfa = Dfa::Create(num_states, num_symbols);
+  std::vector<int> perm(num_states);
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    std::iota(perm.begin(), perm.end(), 0);
+    for (int i = num_states - 1; i > 0; --i) {
+      int j = static_cast<int>(rng->NextBelow(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (int q = 0; q < num_states; ++q) dfa.SetNext(q, a, perm[q]);
+  }
+  for (int q = 0; q < num_states; ++q) {
+    dfa.accepting[q] = rng->NextBool(accept_probability);
+  }
+  return dfa;
+}
+
+Dfa RandomRTrivialDfa(int num_states, int num_symbols,
+                      double accept_probability, Rng* rng) {
+  Dfa dfa = Dfa::Create(num_states, num_symbols);
+  for (int q = 0; q < num_states; ++q) {
+    dfa.accepting[q] = rng->NextBool(accept_probability);
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      // Target index >= q keeps all SCCs trivial.
+      int to = q + static_cast<int>(rng->NextBelow(num_states - q));
+      dfa.SetNext(q, a, to);
+    }
+  }
+  return dfa;
+}
+
+Dfa RandomFiniteLanguageDfa(int max_len, int num_symbols,
+                            double accept_probability, Rng* rng) {
+  // Chain of levels 0..max_len plus a rejecting sink; acceptance decided per
+  // level with the given probability (level 0 = empty word).
+  int sink = max_len + 1;
+  Dfa dfa = Dfa::Create(max_len + 2, num_symbols);
+  for (int level = 0; level <= max_len; ++level) {
+    dfa.accepting[level] = rng->NextBool(accept_probability);
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      dfa.SetNext(level, a, level < max_len ? level + 1 : sink);
+    }
+  }
+  for (Symbol a = 0; a < num_symbols; ++a) dfa.SetNext(sink, a, sink);
+  return dfa;
+}
+
+}  // namespace sst

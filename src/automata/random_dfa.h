@@ -1,0 +1,37 @@
+#ifndef SST_AUTOMATA_RANDOM_DFA_H_
+#define SST_AUTOMATA_RANDOM_DFA_H_
+
+#include "automata/dfa.h"
+#include "base/rng.h"
+
+namespace sst {
+
+// Generators for random automata, used by property tests and decision
+// procedure benchmarks. All results are complete DFAs (not necessarily
+// minimal unless stated).
+
+// Uniformly random transitions; each state accepting with probability
+// `accept_probability`.
+Dfa RandomDfa(int num_states, int num_symbols, double accept_probability,
+              Rng* rng);
+
+// Every letter acts as a permutation of the states, so the automaton is
+// reversible (Section 3.1, Fig 2); after minimization such languages are
+// almost-reversible whenever the minimal automaton stays reversible.
+Dfa RandomPermutationDfa(int num_states, int num_symbols,
+                         double accept_probability, Rng* rng);
+
+// Transitions only go from a state to a state with an equal or larger index
+// (plus self-loops), so every SCC is a singleton: the language is R-trivial
+// and therefore HAR by construction (Section 3.2).
+Dfa RandomRTrivialDfa(int num_states, int num_symbols,
+                      double accept_probability, Rng* rng);
+
+// The language of all words of length <= max_len that a random predicate
+// accepts; finite languages are A-flat (Section 3.3).
+Dfa RandomFiniteLanguageDfa(int max_len, int num_symbols,
+                            double accept_probability, Rng* rng);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_RANDOM_DFA_H_

@@ -1,0 +1,262 @@
+#include "automata/regex.h"
+
+#include <cctype>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+RegexPtr Make(Regex::Kind kind) {
+  auto r = std::make_shared<Regex>();
+  r->kind = kind;
+  return r;
+}
+
+}  // namespace
+
+RegexPtr Regex::EmptySet() { return Make(Kind::kEmptySet); }
+RegexPtr Regex::Epsilon() { return Make(Kind::kEpsilon); }
+
+RegexPtr Regex::Sym(Symbol s) {
+  auto r = Make(Kind::kSymbol);
+  r->symbol = s;
+  return r;
+}
+
+RegexPtr Regex::Any() { return Make(Kind::kAny); }
+
+RegexPtr Regex::Concat(RegexPtr a, RegexPtr b) {
+  if (a->kind == Kind::kEmptySet || b->kind == Kind::kEmptySet) {
+    return EmptySet();
+  }
+  if (a->kind == Kind::kEpsilon) return b;
+  if (b->kind == Kind::kEpsilon) return a;
+  auto r = Make(Kind::kConcat);
+  r->children = {std::move(a), std::move(b)};
+  return r;
+}
+
+RegexPtr Regex::Union(RegexPtr a, RegexPtr b) {
+  if (a->kind == Kind::kEmptySet) return b;
+  if (b->kind == Kind::kEmptySet) return a;
+  auto r = Make(Kind::kUnion);
+  r->children = {std::move(a), std::move(b)};
+  return r;
+}
+
+RegexPtr Regex::Star(RegexPtr a) {
+  if (a->kind == Kind::kEmptySet || a->kind == Kind::kEpsilon) {
+    return Epsilon();
+  }
+  if (a->kind == Kind::kStar) return a;
+  auto r = Make(Kind::kStar);
+  r->children = {std::move(a)};
+  return r;
+}
+
+namespace {
+
+// Recursive-descent parser.
+//   union  := concat (('|' | '+') concat)*      -- binary '+' is union
+//   concat := postfix+
+//   postfix := atom ('*' | '+' | '?')*          -- postfix '+' is iteration
+//   atom   := letter | '.' | '(' union ')' | '~' (epsilon) | '#' (empty set)
+// A '+' is treated as postfix iteration if it directly follows an atom
+// already consumed and is itself followed by something that cannot start an
+// atom... To keep the grammar unambiguous we instead adopt the usual regex
+// convention: '+' after an atom is postfix iteration; '|' is union. The
+// paper's union '+' is therefore written '|' in patterns, but classification
+// helpers also accept '+' as union when it appears where an atom is expected.
+class Parser {
+ public:
+  Parser(std::string_view text, const Alphabet& alphabet, std::string* error)
+      : text_(text), alphabet_(alphabet), error_(error) {}
+
+  RegexPtr Parse() {
+    RegexPtr r = ParseUnion();
+    if (!r) return nullptr;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Fail("unexpected trailing input");
+    }
+    return r;
+  }
+
+ private:
+  RegexPtr Fail(const char* msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(msg) + " at offset " + std::to_string(pos_);
+    }
+    return nullptr;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '(' ||
+           c == '.' || c == '~' || c == '#';
+  }
+
+  RegexPtr ParseUnion() {
+    RegexPtr left = ParseConcat();
+    if (!left) return nullptr;
+    for (;;) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        RegexPtr right = ParseConcat();
+        if (!right) return nullptr;
+        left = Regex::Union(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  RegexPtr ParseConcat() {
+    RegexPtr left = ParsePostfix();
+    if (!left) return nullptr;
+    while (AtAtomStart()) {
+      RegexPtr right = ParsePostfix();
+      if (!right) return nullptr;
+      left = Regex::Concat(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  RegexPtr ParsePostfix() {
+    RegexPtr atom = ParseAtom();
+    if (!atom) return nullptr;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size()) return atom;
+      char c = text_[pos_];
+      if (c == '*') {
+        ++pos_;
+        atom = Regex::Star(std::move(atom));
+      } else if (c == '+') {
+        ++pos_;
+        atom = Regex::Concat(atom, Regex::Star(atom));
+      } else if (c == '?') {
+        ++pos_;
+        atom = Regex::Union(std::move(atom), Regex::Epsilon());
+      } else {
+        return atom;
+      }
+    }
+  }
+
+  RegexPtr ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("expected atom");
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      RegexPtr inner = ParseUnion();
+      if (!inner) return nullptr;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Fail("expected ')'");
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '.') {
+      ++pos_;
+      return Regex::Any();
+    }
+    if (c == '~') {
+      ++pos_;
+      return Regex::Epsilon();
+    }
+    if (c == '#') {
+      ++pos_;
+      return Regex::EmptySet();
+    }
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      ++pos_;
+      Symbol s = alphabet_.Find(std::string_view(&c, 1));
+      if (s < 0) return Fail("letter not in alphabet");
+      return Regex::Sym(s);
+    }
+    return Fail("unexpected character");
+  }
+
+  std::string_view text_;
+  const Alphabet& alphabet_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+void ToStringRec(const Regex& regex, const Alphabet& alphabet, int parent_prec,
+                 std::string* out) {
+  // Precedence: union 0, concat 1, star 2, atom 3.
+  switch (regex.kind) {
+    case Regex::Kind::kEmptySet:
+      *out += '#';
+      return;
+    case Regex::Kind::kEpsilon:
+      *out += '~';
+      return;
+    case Regex::Kind::kSymbol:
+      *out += alphabet.LabelOf(regex.symbol);
+      return;
+    case Regex::Kind::kAny:
+      *out += '.';
+      return;
+    case Regex::Kind::kConcat: {
+      bool paren = parent_prec > 1;
+      if (paren) *out += '(';
+      ToStringRec(*regex.children[0], alphabet, 1, out);
+      ToStringRec(*regex.children[1], alphabet, 2, out);
+      if (paren) *out += ')';
+      return;
+    }
+    case Regex::Kind::kUnion: {
+      bool paren = parent_prec > 0;
+      if (paren) *out += '(';
+      ToStringRec(*regex.children[0], alphabet, 0, out);
+      *out += '|';
+      ToStringRec(*regex.children[1], alphabet, 0, out);
+      if (paren) *out += ')';
+      return;
+    }
+    case Regex::Kind::kStar:
+      ToStringRec(*regex.children[0], alphabet, 3, out);
+      *out += '*';
+      return;
+  }
+}
+
+}  // namespace
+
+RegexPtr TryParseRegex(std::string_view pattern, const Alphabet& alphabet,
+                       std::string* error) {
+  Parser parser(pattern, alphabet, error);
+  return parser.Parse();
+}
+
+RegexPtr ParseRegex(std::string_view pattern, const Alphabet& alphabet) {
+  std::string error;
+  RegexPtr r = TryParseRegex(pattern, alphabet, &error);
+  SST_CHECK_MSG(r != nullptr, error.c_str());
+  return r;
+}
+
+std::string RegexToString(const Regex& regex, const Alphabet& alphabet) {
+  std::string out;
+  ToStringRec(regex, alphabet, 0, &out);
+  return out;
+}
+
+}  // namespace sst

@@ -1,0 +1,54 @@
+#ifndef SST_AUTOMATA_REGEX_H_
+#define SST_AUTOMATA_REGEX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace sst {
+
+// Regular expression AST over an Alphabet. The paper writes union as `+`;
+// the parser accepts both `+` (when binary) and `|`, plus postfix `*`, `+`,
+// `?`, parentheses, the wildcard `.` (any symbol of the alphabet), and
+// single-letter symbols. Whitespace is ignored. Examples from the paper:
+//   "a.*b"  =  a Γ* b        "ab"      =  a b
+//   ".*a.*b" = Γ* a Γ* b     ".*ab"    =  Γ* a b
+struct Regex {
+  enum class Kind { kEmptySet, kEpsilon, kSymbol, kAny, kConcat, kUnion,
+                    kStar };
+
+  Kind kind;
+  Symbol symbol = -1;                          // kSymbol
+  std::vector<std::shared_ptr<Regex>> children;  // kConcat / kUnion / kStar
+
+  static std::shared_ptr<Regex> EmptySet();
+  static std::shared_ptr<Regex> Epsilon();
+  static std::shared_ptr<Regex> Sym(Symbol s);
+  static std::shared_ptr<Regex> Any();
+  static std::shared_ptr<Regex> Concat(std::shared_ptr<Regex> a,
+                                       std::shared_ptr<Regex> b);
+  static std::shared_ptr<Regex> Union(std::shared_ptr<Regex> a,
+                                      std::shared_ptr<Regex> b);
+  static std::shared_ptr<Regex> Star(std::shared_ptr<Regex> a);
+};
+
+using RegexPtr = std::shared_ptr<Regex>;
+
+// Parses `pattern` over `alphabet`. Letters must name symbols already in the
+// alphabet (so that `.` has a well-defined expansion). Aborts on syntax
+// errors via SST_CHECK; use TryParseRegex for recoverable parsing.
+RegexPtr ParseRegex(std::string_view pattern, const Alphabet& alphabet);
+
+// Returns nullptr and fills *error on failure.
+RegexPtr TryParseRegex(std::string_view pattern, const Alphabet& alphabet,
+                       std::string* error);
+
+// Renders the AST back to parseable syntax (single-letter labels assumed).
+std::string RegexToString(const Regex& regex, const Alphabet& alphabet);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_REGEX_H_

@@ -1,0 +1,357 @@
+#include "automata/relations.h"
+
+#include <deque>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+std::vector<bool> InternalStates(const Dfa& dfa) {
+  std::vector<bool> internal(dfa.num_states, false);
+  std::deque<int> queue;
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+    int succ = dfa.Next(dfa.initial, a);
+    if (!internal[succ]) {
+      internal[succ] = true;
+      queue.push_back(succ);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int succ = dfa.Next(q, a);
+      if (!internal[succ]) {
+        internal[succ] = true;
+        queue.push_back(succ);
+      }
+    }
+  }
+  return internal;
+}
+
+namespace {
+
+std::vector<bool> CanReach(const Dfa& dfa, bool accepting_targets) {
+  // Backward BFS from targets over inverse edges.
+  std::vector<std::vector<int>> inverse(dfa.num_states);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      inverse[dfa.Next(q, a)].push_back(q);
+    }
+  }
+  std::vector<bool> can(dfa.num_states, false);
+  std::deque<int> queue;
+  for (int q = 0; q < dfa.num_states; ++q) {
+    if (dfa.accepting[q] == accepting_targets) {
+      can[q] = true;
+      queue.push_back(q);
+    }
+  }
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    for (int p : inverse[q]) {
+      if (!can[p]) {
+        can[p] = true;
+        queue.push_back(p);
+      }
+    }
+  }
+  return can;
+}
+
+}  // namespace
+
+std::vector<bool> AcceptiveStates(const Dfa& dfa) {
+  return CanReach(dfa, /*accepting_targets=*/true);
+}
+
+std::vector<bool> RejectiveStates(const Dfa& dfa) {
+  return CanReach(dfa, /*accepting_targets=*/false);
+}
+
+bool AlmostEquivalentStates(const Dfa& minimal_dfa, int p, int q) {
+  if (p == q) return true;
+  for (Symbol a = 0; a < minimal_dfa.num_symbols; ++a) {
+    if (minimal_dfa.Next(p, a) != minimal_dfa.Next(q, a)) return false;
+  }
+  return true;
+}
+
+PairReachability::PairReachability(const Dfa& dfa, bool blind)
+    : dfa_(dfa), blind_(blind), n_(dfa.num_states) {
+  const int k = dfa.num_symbols;
+  inverse_.assign(static_cast<size_t>(n_) * k, {});
+  for (int q = 0; q < n_; ++q) {
+    for (Symbol a = 0; a < k; ++a) {
+      inverse_[static_cast<size_t>(dfa.Next(q, a)) * k + a].push_back(q);
+    }
+  }
+  if (blind_) {
+    inverse_any_.assign(n_, {});
+    std::vector<bool> seen(n_);
+    for (int q = 0; q < n_; ++q) {
+      seen.assign(n_, false);
+      for (Symbol a = 0; a < k; ++a) {
+        for (int p : inverse_[static_cast<size_t>(q) * k + a]) {
+          if (!seen[p]) {
+            seen[p] = true;
+            inverse_any_[q].push_back(p);
+          }
+        }
+      }
+    }
+  }
+  std::vector<size_t> diagonal;
+  diagonal.reserve(n_);
+  for (int r = 0; r < n_; ++r) diagonal.push_back(PairKey(r, r));
+  meets_ = BackwardFrom(diagonal);
+}
+
+std::vector<uint8_t> PairReachability::BackwardFrom(
+    const std::vector<size_t>& seeds) const {
+  const int k = dfa_.num_symbols;
+  std::vector<uint8_t> reach(static_cast<size_t>(n_) * n_, 0);
+  std::deque<size_t> queue;
+  for (size_t s : seeds) {
+    if (!reach[s]) {
+      reach[s] = 1;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    size_t key = queue.front();
+    queue.pop_front();
+    int r = static_cast<int>(key / n_);
+    int s = static_cast<int>(key % n_);
+    if (blind_) {
+      for (int p : inverse_any_[r]) {
+        for (int q : inverse_any_[s]) {
+          size_t pk = PairKey(p, q);
+          if (!reach[pk]) {
+            reach[pk] = 1;
+            queue.push_back(pk);
+          }
+        }
+      }
+    } else {
+      for (Symbol a = 0; a < k; ++a) {
+        for (int p : inverse_[static_cast<size_t>(r) * k + a]) {
+          for (int q : inverse_[static_cast<size_t>(s) * k + a]) {
+            size_t pk = PairKey(p, q);
+            if (!reach[pk]) {
+              reach[pk] = 1;
+              queue.push_back(pk);
+            }
+          }
+        }
+      }
+    }
+  }
+  return reach;
+}
+
+bool PairReachability::Meets(int p, int q) const {
+  return meets_[PairKey(p, q)] != 0;
+}
+
+const std::vector<uint8_t>& PairReachability::MeetsInSet(int target) const {
+  auto it = meets_in_cache_.find(target);
+  if (it == meets_in_cache_.end()) {
+    it = meets_in_cache_
+             .emplace(target, BackwardFrom({PairKey(target, target)}))
+             .first;
+  }
+  return it->second;
+}
+
+bool PairReachability::MeetsIn(int p, int q, int target) const {
+  return MeetsInSet(target)[PairKey(p, q)] != 0;
+}
+
+bool PairReachability::MeetsInAnyOf(int p, int q,
+                                    const std::vector<int>& targets) const {
+  for (int t : targets) {
+    if (MeetsIn(p, q, t)) return true;
+  }
+  return false;
+}
+
+bool PairReachability::FindMeetInWord(int p, int q, int target,
+                                      Word* u) const {
+  SST_CHECK(!blind_);
+  // Forward BFS from (p, q) to (target, target) with parent tracking.
+  struct Entry {
+    size_t parent;
+    Symbol via;
+    bool visited = false;
+  };
+  std::vector<Entry> info(static_cast<size_t>(n_) * n_);
+  size_t start = PairKey(p, q);
+  size_t goal = PairKey(target, target);
+  info[start].visited = true;
+  info[start].via = -1;
+  std::deque<size_t> queue = {start};
+  while (!queue.empty()) {
+    size_t key = queue.front();
+    queue.pop_front();
+    if (key == goal) {
+      Word rev;
+      for (size_t cur = key; info[cur].via >= 0; cur = info[cur].parent) {
+        rev.push_back(info[cur].via);
+      }
+      u->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    int x = static_cast<int>(key / n_);
+    int y = static_cast<int>(key % n_);
+    for (Symbol a = 0; a < dfa_.num_symbols; ++a) {
+      size_t nk = PairKey(dfa_.Next(x, a), dfa_.Next(y, a));
+      if (!info[nk].visited) {
+        info[nk].visited = true;
+        info[nk].parent = key;
+        info[nk].via = a;
+        queue.push_back(nk);
+      }
+    }
+  }
+  return false;
+}
+
+bool PairReachability::FindBlindMeetInWords(int p, int q, int target,
+                                            Word* u1, Word* u2) const {
+  SST_CHECK(blind_);
+  struct Entry {
+    size_t parent;
+    Symbol via1, via2;
+    bool visited = false;
+  };
+  std::vector<Entry> info(static_cast<size_t>(n_) * n_);
+  size_t start = PairKey(p, q);
+  size_t goal = PairKey(target, target);
+  info[start].visited = true;
+  info[start].via1 = -1;
+  std::deque<size_t> queue = {start};
+  while (!queue.empty()) {
+    size_t key = queue.front();
+    queue.pop_front();
+    if (key == goal) {
+      Word rev1, rev2;
+      for (size_t cur = key; info[cur].via1 >= 0; cur = info[cur].parent) {
+        rev1.push_back(info[cur].via1);
+        rev2.push_back(info[cur].via2);
+      }
+      u1->assign(rev1.rbegin(), rev1.rend());
+      u2->assign(rev2.rbegin(), rev2.rend());
+      return true;
+    }
+    int x = static_cast<int>(key / n_);
+    int y = static_cast<int>(key % n_);
+    for (Symbol a = 0; a < dfa_.num_symbols; ++a) {
+      for (Symbol b = 0; b < dfa_.num_symbols; ++b) {
+        size_t nk = PairKey(dfa_.Next(x, a), dfa_.Next(y, b));
+        if (!info[nk].visited) {
+          info[nk].visited = true;
+          info[nk].parent = key;
+          info[nk].via1 = a;
+          info[nk].via2 = b;
+          queue.push_back(nk);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool FindLoopingWord(const Dfa& dfa, int state, Word* w) {
+  return FindConnectingWord(dfa, state, state, /*nonempty=*/true, w);
+}
+
+bool FindAlmostDistinguishingWord(const Dfa& dfa, int p, int q, Word* w) {
+  // Nonempty distinguishing word: try each first letter, then find any
+  // distinguishing word (possibly empty) for the successor pair via pair BFS.
+  struct Entry {
+    size_t parent;
+    Symbol via;
+    bool visited = false;
+  };
+  const int n = dfa.num_states;
+  auto pair_key = [&](int x, int y) { return static_cast<size_t>(x) * n + y; };
+  std::vector<Entry> info(static_cast<size_t>(n) * n);
+  std::deque<size_t> queue;
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+    size_t key = pair_key(dfa.Next(p, a), dfa.Next(q, a));
+    if (!info[key].visited) {
+      info[key].visited = true;
+      info[key].parent = 0;
+      info[key].via = a;
+      // Mark seeds by via >= 0 and a sentinel parent equal to the key itself.
+      info[key].parent = key;
+      queue.push_back(key);
+    }
+  }
+  while (!queue.empty()) {
+    size_t key = queue.front();
+    queue.pop_front();
+    int x = static_cast<int>(key / n);
+    int y = static_cast<int>(key % n);
+    if (dfa.accepting[x] != dfa.accepting[y]) {
+      Word rev;
+      size_t cur = key;
+      for (;;) {
+        rev.push_back(info[cur].via);
+        if (info[cur].parent == cur) break;
+        cur = info[cur].parent;
+      }
+      w->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      size_t nk = pair_key(dfa.Next(x, a), dfa.Next(y, a));
+      if (!info[nk].visited) {
+        info[nk].visited = true;
+        info[nk].parent = key;
+        info[nk].via = a;
+        queue.push_back(nk);
+      }
+    }
+  }
+  return false;
+}
+
+bool FindWordToAcceptance(const Dfa& dfa, int state, bool accepting,
+                          Word* w) {
+  struct Entry {
+    int parent = -1;
+    Symbol via = -1;
+  };
+  std::vector<Entry> info(dfa.num_states);
+  std::vector<bool> seen(dfa.num_states, false);
+  seen[state] = true;
+  std::deque<int> queue = {state};
+  while (!queue.empty()) {
+    int q = queue.front();
+    queue.pop_front();
+    if (dfa.accepting[q] == accepting) {
+      Word rev;
+      for (int cur = q; info[cur].via >= 0; cur = info[cur].parent) {
+        rev.push_back(info[cur].via);
+      }
+      w->assign(rev.rbegin(), rev.rend());
+      return true;
+    }
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int succ = dfa.Next(q, a);
+      if (!seen[succ]) {
+        seen[succ] = true;
+        info[succ] = {q, a};
+        queue.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace sst

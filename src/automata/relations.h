@@ -1,0 +1,94 @@
+#ifndef SST_AUTOMATA_RELATIONS_H_
+#define SST_AUTOMATA_RELATIONS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace sst {
+
+// State predicates and binary relations from Section 3 of the paper. All of
+// them are defined on (and meant to be used with) a minimal complete DFA,
+// but the graph computations are valid for any complete DFA.
+
+// A state is internal if it is reachable from the initial state via a
+// nonempty word (every state except possibly the initial one, which is
+// internal iff it lies on a cycle or has an incoming edge from a reachable
+// state).
+std::vector<bool> InternalStates(const Dfa& dfa);
+
+// Acceptive: some word leads to an accepting state (Def 3.9).
+std::vector<bool> AcceptiveStates(const Dfa& dfa);
+
+// Rejective: some word leads to a rejecting state (Def 3.9).
+std::vector<bool> RejectiveStates(const Dfa& dfa);
+
+// Almost equivalence (Section 3.1): p and q agree on all *nonempty* words.
+// In a minimal DFA this is exactly "identical transition rows" (Lemma 3.3 +
+// minimality), which is what this helper tests. At most two distinct states
+// of a minimal DFA can be almost equivalent (they must differ on epsilon).
+bool AlmostEquivalentStates(const Dfa& minimal_dfa, int p, int q);
+
+// Reachability in the pair graph of a DFA. In synchronized mode both
+// components advance on the same letter (the paper's "meet", Def 3.4); in
+// blind mode they advance on independent letters but in lockstep (the
+// "blindly meet" of Appendix B / Section 4.2).
+class PairReachability {
+ public:
+  PairReachability(const Dfa& dfa, bool blind);
+
+  // True iff some word(s) take p and q to a common state
+  // (exists u: p·u = q·u = r for some r; blind: u1, u2 with |u1| = |u2|).
+  bool Meets(int p, int q) const;
+
+  // True iff p and q meet in the specific state `target` (Def 3.4 wording
+  // "p meets with q in r"). Computed lazily per target and cached.
+  bool MeetsIn(int p, int q, int target) const;
+
+  // True iff p and q meet in some state of the given component (states
+  // listed in `component_states`); used for the HAR test (Def 3.6).
+  bool MeetsInAnyOf(int p, int q, const std::vector<int>& targets) const;
+
+  // Witness extraction (synchronized mode): shortest u with p·u = q·u =
+  // target. Returns false if they do not meet in target.
+  bool FindMeetInWord(int p, int q, int target, Word* u) const;
+
+  // Witness extraction (blind mode): u1, u2 of equal length with
+  // p·u1 = q·u2 = target.
+  bool FindBlindMeetInWords(int p, int q, int target, Word* u1,
+                            Word* u2) const;
+
+ private:
+  size_t PairKey(int p, int q) const {
+    return static_cast<size_t>(p) * n_ + q;
+  }
+  // Backward closure from the given seed pairs; returns a bitmap over pairs.
+  std::vector<uint8_t> BackwardFrom(const std::vector<size_t>& seeds) const;
+  const std::vector<uint8_t>& MeetsInSet(int target) const;
+
+  const Dfa& dfa_;
+  bool blind_;
+  int n_;
+  // inverse_[q * k + a] = predecessors of q via a.
+  std::vector<std::vector<int>> inverse_;
+  // inverse_any_[q] = predecessors of q via any symbol (blind mode).
+  std::vector<std::vector<int>> inverse_any_;
+  std::vector<uint8_t> meets_;  // closure from all diagonal pairs
+  mutable std::unordered_map<int, std::vector<uint8_t>> meets_in_cache_;
+};
+
+// Finds a nonempty word w with from·w == from (a loop); false if none.
+bool FindLoopingWord(const Dfa& dfa, int state, Word* w);
+
+// Finds a shortest *nonempty* word w such that exactly one of p·w, q·w is
+// accepting; false if p and q are almost equivalent.
+bool FindAlmostDistinguishingWord(const Dfa& dfa, int p, int q, Word* w);
+
+// Finds a word leading from `state` to an accepting (if `accepting` is
+// true) or rejecting state; false if impossible.
+bool FindWordToAcceptance(const Dfa& dfa, int state, bool accepting, Word* w);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_RELATIONS_H_

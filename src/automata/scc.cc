@@ -1,0 +1,131 @@
+#include "automata/scc.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Iterative Tarjan to avoid recursion-depth limits on long chain automata.
+struct TarjanState {
+  std::vector<int> index, lowlink, on_stack;
+  std::vector<int> stack;
+  int next_index = 0;
+  std::vector<int> component_of;
+  int num_components = 0;
+};
+
+void Tarjan(const Dfa& dfa, TarjanState* ts) {
+  const int n = dfa.num_states;
+  const int k = dfa.num_symbols;
+  ts->index.assign(n, -1);
+  ts->lowlink.assign(n, 0);
+  ts->on_stack.assign(n, 0);
+  ts->component_of.assign(n, -1);
+
+  struct Frame {
+    int state;
+    Symbol next_symbol;
+  };
+  std::vector<Frame> frames;
+  for (int root = 0; root < n; ++root) {
+    if (ts->index[root] >= 0) continue;
+    frames.push_back({root, 0});
+    ts->index[root] = ts->lowlink[root] = ts->next_index++;
+    ts->stack.push_back(root);
+    ts->on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      int v = frame.state;
+      if (frame.next_symbol < k) {
+        int w = dfa.Next(v, frame.next_symbol++);
+        if (ts->index[w] < 0) {
+          ts->index[w] = ts->lowlink[w] = ts->next_index++;
+          ts->stack.push_back(w);
+          ts->on_stack[w] = 1;
+          frames.push_back({w, 0});
+        } else if (ts->on_stack[w]) {
+          ts->lowlink[v] = std::min(ts->lowlink[v], ts->index[w]);
+        }
+      } else {
+        if (ts->lowlink[v] == ts->index[v]) {
+          int c = ts->num_components++;
+          for (;;) {
+            int w = ts->stack.back();
+            ts->stack.pop_back();
+            ts->on_stack[w] = 0;
+            ts->component_of[w] = c;
+            if (w == v) break;
+          }
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().state;
+          ts->lowlink[parent] =
+              std::min(ts->lowlink[parent], ts->lowlink[v]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SccInfo ComputeScc(const Dfa& dfa) {
+  TarjanState ts;
+  Tarjan(dfa, &ts);
+
+  // Tarjan emits components in reverse topological order; flip the ids so
+  // edges go from smaller to larger component id.
+  SccInfo info;
+  info.num_components = ts.num_components;
+  info.component_of.resize(dfa.num_states);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    info.component_of[q] = ts.num_components - 1 - ts.component_of[q];
+  }
+  info.members.assign(info.num_components, {});
+  for (int q = 0; q < dfa.num_states; ++q) {
+    info.members[info.component_of[q]].push_back(q);
+  }
+  info.nontrivial.assign(info.num_components, false);
+  std::vector<std::set<int>> edges(info.num_components);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    int cq = info.component_of[q];
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      int to = dfa.Next(q, a);
+      int ct = info.component_of[to];
+      if (ct == cq) {
+        info.nontrivial[cq] = true;  // self-loop or larger cycle
+      } else {
+        SST_CHECK_MSG(cq < ct, "condensation ids not topological");
+        edges[cq].insert(ct);
+      }
+    }
+  }
+  for (int c = 0; c < info.num_components; ++c) {
+    if (info.members[c].size() > 1) info.nontrivial[c] = true;
+    info.dag_edges.emplace_back(edges[c].begin(), edges[c].end());
+  }
+  return info;
+}
+
+int LongestChainLength(const SccInfo& scc) {
+  // Component ids are topologically sorted, so a single backward pass works.
+  std::vector<int> best(scc.num_components, 1);
+  for (int c = scc.num_components - 1; c >= 0; --c) {
+    for (int to : scc.dag_edges[c]) {
+      best[c] = std::max(best[c], 1 + best[to]);
+    }
+  }
+  int result = 0;
+  for (int c = 0; c < scc.num_components; ++c) {
+    result = std::max(result, best[c]);
+  }
+  return result;
+}
+
+}  // namespace sst

@@ -1,0 +1,37 @@
+#ifndef SST_AUTOMATA_SCC_H_
+#define SST_AUTOMATA_SCC_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+
+namespace sst {
+
+// Strongly connected components of a DFA's transition graph, plus the
+// condensation DAG. Components are numbered in reverse topological order of
+// discovery and then renumbered so that component ids are topologically
+// sorted: every edge of the condensation goes from a smaller id to a larger
+// id. This makes "chains in the SCC DAG" (Lemma 3.8) easy to validate.
+struct SccInfo {
+  int num_components = 0;
+  std::vector<int> component_of;           // state -> component id
+  std::vector<std::vector<int>> members;   // component id -> states
+  // True if the component has more than one state or a self-loop.
+  std::vector<bool> nontrivial;
+  // Condensation edges (deduplicated, excluding self-edges).
+  std::vector<std::vector<int>> dag_edges;
+
+  bool SameComponent(int p, int q) const {
+    return component_of[p] == component_of[q];
+  }
+};
+
+SccInfo ComputeScc(const Dfa& dfa);
+
+// Length of the longest path in the condensation DAG, counted in nodes.
+// This bounds the number of registers used by the Lemma 3.8 construction.
+int LongestChainLength(const SccInfo& scc);
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_SCC_H_

@@ -1,0 +1,30 @@
+#ifndef SST_BASE_CHECK_H_
+#define SST_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. SST_CHECK is always on: the library's
+// constructions rely on theorems whose preconditions we validate at
+// construction time, and a silent invariant violation would produce wrong
+// query answers rather than a crash.
+
+#define SST_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SST_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define SST_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "SST_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // SST_BASE_CHECK_H_

@@ -1,0 +1,37 @@
+#ifndef SST_BASE_RNG_H_
+#define SST_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace sst {
+
+// Deterministic, seedable PRNG (xoshiro256** seeded via SplitMix64).
+// Used by generators and property tests; determinism across platforms
+// matters for reproducible experiments, so we do not use std::mt19937
+// distributions (which are implementation-defined for e.g. uniform_int).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform over [0, bound); bound must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform over [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p = 0.5);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace sst
+
+#endif  // SST_BASE_RNG_H_

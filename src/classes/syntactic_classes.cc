@@ -1,0 +1,182 @@
+#include "classes/syntactic_classes.h"
+
+#include <vector>
+
+#include "automata/relations.h"
+#include "automata/scc.h"
+
+namespace sst {
+
+namespace {
+
+bool CheckAlmostReversible(const Dfa& dfa, bool blind,
+                           ClassViolation* violation) {
+  PairReachability reach(dfa, blind);
+  std::vector<bool> internal = InternalStates(dfa);
+  for (int p = 0; p < dfa.num_states; ++p) {
+    if (!internal[p]) continue;
+    for (int q = p + 1; q < dfa.num_states; ++q) {
+      if (!internal[q]) continue;
+      if (reach.Meets(p, q) && !AlmostEquivalentStates(dfa, p, q)) {
+        if (violation != nullptr) *violation = {p, q, -1};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckHar(const Dfa& dfa, bool blind, ClassViolation* violation) {
+  PairReachability reach(dfa, blind);
+  SccInfo scc = ComputeScc(dfa);
+  for (int c = 0; c < scc.num_components; ++c) {
+    const std::vector<int>& states = scc.members[c];
+    for (size_t i = 0; i < states.size(); ++i) {
+      for (size_t j = i + 1; j < states.size(); ++j) {
+        int p = states[i];
+        int q = states[j];
+        if (AlmostEquivalentStates(dfa, p, q)) continue;
+        if (reach.MeetsInAnyOf(p, q, states)) {
+          if (violation != nullptr) *violation = {p, q, c};
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckEFlat(const Dfa& dfa, bool blind, ClassViolation* violation) {
+  PairReachability reach(dfa, blind);
+  std::vector<bool> internal = InternalStates(dfa);
+  std::vector<bool> rejective = RejectiveStates(dfa);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    if (!rejective[q]) continue;
+    for (int p = 0; p < dfa.num_states; ++p) {
+      if (!internal[p] || p == q) continue;
+      if (AlmostEquivalentStates(dfa, p, q)) continue;
+      if (reach.MeetsIn(p, q, q)) {
+        if (violation != nullptr) *violation = {p, q, -1};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool CheckAFlat(const Dfa& dfa, bool blind, ClassViolation* violation) {
+  PairReachability reach(dfa, blind);
+  std::vector<bool> internal = InternalStates(dfa);
+  std::vector<bool> acceptive = AcceptiveStates(dfa);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    if (!acceptive[q]) continue;
+    for (int p = 0; p < dfa.num_states; ++p) {
+      if (!internal[p] || p == q) continue;
+      if (AlmostEquivalentStates(dfa, p, q)) continue;
+      if (reach.MeetsIn(p, q, q)) {
+        if (violation != nullptr) *violation = {p, q, -1};
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsAlmostReversible(const Dfa& dfa, ClassViolation* violation) {
+  return CheckAlmostReversible(dfa, /*blind=*/false, violation);
+}
+
+bool IsHar(const Dfa& dfa, ClassViolation* violation) {
+  return CheckHar(dfa, /*blind=*/false, violation);
+}
+
+bool IsEFlat(const Dfa& dfa, ClassViolation* violation) {
+  return CheckEFlat(dfa, /*blind=*/false, violation);
+}
+
+bool IsAFlat(const Dfa& dfa, ClassViolation* violation) {
+  return CheckAFlat(dfa, /*blind=*/false, violation);
+}
+
+bool IsBlindAlmostReversible(const Dfa& dfa, ClassViolation* violation) {
+  return CheckAlmostReversible(dfa, /*blind=*/true, violation);
+}
+
+bool IsBlindHar(const Dfa& dfa, ClassViolation* violation) {
+  return CheckHar(dfa, /*blind=*/true, violation);
+}
+
+bool IsBlindEFlat(const Dfa& dfa, ClassViolation* violation) {
+  return CheckEFlat(dfa, /*blind=*/true, violation);
+}
+
+bool IsBlindAFlat(const Dfa& dfa, ClassViolation* violation) {
+  return CheckAFlat(dfa, /*blind=*/true, violation);
+}
+
+bool IsRTrivial(const Dfa& dfa) {
+  SccInfo scc = ComputeScc(dfa);
+  for (int c = 0; c < scc.num_components; ++c) {
+    if (scc.members[c].size() > 1) return false;
+  }
+  return true;
+}
+
+bool IsReversible(const Dfa& dfa) {
+  std::vector<bool> seen(dfa.num_states);
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+    seen.assign(dfa.num_states, false);
+    for (int q = 0; q < dfa.num_states; ++q) {
+      int to = dfa.Next(q, a);
+      if (seen[to]) return false;
+      seen[to] = true;
+    }
+  }
+  return true;
+}
+
+Classification Classify(const Dfa& minimal_dfa) {
+  Classification c;
+  c.almost_reversible = IsAlmostReversible(minimal_dfa);
+  c.har = IsHar(minimal_dfa);
+  c.e_flat = IsEFlat(minimal_dfa);
+  c.a_flat = IsAFlat(minimal_dfa);
+  c.blind_almost_reversible = IsBlindAlmostReversible(minimal_dfa);
+  c.blind_har = IsBlindHar(minimal_dfa);
+  c.blind_e_flat = IsBlindEFlat(minimal_dfa);
+  c.blind_a_flat = IsBlindAFlat(minimal_dfa);
+  c.r_trivial = IsRTrivial(minimal_dfa);
+  c.reversible = IsReversible(minimal_dfa);
+  return c;
+}
+
+std::string Classification::ToString() const {
+  auto mark = [](bool b) { return b ? "yes" : "no"; };
+  std::string out;
+  out += "almost-reversible: ";
+  out += mark(almost_reversible);
+  out += "\nHAR:               ";
+  out += mark(har);
+  out += "\nE-flat:            ";
+  out += mark(e_flat);
+  out += "\nA-flat:            ";
+  out += mark(a_flat);
+  out += "\nblind AR:          ";
+  out += mark(blind_almost_reversible);
+  out += "\nblind HAR:         ";
+  out += mark(blind_har);
+  out += "\nblind E-flat:      ";
+  out += mark(blind_e_flat);
+  out += "\nblind A-flat:      ";
+  out += mark(blind_a_flat);
+  out += "\nR-trivial:         ";
+  out += mark(r_trivial);
+  out += "\nreversible:        ";
+  out += mark(reversible);
+  out += "\n";
+  return out;
+}
+
+}  // namespace sst

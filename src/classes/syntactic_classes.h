@@ -1,0 +1,87 @@
+#ifndef SST_CLASSES_SYNTACTIC_CLASSES_H_
+#define SST_CLASSES_SYNTACTIC_CLASSES_H_
+
+#include <optional>
+#include <string>
+
+#include "automata/dfa.h"
+
+namespace sst {
+
+// The four syntactic classes of regular languages from Section 3 of the
+// paper, plus their "blind" analogues from Section 4.2 / Appendix B. All
+// predicates must be applied to the *minimal* complete DFA of the language
+// (the definitions are stated on the minimal automaton; see Fig 6 for why
+// this matters). Use Minimize() first.
+//
+//   almost-reversible (Def 3.4)  <=> QL registerless          (Thm 3.2(3))
+//   HAR (Def 3.6)                <=> QL/EL/AL stackless       (Thm 3.1)
+//   E-flat (Def 3.9)             <=> EL registerless          (Thm 3.2(1))
+//   A-flat (Def 3.9)             <=> AL registerless          (Thm 3.2(2))
+//   blind variants               <=> the same under the term encoding
+//                                     (Thms B.1, B.2)
+
+// A failed class test yields the offending pair of states; the fooling
+// module turns these into concrete indistinguishable trees.
+struct ClassViolation {
+  int p = -1;  // internal state (E/A-flat) or first state of the pair
+  int q = -1;  // rejective/acceptive state, or second state of the pair
+  // For HAR violations: the shared SCC id; otherwise -1.
+  int component = -1;
+};
+
+bool IsAlmostReversible(const Dfa& minimal_dfa,
+                        ClassViolation* violation = nullptr);
+bool IsHar(const Dfa& minimal_dfa, ClassViolation* violation = nullptr);
+bool IsEFlat(const Dfa& minimal_dfa, ClassViolation* violation = nullptr);
+bool IsAFlat(const Dfa& minimal_dfa, ClassViolation* violation = nullptr);
+
+bool IsBlindAlmostReversible(const Dfa& minimal_dfa,
+                             ClassViolation* violation = nullptr);
+bool IsBlindHar(const Dfa& minimal_dfa, ClassViolation* violation = nullptr);
+bool IsBlindEFlat(const Dfa& minimal_dfa,
+                  ClassViolation* violation = nullptr);
+bool IsBlindAFlat(const Dfa& minimal_dfa,
+                  ClassViolation* violation = nullptr);
+
+// True if every SCC of the DFA is a singleton without a self-loop on more
+// than... precisely: no SCC contains two distinct states (self-loops are
+// fine). R-trivial languages are a strict subclass of HAR (Section 3.2).
+bool IsRTrivial(const Dfa& minimal_dfa);
+
+// True if every letter induces an injective (= bijective) function on
+// states; reversible languages are a strict subclass of almost-reversible.
+bool IsReversible(const Dfa& dfa);
+
+// Full classification of a language given by its minimal DFA.
+struct Classification {
+  bool almost_reversible = false;
+  bool har = false;
+  bool e_flat = false;
+  bool a_flat = false;
+  bool blind_almost_reversible = false;
+  bool blind_har = false;
+  bool blind_e_flat = false;
+  bool blind_a_flat = false;
+  bool r_trivial = false;
+  bool reversible = false;
+
+  // Markup encoding (Theorems 3.1 and 3.2).
+  bool QueryRegisterless() const { return almost_reversible; }
+  bool QueryStackless() const { return har; }
+  bool ExistsRegisterless() const { return e_flat; }
+  bool ForallRegisterless() const { return a_flat; }
+  // Term encoding (Theorems B.1 and B.2).
+  bool TermQueryRegisterless() const { return blind_almost_reversible; }
+  bool TermQueryStackless() const { return blind_har; }
+  bool TermExistsRegisterless() const { return blind_e_flat; }
+  bool TermForallRegisterless() const { return blind_a_flat; }
+
+  std::string ToString() const;
+};
+
+Classification Classify(const Dfa& minimal_dfa);
+
+}  // namespace sst
+
+#endif  // SST_CLASSES_SYNTACTIC_CLASSES_H_

@@ -1,0 +1,98 @@
+#ifndef SST_CORE_STACKLESS_H_
+#define SST_CORE_STACKLESS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "automata/dfa.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "query/rpq.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Public facade of the library: classify an RPQ per the paper's
+// characterization theorems and compile the strongest streaming evaluator
+// that provably realizes it.
+//
+//   markup encoding (XML-style, labelled closing tags):
+//     registerless  <=>  L almost-reversible        (Theorem 3.2(3))
+//     stackless     <=>  L hierarchically almost-reversible (Theorem 3.1)
+//   term encoding (JSON-style, universal closing tag):
+//     registerless  <=>  L blindly almost-reversible (Theorem B.1)
+//     stackless     <=>  L blindly HAR               (Theorem B.2)
+//
+// Boolean variants: EL ("some branch matches") is registerless iff L is
+// E-flat; AL ("all branches match") iff L is A-flat (Theorem 3.2(1,2));
+// both are stackless iff L is HAR (Theorem 3.1).
+
+enum class StreamEncoding { kMarkup, kTerm };
+
+enum class EvaluatorKind {
+  kRegisterless,   // plain DFA over the tag stream (Lemma 3.5 / 3.11)
+  kStackless,      // depth-register automaton (Lemma 3.8)
+  kStackBaseline,  // classical pushdown evaluation (always applicable)
+};
+
+const char* EvaluatorKindName(EvaluatorKind kind);
+
+// A compiled streaming evaluator. Owns the machine and the automata it
+// runs; move-only.
+struct CompiledQuery {
+  EvaluatorKind kind = EvaluatorKind::kStackBaseline;
+  Classification classification;
+  std::unique_ptr<StreamMachine> machine;
+  // The machine realizes the query exactly; false only when the stack
+  // fallback was disabled and no stackless evaluator exists — in that case
+  // `machine` is null.
+  bool exact = false;
+};
+
+// Classification shortcut (equivalent to Classify(rpq.minimal_dfa)).
+Classification ClassifyQuery(const Rpq& rpq);
+
+// Compiles the strongest evaluator realizing the unary query Q_L under the
+// given encoding. If neither characterization applies and
+// `allow_stack_fallback` is set, returns the pushdown baseline; otherwise
+// returns a CompiledQuery with machine == nullptr.
+CompiledQuery CompileQuery(const Rpq& rpq, StreamEncoding encoding,
+                           bool allow_stack_fallback = true);
+
+// Boolean compilers: recognizers for EL = "some branch of T is in L" and
+// AL = "every branch of T is in L".
+CompiledQuery CompileExists(const Rpq& rpq, StreamEncoding encoding,
+                            bool allow_stack_fallback = true);
+CompiledQuery CompileForall(const Rpq& rpq, StreamEncoding encoding,
+                            bool allow_stack_fallback = true);
+
+// Convenience: run a compiled query over a materialized tree; returns the
+// pre-selected node ids in document order.
+std::vector<int> SelectWithMachine(const CompiledQuery& compiled,
+                                   const Tree& tree,
+                                   StreamEncoding encoding);
+
+// Why a query cannot be evaluated stacklessly/registerlessly — with an
+// executable certificate. When the classification rules a tier out, the
+// report carries a pair of trees whose EL membership differs but which the
+// best-effort machine of that tier cannot tell apart (the Fig 4 / Fig 5
+// gadgets of Lemmas 3.12 / 3.16), re-verified before being returned.
+// Certificates are produced for the markup encoding; the term encoding's
+// verdicts are still reported.
+struct QueryLimitsReport {
+  Classification classification;
+  bool registerless = false;  // under the markup encoding
+  bool stackless = false;
+  std::string summary;
+  // Present when !stackless (Lemma 3.16 gadget) or when stackless but
+  // !registerless and the language is not E-flat (Lemma 3.12 gadget).
+  std::optional<Tree> certificate_in_el;
+  std::optional<Tree> certificate_out_el;
+};
+
+QueryLimitsReport ExplainQueryLimits(const Rpq& rpq);
+
+}  // namespace sst
+
+#endif  // SST_CORE_STACKLESS_H_

@@ -1,0 +1,49 @@
+#include "dra/machine.h"
+
+namespace sst {
+
+std::vector<bool> RunQuery(StreamMachine* machine,
+                           const EventStream& events) {
+  machine->Reset();
+  std::vector<bool> selected;
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine->OnOpen(event.symbol);
+      selected.push_back(machine->InAcceptingState());
+    } else {
+      machine->OnClose(event.symbol);
+    }
+  }
+  return selected;
+}
+
+std::vector<bool> RunQueryOnTree(StreamMachine* machine, const Tree& tree,
+                                 bool term_encoded) {
+  EventStream events = Encode(tree);
+  if (term_encoded) {
+    for (TagEvent& event : events) {
+      if (!event.open) event.symbol = -1;
+    }
+  }
+  std::vector<bool> in_stream_order = RunQuery(machine, events);
+  std::vector<int> order = tree.DocumentOrderIds();
+  std::vector<bool> by_id(tree.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    by_id[order[i]] = in_stream_order[i];
+  }
+  return by_id;
+}
+
+bool RunAcceptor(StreamMachine* machine, const EventStream& events) {
+  machine->Reset();
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine->OnOpen(event.symbol);
+    } else {
+      machine->OnClose(event.symbol);
+    }
+  }
+  return machine->InAcceptingState();
+}
+
+}  // namespace sst

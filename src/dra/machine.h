@@ -1,0 +1,51 @@
+#ifndef SST_DRA_MACHINE_H_
+#define SST_DRA_MACHINE_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "trees/encoding.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Common interface of all streaming evaluators: explicit DRAs, registerless
+// automata, and the constructed evaluators of Section 3. A machine consumes
+// tag events; after any event its acceptance bit can be sampled.
+//
+// Query semantics (Section 2.3): a node is *pre-selected* iff the machine is
+// in an accepting state directly after its opening tag. Recognition
+// semantics (Section 2.2): the machine accepts the tree iff it is in an
+// accepting state after the full encoding.
+//
+// Machines for the term encoding must not depend on the `symbol` argument of
+// OnClose (the term encoding has a universal closing tag); such machines
+// accept -1 there.
+class StreamMachine {
+ public:
+  virtual ~StreamMachine() = default;
+
+  virtual void Reset() = 0;
+  virtual void OnOpen(Symbol symbol) = 0;
+  virtual void OnClose(Symbol symbol) = 0;
+  virtual bool InAcceptingState() const = 0;
+};
+
+// Runs the machine over the given encoding and returns, per opening tag in
+// stream order (= document order of nodes), whether the node was
+// pre-selected. Use RunQueryOnTree to get the answers indexed by node id.
+std::vector<bool> RunQuery(StreamMachine* machine, const EventStream& events);
+
+// Streams <tree> through the machine and returns pre-selection per node id
+// (directly comparable with SelectNodes ground truth). When `term_encoded`
+// is set, closing events carry no label (symbol -1), as under the term
+// encoding.
+std::vector<bool> RunQueryOnTree(StreamMachine* machine, const Tree& tree,
+                                 bool term_encoded = false);
+
+// Runs the machine over the full stream; true iff it ends accepting.
+bool RunAcceptor(StreamMachine* machine, const EventStream& events);
+
+}  // namespace sst
+
+#endif  // SST_DRA_MACHINE_H_

@@ -1,0 +1,176 @@
+#include "dra/offset_dra.h"
+
+#include <map>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+OffsetDraRunner::OffsetDraRunner(const OffsetDra* machine)
+    : machine_(machine) {
+  SST_CHECK(static_cast<int>(machine_->offset.size()) ==
+            machine_->dra.num_registers);
+  Reset();
+}
+
+void OffsetDraRunner::Reset() {
+  state_ = machine_->dra.initial;
+  depth_ = 0;
+  registers_.assign(machine_->dra.num_registers, 0);
+}
+
+void OffsetDraRunner::Step(Symbol symbol, bool is_close) {
+  depth_ += is_close ? -1 : 1;
+  int code = 0;
+  int place = 1;
+  for (int r = 0; r < machine_->dra.num_registers; ++r) {
+    int64_t threshold = registers_[r] + machine_->offset[r];
+    int digit = threshold < depth_   ? Dra::kLess
+                : threshold == depth_ ? Dra::kEqual
+                                      : Dra::kGreater;
+    code += digit * place;
+    place *= 3;
+  }
+  const Dra::Action& action =
+      machine_->dra.At(state_, is_close, symbol, code);
+  for (int r = 0; r < machine_->dra.num_registers; ++r) {
+    if (action.load_mask & (uint32_t{1} << r)) registers_[r] = depth_;
+  }
+  state_ = action.next;
+}
+
+namespace {
+
+// Compiled control: base state plus per-register chaining bookkeeping.
+struct Control {
+  int state;
+  std::vector<int> loaded;     // highest shadow index loaded, per register
+  std::vector<bool> was_equal;  // previous depth equalled shadow `loaded`
+
+  auto Key() const {
+    std::vector<int> key;
+    key.push_back(state);
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      key.push_back(loaded[i] * 2 + (was_equal[i] ? 1 : 0));
+    }
+    return key;
+  }
+};
+
+}  // namespace
+
+std::optional<Dra> CompileOffsetDra(const OffsetDra& machine,
+                                    int max_states) {
+  const Dra& base = machine.dra;
+  const int original_registers = base.num_registers;
+  SST_CHECK(static_cast<int>(machine.offset.size()) == original_registers);
+
+  // Flat register layout: shadows of register r occupy
+  // [flat_base[r], flat_base[r] + offset[r]]; shadow 0 is the base load.
+  std::vector<int> flat_base(original_registers);
+  int total = 0;
+  for (int r = 0; r < original_registers; ++r) {
+    SST_CHECK(machine.offset[r] >= 0);
+    flat_base[r] = total;
+    total += machine.offset[r] + 1;
+  }
+  if (total > Dra::kMaxRegisters) return std::nullopt;
+
+  std::map<std::vector<int>, int> id;
+  std::vector<Control> controls;
+  auto intern = [&](const Control& control) {
+    auto [it, inserted] =
+        id.emplace(control.Key(), static_cast<int>(controls.size()));
+    if (inserted) controls.push_back(control);
+    return it->second;
+  };
+
+  Control start;
+  start.state = base.initial;
+  start.loaded.assign(original_registers, 0);
+  // All registers hold 0 and the depth is 0: the previous depth equals
+  // every base shadow.
+  start.was_equal.assign(original_registers, true);
+  intern(start);
+
+  int num_codes = 1;
+  for (int i = 0; i < total; ++i) num_codes *= 3;
+  std::vector<Dra::Action> table;
+  const int num_symbols = base.num_symbols;
+
+  for (size_t index = 0; index < controls.size(); ++index) {
+    if (static_cast<int>(controls.size()) > max_states) return std::nullopt;
+    const Control current = controls[index];
+    for (int close = 0; close < 2; ++close) {
+      for (Symbol a = 0; a < num_symbols; ++a) {
+        for (int code = 0; code < num_codes; ++code) {
+          // Chaining happens logically *at* this event: an opening tag one
+          // level above the top shadow extends the chain to the new depth,
+          // and the comparison digits must already reflect it.
+          std::vector<bool> chained(original_registers, false);
+          int derived = 0;
+          int place = 1;
+          for (int r = 0; r < original_registers; ++r) {
+            chained[r] = close == 0 && current.was_equal[r] &&
+                         current.loaded[r] < machine.offset[r];
+            int effective = current.loaded[r] + (chained[r] ? 1 : 0);
+            int digit;
+            if (chained[r]) {
+              // The new depth is exactly η + effective.
+              digit = effective == machine.offset[r] ? Dra::kEqual
+                                                     : Dra::kGreater;
+            } else if (effective == machine.offset[r]) {
+              digit = Dra::CmpDigit(code,
+                                    flat_base[r] + machine.offset[r]);
+            } else {
+              // Top shadow unloaded: the depth has stayed strictly below
+              // the threshold since the base load.
+              digit = Dra::kGreater;
+            }
+            derived += digit * place;
+            place *= 3;
+          }
+          const Dra::Action& action =
+              base.At(current.state, close != 0, a, derived);
+
+          Control next = current;
+          next.state = action.next;
+          uint32_t load_mask = 0;
+          for (int r = 0; r < original_registers; ++r) {
+            if (action.load_mask & (uint32_t{1} << r)) {
+              // Base load: restart the shadow chain at this depth.
+              load_mask |= uint32_t{1} << flat_base[r];
+              next.loaded[r] = 0;
+              next.was_equal[r] = true;  // the shadow equals the new depth
+              continue;
+            }
+            if (chained[r]) {
+              next.loaded[r] = current.loaded[r] + 1;
+              load_mask |= uint32_t{1} << (flat_base[r] + next.loaded[r]);
+              next.was_equal[r] = true;
+              continue;
+            }
+            next.was_equal[r] =
+                Dra::CmpDigit(code, flat_base[r] + current.loaded[r]) ==
+                Dra::kEqual;
+          }
+          table.push_back(Dra::Action{load_mask, intern(next)});
+        }
+      }
+    }
+  }
+
+  Dra result = Dra::Create(static_cast<int>(controls.size()), num_symbols,
+                           total);
+  result.initial = 0;
+  result.table = std::move(table);
+  SST_CHECK(result.table.size() == static_cast<size_t>(result.num_states) *
+                                       2 * num_symbols * num_codes);
+  for (size_t i = 0; i < controls.size(); ++i) {
+    result.accepting[i] = base.accepting[controls[i].state];
+  }
+  return result;
+}
+
+}  // namespace sst

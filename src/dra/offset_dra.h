@@ -1,0 +1,62 @@
+#ifndef SST_DRA_OFFSET_DRA_H_
+#define SST_DRA_OFFSET_DRA_H_
+
+#include <optional>
+#include <vector>
+
+#include "dra/dra.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// The Section 2.1 extension: "one could allow testing if the current depth
+// differs from the content of a given register by a specified constant;
+// this kind of test can be simulated in our model at the cost of using
+// additional registers."
+//
+// An OffsetDra is a DRA whose register ξ with offset c is compared as
+// sign(η(ξ) + c − d) instead of sign(η(ξ) − d): the comparison digit kEqual
+// fires when the current depth sits exactly c levels *below* the stored
+// depth's shifted threshold — e.g. offset 1 detects children of the pinned
+// node (Example 2.7's machine is the canonical use).
+//
+// CompileOffsetDra realizes the paper's claim constructively: it produces a
+// plain DRA over Σ(c_r + 1) registers. The shadow register (r, j) is
+// loaded, while climbing, at the first moment the depth reaches η(r) + j
+// (detected by one bit of finite control remembering whether the previous
+// depth equalled the previous shadow); a not-yet-loaded shadow implies the
+// depth has stayed below its threshold, so its digit is kGreater.
+struct OffsetDra {
+  Dra dra;                  // table; cmp digits are offset comparisons
+  std::vector<int> offset;  // per register, >= 0 (0 = plain comparison)
+};
+
+// Reference semantics: runs the table with offsets applied directly.
+class OffsetDraRunner final : public StreamMachine {
+ public:
+  explicit OffsetDraRunner(const OffsetDra* machine);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override { Step(symbol, false); }
+  void OnClose(Symbol symbol) override { Step(symbol, true); }
+  bool InAcceptingState() const override {
+    return machine_->dra.accepting[state_];
+  }
+
+ private:
+  void Step(Symbol symbol, bool is_close);
+
+  const OffsetDra* machine_;
+  int state_;
+  int64_t depth_;
+  std::vector<int64_t> registers_;
+};
+
+// The simulation: an equivalent plain DRA (Definition 2.1). Returns
+// nullopt if the control-state product exceeds `max_states` or the shadow
+// registers exceed Dra::kMaxRegisters.
+std::optional<Dra> CompileOffsetDra(const OffsetDra& machine, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_DRA_OFFSET_DRA_H_

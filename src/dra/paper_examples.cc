@@ -1,0 +1,66 @@
+#include "dra/paper_examples.h"
+
+#include "base/check.h"
+
+namespace sst {
+
+Dra BuildSameDepthDra(int num_symbols, Symbol target) {
+  SST_CHECK(target >= 0 && target < num_symbols);
+  constexpr int kFresh = 0, kPinned = 1, kReject = 2;
+  Dra dra = Dra::Create(3, num_symbols, 1);
+  dra.initial = kFresh;
+  dra.accepting = {true, true, false};
+  for (Symbol s = 0; s < num_symbols; ++s) {
+    if (s == target) {
+      // First occurrence pins the depth; later occurrences must match it.
+      dra.SetAction(kFresh, false, s, {-1}, /*load_mask=*/1, kPinned);
+      dra.SetAction(kPinned, false, s, {Dra::kEqual}, 0, kPinned);
+      dra.SetAction(kPinned, false, s, {Dra::kLess}, 0, kReject);
+      dra.SetAction(kPinned, false, s, {Dra::kGreater}, 0, kReject);
+    } else {
+      dra.SetAction(kFresh, false, s, {-1}, 0, kFresh);
+      dra.SetAction(kPinned, false, s, {-1}, 0, kPinned);
+    }
+    dra.SetAction(kFresh, true, s, {-1}, 0, kFresh);
+    dra.SetAction(kPinned, true, s, {-1}, 0, kPinned);
+    dra.SetAction(kReject, false, s, {-1}, 0, kReject);
+    dra.SetAction(kReject, true, s, {-1}, 0, kReject);
+  }
+  return dra;
+}
+
+RootChildrenMachine::RootChildrenMachine(const Dfa& dfa) : dfa_(dfa) {
+  Reset();
+}
+
+void RootChildrenMachine::Reset() {
+  depth_ = 0;
+  pinned_depth_ = -1;
+  state_ = dfa_.initial;
+  done_ = false;
+  verdict_ = false;
+}
+
+void RootChildrenMachine::OnOpen(Symbol /*symbol*/) {
+  ++depth_;
+  if (pinned_depth_ < 0) pinned_depth_ = depth_;  // the root's depth (1)
+}
+
+void RootChildrenMachine::OnClose(Symbol symbol) {
+  --depth_;
+  if (done_ || pinned_depth_ < 0) return;
+  if (depth_ == pinned_depth_) {
+    // Closing tag of a child of the root: feed its label to L's DFA.
+    state_ = dfa_.Next(state_, symbol);
+  } else if (depth_ < pinned_depth_) {
+    // The root itself closed; freeze the verdict.
+    done_ = true;
+    verdict_ = dfa_.accepting[state_];
+  }
+}
+
+bool RootChildrenMachine::InAcceptingState() const {
+  return done_ ? verdict_ : dfa_.accepting[state_];
+}
+
+}  // namespace sst

@@ -1,0 +1,125 @@
+#ifndef SST_DRA_PAPER_EXAMPLES_H_
+#define SST_DRA_PAPER_EXAMPLES_H_
+
+#include <memory>
+
+#include "automata/dfa.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// Reusable builders for the worked examples of Section 2 — both as
+// documentation of the model and as ready-made machines for tests and
+// demos.
+
+// Example 2.2: trees over a 2-letter alphabet in which all nodes labelled
+// `target` sit at the same depth. One register; the language is stackless
+// but NOT regular, so the automaton is necessarily unrestricted.
+Dra BuildSameDepthDra(int num_symbols, Symbol target);
+
+// Example 2.5: H_L — the set of trees in which the labels of the root's
+// children, read left to right, form a word in L. One register pins the
+// root's depth; the machine simulates L's DFA over the closing tags at
+// that depth. Stackless for every regular L (and restricted).
+class RootChildrenMachine final : public StreamMachine {
+ public:
+  explicit RootChildrenMachine(const Dfa& dfa);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override;
+
+ private:
+  Dfa dfa_;
+  int64_t depth_ = 0;
+  int64_t pinned_depth_ = -1;  // the single register
+  int state_ = 0;
+  bool done_ = false;  // root closed; verdict frozen
+  bool verdict_ = false;
+};
+
+// Example 2.6: trees over {a, b, c} where some a-labelled node has a
+// b-labelled descendant. One register; restarts at minimal a-nodes.
+class SomeADescendantBMachine final : public StreamMachine {
+ public:
+  SomeADescendantBMachine(Symbol a, Symbol b) : a_(a), b_(b) { Reset(); }
+
+  void Reset() override {
+    depth_ = 0;
+    pinned_depth_ = -1;
+    matched_ = false;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    ++depth_;
+    if (matched_) return;
+    if (pinned_depth_ < 0) {
+      if (symbol == a_) pinned_depth_ = depth_;  // minimal a-node found
+    } else if (symbol == b_) {
+      matched_ = true;  // b strictly below the pinned a
+    }
+  }
+
+  void OnClose(Symbol /*symbol*/) override {
+    --depth_;
+    if (matched_) return;
+    // Example 2.6's loop: once the depth drops below the pinned value the
+    // a-subtree has closed without a match; rearm for the next minimal a.
+    if (pinned_depth_ >= 0 && depth_ < pinned_depth_) pinned_depth_ = -1;
+  }
+
+  bool InAcceptingState() const override { return matched_; }
+
+ private:
+  Symbol a_, b_;
+  int64_t depth_ = 0;
+  int64_t pinned_depth_ = -1;
+  bool matched_ = false;
+};
+
+// Example 2.7: trees where some *minimal* a-labelled node (no a-labelled
+// ancestor) has a b-labelled child. One register pins the depth of the
+// current minimal a-node; a b opening exactly one level below it is a
+// match. The paper's point: dropping minimality makes the query
+// unrealizable by any DRA (Theorem 3.1 / Fig 3d), because nested a's would
+// each need their own register.
+class MinimalAWithBChildMachine final : public StreamMachine {
+ public:
+  MinimalAWithBChildMachine(Symbol a, Symbol b) : a_(a), b_(b) { Reset(); }
+
+  void Reset() override {
+    depth_ = 0;
+    pinned_depth_ = -1;
+    matched_ = false;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    ++depth_;
+    if (matched_) return;
+    if (pinned_depth_ < 0) {
+      if (symbol == a_) pinned_depth_ = depth_;
+    } else if (symbol == b_ && depth_ == pinned_depth_ + 1) {
+      matched_ = true;  // b-child of the pinned minimal a
+    }
+  }
+
+  void OnClose(Symbol /*symbol*/) override {
+    --depth_;
+    if (matched_) return;
+    if (pinned_depth_ >= 0 && depth_ < pinned_depth_) pinned_depth_ = -1;
+  }
+
+  bool InAcceptingState() const override { return matched_; }
+
+ private:
+  Symbol a_, b_;
+  int64_t depth_ = 0;
+  int64_t pinned_depth_ = -1;
+  bool matched_ = false;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_PAPER_EXAMPLES_H_

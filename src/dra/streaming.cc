@@ -1,0 +1,140 @@
+#include "dra/streaming.h"
+
+#include <cctype>
+
+namespace sst {
+
+StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
+                                     Alphabet* alphabet)
+    : machine_(machine), format_(format), alphabet_(alphabet) {
+  Reset();
+}
+
+void StreamingSelector::Reset() {
+  machine_->Reset();
+  open_labels_.clear();
+  pending_.clear();
+  in_tag_ = false;
+  nodes_ = 0;
+  matches_ = 0;
+  depth_ = 0;
+  saw_root_ = false;
+  failed_ = false;
+  error_.clear();
+}
+
+bool StreamingSelector::Fail(const char* message) {
+  failed_ = true;
+  if (error_.empty()) error_ = message;
+  return false;
+}
+
+bool StreamingSelector::EmitOpen(Symbol symbol) {
+  if (depth_ == 0 && saw_root_) return Fail("content after the root closed");
+  saw_root_ = true;
+  ++depth_;
+  open_labels_.push_back(symbol);
+  machine_->OnOpen(symbol);
+  if (machine_->InAcceptingState()) {
+    ++matches_;
+    if (match_callback_) match_callback_(nodes_, symbol);
+  }
+  ++nodes_;
+  return true;
+}
+
+bool StreamingSelector::EmitClose(Symbol symbol) {
+  if (open_labels_.empty()) return Fail("closing tag without open element");
+  if (symbol >= 0 && open_labels_.back() != symbol) {
+    return Fail("mismatched closing tag");
+  }
+  open_labels_.pop_back();
+  --depth_;
+  machine_->OnClose(symbol);
+  return true;
+}
+
+bool StreamingSelector::Feed(std::string_view chunk) {
+  if (failed_) return false;
+  switch (format_) {
+    case Format::kCompactMarkup:
+      for (char c : chunk) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        if (c >= 'a' && c <= 'z') {
+          Symbol s = alphabet_->Find(std::string_view(&c, 1));
+          if (s < 0) return Fail("unknown opening tag");
+          if (!EmitOpen(s)) return false;
+        } else if (c >= 'A' && c <= 'Z') {
+          char lower = static_cast<char>(c - 'A' + 'a');
+          Symbol s = alphabet_->Find(std::string_view(&lower, 1));
+          if (s < 0) return Fail("unknown closing tag");
+          if (!EmitClose(s)) return false;
+        } else {
+          return Fail("unexpected byte in compact markup");
+        }
+      }
+      return true;
+
+    case Format::kCompactTerm:
+      for (char c : chunk) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        if (!pending_.empty()) {
+          if (c != '{') return Fail("expected '{' after label");
+          Symbol s = alphabet_->Find(pending_);
+          pending_.clear();
+          if (s < 0) return Fail("unknown label in term encoding");
+          if (!EmitOpen(s)) return false;
+          continue;
+        }
+        if (c == '}') {
+          if (!EmitClose(-1)) return false;
+        } else if (std::isalnum(static_cast<unsigned char>(c)) ||
+                   c == '_' || c == '-') {
+          if (pending_.size() >= 256) return Fail("label too long");
+          pending_.push_back(c);
+        } else {
+          return Fail("unexpected byte in term encoding");
+        }
+      }
+      return true;
+
+    case Format::kXmlLite:
+      for (char c : chunk) {
+        if (!in_tag_) {
+          if (std::isspace(static_cast<unsigned char>(c))) continue;
+          if (c != '<') return Fail("expected '<'");
+          in_tag_ = true;
+          pending_.clear();
+          continue;
+        }
+        if (c != '>') {
+          if (pending_.size() >= 256) return Fail("tag too long");
+          pending_.push_back(c);
+          continue;
+        }
+        in_tag_ = false;
+        if (pending_.empty()) return Fail("empty tag");
+        bool closing = pending_[0] == '/';
+        std::string_view name(pending_);
+        if (closing) name.remove_prefix(1);
+        if (name.empty()) return Fail("empty tag name");
+        Symbol s = alphabet_->Find(name);
+        if (s < 0) return Fail("element name outside the query alphabet");
+        bool ok = closing ? EmitClose(s) : EmitOpen(s);
+        pending_.clear();
+        if (!ok) return false;
+      }
+      return true;
+  }
+  return Fail("unknown format");
+}
+
+bool StreamingSelector::Finish() {
+  if (failed_) return false;
+  if (in_tag_ || !pending_.empty()) return Fail("truncated tag at end");
+  if (!saw_root_) return Fail("empty document");
+  if (depth_ != 0) return Fail("unclosed elements at end");
+  return true;
+}
+
+}  // namespace sst

@@ -1,0 +1,91 @@
+#ifndef SST_DRA_STREAMING_H_
+#define SST_DRA_STREAMING_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "automata/alphabet.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// Incremental push-parser driving a StreamMachine: feed arbitrary byte
+// chunks (network reads, mmap windows); tag events are decoded on the fly
+// and matches are reported as the stream goes by — the intended deployment
+// of pre-selection (Section 2.3): once a node is pre-selected, its whole
+// subtree can be forwarded downstream with no buffering.
+//
+// Formats:
+//   kCompactMarkup  'a'..'z' opening tags, 'A'..'Z' closing tags;
+//   kXmlLite        <name> ... </name>, tags only;
+//   kCompactTerm    name{ ... } (JSON-style; drives OnClose with -1).
+// Whitespace between tags is ignored. The parser validates well-formedness
+// (tag balance and, for markup formats, label matching) since the paper's
+// weak setting assumes it: a violation is reported as an error rather than
+// silently producing nonsense.
+class StreamingSelector {
+ public:
+  enum class Format { kCompactMarkup, kXmlLite, kCompactTerm };
+
+  // Called right after a node is pre-selected: (node index in document
+  // order, label symbol).
+  using MatchCallback = std::function<void(int64_t, Symbol)>;
+
+  // `machine` and `alphabet` must outlive the selector. Labels must be
+  // present in the alphabet (the machine's automaton is indexed by it);
+  // unknown element names fail the feed.
+  StreamingSelector(StreamMachine* machine, Format format,
+                    Alphabet* alphabet);
+
+  void set_match_callback(MatchCallback callback) {
+    match_callback_ = std::move(callback);
+  }
+
+  // Feeds a chunk; false on malformed input (error() explains).
+  bool Feed(std::string_view chunk);
+
+  // Declares end of input; false if the document is incomplete.
+  bool Finish();
+
+  void Reset();
+
+  int64_t nodes() const { return nodes_; }
+  int64_t matches() const { return matches_; }
+  int64_t depth() const { return depth_; }
+  bool document_complete() const { return saw_root_ && depth_ == 0; }
+  bool machine_accepting() const { return machine_->InAcceptingState(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const char* message);
+  bool EmitOpen(Symbol symbol);
+  bool EmitClose(Symbol symbol);
+
+  StreamMachine* machine_;
+  Format format_;
+  Alphabet* alphabet_;
+  MatchCallback match_callback_;
+
+  // Well-formedness: the expected closing labels (only the labels, not
+  // full automaton states — the library never keeps evaluation state per
+  // level, but a *validator* of the input framing needs the open labels;
+  // for the weak/trusted setting this check can be disabled).
+  std::vector<Symbol> open_labels_;
+
+  // Incremental lexer state (partial tag across chunk boundaries).
+  std::string pending_;
+  bool in_tag_ = false;  // kXmlLite: between '<' and '>'
+
+  int64_t nodes_ = 0;
+  int64_t matches_ = 0;
+  int64_t depth_ = 0;
+  bool saw_root_ = false;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_STREAMING_H_

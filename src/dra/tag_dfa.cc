@@ -1,0 +1,81 @@
+#include "dra/tag_dfa.h"
+
+#include <utility>
+#include <vector>
+
+#include "base/check.h"
+
+namespace sst {
+
+TagDfa TagDfa::Create(int num_states, int num_symbols) {
+  TagDfa dfa;
+  dfa.num_states = num_states;
+  dfa.num_symbols = num_symbols;
+  dfa.next_open.assign(static_cast<size_t>(num_states) * num_symbols, 0);
+  dfa.next_close.assign(static_cast<size_t>(num_states) * num_symbols, 0);
+  dfa.accepting.assign(num_states, false);
+  return dfa;
+}
+
+bool TagDfa::ClosingSymbolInvariant() const {
+  for (int q = 0; q < num_states; ++q) {
+    for (Symbol a = 1; a < num_symbols; ++a) {
+      if (NextClose(q, a) != NextClose(q, 0)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+template <typename AcceptFn>
+TagDfa TagProduct(const TagDfa& a, const TagDfa& b, AcceptFn want) {
+  SST_CHECK(a.num_symbols == b.num_symbols);
+  const int k = a.num_symbols;
+  std::vector<int> id(static_cast<size_t>(a.num_states) * b.num_states, -1);
+  std::vector<std::pair<int, int>> states;
+  auto intern = [&](int p, int q) {
+    int& slot = id[static_cast<size_t>(p) * b.num_states + q];
+    if (slot < 0) {
+      slot = static_cast<int>(states.size());
+      states.emplace_back(p, q);
+    }
+    return slot;
+  };
+  TagDfa result;
+  result.num_symbols = k;
+  result.initial = intern(a.initial, b.initial);
+  for (size_t i = 0; i < states.size(); ++i) {
+    auto [p, q] = states[i];
+    result.accepting.push_back(want(a.accepting[p], b.accepting[q]));
+    for (Symbol s = 0; s < k; ++s) {
+      result.next_open.push_back(intern(a.NextOpen(p, s), b.NextOpen(q, s)));
+    }
+    for (Symbol s = 0; s < k; ++s) {
+      result.next_close.push_back(
+          intern(a.NextClose(p, s), b.NextClose(q, s)));
+    }
+  }
+  result.num_states = static_cast<int>(states.size());
+  return result;
+}
+
+}  // namespace
+
+TagDfa TagDfaIntersection(const TagDfa& a, const TagDfa& b) {
+  return TagProduct(a, b, [](bool x, bool y) { return x && y; });
+}
+
+TagDfa TagDfaUnion(const TagDfa& a, const TagDfa& b) {
+  return TagProduct(a, b, [](bool x, bool y) { return x || y; });
+}
+
+TagDfa TagDfaComplement(const TagDfa& a) {
+  TagDfa result = a;
+  for (int q = 0; q < result.num_states; ++q) {
+    result.accepting[q] = !result.accepting[q];
+  }
+  return result;
+}
+
+}  // namespace sst

@@ -1,0 +1,73 @@
+#ifndef SST_DRA_TAG_DFA_H_
+#define SST_DRA_TAG_DFA_H_
+
+#include <memory>
+
+#include "automata/alphabet.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// A complete deterministic finite automaton over the tag alphabet Γ ∪ Γ̄
+// (opening and closing tags). This is the registerless end of the paper's
+// model spectrum: a depth-register automaton with Ξ = ∅ is a notational
+// variant of a TagDfa (Section 2.1).
+struct TagDfa {
+  int num_states = 0;
+  int num_symbols = 0;  // |Γ|; the tag alphabet has 2 * num_symbols letters
+  int initial = 0;
+  std::vector<int> next_open;   // num_states * num_symbols
+  std::vector<int> next_close;  // num_states * num_symbols
+  std::vector<bool> accepting;
+
+  static TagDfa Create(int num_states, int num_symbols);
+
+  int NextOpen(int q, Symbol a) const {
+    return next_open[static_cast<size_t>(q) * num_symbols + a];
+  }
+  int NextClose(int q, Symbol a) const {
+    return next_close[static_cast<size_t>(q) * num_symbols + a];
+  }
+  void SetNextOpen(int q, Symbol a, int to) {
+    next_open[static_cast<size_t>(q) * num_symbols + a] = to;
+  }
+  void SetNextClose(int q, Symbol a, int to) {
+    next_close[static_cast<size_t>(q) * num_symbols + a] = to;
+  }
+
+  // True if OnClose ignores the symbol, i.e. all close rows are constant
+  // per state; required of machines run on the term encoding.
+  bool ClosingSymbolInvariant() const;
+};
+
+// Lemma 2.4 (registerless closure): product and complement.
+TagDfa TagDfaIntersection(const TagDfa& a, const TagDfa& b);
+TagDfa TagDfaUnion(const TagDfa& a, const TagDfa& b);
+TagDfa TagDfaComplement(const TagDfa& a);
+
+// StreamMachine adapter running a TagDfa.
+class TagDfaMachine final : public StreamMachine {
+ public:
+  explicit TagDfaMachine(const TagDfa* dfa) : dfa_(dfa), state_(dfa->initial) {}
+
+  void Reset() override { state_ = dfa_->initial; }
+  void OnOpen(Symbol symbol) override {
+    state_ = dfa_->NextOpen(state_, symbol);
+  }
+  void OnClose(Symbol symbol) override {
+    // Term-encoded streams pass -1; fall back to symbol 0, which is only
+    // sound for automata satisfying ClosingSymbolInvariant().
+    state_ = dfa_->NextClose(state_, symbol < 0 ? 0 : symbol);
+  }
+  bool InAcceptingState() const override { return dfa_->accepting[state_]; }
+
+  int state() const { return state_; }
+
+ private:
+  const TagDfa* dfa_;
+  int state_;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_TAG_DFA_H_

@@ -1,0 +1,58 @@
+#include "dra/visibly_counter.h"
+
+#include "base/check.h"
+
+namespace sst {
+
+VisiblyCounterAutomaton VisiblyCounterAutomaton::Create(int num_states,
+                                                        int num_symbols,
+                                                        int threshold) {
+  SST_CHECK(threshold >= 0);
+  VisiblyCounterAutomaton vca;
+  vca.num_states = num_states;
+  vca.num_symbols = num_symbols;
+  vca.threshold = threshold;
+  vca.accepting.assign(num_states, false);
+  vca.next.assign(static_cast<size_t>(num_states) * 2 * num_symbols *
+                      (threshold + 1),
+                  0);
+  return vca;
+}
+
+OffsetDra VcaToOffsetDra(const VisiblyCounterAutomaton& vca) {
+  const int m = vca.threshold;
+  OffsetDra result;
+  result.dra = Dra::Create(vca.num_states, vca.num_symbols, m);
+  result.offset.clear();
+  for (int j = 1; j <= m; ++j) result.offset.push_back(j);
+  Dra& dra = result.dra;
+  dra.initial = vca.initial;
+  for (int q = 0; q < vca.num_states; ++q) {
+    dra.accepting[q] = vca.accepting[q];
+  }
+  // Register j-1 (offset j, value pinned at 0) compares 0 + j against the
+  // depth: digit kGreater  <=> depth < j. min(depth, m) is therefore the
+  // number of registers reading kLess or kEqual... precisely: depth >= j
+  // iff digit(j) != kGreater. Transitions never load, so the registers
+  // stay at 0 forever.
+  for (int q = 0; q < vca.num_states; ++q) {
+    for (int close = 0; close < 2; ++close) {
+      for (Symbol a = 0; a < vca.num_symbols; ++a) {
+        for (int code = 0; code < dra.NumCmpCodes(); ++code) {
+          int clamped = m;
+          for (int j = 1; j <= m; ++j) {
+            if (Dra::CmpDigit(code, j - 1) == Dra::kGreater) {
+              clamped = j - 1;
+              break;
+            }
+          }
+          dra.At(q, close != 0, a, code) = Dra::Action{
+              0, vca.Next(q, close != 0, a, clamped)};
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sst

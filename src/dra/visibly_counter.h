@@ -1,0 +1,92 @@
+#ifndef SST_DRA_VISIBLY_COUNTER_H_
+#define SST_DRA_VISIBLY_COUNTER_H_
+
+#include <optional>
+#include <vector>
+
+#include "dra/machine.h"
+#include "dra/offset_dra.h"
+
+namespace sst {
+
+// Deterministic visibly counter automata with threshold m (m-VCAs), the
+// registerless relatives the paper cites in Section 2.1 ("such automata
+// (without registers) are also called visibly counter automata [1]"): the
+// counter is the current depth, and transitions may depend on min(depth, m)
+// after the input-driven update.
+//
+// VCAs embed into the depth-register framework: a register that is never
+// loaded stays at 0, so comparing it with offset j against the depth tests
+// depth ≥/=/≤ j — m such phantom registers recover the whole threshold.
+// ToOffsetDra performs that embedding; combined with CompileOffsetDra this
+// yields a plain Definition-2.1 DRA for any m-VCA, connecting the two
+// models constructively.
+struct VisiblyCounterAutomaton {
+  int num_states = 0;
+  int num_symbols = 0;
+  int threshold = 0;  // m
+  int initial = 0;
+  std::vector<bool> accepting;
+  // Indexed by (((state * 2 + is_close) * num_symbols) + symbol) *
+  // (threshold + 1) + min(depth, threshold).
+  std::vector<int> next;
+
+  static VisiblyCounterAutomaton Create(int num_states, int num_symbols,
+                                        int threshold);
+
+  size_t Index(int state, bool is_close, Symbol symbol,
+               int clamped_depth) const {
+    return ((static_cast<size_t>(state) * 2 + (is_close ? 1 : 0)) *
+                num_symbols +
+            symbol) *
+               (threshold + 1) +
+           clamped_depth;
+  }
+  int Next(int state, bool is_close, Symbol symbol, int clamped_depth) const {
+    return next[Index(state, is_close, symbol, clamped_depth)];
+  }
+  void SetNext(int state, bool is_close, Symbol symbol, int clamped_depth,
+               int to) {
+    next[Index(state, is_close, symbol, clamped_depth)] = to;
+  }
+};
+
+// Direct interpreter.
+class VcaRunner final : public StreamMachine {
+ public:
+  explicit VcaRunner(const VisiblyCounterAutomaton* vca) : vca_(vca) {
+    Reset();
+  }
+
+  void Reset() override {
+    state_ = vca_->initial;
+    depth_ = 0;
+  }
+  void OnOpen(Symbol symbol) override { Step(symbol, false); }
+  void OnClose(Symbol symbol) override { Step(symbol, true); }
+  bool InAcceptingState() const override {
+    return vca_->accepting[state_];
+  }
+
+ private:
+  void Step(Symbol symbol, bool is_close) {
+    depth_ += is_close ? -1 : 1;
+    int clamped = depth_ < 0 ? 0
+                  : depth_ > vca_->threshold
+                      ? vca_->threshold
+                      : static_cast<int>(depth_);
+    state_ = vca_->Next(state_, is_close, symbol, clamped);
+  }
+
+  const VisiblyCounterAutomaton* vca_;
+  int state_ = 0;
+  int64_t depth_ = 0;
+};
+
+// The embedding: m phantom registers with offsets 1..m (never loaded);
+// min(depth, m) is read off their comparison digits.
+OffsetDra VcaToOffsetDra(const VisiblyCounterAutomaton& vca);
+
+}  // namespace sst
+
+#endif  // SST_DRA_VISIBLY_COUNTER_H_

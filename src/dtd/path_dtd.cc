@@ -1,0 +1,225 @@
+#include "dtd/path_dtd.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "automata/determinize.h"
+#include "automata/minimize.h"
+#include "base/check.h"
+#include "classes/syntactic_classes.h"
+#include "dra/tag_dfa.h"
+#include "eval/al_recognizer.h"
+
+namespace sst {
+
+bool PathDtd::IsValid() const {
+  if (static_cast<int>(productions.size()) != num_symbols) return false;
+  if (initial_symbol < 0 || initial_symbol >= num_symbols) return false;
+  for (const PathProduction& production : productions) {
+    for (Symbol b : production.allowed_children) {
+      if (b < 0 || b >= num_symbols) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<bool> AllowedSet(const PathProduction& production,
+                             int num_symbols) {
+  std::vector<bool> allowed(num_symbols, false);
+  for (Symbol b : production.allowed_children) allowed[b] = true;
+  return allowed;
+}
+
+}  // namespace
+
+bool SatisfiesPathDtd(const PathDtd& dtd, const Tree& tree) {
+  SST_CHECK(dtd.IsValid());
+  if (tree.empty()) return false;
+  if (tree.label(tree.root()) != dtd.initial_symbol) return false;
+  std::vector<std::vector<bool>> allowed;
+  allowed.reserve(dtd.num_symbols);
+  for (const PathProduction& production : dtd.productions) {
+    allowed.push_back(AllowedSet(production, dtd.num_symbols));
+  }
+  for (int v = 0; v < tree.size(); ++v) {
+    Symbol a = tree.label(v);
+    if (tree.IsLeaf(v)) {
+      if (!dtd.productions[a].allows_leaf) return false;
+      continue;
+    }
+    for (int c = tree.node(v).first_child; c >= 0;
+         c = tree.node(c).next_sibling) {
+      if (!allowed[a][tree.label(c)]) return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesSpecializedPathDtd(const SpecializedPathDtd& dtd,
+                                 const Tree& tree) {
+  SST_CHECK(dtd.dtd.IsValid());
+  if (tree.empty()) return false;
+  const int extended = dtd.dtd.num_symbols;
+  std::vector<std::vector<bool>> allowed;
+  allowed.reserve(extended);
+  for (const PathProduction& production : dtd.dtd.productions) {
+    allowed.push_back(AllowedSet(production, extended));
+  }
+  // feasible[v][a'] : the subtree at v admits a labelling with a' at v.
+  std::vector<std::vector<bool>> feasible(tree.size(),
+                                          std::vector<bool>(extended, false));
+  for (int v = tree.size() - 1; v >= 0; --v) {
+    for (Symbol ap = 0; ap < extended; ++ap) {
+      if (dtd.projection[ap] != tree.label(v)) continue;
+      bool ok = true;
+      if (tree.IsLeaf(v)) {
+        ok = dtd.dtd.productions[ap].allows_leaf;
+      } else {
+        for (int c = tree.node(v).first_child; ok && c >= 0;
+             c = tree.node(c).next_sibling) {
+          bool child_ok = false;
+          for (Symbol bp = 0; bp < extended && !child_ok; ++bp) {
+            child_ok = allowed[ap][bp] && feasible[c][bp];
+          }
+          ok = child_ok;
+        }
+      }
+      feasible[v][ap] = ok;
+    }
+  }
+  return feasible[tree.root()][dtd.dtd.initial_symbol];
+}
+
+Dfa PathDtdToDfa(const PathDtd& dtd) {
+  SST_CHECK(dtd.IsValid());
+  // States: one per symbol, plus an initial state and a rejecting sink.
+  const int k = dtd.num_symbols;
+  const int init = k;
+  const int sink = k + 1;
+  Dfa dfa = Dfa::Create(k + 2, k);
+  dfa.initial = init;
+  for (Symbol a = 0; a < k; ++a) {
+    dfa.accepting[a] = dtd.productions[a].allows_leaf;
+    std::vector<bool> allowed = AllowedSet(dtd.productions[a], k);
+    for (Symbol b = 0; b < k; ++b) {
+      dfa.SetNext(a, b, allowed[b] ? b : sink);
+    }
+  }
+  for (Symbol b = 0; b < k; ++b) {
+    dfa.SetNext(init, b, b == dtd.initial_symbol ? b : sink);
+    dfa.SetNext(sink, b, sink);
+  }
+  return dfa;
+}
+
+Nfa SpecializedPathDtdToNfa(const SpecializedPathDtd& dtd) {
+  SST_CHECK(dtd.dtd.IsValid());
+  const int extended = dtd.dtd.num_symbols;
+  Nfa nfa;
+  nfa.num_symbols = dtd.num_projected_symbols;
+  // One state per extended symbol plus an initial state.
+  for (int i = 0; i < extended + 1; ++i) nfa.AddState();
+  nfa.initial = extended;
+  nfa.AddEdge(nfa.initial, dtd.projection[dtd.dtd.initial_symbol],
+              dtd.dtd.initial_symbol);
+  for (Symbol ap = 0; ap < extended; ++ap) {
+    nfa.accepting[ap] = dtd.dtd.productions[ap].allows_leaf;
+    for (Symbol bp : dtd.dtd.productions[ap].allowed_children) {
+      nfa.AddEdge(ap, dtd.projection[bp], bp);
+    }
+  }
+  return nfa;
+}
+
+Dfa PathLanguageMinimalDfa(const PathDtd& dtd) {
+  return Minimize(PathDtdToDfa(dtd));
+}
+
+Dfa PathLanguageMinimalDfa(const SpecializedPathDtd& dtd) {
+  return Minimize(Determinize(SpecializedPathDtdToNfa(dtd)));
+}
+
+bool IsRegisterlessWeaklyValidatable(const PathDtd& dtd) {
+  return IsAFlat(PathLanguageMinimalDfa(dtd));
+}
+
+namespace {
+
+// Owning wrapper so the validator can run a materialized table automaton.
+class OwningTagDfaValidator final : public StreamMachine {
+ public:
+  explicit OwningTagDfaValidator(TagDfa dfa)
+      : dfa_(std::move(dfa)), inner_(&dfa_) {}
+
+  void Reset() override { inner_.Reset(); }
+  void OnOpen(Symbol symbol) override { inner_.OnOpen(symbol); }
+  void OnClose(Symbol symbol) override { inner_.OnClose(symbol); }
+  bool InAcceptingState() const override { return inner_.InAcceptingState(); }
+
+ private:
+  TagDfa dfa_;
+  TagDfaMachine inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamMachine> BuildRegisterlessDtdValidator(
+    const PathDtd& dtd) {
+  Dfa minimal = PathLanguageMinimalDfa(dtd);
+  std::optional<TagDfa> materialized =
+      MaterializeForallRecognizer(minimal, /*blind=*/false, 1 << 16);
+  if (materialized.has_value()) {
+    return std::make_unique<OwningTagDfaValidator>(std::move(*materialized));
+  }
+  return BuildForallRecognizer(minimal, /*blind=*/false);
+}
+
+void StackDtdValidator::Reset() {
+  stack_.clear();
+  valid_ = true;
+  depth_zero_ = false;
+  seen_root_ = false;
+  max_stack_depth_ = 0;
+}
+
+void StackDtdValidator::OnOpen(Symbol symbol) {
+  depth_zero_ = false;
+  if (!valid_) return;
+  if (stack_.empty()) {
+    if (seen_root_ || symbol != dtd_->initial_symbol) {
+      valid_ = false;
+      return;
+    }
+    seen_root_ = true;
+  } else {
+    const PathProduction& production = dtd_->productions[stack_.back().first];
+    if (std::find(production.allowed_children.begin(),
+                  production.allowed_children.end(),
+                  symbol) == production.allowed_children.end()) {
+      valid_ = false;
+      return;
+    }
+    stack_.back().second = true;  // parent has a child
+  }
+  stack_.emplace_back(symbol, false);
+  max_stack_depth_ = std::max(max_stack_depth_, stack_.size());
+}
+
+void StackDtdValidator::OnClose(Symbol /*symbol*/) {
+  if (!valid_) return;
+  if (stack_.empty()) {
+    valid_ = false;
+    return;
+  }
+  auto [label, has_children] = stack_.back();
+  stack_.pop_back();
+  if (!has_children && !dtd_->productions[label].allows_leaf) {
+    valid_ = false;
+    return;
+  }
+  depth_zero_ = stack_.empty();
+}
+
+}  // namespace sst

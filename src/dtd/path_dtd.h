@@ -1,0 +1,99 @@
+#ifndef SST_DTD_PATH_DTD_H_
+#define SST_DTD_PATH_DTD_H_
+
+#include <memory>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/nfa.h"
+#include "dra/machine.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Section 4.1: path DTDs. A path DTD restricts every production to the
+// forms a -> (b1 + ... + bn)^* or a -> (b1 + ... + bn)^+ : the set of
+// allowed child labels depends only on the parent label, plus a "may be a
+// leaf" bit (the ^* form). The tree language of a path DTD is exactly AL
+// for the regular language L of allowed root-to-leaf label paths, which
+// connects weak validation against such DTDs to Theorem 3.2(2).
+struct PathProduction {
+  std::vector<Symbol> allowed_children;
+  bool allows_leaf = true;  // true = ^* production, false = ^+
+};
+
+struct PathDtd {
+  int num_symbols = 0;        // |Γ|
+  Symbol initial_symbol = 0;  // required root label
+  std::vector<PathProduction> productions;  // one per symbol
+
+  bool IsValid() const;
+};
+
+// A specialized path DTD (Section 4.1 / Fig 6): a path DTD over an extended
+// alphabet Γ' plus a projection Γ' -> Γ; the defined tree language is the
+// projection of the DTD's language.
+struct SpecializedPathDtd {
+  PathDtd dtd;                     // over Γ'
+  std::vector<Symbol> projection;  // Γ' -> Γ
+  int num_projected_symbols = 0;   // |Γ|
+};
+
+// Direct (non-streaming) validation ground truths.
+bool SatisfiesPathDtd(const PathDtd& dtd, const Tree& tree);
+// Existential relabelling semantics, by bottom-up feasible-set DP.
+bool SatisfiesSpecializedPathDtd(const SpecializedPathDtd& dtd,
+                                 const Tree& tree);
+
+// The path automaton: a complete DFA over Γ recognizing the language L of
+// allowed root-to-leaf paths, so that the DTD's tree language is AL.
+Dfa PathDtdToDfa(const PathDtd& dtd);
+
+// For specialized DTDs the path automaton is naturally nondeterministic
+// (distinct Γ'-symbols may share a projection). Callers should determinize
+// and minimize before applying any syntactic-class test — Fig 6 shows that
+// testing the raw NFA is unsound.
+Nfa SpecializedPathDtdToNfa(const SpecializedPathDtd& dtd);
+
+// Minimal DFA of the (projected) path language.
+Dfa PathLanguageMinimalDfa(const PathDtd& dtd);
+Dfa PathLanguageMinimalDfa(const SpecializedPathDtd& dtd);
+
+// Theorem 3.2(2) applied to weak validation (Section 4.1): a streamed tree
+// can be weakly validated against the path DTD by a finite automaton iff
+// the minimal DFA of its path language is A-flat.
+bool IsRegisterlessWeaklyValidatable(const PathDtd& dtd);
+
+// Streaming validators.
+//
+// Registerless weak validator (valid only under the A-flatness condition):
+// the AL recognizer of Theorem 3.2(2). Accepts a tree iff all branches are
+// allowed — on well-formed input this is exactly DTD conformance.
+std::unique_ptr<StreamMachine> BuildRegisterlessDtdValidator(
+    const PathDtd& dtd);
+
+// The classical baseline: full validation with an explicit stack (also
+// detects malformed streams). Used as oracle and benchmark baseline.
+class StackDtdValidator final : public StreamMachine {
+ public:
+  explicit StackDtdValidator(const PathDtd* dtd) : dtd_(dtd) { Reset(); }
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override { return valid_ && depth_zero_; }
+
+  size_t max_stack_depth() const { return max_stack_depth_; }
+
+ private:
+  const PathDtd* dtd_;
+  std::vector<std::pair<Symbol, bool>> stack_;  // (label, has_children)
+  bool valid_ = true;
+  bool depth_zero_ = false;
+  bool seen_root_ = false;
+  size_t max_stack_depth_ = 0;
+};
+
+}  // namespace sst
+
+#endif  // SST_DTD_PATH_DTD_H_

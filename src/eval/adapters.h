@@ -1,0 +1,93 @@
+#ifndef SST_EVAL_ADAPTERS_H_
+#define SST_EVAL_ADAPTERS_H_
+
+#include <memory>
+#include <utility>
+
+#include "dra/machine.h"
+
+namespace sst {
+
+// Boolean-query adapters from the proof outlines of Theorems 3.1 and 3.2:
+// any machine realizing QL yields machines recognizing EL and AL by watching
+// what happens at leaves (a closing tag immediately after an opening tag).
+// Both wrappers preserve registerlessness/stacklessness: they only add a
+// constant amount of finite state around the inner machine.
+
+// Accepts iff some leaf was pre-selected by the inner machine, i.e. some
+// branch is labelled by a word of L (EL).
+class ExistsAdapter final : public StreamMachine {
+ public:
+  explicit ExistsAdapter(std::unique_ptr<StreamMachine> inner)
+      : inner_(std::move(inner)) {
+    Reset();
+  }
+
+  void Reset() override {
+    inner_->Reset();
+    last_was_open_ = false;
+    last_accepting_ = false;
+    triggered_ = false;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    inner_->OnOpen(symbol);
+    last_was_open_ = true;
+    last_accepting_ = inner_->InAcceptingState();
+  }
+
+  void OnClose(Symbol symbol) override {
+    if (last_was_open_ && last_accepting_) triggered_ = true;
+    inner_->OnClose(symbol);
+    last_was_open_ = false;
+  }
+
+  bool InAcceptingState() const override { return triggered_; }
+
+ private:
+  std::unique_ptr<StreamMachine> inner_;
+  bool last_was_open_ = false;
+  bool last_accepting_ = false;
+  bool triggered_ = false;
+};
+
+// Accepts iff every leaf was pre-selected (AL); the dual construction of
+// Theorem 3.2's outline (all-rejecting sink on a rejected leaf).
+class ForallAdapter final : public StreamMachine {
+ public:
+  explicit ForallAdapter(std::unique_ptr<StreamMachine> inner)
+      : inner_(std::move(inner)) {
+    Reset();
+  }
+
+  void Reset() override {
+    inner_->Reset();
+    last_was_open_ = false;
+    last_accepting_ = false;
+    violated_ = false;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    inner_->OnOpen(symbol);
+    last_was_open_ = true;
+    last_accepting_ = inner_->InAcceptingState();
+  }
+
+  void OnClose(Symbol symbol) override {
+    if (last_was_open_ && !last_accepting_) violated_ = true;
+    inner_->OnClose(symbol);
+    last_was_open_ = false;
+  }
+
+  bool InAcceptingState() const override { return !violated_; }
+
+ private:
+  std::unique_ptr<StreamMachine> inner_;
+  bool last_was_open_ = false;
+  bool last_accepting_ = false;
+  bool violated_ = false;
+};
+
+}  // namespace sst
+
+#endif  // SST_EVAL_ADAPTERS_H_

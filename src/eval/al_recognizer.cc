@@ -1,0 +1,22 @@
+#include "eval/al_recognizer.h"
+
+#include "eval/el_synopsis.h"
+
+namespace sst {
+
+std::unique_ptr<StreamMachine> BuildForallRecognizer(const Dfa& minimal_dfa,
+                                                     bool blind) {
+  return std::make_unique<NotAdapter>(
+      std::make_unique<ElSynopsisRecognizer>(Complement(minimal_dfa), blind));
+}
+
+std::optional<TagDfa> MaterializeForallRecognizer(const Dfa& minimal_dfa,
+                                                  bool blind,
+                                                  int max_states) {
+  std::optional<TagDfa> el =
+      MaterializeElRecognizer(Complement(minimal_dfa), blind, max_states);
+  if (!el.has_value()) return std::nullopt;
+  return TagDfaComplement(*el);
+}
+
+}  // namespace sst

@@ -1,0 +1,45 @@
+#ifndef SST_EVAL_AL_RECOGNIZER_H_
+#define SST_EVAL_AL_RECOGNIZER_H_
+
+#include <memory>
+#include <utility>
+
+#include "automata/dfa.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+
+namespace sst {
+
+// Negation wrapper: accepts iff the inner machine rejects. Together with
+// the duality (AL)^c = E(L^c) this yields AL recognizers from EL ones
+// (Theorem 3.2(2) and Lemma 3.10(1)).
+class NotAdapter final : public StreamMachine {
+ public:
+  explicit NotAdapter(std::unique_ptr<StreamMachine> inner)
+      : inner_(std::move(inner)) {}
+
+  void Reset() override { inner_->Reset(); }
+  void OnOpen(Symbol symbol) override { inner_->OnOpen(symbol); }
+  void OnClose(Symbol symbol) override { inner_->OnClose(symbol); }
+  bool InAcceptingState() const override {
+    return !inner_->InAcceptingState();
+  }
+
+ private:
+  std::unique_ptr<StreamMachine> inner_;
+};
+
+// Registerless recognizer of AL for an A-flat language L, given the minimal
+// DFA of L: the complemented synopsis automaton of E(L^c). `blind` gives
+// the term-encoding variant (requires blind A-flatness).
+std::unique_ptr<StreamMachine> BuildForallRecognizer(const Dfa& minimal_dfa,
+                                                     bool blind);
+
+// The same recognizer as an explicit TagDfa (complement of the materialized
+// E(L^c) automaton); nullopt if more than `max_states` states are needed.
+std::optional<TagDfa> MaterializeForallRecognizer(const Dfa& minimal_dfa,
+                                                  bool blind, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_EVAL_AL_RECOGNIZER_H_

@@ -1,0 +1,75 @@
+#include "eval/byte_runner.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace sst {
+
+ByteTagDfaRunner::ByteTagDfaRunner(const TagDfa& dfa)
+    : num_states_(dfa.num_states), initial_(dfa.initial) {
+  SST_CHECK_MSG(dfa.num_symbols <= 26, "compact markup allows 26 symbols");
+  table_.assign(static_cast<size_t>(num_states_) * 256, 0);
+  accepting_.assign(num_states_, 0);
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[q] = dfa.accepting[q] ? 1 : 0;
+    for (int byte = 0; byte < 256; ++byte) {
+      // Unknown bytes self-loop (they cannot occur in valid input).
+      table_[static_cast<size_t>(q) * 256 + byte] = q;
+    }
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      table_[static_cast<size_t>(q) * 256 + ('a' + a)] = dfa.NextOpen(q, a);
+      table_[static_cast<size_t>(q) * 256 + ('A' + a)] = dfa.NextClose(q, a);
+    }
+  }
+}
+
+int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
+  int state = initial_;
+  int64_t selected = 0;
+  for (unsigned char byte : bytes) {
+    state = Step(state, byte);
+    // Pre-selection samples only after opening tags (lowercase bytes).
+    selected += (byte >= 'a') & accepting_[state];
+  }
+  return selected;
+}
+
+bool ByteTagDfaRunner::Accepts(std::string_view bytes) const {
+  int state = initial_;
+  for (unsigned char byte : bytes) state = Step(state, byte);
+  return accepting_[state] != 0;
+}
+
+ByteStackRunner::ByteStackRunner(const Dfa& dfa)
+    : num_states_(dfa.num_states), initial_(dfa.initial) {
+  SST_CHECK_MSG(dfa.num_symbols <= 26, "compact markup allows 26 symbols");
+  open_table_.assign(static_cast<size_t>(num_states_) * 26, 0);
+  accepting_.assign(num_states_, 0);
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[q] = dfa.accepting[q] ? 1 : 0;
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      open_table_[static_cast<size_t>(q) * 26 + a] = dfa.Next(q, a);
+    }
+  }
+}
+
+int64_t ByteStackRunner::CountSelections(std::string_view bytes) {
+  stack_.clear();
+  int state = initial_;
+  int64_t selected = 0;
+  for (unsigned char byte : bytes) {
+    if (byte >= 'a' && byte <= 'z') {
+      stack_.push_back(state);
+      state = open_table_[static_cast<size_t>(state) * 26 + (byte - 'a')];
+      selected += accepting_[state];
+    } else if (byte >= 'A' && byte <= 'Z' && !stack_.empty()) {
+      state = stack_.back();
+      stack_.pop_back();
+    }
+    max_stack_depth_ = std::max(max_stack_depth_, stack_.size());
+  }
+  return selected;
+}
+
+}  // namespace sst

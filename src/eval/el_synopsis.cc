@@ -1,0 +1,264 @@
+#include "eval/el_synopsis.h"
+
+#include <map>
+#include <utility>
+
+#include "automata/relations.h"
+#include "base/check.h"
+
+namespace sst {
+
+std::vector<int> ElSynopsisRecognizer::State::Key() const {
+  std::vector<int> key;
+  key.push_back(static_cast<int>(mode));
+  key.push_back(last_open ? 1 : 0);
+  if (mode == Mode::kSynopsis) {
+    for (size_t i = 0; i < triples.size(); ++i) {
+      key.push_back(triples[i].r);
+      key.push_back(triples[i].p);
+      key.push_back(triples[i].q);
+      if (i < letters.size()) key.push_back(letters[i]);
+    }
+  }
+  return key;
+}
+
+ElSynopsisRecognizer::ElSynopsisRecognizer(const Dfa& minimal_dfa, bool blind)
+    : dfa_(minimal_dfa),
+      blind_(blind),
+      scc_(ComputeScc(dfa_)),
+      internal_(InternalStates(dfa_)),
+      rejective_(RejectiveStates(dfa_)) {
+  Reset();
+}
+
+ElSynopsisRecognizer::State ElSynopsisRecognizer::InitialState() const {
+  State state;
+  int r0 = dfa_.initial;
+  if (!rejective_[r0]) {
+    state.mode = State::Mode::kTop;
+  } else {
+    state.mode = State::Mode::kSynopsis;
+    state.triples = {Triple{r0, r0, r0}};
+  }
+  return state;
+}
+
+void ElSynopsisRecognizer::Reset() {
+  state_ = InitialState();
+  hit_unexpected_case_ = false;
+}
+
+void ElSynopsisRecognizer::OnOpen(Symbol symbol) {
+  state_ = StepOpen(state_, symbol);
+}
+
+void ElSynopsisRecognizer::OnClose(Symbol symbol) {
+  state_ = StepClose(state_, symbol);
+}
+
+ElSynopsisRecognizer::State ElSynopsisRecognizer::Bot(bool unexpected) const {
+  if (unexpected) hit_unexpected_case_ = true;
+  State state;
+  state.mode = State::Mode::kBot;
+  return state;
+}
+
+std::vector<int> ElSynopsisRecognizer::SplitCandidates(int component, int p,
+                                                       int q,
+                                                       Symbol a) const {
+  // P = { s in the component : s·a in {p, q} }; in blind mode the letter is
+  // existentially quantified (cases A'/B' of Appendix B).
+  std::vector<int> result;
+  for (int candidate : scc_.members[component]) {
+    bool hits = false;
+    if (blind_) {
+      for (Symbol b = 0; b < dfa_.num_symbols && !hits; ++b) {
+        int succ = dfa_.Next(candidate, b);
+        hits = succ == p || succ == q;
+      }
+    } else {
+      int succ = dfa_.Next(candidate, a);
+      hits = succ == p || succ == q;
+    }
+    if (hits) result.push_back(candidate);
+  }
+  return result;
+}
+
+bool ElSynopsisRecognizer::HasInternalPred(int target, Symbol a) const {
+  for (int p = 0; p < dfa_.num_states; ++p) {
+    if (!internal_[p]) continue;
+    if (blind_) {
+      for (Symbol b = 0; b < dfa_.num_symbols; ++b) {
+        if (dfa_.Next(p, b) == target) return true;
+      }
+    } else if (dfa_.Next(p, a) == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ElSynopsisRecognizer::HasSccPred(int target, Symbol a) const {
+  int component = scc_.component_of[target];
+  for (int q : scc_.members[component]) {
+    if (blind_) {
+      for (Symbol b = 0; b < dfa_.num_symbols; ++b) {
+        if (dfa_.Next(q, b) == target) return true;
+      }
+    } else if (dfa_.Next(q, a) == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ElSynopsisRecognizer::State ElSynopsisRecognizer::StepOpen(const State& state,
+                                                           Symbol a) const {
+  State next = state;
+  next.last_open = true;
+  if (state.mode != State::Mode::kSynopsis) return next;
+
+  const Triple& last = state.triples.back();
+  int s = dfa_.Next(last.p, a);
+  if (!rejective_[s]) {
+    next = State{};
+    next.mode = State::Mode::kTop;
+    next.last_open = true;
+    return next;
+  }
+  if (scc_.SameComponent(s, last.q)) {
+    next.triples.back() = Triple{last.r, s, s};
+  } else {
+    next.letters.push_back(a);
+    next.triples.push_back(Triple{s, s, s});
+  }
+  return next;
+}
+
+ElSynopsisRecognizer::State ElSynopsisRecognizer::StepClose(
+    const State& state, Symbol a) const {
+  State next = state;
+  next.last_open = false;
+  if (state.mode != State::Mode::kSynopsis) return next;
+
+  // B' enrichment: closing a leaf whose branch word is accepted => EL holds.
+  {
+    const Triple& last = state.triples.back();
+    if (state.last_open && last.p == last.q && dfa_.accepting[last.p]) {
+      next = State{};
+      next.mode = State::Mode::kTop;
+      return next;
+    }
+  }
+
+  // Case analysis of Lemma 3.11 / Appendix A (primed variants when blind).
+  // Case C forwards to a modified synopsis; the loop runs at most twice.
+  for (int guard = 0; guard < 4; ++guard) {
+    size_t l = next.letters.size();
+    SST_CHECK(next.triples.size() == l + 1);
+    Triple last = next.triples.back();
+
+    if (!internal_[last.p]) {
+      // Only possible for the initial synopsis (r0, r0, r0): the closing
+      // tag would end the encoding or the stream is invalid.
+      next.triples.clear();
+      next.letters.clear();
+      next.mode = State::Mode::kBot;
+      return next;
+    }
+
+    const int x = scc_.component_of[last.q];
+    const bool same_scc = scc_.component_of[last.p] == x;
+    const bool back_shape =
+        last.r == last.p || last.r == last.q;
+    const bool label_matches =
+        blind_ || (l > 0 && next.letters[l - 1] == a);
+
+    if (same_scc) {
+      const bool case_b = l > 0 && back_shape && label_matches &&
+                          internal_[next.triples[l - 1].p];
+      std::vector<int> split = SplitCandidates(x, last.p, last.q, a);
+      if (!case_b) {
+        // Case A: backtrack within the SCC.
+        if (split.empty()) return Bot(false);
+        if (split.size() > 2) return Bot(true);
+        next.triples.back() = Triple{last.r, split.front(), split.back()};
+        return next;
+      }
+      // Case B: may also backtrack through the split transition.
+      if (split.empty()) {
+        next.triples.pop_back();
+        next.letters.pop_back();
+        return next;
+      }
+      const Triple& prev = next.triples[l - 1];
+      if (prev.p != prev.q || split.size() != 1) return Bot(true);
+      next.triples.back() = Triple{last.r, prev.p, split.front()};
+      return next;
+    }
+
+    // last.p outside the SCC of last.q: by the synopsis invariants this
+    // requires l > 0 and last.p == p_{l-1} == q_{l-1}.
+    if (l == 0) return Bot(true);
+    const bool case_d = back_shape && label_matches;
+    if (case_d) {
+      // Case D: keep the synopsis unchanged.
+      return next;
+    }
+    // Case C: at most one of the two backtrack directions exists.
+    const bool has_p = HasInternalPred(last.p, a);
+    const bool has_q = HasSccPred(last.q, a);
+    if (has_p && has_q) return Bot(true);
+    if (!has_p) {
+      next.triples.back() = Triple{last.r, last.q, last.q};
+      continue;  // re-dispatch (falls into Case A)
+    }
+    // has_p && !has_q: drop the last split transition and re-dispatch.
+    next.triples.pop_back();
+    next.letters.pop_back();
+    continue;
+  }
+  return Bot(true);
+}
+
+std::optional<TagDfa> MaterializeElRecognizer(const Dfa& minimal_dfa,
+                                              bool blind, int max_states) {
+  ElSynopsisRecognizer spec(minimal_dfa, blind);
+  std::map<std::vector<int>, int> id;
+  std::vector<ElSynopsisRecognizer::State> states;
+  auto intern = [&](const ElSynopsisRecognizer::State& s) {
+    auto [it, inserted] = id.emplace(s.Key(), static_cast<int>(states.size()));
+    if (inserted) states.push_back(s);
+    return it->second;
+  };
+  int initial = intern(spec.InitialState());
+
+  const int k = minimal_dfa.num_symbols;
+  std::vector<int> open_table, close_table;
+  std::vector<bool> accepting;
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (static_cast<int>(states.size()) > max_states) return std::nullopt;
+    const ElSynopsisRecognizer::State current = states[i];
+    accepting.push_back(current.mode ==
+                        ElSynopsisRecognizer::State::Mode::kTop);
+    for (Symbol a = 0; a < k; ++a) {
+      open_table.push_back(intern(spec.StepOpen(current, a)));
+    }
+    for (Symbol a = 0; a < k; ++a) {
+      close_table.push_back(intern(spec.StepClose(current, a)));
+    }
+  }
+
+  TagDfa result = TagDfa::Create(static_cast<int>(states.size()), k);
+  result.initial = initial;
+  result.next_open = std::move(open_table);
+  result.next_close = std::move(close_table);
+  for (size_t i = 0; i < accepting.size(); ++i) {
+    result.accepting[i] = accepting[i];
+  }
+  return result;
+}
+
+}  // namespace sst

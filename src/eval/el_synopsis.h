@@ -1,0 +1,95 @@
+#ifndef SST_EVAL_EL_SYNOPSIS_H_
+#define SST_EVAL_EL_SYNOPSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/scc.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+
+namespace sst {
+
+// Lemma 3.11 (+ Appendix A): the finite automaton recognizing EL (the set
+// of trees with some branch labelled by a word of L) for an E-flat language
+// L, given its minimal DFA A.
+//
+// The automaton's states are *synopses*: alternating sequences
+//     (r0,p0,q0) -a1-> (r1,p1,q1) -a2-> ... -al-> (rl,pl,ql)
+// recording the split transitions that moved the simulated run of A from
+// one SCC to the next, plus the sinks ⊤ (all-accepting) and ⊥
+// (all-rejecting), enriched with a last-tag-was-opening bit. The length of
+// a synopsis is bounded by the depth of A's SCC DAG, so the state space is
+// finite; this class runs it directly, and MaterializeElRecognizer
+// enumerates it into an explicit TagDfa.
+//
+// `blind` selects the Appendix B variant (Theorem B.1, cases A'-D'), whose
+// closing transitions ignore the closing label and which therefore runs on
+// the term encoding and recognizes EL iff L is blindly E-flat.
+//
+// The machine is well-defined for every minimal DFA; it recognizes EL
+// exactly when L is (blindly) E-flat. When the precondition fails the run
+// may reach situations the proof excludes; these are routed to ⊥ and
+// flagged via hit_unexpected_case() (used by tests and fooling demos).
+class ElSynopsisRecognizer final : public StreamMachine {
+ public:
+  // A triple (r, p, q) of the synopsis.
+  struct Triple {
+    int r = 0, p = 0, q = 0;
+    friend bool operator==(const Triple&, const Triple&) = default;
+  };
+
+  struct State {
+    enum class Mode { kTop, kBot, kSynopsis };
+    Mode mode = Mode::kSynopsis;
+    std::vector<Triple> triples;   // length l+1 in synopsis mode
+    std::vector<Symbol> letters;   // length l
+    bool last_open = false;
+
+    std::vector<int> Key() const;
+  };
+
+  ElSynopsisRecognizer(const Dfa& minimal_dfa, bool blind);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override {
+    return state_.mode == State::Mode::kTop;
+  }
+
+  bool hit_unexpected_case() const { return hit_unexpected_case_; }
+  const State& state() const { return state_; }
+
+  // Pure transition functions (also used by the materializer).
+  State InitialState() const;
+  State StepOpen(const State& state, Symbol a) const;
+  State StepClose(const State& state, Symbol a) const;
+
+ private:
+  std::vector<int> SplitCandidates(int component, int p, int q,
+                                   Symbol a) const;
+  bool HasInternalPred(int target, Symbol a) const;
+  bool HasSccPred(int target, Symbol a) const;
+  State Bot(bool unexpected) const;
+
+  Dfa dfa_;
+  bool blind_;
+  SccInfo scc_;
+  std::vector<bool> internal_;
+  std::vector<bool> rejective_;
+
+  State state_;
+  mutable bool hit_unexpected_case_ = false;
+};
+
+// Enumerates the synopsis automaton into an explicit registerless TagDfa
+// (states = reachable State values). Returns nullopt if more than
+// `max_states` states are reachable.
+std::optional<TagDfa> MaterializeElRecognizer(const Dfa& minimal_dfa,
+                                              bool blind, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_EVAL_EL_SYNOPSIS_H_

@@ -1,0 +1,54 @@
+#include "eval/post_selection.h"
+
+namespace sst {
+
+std::vector<bool> RunPostQuery(StreamMachine* machine,
+                               const EventStream& events) {
+  machine->Reset();
+  std::vector<bool> selected;
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      machine->OnOpen(event.symbol);
+    } else {
+      machine->OnClose(event.symbol);
+      selected.push_back(machine->InAcceptingState());
+    }
+  }
+  return selected;
+}
+
+std::vector<bool> RunPostQueryOnTree(StreamMachine* machine, const Tree& tree,
+                                     bool term_encoded) {
+  EventStream events = Encode(tree);
+  if (term_encoded) {
+    for (TagEvent& event : events) {
+      if (!event.open) event.symbol = -1;
+    }
+  }
+  std::vector<bool> in_stream_order = RunPostQuery(machine, events);
+  // Closing tags appear in postorder; recover it to map back to node ids.
+  std::vector<int> postorder;
+  postorder.reserve(tree.size());
+  std::vector<std::pair<int, int>> frames;  // (node, next child)
+  if (!tree.empty()) {
+    frames.emplace_back(tree.root(), tree.node(tree.root()).first_child);
+    while (!frames.empty()) {
+      auto& [node, child] = frames.back();
+      if (child < 0) {
+        postorder.push_back(node);
+        frames.pop_back();
+      } else {
+        int current = child;
+        child = tree.node(current).next_sibling;
+        frames.emplace_back(current, tree.node(current).first_child);
+      }
+    }
+  }
+  std::vector<bool> by_id(tree.size());
+  for (size_t i = 0; i < postorder.size(); ++i) {
+    by_id[postorder[i]] = in_stream_order[i];
+  }
+  return by_id;
+}
+
+}  // namespace sst

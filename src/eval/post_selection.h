@@ -1,0 +1,107 @@
+#ifndef SST_EVAL_POST_SELECTION_H_
+#define SST_EVAL_POST_SELECTION_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "dra/machine.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Post-selection (Section 2.3): a machine post-selects a node v if it is in
+// an accepting state directly after reading v's *closing* tag. The paper
+// focuses on pre-selection and leaves the stackless theory of
+// post-selection to future work; this header provides the execution
+// harness and the always-available pushdown realizations, so post-selecting
+// machines can be developed and tested against the same oracles.
+
+// Per closing tag in stream order (= the order subtrees complete), whether
+// the machine was accepting right after it. Note this is *postorder*, not
+// document order.
+std::vector<bool> RunPostQuery(StreamMachine* machine,
+                               const EventStream& events);
+
+// Same, indexed by node id (comparable with SelectNodes-style oracles).
+std::vector<bool> RunPostQueryOnTree(StreamMachine* machine, const Tree& tree,
+                                     bool term_encoded = false);
+
+// Pushdown machine post-selecting Q_L: accepting right after the closing
+// tag of v iff the root-to-v word is in L. For RPQs pre- and post-selection
+// pick the same nodes; post-selection trades the streaming advantage (the
+// subtree has already passed) for the ability to inspect it — see
+// SubtreeInspectingEvaluator below.
+class PostSelectStackEvaluator final : public StreamMachine {
+ public:
+  explicit PostSelectStackEvaluator(const Dfa* dfa) : dfa_(dfa) { Reset(); }
+
+  void Reset() override {
+    stack_.clear();
+    state_ = dfa_->initial;
+    post_flag_ = false;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    stack_.push_back(state_);
+    state_ = dfa_->Next(state_, symbol);
+    post_flag_ = false;
+  }
+
+  void OnClose(Symbol /*symbol*/) override {
+    // The state at the closed node is the current one; sample it, then
+    // revert to the parent.
+    post_flag_ = dfa_->accepting[state_];
+    if (!stack_.empty()) {
+      state_ = stack_.back();
+      stack_.pop_back();
+    }
+  }
+
+  bool InAcceptingState() const override { return post_flag_; }
+
+ private:
+  const Dfa* dfa_;
+  std::vector<int> stack_;
+  int state_ = 0;
+  bool post_flag_ = false;
+};
+
+// The extra power of post-selection: a pushdown machine post-selecting
+// nodes by a property of their *subtree* — here, nodes whose subtree
+// contains at least `min_descendants` proper descendants. No pre-selecting
+// machine can realize this (the subtree is unread at the opening tag).
+class SubtreeSizeEvaluator final : public StreamMachine {
+ public:
+  explicit SubtreeSizeEvaluator(int min_descendants)
+      : min_descendants_(min_descendants) {
+    Reset();
+  }
+
+  void Reset() override {
+    counts_.clear();
+    post_flag_ = false;
+  }
+
+  void OnOpen(Symbol /*symbol*/) override {
+    counts_.push_back(0);
+    post_flag_ = false;
+  }
+
+  void OnClose(Symbol /*symbol*/) override {
+    int closed = counts_.empty() ? 0 : counts_.back();
+    if (!counts_.empty()) counts_.pop_back();
+    post_flag_ = closed >= min_descendants_;
+    if (!counts_.empty()) counts_.back() += closed + 1;
+  }
+
+  bool InAcceptingState() const override { return post_flag_; }
+
+ private:
+  int min_descendants_;
+  std::vector<int> counts_;  // proper descendants seen so far, per level
+  bool post_flag_ = false;
+};
+
+}  // namespace sst
+
+#endif  // SST_EVAL_POST_SELECTION_H_

@@ -1,0 +1,60 @@
+#include "eval/registerless_query.h"
+
+#include <vector>
+
+#include "automata/relations.h"
+
+namespace sst {
+
+TagDfa BuildRegisterlessQueryAutomaton(const Dfa& minimal_dfa, bool blind) {
+  const int n = minimal_dfa.num_states;
+  const int k = minimal_dfa.num_symbols;
+  const int bottom = n;
+  TagDfa result = TagDfa::Create(n + 1, k);
+  result.initial = minimal_dfa.initial;
+  std::vector<bool> internal = InternalStates(minimal_dfa);
+
+  for (int p = 0; p < n; ++p) {
+    result.accepting[p] = minimal_dfa.accepting[p];
+    for (Symbol a = 0; a < k; ++a) {
+      result.SetNextOpen(p, a, minimal_dfa.Next(p, a));
+    }
+    if (blind) {
+      // Minimal internal p' with p'·a almost equivalent to p for some a.
+      int target = bottom;
+      for (int candidate = 0; candidate < n && target == bottom;
+           ++candidate) {
+        if (!internal[candidate]) continue;
+        for (Symbol a = 0; a < k; ++a) {
+          if (AlmostEquivalentStates(minimal_dfa,
+                                     minimal_dfa.Next(candidate, a), p)) {
+            target = candidate;
+            break;
+          }
+        }
+      }
+      for (Symbol a = 0; a < k; ++a) result.SetNextClose(p, a, target);
+    } else {
+      for (Symbol a = 0; a < k; ++a) {
+        int target = bottom;
+        for (int candidate = 0; candidate < n; ++candidate) {
+          if (internal[candidate] &&
+              AlmostEquivalentStates(minimal_dfa,
+                                     minimal_dfa.Next(candidate, a), p)) {
+            target = candidate;
+            break;
+          }
+        }
+        result.SetNextClose(p, a, target);
+      }
+    }
+  }
+  // ⊥ is an all-rejecting sink.
+  for (Symbol a = 0; a < k; ++a) {
+    result.SetNextOpen(bottom, a, bottom);
+    result.SetNextClose(bottom, a, bottom);
+  }
+  return result;
+}
+
+}  // namespace sst

@@ -1,0 +1,29 @@
+#ifndef SST_EVAL_REGISTERLESS_QUERY_H_
+#define SST_EVAL_REGISTERLESS_QUERY_H_
+
+#include "automata/dfa.h"
+#include "dra/tag_dfa.h"
+
+namespace sst {
+
+// Lemma 3.5: the registerless evaluator of QL for an almost-reversible
+// language L, given its minimal DFA. States are the states of A plus a
+// rejecting sink ⊥ (index num_states). On an opening tag the automaton
+// follows A; on a closing tag ā in state p it backtracks to the minimal
+// *internal* state p' such that p'·a is almost equivalent to p (⊥ if none).
+//
+// Appendix B variant (`blind` = true, Theorem B.1): the backtrack target is
+// the minimal internal p' such that p'·a is almost equivalent to p for
+// *some* letter a; the resulting automaton ignores closing labels and is
+// therefore runnable on the term encoding.
+//
+// The construction is defined for any minimal DFA; it realizes QL exactly
+// when L is almost-reversible (resp. blindly almost-reversible) — callers
+// wanting a guaranteed-correct evaluator should check IsAlmostReversible
+// first (the core facade does). Building it for other languages is useful
+// for the fooling experiments.
+TagDfa BuildRegisterlessQueryAutomaton(const Dfa& minimal_dfa, bool blind);
+
+}  // namespace sst
+
+#endif  // SST_EVAL_REGISTERLESS_QUERY_H_

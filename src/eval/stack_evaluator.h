@@ -1,0 +1,56 @@
+#ifndef SST_EVAL_STACK_EVALUATOR_H_
+#define SST_EVAL_STACK_EVALUATOR_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// The classical pushdown baseline: simulate the DFA of L along the current
+// root-to-node path, pushing the state at every opening tag and popping at
+// every closing tag. Realizes QL for *every* regular L, at the cost of
+// Θ(depth) memory — exactly the cost the paper's stackless model avoids.
+// Works unchanged for the term encoding (the closing label is ignored).
+//
+// Used throughout the test suite as the correctness oracle for the
+// registerless and stackless constructions, and in benchmarks as the
+// baseline.
+class StackQueryEvaluator final : public StreamMachine {
+ public:
+  explicit StackQueryEvaluator(const Dfa* dfa) : dfa_(dfa) { Reset(); }
+
+  void Reset() override {
+    stack_.clear();
+    state_ = dfa_->initial;
+    max_stack_depth_ = 0;
+  }
+
+  void OnOpen(Symbol symbol) override {
+    stack_.push_back(state_);
+    if (stack_.size() > max_stack_depth_) max_stack_depth_ = stack_.size();
+    state_ = dfa_->Next(state_, symbol);
+  }
+
+  void OnClose(Symbol /*symbol*/) override {
+    if (stack_.empty()) return;  // invalid stream; stay put
+    state_ = stack_.back();
+    stack_.pop_back();
+  }
+
+  bool InAcceptingState() const override { return dfa_->accepting[state_]; }
+
+  // Peak auxiliary memory, in stacked states (benchmark counter).
+  size_t max_stack_depth() const { return max_stack_depth_; }
+
+ private:
+  const Dfa* dfa_;
+  std::vector<int> stack_;
+  int state_ = 0;
+  size_t max_stack_depth_ = 0;
+};
+
+}  // namespace sst
+
+#endif  // SST_EVAL_STACK_EVALUATOR_H_

@@ -1,0 +1,243 @@
+#include "eval/stackless_query.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "automata/relations.h"
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Builds the backtrack table shared by the interpreter and the
+// materializer. Non-blind: revert[p * k + a]; blind: revert[p].
+std::vector<int> BuildRevertTable(const Dfa& dfa, const SccInfo& scc,
+                                  bool blind) {
+  const int n = dfa.num_states;
+  const int k = dfa.num_symbols;
+  std::vector<int> revert(static_cast<size_t>(n) * (blind ? 1 : k), -1);
+  for (int p = 0; p < n; ++p) {
+    int component = scc.component_of[p];
+    const std::vector<int>& members = scc.members[component];
+    if (blind) {
+      for (int candidate : members) {  // members are sorted ascending
+        bool ok = false;
+        for (Symbol a = 0; a < k && !ok; ++a) {
+          int succ = dfa.Next(candidate, a);
+          ok = scc.component_of[succ] == component &&
+               AlmostEquivalentStates(dfa, succ, p);
+        }
+        if (ok) {
+          revert[p] = candidate;
+          break;
+        }
+      }
+    } else {
+      for (Symbol a = 0; a < k; ++a) {
+        for (int candidate : members) {
+          int succ = dfa.Next(candidate, a);
+          if (scc.component_of[succ] == component &&
+              AlmostEquivalentStates(dfa, succ, p)) {
+            revert[static_cast<size_t>(p) * k + a] = candidate;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return revert;
+}
+
+}  // namespace
+
+StacklessQueryEvaluator::StacklessQueryEvaluator(const Dfa& minimal_dfa,
+                                                 bool blind)
+    : dfa_(minimal_dfa), blind_(blind), scc_(ComputeScc(dfa_)) {
+  revert_ = BuildRevertTable(dfa_, scc_, blind_);
+  max_chain_ = std::max(0, LongestChainLength(scc_) - 1);
+  Reset();
+}
+
+void StacklessQueryEvaluator::Reset() {
+  dead_ = false;
+  witness_ = dfa_.initial;
+  current_scc_ = scc_.component_of[witness_];
+  depth_ = 0;
+  chain_scc_.clear();
+  chain_witness_.clear();
+  chain_depth_.clear();
+}
+
+void StacklessQueryEvaluator::OnOpen(Symbol symbol) {
+  ++depth_;
+  if (dead_) return;
+  int next = dfa_.Next(witness_, symbol);
+  int next_scc = scc_.component_of[next];
+  if (next_scc != current_scc_) {
+    chain_scc_.push_back(current_scc_);
+    chain_witness_.push_back(witness_);
+    chain_depth_.push_back(depth_);
+    current_scc_ = next_scc;
+  }
+  witness_ = next;
+}
+
+void StacklessQueryEvaluator::OnClose(Symbol symbol) {
+  --depth_;
+  if (dead_) return;
+  if (!chain_depth_.empty() && depth_ < chain_depth_.back()) {
+    // The previous state of the simulated run belongs to the remembered
+    // SCC; revert to its witness and free the register.
+    current_scc_ = chain_scc_.back();
+    witness_ = chain_witness_.back();
+    chain_scc_.pop_back();
+    chain_witness_.pop_back();
+    chain_depth_.pop_back();
+    return;
+  }
+  int target = Revert(witness_, blind_ ? 0 : symbol);
+  if (target < 0) {
+    dead_ = true;
+    return;
+  }
+  witness_ = target;
+}
+
+bool StacklessQueryEvaluator::InAcceptingState() const {
+  return !dead_ && dfa_.accepting[witness_];
+}
+
+namespace {
+
+// Control state of the materialized machine.
+struct ControlState {
+  bool dead = false;
+  int witness = 0;
+  int current_scc = 0;
+  // Parallel chains, bottom..top.
+  std::vector<int> chain_scc;
+  std::vector<int> chain_witness;
+
+  std::vector<int> Key() const {
+    std::vector<int> key;
+    key.push_back(dead ? 1 : 0);
+    key.push_back(witness);
+    key.push_back(current_scc);
+    for (size_t i = 0; i < chain_scc.size(); ++i) {
+      key.push_back(chain_scc[i]);
+      key.push_back(chain_witness[i]);
+    }
+    return key;
+  }
+};
+
+}  // namespace
+
+std::optional<Dra> MaterializeStacklessQueryDra(const Dfa& minimal_dfa,
+                                                bool blind, int max_states) {
+  StacklessQueryEvaluator spec(minimal_dfa, blind);
+  const Dfa& dfa = spec.dfa();
+  const SccInfo& scc = spec.scc();
+  const int num_registers = spec.num_registers();
+  if (num_registers > Dra::kMaxRegisters) return std::nullopt;
+
+  std::map<std::vector<int>, int> id;
+  std::vector<ControlState> states;
+  auto intern = [&](const ControlState& s) {
+    auto [it, inserted] = id.emplace(s.Key(), static_cast<int>(states.size()));
+    if (inserted) states.push_back(s);
+    return it->second;
+  };
+
+  ControlState start;
+  start.witness = dfa.initial;
+  start.current_scc = scc.component_of[dfa.initial];
+  ControlState dead_state;
+  dead_state.dead = true;
+  int start_id = intern(start);
+  int dead_id = intern(dead_state);
+  (void)dead_id;
+
+  std::vector<Dra::Action> table;  // filled in state order
+  const int num_symbols = dfa.num_symbols;
+  int num_codes = 1;
+  for (int i = 0; i < num_registers; ++i) num_codes *= 3;
+
+  for (size_t index = 0; index < states.size(); ++index) {
+    if (static_cast<int>(states.size()) > max_states) return std::nullopt;
+    // Copy: `states` may grow (and reallocate) during interning below.
+    const ControlState current = states[index];
+    const int live = static_cast<int>(current.chain_scc.size());
+    for (int close = 0; close < 2; ++close) {
+      for (Symbol a = 0; a < num_symbols; ++a) {
+        for (int code = 0; code < num_codes; ++code) {
+          Dra::Action action;
+          ControlState next = current;
+          int new_live = live;
+          if (current.dead) {
+            // stay dead
+          } else if (close == 0) {
+            int succ = dfa.Next(current.witness, a);
+            int succ_scc = scc.component_of[succ];
+            if (succ_scc != current.current_scc) {
+              next.chain_scc.push_back(current.current_scc);
+              next.chain_witness.push_back(current.witness);
+              next.current_scc = succ_scc;
+              action.load_mask |= uint32_t{1} << live;
+              new_live = live + 1;
+            }
+            next.witness = succ;
+          } else {
+            bool pop = live > 0 && Dra::CmpDigit(code, live - 1) ==
+                                       Dra::kGreater;
+            if (pop) {
+              next.current_scc = next.chain_scc.back();
+              next.witness = next.chain_witness.back();
+              next.chain_scc.pop_back();
+              next.chain_witness.pop_back();
+              new_live = live - 1;
+            } else {
+              int target = spec.Revert(current.witness, blind ? 0 : a);
+              if (target < 0) {
+                next = ControlState{};
+                next.dead = true;
+              } else {
+                next.witness = target;
+              }
+            }
+          }
+          // Restrictedness (Section 2.2): reload every register that reads
+          // strictly greater than the current depth. In reachable
+          // configurations chain depths increase bottom-to-top and the
+          // machine pops as soon as the top exceeds the depth, so the only
+          // register this can hit is a just-freed top (whose value is never
+          // read again) or registers in unreachable comparison codes —
+          // either way the simulation is unaffected.
+          (void)new_live;
+          for (int r = 0; r < num_registers; ++r) {
+            if (Dra::CmpDigit(code, r) == Dra::kGreater) {
+              action.load_mask |= uint32_t{1} << r;
+            }
+          }
+          action.next = intern(next);
+          table.push_back(action);
+        }
+      }
+    }
+  }
+
+  Dra dra = Dra::Create(static_cast<int>(states.size()), num_symbols,
+                        num_registers);
+  dra.initial = start_id;
+  dra.table = std::move(table);
+  SST_CHECK(dra.table.size() == static_cast<size_t>(dra.num_states) * 2 *
+                                    num_symbols * num_codes);
+  for (size_t i = 0; i < states.size(); ++i) {
+    dra.accepting[i] = !states[i].dead && dfa.accepting[states[i].witness];
+  }
+  return dra;
+}
+
+}  // namespace sst

@@ -1,0 +1,94 @@
+#ifndef SST_EVAL_STACKLESS_QUERY_H_
+#define SST_EVAL_STACKLESS_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/scc.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+
+namespace sst {
+
+// Lemma 3.8: the depth-register evaluator of QL for a HAR language L, given
+// its minimal DFA A. The machine simulates A along the path from the root
+// to the current node, maintaining
+//   * for every SCC of A already left on the current path: the depth at
+//     which the next SCC began (a register) and a witness state that meets
+//     A's last state in that SCC;
+//   * for the current SCC: a witness state p that meets the real state
+//     (and equals it right after every opening tag).
+// Registers are chain positions; the number of live registers is bounded by
+// the longest chain in A's SCC DAG.
+//
+// `blind` selects the Theorem B.2 variant for the term encoding: the
+// backtrack target on a closing tag is chosen so that p'·a is almost
+// equivalent to p for *some* letter a, making the machine independent of
+// closing labels.
+//
+// The construction realizes QL exactly when L is HAR (blind: blindly HAR);
+// it is well-defined for any minimal DFA, which the fooling experiments
+// exploit.
+class StacklessQueryEvaluator final : public StreamMachine {
+ public:
+  StacklessQueryEvaluator(const Dfa& minimal_dfa, bool blind);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override;
+
+  // True once the machine has entered the dead sink (only possible on
+  // invalid encodings or when the HAR precondition fails).
+  bool dead() const { return dead_; }
+
+  // Number of registers the machine may use (longest SCC-DAG chain).
+  int num_registers() const { return max_chain_; }
+
+  // Current number of live registers (benchmark counter).
+  size_t live_registers() const { return chain_scc_.size(); }
+
+  const Dfa& dfa() const { return dfa_; }
+  const SccInfo& scc() const { return scc_; }
+  // Backtrack table: for p in SCC Y and label a, the minimal p' in Y with
+  // p'·a in Y and p'·a almost equivalent to p (-1 if none). In blind mode
+  // the table is indexed with a = 0 only.
+  int Revert(int p, Symbol a) const {
+    return revert_[static_cast<size_t>(p) * (blind_ ? 1 : dfa_.num_symbols) +
+                   (blind_ ? 0 : a)];
+  }
+  bool blind() const { return blind_; }
+
+ private:
+  Dfa dfa_;  // owned copy of the minimal automaton
+  bool blind_;
+  SccInfo scc_;
+  std::vector<int> revert_;
+  int max_chain_ = 0;
+
+  // Configuration.
+  bool dead_ = false;
+  int witness_ = 0;       // p
+  int current_scc_ = 0;   // Y
+  int64_t depth_ = 0;
+  std::vector<int> chain_scc_;       // remembered SCC ids (bottom..top)
+  std::vector<int> chain_witness_;   // remembered witness states
+  std::vector<int64_t> chain_depth_; // register contents
+};
+
+// Materializes the Lemma 3.8 machine into an explicit DRA (Definition 2.1)
+// with registers = chain positions, by BFS over reachable control states.
+// Returns nullopt if more than `max_states` control states or more than
+// Dra::kMaxRegisters registers would be needed. The result is *restricted*
+// (Section 2.2): stale registers above the live chain are reloaded whenever
+// they exceed the current depth, which the paper's definition requires and
+// which never affects the simulation.
+std::optional<Dra> MaterializeStacklessQueryDra(const Dfa& minimal_dfa,
+                                                bool blind, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_EVAL_STACKLESS_QUERY_H_

@@ -1,0 +1,513 @@
+#include "fooling/fooling.h"
+
+#include <initializer_list>
+#include <map>
+
+#include "automata/relations.h"
+#include "automata/scc.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+
+namespace {
+
+Word Concat(std::initializer_list<const Word*> parts) {
+  Word result;
+  for (const Word* part : parts) {
+    result.insert(result.end(), part->begin(), part->end());
+  }
+  return result;
+}
+
+Word Repeat(const Word& word, int times) {
+  Word result;
+  result.reserve(word.size() * times);
+  for (int i = 0; i < times; ++i) {
+    result.insert(result.end(), word.begin(), word.end());
+  }
+  return result;
+}
+
+// Appends a chain labelled by `word` below `attach` and returns the id of
+// the deepest new node (or `attach` itself if the word is empty).
+int AppendChain(Tree* tree, int attach, const Word& word) {
+  int current = attach;
+  for (Symbol a : word) current = tree->AddChild(current, a);
+  return current;
+}
+
+// Builds a tree that is a chain labelled `word` from the root; returns the
+// bottom node via *bottom.
+Tree ChainWithBottom(const Word& word, int* bottom) {
+  SST_CHECK(!word.empty());
+  Tree tree;
+  int current = tree.AddRoot(word[0]);
+  for (size_t i = 1; i < word.size(); ++i) {
+    current = tree.AddChild(current, word[i]);
+  }
+  *bottom = current;
+  return tree;
+}
+
+}  // namespace
+
+std::optional<NonEFlatWitness> ExtractNonEFlatWitness(
+    const Dfa& minimal_dfa) {
+  ClassViolation violation;
+  if (IsEFlat(minimal_dfa, &violation)) return std::nullopt;
+  NonEFlatWitness witness;
+  witness.p = violation.p;
+  witness.q = violation.q;
+  SST_CHECK(FindConnectingWord(minimal_dfa, minimal_dfa.initial, witness.p,
+                               /*nonempty=*/true, &witness.s));
+  PairReachability reach(minimal_dfa, /*blind=*/false);
+  SST_CHECK(
+      reach.FindMeetInWord(witness.p, witness.q, witness.q, &witness.u));
+  SST_CHECK(!witness.u.empty());
+  SST_CHECK(FindWordToAcceptance(minimal_dfa, witness.q, /*accepting=*/false,
+                                 &witness.x));
+  SST_CHECK(FindAlmostDistinguishingWord(minimal_dfa, witness.p, witness.q,
+                                         &witness.t));
+  return witness;
+}
+
+std::optional<NonHarWitness> ExtractNonHarWitness(const Dfa& minimal_dfa) {
+  ClassViolation violation;
+  if (IsHar(minimal_dfa, &violation)) return std::nullopt;
+  NonHarWitness witness;
+  witness.p = violation.p;
+  witness.q = violation.q;
+  SccInfo scc = ComputeScc(minimal_dfa);
+  PairReachability reach(minimal_dfa, /*blind=*/false);
+  witness.r = -1;
+  for (int candidate : scc.members[violation.component]) {
+    if (reach.MeetsIn(witness.p, witness.q, candidate)) {
+      witness.r = candidate;
+      break;
+    }
+  }
+  SST_CHECK(witness.r >= 0);
+  SST_CHECK(
+      reach.FindMeetInWord(witness.p, witness.q, witness.r, &witness.u));
+  SST_CHECK(FindAlmostDistinguishingWord(minimal_dfa, witness.p, witness.q,
+                                         &witness.t));
+  // Orient the pair as in the proof: p·t accepting, q·t rejecting.
+  if (!minimal_dfa.accepting[minimal_dfa.Run(witness.p, witness.t)]) {
+    std::swap(witness.p, witness.q);
+  }
+  // v: r -> p, w: r -> q, made nonempty with loops inside the SCC.
+  SST_CHECK(FindConnectingWord(minimal_dfa, witness.r, witness.p,
+                               /*nonempty=*/false, &witness.v));
+  SST_CHECK(FindConnectingWord(minimal_dfa, witness.r, witness.q,
+                               /*nonempty=*/false, &witness.w));
+  if (witness.v.empty()) {
+    Word loop;
+    SST_CHECK(FindLoopingWord(minimal_dfa, witness.p, &loop));
+    witness.v = loop;
+  }
+  if (witness.w.empty()) {
+    Word loop;
+    SST_CHECK(FindLoopingWord(minimal_dfa, witness.q, &loop));
+    witness.w = loop;
+  }
+  SST_CHECK(FindConnectingWord(minimal_dfa, minimal_dfa.initial, witness.r,
+                               /*nonempty=*/true, &witness.s));
+  // Pad u with loops at r until |u| >= |t|.
+  Word loop_r;
+  SST_CHECK(FindLoopingWord(minimal_dfa, witness.r, &loop_r));
+  while (witness.u.size() < witness.t.size()) {
+    witness.u = Concat({&witness.u, &loop_r});
+  }
+  return witness;
+}
+
+FoolingPair BuildLemma312Trees(const NonEFlatWitness& witness, int exponent,
+                               const Dfa& minimal_dfa) {
+  SST_CHECK(exponent >= 1);
+  const Word u_pumped = Repeat(witness.u, exponent);
+  const Word side_branch = Concat({&u_pumped, &witness.x});
+
+  auto build = [&](bool extra_segment) {
+    Word trunk = extra_segment ? Concat({&witness.s, &u_pumped}) : witness.s;
+    int bottom = 0;
+    Tree tree = ChainWithBottom(trunk, &bottom);
+    AppendChain(&tree, bottom, side_branch);
+    AppendChain(&tree, bottom, witness.t);
+    AppendChain(&tree, bottom, side_branch);
+    return tree;
+  };
+
+  Tree s_tree = build(false);        // branches: s·u^N·x, s·t, s·u^N·x
+  Tree s_prime_tree = build(true);   // branches: s·u^N·u^N·x, s·u^N·t, ...
+
+  FoolingPair pair;
+  pair.exponent = exponent;
+  Word st = Concat({&witness.s, &witness.t});
+  if (minimal_dfa.Accepts(st)) {
+    pair.in_el = std::move(s_tree);
+    pair.out_el = std::move(s_prime_tree);
+  } else {
+    pair.in_el = std::move(s_prime_tree);
+    pair.out_el = std::move(s_tree);
+  }
+  return pair;
+}
+
+FoolingPair BuildLemma316Trees(const NonHarWitness& witness, int exponent,
+                               const Dfa& minimal_dfa) {
+  SST_CHECK(exponent >= 1);
+  const int n = exponent;
+  const Word vu = Concat({&witness.v, &witness.u});
+  const Word uv = Concat({&witness.u, &witness.v});
+  const Word vu_2n = Repeat(vu, 2 * n);
+  // y = w·u·(vu)^{2N}; one level is the chain y^N · w.
+  const Word y = Concat({&witness.w, &witness.u, &vu_2n});
+  const Word y_n = Repeat(y, n);
+  const Word level = Concat({&y_n, &witness.w});
+  // The continuation (uv)^{2N}·u completes the level to y^{N+1}.
+  const Word uv_2n = Repeat(uv, 2 * n);
+  const Word cont = Concat({&uv_2n, &witness.u});
+  const Word uv_n = Repeat(uv, n);
+  const Word final_branch = Concat({&witness.w, &witness.t});
+
+  // Build the spine top-down, then attach every level's t-leaf as a *right*
+  // sibling of the continuation subtree: the t-leaves are visited on the
+  // way back up, after the victim has had to backtrack out of the deep
+  // continuation — exactly where depth registers run out (Fig 5 reads the
+  // t t̄ blocks inside the ascending x̄/ȳ phases). In the modified tree the
+  // (uv)^N segment is inserted into the spine of the middle level, just
+  // before its branching, turning its wt-branch into a w·u(vu)^{N-1}·vt
+  // branch (in L) while every other branch stays in s(wu+vu)*wt.
+  auto build = [&](bool modified) {
+    int bottom = 0;
+    Tree tree = ChainWithBottom(witness.s, &bottom);
+    std::vector<int> branching_nodes;
+    for (int i = 1; i <= 2 * n + 1; ++i) {
+      bottom = AppendChain(&tree, bottom, level);
+      if (modified && i == n + 1) {
+        bottom = AppendChain(&tree, bottom, uv_n);
+      }
+      branching_nodes.push_back(bottom);
+      bottom = AppendChain(&tree, bottom, cont);
+    }
+    AppendChain(&tree, bottom, final_branch);
+    // Right-sibling t-leaves, attached after the continuation subtrees.
+    for (auto it = branching_nodes.rbegin(); it != branching_nodes.rend();
+         ++it) {
+      AppendChain(&tree, *it, witness.t);
+    }
+    return tree;
+  };
+
+  FoolingPair pair;
+  pair.exponent = exponent;
+  pair.out_el = build(false);  // all branches in s(wu+vu)*wt ⊆ L^c
+  pair.in_el = build(true);    // one branch in s(wu+vu)*vt ⊆ L
+  (void)minimal_dfa;
+  return pair;
+}
+
+std::optional<BlindNonEFlatWitness> ExtractBlindNonEFlatWitness(
+    const Dfa& minimal_dfa) {
+  ClassViolation violation;
+  if (IsBlindEFlat(minimal_dfa, &violation)) return std::nullopt;
+  BlindNonEFlatWitness witness;
+  witness.p = violation.p;
+  witness.q = violation.q;
+  SST_CHECK(FindConnectingWord(minimal_dfa, minimal_dfa.initial, witness.p,
+                               /*nonempty=*/true, &witness.s));
+  PairReachability reach(minimal_dfa, /*blind=*/true);
+  SST_CHECK(reach.FindBlindMeetInWords(witness.p, witness.q, witness.q,
+                                       &witness.u1, &witness.u2));
+  SST_CHECK(!witness.u1.empty() && witness.u1.size() == witness.u2.size());
+  SST_CHECK(FindWordToAcceptance(minimal_dfa, witness.q, /*accepting=*/false,
+                                 &witness.x));
+  SST_CHECK(FindAlmostDistinguishingWord(minimal_dfa, witness.p, witness.q,
+                                         &witness.t));
+  return witness;
+}
+
+FoolingPair BuildBlindLemma312Trees(const BlindNonEFlatWitness& witness,
+                                    int exponent, const Dfa& minimal_dfa) {
+  SST_CHECK(exponent >= 1);
+  const int n = exponent;
+  Word st = Concat({&witness.s, &witness.t});
+  const bool st_in_language = minimal_dfa.Accepts(st);
+
+  const Word u2_n = Repeat(witness.u2, n);
+  const Word u2_n_minus_1 = Repeat(witness.u2, n - 1);
+  const Word u2_n_plus_1 = Repeat(witness.u2, n + 1);
+
+  // Left branch of both trees reads s·u1·u2^k·x ∈ L^c. The rightmost
+  // branch starts with u1 when S' must be the EL member (its word is then
+  // uncontrolled but irrelevant), and with u2 when S' must be EL-free
+  // (making it s·u1·u2^{2N}·x ∈ L^c); cf. the two cases of Theorem B.1's
+  // adaptation of Lemma 3.12.
+  const Word right_head = st_in_language ? witness.u2 : witness.u1;
+
+  // S: trunk s, children [u1·u2^N·x], [t], [right_head·u2^N·x].
+  Word left_branch = Concat({&witness.u1, &u2_n, &witness.x});
+  Word right_branch = Concat({&right_head, &u2_n, &witness.x});
+  int bottom = 0;
+  Tree s_tree = ChainWithBottom(witness.s, &bottom);
+  AppendChain(&s_tree, bottom, left_branch);
+  AppendChain(&s_tree, bottom, witness.t);
+  AppendChain(&s_tree, bottom, right_branch);
+
+  // S': trunk s·u1·u2^{N-1}, children [u2^{N+1}·x], [t],
+  // [right_head·u2^N·x] — under the term encoding the ascent from the
+  // first branch is indistinguishable from S's.
+  Word trunk = Concat({&witness.s, &witness.u1, &u2_n_minus_1});
+  Word deep_left = Concat({&u2_n_plus_1, &witness.x});
+  Tree s_prime_tree = ChainWithBottom(trunk, &bottom);
+  AppendChain(&s_prime_tree, bottom, deep_left);
+  AppendChain(&s_prime_tree, bottom, witness.t);
+  AppendChain(&s_prime_tree, bottom, right_branch);
+
+  FoolingPair pair;
+  pair.exponent = exponent;
+  if (st_in_language) {
+    pair.in_el = std::move(s_tree);        // the t-branch s·t ∈ L
+    pair.out_el = std::move(s_prime_tree);
+  } else {
+    pair.in_el = std::move(s_prime_tree);  // s·u1·u2^{N-1}·t ∈ L
+    pair.out_el = std::move(s_tree);
+  }
+  return pair;
+}
+
+std::optional<BlindNonHarWitness> ExtractBlindNonHarWitness(
+    const Dfa& minimal_dfa) {
+  ClassViolation violation;
+  if (IsBlindHar(minimal_dfa, &violation)) return std::nullopt;
+  BlindNonHarWitness witness;
+  witness.p = violation.p;
+  witness.q = violation.q;
+  SccInfo scc = ComputeScc(minimal_dfa);
+  PairReachability reach(minimal_dfa, /*blind=*/true);
+  witness.r = -1;
+  for (int candidate : scc.members[violation.component]) {
+    if (reach.MeetsIn(witness.p, witness.q, candidate)) {
+      witness.r = candidate;
+      break;
+    }
+  }
+  SST_CHECK(witness.r >= 0);
+  SST_CHECK(FindAlmostDistinguishingWord(minimal_dfa, witness.p, witness.q,
+                                         &witness.t));
+  // Orient as in the proof: p·t accepting, q·t rejecting.
+  if (!minimal_dfa.accepting[minimal_dfa.Run(witness.p, witness.t)]) {
+    std::swap(witness.p, witness.q);
+  }
+  SST_CHECK(reach.FindBlindMeetInWords(witness.p, witness.q, witness.r,
+                                       &witness.u1, &witness.u2));
+  SST_CHECK(!witness.u1.empty() && witness.u1.size() == witness.u2.size());
+  SST_CHECK(FindConnectingWord(minimal_dfa, witness.r, witness.p,
+                               /*nonempty=*/false, &witness.v));
+  SST_CHECK(FindConnectingWord(minimal_dfa, witness.r, witness.q,
+                               /*nonempty=*/false, &witness.w));
+  if (witness.v.empty()) {
+    Word loop;
+    SST_CHECK(FindLoopingWord(minimal_dfa, witness.p, &loop));
+    witness.v = loop;
+  }
+  if (witness.w.empty()) {
+    Word loop;
+    SST_CHECK(FindLoopingWord(minimal_dfa, witness.q, &loop));
+    witness.w = loop;
+  }
+  SST_CHECK(FindConnectingWord(minimal_dfa, minimal_dfa.initial, witness.r,
+                               /*nonempty=*/true, &witness.s));
+  return witness;
+}
+
+FoolingPair BuildBlindLemma316Trees(const BlindNonHarWitness& witness,
+                                    int exponent, const Dfa& minimal_dfa) {
+  SST_CHECK(exponent >= 1);
+  const int n = exponent;
+  const Word vu1 = Concat({&witness.v, &witness.u1});
+  const Word vu1_2n = Repeat(vu1, 2 * n);
+  // Block structure: y = w·u2·(v·u1)^{2N}; level spine = y^N · w.
+  const Word y = Concat({&witness.w, &witness.u2, &vu1_2n});
+  const Word y_n = Repeat(y, n);
+  const Word level = Concat({&y_n, &witness.w});
+  // Continuation after a plain w completes the level to y^{N+1}.
+  const Word cont = Concat({&witness.u2, &vu1_2n});
+  // The inserted spine segment of the modified level ends with v, so its
+  // continuation resumes with u1 instead of u2.
+  const Word vu1_n_minus_1 = Repeat(vu1, n - 1);
+  const Word insert = Concat({&witness.u2, &vu1_n_minus_1, &witness.v});
+  const Word cont_after_insert = Concat({&witness.u1, &vu1_2n});
+  const Word final_branch = Concat({&witness.w, &witness.t});
+
+  auto build = [&](bool modified) {
+    int bottom = 0;
+    Tree tree = ChainWithBottom(witness.s, &bottom);
+    std::vector<int> branching_nodes;
+    for (int i = 1; i <= 2 * n + 1; ++i) {
+      bottom = AppendChain(&tree, bottom, level);
+      bool insert_here = modified && i == n + 1;
+      if (insert_here) bottom = AppendChain(&tree, bottom, insert);
+      branching_nodes.push_back(bottom);
+      bottom = AppendChain(&tree, bottom,
+                           insert_here ? cont_after_insert : cont);
+    }
+    AppendChain(&tree, bottom, final_branch);
+    for (auto it = branching_nodes.rbegin(); it != branching_nodes.rend();
+         ++it) {
+      AppendChain(&tree, *it, witness.t);
+    }
+    return tree;
+  };
+
+  FoolingPair pair;
+  pair.exponent = exponent;
+  pair.out_el = build(false);
+  pair.in_el = build(true);
+  (void)minimal_dfa;
+  return pair;
+}
+
+std::optional<FoolingPair> FoolTermExistsRecognizer(const Dfa& minimal_dfa,
+                                                    StreamMachine* victim,
+                                                    bool use_har_gadget,
+                                                    int max_exponent) {
+  std::optional<BlindNonEFlatWitness> e_witness;
+  std::optional<BlindNonHarWitness> har_witness;
+  if (use_har_gadget) {
+    har_witness = ExtractBlindNonHarWitness(minimal_dfa);
+    if (!har_witness.has_value()) return std::nullopt;
+  } else {
+    e_witness = ExtractBlindNonEFlatWitness(minimal_dfa);
+    if (!e_witness.has_value()) return std::nullopt;
+  }
+  auto term_events = [](const Tree& tree) {
+    EventStream events = Encode(tree);
+    for (TagEvent& event : events) {
+      if (!event.open) event.symbol = -1;
+    }
+    return events;
+  };
+  for (int exponent = 1; exponent <= max_exponent; ++exponent) {
+    FoolingPair pair =
+        use_har_gadget
+            ? BuildBlindLemma316Trees(*har_witness, exponent, minimal_dfa)
+            : BuildBlindLemma312Trees(*e_witness, exponent, minimal_dfa);
+    if (!TreeInExists(minimal_dfa, pair.in_el) ||
+        TreeInExists(minimal_dfa, pair.out_el)) {
+      continue;
+    }
+    bool verdict_in = RunAcceptor(victim, term_events(pair.in_el));
+    bool verdict_out = RunAcceptor(victim, term_events(pair.out_el));
+    if (verdict_in == verdict_out) return pair;
+  }
+  return std::nullopt;
+}
+
+std::optional<FoolingPair> FoolExistsRecognizer(const Dfa& minimal_dfa,
+                                                StreamMachine* victim,
+                                                bool use_har_gadget,
+                                                int max_exponent) {
+  std::optional<NonEFlatWitness> e_witness;
+  std::optional<NonHarWitness> har_witness;
+  if (use_har_gadget) {
+    har_witness = ExtractNonHarWitness(minimal_dfa);
+    if (!har_witness.has_value()) return std::nullopt;
+  } else {
+    e_witness = ExtractNonEFlatWitness(minimal_dfa);
+    if (!e_witness.has_value()) return std::nullopt;
+  }
+  for (int exponent = 1; exponent <= max_exponent; ++exponent) {
+    FoolingPair pair =
+        use_har_gadget
+            ? BuildLemma316Trees(*har_witness, exponent, minimal_dfa)
+            : BuildLemma312Trees(*e_witness, exponent, minimal_dfa);
+    // The construction guarantees the ground truths differ; verify anyway.
+    if (!TreeInExists(minimal_dfa, pair.in_el) ||
+        TreeInExists(minimal_dfa, pair.out_el)) {
+      continue;
+    }
+    bool verdict_in = RunAcceptor(victim, Encode(pair.in_el));
+    bool verdict_out = RunAcceptor(victim, Encode(pair.out_el));
+    if (verdict_in == verdict_out) return pair;
+  }
+  return std::nullopt;
+}
+
+std::optional<Tree> FindQueryCounterexample(const Dfa& minimal_dfa,
+                                            StreamMachine* victim,
+                                            bool term_encoded, int attempts,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    int nodes = 1 + static_cast<int>(rng.NextBelow(40));
+    Tree tree = RandomTree(nodes, minimal_dfa.num_symbols, rng.NextDouble(),
+                           &rng);
+    if (RunQueryOnTree(victim, tree, term_encoded) !=
+        SelectNodes(minimal_dfa, tree)) {
+      return tree;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Configuration of a DRA after the Kn prefix; registers are compared by
+// value since the depth is the same for every choice.
+using DraConfiguration = std::vector<int64_t>;
+
+DraConfiguration RunKnPrefix(const Dra& dra, int n, uint32_t mask) {
+  std::vector<bool> a_child(n, false);
+  for (int bit = 0; bit < n - 2; ++bit) {
+    a_child[bit + 1] = (mask >> bit) & 1;
+  }
+  std::vector<bool> c_child(n, false);
+  Tree tree = KnSchemaTree(n, a_child, c_child, /*a=*/0, /*b=*/1, /*c=*/2);
+  EventStream events = Encode(tree);
+  DraRunner runner(&dra);
+  runner.Reset();
+  int64_t depth = 0;
+  for (const TagEvent& event : events) {
+    depth += event.open ? 1 : -1;
+    if (event.open) {
+      runner.OnOpen(event.symbol);
+    } else {
+      runner.OnClose(event.symbol);
+    }
+    if (event.open && event.symbol == 1 && depth == n) break;  // deepest b
+  }
+  DraConfiguration config;
+  config.push_back(runner.state());
+  for (int64_t value : runner.registers()) config.push_back(value);
+  return config;
+}
+
+}  // namespace
+
+int CountKnPrefixConfigurations(const Dra& dra, int n) {
+  SST_CHECK(n > 2 && n <= 22);
+  std::map<DraConfiguration, uint32_t> seen;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << (n - 2)); ++mask) {
+    seen.emplace(RunKnPrefix(dra, n, mask), mask);
+  }
+  return static_cast<int>(seen.size());
+}
+
+std::optional<std::pair<uint32_t, uint32_t>> FindKnPrefixCollision(
+    const Dra& dra, int n) {
+  SST_CHECK(n > 2 && n <= 22);
+  std::map<DraConfiguration, uint32_t> seen;
+  for (uint32_t mask = 0; mask < (uint32_t{1} << (n - 2)); ++mask) {
+    auto [it, inserted] = seen.emplace(RunKnPrefix(dra, n, mask), mask);
+    if (!inserted) return std::make_pair(it->second, mask);
+  }
+  return std::nullopt;
+}
+
+}  // namespace sst

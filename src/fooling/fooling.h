@@ -1,0 +1,146 @@
+#ifndef SST_FOOLING_FOOLING_H_
+#define SST_FOOLING_FOOLING_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Constructive refuters for the paper's inexpressibility results. Where the
+// proofs pump with the universal exponent n! (astronomical for any real n),
+// these builders take the exponent as a parameter and the Fool* drivers
+// search for one that provably fools the *given* machine — the resulting
+// pair of trees is an explicit certificate: their EL membership differs,
+// yet the victim accepts both or rejects both.
+
+// Lemma 3.12 data: i·s = p (s nonempty), p·u = q·u = q, q·x rejecting,
+// exactly one of p·t, q·t accepting (t nonempty).
+struct NonEFlatWitness {
+  int p = -1, q = -1;
+  Word s, u, x, t;
+};
+
+// Lemma 3.16 data: p, q, r in one SCC; i·s = r; r·v = p, r·w = q;
+// p·u = q·u = r; p·t accepting xor q·t accepting; s, u, v, w nonempty and
+// |u| >= |t|.
+struct NonHarWitness {
+  int p = -1, q = -1, r = -1;
+  Word s, u, v, w, t;
+};
+
+// Extract witnesses from a minimal DFA; nullopt if the language is in the
+// respective class (E-flat / HAR).
+std::optional<NonEFlatWitness> ExtractNonEFlatWitness(const Dfa& minimal_dfa);
+std::optional<NonHarWitness> ExtractNonHarWitness(const Dfa& minimal_dfa);
+
+// A fooling certificate: exactly one of the trees belongs to EL.
+struct FoolingPair {
+  Tree in_el;      // the tree with a branch in L
+  Tree out_el;     // the tree with no branch in L
+  int exponent = 0;
+};
+
+// Fig 4: trees S and S' with pumping exponent N >= 1. S has branches
+// s·u^N·x (twice) and s·t; S' inserts another u^N segment above the
+// branching. Exactly one of them is in EL.
+FoolingPair BuildLemma312Trees(const NonEFlatWitness& witness, int exponent,
+                               const Dfa& minimal_dfa);
+
+// Fig 5: trees R and R' with pumping exponent N >= 1 (standing in for n!).
+// Every branch of R is labelled by a word in s(wu+vu)*wt ⊆ L^c; R' inserts
+// a (uv)^N segment before the branching of the middle level, creating one
+// branch in s(wu+vu)*vt ⊆ L.
+FoolingPair BuildLemma316Trees(const NonHarWitness& witness, int exponent,
+                               const Dfa& minimal_dfa);
+
+// Searches exponents 1..max_exponent for a pair the victim cannot
+// distinguish; verifies both the ground-truth difference and the victim's
+// agreement before returning. `use_har_gadget` selects the Lemma 3.16
+// gadget (for depth-register victims, requires L not HAR) over the Lemma
+// 3.12 gadget (for finite-state victims, requires L not E-flat).
+std::optional<FoolingPair> FoolExistsRecognizer(const Dfa& minimal_dfa,
+                                                StreamMachine* victim,
+                                                bool use_har_gadget,
+                                                int max_exponent);
+
+// --- Term-encoding (blind) variants: Theorem B.1 / Fig 7 ----------------
+
+// Blind Lemma 3.12 data: i·s = p; p·u1 = q·u2 = q with |u1| = |u2| (a
+// blind meet in q); q·x rejecting; exactly one of p·t, q·t accepting.
+struct BlindNonEFlatWitness {
+  int p = -1, q = -1;
+  Word s, u1, u2, x, t;
+};
+
+std::optional<BlindNonEFlatWitness> ExtractBlindNonEFlatWitness(
+    const Dfa& minimal_dfa);
+
+// Fig 7: the S/S' pair for the term encoding. Which tree carries the
+// L-branch depends on whether s·t ∈ L (the proof's two cases); the
+// rightmost branch is adjusted so that the EL-free tree is provably free.
+FoolingPair BuildBlindLemma312Trees(const BlindNonEFlatWitness& witness,
+                                    int exponent, const Dfa& minimal_dfa);
+
+// Blind Lemma 3.16 data (Theorem B.2): p, q, r in one SCC with a blind
+// meet p·u1 = q·u2 = r (|u1| = |u2|); r·v = p, r·w = q; p·t accepting,
+// q·t rejecting; all of s, u1, u2, v, w nonempty. The word blocks are
+// w·u2 and v·u1 (taking q resp. p back to r), so s(w u2 + v u1)*·w·t ⊆ L^c
+// and s(w u2 + v u1)*·v·t ⊆ L.
+struct BlindNonHarWitness {
+  int p = -1, q = -1, r = -1;
+  Word s, u1, u2, v, w, t;
+};
+
+std::optional<BlindNonHarWitness> ExtractBlindNonHarWitness(
+    const Dfa& minimal_dfa);
+
+// The Fig 5 gadget adapted to the term encoding (Appendix B): the middle
+// level's spine is extended by u2·(v·u1)^{N-1}·v before the branching,
+// turning its wt-tail into a branch of s(wu2+vu1)*·vt.
+FoolingPair BuildBlindLemma316Trees(const BlindNonHarWitness& witness,
+                                    int exponent, const Dfa& minimal_dfa);
+
+// Term-encoding fooling driver: the victim is fed label-less closing tags.
+// `use_har_gadget` selects the blind Lemma 3.16 gadget (for depth-register
+// victims, requires L not blindly HAR) over the blind Lemma 3.12 gadget
+// (requires L not blindly E-flat).
+std::optional<FoolingPair> FoolTermExistsRecognizer(const Dfa& minimal_dfa,
+                                                    StreamMachine* victim,
+                                                    bool use_har_gadget,
+                                                    int max_exponent);
+
+// Random search for a single tree on which a query machine's pre-selections
+// disagree with the QL ground truth. Returns the first counterexample, or
+// nullopt after `attempts` tries. `term_encoded` runs the victim on
+// label-less closing tags.
+std::optional<Tree> FindQueryCounterexample(const Dfa& minimal_dfa,
+                                            StreamMachine* victim,
+                                            bool term_encoded, int attempts,
+                                            uint64_t seed);
+
+// --- Example 2.9 / Fig 1: the Kn configuration-counting experiment -------
+
+// Runs the explicit DRA over the prefix w_T of ⟨T⟩ (ending at the opening
+// tag of the deepest b node) for every a-choice of the Kn schema, and
+// returns the number of distinct configurations reached. A DRA with k
+// states and l registers can reach at most k·(n+2)^l of them, while there
+// are 2^(n-2) choices — the pigeonhole at the heart of Example 2.9.
+// Symbols: a=0, b=1, c=2.
+int CountKnPrefixConfigurations(const Dra& dra, int n);
+
+// Finds two different a-choices whose w_T prefixes leave the DRA in the
+// same configuration (guaranteed to exist once 2^(n-2) exceeds the
+// configuration count). Returns the choice masks.
+std::optional<std::pair<uint32_t, uint32_t>> FindKnPrefixCollision(
+    const Dra& dra, int n);
+
+}  // namespace sst
+
+#endif  // SST_FOOLING_FOOLING_H_

@@ -1,0 +1,217 @@
+#include "patterns/descendant_pattern.h"
+
+#include <functional>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+std::vector<std::vector<int>> ChildrenLists(const Tree& tree) {
+  std::vector<std::vector<int>> children(tree.size());
+  for (int id = 0; id < tree.size(); ++id) {
+    for (int c = tree.node(id).first_child; c >= 0;
+         c = tree.node(c).next_sibling) {
+      children[id].push_back(c);
+    }
+  }
+  return children;
+}
+
+// Euler-tour intervals for O(1) proper-ancestor tests.
+struct AncestryIndex {
+  std::vector<int> tin, tout;
+
+  explicit AncestryIndex(const Tree& tree)
+      : tin(tree.size()), tout(tree.size()) {
+    int clock = 0;
+    std::vector<std::pair<int, bool>> stack = {{tree.root(), false}};
+    while (!stack.empty()) {
+      auto [id, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        tout[id] = clock++;
+        continue;
+      }
+      tin[id] = clock++;
+      stack.emplace_back(id, true);
+      std::vector<int> children;
+      for (int c = tree.node(id).first_child; c >= 0;
+           c = tree.node(c).next_sibling) {
+        children.push_back(c);
+      }
+      for (auto it = children.rbegin(); it != children.rend(); ++it) {
+        stack.emplace_back(*it, false);
+      }
+    }
+  }
+
+  bool ProperAncestor(int up, int down) const {
+    return up != down && tin[up] < tin[down] && tout[down] < tout[up];
+  }
+};
+
+}  // namespace
+
+bool ContainsPattern(const Tree& tree, const Tree& pattern) {
+  if (tree.empty() || pattern.empty()) return false;
+  const int n = tree.size();
+  const int m = pattern.size();
+  std::vector<std::vector<int>> tree_children = ChildrenLists(tree);
+  std::vector<std::vector<int>> pattern_children = ChildrenLists(pattern);
+  // match[v][p]: pattern subtree p embeds with root at v.
+  // desc[v][p]: pattern subtree p embeds somewhere within subtree(v).
+  std::vector<std::vector<bool>> match(n, std::vector<bool>(m, false));
+  std::vector<std::vector<bool>> desc(n, std::vector<bool>(m, false));
+  // Node ids increase from parent to child, so a reverse scan is bottom-up.
+  for (int v = n - 1; v >= 0; --v) {
+    for (int p = m - 1; p >= 0; --p) {
+      bool ok = tree.label(v) == pattern.label(p);
+      for (int q : pattern_children[p]) {
+        if (!ok) break;
+        bool found = false;
+        for (int c : tree_children[v]) {
+          found = found || desc[c][q];
+        }
+        ok = found;
+      }
+      match[v][p] = ok;
+      bool below = ok;
+      for (int c : tree_children[v]) {
+        below = below || desc[c][p];
+      }
+      desc[v][p] = below;
+    }
+  }
+  return desc[tree.root()][pattern.root()];
+}
+
+bool StrictlyContainsPattern(const Tree& tree, const Tree& pattern) {
+  if (tree.empty() || pattern.empty()) return false;
+  AncestryIndex tree_index(tree);
+  AncestryIndex pattern_index(pattern);
+  std::vector<int> order = pattern.DocumentOrderIds();  // parents first
+  std::vector<int> assignment(pattern.size(), -1);
+
+  std::function<bool(size_t)> assign = [&](size_t i) {
+    if (i == order.size()) return true;
+    int p = order[i];
+    int parent = pattern.node(p).parent;
+    for (int t = 0; t < tree.size(); ++t) {
+      if (tree.label(t) != pattern.label(p)) continue;
+      if (parent >= 0 &&
+          !tree_index.ProperAncestor(assignment[parent], t)) {
+        continue;
+      }
+      // Reflection condition of strict containment against all previously
+      // assigned pattern nodes.
+      bool ok = true;
+      for (size_t j = 0; j < i && ok; ++j) {
+        int q = order[j];
+        int s = assignment[q];
+        if (tree_index.ProperAncestor(s, t) &&
+            !pattern_index.ProperAncestor(q, p)) {
+          ok = false;
+        }
+        if (tree_index.ProperAncestor(t, s) &&
+            !pattern_index.ProperAncestor(p, q)) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      assignment[p] = t;
+      if (assign(i + 1)) return true;
+      assignment[p] = -1;
+    }
+    return false;
+  };
+  return assign(0);
+}
+
+DescendantPatternMatcher::DescendantPatternMatcher(const Tree& pattern)
+    : pattern_(pattern), pattern_children_(ChildrenLists(pattern)) {
+  SST_CHECK(!pattern_.empty());
+  Reset();
+}
+
+void DescendantPatternMatcher::Reset() {
+  depth_ = 0;
+  matched_ = false;
+  phase_.assign(pattern_.size(), Phase::kIdle);
+  stop_depth_.assign(pattern_.size(), 0);
+  last_result_.assign(pattern_.size(), false);
+  Launch(pattern_.root(), /*stop_depth=*/0);
+}
+
+void DescendantPatternMatcher::Launch(int node, int64_t stop_depth) {
+  phase_[node] = Phase::kScanning;
+  stop_depth_[node] = stop_depth;
+}
+
+void DescendantPatternMatcher::ProcessEvent(int node, bool open,
+                                            Symbol symbol) {
+  switch (phase_[node]) {
+    case Phase::kIdle:
+      return;
+    case Phase::kScanning:
+      if (open && symbol == pattern_.label(node)) {
+        if (pattern_children_[node].empty()) {
+          phase_[node] = Phase::kAccepted;
+        } else {
+          // Candidate found at the current depth: run the children matchers
+          // over its subtree (they stop at its closing tag).
+          for (int child : pattern_children_[node]) {
+            Launch(child, depth_ - 1);
+          }
+          phase_[node] = Phase::kRunningChildren;
+          // The children's input starts after this tag; nothing more to do.
+          return;
+        }
+      }
+      break;
+    case Phase::kRunningChildren: {
+      bool all_stopped = true;
+      for (int child : pattern_children_[node]) {
+        ProcessEvent(child, open, symbol);
+        all_stopped = all_stopped && Stopped(child);
+      }
+      if (all_stopped) {
+        bool all_accepted = true;
+        for (int child : pattern_children_[node]) {
+          all_accepted = all_accepted && last_result_[child];
+        }
+        // On failure resume scanning after the candidate's subtree; nested
+        // candidates can be skipped by minimality (Examples 2.6/2.7).
+        phase_[node] = all_accepted ? Phase::kAccepted : Phase::kScanning;
+      }
+      break;
+    }
+    case Phase::kAccepted:
+      break;
+  }
+  if (depth_ == stop_depth_[node]) {
+    last_result_[node] = phase_[node] == Phase::kAccepted;
+    phase_[node] = Phase::kIdle;
+  }
+}
+
+void DescendantPatternMatcher::OnOpen(Symbol symbol) {
+  ++depth_;
+  ProcessEvent(pattern_.root(), true, symbol);
+  if (phase_[pattern_.root()] == Phase::kAccepted ||
+      (Stopped(pattern_.root()) && last_result_[pattern_.root()])) {
+    matched_ = true;
+  }
+}
+
+void DescendantPatternMatcher::OnClose(Symbol /*symbol*/) {
+  --depth_;
+  ProcessEvent(pattern_.root(), false, -1);
+  if (phase_[pattern_.root()] == Phase::kAccepted ||
+      (Stopped(pattern_.root()) && last_result_[pattern_.root()])) {
+    matched_ = true;
+  }
+}
+
+}  // namespace sst

@@ -1,0 +1,67 @@
+#ifndef SST_PATTERNS_DESCENDANT_PATTERN_H_
+#define SST_PATTERNS_DESCENDANT_PATTERN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dra/machine.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// A descendant pattern (Section 2.2) is a finite tree over Γ; a tree T
+// contains it if pattern nodes can be mapped to tree nodes preserving labels
+// and sending pattern children to proper descendants. Proposition 2.8: for
+// every descendant pattern the set of trees containing it is stackless.
+
+// Ground truth by bottom-up dynamic programming.
+bool ContainsPattern(const Tree& tree, const Tree& pattern);
+
+// Example 2.9's *strict* containment: additionally, whenever h(v) is a
+// descendant of h(u), v must be a descendant of u. Backtracking search —
+// intended for the small trees of tests and the Fig 1 experiments.
+bool StrictlyContainsPattern(const Tree& tree, const Tree& pattern);
+
+// The Proposition 2.8 streaming matcher. One depth register per pattern
+// node; finite control per pattern node (idle / scanning / running children
+// / accepted); no stack. Accepts (stickily) iff the streamed tree contains
+// the pattern.
+//
+// The machine follows the proof's recursive structure: the matcher for a
+// pattern node scans for a minimal matching opening tag, then launches the
+// product of its children's matchers on the candidate's subtree; if they
+// reject at the candidate's closing tag, it resumes scanning (minimality —
+// Example 2.6's trick — makes skipping nested candidates sound).
+class DescendantPatternMatcher final : public StreamMachine {
+ public:
+  explicit DescendantPatternMatcher(const Tree& pattern);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override { return matched_; }
+
+  // Registers used = number of pattern nodes (Proposition 2.8's bound).
+  int num_registers() const { return pattern_.size(); }
+
+ private:
+  enum class Phase : uint8_t { kIdle, kScanning, kRunningChildren, kAccepted };
+
+  void ProcessEvent(int node, bool open, Symbol symbol);
+  void Launch(int node, int64_t stop_depth);
+  bool Stopped(int node) const { return phase_[node] == Phase::kIdle; }
+
+  Tree pattern_;
+  std::vector<std::vector<int>> pattern_children_;
+
+  int64_t depth_ = 0;
+  bool matched_ = false;
+  std::vector<Phase> phase_;
+  std::vector<int64_t> stop_depth_;   // the per-node depth register
+  std::vector<bool> accepted_;        // sticky per-node result
+  std::vector<bool> last_result_;     // result reported when stopping
+};
+
+}  // namespace sst
+
+#endif  // SST_PATTERNS_DESCENDANT_PATTERN_H_

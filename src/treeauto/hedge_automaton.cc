@@ -1,0 +1,418 @@
+#include "treeauto/hedge_automaton.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+HedgeAutomaton HedgeAutomaton::Create(int num_states, int num_symbols) {
+  HedgeAutomaton result;
+  result.num_states = num_states;
+  result.num_symbols = num_symbols;
+  result.accepting.assign(num_states, false);
+  // Default horizontal language: empty (single rejecting sink state).
+  Dfa empty = Dfa::Create(1, num_states);
+  result.horizontal.assign(static_cast<size_t>(num_symbols) * num_states,
+                           empty);
+  return result;
+}
+
+bool HedgeAutomaton::IsValid() const {
+  if (static_cast<int>(accepting.size()) != num_states) return false;
+  if (static_cast<int>(horizontal.size()) !=
+      num_states * static_cast<int>(num_symbols)) {
+    return false;
+  }
+  for (const Dfa& dfa : horizontal) {
+    if (dfa.num_symbols != num_states || !dfa.IsValid()) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Possible assigned states per node, bottom-up.
+std::vector<std::vector<bool>> PossibleStates(const HedgeAutomaton& automaton,
+                                              const Tree& tree) {
+  std::vector<std::vector<bool>> possible(
+      tree.size(), std::vector<bool>(automaton.num_states, false));
+  for (int v = tree.size() - 1; v >= 0; --v) {
+    Symbol a = tree.label(v);
+    for (int q = 0; q < automaton.num_states; ++q) {
+      const Dfa& h = automaton.Horizontal(a, q);
+      // Set-simulation of h over the children's possible-state sets.
+      std::vector<bool> reach(h.num_states, false);
+      reach[h.initial] = true;
+      for (int c = tree.node(v).first_child; c >= 0;
+           c = tree.node(c).next_sibling) {
+        std::vector<bool> next(h.num_states, false);
+        for (int r = 0; r < h.num_states; ++r) {
+          if (!reach[r]) continue;
+          for (int p = 0; p < automaton.num_states; ++p) {
+            if (possible[c][p]) next[h.Next(r, p)] = true;
+          }
+        }
+        reach = std::move(next);
+      }
+      bool ok = false;
+      for (int r = 0; r < h.num_states; ++r) {
+        ok = ok || (reach[r] && h.accepting[r]);
+      }
+      possible[v][q] = ok;
+    }
+  }
+  return possible;
+}
+
+}  // namespace
+
+bool HedgeAccepts(const HedgeAutomaton& automaton, const Tree& tree) {
+  if (tree.empty()) return false;
+  std::vector<std::vector<bool>> possible = PossibleStates(automaton, tree);
+  for (int q = 0; q < automaton.num_states; ++q) {
+    if (automaton.accepting[q] && possible[tree.root()][q]) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Extends a horizontal DFA to a larger letter alphabet; foreign letters go
+// to a fresh rejecting sink.
+Dfa ExtendAlphabet(const Dfa& dfa, int new_alphabet, int letter_offset) {
+  Dfa result = Dfa::Create(dfa.num_states + 1, new_alphabet);
+  const int sink = dfa.num_states;
+  result.initial = dfa.initial;
+  for (int q = 0; q < dfa.num_states; ++q) {
+    result.accepting[q] = dfa.accepting[q];
+    for (int p = 0; p < new_alphabet; ++p) {
+      int original = p - letter_offset;
+      result.SetNext(q, p, original >= 0 && original < dfa.num_symbols
+                               ? dfa.Next(q, original)
+                               : sink);
+    }
+  }
+  for (int p = 0; p < new_alphabet; ++p) result.SetNext(sink, p, sink);
+  return result;
+}
+
+template <typename AcceptFn>
+HedgeAutomaton HedgeProduct(const HedgeAutomaton& a, const HedgeAutomaton& b,
+                            AcceptFn want) {
+  SST_CHECK(a.num_symbols == b.num_symbols);
+  const int n = a.num_states * b.num_states;
+  HedgeAutomaton result = HedgeAutomaton::Create(n, a.num_symbols);
+  auto pack = [&](int qa, int qb) { return qa * b.num_states + qb; };
+  for (int qa = 0; qa < a.num_states; ++qa) {
+    for (int qb = 0; qb < b.num_states; ++qb) {
+      result.accepting[pack(qa, qb)] = want(a.accepting[qa], b.accepting[qb]);
+    }
+  }
+  for (Symbol s = 0; s < a.num_symbols; ++s) {
+    for (int qa = 0; qa < a.num_states; ++qa) {
+      const Dfa& ha = a.Horizontal(s, qa);
+      for (int qb = 0; qb < b.num_states; ++qb) {
+        const Dfa& hb = b.Horizontal(s, qb);
+        // Product DFA over the packed pair alphabet.
+        Dfa h = Dfa::Create(ha.num_states * hb.num_states, n);
+        auto hpack = [&](int x, int y) { return x * hb.num_states + y; };
+        h.initial = hpack(ha.initial, hb.initial);
+        for (int x = 0; x < ha.num_states; ++x) {
+          for (int y = 0; y < hb.num_states; ++y) {
+            h.accepting[hpack(x, y)] = ha.accepting[x] && hb.accepting[y];
+            for (int pa = 0; pa < a.num_states; ++pa) {
+              for (int pb = 0; pb < b.num_states; ++pb) {
+                h.SetNext(hpack(x, y), pack(pa, pb),
+                          hpack(ha.Next(x, pa), hb.Next(y, pb)));
+              }
+            }
+          }
+        }
+        result.Horizontal(s, pack(qa, qb)) = std::move(h);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+HedgeAutomaton HedgeIntersection(const HedgeAutomaton& a,
+                                 const HedgeAutomaton& b) {
+  return HedgeProduct(a, b, [](bool x, bool y) { return x && y; });
+}
+
+HedgeAutomaton HedgeUnion(const HedgeAutomaton& a, const HedgeAutomaton& b) {
+  // Disjoint union: a run stays within one component; horizontal languages
+  // reject letters from the other component.
+  SST_CHECK(a.num_symbols == b.num_symbols);
+  const int n = a.num_states + b.num_states;
+  HedgeAutomaton result = HedgeAutomaton::Create(n, a.num_symbols);
+  for (int q = 0; q < a.num_states; ++q) {
+    result.accepting[q] = a.accepting[q];
+  }
+  for (int q = 0; q < b.num_states; ++q) {
+    result.accepting[a.num_states + q] = b.accepting[q];
+  }
+  for (Symbol s = 0; s < a.num_symbols; ++s) {
+    for (int q = 0; q < a.num_states; ++q) {
+      result.Horizontal(s, q) = ExtendAlphabet(a.Horizontal(s, q), n, 0);
+    }
+    for (int q = 0; q < b.num_states; ++q) {
+      result.Horizontal(s, a.num_states + q) =
+          ExtendAlphabet(b.Horizontal(s, q), n, a.num_states);
+    }
+  }
+  return result;
+}
+
+bool HedgeIsEmpty(const HedgeAutomaton& automaton) {
+  std::vector<bool> inhabited(automaton.num_states, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int q = 0; q < automaton.num_states; ++q) {
+      if (inhabited[q]) continue;
+      for (Symbol a = 0; a < automaton.num_symbols && !inhabited[q]; ++a) {
+        const Dfa& h = automaton.Horizontal(a, q);
+        // Does h accept some word over the inhabited letters?
+        std::vector<bool> reach(h.num_states, false);
+        std::deque<int> queue;
+        reach[h.initial] = true;
+        queue.push_back(h.initial);
+        bool ok = h.accepting[h.initial];
+        while (!queue.empty() && !ok) {
+          int r = queue.front();
+          queue.pop_front();
+          for (int p = 0; p < automaton.num_states; ++p) {
+            if (!inhabited[p]) continue;
+            int to = h.Next(r, p);
+            if (!reach[to]) {
+              reach[to] = true;
+              ok = ok || h.accepting[to];
+              queue.push_back(to);
+            }
+          }
+        }
+        if (ok) {
+          inhabited[q] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (int q = 0; q < automaton.num_states; ++q) {
+    if (automaton.accepting[q] && inhabited[q]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Explores, per label, the synchronized product of all horizontal DFAs
+// (one per state). Every reachable tuple corresponds to a children word;
+// `visit(tuple)` receives the vector of per-state horizontal positions.
+// Returns false if more than `max_tuples` tuples appear.
+template <typename VisitFn>
+bool ExploreHorizontalTuples(const HedgeAutomaton& automaton, Symbol a,
+                             int max_tuples, VisitFn visit) {
+  const int n = automaton.num_states;
+  std::vector<int> start(n);
+  for (int q = 0; q < n; ++q) start[q] = automaton.Horizontal(a, q).initial;
+  std::map<std::vector<int>, int> seen;
+  std::deque<std::vector<int>> queue;
+  seen.emplace(start, 0);
+  queue.push_back(start);
+  visit(start);
+  while (!queue.empty()) {
+    std::vector<int> tuple = std::move(queue.front());
+    queue.pop_front();
+    for (int p = 0; p < n; ++p) {
+      std::vector<int> next(n);
+      for (int q = 0; q < n; ++q) {
+        next[q] = automaton.Horizontal(a, q).Next(tuple[q], p);
+      }
+      if (seen.emplace(next, static_cast<int>(seen.size())).second) {
+        if (static_cast<int>(seen.size()) > max_tuples) return false;
+        visit(next);
+        queue.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HedgeIsDeterministic(const HedgeAutomaton& automaton) {
+  for (Symbol a = 0; a < automaton.num_symbols; ++a) {
+    bool deterministic = true;
+    bool within_budget = ExploreHorizontalTuples(
+        automaton, a, /*max_tuples=*/100000,
+        [&](const std::vector<int>& tuple) {
+          int assigned = 0;
+          for (int q = 0; q < automaton.num_states; ++q) {
+            const Dfa& h = automaton.Horizontal(a, q);
+            assigned += h.accepting[tuple[q]] ? 1 : 0;
+          }
+          if (assigned != 1) deterministic = false;
+        });
+    if (!within_budget || !deterministic) return false;
+  }
+  return true;
+}
+
+std::optional<HedgeAutomaton> HedgeDeterminize(const HedgeAutomaton& a,
+                                               int max_states) {
+  const int n = a.num_states;
+  // Subset states of the determinized automaton, discovered to fixpoint.
+  std::map<std::vector<bool>, int> subset_id;
+  std::vector<std::vector<bool>> subsets;
+  auto intern = [&](const std::vector<bool>& subset) {
+    auto [it, inserted] =
+        subset_id.emplace(subset, static_cast<int>(subsets.size()));
+    if (inserted) subsets.push_back(subset);
+    return it->second;
+  };
+
+  // Horizontal runs over subset letters: per label, tuple of per-q
+  // reachable horizontal-state sets.
+  struct LabelMachine {
+    std::map<std::vector<std::vector<bool>>, int> tuple_id;
+    std::vector<std::vector<std::vector<bool>>> tuples;
+    // transitions[tuple][subset letter] -> tuple (filled incrementally)
+    std::vector<std::vector<int>> transitions;
+    std::vector<int> assigned_subset;  // per tuple
+  };
+  std::vector<LabelMachine> machines(a.num_symbols);
+
+  auto assigned_of = [&](Symbol s,
+                         const std::vector<std::vector<bool>>& tuple) {
+    std::vector<bool> subset(n, false);
+    for (int q = 0; q < n; ++q) {
+      const Dfa& h = a.Horizontal(s, q);
+      for (int r = 0; r < h.num_states; ++r) {
+        if (tuple[q][r] && h.accepting[r]) subset[q] = true;
+      }
+    }
+    return subset;
+  };
+
+  // Initial tuples (empty children word).
+  for (Symbol s = 0; s < a.num_symbols; ++s) {
+    LabelMachine& machine = machines[s];
+    std::vector<std::vector<bool>> start(n);
+    for (int q = 0; q < n; ++q) {
+      const Dfa& h = a.Horizontal(s, q);
+      start[q].assign(h.num_states, false);
+      start[q][h.initial] = true;
+    }
+    machine.tuple_id.emplace(start, 0);
+    machine.tuples.push_back(start);
+    machine.transitions.emplace_back();
+    machine.assigned_subset.push_back(intern(assigned_of(s, start)));
+  }
+
+  // Fixpoint: extend every label machine over all known subset letters.
+  const int tuple_budget = std::max(max_states * 8, 1 << 12);
+  for (;;) {
+    bool grew = false;
+    if (static_cast<int>(subsets.size()) > max_states) return std::nullopt;
+    for (Symbol s = 0; s < a.num_symbols; ++s) {
+      LabelMachine& machine = machines[s];
+      for (size_t t = 0; t < machine.tuples.size(); ++t) {
+        machine.transitions[t].resize(subsets.size(), -1);
+        for (size_t letter = 0; letter < subsets.size(); ++letter) {
+          if (machine.transitions[t][letter] >= 0) continue;
+          grew = true;
+          // Advance every per-q set simulation by the subset letter.
+          std::vector<std::vector<bool>> next(n);
+          for (int q = 0; q < n; ++q) {
+            const Dfa& h = a.Horizontal(s, q);
+            next[q].assign(h.num_states, false);
+            for (int r = 0; r < h.num_states; ++r) {
+              if (!machine.tuples[t][q][r]) continue;
+              for (int p = 0; p < n; ++p) {
+                if (subsets[letter][p]) next[q][h.Next(r, p)] = true;
+              }
+            }
+          }
+          auto [it, inserted] = machine.tuple_id.emplace(
+              next, static_cast<int>(machine.tuples.size()));
+          if (inserted) {
+            machine.tuples.push_back(next);
+            machine.transitions.emplace_back();
+            machine.assigned_subset.push_back(intern(assigned_of(s, next)));
+            if (static_cast<int>(machine.tuples.size()) > tuple_budget) {
+              return std::nullopt;
+            }
+          }
+          machine.transitions[t][letter] = it->second;
+        }
+      }
+    }
+    if (!grew) break;
+  }
+
+  // Materialize.
+  const int num_subsets = static_cast<int>(subsets.size());
+  HedgeAutomaton result = HedgeAutomaton::Create(num_subsets, a.num_symbols);
+  for (int t = 0; t < num_subsets; ++t) {
+    bool acc = false;
+    for (int q = 0; q < n; ++q) {
+      acc = acc || (subsets[t][q] && a.accepting[q]);
+    }
+    result.accepting[t] = acc;
+  }
+  for (Symbol s = 0; s < a.num_symbols; ++s) {
+    const LabelMachine& machine = machines[s];
+    // One DFA per subset state; they share transitions and differ only in
+    // the accepting set.
+    Dfa base = Dfa::Create(static_cast<int>(machine.tuples.size()),
+                           num_subsets);
+    base.initial = 0;
+    for (size_t t = 0; t < machine.tuples.size(); ++t) {
+      for (int letter = 0; letter < num_subsets; ++letter) {
+        base.SetNext(static_cast<int>(t), letter,
+                     machine.transitions[t][letter]);
+      }
+    }
+    for (int target = 0; target < num_subsets; ++target) {
+      Dfa h = base;
+      for (size_t t = 0; t < machine.tuples.size(); ++t) {
+        h.accepting[t] = machine.assigned_subset[t] == target;
+      }
+      result.Horizontal(s, target) = std::move(h);
+    }
+  }
+  return result;
+}
+
+HedgeAutomaton HedgeComplement(const HedgeAutomaton& deterministic) {
+  SST_CHECK_MSG(HedgeIsDeterministic(deterministic),
+                "complement requires a deterministic complete automaton");
+  HedgeAutomaton result = deterministic;
+  for (int q = 0; q < result.num_states; ++q) {
+    result.accepting[q] = !result.accepting[q];
+  }
+  return result;
+}
+
+std::optional<bool> HedgeEquivalent(const HedgeAutomaton& a,
+                                    const HedgeAutomaton& b,
+                                    int max_states) {
+  std::optional<HedgeAutomaton> da = HedgeDeterminize(a, max_states);
+  std::optional<HedgeAutomaton> db = HedgeDeterminize(b, max_states);
+  if (!da.has_value() || !db.has_value()) return std::nullopt;
+  HedgeAutomaton not_a = HedgeComplement(*da);
+  HedgeAutomaton not_b = HedgeComplement(*db);
+  return HedgeIsEmpty(HedgeIntersection(*da, not_b)) &&
+         HedgeIsEmpty(HedgeIntersection(not_a, *db));
+}
+
+}  // namespace sst

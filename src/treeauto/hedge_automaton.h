@@ -1,0 +1,74 @@
+#ifndef SST_TREEAUTO_HEDGE_AUTOMATON_H_
+#define SST_TREEAUTO_HEDGE_AUTOMATON_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Unranked tree automata with regular horizontal languages (hedge
+// automata): a node labelled a may be assigned state q iff the word of its
+// children's states (left to right) belongs to the horizontal language
+// H(a, q), given as a complete DFA over the state alphabet. A tree is
+// accepted iff its root can be assigned an accepting state.
+//
+// This is the standard substrate behind Proposition 2.3 ("restricted DRAs
+// recognize regular tree languages") and the tree-automata equivalence
+// step of Proposition 2.13. Nondeterministic in general; Determinize turns
+// small instances into bottom-up deterministic ones, enabling complement
+// and exact equivalence.
+struct HedgeAutomaton {
+  int num_states = 0;
+  int num_symbols = 0;
+  std::vector<bool> accepting;  // accepting root states
+  // horizontal[symbol * num_states + state]: DFA whose input alphabet is
+  // the state set (num_symbols_of_dfa == num_states).
+  std::vector<Dfa> horizontal;
+
+  const Dfa& Horizontal(Symbol a, int q) const {
+    return horizontal[static_cast<size_t>(a) * num_states + q];
+  }
+  Dfa& Horizontal(Symbol a, int q) {
+    return horizontal[static_cast<size_t>(a) * num_states + q];
+  }
+
+  static HedgeAutomaton Create(int num_states, int num_symbols);
+  bool IsValid() const;
+};
+
+// Nondeterministic membership by bottom-up possible-state sets.
+bool HedgeAccepts(const HedgeAutomaton& automaton, const Tree& tree);
+
+// Product constructions (languages intersect/union).
+HedgeAutomaton HedgeIntersection(const HedgeAutomaton& a,
+                                 const HedgeAutomaton& b);
+HedgeAutomaton HedgeUnion(const HedgeAutomaton& a, const HedgeAutomaton& b);
+
+// Emptiness by the inhabited-states fixpoint.
+bool HedgeIsEmpty(const HedgeAutomaton& automaton);
+
+// True iff the automaton is bottom-up deterministic *and complete*: for
+// every label and every word of child states exactly one state is
+// assignable. Complement is only sound for such automata.
+bool HedgeIsDeterministic(const HedgeAutomaton& automaton);
+
+// Subset construction; the result is deterministic and complete. Returns
+// nullopt if it would exceed `max_states` subset states (the construction
+// is exponential in general).
+std::optional<HedgeAutomaton> HedgeDeterminize(const HedgeAutomaton& a,
+                                               int max_states);
+
+// Complement of a deterministic complete automaton (checked).
+HedgeAutomaton HedgeComplement(const HedgeAutomaton& deterministic);
+
+// Exact language equivalence via determinization and emptiness of the
+// symmetric difference; nullopt if a determinization exceeds the budget.
+std::optional<bool> HedgeEquivalent(const HedgeAutomaton& a,
+                                    const HedgeAutomaton& b, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_TREEAUTO_HEDGE_AUTOMATON_H_

@@ -1,0 +1,86 @@
+#include "treeauto/hedge_builders.h"
+
+#include <vector>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// DFA over `alphabet_size` letters accepting words that use only letters
+// from `allowed`, with ε accepted iff `allow_empty` (nonempty allowed words
+// always accepted).
+Dfa OnlyAllowedLetters(int alphabet_size, const std::vector<bool>& allowed,
+                       bool allow_empty) {
+  // States: 0 = start (ε), 1 = good nonempty, 2 = bad.
+  Dfa dfa = Dfa::Create(3, alphabet_size);
+  dfa.initial = 0;
+  dfa.accepting = {allow_empty, true, false};
+  for (int p = 0; p < alphabet_size; ++p) {
+    dfa.SetNext(0, p, allowed[p] ? 1 : 2);
+    dfa.SetNext(1, p, allowed[p] ? 1 : 2);
+    dfa.SetNext(2, p, 2);
+  }
+  return dfa;
+}
+
+Dfa ComplementOf(const Dfa& dfa) { return Complement(dfa); }
+
+}  // namespace
+
+HedgeAutomaton PathDtdToHedgeAutomaton(const PathDtd& dtd) {
+  SST_CHECK(dtd.IsValid());
+  const int k = dtd.num_symbols;
+  const int bad = k;  // sink state
+  HedgeAutomaton automaton = HedgeAutomaton::Create(k + 1, k);
+  automaton.accepting[dtd.initial_symbol] = true;
+  for (Symbol a = 0; a < k; ++a) {
+    std::vector<bool> allowed(k + 1, false);
+    for (Symbol b : dtd.productions[a].allowed_children) allowed[b] = true;
+    Dfa good = OnlyAllowedLetters(k + 1, allowed,
+                                  dtd.productions[a].allows_leaf);
+    automaton.Horizontal(a, a) = good;
+    automaton.Horizontal(a, bad) = ComplementOf(good);
+    // Other states are unassignable under label a (default empty DFA).
+  }
+  return automaton;
+}
+
+HedgeAutomaton SomeLabelHedgeAutomaton(int num_symbols, Symbol target) {
+  SST_CHECK(target >= 0 && target < num_symbols);
+  // States: 0 = subtree contains the target label, 1 = it does not.
+  constexpr int kFound = 0, kClean = 1;
+  HedgeAutomaton automaton = HedgeAutomaton::Create(2, num_symbols);
+  automaton.accepting[kFound] = true;
+
+  // Words over {found, clean}: any word (for target-labelled nodes), words
+  // containing found, and words of clean only.
+  Dfa any_word = Dfa::Create(1, 2);
+  any_word.accepting = {true};
+  any_word.SetNext(0, kFound, 0);
+  any_word.SetNext(0, kClean, 0);
+
+  Dfa contains_found = Dfa::Create(2, 2);
+  contains_found.initial = 0;
+  contains_found.accepting = {false, true};
+  contains_found.SetNext(0, kFound, 1);
+  contains_found.SetNext(0, kClean, 0);
+  contains_found.SetNext(1, kFound, 1);
+  contains_found.SetNext(1, kClean, 1);
+
+  Dfa all_clean = Complement(contains_found);
+
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    if (a == target) {
+      automaton.Horizontal(a, kFound) = any_word;
+      // kClean unassignable at target-labelled nodes (default empty).
+    } else {
+      automaton.Horizontal(a, kFound) = contains_found;
+      automaton.Horizontal(a, kClean) = all_clean;
+    }
+  }
+  return automaton;
+}
+
+}  // namespace sst

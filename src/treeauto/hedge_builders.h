@@ -1,0 +1,22 @@
+#ifndef SST_TREEAUTO_HEDGE_BUILDERS_H_
+#define SST_TREEAUTO_HEDGE_BUILDERS_H_
+
+#include "dtd/path_dtd.h"
+#include "treeauto/hedge_automaton.h"
+
+namespace sst {
+
+// Bottom-up deterministic hedge automaton for a path DTD (Section 4.1):
+// states are the symbols plus a 'bad' sink; a node gets its own label as
+// state iff its children conform, and 'bad' otherwise. Acceptance = the
+// initial symbol at the root. Deterministic and complete by construction.
+HedgeAutomaton PathDtdToHedgeAutomaton(const PathDtd& dtd);
+
+// Hedge automaton for "some node is labelled `target`" — the standard
+// first example of a nondeterministic (here: deterministic) unranked tree
+// automaton; used by tests as an independently-checkable language.
+HedgeAutomaton SomeLabelHedgeAutomaton(int num_symbols, Symbol target);
+
+}  // namespace sst
+
+#endif  // SST_TREEAUTO_HEDGE_BUILDERS_H_

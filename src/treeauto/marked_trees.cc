@@ -1,0 +1,234 @@
+#include "treeauto/marked_trees.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "base/check.h"
+#include "treeauto/rpqness.h"
+
+namespace sst {
+
+namespace {
+
+int CmpCode(int num_registers, uint32_t greater_set, uint32_t equal_set) {
+  int code = 0;
+  for (int r = num_registers - 1; r >= 0; --r) {
+    int digit = (greater_set >> r) & 1 ? Dra::kGreater
+                : (equal_set >> r) & 1 ? Dra::kEqual
+                                       : Dra::kLess;
+    code = code * 3 + digit;
+  }
+  return code;
+}
+
+// Auxiliary state of the Proposition 2.3 construction (see
+// restricted_to_tree_automaton.h); the hedge-state identity of a node.
+struct Aux {
+  Symbol label;
+  uint32_t x;  // loads at the opening tag
+  int p;       // state after the opening tag
+  uint32_t y;  // loads strictly inside
+  uint32_t z;  // loads at the closing tag
+  int q;       // exit state
+  int q_pre;   // state just before the closing tag
+
+  auto Tie() const { return std::tie(label, x, p, y, z, q, q_pre); }
+  friend bool operator<(const Aux& lhs, const Aux& rhs) {
+    return lhs.Tie() < rhs.Tie();
+  }
+};
+
+struct Builder {
+  const Dra& dra;
+  int num_registers;
+  uint32_t all_registers;
+
+  Dra::Action Open(int state, Symbol label) const {
+    return dra.At(state, false, label, CmpCode(num_registers, 0, 0));
+  }
+  Dra::Action Close(int state, Symbol label, uint32_t inside,
+                    uint32_t equal) const {
+    return dra.At(state, true, label,
+                  CmpCode(num_registers, inside, equal & ~inside));
+  }
+};
+
+// Horizontal scan state while reading a node's children (cf. Prop 2.3).
+struct Scan {
+  int expected_entry;
+  uint32_t acc_y;
+  uint32_t equal;
+  bool seen_child;
+
+  auto Tie() const { return std::tie(expected_entry, acc_y, equal,
+                                     seen_child); }
+  friend bool operator<(const Scan& lhs, const Scan& rhs) {
+    return lhs.Tie() < rhs.Tie();
+  }
+};
+
+}  // namespace
+
+std::optional<HedgeAutomaton> MaterializeDraHedgeAutomaton(
+    const Dra& restricted_dra, bool marked, int max_states) {
+  SST_CHECK_MSG(IsRestricted(restricted_dra),
+                "the Proposition 2.3 construction needs a restricted DRA");
+  Builder builder{restricted_dra, restricted_dra.num_registers,
+                  restricted_dra.num_registers == 32
+                      ? ~uint32_t{0}
+                      : (uint32_t{1} << restricted_dra.num_registers) - 1};
+  const int num_symbols = restricted_dra.num_symbols;
+  const int num_states = restricted_dra.num_states;
+
+  // Enumerate the auxiliary states.
+  std::set<Aux> aux_set;
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    std::set<std::pair<uint32_t, int>> entries;
+    for (int s = 0; s < num_states; ++s) {
+      Dra::Action open = builder.Open(s, a);
+      entries.emplace(open.load_mask, open.next);
+    }
+    for (const auto& [x, p] : entries) {
+      for (uint32_t y = 0;; y = ((y - builder.all_registers) &
+                                 builder.all_registers)) {
+        uint32_t inside = x | y;
+        for (int q_pre = 0; q_pre < num_states; ++q_pre) {
+          uint32_t free_registers = builder.all_registers & ~inside;
+          uint32_t equal = 0;
+          for (;;) {
+            Dra::Action close = builder.Close(q_pre, a, inside, equal);
+            aux_set.insert(Aux{a, x, p, y, close.load_mask, close.next,
+                               q_pre});
+            if (equal == free_registers) break;
+            equal = (equal - free_registers) & free_registers;
+          }
+        }
+        if (y == builder.all_registers) break;
+      }
+    }
+    if (static_cast<int>(aux_set.size()) > max_states) return std::nullopt;
+  }
+  std::vector<Aux> aux(aux_set.begin(), aux_set.end());
+  const int h = static_cast<int>(aux.size());
+
+  const int alphabet = marked ? 2 * num_symbols : num_symbols;
+  HedgeAutomaton result = HedgeAutomaton::Create(h, alphabet);
+
+  // Acceptance: root-consistent auxiliary states with accepting exit.
+  for (int i = 0; i < h; ++i) {
+    const Aux& sigma = aux[i];
+    Dra::Action open = builder.Open(restricted_dra.initial, sigma.label);
+    if (open.load_mask != sigma.x || open.next != sigma.p) continue;
+    uint32_t inside = sigma.x | sigma.y;
+    Dra::Action close = builder.Close(sigma.q_pre, sigma.label, inside,
+                                      builder.all_registers & ~inside);
+    if (close.load_mask != sigma.z || close.next != sigma.q) continue;
+    // For M_Q (marked mode) every correctly-marked tree belongs to the
+    // language; final-state acceptance only matters when the automaton
+    // recognizes the DRA's tree language.
+    result.accepting[i] = marked || restricted_dra.accepting[sigma.q];
+  }
+
+  // Horizontal DFA per auxiliary state (shared across the label slots it
+  // is assignable at).
+  for (int i = 0; i < h; ++i) {
+    const Aux& sigma = aux[i];
+    // BFS over scan states; state 0 = initial scan, plus a rejecting sink.
+    std::map<Scan, int> scan_id;
+    std::vector<Scan> scans;
+    auto intern = [&](const Scan& scan) {
+      auto [it, inserted] =
+          scan_id.emplace(scan, static_cast<int>(scans.size()));
+      if (inserted) scans.push_back(scan);
+      return it->second;
+    };
+    intern(Scan{sigma.p, 0, sigma.x, false});
+    std::vector<std::vector<int>> table;  // per scan: per letter target
+    for (size_t t = 0; t < scans.size(); ++t) {
+      const Scan scan = scans[t];
+      std::vector<int> row(h, -1);
+      for (int letter = 0; letter < h; ++letter) {
+        const Aux& child = aux[letter];
+        Dra::Action open = builder.Open(scan.expected_entry, child.label);
+        if (open.load_mask != child.x || open.next != child.p) continue;
+        uint32_t inside = child.x | child.y;
+        Dra::Action close =
+            builder.Close(child.q_pre, child.label, inside, scan.equal);
+        if (close.load_mask != child.z || close.next != child.q) continue;
+        row[letter] = intern(Scan{child.q, scan.acc_y | inside | child.z,
+                                  scan.equal | child.z, true});
+      }
+      table.push_back(std::move(row));
+    }
+    const int sink = static_cast<int>(scans.size());
+    Dfa horizontal = Dfa::Create(sink + 1, h);
+    horizontal.initial = 0;
+    for (int t = 0; t < sink; ++t) {
+      const Scan& scan = scans[t];
+      horizontal.accepting[t] =
+          scan.acc_y == sigma.y &&
+          (scan.seen_child ? scan.expected_entry == sigma.q_pre
+                           : sigma.q_pre == sigma.p);
+      for (int letter = 0; letter < h; ++letter) {
+        horizontal.SetNext(t, letter,
+                           table[t][letter] < 0 ? sink : table[t][letter]);
+      }
+    }
+    for (int letter = 0; letter < h; ++letter) {
+      horizontal.SetNext(sink, letter, sink);
+    }
+
+    // Install at the assignable label slot(s).
+    if (marked) {
+      int mark = restricted_dra.accepting[sigma.p] ? 1 : 0;
+      result.Horizontal(sigma.label + mark * num_symbols, i) = horizontal;
+    } else {
+      result.Horizontal(sigma.label, i) = horizontal;
+    }
+  }
+  return result;
+}
+
+HedgeAutomaton MarkedPathAutomaton(const Dfa& dfa) {
+  const int num_symbols = dfa.num_symbols;
+  const int n = dfa.num_states;
+  // States: (symbol, dfa state) pairs — the DFA state *at* the node.
+  const int h = num_symbols * n;
+  auto pack = [&](Symbol a, int q) { return a * n + q; };
+  HedgeAutomaton result = HedgeAutomaton::Create(h, 2 * num_symbols);
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    result.accepting[pack(a, dfa.Next(dfa.initial, a))] = true;
+  }
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    for (int q = 0; q < n; ++q) {
+      // Children letters (b, q_b) must satisfy q_b == δ(q, b).
+      Dfa horizontal = Dfa::Create(2, h);
+      horizontal.initial = 0;
+      horizontal.accepting = {true, false};
+      for (Symbol b = 0; b < num_symbols; ++b) {
+        for (int qb = 0; qb < n; ++qb) {
+          int ok = qb == dfa.Next(q, b) ? 0 : 1;
+          horizontal.SetNext(0, pack(b, qb), ok);
+          horizontal.SetNext(1, pack(b, qb), 1);
+        }
+      }
+      int mark = dfa.accepting[q] ? 1 : 0;
+      result.Horizontal(a + mark * num_symbols, pack(a, q)) = horizontal;
+    }
+  }
+  return result;
+}
+
+std::optional<bool> IsRpqExact(const Dra& restricted_dra, int max_states) {
+  std::optional<HedgeAutomaton> marked_query =
+      MaterializeDraHedgeAutomaton(restricted_dra, /*marked=*/true,
+                                   max_states);
+  if (!marked_query.has_value()) return std::nullopt;
+  Dfa chain = ExtractChainDfa(restricted_dra);
+  HedgeAutomaton marked_path = MarkedPathAutomaton(chain);
+  return HedgeEquivalent(*marked_query, marked_path, max_states);
+}
+
+}  // namespace sst

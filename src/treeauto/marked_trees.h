@@ -1,0 +1,37 @@
+#ifndef SST_TREEAUTO_MARKED_TREES_H_
+#define SST_TREEAUTO_MARKED_TREES_H_
+
+#include <optional>
+
+#include "automata/dfa.h"
+#include "dra/dra.h"
+#include "treeauto/hedge_automaton.h"
+
+namespace sst {
+
+// Marked trees (Proposition 2.13): trees over Γ × {0,1}, encoded here by
+// doubling the alphabet — the label of a marked a-node is a + |Γ|.
+//
+// MaterializeDraHedgeAutomaton turns a *restricted* DRA into an explicit
+// hedge automaton via the auxiliary-labelling construction of Proposition
+// 2.3. With `marked` unset the automaton recognizes exactly the DRA's tree
+// language (over Γ); with `marked` set it recognizes M_Q — the marked
+// trees of the query the DRA realizes (a node's mark must equal the DRA's
+// pre-selection bit). Returns nullopt if more than `max_states` auxiliary
+// states arise.
+std::optional<HedgeAutomaton> MaterializeDraHedgeAutomaton(
+    const Dra& restricted_dra, bool marked, int max_states);
+
+// M_{Q_L} for a path query: marked trees over Γ × {0,1} where a node is
+// marked iff its root-to-node word is in L (given by a complete DFA over
+// Γ). Deterministic by construction.
+HedgeAutomaton MarkedPathAutomaton(const Dfa& dfa);
+
+// Proposition 2.13, exact: the query realized by the restricted DRA is an
+// RPQ iff M_Q equals M_{L_Q} as tree languages, where L_Q is read off the
+// DRA's chain behaviour. nullopt if the automata exceed the budget.
+std::optional<bool> IsRpqExact(const Dra& restricted_dra, int max_states);
+
+}  // namespace sst
+
+#endif  // SST_TREEAUTO_MARKED_TREES_H_

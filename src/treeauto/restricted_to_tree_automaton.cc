@@ -1,0 +1,177 @@
+#include "treeauto/restricted_to_tree_automaton.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Builds a comparison code from the three register sets.
+int CmpCode(int num_registers, uint32_t greater_set, uint32_t equal_set) {
+  int code = 0;
+  for (int r = num_registers - 1; r >= 0; --r) {
+    int digit = (greater_set >> r) & 1   ? Dra::kGreater
+                : (equal_set >> r) & 1   ? Dra::kEqual
+                                         : Dra::kLess;
+    code = code * 3 + digit;
+  }
+  return code;
+}
+
+}  // namespace
+
+RestrictedDraTreeAutomaton::RestrictedDraTreeAutomaton(const Dra& dra)
+    : dra_(dra) {
+  SST_CHECK_MSG(IsRestricted(dra_),
+                "Proposition 2.3 applies to restricted DRAs only");
+}
+
+Dra::Action RestrictedDraTreeAutomaton::OpenAction(int state,
+                                                   Symbol label) const {
+  // Opening a node at a fresh maximal depth: every register is strictly
+  // below the new depth (X≤ = Ξ, X≥ = ∅).
+  return dra_.At(state, /*is_close=*/false, label,
+                 CmpCode(dra_.num_registers, 0, 0));
+}
+
+Dra::Action RestrictedDraTreeAutomaton::CloseAction(int state, Symbol label,
+                                                    uint32_t child_loads,
+                                                    uint32_t equal_set) const {
+  // Closing a child: the registers loaded inside it are strictly greater
+  // than the current depth; the accumulated X ∪ Z_1 ∪ … ∪ Z_{i-1} equal it;
+  // everything else is strictly below.
+  return dra_.At(state, /*is_close=*/true, label,
+                 CmpCode(dra_.num_registers, child_loads,
+                         equal_set & ~child_loads));
+}
+
+std::vector<RestrictedDraTreeAutomaton::AuxState>
+RestrictedDraTreeAutomaton::PossibleStates(
+    Symbol label,
+    const std::vector<std::vector<AuxState>>& children) const {
+  std::vector<AuxState> result;
+  const uint32_t all_registers =
+      dra_.num_registers == 32
+          ? ~uint32_t{0}
+          : (uint32_t{1} << dra_.num_registers) - 1;
+
+  // Candidate (X, p) pairs: images of the open transition.
+  std::set<std::pair<uint32_t, int>> entries;
+  for (int s = 0; s < dra_.num_states; ++s) {
+    Dra::Action action = OpenAction(s, label);
+    entries.emplace(action.load_mask, action.next);
+  }
+
+  for (const auto& [load_open, state_open] : entries) {
+    // Horizontal left-to-right scan over the children's guessed labels.
+    std::set<HorizontalState> frontier = {
+        HorizontalState{state_open, 0, load_open}};
+    for (const std::vector<AuxState>& child : children) {
+      std::set<HorizontalState> next;
+      for (const HorizontalState& h : frontier) {
+        for (const AuxState& sigma : child) {
+          Dra::Action open = OpenAction(h.expected_entry, sigma.label);
+          if (open.load_mask != sigma.load_open ||
+              open.next != sigma.state_open) {
+            continue;
+          }
+          uint32_t inside = sigma.load_open | sigma.loads_inside;
+          Dra::Action close = CloseAction(sigma.state_pre_close, sigma.label,
+                                          inside, h.equal_set);
+          if (close.load_mask != sigma.load_close ||
+              close.next != sigma.state_exit) {
+            continue;
+          }
+          next.insert(HorizontalState{
+              sigma.state_exit,
+              h.accumulated_y | inside | sigma.load_close,
+              h.equal_set | sigma.load_close});
+        }
+      }
+      frontier = std::move(next);
+      if (frontier.empty()) break;
+    }
+
+    for (const HorizontalState& h : frontier) {
+      AuxState aux;
+      aux.label = label;
+      aux.load_open = load_open;
+      aux.state_open = state_open;
+      aux.loads_inside = h.accumulated_y;
+      aux.state_pre_close =
+          children.empty() ? state_open : h.expected_entry;
+      // The exit transition's comparison outcome depends on the parent's
+      // context only through which untouched registers equal the parent
+      // depth; enumerate all possibilities.
+      uint32_t inside = load_open | h.accumulated_y;
+      uint32_t free_registers = all_registers & ~inside;
+      // Enumerate subsets of free_registers as the equal-set.
+      uint32_t subset = 0;
+      for (;;) {
+        Dra::Action close =
+            CloseAction(aux.state_pre_close, label, inside, subset);
+        AuxState candidate = aux;
+        candidate.load_close = close.load_mask;
+        candidate.state_exit = close.next;
+        if (std::find(result.begin(), result.end(), candidate) ==
+            result.end()) {
+          result.push_back(candidate);
+        }
+        if (subset == free_registers) break;
+        subset = (subset - free_registers) & free_registers;
+      }
+    }
+  }
+  return result;
+}
+
+bool RestrictedDraTreeAutomaton::Accepts(const Tree& tree) const {
+  if (tree.empty()) return false;
+  // Bottom-up possible-states: node ids increase parent -> child.
+  std::vector<std::vector<AuxState>> possible(tree.size());
+  for (int v = tree.size() - 1; v >= 0; --v) {
+    std::vector<std::vector<AuxState>> children;
+    for (int c = tree.node(v).first_child; c >= 0;
+         c = tree.node(c).next_sibling) {
+      children.push_back(possible[c]);
+    }
+    possible[v] = PossibleStates(tree.label(v), children);
+  }
+  // Root conditions.
+  const uint32_t all_registers =
+      dra_.num_registers == 32
+          ? ~uint32_t{0}
+          : (uint32_t{1} << dra_.num_registers) - 1;
+  Dra::Action open = OpenAction(dra_.initial, tree.label(tree.root()));
+  for (const AuxState& sigma : possible[tree.root()]) {
+    if (sigma.load_open != open.load_mask || sigma.state_open != open.next) {
+      continue;
+    }
+    uint32_t inside = sigma.load_open | sigma.loads_inside;
+    Dra::Action close =
+        CloseAction(sigma.state_pre_close, sigma.label, inside,
+                    all_registers & ~inside);
+    if (close.load_mask != sigma.load_close ||
+        close.next != sigma.state_exit) {
+      continue;
+    }
+    if (dra_.accepting[sigma.state_exit]) return true;
+  }
+  return false;
+}
+
+int RestrictedDraTreeAutomaton::NumCandidateStates() const {
+  std::set<std::tuple<Symbol, uint32_t, int>> entries;
+  for (Symbol a = 0; a < dra_.num_symbols; ++a) {
+    for (int s = 0; s < dra_.num_states; ++s) {
+      Dra::Action action = OpenAction(s, a);
+      entries.emplace(a, action.load_mask, action.next);
+    }
+  }
+  return static_cast<int>(entries.size());
+}
+
+}  // namespace sst

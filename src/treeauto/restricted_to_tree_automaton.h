@@ -1,0 +1,88 @@
+#ifndef SST_TREEAUTO_RESTRICTED_TO_TREE_AUTOMATON_H_
+#define SST_TREEAUTO_RESTRICTED_TO_TREE_AUTOMATON_H_
+
+#include <vector>
+
+#include "dra/dra.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Proposition 2.3: restricted depth-register automata recognize regular
+// tree languages. This class is the proof's witness, made executable: a
+// nondeterministic unranked tree automaton that guesses an auxiliary
+// labelling of the input tree and checks it locally.
+//
+// Auxiliary labels follow the proof: a node v gets
+//   ((X, p), Y, (Z, q), q_pre, a)
+// meaning that reading v's opening tag loads the registers in X and enters
+// state p; processing v's content loads exactly the registers in Y; reading
+// v's closing tag (from state q_pre, which is p for leaves and the last
+// child's exit state otherwise) loads Z and enters the exit state q. The
+// horizontal consistency conditions are checked by a deterministic
+// left-to-right scan whose state is (expected entry state, accumulated Y,
+// accumulated X ∪ Z_1 ∪ … ∪ Z_{i-1}) — the comparison outcomes at a child's
+// closing tag are fully determined by these sets precisely because the DRA
+// is restricted.
+//
+// Membership runs the standard bottom-up possible-states computation and is
+// validated against the DRA itself in tests (they must agree on every
+// tree); regularity follows because the construction is a bona fide finite
+// tree automaton.
+class RestrictedDraTreeAutomaton {
+ public:
+  // Auxiliary label; register sets are bitmasks over the DRA's registers.
+  struct AuxState {
+    Symbol label = -1;
+    uint32_t load_open = 0;   // X
+    int state_open = 0;       // p
+    uint32_t loads_inside = 0;  // Y
+    uint32_t load_close = 0;  // Z
+    int state_exit = 0;       // q
+    int state_pre_close = 0;  // q_pre
+
+    friend bool operator==(const AuxState&, const AuxState&) = default;
+  };
+
+  // The DRA must be restricted (checked).
+  explicit RestrictedDraTreeAutomaton(const Dra& dra);
+
+  // True iff the tree automaton accepts (equivalently, the DRA accepts the
+  // markup encoding of the tree).
+  bool Accepts(const Tree& tree) const;
+
+  // Number of auxiliary states that are locally consistent with some open
+  // transition (a size diagnostic for the construction).
+  int NumCandidateStates() const;
+
+ private:
+  struct HorizontalState {
+    int expected_entry;      // p'_i for the next child
+    uint32_t accumulated_y;  // union of X_i ∪ Y_i ∪ Z_i so far
+    uint32_t equal_set;      // X ∪ Z_1 ∪ … ∪ Z_{i-1}
+
+    friend bool operator==(const HorizontalState&,
+                           const HorizontalState&) = default;
+    friend auto operator<=>(const HorizontalState&,
+                            const HorizontalState&) = default;
+  };
+
+  // Applies the DRA's open transition with the all-registers-below
+  // comparison (X≤ = Ξ, X≥ = ∅).
+  Dra::Action OpenAction(int state, Symbol label) const;
+  // Close transition of a child with loads `child_loads` (X_i ∪ Y_i) given
+  // the accumulated equal-set.
+  Dra::Action CloseAction(int state, Symbol label, uint32_t child_loads,
+                          uint32_t equal_set) const;
+
+  // All aux states possible for a node with the given label and children
+  // possibilities.
+  std::vector<AuxState> PossibleStates(
+      Symbol label, const std::vector<std::vector<AuxState>>& children) const;
+
+  const Dra dra_;
+};
+
+}  // namespace sst
+
+#endif  // SST_TREEAUTO_RESTRICTED_TO_TREE_AUTOMATON_H_

@@ -1,0 +1,40 @@
+#include "treeauto/rpqness.h"
+
+#include "automata/minimize.h"
+#include "dra/machine.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+
+Dfa ExtractChainDfa(const Dra& dra) {
+  // On a pure descent the comparison vector is constantly all-kLess.
+  Dfa dfa = Dfa::Create(dra.num_states, dra.num_symbols);
+  dfa.initial = dra.initial;
+  for (int q = 0; q < dra.num_states; ++q) {
+    dfa.accepting[q] = dra.accepting[q];
+    for (Symbol a = 0; a < dra.num_symbols; ++a) {
+      dfa.SetNext(q, a, dra.At(q, /*is_close=*/false, a, 0).next);
+    }
+  }
+  return Minimize(dfa);
+}
+
+RpqnessResult CheckRpqness(const Dra& dra, int max_nodes) {
+  RpqnessResult result;
+  result.candidate_language = ExtractChainDfa(dra);
+  DraRunner runner(&dra);
+  for (Tree& tree : EnumerateTrees(max_nodes, dra.num_symbols)) {
+    if (RunQueryOnTree(&runner, tree) !=
+        SelectNodes(result.candidate_language, tree)) {
+      result.is_rpq_up_to_bound = false;
+      result.counterexample = std::move(tree);
+      return result;
+    }
+  }
+  result.is_rpq_up_to_bound = true;
+  return result;
+}
+
+}  // namespace sst

@@ -1,0 +1,40 @@
+#ifndef SST_TREEAUTO_RPQNESS_H_
+#define SST_TREEAUTO_RPQNESS_H_
+
+#include <optional>
+
+#include "automata/dfa.h"
+#include "dra/dra.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Proposition 2.13: it is decidable whether the query realized by a given
+// restricted DRA is an RPQ. The proof reduces to tree-automata equivalence
+// of M_Q (the marked trees of the query, via Proposition 2.3) and M_{L_Q}
+// (the marked trees of the candidate path language).
+//
+// The candidate language L_Q is read off the DRA's behaviour on
+// single-branch trees: while only opening tags are read, every register
+// stays strictly below the current depth, so the DRA degenerates to a DFA
+// over Γ (Proposition 2.11's argument). This function extracts that DFA.
+Dfa ExtractChainDfa(const Dra& dra);
+
+// The decision procedure, instantiated as an exhaustive check over all
+// trees with at most `max_nodes` nodes (a complete equivalence test for the
+// tree-automata pair restricted to that universe; the paper's unbounded
+// procedure needs tree-automata equivalence, which is exact but EXPTIME).
+// Returns false together with a counterexample tree if the query disagrees
+// with Q_{L_Q} somewhere in the universe; true if it is an RPQ as far as
+// the bound can tell.
+struct RpqnessResult {
+  bool is_rpq_up_to_bound = false;
+  Dfa candidate_language;           // L_Q
+  std::optional<Tree> counterexample;
+};
+
+RpqnessResult CheckRpqness(const Dra& dra, int max_nodes);
+
+}  // namespace sst
+
+#endif  // SST_TREEAUTO_RPQNESS_H_

@@ -1,0 +1,182 @@
+#include "trees/encoding.h"
+
+#include <cctype>
+
+#include "base/check.h"
+
+namespace sst {
+
+EventStream Encode(const Tree& tree) {
+  EventStream events;
+  if (tree.empty()) return events;
+  events.reserve(2 * static_cast<size_t>(tree.size()));
+  // Iterative DFS emitting open on the way down and close on the way up.
+  struct Frame {
+    int node;
+    int next_child;
+  };
+  std::vector<Frame> stack;
+  events.push_back({true, tree.label(tree.root())});
+  stack.push_back({tree.root(), tree.node(tree.root()).first_child});
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child < 0) {
+      events.push_back({false, tree.label(frame.node)});
+      stack.pop_back();
+    } else {
+      int child = frame.next_child;
+      frame.next_child = tree.node(child).next_sibling;
+      events.push_back({true, tree.label(child)});
+      stack.push_back({child, tree.node(child).first_child});
+    }
+  }
+  return events;
+}
+
+std::optional<Tree> Decode(const EventStream& events) {
+  if (events.empty()) return std::nullopt;
+  Tree tree;
+  std::vector<int> stack;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TagEvent& event = events[i];
+    if (event.open) {
+      if (stack.empty()) {
+        if (!tree.empty()) return std::nullopt;  // second root
+        stack.push_back(tree.AddRoot(event.symbol));
+      } else {
+        stack.push_back(tree.AddChild(stack.back(), event.symbol));
+      }
+    } else {
+      if (stack.empty()) return std::nullopt;
+      // Markup encodings carry the closing label; term encodings use -1.
+      if (event.symbol >= 0 && event.symbol != tree.label(stack.back())) {
+        return std::nullopt;
+      }
+      stack.pop_back();
+      if (stack.empty() && i + 1 != events.size()) {
+        return std::nullopt;  // content after the root closes
+      }
+    }
+  }
+  if (!stack.empty()) return std::nullopt;
+  return tree;
+}
+
+bool IsValidEncoding(const EventStream& events) {
+  return Decode(events).has_value();
+}
+
+namespace {
+
+char OpenChar(const Alphabet& alphabet, Symbol s) {
+  const std::string& label = alphabet.LabelOf(s);
+  SST_CHECK_MSG(label.size() == 1 && std::islower(static_cast<unsigned char>(
+                                         label[0])),
+                "compact serialization needs single lowercase labels");
+  return label[0];
+}
+
+}  // namespace
+
+std::string ToCompactMarkup(const Alphabet& alphabet,
+                            const EventStream& events) {
+  std::string out;
+  out.reserve(events.size());
+  for (const TagEvent& event : events) {
+    char c = OpenChar(alphabet, event.symbol);
+    out += event.open ? c : static_cast<char>(std::toupper(c));
+  }
+  return out;
+}
+
+std::optional<EventStream> ParseCompactMarkup(const Alphabet& alphabet,
+                                              std::string_view text) {
+  EventStream events;
+  events.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    bool open = std::islower(static_cast<unsigned char>(c));
+    char lower = static_cast<char>(std::tolower(c));
+    Symbol s = alphabet.Find(std::string_view(&lower, 1));
+    if (s < 0) return std::nullopt;
+    events.push_back({open, s});
+  }
+  return events;
+}
+
+std::string ToCompactTerm(const Alphabet& alphabet,
+                          const EventStream& events) {
+  std::string out;
+  for (const TagEvent& event : events) {
+    if (event.open) {
+      out += OpenChar(alphabet, event.symbol);
+      out += '{';
+    } else {
+      out += '}';
+    }
+  }
+  return out;
+}
+
+std::optional<EventStream> ParseCompactTerm(const Alphabet& alphabet,
+                                            std::string_view text) {
+  EventStream events;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      events.push_back({false, -1});
+      ++i;
+      continue;
+    }
+    Symbol s = alphabet.Find(std::string_view(&c, 1));
+    if (s < 0) return std::nullopt;
+    if (i + 1 >= text.size() || text[i + 1] != '{') return std::nullopt;
+    events.push_back({true, s});
+    i += 2;
+  }
+  return events;
+}
+
+std::string ToXmlLite(const Alphabet& alphabet, const EventStream& events) {
+  std::string out;
+  for (const TagEvent& event : events) {
+    out += event.open ? "<" : "</";
+    out += alphabet.LabelOf(event.symbol);
+    out += '>';
+  }
+  return out;
+}
+
+std::optional<EventStream> ParseXmlLite(Alphabet* alphabet,
+                                        std::string_view text) {
+  EventStream events;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c != '<') return std::nullopt;
+    ++i;
+    bool open = true;
+    if (i < text.size() && text[i] == '/') {
+      open = false;
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && text[i] != '>') ++i;
+    if (i >= text.size() || i == start) return std::nullopt;
+    Symbol s = alphabet->Intern(text.substr(start, i - start));
+    ++i;  // consume '>'
+    events.push_back({open, s});
+  }
+  return events;
+}
+
+}  // namespace sst

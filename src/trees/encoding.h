@@ -1,0 +1,65 @@
+#ifndef SST_TREES_ENCODING_H_
+#define SST_TREES_ENCODING_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// One tag of a streamed tree. The same event stream serves both encodings:
+// under the markup encoding (Section 2) the closing tag carries its label;
+// under the term encoding (Section 4.2) evaluators must ignore the label of
+// close events (the universal closing tag).
+struct TagEvent {
+  bool open = false;
+  Symbol symbol = -1;  // label of the node being opened/closed
+
+  friend bool operator==(const TagEvent&, const TagEvent&) = default;
+};
+
+using EventStream = std::vector<TagEvent>;
+
+// <T>: the markup/term event stream of the tree (document order).
+EventStream Encode(const Tree& tree);
+
+// Rebuilds a tree from a well-formed event stream; returns nullopt if the
+// stream is not a valid encoding (mismatched or dangling tags, multiple
+// roots, empty).
+std::optional<Tree> Decode(const EventStream& events);
+
+// True iff the stream is the valid encoding of some tree.
+bool IsValidEncoding(const EventStream& events);
+
+// --- Byte serializations ------------------------------------------------
+//
+// Compact markup: opening tags are the alphabet's single-character labels
+// ('a'..'z'), closing tags their uppercase forms. Requires all labels to be
+// single lowercase letters. This is the format used by the high-throughput
+// byte runners and benchmarks.
+std::string ToCompactMarkup(const Alphabet& alphabet,
+                            const EventStream& events);
+std::optional<EventStream> ParseCompactMarkup(const Alphabet& alphabet,
+                                              std::string_view text);
+
+// Compact term encoding (JSON-style, Section 4.2): `a{ ... }` with the
+// universal closing tag '}'. Close events in the parsed stream carry -1.
+std::string ToCompactTerm(const Alphabet& alphabet,
+                          const EventStream& events);
+std::optional<EventStream> ParseCompactTerm(const Alphabet& alphabet,
+                                            std::string_view text);
+
+// XML-lite: `<label>` ... `</label>`; labels may be multi-character.
+// No attributes, text content, comments, or escaping — tags only, which is
+// what the paper's model consumes (a SAX stream restricted to tag events).
+std::string ToXmlLite(const Alphabet& alphabet, const EventStream& events);
+std::optional<EventStream> ParseXmlLite(Alphabet* alphabet,
+                                        std::string_view text);
+
+}  // namespace sst
+
+#endif  // SST_TREES_ENCODING_H_

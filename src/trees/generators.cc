@@ -1,0 +1,157 @@
+#include "trees/generators.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+Tree ChainTree(const Word& word) {
+  SST_CHECK(!word.empty());
+  Tree tree;
+  int cur = tree.AddRoot(word[0]);
+  for (size_t i = 1; i < word.size(); ++i) {
+    cur = tree.AddChild(cur, word[i]);
+  }
+  return tree;
+}
+
+Tree RandomTree(int num_nodes, int num_symbols, double depth_bias, Rng* rng) {
+  SST_CHECK(num_nodes >= 1);
+  Tree tree;
+  tree.AddRoot(static_cast<Symbol>(rng->NextBelow(num_symbols)));
+  for (int i = 1; i < num_nodes; ++i) {
+    int parent;
+    if (rng->NextBool(depth_bias)) {
+      parent = i - 1;  // extend the most recent node: grows depth
+    } else {
+      parent = static_cast<int>(rng->NextBelow(i));
+    }
+    tree.AddChild(parent, static_cast<Symbol>(rng->NextBelow(num_symbols)));
+  }
+  return tree;
+}
+
+Tree RandomTreeWithHeight(int num_nodes, int height, int num_symbols,
+                          Rng* rng) {
+  SST_CHECK(height >= 1 && num_nodes >= height);
+  Tree tree;
+  std::vector<int> depth_of;  // node id -> depth
+  int cur = tree.AddRoot(static_cast<Symbol>(rng->NextBelow(num_symbols)));
+  depth_of.push_back(1);
+  for (int d = 2; d <= height; ++d) {
+    cur = tree.AddChild(cur, static_cast<Symbol>(rng->NextBelow(num_symbols)));
+    depth_of.push_back(d);
+  }
+  for (int i = height; i < num_nodes; ++i) {
+    // Attach below any node that is not already at the maximum depth.
+    int parent;
+    do {
+      parent = static_cast<int>(rng->NextBelow(tree.size()));
+    } while (depth_of[parent] >= height);
+    tree.AddChild(parent, static_cast<Symbol>(rng->NextBelow(num_symbols)));
+    depth_of.push_back(depth_of[parent] + 1);
+  }
+  return tree;
+}
+
+Tree KnSchemaTree(int n, const std::vector<bool>& a_child,
+                  const std::vector<bool>& c_child, Symbol a, Symbol b,
+                  Symbol c) {
+  SST_CHECK(n > 2);
+  SST_CHECK(static_cast<int>(a_child.size()) == n);
+  SST_CHECK(static_cast<int>(c_child.size()) == n);
+  Tree tree;
+  int cur = tree.AddRoot(b);
+  // Children order per Fig 1b: optional a-child (left of the main branch),
+  // then the main-branch continuation, then the optional c-child (right).
+  for (int i = 1; i <= n; ++i) {
+    int node = cur;
+    // a-children exist on internal main-branch nodes only.
+    if (i >= 2 && i <= n - 1 && a_child[i - 1]) {
+      tree.AddChild(node, a);
+    }
+    if (i < n) {
+      cur = tree.AddChild(node, b);
+    }
+    if (c_child[i - 1]) {
+      tree.AddChild(node, c);
+    }
+  }
+  return tree;
+}
+
+std::vector<Tree> EnumerateTrees(int max_nodes, int num_symbols) {
+  // Enumerate tree shapes as preorder arity sequences (arity[i] = number of
+  // children of the i-th node in preorder), then all labelings of each
+  // shape.
+  std::vector<Tree> result;
+  std::vector<int> arity;
+
+  auto emit_labelings = [&]() {
+    const int n = static_cast<int>(arity.size());
+    std::vector<Symbol> labels(n, 0);
+    for (;;) {
+      Tree tree;
+      std::vector<std::pair<int, int>> stack;  // (node id, children left)
+      for (int i = 0; i < n; ++i) {
+        int id = stack.empty()
+                     ? tree.AddRoot(labels[i])
+                     : tree.AddChild(stack.back().first, labels[i]);
+        if (!stack.empty() && --stack.back().second == 0) stack.pop_back();
+        if (arity[i] > 0) stack.emplace_back(id, arity[i]);
+      }
+      result.push_back(std::move(tree));
+      // Next labeling (odometer).
+      int pos = n - 1;
+      while (pos >= 0 && labels[pos] == num_symbols - 1) labels[pos--] = 0;
+      if (pos < 0) break;
+      ++labels[pos];
+    }
+  };
+
+  // place(placed, total, pending): nodes placed so far, target size, and
+  // open child slots; every node consumes one slot and contributes its own
+  // arity in slots.
+  std::function<void(int, int, int)> place = [&](int placed, int total,
+                                                 int pending) {
+    if (placed == total) {
+      if (pending == 0) emit_labelings();
+      return;
+    }
+    if (pending == 0) return;  // no slot left for the remaining nodes
+    const int remaining = total - placed;
+    for (int a = 0; a <= remaining - 1; ++a) {
+      int next_pending = pending - 1 + a;
+      if (next_pending > remaining - 1) continue;
+      arity.push_back(a);
+      place(placed + 1, total, next_pending);
+      arity.pop_back();
+    }
+  };
+
+  for (int n = 1; n <= max_nodes; ++n) {
+    arity.clear();
+    place(0, n, 1);
+  }
+  return result;
+}
+
+std::vector<std::vector<bool>> AllKnAChoices(int n) {
+  SST_CHECK(n > 2 && n <= 22);
+  std::vector<std::vector<bool>> result;
+  int free_bits = n - 2;  // positions 2..n-1 (1-based)
+  result.reserve(static_cast<size_t>(1) << free_bits);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << free_bits); ++mask) {
+    std::vector<bool> choice(n, false);
+    for (int bit = 0; bit < free_bits; ++bit) {
+      choice[bit + 1] = (mask >> bit) & 1;  // 1-based position bit+2 -> index bit+1
+    }
+    result.push_back(std::move(choice));
+  }
+  return result;
+}
+
+}  // namespace sst

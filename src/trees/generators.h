@@ -1,0 +1,50 @@
+#ifndef SST_TREES_GENERATORS_H_
+#define SST_TREES_GENERATORS_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "base/rng.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// Synthetic document generators used by tests and benchmarks.
+
+// A single-branch tree whose labels, from root to leaf, spell `word`
+// (must be nonempty).
+Tree ChainTree(const Word& word);
+
+// Random tree with exactly `num_nodes` nodes. Each new node attaches to a
+// node chosen among recent insertions; `depth_bias` in [0,1] skews the
+// choice towards the most recently added node (1.0 gives a chain, 0.0 a
+// uniformly random recursive tree / shallow bush). Labels are uniform over
+// [0, num_symbols).
+Tree RandomTree(int num_nodes, int num_symbols, double depth_bias, Rng* rng);
+
+// Random tree with exact height: a chain of length `height` with extra
+// random nodes hung below existing nodes (never exceeding the height).
+Tree RandomTreeWithHeight(int num_nodes, int height, int num_symbols,
+                          Rng* rng);
+
+// The Kn 'schema' of Fig 1b / Example 2.9, over Γ = {a, b, c} with symbols
+// passed explicitly: a main branch of n b-labelled nodes; internal b-node i
+// (1-based, 2..n-1) gets an a-labelled left child iff a_child[i-1]; every
+// b-node i gets a c-labelled right child iff c_child[i-1].
+Tree KnSchemaTree(int n, const std::vector<bool>& a_child,
+                  const std::vector<bool>& c_child, Symbol a, Symbol b,
+                  Symbol c);
+
+// All 2^(n-2) choice vectors for the a-children of Kn (helper for the
+// Example 2.9 counting experiment).
+std::vector<std::vector<bool>> AllKnAChoices(int n);
+
+// Exhaustive enumeration of all labelled ordered trees with at most
+// `max_nodes` nodes over `num_symbols` labels (used by the bounded
+// Proposition 2.13 check). Counts grow as Catalan(n-1)·k^n — keep
+// max_nodes small.
+std::vector<Tree> EnumerateTrees(int max_nodes, int num_symbols);
+
+}  // namespace sst
+
+#endif  // SST_TREES_GENERATORS_H_

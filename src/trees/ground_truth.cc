@@ -1,0 +1,46 @@
+#include "trees/ground_truth.h"
+
+namespace sst {
+
+namespace {
+
+// DFA state at every node: state after reading the root-to-node word.
+// Nodes are created parents-first, so one forward pass suffices.
+std::vector<int> StatesAtNodes(const Dfa& dfa, const Tree& tree) {
+  std::vector<int> state(tree.size());
+  for (int id = 0; id < tree.size(); ++id) {
+    int parent = tree.node(id).parent;
+    int from = parent < 0 ? dfa.initial : state[parent];
+    state[id] = dfa.Next(from, tree.label(id));
+  }
+  return state;
+}
+
+}  // namespace
+
+std::vector<bool> SelectNodes(const Dfa& dfa, const Tree& tree) {
+  std::vector<int> state = StatesAtNodes(dfa, tree);
+  std::vector<bool> selected(tree.size());
+  for (int id = 0; id < tree.size(); ++id) {
+    selected[id] = dfa.accepting[state[id]];
+  }
+  return selected;
+}
+
+bool TreeInExists(const Dfa& dfa, const Tree& tree) {
+  std::vector<int> state = StatesAtNodes(dfa, tree);
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.IsLeaf(id) && dfa.accepting[state[id]]) return true;
+  }
+  return false;
+}
+
+bool TreeInForall(const Dfa& dfa, const Tree& tree) {
+  std::vector<int> state = StatesAtNodes(dfa, tree);
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.IsLeaf(id) && !dfa.accepting[state[id]]) return false;
+  }
+  return true;
+}
+
+}  // namespace sst

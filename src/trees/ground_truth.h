@@ -1,0 +1,26 @@
+#ifndef SST_TREES_GROUND_TRUTH_H_
+#define SST_TREES_GROUND_TRUTH_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+// In-memory (non-streaming) reference semantics, used as correctness
+// oracles for every streaming evaluator in src/eval.
+
+// QL(T): selected[v] == true iff the root-to-v label word is in L(dfa)
+// (Section 2.3, path query semantics).
+std::vector<bool> SelectNodes(const Dfa& dfa, const Tree& tree);
+
+// T ∈ EL: some branch (root-to-leaf path) is labelled by a word in L.
+bool TreeInExists(const Dfa& dfa, const Tree& tree);
+
+// T ∈ AL: every branch is labelled by a word in L.
+bool TreeInForall(const Dfa& dfa, const Tree& tree);
+
+}  // namespace sst
+
+#endif  // SST_TREES_GROUND_TRUTH_H_

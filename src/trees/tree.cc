@@ -1,0 +1,97 @@
+#include "trees/tree.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace sst {
+
+int Tree::AddRoot(Symbol label) {
+  SST_CHECK_MSG(nodes_.empty(), "root already present");
+  nodes_.push_back(Node{label, -1, -1, -1, -1});
+  return 0;
+}
+
+int Tree::AddChild(int parent, Symbol label) {
+  SST_CHECK(parent >= 0 && parent < size());
+  int id = size();
+  nodes_.push_back(Node{label, parent, -1, -1, -1});
+  Node& parent_node = nodes_[parent];
+  if (parent_node.last_child < 0) {
+    parent_node.first_child = id;
+  } else {
+    nodes_[parent_node.last_child].next_sibling = id;
+  }
+  parent_node.last_child = id;
+  return id;
+}
+
+int Tree::Depth(int id) const {
+  int depth = 0;
+  for (int cur = id; cur >= 0; cur = nodes_[cur].parent) ++depth;
+  return depth;
+}
+
+int Tree::Height() const {
+  if (nodes_.empty()) return 0;
+  // Nodes are created in topological order (parents before children), so a
+  // single forward pass computes depths.
+  std::vector<int> depth(nodes_.size());
+  int best = 0;
+  for (int id = 0; id < size(); ++id) {
+    depth[id] = nodes_[id].parent < 0 ? 1 : depth[nodes_[id].parent] + 1;
+    best = std::max(best, depth[id]);
+  }
+  return best;
+}
+
+std::vector<int> Tree::Leaves() const {
+  std::vector<int> leaves;
+  if (nodes_.empty()) return leaves;
+  // Document order = DFS using the child/sibling links.
+  std::vector<int> stack = {root()};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    if (IsLeaf(id)) leaves.push_back(id);
+    // Push children in reverse so the first child is processed first.
+    std::vector<int> children;
+    for (int c = nodes_[id].first_child; c >= 0; c = nodes_[c].next_sibling) {
+      children.push_back(c);
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return leaves;
+}
+
+std::vector<int> Tree::DocumentOrderIds() const {
+  std::vector<int> order;
+  if (nodes_.empty()) return order;
+  order.reserve(nodes_.size());
+  std::vector<int> stack = {root()};
+  while (!stack.empty()) {
+    int id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    std::vector<int> children;
+    for (int c = nodes_[id].first_child; c >= 0; c = nodes_[c].next_sibling) {
+      children.push_back(c);
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+Word Tree::PathWord(int id) const {
+  Word reversed;
+  for (int cur = id; cur >= 0; cur = nodes_[cur].parent) {
+    reversed.push_back(nodes_[cur].label);
+  }
+  return Word(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace sst

@@ -1,0 +1,61 @@
+#ifndef SST_TREES_TREE_H_
+#define SST_TREES_TREE_H_
+
+#include <vector>
+
+#include "automata/alphabet.h"
+
+namespace sst {
+
+// Ordered unranked tree with Symbol-labelled nodes, stored as an arena with
+// first-child / next-sibling links. Node ids are dense and allocated in
+// creation order; the root is always node 0 once added.
+class Tree {
+ public:
+  struct Node {
+    Symbol label = -1;
+    int parent = -1;
+    int first_child = -1;
+    int last_child = -1;
+    int next_sibling = -1;
+  };
+
+  Tree() = default;
+
+  // Adds the root; must be called exactly once, before AddChild.
+  int AddRoot(Symbol label);
+
+  // Appends a new last child under `parent` and returns its id.
+  int AddChild(int parent, Symbol label);
+
+  bool empty() const { return nodes_.empty(); }
+  int root() const { return 0; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int id) const { return nodes_[id]; }
+  Symbol label(int id) const { return nodes_[id].label; }
+  bool IsLeaf(int id) const { return nodes_[id].first_child < 0; }
+
+  // Depth of a node; the root has depth 1 (matching the paper's counter,
+  // which is incremented by the root's opening tag).
+  int Depth(int id) const;
+
+  // Maximum node depth; 0 for the empty tree.
+  int Height() const;
+
+  // Ids of all leaves, in document order.
+  std::vector<int> Leaves() const;
+
+  // All node ids in document order (the order of opening tags in the
+  // encoding). Node ids are creation order, which need not coincide.
+  std::vector<int> DocumentOrderIds() const;
+
+  // The sequence of labels on the path from the root to `id`, inclusive.
+  Word PathWord(int id) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sst
+
+#endif  // SST_TREES_TREE_H_

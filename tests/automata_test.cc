@@ -1,0 +1,271 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/determinize.h"
+#include "automata/dfa.h"
+#include "automata/minimize.h"
+#include "automata/nfa.h"
+#include "automata/random_dfa.h"
+#include "automata/regex.h"
+#include "automata/scc.h"
+#include "base/rng.h"
+
+namespace sst {
+namespace {
+
+// Enumerates all words over [0, k) of length <= max_len in lexicographic
+// order (shortlex).
+std::vector<Word> AllWords(int k, int max_len) {
+  std::vector<Word> result = {{}};
+  std::vector<Word> frontier = {{}};
+  for (int len = 1; len <= max_len; ++len) {
+    std::vector<Word> next;
+    for (const Word& w : frontier) {
+      for (Symbol a = 0; a < k; ++a) {
+        Word extended = w;
+        extended.push_back(a);
+        next.push_back(extended);
+        result.push_back(std::move(extended));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+TEST(Alphabet, InternAndLookup) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  EXPECT_EQ(alphabet.size(), 3);
+  EXPECT_EQ(alphabet.Find("a"), 0);
+  EXPECT_EQ(alphabet.Find("c"), 2);
+  EXPECT_EQ(alphabet.Find("z"), -1);
+  EXPECT_EQ(alphabet.LabelOf(1), "b");
+  Alphabet xml;
+  Symbol item = xml.Intern("item");
+  EXPECT_EQ(xml.Intern("item"), item);
+  EXPECT_EQ(xml.size(), 1);
+}
+
+TEST(Regex, ParseAndPrintRoundTrip) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  for (const char* pattern :
+       {"a.*b", "ab", ".*a.*b", ".*ab", "(a|b)*c", "a+b?", "(b*ab*ab*)*"}) {
+    RegexPtr regex = ParseRegex(pattern, alphabet);
+    ASSERT_NE(regex, nullptr) << pattern;
+    std::string printed = RegexToString(*regex, alphabet);
+    RegexPtr reparsed = ParseRegex(printed, alphabet);
+    // Compare languages through the minimal DFA.
+    Dfa a = RegexToMinimalDfa(*regex, alphabet.size());
+    Dfa b = RegexToMinimalDfa(*reparsed, alphabet.size());
+    EXPECT_TRUE(EquivalentDfa(a, b)) << pattern << " vs " << printed;
+  }
+}
+
+TEST(Regex, SyntaxErrorsAreReported) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  std::string error;
+  EXPECT_EQ(TryParseRegex("a(", alphabet, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_EQ(TryParseRegex("x", alphabet, &error), nullptr);  // not in alphabet
+  EXPECT_FALSE(error.empty());
+  error.clear();
+  EXPECT_EQ(TryParseRegex("*a", alphabet, &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Nfa, MatchesRegexSemantics) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  RegexPtr regex = ParseRegex("(a|ba)*b?", alphabet);
+  Nfa nfa = RegexToNfa(*regex, alphabet.size());
+  EXPECT_TRUE(nfa.Accepts(WordFromString(alphabet, "")));
+  EXPECT_TRUE(nfa.Accepts(WordFromString(alphabet, "aba")));
+  EXPECT_TRUE(nfa.Accepts(WordFromString(alphabet, "ab")));
+  EXPECT_TRUE(nfa.Accepts(WordFromString(alphabet, "baab")));
+  EXPECT_FALSE(nfa.Accepts(WordFromString(alphabet, "bb")));
+}
+
+TEST(Determinize, AgreesWithNfaOnAllShortWords) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  for (const char* pattern : {"a.*b", ".*ab", "(ab|c)*", "a(b|c)*a", ".*"}) {
+    RegexPtr regex = ParseRegex(pattern, alphabet);
+    Nfa nfa = RegexToNfa(*regex, alphabet.size());
+    Dfa dfa = Determinize(nfa);
+    ASSERT_TRUE(dfa.IsValid());
+    for (const Word& w : AllWords(3, 6)) {
+      EXPECT_EQ(dfa.Accepts(w), nfa.Accepts(w))
+          << pattern << " on " << WordToString(alphabet, w);
+    }
+  }
+}
+
+TEST(Minimize, PreservesLanguage) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  for (const char* pattern : {"a.*b", "ab", ".*a.*b", ".*ab", "(a|b)*"}) {
+    RegexPtr regex = ParseRegex(pattern, alphabet);
+    Dfa big = Determinize(RegexToNfa(*regex, alphabet.size()));
+    Dfa minimal = Minimize(big);
+    EXPECT_TRUE(EquivalentDfa(big, minimal)) << pattern;
+    EXPECT_LE(minimal.num_states, big.num_states);
+  }
+}
+
+TEST(Minimize, ProducesPaperSizes) {
+  // The minimal automata of Fig 3 have 4, 4, 3, 3 states respectively.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  EXPECT_EQ(CompileRegex("a.*b", alphabet).num_states, 4);
+  EXPECT_EQ(CompileRegex("ab", alphabet).num_states, 4);
+  EXPECT_EQ(CompileRegex(".*a.*b", alphabet).num_states, 3);
+  EXPECT_EQ(CompileRegex(".*ab", alphabet).num_states, 3);
+}
+
+TEST(Minimize, IsIdempotentAndCanonical) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Dfa dfa = RandomDfa(12, 2, 0.3, &rng);
+    Dfa m1 = Minimize(dfa);
+    Dfa m2 = Minimize(m1);
+    EXPECT_EQ(m1.num_states, m2.num_states);
+    EXPECT_EQ(m1.next_table, m2.next_table);
+    EXPECT_EQ(m1.accepting, m2.accepting);
+    EXPECT_TRUE(EquivalentDfa(dfa, m1));
+  }
+}
+
+TEST(Minimize, MooreAndHopcroftProduceIdenticalAutomata) {
+  // Two independent minimization algorithms as mutual oracles; the
+  // canonical renumbering makes the results bit-identical.
+  Rng rng(91);
+  for (int trial = 0; trial < 60; ++trial) {
+    Dfa dfa = RandomDfa(3 + trial % 18, 1 + trial % 3, 0.4, &rng);
+    Dfa hopcroft = Minimize(dfa);
+    Dfa moore = MinimizeMoore(dfa);
+    ASSERT_EQ(hopcroft.num_states, moore.num_states);
+    EXPECT_EQ(hopcroft.next_table, moore.next_table);
+    EXPECT_EQ(hopcroft.accepting, moore.accepting);
+    EXPECT_EQ(hopcroft.initial, moore.initial);
+  }
+  // Degenerate languages: all words, no words.
+  Dfa all = Dfa::Create(3, 2);
+  all.accepting.assign(3, true);
+  for (int q = 0; q < 3; ++q) {
+    all.SetNext(q, 0, (q + 1) % 3);
+    all.SetNext(q, 1, q);
+  }
+  EXPECT_EQ(Minimize(all).num_states, MinimizeMoore(all).num_states);
+  EXPECT_EQ(Minimize(all).num_states, 1);
+}
+
+TEST(Minimize, NoTwoStatesEquivalent) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    Dfa minimal = Minimize(RandomDfa(15, 3, 0.4, &rng));
+    // Distinct states of a minimal DFA are inequivalent: some word must
+    // distinguish them.
+    for (int p = 0; p < minimal.num_states; ++p) {
+      for (int q = p + 1; q < minimal.num_states; ++q) {
+        Dfa from_p = minimal;
+        from_p.initial = p;
+        Dfa from_q = minimal;
+        from_q.initial = q;
+        EXPECT_FALSE(EquivalentDfa(from_p, from_q)) << p << " " << q;
+      }
+    }
+  }
+}
+
+TEST(DfaOps, ComplementIntersectionUnion) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa starts_a = CompileRegex("a.*", alphabet);
+  Dfa ends_b = CompileRegex(".*b", alphabet);
+  Dfa both = Intersection(starts_a, ends_b);
+  Dfa either = UnionDfa(starts_a, ends_b);
+  Dfa not_a = Complement(starts_a);
+  for (const Word& w : AllWords(2, 7)) {
+    EXPECT_EQ(both.Accepts(w), starts_a.Accepts(w) && ends_b.Accepts(w));
+    EXPECT_EQ(either.Accepts(w), starts_a.Accepts(w) || ends_b.Accepts(w));
+    EXPECT_EQ(not_a.Accepts(w), !starts_a.Accepts(w));
+  }
+}
+
+TEST(DfaOps, DistinguishingWordIsMinimalWitness) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa a = CompileRegex("a*", alphabet);
+  Dfa b = CompileRegex("a*b?", alphabet);
+  Word witness;
+  ASSERT_TRUE(FindDistinguishingWord(a, b, &witness));
+  EXPECT_NE(a.Accepts(witness), b.Accepts(witness));
+  EXPECT_FALSE(FindDistinguishingWord(a, a, &witness));
+}
+
+TEST(DfaOps, ConnectingWords) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(ab)*", alphabet);
+  Word w;
+  // A nonempty loop at the initial state exists: "ab".
+  ASSERT_TRUE(FindConnectingWord(dfa, dfa.initial, dfa.initial,
+                                 /*nonempty=*/true, &w));
+  EXPECT_FALSE(w.empty());
+  EXPECT_EQ(dfa.Run(dfa.initial, w), dfa.initial);
+}
+
+TEST(Scc, ChainAutomatonHasSingletonComponents) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("ab", alphabet);  // finite language: DAG-like
+  SccInfo scc = ComputeScc(dfa);
+  for (int c = 0; c < scc.num_components; ++c) {
+    EXPECT_EQ(scc.members[c].size(), 1u);
+  }
+  // Edges of the condensation must respect the topological numbering: this
+  // is SST_CHECKed inside ComputeScc; reaching here means it held.
+  EXPECT_GE(LongestChainLength(scc), 2);
+}
+
+TEST(Scc, CycleDetected) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(ab)*", alphabet);
+  SccInfo scc = ComputeScc(dfa);
+  bool found_nontrivial = false;
+  for (int c = 0; c < scc.num_components; ++c) {
+    if (scc.nontrivial[c] && scc.members[c].size() >= 2) {
+      found_nontrivial = true;
+    }
+  }
+  EXPECT_TRUE(found_nontrivial);
+}
+
+TEST(Scc, ComponentIdsAreTopological) {
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Dfa dfa = RandomDfa(20, 2, 0.5, &rng);
+    SccInfo scc = ComputeScc(dfa);
+    for (int q = 0; q < dfa.num_states; ++q) {
+      for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+        EXPECT_LE(scc.component_of[q], scc.component_of[dfa.Next(q, a)]);
+      }
+    }
+  }
+}
+
+TEST(RandomDfaGenerators, ShapesHold) {
+  Rng rng(42);
+  Dfa perm = RandomPermutationDfa(6, 3, 0.5, &rng);
+  for (Symbol a = 0; a < 3; ++a) {
+    std::vector<bool> seen(6, false);
+    for (int q = 0; q < 6; ++q) {
+      EXPECT_FALSE(seen[perm.Next(q, a)]);
+      seen[perm.Next(q, a)] = true;
+    }
+  }
+  Dfa rtriv = RandomRTrivialDfa(8, 2, 0.5, &rng);
+  SccInfo scc = ComputeScc(rtriv);
+  for (int c = 0; c < scc.num_components; ++c) {
+    EXPECT_EQ(scc.members[c].size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "eval/byte_runner.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+TEST(ByteRunner, MatchesEventLevelMachine) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  ByteTagDfaRunner byte_runner(evaluator);
+  TagDfaMachine event_machine(&evaluator);
+  Rng rng(61);
+  for (const Tree& tree : testing::SampleTrees(100, 3, &rng)) {
+    EventStream events = Encode(tree);
+    std::string bytes = ToCompactMarkup(alphabet, events);
+    std::vector<bool> expected = RunQuery(&event_machine, events);
+    int64_t expected_count = 0;
+    for (bool b : expected) expected_count += b ? 1 : 0;
+    EXPECT_EQ(byte_runner.CountSelections(bytes), expected_count);
+    EXPECT_EQ(byte_runner.Accepts(bytes),
+              RunAcceptor(&event_machine, events));
+  }
+}
+
+TEST(ByteRunner, SelectionCountMatchesGroundTruth) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ByteTagDfaRunner byte_runner(
+      BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false));
+  Rng rng(67);
+  for (const Tree& tree : testing::SampleTrees(100, 3, &rng)) {
+    std::string bytes = ToCompactMarkup(alphabet, Encode(tree));
+    std::vector<bool> selected = SelectNodes(dfa, tree);
+    int64_t expected = 0;
+    for (bool b : selected) expected += b ? 1 : 0;
+    EXPECT_EQ(byte_runner.CountSelections(bytes), expected);
+  }
+}
+
+TEST(ByteStackRunner, MatchesStackEvaluatorForAnyLanguage) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(71);
+  for (const char* pattern : {".*ab", "ab", "a.*b"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    ByteStackRunner byte_runner(dfa);
+    StackQueryEvaluator machine(&dfa);
+    for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+      EventStream events = Encode(tree);
+      std::string bytes = ToCompactMarkup(alphabet, events);
+      std::vector<bool> selected = RunQuery(&machine, events);
+      int64_t expected = 0;
+      for (bool b : selected) expected += b ? 1 : 0;
+      EXPECT_EQ(byte_runner.CountSelections(bytes), expected) << pattern;
+    }
+  }
+}
+
+TEST(ByteStackRunner, ReportsPeakDepth) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  ByteStackRunner runner(dfa);
+  std::string bytes(100, 'a');
+  bytes += std::string(100, 'A');
+  runner.CountSelections(bytes);
+  EXPECT_EQ(runner.max_stack_depth(), 100u);
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/dfa.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+
+namespace sst {
+namespace {
+
+Dfa Compile(const char* pattern) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  return CompileRegex(pattern, alphabet);
+}
+
+// --- Example 2.12 / Fig 3: the paper's running examples -------------------
+
+TEST(PaperExamples, Fig3a_AThenAnyThenB_IsAlmostReversible) {
+  // /a//b  ==  a Γ* b : registerless and stackless (Example 2.12, col 1).
+  Dfa dfa = Compile("a.*b");
+  EXPECT_TRUE(IsAlmostReversible(dfa));
+  EXPECT_TRUE(IsHar(dfa));
+  EXPECT_TRUE(IsEFlat(dfa));
+  EXPECT_TRUE(IsAFlat(dfa));
+  EXPECT_FALSE(IsReversible(dfa));  // the letter a is not injective (Fig 3)
+}
+
+TEST(PaperExamples, Fig3b_AB_IsHarButNotAlmostReversible) {
+  // /a/b  ==  a b : stackless but not registerless (Example 2.12, col 2).
+  Dfa dfa = Compile("ab");
+  EXPECT_FALSE(IsAlmostReversible(dfa));
+  EXPECT_TRUE(IsHar(dfa));
+  EXPECT_TRUE(IsRTrivial(dfa));  // finite language: all SCCs trivial
+  // Finite languages are A-flat but (here) not E-flat (Section 3.3).
+  EXPECT_TRUE(IsAFlat(dfa));
+  EXPECT_FALSE(IsEFlat(dfa));
+}
+
+TEST(PaperExamples, Fig3c_AnyAAnyB_IsHarButNeitherARNorRTrivial) {
+  // //a//b  ==  Γ* a Γ* b : stackless but not registerless.
+  Dfa dfa = Compile(".*a.*b");
+  EXPECT_FALSE(IsAlmostReversible(dfa));
+  EXPECT_FALSE(IsRTrivial(dfa));
+  EXPECT_TRUE(IsHar(dfa));
+}
+
+TEST(PaperExamples, Fig3d_AnyAB_IsNotHar) {
+  // //a/b  ==  Γ* a b : not even stackless (Examples 2.7 / 2.12, col 4).
+  Dfa dfa = Compile(".*ab");
+  EXPECT_FALSE(IsHar(dfa));
+  EXPECT_FALSE(IsAlmostReversible(dfa));
+}
+
+TEST(PaperExamples, Example212TableReproduced) {
+  // The full table of Example 2.12 (markup encoding).
+  struct Row {
+    const char* regex;
+    bool registerless;
+    bool stackless;
+  };
+  const Row rows[] = {
+      {"a.*b", true, true},
+      {"ab", false, true},
+      {".*a.*b", false, true},
+      {".*ab", false, false},
+  };
+  for (const Row& row : rows) {
+    Classification c = Classify(Compile(row.regex));
+    EXPECT_EQ(c.QueryRegisterless(), row.registerless) << row.regex;
+    EXPECT_EQ(c.QueryStackless(), row.stackless) << row.regex;
+  }
+}
+
+TEST(PaperExamples, Example212TableUnderTermEncoding) {
+  // Section 4.2: under the term encoding the first RPQ stays registerless,
+  // the middle two stay stackless but not registerless, the last is not
+  // stackless.
+  struct Row {
+    const char* regex;
+    bool registerless;
+    bool stackless;
+  };
+  const Row rows[] = {
+      {"a.*b", true, true},
+      {"ab", false, true},
+      {".*a.*b", false, true},
+      {".*ab", false, false},
+  };
+  for (const Row& row : rows) {
+    Classification c = Classify(Compile(row.regex));
+    EXPECT_EQ(c.TermQueryRegisterless(), row.registerless) << row.regex;
+    EXPECT_EQ(c.TermQueryStackless(), row.stackless) << row.regex;
+  }
+}
+
+TEST(PaperExamples, Fig2ReversibleButNotBlindlyHar) {
+  // An even number of a's (the paper writes (b*a b*a b*)*): the minimal
+  // automaton is the two-state reversible automaton of Fig 2. Registerless
+  // under markup, but not even stackless under the term encoding (§4.2).
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(b|ab*a)*", alphabet);
+  EXPECT_EQ(dfa.num_states, 2);
+  EXPECT_TRUE(IsReversible(dfa));
+  EXPECT_TRUE(IsAlmostReversible(dfa));
+  EXPECT_TRUE(IsHar(dfa));
+  EXPECT_FALSE(IsBlindHar(dfa));
+  EXPECT_FALSE(IsBlindAlmostReversible(dfa));
+}
+
+// --- Structural properties (Lemmas 3.7, 3.10 and Section 3 remarks) -------
+
+TEST(ClassProperties, FiniteLanguagesAreAFlat) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    Dfa dfa = Minimize(RandomFiniteLanguageDfa(5, 2, 0.5, &rng));
+    EXPECT_TRUE(IsAFlat(dfa));
+    EXPECT_TRUE(IsBlindAFlat(dfa));
+    // Co-finite languages are E-flat.
+    EXPECT_TRUE(IsEFlat(Complement(dfa)));
+  }
+}
+
+TEST(ClassProperties, RTrivialImpliesHar) {
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    Dfa dfa = Minimize(RandomRTrivialDfa(8, 2, 0.4, &rng));
+    if (IsRTrivial(dfa)) {
+      EXPECT_TRUE(IsHar(dfa));
+      EXPECT_TRUE(IsBlindHar(dfa));  // Section 4.2: R-trivial => blindly HAR
+    }
+  }
+}
+
+TEST(ClassProperties, AlmostReversibleImpliesHarAndBothFlat) {
+  // Lemma 3.10(2): AR <=> A-flat and E-flat; by definition AR => HAR.
+  Rng rng(21);
+  int ar_seen = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Dfa dfa = Minimize(RandomPermutationDfa(5, 2, 0.5, &rng));
+    if (IsAlmostReversible(dfa)) {
+      ++ar_seen;
+      EXPECT_TRUE(IsHar(dfa));
+      EXPECT_TRUE(IsEFlat(dfa));
+      EXPECT_TRUE(IsAFlat(dfa));
+    }
+  }
+  EXPECT_GT(ar_seen, 0);  // the generator does produce AR languages
+}
+
+TEST(ClassProperties, Lemma310Duality) {
+  // (1) L is A-flat iff L^c is E-flat; (2) AR <=> A-flat and E-flat.
+  Rng rng(33);
+  for (int trial = 0; trial < 60; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(7, 2, 0.4, &rng));
+    Dfa comp = Complement(dfa);  // complement of minimal DFA is minimal
+    EXPECT_EQ(IsAFlat(dfa), IsEFlat(comp));
+    EXPECT_EQ(IsEFlat(dfa), IsAFlat(comp));
+    EXPECT_EQ(IsAlmostReversible(dfa), IsEFlat(dfa) && IsAFlat(dfa));
+    // Blind analogues (Theorem B.1's analogue of Lemma 3.10).
+    EXPECT_EQ(IsBlindAFlat(dfa), IsBlindEFlat(comp));
+    EXPECT_EQ(IsBlindAlmostReversible(dfa),
+              IsBlindEFlat(dfa) && IsBlindAFlat(dfa));
+  }
+}
+
+TEST(ClassProperties, HarClosedUnderComplement) {
+  // Lemma 3.7 (and its blind analogue).
+  Rng rng(45);
+  for (int trial = 0; trial < 60; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(7, 2, 0.4, &rng));
+    Dfa comp = Complement(dfa);
+    EXPECT_EQ(IsHar(dfa), IsHar(comp));
+    EXPECT_EQ(IsBlindHar(dfa), IsBlindHar(comp));
+  }
+}
+
+TEST(ClassProperties, BlindClassesAreStricter) {
+  // Blind meet is coarser than meet, so every blind class is contained in
+  // its plain counterpart.
+  Rng rng(57);
+  for (int trial = 0; trial < 60; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(6, 2, 0.4, &rng));
+    if (IsBlindAlmostReversible(dfa)) {
+      EXPECT_TRUE(IsAlmostReversible(dfa));
+    }
+    if (IsBlindHar(dfa)) {
+      EXPECT_TRUE(IsHar(dfa));
+    }
+    if (IsBlindEFlat(dfa)) {
+      EXPECT_TRUE(IsEFlat(dfa));
+    }
+    if (IsBlindAFlat(dfa)) {
+      EXPECT_TRUE(IsAFlat(dfa));
+    }
+  }
+}
+
+TEST(ClassProperties, ViolationWitnessesAreMeaningful) {
+  Dfa dfa = Compile(".*ab");  // not HAR
+  ClassViolation violation;
+  ASSERT_FALSE(IsHar(dfa, &violation));
+  EXPECT_GE(violation.p, 0);
+  EXPECT_GE(violation.q, 0);
+  EXPECT_GE(violation.component, 0);
+  EXPECT_NE(violation.p, violation.q);
+
+  Dfa ab = Compile("ab");  // not E-flat
+  ASSERT_FALSE(IsEFlat(ab, &violation));
+  EXPECT_GE(violation.p, 0);
+  EXPECT_GE(violation.q, 0);
+}
+
+TEST(Classification, ToStringMentionsAllClasses) {
+  Classification c = Classify(Compile("a.*b"));
+  std::string text = c.ToString();
+  EXPECT_NE(text.find("almost-reversible: yes"), std::string::npos);
+  EXPECT_NE(text.find("HAR:               yes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sst

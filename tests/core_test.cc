@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/stackless.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+Alphabet Abc() { return Alphabet::FromLetters("abc"); }
+
+TEST(Rpq, XPathAndJsonPathAgreeWithRegexForms) {
+  // Example 2.12's table of equivalent formulations.
+  struct Row {
+    const char* xpath;
+    const char* jsonpath;
+    const char* regex;
+  };
+  const Row rows[] = {
+      {"/a//b", "$.a..b", "a.*b"},
+      {"/a/b", "$.a.b", "ab"},
+      {"//a//b", "$..a..b", ".*a.*b"},
+      {"//a/b", "$..a.b", ".*ab"},
+  };
+  Alphabet alphabet = Abc();
+  for (const Row& row : rows) {
+    Rpq from_xpath = Rpq::FromXPath(row.xpath, alphabet);
+    Rpq from_jsonpath = Rpq::FromJsonPath(row.jsonpath, alphabet);
+    Rpq from_regex = Rpq::FromRegex(row.regex, alphabet);
+    EXPECT_TRUE(
+        EquivalentDfa(from_xpath.minimal_dfa, from_regex.minimal_dfa))
+        << row.xpath;
+    EXPECT_TRUE(
+        EquivalentDfa(from_jsonpath.minimal_dfa, from_regex.minimal_dfa))
+        << row.jsonpath;
+  }
+}
+
+TEST(Rpq, WildcardSteps) {
+  Alphabet alphabet = Abc();
+  Rpq q = Rpq::FromXPath("/*//b", alphabet);
+  Rpq r = Rpq::FromRegex(". .*b", alphabet);
+  EXPECT_TRUE(EquivalentDfa(q.minimal_dfa, r.minimal_dfa));
+}
+
+TEST(Compile, PicksTheStrongestEvaluatorPerTheorems) {
+  Alphabet alphabet = Abc();
+  // Example 2.12: registerless / stackless / stackless / baseline.
+  EXPECT_EQ(CompileQuery(Rpq::FromXPath("/a//b", alphabet),
+                         StreamEncoding::kMarkup)
+                .kind,
+            EvaluatorKind::kRegisterless);
+  EXPECT_EQ(
+      CompileQuery(Rpq::FromXPath("/a/b", alphabet), StreamEncoding::kMarkup)
+          .kind,
+      EvaluatorKind::kStackless);
+  EXPECT_EQ(CompileQuery(Rpq::FromXPath("//a//b", alphabet),
+                         StreamEncoding::kMarkup)
+                .kind,
+            EvaluatorKind::kStackless);
+  EXPECT_EQ(
+      CompileQuery(Rpq::FromXPath("//a/b", alphabet), StreamEncoding::kMarkup)
+          .kind,
+      EvaluatorKind::kStackBaseline);
+}
+
+TEST(Compile, StackFallbackCanBeDisabled) {
+  Alphabet alphabet = Abc();
+  CompiledQuery compiled =
+      CompileQuery(Rpq::FromXPath("//a/b", alphabet), StreamEncoding::kMarkup,
+                   /*allow_stack_fallback=*/false);
+  EXPECT_FALSE(compiled.exact);
+  EXPECT_EQ(compiled.machine, nullptr);
+  EXPECT_FALSE(compiled.classification.QueryStackless());
+}
+
+TEST(Compile, AllCompiledQueriesAreExactOnRandomTrees) {
+  Alphabet alphabet = Abc();
+  Rng rng(401);
+  for (const char* xpath : {"/a//b", "/a/b", "//a//b", "//a/b", "/b/*//c"}) {
+    for (StreamEncoding encoding :
+         {StreamEncoding::kMarkup, StreamEncoding::kTerm}) {
+      Rpq rpq = Rpq::FromXPath(xpath, alphabet);
+      CompiledQuery compiled = CompileQuery(rpq, encoding);
+      ASSERT_TRUE(compiled.exact);
+      for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+        ASSERT_EQ(RunQueryOnTree(compiled.machine.get(), tree,
+                                 encoding == StreamEncoding::kTerm),
+                  SelectNodes(rpq.minimal_dfa, tree))
+            << xpath;
+      }
+    }
+  }
+}
+
+TEST(Compile, ExistsAndForallAreExact) {
+  Alphabet alphabet = Abc();
+  Rng rng(403);
+  for (const char* regex : {"a.*b", "ab", ".*a.*b", ".*ab", "ab|abc"}) {
+    Rpq rpq = Rpq::FromRegex(regex, alphabet);
+    for (StreamEncoding encoding :
+         {StreamEncoding::kMarkup, StreamEncoding::kTerm}) {
+      CompiledQuery exists = CompileExists(rpq, encoding);
+      CompiledQuery forall = CompileForall(rpq, encoding);
+      ASSERT_TRUE(exists.exact);
+      ASSERT_TRUE(forall.exact);
+      bool term = encoding == StreamEncoding::kTerm;
+      for (const Tree& tree : testing::SampleTrees(50, 3, &rng)) {
+        EventStream events = Encode(tree);
+        if (term) {
+          for (TagEvent& event : events) {
+            if (!event.open) event.symbol = -1;
+          }
+        }
+        ASSERT_EQ(RunAcceptor(exists.machine.get(), events),
+                  TreeInExists(rpq.minimal_dfa, tree))
+            << regex;
+        ASSERT_EQ(RunAcceptor(forall.machine.get(), events),
+                  TreeInForall(rpq.minimal_dfa, tree))
+            << regex;
+      }
+    }
+  }
+}
+
+TEST(Compile, ExistsUsesSynopsisWhenEFlat) {
+  Alphabet alphabet = Abc();
+  // Co-finite language: E-flat, so EL gets the registerless synopsis
+  // automaton even though the language is not almost-reversible.
+  Rpq rpq = Rpq::FromRegex("(.|~)* ", alphabet);  // all words: trivially E-flat
+  CompiledQuery exists = CompileExists(rpq, StreamEncoding::kMarkup);
+  EXPECT_EQ(exists.kind, EvaluatorKind::kRegisterless);
+
+  Rpq ab = Rpq::FromRegex("ab", alphabet);  // A-flat but not E-flat
+  EXPECT_EQ(CompileExists(ab, StreamEncoding::kMarkup).kind,
+            EvaluatorKind::kStackless);
+  EXPECT_EQ(CompileForall(ab, StreamEncoding::kMarkup).kind,
+            EvaluatorKind::kRegisterless);
+}
+
+TEST(Compile, SelectWithMachineReturnsDocumentIds) {
+  Alphabet alphabet = Abc();
+  Rpq rpq = Rpq::FromXPath("/a//b", alphabet);
+  CompiledQuery compiled = CompileQuery(rpq, StreamEncoding::kMarkup);
+  Tree tree;
+  int root = tree.AddRoot(0);        // a
+  int b1 = tree.AddChild(root, 1);   // b   <- selected
+  int c1 = tree.AddChild(root, 2);   // c
+  int b2 = tree.AddChild(c1, 1);     // b   <- selected
+  std::vector<int> selected =
+      SelectWithMachine(compiled, tree, StreamEncoding::kMarkup);
+  EXPECT_EQ(selected, (std::vector<int>{b1, b2}));
+}
+
+TEST(ExplainQueryLimits, RegisterlessQueryNeedsNoCertificate) {
+  QueryLimitsReport report =
+      ExplainQueryLimits(Rpq::FromXPath("/a//b", Abc()));
+  EXPECT_TRUE(report.registerless);
+  EXPECT_TRUE(report.stackless);
+  EXPECT_FALSE(report.certificate_in_el.has_value());
+  EXPECT_FALSE(report.summary.empty());
+}
+
+TEST(ExplainQueryLimits, StacklessButNotRegisterlessCarriesFig4Certificate) {
+  Rpq rpq = Rpq::FromXPath("/a/b", Abc());  // ab: HAR, not AR, not E-flat
+  QueryLimitsReport report = ExplainQueryLimits(rpq);
+  EXPECT_FALSE(report.registerless);
+  EXPECT_TRUE(report.stackless);
+  ASSERT_TRUE(report.certificate_in_el.has_value());
+  ASSERT_TRUE(report.certificate_out_el.has_value());
+  EXPECT_TRUE(TreeInExists(rpq.minimal_dfa, *report.certificate_in_el));
+  EXPECT_FALSE(TreeInExists(rpq.minimal_dfa, *report.certificate_out_el));
+}
+
+TEST(ExplainQueryLimits, NotStacklessCarriesFig5Certificate) {
+  Rpq rpq = Rpq::FromXPath("//a/b", Abc());  // Γ*ab: not HAR
+  QueryLimitsReport report = ExplainQueryLimits(rpq);
+  EXPECT_FALSE(report.stackless);
+  ASSERT_TRUE(report.certificate_in_el.has_value());
+  ASSERT_TRUE(report.certificate_out_el.has_value());
+  EXPECT_TRUE(TreeInExists(rpq.minimal_dfa, *report.certificate_in_el));
+  EXPECT_FALSE(TreeInExists(rpq.minimal_dfa, *report.certificate_out_el));
+}
+
+}  // namespace
+}  // namespace sst

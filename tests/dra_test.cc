@@ -1,0 +1,217 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "base/rng.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/tree.h"
+
+namespace sst {
+namespace {
+
+// Example 2.2: the set of trees over {a, b} in which all a-labelled nodes
+// are at the same depth — a stackless but non-regular tree language. One
+// register: the first a stores the current depth; later a's must open at a
+// depth equal to the stored value.
+Dra BuildExample22() {
+  constexpr Symbol kA = 0, kB = 1;
+  constexpr int kNoA = 0, kSeenA = 1, kReject = 2;
+  Dra dra = Dra::Create(3, 2, 1);
+  dra.initial = kNoA;
+  dra.accepting = {true, true, false};
+  // kNoA: first a loads the register; everything else idles.
+  dra.SetAction(kNoA, false, kA, {-1}, /*load_mask=*/1, kSeenA);
+  dra.SetAction(kNoA, false, kB, {-1}, 0, kNoA);
+  dra.SetAction(kNoA, true, kA, {-1}, 0, kNoA);
+  dra.SetAction(kNoA, true, kB, {-1}, 0, kNoA);
+  // kSeenA: an opening a at a different depth rejects.
+  dra.SetAction(kSeenA, false, kA, {Dra::kEqual}, 0, kSeenA);
+  dra.SetAction(kSeenA, false, kA, {Dra::kLess}, 0, kReject);
+  dra.SetAction(kSeenA, false, kA, {Dra::kGreater}, 0, kReject);
+  dra.SetAction(kSeenA, false, kB, {-1}, 0, kSeenA);
+  dra.SetAction(kSeenA, true, kA, {-1}, 0, kSeenA);
+  dra.SetAction(kSeenA, true, kB, {-1}, 0, kSeenA);
+  // kReject: sink.
+  for (Symbol s = 0; s < 2; ++s) {
+    dra.SetAction(kReject, false, s, {-1}, 0, kReject);
+    dra.SetAction(kReject, true, s, {-1}, 0, kReject);
+  }
+  return dra;
+}
+
+bool AllAsAtSameDepth(const Tree& tree) {
+  std::set<int> depths;
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.label(id) == 0) depths.insert(tree.Depth(id));
+  }
+  return depths.size() <= 1;
+}
+
+TEST(Dra, Example22RecognizesItsLanguage) {
+  Dra dra = BuildExample22();
+  DraRunner runner(&dra);
+  Rng rng(19);
+  int accepted = 0, rejected = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    Tree tree = RandomTree(1 + static_cast<int>(rng.NextBelow(25)), 2,
+                           rng.NextDouble(), &rng);
+    bool result = RunAcceptor(&runner, Encode(tree));
+    EXPECT_EQ(result, AllAsAtSameDepth(tree));
+    (result ? accepted : rejected) += 1;
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Dra, Example22IsNotRestrictedButItsLanguageIsNotRegularEither) {
+  // Example 2.2 defines a non-regular tree language, so by Proposition 2.3
+  // its automaton cannot be restricted.
+  EXPECT_FALSE(IsRestricted(BuildExample22()));
+}
+
+TEST(Dra, RunnerTracksDepthAndRegisters) {
+  Dra dra = BuildExample22();
+  DraRunner runner(&dra);
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  // b ( b (a) (a) ) : the two a's sit at depth 3.
+  std::optional<EventStream> events =
+      ParseCompactMarkup(alphabet, "bbaAaABB");
+  ASSERT_TRUE(events.has_value());
+  runner.Reset();
+  size_t i = 0;
+  for (const TagEvent& event : *events) {
+    if (event.open) {
+      runner.OnOpen(event.symbol);
+    } else {
+      runner.OnClose(event.symbol);
+    }
+    ++i;
+    if (i == 3) {  // after opening the first a
+      EXPECT_EQ(runner.depth(), 3);
+      EXPECT_EQ(runner.registers()[0], 3);
+    }
+  }
+  EXPECT_EQ(runner.depth(), 0);
+  EXPECT_TRUE(runner.InAcceptingState());
+}
+
+TEST(Dra, CmpCodeHelpers) {
+  int code = 0;
+  code = Dra::WithCmpDigit(code, 0, Dra::kGreater);
+  code = Dra::WithCmpDigit(code, 2, Dra::kEqual);
+  EXPECT_EQ(Dra::CmpDigit(code, 0), Dra::kGreater);
+  EXPECT_EQ(Dra::CmpDigit(code, 1), Dra::kLess);
+  EXPECT_EQ(Dra::CmpDigit(code, 2), Dra::kEqual);
+  code = Dra::WithCmpDigit(code, 0, Dra::kLess);
+  EXPECT_EQ(Dra::CmpDigit(code, 0), Dra::kLess);
+  EXPECT_EQ(Dra::CmpDigit(code, 2), Dra::kEqual);
+}
+
+// A registerless TagDfa detecting "some opening tag a" (the simple example
+// from Section 2.2: trees with at least one a-labelled node).
+TagDfa BuildSomeA() {
+  TagDfa dfa = TagDfa::Create(2, 2);
+  dfa.initial = 0;
+  dfa.accepting = {false, true};
+  dfa.SetNextOpen(0, 0, 1);
+  dfa.SetNextOpen(0, 1, 0);
+  dfa.SetNextClose(0, 0, 0);
+  dfa.SetNextClose(0, 1, 0);
+  for (Symbol s = 0; s < 2; ++s) {
+    dfa.SetNextOpen(1, s, 1);
+    dfa.SetNextClose(1, s, 1);
+  }
+  return dfa;
+}
+
+TEST(TagDfa, SomeARecognizer) {
+  TagDfa dfa = BuildSomeA();
+  TagDfaMachine machine(&dfa);
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    Tree tree = RandomTree(10, 2, 0.5, &rng);
+    bool has_a = false;
+    for (int id = 0; id < tree.size(); ++id) {
+      has_a = has_a || tree.label(id) == 0;
+    }
+    EXPECT_EQ(RunAcceptor(&machine, Encode(tree)), has_a);
+  }
+}
+
+TEST(TagDfa, ClosureOperationsMatchBooleanSemantics) {
+  // Lemma 2.4 for registerless languages: intersection, union, complement.
+  TagDfa some_a = BuildSomeA();
+  // "some b": same automaton with the roles of a and b swapped.
+  TagDfa some_b = TagDfa::Create(2, 2);
+  some_b.initial = 0;
+  some_b.accepting = {false, true};
+  some_b.SetNextOpen(0, 0, 0);
+  some_b.SetNextOpen(0, 1, 1);
+  some_b.SetNextClose(0, 0, 0);
+  some_b.SetNextClose(0, 1, 0);
+  for (Symbol s = 0; s < 2; ++s) {
+    some_b.SetNextOpen(1, s, 1);
+    some_b.SetNextClose(1, s, 1);
+  }
+  TagDfa both = TagDfaIntersection(some_a, some_b);
+  TagDfa either = TagDfaUnion(some_a, some_b);
+  TagDfa no_a = TagDfaComplement(some_a);
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    Tree tree = RandomTree(8, 2, 0.5, &rng);
+    bool has_a = false, has_b = false;
+    for (int id = 0; id < tree.size(); ++id) {
+      has_a = has_a || tree.label(id) == 0;
+      has_b = has_b || tree.label(id) == 1;
+    }
+    EventStream events = Encode(tree);
+    TagDfaMachine m_both(&both), m_either(&either), m_no_a(&no_a);
+    EXPECT_EQ(RunAcceptor(&m_both, events), has_a && has_b);
+    EXPECT_EQ(RunAcceptor(&m_either, events), has_a || has_b);
+    EXPECT_EQ(RunAcceptor(&m_no_a, events), !has_a);
+  }
+}
+
+TEST(Dra, ClosureOperationsOnDras) {
+  // Lemma 2.4 for stackless languages: product Example 2.2 with the
+  // registerless "some a" automaton.
+  Dra same_depth = BuildExample22();
+  Dra some_a = DraFromTagDfa(BuildSomeA());
+  Dra both = DraIntersection(same_depth, some_a);
+  Dra either = DraUnion(same_depth, some_a);
+  Dra neither = DraComplement(either);
+  Rng rng(31);
+  for (int trial = 0; trial < 150; ++trial) {
+    Tree tree = RandomTree(1 + static_cast<int>(rng.NextBelow(20)), 2,
+                           rng.NextDouble(), &rng);
+    bool same = AllAsAtSameDepth(tree);
+    bool has_a = false;
+    for (int id = 0; id < tree.size(); ++id) {
+      has_a = has_a || tree.label(id) == 0;
+    }
+    EventStream events = Encode(tree);
+    DraRunner m_both(&both), m_either(&either), m_neither(&neither);
+    EXPECT_EQ(RunAcceptor(&m_both, events), same && has_a);
+    EXPECT_EQ(RunAcceptor(&m_either, events), same || has_a);
+    EXPECT_EQ(RunAcceptor(&m_neither, events), !(same || has_a));
+  }
+}
+
+TEST(Dra, FromTagDfaIsRestricted) {
+  EXPECT_TRUE(IsRestricted(DraFromTagDfa(BuildSomeA())));
+}
+
+TEST(TagDfa, ClosingSymbolInvariantDetection) {
+  TagDfa dfa = BuildSomeA();
+  EXPECT_TRUE(dfa.ClosingSymbolInvariant());
+  dfa.SetNextClose(0, 1, 1);
+  EXPECT_FALSE(dfa.ClosingSymbolInvariant());
+}
+
+}  // namespace
+}  // namespace sst

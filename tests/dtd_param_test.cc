@@ -1,0 +1,113 @@
+// Parameterized sweep over random path DTDs: every validator and bridge in
+// the library must agree with the direct DTD semantics on every document.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dtd/path_dtd.h"
+#include "test_util.h"
+#include "treeauto/hedge_builders.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+PathDtd RandomPathDtd(uint64_t seed, int num_symbols) {
+  Rng rng(seed * 6361 + 11);
+  PathDtd dtd;
+  dtd.num_symbols = num_symbols;
+  dtd.initial_symbol = static_cast<Symbol>(rng.NextBelow(num_symbols));
+  dtd.productions.resize(num_symbols);
+  for (Symbol a = 0; a < num_symbols; ++a) {
+    for (Symbol b = 0; b < num_symbols; ++b) {
+      if (rng.NextBool(0.5)) {
+        dtd.productions[a].allowed_children.push_back(b);
+      }
+    }
+    dtd.productions[a].allows_leaf =
+        dtd.productions[a].allowed_children.empty() || rng.NextBool(0.7);
+  }
+  return dtd;
+}
+
+// A generator biased towards conforming documents so both verdicts occur.
+Tree BiasedDocument(const PathDtd& dtd, Rng* rng) {
+  Tree tree;
+  int root = tree.AddRoot(dtd.initial_symbol);
+  std::vector<int> frontier = {root};
+  int budget = 2 + static_cast<int>(rng->NextBelow(25));
+  while (budget-- > 0 && !frontier.empty()) {
+    int parent = frontier[rng->NextBelow(frontier.size())];
+    Symbol parent_label = tree.label(parent);
+    const std::vector<Symbol>& allowed =
+        dtd.productions[parent_label].allowed_children;
+    Symbol label;
+    if (!allowed.empty() && rng->NextBool(0.85)) {
+      label = allowed[rng->NextBelow(allowed.size())];
+    } else {
+      label = static_cast<Symbol>(rng->NextBelow(dtd.num_symbols));
+    }
+    int child = tree.AddChild(parent, label);
+    if (frontier.size() < 12) frontier.push_back(child);
+  }
+  return tree;
+}
+
+class PathDtdLaws : public ::testing::TestWithParam<int> {
+ protected:
+  PathDtd dtd_ = RandomPathDtd(GetParam(), 3);
+};
+
+TEST_P(PathDtdLaws, StackValidatorMatchesDirectSemantics) {
+  StackDtdValidator validator(&dtd_);
+  Rng rng(GetParam() * 7 + 1);
+  int valid = 0, invalid = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree tree = BiasedDocument(dtd_, &rng);
+    bool expected = SatisfiesPathDtd(dtd_, tree);
+    ASSERT_EQ(RunAcceptor(&validator, Encode(tree)), expected);
+    (expected ? valid : invalid) += 1;
+  }
+  EXPECT_GT(valid + invalid, 0);
+}
+
+TEST_P(PathDtdLaws, TreeLanguageEqualsForallOfPathLanguage) {
+  Dfa minimal = PathLanguageMinimalDfa(dtd_);
+  Rng rng(GetParam() * 7 + 2);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree tree = BiasedDocument(dtd_, &rng);
+    ASSERT_EQ(SatisfiesPathDtd(dtd_, tree), TreeInForall(minimal, tree));
+  }
+}
+
+TEST_P(PathDtdLaws, RegisterlessValidatorExactWheneverAFlat) {
+  if (!IsRegisterlessWeaklyValidatable(dtd_)) {
+    GTEST_SKIP() << "path language not A-flat";
+  }
+  std::unique_ptr<StreamMachine> validator =
+      BuildRegisterlessDtdValidator(dtd_);
+  Rng rng(GetParam() * 7 + 3);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree tree = BiasedDocument(dtd_, &rng);
+    ASSERT_EQ(RunAcceptor(validator.get(), Encode(tree)),
+              SatisfiesPathDtd(dtd_, tree));
+  }
+}
+
+TEST_P(PathDtdLaws, HedgeBridgeMatchesDirectSemantics) {
+  HedgeAutomaton automaton = PathDtdToHedgeAutomaton(dtd_);
+  EXPECT_TRUE(HedgeIsDeterministic(automaton));
+  Rng rng(GetParam() * 7 + 4);
+  for (int trial = 0; trial < 30; ++trial) {
+    Tree tree = BiasedDocument(dtd_, &rng);
+    ASSERT_EQ(HedgeAccepts(automaton, tree), SatisfiesPathDtd(dtd_, tree));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathDtdLaws, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sst

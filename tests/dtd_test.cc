@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "base/check.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dtd/path_dtd.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+constexpr Symbol kA = 0, kB = 1, kC = 2;
+
+// A simple document schema: a -> (b)^+, b -> (c)^*, c -> ()^* over {a,b,c}.
+PathDtd SimpleDtd() {
+  PathDtd dtd;
+  dtd.num_symbols = 3;
+  dtd.initial_symbol = kA;
+  dtd.productions.resize(3);
+  dtd.productions[kA] = {{kB}, /*allows_leaf=*/false};
+  dtd.productions[kB] = {{kC}, /*allows_leaf=*/true};
+  dtd.productions[kC] = {{}, /*allows_leaf=*/true};
+  return dtd;
+}
+
+// Fig 6: specialized DTD a -> (a+b+ã)*, b -> (a+b+ã)*, ã -> c*,
+// c -> (a+b)* with projection ã |-> a. Extended alphabet: a'=0, b'=1,
+// ã'=2, c'=3; projected alphabet {a, b, c}.
+SpecializedPathDtd Fig6Dtd() {
+  SpecializedPathDtd result;
+  result.dtd.num_symbols = 4;
+  result.dtd.initial_symbol = 0;
+  result.dtd.productions.resize(4);
+  result.dtd.productions[0] = {{0, 1, 2}, true};  // a
+  result.dtd.productions[1] = {{0, 1, 2}, true};  // b
+  result.dtd.productions[2] = {{3}, true};        // ã
+  result.dtd.productions[3] = {{0, 1}, true};     // c
+  result.projection = {kA, kB, kA, kC};
+  result.num_projected_symbols = 3;
+  return result;
+}
+
+Tree FromCompact(const char* text) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  std::optional<EventStream> events = ParseCompactMarkup(alphabet, text);
+  SST_CHECK(events.has_value());
+  std::optional<Tree> tree = Decode(*events);
+  SST_CHECK(tree.has_value());
+  return *tree;
+}
+
+TEST(PathDtd, DirectValidation) {
+  PathDtd dtd = SimpleDtd();
+  EXPECT_TRUE(SatisfiesPathDtd(dtd, FromCompact("abBA")));
+  EXPECT_TRUE(SatisfiesPathDtd(dtd, FromCompact("abcCBbBA")));
+  EXPECT_FALSE(SatisfiesPathDtd(dtd, FromCompact("aA")));      // a -> + needs a child
+  EXPECT_FALSE(SatisfiesPathDtd(dtd, FromCompact("acCA")));    // c not allowed under a
+  EXPECT_FALSE(SatisfiesPathDtd(dtd, FromCompact("bB")));      // wrong root
+  EXPECT_FALSE(SatisfiesPathDtd(dtd, FromCompact("abaABA")));  // a under b
+}
+
+TEST(PathDtd, TreeLanguageIsForallOfPathLanguage) {
+  // Section 4.1: a (non-specialized) path DTD defines exactly AL for the
+  // path language of its path automaton.
+  PathDtd dtd = SimpleDtd();
+  Dfa minimal = PathLanguageMinimalDfa(dtd);
+  Rng rng(3);
+  int valid_count = 0;
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    bool direct = SatisfiesPathDtd(dtd, tree);
+    EXPECT_EQ(direct, TreeInForall(minimal, tree));
+    valid_count += direct ? 1 : 0;
+  }
+  // Random trees rarely conform; add known positive cases.
+  EXPECT_TRUE(TreeInForall(minimal, FromCompact("abcCBbBA")));
+  EXPECT_FALSE(TreeInForall(minimal, FromCompact("aA")));
+}
+
+TEST(PathDtd, SimpleDtdIsRegisterlessValidatable) {
+  // The path language of SimpleDtd is finite-depth (a b c? at most), hence
+  // finite and A-flat.
+  EXPECT_TRUE(IsRegisterlessWeaklyValidatable(SimpleDtd()));
+}
+
+TEST(PathDtd, RegisterlessValidatorMatchesDirectSemantics) {
+  PathDtd dtd = SimpleDtd();
+  ASSERT_TRUE(IsRegisterlessWeaklyValidatable(dtd));
+  std::unique_ptr<StreamMachine> validator =
+      BuildRegisterlessDtdValidator(dtd);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    EXPECT_EQ(RunAcceptor(validator.get(), Encode(tree)),
+              SatisfiesPathDtd(dtd, tree));
+  }
+  EXPECT_TRUE(RunAcceptor(validator.get(), Encode(FromCompact("abcCBbBA"))));
+}
+
+TEST(PathDtd, StackValidatorIsExact) {
+  PathDtd dtd = SimpleDtd();
+  StackDtdValidator validator(&dtd);
+  Rng rng(7);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    EXPECT_EQ(RunAcceptor(&validator, Encode(tree)),
+              SatisfiesPathDtd(dtd, tree));
+  }
+}
+
+TEST(Fig6, SpecializedDtdValidationSemantics) {
+  SpecializedPathDtd dtd = Fig6Dtd();
+  // The root must be the plain initial symbol a, so a c-child is only
+  // reachable one level down through an ã-relabelled inner a.
+  EXPECT_FALSE(SatisfiesSpecializedPathDtd(dtd, FromCompact("acCA")));
+  EXPECT_TRUE(SatisfiesSpecializedPathDtd(dtd, FromCompact("aacCAA")));
+  // Root a with b-child: label the root a.
+  EXPECT_TRUE(SatisfiesSpecializedPathDtd(dtd, FromCompact("abBA")));
+  // Root a with both c- and b-children: no single labelling works
+  // (ã allows only c children; a/b do not allow c children).
+  EXPECT_FALSE(SatisfiesSpecializedPathDtd(dtd, FromCompact("acCbBA")));
+  // c may only appear under ã; and under c only a/b.
+  EXPECT_FALSE(SatisfiesSpecializedPathDtd(dtd, FromCompact("accCCA")));
+}
+
+TEST(Fig6, MinimalAutomatonMatchesFig6b) {
+  // Determinizing + minimizing the Fig 6a NFA yields the automaton of
+  // Fig 6b; ours carries an explicit initial state and rejecting sink in
+  // addition to the drawn core, for 5 states in total.
+  SpecializedPathDtd dtd = Fig6Dtd();
+  Dfa minimal = PathLanguageMinimalDfa(dtd);
+  EXPECT_EQ(minimal.num_states, 5);
+}
+
+TEST(Fig6, NotAFlatAfterDeterminization) {
+  // The paper's point: the raw specialized automaton looks A-flat, but the
+  // criterion must be applied to the determinized, minimized automaton —
+  // and there it fails.
+  SpecializedPathDtd dtd = Fig6Dtd();
+  Dfa minimal = PathLanguageMinimalDfa(dtd);
+  EXPECT_FALSE(IsAFlat(minimal));
+}
+
+TEST(Fig6, PathLanguageSanity) {
+  // Words in the projected path language: a, ab*, a c (a+b)..., etc.
+  SpecializedPathDtd dtd = Fig6Dtd();
+  Dfa minimal = PathLanguageMinimalDfa(dtd);
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  EXPECT_TRUE(minimal.Accepts(WordFromString(alphabet, "a")));
+  EXPECT_TRUE(minimal.Accepts(WordFromString(alphabet, "ab")));
+  EXPECT_FALSE(minimal.Accepts(WordFromString(alphabet, "ac")));
+  EXPECT_TRUE(minimal.Accepts(WordFromString(alphabet, "aac")));
+  EXPECT_TRUE(minimal.Accepts(WordFromString(alphabet, "aaca")));
+  EXPECT_FALSE(minimal.Accepts(WordFromString(alphabet, "aacc")));
+  EXPECT_FALSE(minimal.Accepts(WordFromString(alphabet, "b")));
+  EXPECT_FALSE(minimal.Accepts(WordFromString(alphabet, "c")));
+}
+
+}  // namespace
+}  // namespace sst

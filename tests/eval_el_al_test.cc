@@ -1,0 +1,200 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "eval/al_recognizer.h"
+#include "eval/el_synopsis.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+EventStream StripCloseLabels(EventStream events) {
+  for (TagEvent& event : events) {
+    if (!event.open) event.symbol = -1;
+  }
+  return events;
+}
+
+TEST(Lemma311, CofiniteLanguageExample) {
+  // Co-finite languages are E-flat (Section 3.3); take the complement of
+  // {ab} (all words except ab).
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = Complement(CompileRegex("ab", alphabet));
+  ASSERT_TRUE(IsEFlat(dfa));
+  ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+  Rng rng(3);
+  for (const Tree& tree : testing::SampleTrees(300, 2, &rng)) {
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), TreeInExists(dfa, tree));
+    EXPECT_FALSE(machine.hit_unexpected_case());
+  }
+}
+
+TEST(Lemma311, AlmostReversibleLanguagesAreEFlatToo) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ASSERT_TRUE(IsEFlat(dfa));
+  ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+  Rng rng(5);
+  int in_el = 0, out_el = 0;
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    bool expected = TreeInExists(dfa, tree);
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), expected);
+    (expected ? in_el : out_el) += 1;
+  }
+  EXPECT_GT(in_el, 0);
+  EXPECT_GT(out_el, 0);
+}
+
+TEST(Lemma311, RandomEFlatLanguages) {
+  Rng rng(301);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      30, 2, [](const Dfa& d) { return IsEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 10u);
+  for (const Dfa& dfa : languages) {
+    ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunAcceptor(&machine, Encode(tree)),
+                TreeInExists(dfa, tree));
+    }
+  }
+}
+
+TEST(Lemma311, DeepTreesStressSynopsisBacktracking) {
+  Rng rng(303);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      10, 2, [](const Dfa& d) { return IsEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 5u);
+  for (const Dfa& dfa : languages) {
+    ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+    for (int trial = 0; trial < 10; ++trial) {
+      Tree tree = RandomTree(300, 2, 0.85, &rng);
+      ASSERT_EQ(RunAcceptor(&machine, Encode(tree)),
+                TreeInExists(dfa, tree));
+    }
+  }
+}
+
+TEST(Lemma312, ConstructionFailsForNonEFlatLanguage) {
+  // ab is not E-flat; by Lemma 3.12 no finite automaton recognizes E{ab},
+  // so in particular the synopsis automaton must err on some tree.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("ab", alphabet);
+  ASSERT_FALSE(IsEFlat(dfa));
+  ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+  Rng rng(7);
+  bool found_error = false;
+  for (const Tree& tree : testing::SampleTrees(500, 3, &rng)) {
+    if (RunAcceptor(&machine, Encode(tree)) != TreeInExists(dfa, tree)) {
+      found_error = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(MaterializedEl, AgreesWithTheMachine) {
+  Rng rng(305);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      10, 2, [](const Dfa& d) { return IsEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 5u);
+  for (const Dfa& dfa : languages) {
+    std::optional<TagDfa> materialized =
+        MaterializeElRecognizer(dfa, /*blind=*/false, 100000);
+    ASSERT_TRUE(materialized.has_value());
+    ElSynopsisRecognizer machine(dfa, /*blind=*/false);
+    TagDfaMachine table_machine(&*materialized);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      EventStream events = Encode(tree);
+      ASSERT_EQ(RunAcceptor(&table_machine, events),
+                RunAcceptor(&machine, events));
+    }
+  }
+}
+
+TEST(TheoremB1El, BlindSynopsisOnTermEncoding) {
+  Rng rng(307);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      20, 2, [](const Dfa& d) { return IsBlindEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 8u);
+  for (const Dfa& dfa : languages) {
+    ElSynopsisRecognizer machine(dfa, /*blind=*/true);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunAcceptor(&machine, StripCloseLabels(Encode(tree))),
+                TreeInExists(dfa, tree));
+    }
+  }
+}
+
+TEST(TheoremB1El, BlindMaterializationIgnoresClosingLabels) {
+  Rng rng(309);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      5, 2, [](const Dfa& d) { return IsBlindEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 2u);
+  for (const Dfa& dfa : languages) {
+    std::optional<TagDfa> materialized =
+        MaterializeElRecognizer(dfa, /*blind=*/true, 100000);
+    ASSERT_TRUE(materialized.has_value());
+    EXPECT_TRUE(materialized->ClosingSymbolInvariant());
+  }
+}
+
+TEST(Theorem32Al, ForallRecognizerMatchesGroundTruth) {
+  Rng rng(311);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      25, 2, [](const Dfa& d) { return IsAFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 10u);
+  for (const Dfa& dfa : languages) {
+    std::unique_ptr<StreamMachine> machine =
+        BuildForallRecognizer(dfa, /*blind=*/false);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunAcceptor(machine.get(), Encode(tree)),
+                TreeInForall(dfa, tree));
+    }
+  }
+}
+
+TEST(Theorem32Al, FiniteLanguageForallExample) {
+  // Path DTD flavour: all branches must be labelled ab or abc.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("ab|abc", alphabet);
+  ASSERT_TRUE(IsAFlat(dfa));  // finite language
+  std::unique_ptr<StreamMachine> machine =
+      BuildForallRecognizer(dfa, /*blind=*/false);
+  std::optional<EventStream> good =
+      ParseCompactMarkup(alphabet, "abBbcCBA");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_TRUE(RunAcceptor(machine.get(), *good));
+  std::optional<EventStream> bad = ParseCompactMarkup(alphabet, "abaABA");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(RunAcceptor(machine.get(), *bad));
+}
+
+TEST(Theorem32Al, MaterializedForallAgrees) {
+  Rng rng(313);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      8, 2, [](const Dfa& d) { return IsAFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 4u);
+  for (const Dfa& dfa : languages) {
+    std::optional<TagDfa> materialized =
+        MaterializeForallRecognizer(dfa, /*blind=*/false, 100000);
+    ASSERT_TRUE(materialized.has_value());
+    TagDfaMachine machine(&*materialized);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunAcceptor(&machine, Encode(tree)),
+                TreeInForall(dfa, tree));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,154 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "eval/adapters.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+
+TEST(StackEvaluator, MatchesGroundTruthForArbitraryLanguages) {
+  Rng rng(101);
+  for (int trial = 0; trial < 20; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(8, 3, 0.4, &rng));
+    StackQueryEvaluator machine(&dfa);
+    for (const Tree& tree : testing::SampleTrees(20, 3, &rng)) {
+      EXPECT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree));
+    }
+  }
+}
+
+TEST(StackEvaluator, TracksPeakStackDepth) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  Tree chain = ChainTree(Word(50, 0));
+  RunQuery(&machine, Encode(chain));
+  EXPECT_EQ(machine.max_stack_depth(), 50u);
+}
+
+TEST(Lemma35, PaperExampleAStarB) {
+  // a Γ* b is almost-reversible; its registerless evaluator must agree with
+  // the oracle on every tree.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ASSERT_TRUE(IsAlmostReversible(dfa));
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  TagDfaMachine machine(&evaluator);
+  Rng rng(7);
+  for (const Tree& tree : testing::SampleTrees(200, 3, &rng)) {
+    EXPECT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree));
+  }
+}
+
+TEST(Lemma35, RandomAlmostReversibleLanguages) {
+  Rng rng(103);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      25, 2, [](const Dfa& d) { return IsAlmostReversible(d); }, &rng);
+  ASSERT_GE(languages.size(), 5u);
+  for (const Dfa& dfa : languages) {
+    TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+    TagDfaMachine machine(&evaluator);
+    for (const Tree& tree : testing::SampleTrees(30, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree));
+    }
+  }
+}
+
+TEST(Lemma35, FailsForSomeTreeWhenNotAlmostReversible) {
+  // Soundness of the characterization in the other direction: applying the
+  // construction to the non-AR language ab must err on some tree (Thm 3.2).
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("ab", alphabet);
+  ASSERT_FALSE(IsAlmostReversible(dfa));
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  TagDfaMachine machine(&evaluator);
+  Rng rng(5);
+  bool found_error = false;
+  for (const Tree& tree : testing::SampleTrees(500, 3, &rng)) {
+    if (RunQueryOnTree(&machine, tree) != SelectNodes(dfa, tree)) {
+      found_error = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(TheoremB1, BlindVariantRunsOnTermEncoding) {
+  Rng rng(107);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      20, 2, [](const Dfa& d) { return IsBlindAlmostReversible(d); }, &rng);
+  ASSERT_GE(languages.size(), 5u);
+  for (const Dfa& dfa : languages) {
+    TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/true);
+    EXPECT_TRUE(evaluator.ClosingSymbolInvariant());
+    TagDfaMachine machine(&evaluator);
+    for (const Tree& tree : testing::SampleTrees(30, 2, &rng)) {
+      // Run on the label-less close events, as a term-encoded stream.
+      ASSERT_EQ(RunQueryOnTree(&machine, tree, /*term_encoded=*/true),
+                SelectNodes(dfa, tree));
+    }
+  }
+}
+
+TEST(TheoremB1, BlindAStarBStillWorks) {
+  // a Γ* b is blindly almost-reversible (Section 4.2).
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ASSERT_TRUE(IsBlindAlmostReversible(dfa));
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/true);
+  TagDfaMachine machine(&evaluator);
+  Rng rng(9);
+  for (const Tree& tree : testing::SampleTrees(200, 3, &rng)) {
+    EXPECT_EQ(RunQueryOnTree(&machine, tree, /*term_encoded=*/true),
+              SelectNodes(dfa, tree));
+  }
+}
+
+TEST(Adapters, ExistsAndForallMatchGroundTruths) {
+  // Theorem 3.1/3.2 outlines: wrapping any QL realizer watches the leaves.
+  Rng rng(109);
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(7, 2, 0.4, &rng));
+    auto exists = ExistsAdapter(
+        std::make_unique<StackQueryEvaluator>(&dfa));
+    auto forall = ForallAdapter(
+        std::make_unique<StackQueryEvaluator>(&dfa));
+    for (const Tree& tree : testing::SampleTrees(30, 2, &rng)) {
+      EventStream events = Encode(tree);
+      EXPECT_EQ(RunAcceptor(&exists, events), TreeInExists(dfa, tree));
+      EXPECT_EQ(RunAcceptor(&forall, events), TreeInForall(dfa, tree));
+    }
+  }
+}
+
+TEST(Adapters, RegisterlessQueryYieldsRegisterlessExistsForall) {
+  // For an AR language, wrapping the Lemma 3.5 automaton in the adapters
+  // gives correct EL and AL recognizers, confirming (3a) => (3b) of Thm 3.2.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  ExistsAdapter exists(std::make_unique<TagDfaMachine>(&evaluator));
+  ForallAdapter forall(std::make_unique<TagDfaMachine>(&evaluator));
+  Rng rng(11);
+  for (const Tree& tree : testing::SampleTrees(150, 3, &rng)) {
+    EventStream events = Encode(tree);
+    EXPECT_EQ(RunAcceptor(&exists, events), TreeInExists(dfa, tree));
+    EXPECT_EQ(RunAcceptor(&forall, events), TreeInForall(dfa, tree));
+  }
+}
+
+}  // namespace
+}  // namespace sst

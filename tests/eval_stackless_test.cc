@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+
+TEST(Lemma38, PaperExamplesAbAndAnyAAnyB) {
+  // ab and Γ*aΓ*b are HAR but not almost-reversible (Example 2.12): the
+  // depth-register evaluator must realize them exactly.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(3);
+  for (const char* pattern : {"ab", ".*a.*b", "a.*b", "abc", "a(b|c)a"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    ASSERT_TRUE(IsHar(dfa)) << pattern;
+    StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+    for (const Tree& tree : testing::SampleTrees(150, 3, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree))
+          << pattern;
+      EXPECT_FALSE(machine.dead());
+    }
+  }
+}
+
+TEST(Lemma38, DeepChainsOfRepeatedSccEntries) {
+  // Example 2.6's language shape: chains of a's force repeated re-entries
+  // into the same SCC; registers must be recycled correctly.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tree tree = RandomTree(200, 3, 0.9, &rng);  // deep trees
+    ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree));
+  }
+}
+
+TEST(Lemma38, RandomHarLanguages) {
+  Rng rng(211);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      30, 2, [](const Dfa& d) { return IsHar(d); }, &rng);
+  ASSERT_GE(languages.size(), 10u);
+  for (const Dfa& dfa : languages) {
+    StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa, tree));
+    }
+  }
+}
+
+TEST(Lemma38, RegisterCountBoundedBySccChain) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+  // Γ*aΓ*b has a 3-chain of SCCs, so at most 2 registers.
+  EXPECT_LE(machine.num_registers(), 2);
+  Rng rng(7);
+  size_t max_live = 0;
+  machine.Reset();
+  Tree tree = RandomTree(500, 3, 0.8, &rng);
+  for (const TagEvent& event : Encode(tree)) {
+    if (event.open) {
+      machine.OnOpen(event.symbol);
+    } else {
+      machine.OnClose(event.symbol);
+    }
+    max_live = std::max(max_live, machine.live_registers());
+  }
+  EXPECT_LE(max_live, static_cast<size_t>(machine.num_registers()));
+}
+
+TEST(Lemma38, FailsForSomeTreeWhenNotHar) {
+  // Γ*ab is not HAR (Example 2.7 / Fig 3d): the construction, applied
+  // anyway, must err somewhere — Theorem 3.1 says no DRA can realize it.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*ab", alphabet);
+  ASSERT_FALSE(IsHar(dfa));
+  StacklessQueryEvaluator machine(dfa, /*blind=*/false);
+  Rng rng(9);
+  bool found_error = false;
+  for (const Tree& tree : testing::SampleTrees(500, 3, &rng)) {
+    if (RunQueryOnTree(&machine, tree) != SelectNodes(dfa, tree)) {
+      found_error = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(TheoremB2, BlindVariantOnTermEncoding) {
+  Rng rng(213);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      25, 2, [](const Dfa& d) { return IsBlindHar(d); }, &rng);
+  ASSERT_GE(languages.size(), 10u);
+  for (const Dfa& dfa : languages) {
+    StacklessQueryEvaluator machine(dfa, /*blind=*/true);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree, /*term_encoded=*/true),
+                SelectNodes(dfa, tree));
+    }
+  }
+}
+
+TEST(TheoremB2, Fig2LanguageFailsBlindly) {
+  // Fig 2's language (even number of a's) is reversible, hence markup-
+  // registerless, but not blindly HAR: the blind construction must err.
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(b|ab*a)*", alphabet);
+  ASSERT_FALSE(IsBlindHar(dfa));
+  StacklessQueryEvaluator machine(dfa, /*blind=*/true);
+  Rng rng(11);
+  bool found_error = false;
+  for (const Tree& tree : testing::SampleTrees(500, 2, &rng)) {
+    if (RunQueryOnTree(&machine, tree, /*term_encoded=*/true) !=
+        SelectNodes(dfa, tree)) {
+      found_error = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_error);
+}
+
+TEST(Materialize, ExplicitDraMatchesInterpreter) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(13);
+  for (const char* pattern : {"ab", ".*a.*b", "a.*b"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    std::optional<Dra> dra =
+        MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+    ASSERT_TRUE(dra.has_value()) << pattern;
+    StacklessQueryEvaluator interpreter(dfa, /*blind=*/false);
+    DraRunner runner(&*dra);
+    for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+      EventStream events = Encode(tree);
+      ASSERT_EQ(RunQuery(&runner, events), RunQuery(&interpreter, events))
+          << pattern;
+    }
+  }
+}
+
+TEST(Materialize, ExplicitDraIsRestricted) {
+  // Section 2.2: "all depth-register automata we construct are restricted",
+  // backing the conjecture that restricted DRAs capture all regular
+  // stackless languages.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  for (const char* pattern : {"ab", ".*a.*b", "a.*b"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    std::optional<Dra> dra =
+        MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+    ASSERT_TRUE(dra.has_value()) << pattern;
+    EXPECT_TRUE(IsRestricted(*dra)) << pattern;
+  }
+}
+
+TEST(Materialize, QueriesSelectTheSameNodesAsTheOracle) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra =
+      MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+  ASSERT_TRUE(dra.has_value());
+  DraRunner runner(&*dra);
+  Rng rng(17);
+  for (const Tree& tree : testing::SampleTrees(120, 3, &rng)) {
+    ASSERT_EQ(RunQueryOnTree(&runner, tree), SelectNodes(dfa, tree));
+  }
+}
+
+TEST(Materialize, RespectsStateBudget) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  EXPECT_FALSE(
+      MaterializeStacklessQueryDra(dfa, /*blind=*/false, 2).has_value());
+}
+
+}  // namespace
+}  // namespace sst

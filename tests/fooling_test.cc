@@ -1,0 +1,265 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "eval/adapters.h"
+#include "eval/el_synopsis.h"
+#include "eval/registerless_query.h"
+#include "eval/stackless_query.h"
+#include "fooling/fooling.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+Dfa Compile(const char* pattern) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  return CompileRegex(pattern, alphabet);
+}
+
+TEST(Witnesses, NonEFlatWitnessSatisfiesLemma312Equations) {
+  Dfa dfa = Compile("ab");  // not E-flat
+  std::optional<NonEFlatWitness> witness = ExtractNonEFlatWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->s.empty());
+  EXPECT_FALSE(witness->u.empty());
+  EXPECT_FALSE(witness->t.empty());
+  EXPECT_EQ(dfa.Run(dfa.initial, witness->s), witness->p);
+  EXPECT_EQ(dfa.Run(witness->p, witness->u), witness->q);
+  EXPECT_EQ(dfa.Run(witness->q, witness->u), witness->q);
+  EXPECT_FALSE(dfa.accepting[dfa.Run(witness->q, witness->x)]);
+  EXPECT_NE(dfa.accepting[dfa.Run(witness->p, witness->t)],
+            dfa.accepting[dfa.Run(witness->q, witness->t)]);
+}
+
+TEST(Witnesses, NonHarWitnessSatisfiesLemma316Equations) {
+  Dfa dfa = Compile(".*ab");  // not HAR
+  std::optional<NonHarWitness> witness = ExtractNonHarWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->s.empty());
+  EXPECT_FALSE(witness->u.empty());
+  EXPECT_FALSE(witness->v.empty());
+  EXPECT_FALSE(witness->w.empty());
+  EXPECT_FALSE(witness->t.empty());
+  EXPECT_GE(witness->u.size(), witness->t.size());
+  EXPECT_EQ(dfa.Run(dfa.initial, witness->s), witness->r);
+  EXPECT_EQ(dfa.Run(witness->r, witness->v), witness->p);
+  EXPECT_EQ(dfa.Run(witness->r, witness->w), witness->q);
+  EXPECT_EQ(dfa.Run(witness->p, witness->u), witness->r);
+  EXPECT_EQ(dfa.Run(witness->q, witness->u), witness->r);
+  EXPECT_TRUE(dfa.accepting[dfa.Run(witness->p, witness->t)]);
+  EXPECT_FALSE(dfa.accepting[dfa.Run(witness->q, witness->t)]);
+}
+
+TEST(Witnesses, NoneForLanguagesInTheClass) {
+  EXPECT_FALSE(ExtractNonEFlatWitness(Compile("a.*b")).has_value());
+  EXPECT_FALSE(ExtractNonHarWitness(Compile(".*a.*b")).has_value());
+}
+
+TEST(Lemma312Gadget, GroundTruthsDifferForEveryExponent) {
+  Dfa dfa = Compile("ab");
+  std::optional<NonEFlatWitness> witness = ExtractNonEFlatWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  for (int exponent = 1; exponent <= 6; ++exponent) {
+    FoolingPair pair = BuildLemma312Trees(*witness, exponent, dfa);
+    EXPECT_TRUE(TreeInExists(dfa, pair.in_el));
+    EXPECT_FALSE(TreeInExists(dfa, pair.out_el));
+  }
+}
+
+TEST(Lemma316Gadget, GroundTruthsDifferForEveryExponent) {
+  Dfa dfa = Compile(".*ab");
+  std::optional<NonHarWitness> witness = ExtractNonHarWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  for (int exponent = 1; exponent <= 4; ++exponent) {
+    FoolingPair pair = BuildLemma316Trees(*witness, exponent, dfa);
+    EXPECT_TRUE(TreeInExists(dfa, pair.in_el));
+    EXPECT_FALSE(TreeInExists(dfa, pair.out_el));
+  }
+}
+
+TEST(Fooling, SynopsisAutomatonFooledOnNonEFlatLanguage) {
+  // The Lemma 3.11 construction applied outside its precondition is a
+  // legitimate finite-state victim; Lemma 3.12's pair must defeat it.
+  Dfa dfa = Compile("ab");
+  ASSERT_FALSE(IsEFlat(dfa));
+  ElSynopsisRecognizer victim(dfa, /*blind=*/false);
+  std::optional<FoolingPair> pair =
+      FoolExistsRecognizer(dfa, &victim, /*use_har_gadget=*/false, 16);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(TreeInExists(dfa, pair->in_el));
+  EXPECT_FALSE(TreeInExists(dfa, pair->out_el));
+  EXPECT_EQ(RunAcceptor(&victim, Encode(pair->in_el)),
+            RunAcceptor(&victim, Encode(pair->out_el)));
+}
+
+TEST(Fooling, RegisterlessEvaluatorAdapterFooledToo) {
+  // A second finite-state victim: the Lemma 3.5 evaluator wrapped in the
+  // EL adapter.
+  Dfa dfa = Compile("ab");
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  ExistsAdapter victim(std::make_unique<TagDfaMachine>(&evaluator));
+  std::optional<FoolingPair> pair =
+      FoolExistsRecognizer(dfa, &victim, /*use_har_gadget=*/false, 16);
+  ASSERT_TRUE(pair.has_value());
+}
+
+TEST(Fooling, StacklessEvaluatorFooledOnNonHarLanguage) {
+  // Theorem 3.1's hard direction, demonstrated: the Lemma 3.8 machine (a
+  // DRA) applied to Γ*ab is defeated by the Lemma 3.16 gadget.
+  Dfa dfa = Compile(".*ab");
+  ASSERT_FALSE(IsHar(dfa));
+  ExistsAdapter victim(
+      std::make_unique<StacklessQueryEvaluator>(dfa, /*blind=*/false));
+  std::optional<FoolingPair> pair =
+      FoolExistsRecognizer(dfa, &victim, /*use_har_gadget=*/true, 8);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(TreeInExists(dfa, pair->in_el));
+  EXPECT_FALSE(TreeInExists(dfa, pair->out_el));
+}
+
+TEST(Fooling, QueryCounterexampleSearchWorks) {
+  Dfa dfa = Compile(".*ab");
+  StacklessQueryEvaluator victim(dfa, /*blind=*/false);
+  std::optional<Tree> counterexample =
+      FindQueryCounterexample(dfa, &victim, /*term_encoded=*/false, 2000, 5);
+  ASSERT_TRUE(counterexample.has_value());
+  EXPECT_NE(RunQueryOnTree(&victim, *counterexample),
+            SelectNodes(dfa, *counterexample));
+
+  // And no counterexample for a language the construction handles.
+  Dfa har = Compile(".*a.*b");
+  StacklessQueryEvaluator good(har, /*blind=*/false);
+  EXPECT_FALSE(FindQueryCounterexample(har, &good, false, 500, 7)
+                   .has_value());
+}
+
+TEST(TheoremB1Fooling, BlindWitnessSatisfiesTheEquations) {
+  Dfa dfa = Compile("ab");  // not E-flat, hence not blindly E-flat
+  std::optional<BlindNonEFlatWitness> witness =
+      ExtractBlindNonEFlatWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->u1.size(), witness->u2.size());
+  EXPECT_EQ(dfa.Run(dfa.initial, witness->s), witness->p);
+  EXPECT_EQ(dfa.Run(witness->p, witness->u1), witness->q);
+  EXPECT_EQ(dfa.Run(witness->q, witness->u2), witness->q);
+  EXPECT_FALSE(dfa.accepting[dfa.Run(witness->q, witness->x)]);
+  EXPECT_NE(dfa.accepting[dfa.Run(witness->p, witness->t)],
+            dfa.accepting[dfa.Run(witness->q, witness->t)]);
+}
+
+TEST(TheoremB1Fooling, Fig7GroundTruthsDiffer) {
+  Dfa dfa = Compile("ab");
+  std::optional<BlindNonEFlatWitness> witness =
+      ExtractBlindNonEFlatWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  for (int exponent = 1; exponent <= 5; ++exponent) {
+    FoolingPair pair = BuildBlindLemma312Trees(*witness, exponent, dfa);
+    EXPECT_TRUE(TreeInExists(dfa, pair.in_el)) << exponent;
+    EXPECT_FALSE(TreeInExists(dfa, pair.out_el)) << exponent;
+  }
+}
+
+TEST(TheoremB1Fooling, BlindSynopsisFooledOnTermEncoding) {
+  // The blind synopsis automaton, forced onto a non-blindly-E-flat
+  // language, cannot separate the Fig 7 pair on term-encoded streams.
+  Dfa dfa = Compile("ab");
+  ASSERT_FALSE(IsBlindEFlat(dfa));
+  ElSynopsisRecognizer victim(dfa, /*blind=*/true);
+  std::optional<FoolingPair> pair =
+      FoolTermExistsRecognizer(dfa, &victim, /*use_har_gadget=*/false, 16);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(TreeInExists(dfa, pair->in_el));
+  EXPECT_FALSE(TreeInExists(dfa, pair->out_el));
+}
+
+TEST(TheoremB1Fooling, RandomNonBlindEFlatLanguagesYieldCertificates) {
+  Rng rng(811);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      10, 2, [](const Dfa& d) { return !IsBlindEFlat(d); }, &rng);
+  ASSERT_GE(languages.size(), 5u);
+  for (const Dfa& dfa : languages) {
+    std::optional<BlindNonEFlatWitness> witness =
+        ExtractBlindNonEFlatWitness(dfa);
+    ASSERT_TRUE(witness.has_value());
+    for (int exponent : {1, 2}) {
+      FoolingPair pair = BuildBlindLemma312Trees(*witness, exponent, dfa);
+      ASSERT_TRUE(TreeInExists(dfa, pair.in_el));
+      ASSERT_FALSE(TreeInExists(dfa, pair.out_el));
+    }
+  }
+}
+
+TEST(TheoremB2Fooling, BlindHarWitnessAndGadget) {
+  // Fig 2's language (even number of a's over {a,b}) is HAR but not
+  // blindly HAR — the flagship separation of the two encodings.
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(b|ab*a)*", alphabet);
+  ASSERT_FALSE(IsBlindHar(dfa));
+  std::optional<BlindNonHarWitness> witness =
+      ExtractBlindNonHarWitness(dfa);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->u1.size(), witness->u2.size());
+  EXPECT_EQ(dfa.Run(witness->p, witness->u1), witness->r);
+  EXPECT_EQ(dfa.Run(witness->q, witness->u2), witness->r);
+  EXPECT_EQ(dfa.Run(witness->r, witness->v), witness->p);
+  EXPECT_EQ(dfa.Run(witness->r, witness->w), witness->q);
+  EXPECT_TRUE(dfa.accepting[dfa.Run(witness->p, witness->t)]);
+  EXPECT_FALSE(dfa.accepting[dfa.Run(witness->q, witness->t)]);
+  for (int exponent = 1; exponent <= 3; ++exponent) {
+    FoolingPair pair = BuildBlindLemma316Trees(*witness, exponent, dfa);
+    EXPECT_TRUE(TreeInExists(dfa, pair.in_el)) << exponent;
+    EXPECT_FALSE(TreeInExists(dfa, pair.out_el)) << exponent;
+  }
+}
+
+TEST(TheoremB2Fooling, BlindStacklessEvaluatorFooledOnTermEncoding) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(b|ab*a)*", alphabet);
+  ExistsAdapter victim(
+      std::make_unique<StacklessQueryEvaluator>(dfa, /*blind=*/true));
+  std::optional<FoolingPair> pair =
+      FoolTermExistsRecognizer(dfa, &victim, /*use_har_gadget=*/true, 8);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_TRUE(TreeInExists(dfa, pair->in_el));
+  EXPECT_FALSE(TreeInExists(dfa, pair->out_el));
+}
+
+TEST(Example29, ConfigurationCountIsPolynomialInN) {
+  // Any fixed DRA reaches at most k·(n+2)^l distinct configurations on the
+  // 2^(n-2) Kn prefixes; with one register and few states the count is
+  // dwarfed by the number of prefixes already for moderate n.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra =
+      MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+  ASSERT_TRUE(dra.has_value());
+  int n = 12;
+  int configurations = CountKnPrefixConfigurations(*dra, n);
+  EXPECT_LT(configurations, 1 << (n - 2));
+  EXPECT_LE(configurations,
+            dra->num_states * (1 << dra->num_registers) * (n + 2));
+}
+
+TEST(Example29, PrefixCollisionExists) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra =
+      MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+  ASSERT_TRUE(dra.has_value());
+  std::optional<std::pair<uint32_t, uint32_t>> collision =
+      FindKnPrefixCollision(*dra, 12);
+  ASSERT_TRUE(collision.has_value());
+  EXPECT_NE(collision->first, collision->second);
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,138 @@
+// Robustness sweeps: random and adversarial byte/event streams must never
+// crash any component — parsers reject malformed input with an error, and
+// machines behave deterministically on invalid encodings (the paper's
+// automata may accept or reject invalid encodings arbitrarily, but the
+// implementations must stay memory-safe and terminating).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/paper_examples.h"
+#include "dra/streaming.h"
+#include "eval/el_synopsis.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+std::string RandomBytes(Rng* rng, int length, const char* pool) {
+  std::string bytes;
+  size_t pool_size = std::string(pool).size();
+  for (int i = 0; i < length; ++i) {
+    bytes.push_back(pool[rng->NextBelow(pool_size)]);
+  }
+  return bytes;
+}
+
+TEST(Fuzz, StreamingSelectorSurvivesRandomBytes) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  Rng rng(101);
+  const char* pools[] = {"abcABC", "abcABC{}<>/x ", "<>/ab c}"};
+  for (auto format : {StreamingSelector::Format::kCompactMarkup,
+                      StreamingSelector::Format::kXmlLite,
+                      StreamingSelector::Format::kCompactTerm}) {
+    for (int trial = 0; trial < 300; ++trial) {
+      StackQueryEvaluator machine(&dfa);
+      StreamingSelector selector(&machine, format, &alphabet);
+      std::string bytes = RandomBytes(
+          &rng, 1 + static_cast<int>(rng.NextBelow(60)),
+          pools[trial % 3]);
+      bool fed = selector.Feed(bytes);
+      bool finished = fed && selector.Finish();
+      if (!finished) {
+        EXPECT_FALSE(selector.error().empty());
+      } else {
+        // Whatever parsed must have been a balanced document.
+        EXPECT_TRUE(selector.document_complete());
+        EXPECT_GT(selector.nodes(), 0);
+      }
+    }
+  }
+}
+
+TEST(Fuzz, ParsersRejectOrRoundTrip) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(103);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes =
+        RandomBytes(&rng, 1 + static_cast<int>(rng.NextBelow(30)),
+                    "abcABC{}<> /");
+    std::optional<EventStream> markup = ParseCompactMarkup(alphabet, bytes);
+    if (markup.has_value() && IsValidEncoding(*markup)) {
+      EXPECT_EQ(ToCompactMarkup(alphabet, *markup),
+                [&] {
+                  std::string stripped;
+                  for (char c : bytes) {
+                    if (!std::isspace(static_cast<unsigned char>(c))) {
+                      stripped.push_back(c);
+                    }
+                  }
+                  return stripped;
+                }());
+    }
+    std::optional<EventStream> term = ParseCompactTerm(alphabet, bytes);
+    if (term.has_value()) {
+      // May still be unbalanced; Decode is the arbiter and must not crash.
+      (void)Decode(*term);
+    }
+  }
+}
+
+TEST(Fuzz, MachinesSurviveInvalidEventStreams) {
+  // Random (possibly unbalanced, mismatched) event streams through every
+  // machine type; only termination and memory-safety are asserted.
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  StackQueryEvaluator stack(&dfa);
+  StacklessQueryEvaluator stackless(dfa, false);
+  ElSynopsisRecognizer synopsis(dfa, false);
+  Dra same_depth = BuildSameDepthDra(2, 0);
+  DraRunner dra(&same_depth);
+  Rng rng(107);
+  for (int trial = 0; trial < 300; ++trial) {
+    EventStream events;
+    int length = 1 + static_cast<int>(rng.NextBelow(40));
+    for (int i = 0; i < length; ++i) {
+      events.push_back(
+          {rng.NextBool(0.5), static_cast<Symbol>(rng.NextBelow(2))});
+    }
+    for (StreamMachine* machine :
+         {static_cast<StreamMachine*>(&stack),
+          static_cast<StreamMachine*>(&stackless),
+          static_cast<StreamMachine*>(&synopsis),
+          static_cast<StreamMachine*>(&dra)}) {
+      machine->Reset();
+      for (const TagEvent& event : events) {
+        if (event.open) {
+          machine->OnOpen(event.symbol);
+        } else {
+          machine->OnClose(event.symbol);
+        }
+      }
+      (void)machine->InAcceptingState();
+    }
+  }
+}
+
+TEST(Fuzz, DraRunnerDepthCanGoNegativeWithoutHarm) {
+  // Closing tags at depth 0 push the counter negative; the model is
+  // defined over Z and the runner must follow it.
+  Dra same_depth = BuildSameDepthDra(2, 0);
+  DraRunner runner(&same_depth);
+  runner.Reset();
+  for (int i = 0; i < 10; ++i) runner.OnClose(0);
+  EXPECT_EQ(runner.depth(), -10);
+  for (int i = 0; i < 20; ++i) runner.OnOpen(0);
+  EXPECT_EQ(runner.depth(), 10);
+}
+
+}  // namespace
+}  // namespace sst

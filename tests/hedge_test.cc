@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dtd/path_dtd.h"
+#include "test_util.h"
+#include "treeauto/hedge_automaton.h"
+#include "treeauto/hedge_builders.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+bool ContainsLabel(const Tree& tree, Symbol target) {
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.label(id) == target) return true;
+  }
+  return false;
+}
+
+TEST(HedgeAutomaton, SomeLabelMembership) {
+  HedgeAutomaton automaton = SomeLabelHedgeAutomaton(2, /*target=*/0);
+  ASSERT_TRUE(automaton.IsValid());
+  Rng rng(3);
+  for (const Tree& tree : testing::SampleTrees(200, 2, &rng)) {
+    EXPECT_EQ(HedgeAccepts(automaton, tree), ContainsLabel(tree, 0));
+  }
+}
+
+TEST(HedgeAutomaton, SomeLabelIsDeterministic) {
+  EXPECT_TRUE(HedgeIsDeterministic(SomeLabelHedgeAutomaton(2, 0)));
+}
+
+TEST(HedgeAutomaton, ProductsMatchBooleanSemantics) {
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  HedgeAutomaton some_b = SomeLabelHedgeAutomaton(2, 1);
+  HedgeAutomaton both = HedgeIntersection(some_a, some_b);
+  HedgeAutomaton either = HedgeUnion(some_a, some_b);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(150, 2, &rng)) {
+    bool a = ContainsLabel(tree, 0);
+    bool b = ContainsLabel(tree, 1);
+    EXPECT_EQ(HedgeAccepts(both, tree), a && b);
+    EXPECT_EQ(HedgeAccepts(either, tree), a || b);
+  }
+}
+
+TEST(HedgeAutomaton, EmptinessFixpoint) {
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  EXPECT_FALSE(HedgeIsEmpty(some_a));
+  // Make it empty: no accepting states.
+  HedgeAutomaton rejecting = some_a;
+  rejecting.accepting.assign(rejecting.num_states, false);
+  EXPECT_TRUE(HedgeIsEmpty(rejecting));
+  // An automaton whose only accepting state is unassignable is also empty.
+  HedgeAutomaton unassignable = HedgeAutomaton::Create(1, 2);
+  unassignable.accepting[0] = true;  // horizontal languages default to ∅
+  EXPECT_TRUE(HedgeIsEmpty(unassignable));
+}
+
+TEST(HedgeAutomaton, DeterminizePreservesLanguage) {
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  std::optional<HedgeAutomaton> det = HedgeDeterminize(some_a, 64);
+  ASSERT_TRUE(det.has_value());
+  EXPECT_TRUE(HedgeIsDeterministic(*det));
+  Rng rng(7);
+  for (const Tree& tree : testing::SampleTrees(150, 2, &rng)) {
+    EXPECT_EQ(HedgeAccepts(*det, tree), HedgeAccepts(some_a, tree));
+  }
+}
+
+TEST(HedgeAutomaton, ComplementFlipsMembership) {
+  std::optional<HedgeAutomaton> det =
+      HedgeDeterminize(SomeLabelHedgeAutomaton(2, 0), 64);
+  ASSERT_TRUE(det.has_value());
+  HedgeAutomaton complement = HedgeComplement(*det);
+  Rng rng(9);
+  for (const Tree& tree : testing::SampleTrees(150, 2, &rng)) {
+    EXPECT_EQ(HedgeAccepts(complement, tree), !ContainsLabel(tree, 0));
+  }
+}
+
+TEST(HedgeAutomaton, EquivalenceDecidesExactly) {
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  HedgeAutomaton some_b = SomeLabelHedgeAutomaton(2, 1);
+  std::optional<bool> same = HedgeEquivalent(some_a, some_a, 256);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_TRUE(*same);
+  std::optional<bool> different = HedgeEquivalent(some_a, some_b, 256);
+  ASSERT_TRUE(different.has_value());
+  EXPECT_FALSE(*different);
+  // De Morgan sanity: union of the two equals complement of intersection
+  // of the complements.
+  std::optional<HedgeAutomaton> da = HedgeDeterminize(some_a, 256);
+  std::optional<HedgeAutomaton> db = HedgeDeterminize(some_b, 256);
+  ASSERT_TRUE(da.has_value() && db.has_value());
+  HedgeAutomaton lhs = HedgeUnion(some_a, some_b);
+  HedgeAutomaton rhs_inner =
+      HedgeIntersection(HedgeComplement(*da), HedgeComplement(*db));
+  std::optional<HedgeAutomaton> rhs_det = HedgeDeterminize(rhs_inner, 256);
+  ASSERT_TRUE(rhs_det.has_value());
+  HedgeAutomaton rhs = HedgeComplement(*rhs_det);
+  std::optional<bool> equal = HedgeEquivalent(lhs, rhs, 512);
+  ASSERT_TRUE(equal.has_value());
+  EXPECT_TRUE(*equal);
+}
+
+PathDtd SimpleDtd() {
+  PathDtd dtd;
+  dtd.num_symbols = 3;
+  dtd.initial_symbol = 0;
+  dtd.productions.resize(3);
+  dtd.productions[0] = {{1}, /*allows_leaf=*/false};
+  dtd.productions[1] = {{2}, /*allows_leaf=*/true};
+  dtd.productions[2] = {{}, /*allows_leaf=*/true};
+  return dtd;
+}
+
+TEST(HedgeAutomaton, PathDtdBridgeMatchesDirectValidation) {
+  PathDtd dtd = SimpleDtd();
+  HedgeAutomaton automaton = PathDtdToHedgeAutomaton(dtd);
+  ASSERT_TRUE(automaton.IsValid());
+  EXPECT_TRUE(HedgeIsDeterministic(automaton));
+  EXPECT_FALSE(HedgeIsEmpty(automaton));
+  Rng rng(11);
+  int conforming = 0;
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    bool expected = SatisfiesPathDtd(dtd, tree);
+    EXPECT_EQ(HedgeAccepts(automaton, tree), expected);
+    conforming += expected ? 1 : 0;
+  }
+  // Include known-positive documents since random ones rarely conform.
+  Tree good;
+  int root = good.AddRoot(0);
+  int b = good.AddChild(root, 1);
+  good.AddChild(b, 2);
+  EXPECT_TRUE(HedgeAccepts(automaton, good));
+}
+
+TEST(HedgeAutomaton, DifferentDtdsAreInequivalent) {
+  PathDtd dtd = SimpleDtd();
+  PathDtd variant = dtd;
+  variant.productions[0].allows_leaf = true;  // a alone becomes valid
+  std::optional<bool> equal = HedgeEquivalent(
+      PathDtdToHedgeAutomaton(dtd), PathDtdToHedgeAutomaton(variant), 1024);
+  ASSERT_TRUE(equal.has_value());
+  EXPECT_FALSE(*equal);
+  std::optional<bool> same = HedgeEquivalent(
+      PathDtdToHedgeAutomaton(dtd), PathDtdToHedgeAutomaton(dtd), 1024);
+  ASSERT_TRUE(same.has_value());
+  EXPECT_TRUE(*same);
+}
+
+TEST(HedgeAutomaton, UnionOfIncompleteAutomataIsStillSound) {
+  // The 'unassignable' automaton accepts nothing; union with some-a must
+  // equal some-a even though one operand has no run on any tree.
+  HedgeAutomaton nothing = HedgeAutomaton::Create(1, 2);
+  nothing.accepting[0] = true;
+  HedgeAutomaton some_a = SomeLabelHedgeAutomaton(2, 0);
+  HedgeAutomaton merged = HedgeUnion(nothing, some_a);
+  Rng rng(13);
+  for (const Tree& tree : testing::SampleTrees(100, 2, &rng)) {
+    EXPECT_EQ(HedgeAccepts(merged, tree), ContainsLabel(tree, 0));
+  }
+}
+
+}  // namespace
+}  // namespace sst

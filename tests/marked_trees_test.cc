@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/tag_dfa.h"
+#include "eval/stackless_query.h"
+#include "test_util.h"
+#include "treeauto/marked_trees.h"
+#include "treeauto/rpqness.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+// The 'seen an a before (document order)' registerless DRA — realizes a
+// query that is NOT a path query (Proposition 2.13's negative case).
+Dra SeenADra() {
+  TagDfa dfa = TagDfa::Create(2, 2);
+  dfa.initial = 0;
+  dfa.accepting = {false, true};
+  dfa.SetNextOpen(0, 0, 1);
+  dfa.SetNextOpen(0, 1, 0);
+  for (Symbol s = 0; s < 2; ++s) {
+    dfa.SetNextClose(0, s, 0);
+    dfa.SetNextOpen(1, s, 1);
+    dfa.SetNextClose(1, s, 1);
+  }
+  return DraFromTagDfa(dfa);
+}
+
+// Doubles labels into the marked alphabet: marked a-nodes get a + |Γ|.
+Tree MarkTree(const Tree& tree, const std::vector<bool>& marks,
+              int num_symbols) {
+  Tree marked;
+  for (int id = 0; id < tree.size(); ++id) {
+    Symbol label = tree.label(id) + (marks[id] ? num_symbols : 0);
+    if (id == 0) {
+      marked.AddRoot(label);
+    } else {
+      marked.AddChild(tree.node(id).parent, label);
+    }
+  }
+  return marked;
+}
+
+TEST(MarkedTrees, UnmarkedMaterializationMatchesDra) {
+  // The generic hedge materialization agrees with the DRA on acceptance —
+  // an independent validation of Proposition 2.3 via the hedge substrate.
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*a.*b", alphabet);
+  std::optional<Dra> dra =
+      MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+  ASSERT_TRUE(dra.has_value());
+  std::optional<HedgeAutomaton> hedge =
+      MaterializeDraHedgeAutomaton(*dra, /*marked=*/false, 100000);
+  ASSERT_TRUE(hedge.has_value());
+  DraRunner runner(&*dra);
+  Rng rng(3);
+  for (const Tree& tree : testing::SampleTrees(60, 2, &rng)) {
+    ASSERT_EQ(HedgeAccepts(*hedge, tree),
+              RunAcceptor(&runner, Encode(tree)));
+  }
+}
+
+TEST(MarkedTrees, MarkedQueryAutomatonAcceptsExactlyCorrectMarkings) {
+  Dra dra = SeenADra();
+  std::optional<HedgeAutomaton> marked_query =
+      MaterializeDraHedgeAutomaton(dra, /*marked=*/true, 100000);
+  ASSERT_TRUE(marked_query.has_value());
+  DraRunner runner(&dra);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(80, 2, &rng)) {
+    std::vector<bool> marks = RunQueryOnTree(&runner, tree);
+    // The correctly marked tree is accepted...
+    EXPECT_TRUE(HedgeAccepts(*marked_query, MarkTree(tree, marks, 2)));
+    // ...and flipping one mark is rejected.
+    std::vector<bool> wrong = marks;
+    wrong[static_cast<size_t>(rng.NextBelow(wrong.size()))].flip();
+    EXPECT_FALSE(HedgeAccepts(*marked_query, MarkTree(tree, wrong, 2)));
+  }
+}
+
+TEST(MarkedTrees, MarkedPathAutomatonMatchesSelectNodes) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*a", alphabet);
+  HedgeAutomaton marked_path = MarkedPathAutomaton(dfa);
+  Rng rng(7);
+  for (const Tree& tree : testing::SampleTrees(80, 2, &rng)) {
+    std::vector<bool> marks = SelectNodes(dfa, tree);
+    EXPECT_TRUE(HedgeAccepts(marked_path, MarkTree(tree, marks, 2)));
+    std::vector<bool> wrong = marks;
+    wrong[static_cast<size_t>(rng.NextBelow(wrong.size()))].flip();
+    EXPECT_FALSE(HedgeAccepts(marked_path, MarkTree(tree, wrong, 2)));
+  }
+}
+
+TEST(Proposition213Exact, PathQueryConfirmed) {
+  // A registerless DRA realizing the path query Q_{Γ*a} ('label is a').
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*a", alphabet);
+  TagDfa evaluator = TagDfa::Create(dfa.num_states, 2);
+  evaluator.initial = dfa.initial;
+  for (int q = 0; q < dfa.num_states; ++q) {
+    evaluator.accepting[q] = dfa.accepting[q];
+    for (Symbol s = 0; s < 2; ++s) {
+      // The query depends only on the node's own label, so the evaluator
+      // may simply track the last opening tag.
+      evaluator.SetNextOpen(q, s, dfa.Next(dfa.initial, s));
+      evaluator.SetNextClose(q, s, dfa.Next(dfa.initial, s));
+    }
+  }
+  // Fix the close transitions: after a closing tag the next opening tag
+  // determines selection anyway; keep the state neutral.
+  Dra dra = DraFromTagDfa(evaluator);
+  std::optional<bool> is_rpq = IsRpqExact(dra, 4000);
+  ASSERT_TRUE(is_rpq.has_value());
+  EXPECT_TRUE(*is_rpq);
+}
+
+TEST(Proposition213Exact, NonPathQueryRefuted) {
+  std::optional<bool> is_rpq = IsRpqExact(SeenADra(), 4000);
+  ASSERT_TRUE(is_rpq.has_value());
+  EXPECT_FALSE(*is_rpq);
+}
+
+TEST(Proposition213Exact, AgreesWithBoundedCheck) {
+  Dra dra = SeenADra();
+  std::optional<bool> exact = IsRpqExact(dra, 4000);
+  ASSERT_TRUE(exact.has_value());
+  RpqnessResult bounded = CheckRpqness(dra, 5);
+  EXPECT_EQ(*exact, bounded.is_rpq_up_to_bound);
+}
+
+}  // namespace
+}  // namespace sst

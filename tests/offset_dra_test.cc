@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/offset_dra.h"
+#include "dra/paper_examples.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+constexpr Symbol kA = 0, kB = 1;
+
+// Example 2.7's minimal-a-with-b-child machine, written natively with
+// offset comparisons: register 0 (offset 0) pins the a-node's depth for
+// unpinning; register 1 (offset 1) fires kEqual exactly at its children.
+OffsetDra BuildMinimalAWithBChild() {
+  constexpr int kScan = 0, kPinned = 1, kMatched = 2;
+  OffsetDra machine;
+  machine.dra = Dra::Create(3, 3, 2);
+  machine.offset = {0, 1};
+  Dra& dra = machine.dra;
+  dra.initial = kScan;
+  dra.accepting = {false, false, true};
+  for (Symbol s = 0; s < 3; ++s) {
+    dra.SetAction(kScan, false, s, {-1, -1}, s == kA ? 0b11 : 0,
+                  s == kA ? kPinned : kScan);
+    dra.SetAction(kScan, true, s, {-1, -1}, 0, kScan);
+    // Children of the pinned node read kEqual on the offset-1 register.
+    dra.SetAction(kPinned, false, s, {-1, -1}, 0, kPinned);
+    if (s == kB) {
+      dra.SetAction(kPinned, false, s, {-1, Dra::kEqual}, 0, kMatched);
+    }
+    // Unpin when the depth drops below the pinned node.
+    dra.SetAction(kPinned, true, s, {-1, -1}, 0, kPinned);
+    dra.SetAction(kPinned, true, s, {Dra::kGreater, -1}, 0, kScan);
+    dra.SetAction(kMatched, false, s, {-1, -1}, 0, kMatched);
+    dra.SetAction(kMatched, true, s, {-1, -1}, 0, kMatched);
+  }
+  return machine;
+}
+
+TEST(OffsetDra, Example27MachineMatchesHandwrittenInterpreter) {
+  OffsetDra machine = BuildMinimalAWithBChild();
+  OffsetDraRunner runner(&machine);
+  MinimalAWithBChildMachine reference(kA, kB);
+  Rng rng(3);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    EventStream events = Encode(tree);
+    ASSERT_EQ(RunAcceptor(&runner, events),
+              RunAcceptor(&reference, events));
+  }
+}
+
+TEST(OffsetDra, CompilationToPlainDraIsExact) {
+  OffsetDra machine = BuildMinimalAWithBChild();
+  std::optional<Dra> compiled = CompileOffsetDra(machine, 100000);
+  ASSERT_TRUE(compiled.has_value());
+  EXPECT_EQ(compiled->num_registers, 3);  // (0) + (0,1) shadows
+  OffsetDraRunner runner(&machine);
+  DraRunner plain(&*compiled);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    EventStream events = Encode(tree);
+    ASSERT_EQ(RunAcceptor(&plain, events), RunAcceptor(&runner, events));
+  }
+}
+
+TEST(OffsetDra, RandomMachinesCompileToEquivalentPlainDras) {
+  // Property sweep realizing the Section 2.1 claim on arbitrary tables:
+  // offset machine and compiled plain DRA agree on every tree, including
+  // pre-selection at every opening tag.
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    OffsetDra machine;
+    int num_registers = 1 + static_cast<int>(rng.NextBelow(2));
+    machine.dra = Dra::Create(3, 2, num_registers);
+    machine.offset.clear();
+    for (int r = 0; r < num_registers; ++r) {
+      machine.offset.push_back(static_cast<int>(rng.NextBelow(3)));
+    }
+    Dra& dra = machine.dra;
+    dra.initial = 0;
+    for (int q = 0; q < 3; ++q) {
+      dra.accepting[q] = rng.NextBool(0.5);
+    }
+    for (size_t i = 0; i < dra.table.size(); ++i) {
+      dra.table[i].next = static_cast<int>(rng.NextBelow(3));
+      dra.table[i].load_mask = static_cast<uint32_t>(
+          rng.NextBelow(uint64_t{1} << num_registers));
+    }
+    std::optional<Dra> compiled = CompileOffsetDra(machine, 200000);
+    ASSERT_TRUE(compiled.has_value()) << trial;
+    OffsetDraRunner runner(&machine);
+    DraRunner plain(&*compiled);
+    for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&plain, tree), RunQueryOnTree(&runner, tree))
+          << trial;
+      EventStream events = Encode(tree);
+      ASSERT_EQ(RunAcceptor(&plain, events), RunAcceptor(&runner, events))
+          << trial;
+    }
+  }
+}
+
+TEST(OffsetDra, ZeroOffsetsReduceToPlainSemantics) {
+  // With all offsets zero the runner must agree with DraRunner directly.
+  Rng rng(11);
+  OffsetDra machine;
+  machine.dra = Dra::Create(2, 2, 1);
+  machine.offset = {0};
+  machine.dra.accepting = {false, true};
+  for (size_t i = 0; i < machine.dra.table.size(); ++i) {
+    machine.dra.table[i].next = static_cast<int>(rng.NextBelow(2));
+    machine.dra.table[i].load_mask =
+        static_cast<uint32_t>(rng.NextBelow(2));
+  }
+  OffsetDraRunner offset_runner(&machine);
+  DraRunner plain(&machine.dra);
+  for (const Tree& tree : testing::SampleTrees(100, 2, &rng)) {
+    EventStream events = Encode(tree);
+    ASSERT_EQ(RunAcceptor(&offset_runner, events),
+              RunAcceptor(&plain, events));
+  }
+}
+
+}  // namespace
+}  // namespace sst

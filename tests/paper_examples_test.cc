@@ -1,0 +1,237 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/check.h"
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/paper_examples.h"
+#include "dra/tag_dfa.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+constexpr Symbol kA = 0, kB = 1, kC = 2;
+
+TEST(Example22, SameDepthBuilderMatchesBruteForce) {
+  Dra dra = BuildSameDepthDra(2, kA);
+  DraRunner runner(&dra);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(300, 2, &rng)) {
+    std::set<int> depths;
+    for (int id = 0; id < tree.size(); ++id) {
+      if (tree.label(id) == kA) depths.insert(tree.Depth(id));
+    }
+    EXPECT_EQ(RunAcceptor(&runner, Encode(tree)), depths.size() <= 1);
+  }
+}
+
+TEST(Example25, RootChildrenLanguageForVariousL) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  // The paper's non-registerless instance L = Γ*aΓ*: some child labelled a.
+  for (const char* pattern : {".*a.*", "(ab)*", "a.*b", "b*"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    RootChildrenMachine machine(dfa);
+    Rng rng(7);
+    int accepted = 0;
+    for (const Tree& tree : testing::SampleTrees(200, 3, &rng)) {
+      Word children;
+      for (int c = tree.node(tree.root()).first_child; c >= 0;
+           c = tree.node(c).next_sibling) {
+        children.push_back(tree.label(c));
+      }
+      bool expected = dfa.Accepts(children);
+      ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), expected) << pattern;
+      accepted += expected ? 1 : 0;
+    }
+    EXPECT_GT(accepted, 0) << pattern;
+  }
+}
+
+TEST(Example26, SomeADescendantB) {
+  SomeADescendantBMachine machine(kA, kB);
+  Rng rng(9);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    // Oracle: exists an a-node with a proper b-descendant.
+    std::vector<int> has_b_below(tree.size(), false);
+    bool expected = false;
+    for (int id = tree.size() - 1; id >= 0; --id) {
+      bool below = false;
+      for (int c = tree.node(id).first_child; c >= 0;
+           c = tree.node(c).next_sibling) {
+        below = below || has_b_below[c] || tree.label(c) == kB;
+      }
+      has_b_below[id] = below;
+      expected = expected || (tree.label(id) == kA && below);
+    }
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), expected);
+  }
+}
+
+TEST(Example27, MinimalAWithBChild) {
+  MinimalAWithBChildMachine machine(kA, kB);
+  Rng rng(10);
+  for (const Tree& tree : testing::SampleTrees(300, 3, &rng)) {
+    // Oracle: a minimal a-node (no a-labelled proper ancestor) with a
+    // b-labelled child.
+    bool expected = false;
+    for (int id = 0; id < tree.size(); ++id) {
+      if (tree.label(id) != kA) continue;
+      bool minimal = true;
+      for (int up = tree.node(id).parent; up >= 0;
+           up = tree.node(up).parent) {
+        minimal = minimal && tree.label(up) != kA;
+      }
+      if (!minimal) continue;
+      for (int c = tree.node(id).first_child; c >= 0;
+           c = tree.node(c).next_sibling) {
+        expected = expected || tree.label(c) == kB;
+      }
+    }
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), expected);
+  }
+}
+
+TEST(Example27, WithoutMinimalityTheMachineFails) {
+  // The same machine is NOT a recognizer for 'some (arbitrary) a has a
+  // b-child' — the paper's Example 2.7 says no DRA is; exhibit a concrete
+  // disagreement: a( a( b ) ... ) where only the nested a has the b-child.
+  MinimalAWithBChildMachine machine(kA, kB);
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  std::optional<EventStream> events = ParseCompactMarkup(alphabet, "aabBAA");
+  ASSERT_TRUE(events.has_value());
+  // Ground truth: the inner a has a b-child -> true; the machine pins the
+  // outer (minimal) a, whose children are {a}, and reports false.
+  EXPECT_FALSE(RunAcceptor(&machine, *events));
+}
+
+// Example 2.10: two consecutive siblings with labels a, b are detectable
+// by a finite automaton (the closing tag ā immediately followed by the
+// opening tag b); three consecutive siblings a, b, c are not even
+// stackless, and the natural finite-state candidate is wrong.
+class TwoSiblingMachine final : public StreamMachine {
+ public:
+  void Reset() override {
+    last_was_close_a_ = false;
+    matched_ = false;
+  }
+  void OnOpen(Symbol symbol) override {
+    if (last_was_close_a_ && symbol == kB) matched_ = true;
+    last_was_close_a_ = false;
+  }
+  void OnClose(Symbol symbol) override { last_was_close_a_ = symbol == kA; }
+  bool InAcceptingState() const override { return matched_; }
+
+ private:
+  bool last_was_close_a_ = false;
+  bool matched_ = false;
+};
+
+// The natural — and provably insufficient — candidate for three siblings:
+// find ā b, then wait for b̄ c, ignoring whether the b̄ closes *that* b.
+class NaiveThreeSiblingMachine final : public StreamMachine {
+ public:
+  void Reset() override {
+    phase_ = 0;
+    last_close_ = -1;
+    matched_ = false;
+  }
+  void OnOpen(Symbol symbol) override {
+    if (last_close_ == kA && symbol == kB) phase_ = 1;
+    if (phase_ == 1 && last_close_ == kB && symbol == kC) matched_ = true;
+    last_close_ = -1;
+  }
+  void OnClose(Symbol symbol) override { last_close_ = symbol; }
+  bool InAcceptingState() const override { return matched_; }
+
+ private:
+  int phase_ = 0;
+  Symbol last_close_ = -1;
+  bool matched_ = false;
+};
+
+bool HasConsecutiveSiblings(const Tree& tree, std::initializer_list<Symbol>
+                                                  labels) {
+  std::vector<Symbol> want(labels);
+  for (int id = 0; id < tree.size(); ++id) {
+    std::vector<Symbol> children;
+    for (int c = tree.node(id).first_child; c >= 0;
+         c = tree.node(c).next_sibling) {
+      children.push_back(tree.label(c));
+    }
+    for (size_t i = 0; i + want.size() <= children.size(); ++i) {
+      bool all = true;
+      for (size_t j = 0; j < want.size(); ++j) {
+        all = all && children[i + j] == want[j];
+      }
+      if (all) return true;
+    }
+  }
+  return false;
+}
+
+TEST(Example210, TwoConsecutiveSiblingsAreRegisterless) {
+  TwoSiblingMachine machine;
+  Rng rng(11);
+  for (const Tree& tree : testing::SampleTrees(400, 3, &rng)) {
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)),
+              HasConsecutiveSiblings(tree, {kA, kB}));
+  }
+}
+
+TEST(Example210, NaiveThreeSiblingCandidateFails) {
+  // The paper proves no DRA recognizes three consecutive siblings; here is
+  // the concrete failure of the natural finite-state attempt: a( b( x ) )
+  // followed by sibling c — the b̄ that precedes c closes a *nested* b.
+  NaiveThreeSiblingMachine machine;
+  Rng rng(13);
+  bool found_error = false;
+  Tree witness;
+  for (const Tree& tree : testing::SampleTrees(2000, 3, &rng)) {
+    if (RunAcceptor(&machine, Encode(tree)) !=
+        HasConsecutiveSiblings(tree, {kA, kB, kC})) {
+      found_error = true;
+      witness = tree;
+      break;
+    }
+  }
+  ASSERT_TRUE(found_error);
+  // The disagreement reproduces on the witness.
+  EXPECT_NE(RunAcceptor(&machine, Encode(witness)),
+            HasConsecutiveSiblings(witness, {kA, kB, kC}));
+}
+
+TEST(Example22, ProductWithRegisterlessStillWorks) {
+  // Lemma 2.4 on the library builders: same-depth(a) AND root-children
+  // language handled via separate machines composed at the harness level.
+  Dra same_depth = BuildSameDepthDra(3, kA);
+  DraRunner same_depth_runner(&same_depth);
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa children = CompileRegex("b*", alphabet);
+  RootChildrenMachine children_machine(children);
+  Rng rng(17);
+  for (const Tree& tree : testing::SampleTrees(150, 3, &rng)) {
+    EventStream events = Encode(tree);
+    bool both = RunAcceptor(&same_depth_runner, events) &&
+                RunAcceptor(&children_machine, events);
+    // Oracle for the conjunction.
+    std::set<int> depths;
+    for (int id = 0; id < tree.size(); ++id) {
+      if (tree.label(id) == kA) depths.insert(tree.Depth(id));
+    }
+    Word child_labels;
+    for (int c = tree.node(tree.root()).first_child; c >= 0;
+         c = tree.node(c).next_sibling) {
+      child_labels.push_back(tree.label(c));
+    }
+    EXPECT_EQ(both, depths.size() <= 1 && children.Accepts(child_labels));
+  }
+}
+
+}  // namespace
+}  // namespace sst

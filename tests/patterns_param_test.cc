@@ -1,0 +1,76 @@
+// Parameterized sweep of Proposition 2.8: for every random pattern shape
+// the streaming matcher must agree with the in-memory DP matcher on every
+// document, under both encodings (the matcher never reads closing labels,
+// so it is a term-encoding machine for free).
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "patterns/descendant_pattern.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+class PatternLaws : public ::testing::TestWithParam<int> {
+ protected:
+  Tree MakePattern() {
+    Rng rng(GetParam() * 4241 + 3);
+    int size = 1 + static_cast<int>(rng.NextBelow(6));
+    return RandomTree(size, 3, rng.NextDouble(), &rng);
+  }
+};
+
+TEST_P(PatternLaws, StreamingMatcherAgreesWithDp) {
+  Tree pattern = MakePattern();
+  DescendantPatternMatcher matcher(pattern);
+  Rng rng(GetParam() * 11 + 7);
+  int matches = 0;
+  for (const Tree& tree : testing::SampleTrees(40, 3, &rng)) {
+    bool expected = ContainsPattern(tree, pattern);
+    ASSERT_EQ(RunAcceptor(&matcher, Encode(tree)), expected);
+    matches += expected ? 1 : 0;
+  }
+  (void)matches;
+}
+
+TEST_P(PatternLaws, MatcherIgnoresClosingLabels) {
+  // Run on term-encoded streams (closing symbol -1): identical verdicts.
+  Tree pattern = MakePattern();
+  DescendantPatternMatcher matcher(pattern);
+  Rng rng(GetParam() * 13 + 5);
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    EventStream markup = Encode(tree);
+    EventStream term = markup;
+    for (TagEvent& event : term) {
+      if (!event.open) event.symbol = -1;
+    }
+    ASSERT_EQ(RunAcceptor(&matcher, term), RunAcceptor(&matcher, markup));
+  }
+}
+
+TEST_P(PatternLaws, MatchingIsMonotoneUnderGrafting) {
+  // Adding subtrees can only create matches, never destroy them.
+  Tree pattern = MakePattern();
+  Rng rng(GetParam() * 17 + 1);
+  for (int trial = 0; trial < 15; ++trial) {
+    Tree tree = RandomTree(15, 3, rng.NextDouble(), &rng);
+    bool before = ContainsPattern(tree, pattern);
+    Tree grown = tree;
+    for (int extra = 0; extra < 10; ++extra) {
+      grown.AddChild(static_cast<int>(rng.NextBelow(grown.size())),
+                     static_cast<Symbol>(rng.NextBelow(3)));
+    }
+    if (before) {
+      EXPECT_TRUE(ContainsPattern(grown, pattern));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternLaws, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "eval/post_selection.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+TEST(PostSelection, PathQueriesPickTheSameNodesAsPreSelection) {
+  // For an RPQ, post-selection reports the same node set as pre-selection,
+  // just at closing tags (Section 2.3's discussion of the two flavours).
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(3);
+  for (const char* pattern : {"a.*b", ".*ab", "ab"}) {
+    Dfa dfa = CompileRegex(pattern, alphabet);
+    PostSelectStackEvaluator machine(&dfa);
+    for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+      ASSERT_EQ(RunPostQueryOnTree(&machine, tree), SelectNodes(dfa, tree))
+          << pattern;
+    }
+  }
+}
+
+TEST(PostSelection, StreamOrderIsPostorder) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*", alphabet);  // select everything
+  PostSelectStackEvaluator machine(&dfa);
+  // a( a, b ) closes in order: node1, node2, node0.
+  Tree tree;
+  int root = tree.AddRoot(0);
+  tree.AddChild(root, 0);
+  tree.AddChild(root, 1);
+  std::vector<bool> stream = RunPostQuery(&machine, Encode(tree));
+  EXPECT_EQ(stream.size(), 3u);
+  EXPECT_TRUE(stream[0] && stream[1] && stream[2]);
+}
+
+TEST(PostSelection, SubtreeSizeNeedsPostSelection) {
+  // 'at least k proper descendants' cannot be pre-selected (the subtree is
+  // unread at the opening tag) but is a one-counter-per-level pushdown
+  // post-selection.
+  SubtreeSizeEvaluator machine(/*min_descendants=*/2);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(120, 2, &rng)) {
+    std::vector<bool> selected = RunPostQueryOnTree(&machine, tree);
+    // Oracle: subtree sizes.
+    std::vector<int> size(tree.size(), 1);
+    for (int id = tree.size() - 1; id >= 1; --id) {
+      size[tree.node(id).parent] += size[id];
+    }
+    for (int id = 0; id < tree.size(); ++id) {
+      ASSERT_EQ(selected[id], size[id] - 1 >= 2) << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,275 @@
+// Parameterized property sweeps: each parameter value is an independent
+// random universe (generator family x seed); every lemma-level identity of
+// the paper is re-verified in each universe. Failures print the exact
+// (family, seed) pair for reproduction.
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "automata/dfa.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "base/rng.h"
+#include "classes/syntactic_classes.h"
+#include "dra/machine.h"
+#include "eval/el_synopsis.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "eval/stackless_query.h"
+#include "fooling/fooling.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+enum class Family { kUniform, kPermutation, kRTrivial, kFinite };
+
+const char* FamilyName(Family family) {
+  switch (family) {
+    case Family::kUniform:
+      return "uniform";
+    case Family::kPermutation:
+      return "permutation";
+    case Family::kRTrivial:
+      return "rtrivial";
+    case Family::kFinite:
+      return "finite";
+  }
+  return "?";
+}
+
+Dfa MakeLanguage(Family family, uint64_t seed) {
+  Rng rng(seed * 2654435761u + 17);
+  switch (family) {
+    case Family::kUniform:
+      return Minimize(RandomDfa(7, 2, 0.4, &rng));
+    case Family::kPermutation:
+      return Minimize(RandomPermutationDfa(5, 2, 0.5, &rng));
+    case Family::kRTrivial:
+      return Minimize(RandomRTrivialDfa(7, 2, 0.4, &rng));
+    case Family::kFinite:
+      return Minimize(RandomFiniteLanguageDfa(4, 2, 0.5, &rng));
+  }
+  return Dfa::Create(1, 2);
+}
+
+using Universe = std::tuple<Family, int>;
+
+std::string UniverseName(const ::testing::TestParamInfo<Universe>& info) {
+  return std::string(FamilyName(std::get<0>(info.param))) + "_" +
+         std::to_string(std::get<1>(info.param));
+}
+
+class ClassLaws : public ::testing::TestWithParam<Universe> {
+ protected:
+  Dfa Language() {
+    auto [family, seed] = GetParam();
+    return MakeLanguage(family, seed);
+  }
+};
+
+TEST_P(ClassLaws, Lemma310FlatnessDuality) {
+  Dfa dfa = Language();
+  Dfa complement = Complement(dfa);
+  EXPECT_EQ(IsAFlat(dfa), IsEFlat(complement));
+  EXPECT_EQ(IsEFlat(dfa), IsAFlat(complement));
+  EXPECT_EQ(IsBlindAFlat(dfa), IsBlindEFlat(complement));
+  EXPECT_EQ(IsBlindEFlat(dfa), IsBlindAFlat(complement));
+}
+
+TEST_P(ClassLaws, Lemma310AlmostReversibleConjunction) {
+  Dfa dfa = Language();
+  EXPECT_EQ(IsAlmostReversible(dfa), IsEFlat(dfa) && IsAFlat(dfa));
+  EXPECT_EQ(IsBlindAlmostReversible(dfa),
+            IsBlindEFlat(dfa) && IsBlindAFlat(dfa));
+}
+
+TEST_P(ClassLaws, Lemma37HarComplementClosure) {
+  Dfa dfa = Language();
+  Dfa complement = Complement(dfa);
+  EXPECT_EQ(IsHar(dfa), IsHar(complement));
+  EXPECT_EQ(IsBlindHar(dfa), IsBlindHar(complement));
+}
+
+TEST_P(ClassLaws, ClassHierarchy) {
+  Dfa dfa = Language();
+  Classification c = Classify(dfa);
+  if (c.almost_reversible) {
+    EXPECT_TRUE(c.har);
+  }
+  if (c.r_trivial) {
+    EXPECT_TRUE(c.har);
+  }
+  if (c.reversible) {
+    EXPECT_TRUE(c.almost_reversible);
+  }
+  // Blind classes refine the plain ones.
+  if (c.blind_almost_reversible) {
+    EXPECT_TRUE(c.almost_reversible);
+  }
+  if (c.blind_har) {
+    EXPECT_TRUE(c.har);
+  }
+  if (c.blind_e_flat) {
+    EXPECT_TRUE(c.e_flat);
+  }
+  if (c.blind_a_flat) {
+    EXPECT_TRUE(c.a_flat);
+  }
+}
+
+class ConstructionLaws : public ::testing::TestWithParam<Universe> {
+ protected:
+  void SetUp() override {
+    auto [family, seed] = GetParam();
+    dfa_ = MakeLanguage(family, seed);
+    rng_seed_ = static_cast<uint64_t>(seed) * 31 + 7;
+  }
+
+  Dfa dfa_{};
+  uint64_t rng_seed_ = 0;
+};
+
+TEST_P(ConstructionLaws, StackBaselineAlwaysExact) {
+  Rng rng(rng_seed_);
+  StackQueryEvaluator machine(&dfa_);
+  for (const Tree& tree : testing::SampleTrees(15, 2, &rng)) {
+    ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa_, tree));
+  }
+}
+
+TEST_P(ConstructionLaws, Lemma35ExactIffPreconditionHolds) {
+  Rng rng(rng_seed_ + 1);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa_, /*blind=*/false);
+  TagDfaMachine machine(&evaluator);
+  if (IsAlmostReversible(dfa_)) {
+    for (const Tree& tree : testing::SampleTrees(20, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa_, tree));
+    }
+  }
+}
+
+TEST_P(ConstructionLaws, Lemma38ExactWhenHar) {
+  Rng rng(rng_seed_ + 2);
+  if (!IsHar(dfa_)) return;
+  StacklessQueryEvaluator machine(dfa_, /*blind=*/false);
+  for (const Tree& tree : testing::SampleTrees(20, 2, &rng)) {
+    ASSERT_EQ(RunQueryOnTree(&machine, tree), SelectNodes(dfa_, tree));
+  }
+}
+
+TEST_P(ConstructionLaws, Lemma311ExactWhenEFlat) {
+  Rng rng(rng_seed_ + 3);
+  if (!IsEFlat(dfa_)) return;
+  ElSynopsisRecognizer machine(dfa_, /*blind=*/false);
+  for (const Tree& tree : testing::SampleTrees(20, 2, &rng)) {
+    ASSERT_EQ(RunAcceptor(&machine, Encode(tree)), TreeInExists(dfa_, tree));
+    EXPECT_FALSE(machine.hit_unexpected_case());
+  }
+}
+
+TEST_P(ConstructionLaws, BlindVariantsExactOnTermStreams) {
+  Rng rng(rng_seed_ + 4);
+  if (IsBlindAlmostReversible(dfa_)) {
+    TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa_, /*blind=*/true);
+    TagDfaMachine machine(&evaluator);
+    for (const Tree& tree : testing::SampleTrees(15, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree, /*term_encoded=*/true),
+                SelectNodes(dfa_, tree));
+    }
+  }
+  if (IsBlindHar(dfa_)) {
+    StacklessQueryEvaluator machine(dfa_, /*blind=*/true);
+    for (const Tree& tree : testing::SampleTrees(15, 2, &rng)) {
+      ASSERT_EQ(RunQueryOnTree(&machine, tree, /*term_encoded=*/true),
+                SelectNodes(dfa_, tree));
+    }
+  }
+}
+
+TEST_P(ConstructionLaws, FoolingWitnessEquationsWhenClassFails) {
+  if (std::optional<NonEFlatWitness> witness = ExtractNonEFlatWitness(dfa_);
+      witness.has_value()) {
+    // The Lemma 3.12 certificate's ground truths must differ at every
+    // exponent.
+    for (int exponent : {1, 2, 3}) {
+      FoolingPair pair = BuildLemma312Trees(*witness, exponent, dfa_);
+      EXPECT_TRUE(TreeInExists(dfa_, pair.in_el));
+      EXPECT_FALSE(TreeInExists(dfa_, pair.out_el));
+    }
+  }
+  if (std::optional<NonHarWitness> witness = ExtractNonHarWitness(dfa_);
+      witness.has_value()) {
+    for (int exponent : {1, 2}) {
+      FoolingPair pair = BuildLemma316Trees(*witness, exponent, dfa_);
+      EXPECT_TRUE(TreeInExists(dfa_, pair.in_el));
+      EXPECT_FALSE(TreeInExists(dfa_, pair.out_el));
+    }
+  }
+}
+
+class EncodingLaws : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncodingLaws, EncodeDecodeRoundTrip) {
+  Rng rng(GetParam() * 977 + 5);
+  int nodes = 1 + static_cast<int>(rng.NextBelow(80));
+  Tree tree = RandomTree(nodes, 4, rng.NextDouble(), &rng);
+  EventStream events = Encode(tree);
+  std::optional<Tree> decoded = Decode(events);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(Encode(*decoded), events);
+  // Document order of the decoded tree is the identity (nodes are created
+  // in stream order).
+  std::vector<int> order = decoded->DocumentOrderIds();
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i));
+  }
+}
+
+TEST_P(EncodingLaws, SerializationsAgree) {
+  Rng rng(GetParam() * 1013 + 3);
+  Alphabet alphabet = Alphabet::FromLetters("abcd");
+  int nodes = 1 + static_cast<int>(rng.NextBelow(50));
+  Tree tree = RandomTree(nodes, 4, rng.NextDouble(), &rng);
+  EventStream events = Encode(tree);
+  std::optional<EventStream> markup =
+      ParseCompactMarkup(alphabet, ToCompactMarkup(alphabet, events));
+  ASSERT_TRUE(markup.has_value());
+  EXPECT_EQ(*markup, events);
+  std::optional<EventStream> term =
+      ParseCompactTerm(alphabet, ToCompactTerm(alphabet, events));
+  ASSERT_TRUE(term.has_value());
+  std::optional<Tree> from_term = Decode(*term);
+  ASSERT_TRUE(from_term.has_value());
+  EXPECT_EQ(Encode(*from_term), events);
+  Alphabet xml_alphabet = alphabet;
+  std::optional<EventStream> xml =
+      ParseXmlLite(&xml_alphabet, ToXmlLite(alphabet, events));
+  ASSERT_TRUE(xml.has_value());
+  EXPECT_EQ(*xml, events);
+}
+
+std::vector<Universe> AllUniverses() {
+  std::vector<Universe> result;
+  for (Family family : {Family::kUniform, Family::kPermutation,
+                        Family::kRTrivial, Family::kFinite}) {
+    for (int seed = 0; seed < 12; ++seed) {
+      result.emplace_back(family, seed);
+    }
+  }
+  return result;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ClassLaws,
+                         ::testing::ValuesIn(AllUniverses()), UniverseName);
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ConstructionLaws,
+                         ::testing::ValuesIn(AllUniverses()), UniverseName);
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingLaws, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,203 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/dfa.h"
+#include "automata/minimize.h"
+#include "automata/random_dfa.h"
+#include "automata/relations.h"
+#include "base/rng.h"
+
+namespace sst {
+namespace {
+
+TEST(InternalStates, InitialStateWithoutIncomingEdgesIsNotInternal) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("ab*", alphabet);
+  std::vector<bool> internal = InternalStates(dfa);
+  EXPECT_FALSE(internal[dfa.initial]);
+  int after_a = dfa.Next(dfa.initial, 0);
+  EXPECT_TRUE(internal[after_a]);
+}
+
+TEST(InternalStates, InitialStateOnACycleIsInternal) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(ab)*", alphabet);
+  std::vector<bool> internal = InternalStates(dfa);
+  EXPECT_TRUE(internal[dfa.initial]);  // "ab" loops back to the initial state
+}
+
+TEST(AcceptiveRejective, MatchDefinitions) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  // "a*": the accepting start loops on a; reading b falls into a sink.
+  Dfa dfa = CompileRegex("a*", alphabet);
+  std::vector<bool> acceptive = AcceptiveStates(dfa);
+  std::vector<bool> rejective = RejectiveStates(dfa);
+  int start = dfa.initial;
+  int sink = dfa.Next(start, 1);
+  EXPECT_TRUE(acceptive[start]);
+  EXPECT_TRUE(rejective[start]);  // can reach the sink via b
+  EXPECT_FALSE(acceptive[sink]);
+  EXPECT_TRUE(rejective[sink]);
+}
+
+TEST(AlmostEquivalence, AtMostTwoStatesPairwiseAlmostEquivalent) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    Dfa minimal = Minimize(RandomDfa(14, 2, 0.4, &rng));
+    for (int p = 0; p < minimal.num_states; ++p) {
+      int count = 0;
+      for (int q = 0; q < minimal.num_states; ++q) {
+        if (AlmostEquivalentStates(minimal, p, q)) ++count;
+      }
+      EXPECT_LE(count, 2);  // p itself plus at most one partner
+    }
+  }
+}
+
+TEST(AlmostEquivalence, AgreesWithSemanticDefinition) {
+  // p and q are almost equivalent iff they agree on all nonempty words.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    Dfa minimal = Minimize(RandomDfa(10, 2, 0.4, &rng));
+    for (int p = 0; p < minimal.num_states; ++p) {
+      for (int q = 0; q < minimal.num_states; ++q) {
+        Word w;
+        bool semantically =
+            !FindAlmostDistinguishingWord(minimal, p, q, &w);
+        EXPECT_EQ(AlmostEquivalentStates(minimal, p, q), semantically);
+        if (!semantically) {
+          ASSERT_FALSE(w.empty());
+          EXPECT_NE(minimal.accepting[minimal.Run(p, w)],
+                    minimal.accepting[minimal.Run(q, w)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(PairReachability, MeetsMatchesBruteForce) {
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(8, 2, 0.5, &rng));
+    PairReachability reach(dfa, /*blind=*/false);
+    // Brute force over all words up to a safe bound (n^2 pairs).
+    int n = dfa.num_states;
+    std::vector<std::vector<bool>> meets(n, std::vector<bool>(n, false));
+    std::vector<std::pair<int, int>> frontier;
+    std::vector<std::vector<bool>> seen(n, std::vector<bool>(n, false));
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        frontier.emplace_back(p, q);
+        seen[p][q] = true;
+      }
+    }
+    // Fixpoint: (p,q) meets if p==q or some successor pair meets.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int p = 0; p < n; ++p) {
+        for (int q = 0; q < n; ++q) {
+          if (meets[p][q]) continue;
+          bool now = p == q;
+          for (Symbol a = 0; a < dfa.num_symbols && !now; ++a) {
+            now = meets[dfa.Next(p, a)][dfa.Next(q, a)];
+          }
+          if (now) {
+            meets[p][q] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    for (int p = 0; p < n; ++p) {
+      for (int q = 0; q < n; ++q) {
+        EXPECT_EQ(reach.Meets(p, q), meets[p][q]) << p << "," << q;
+      }
+    }
+  }
+}
+
+TEST(PairReachability, MeetInWordWitnessIsValid) {
+  Rng rng(29);
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(8, 2, 0.5, &rng));
+    PairReachability reach(dfa, /*blind=*/false);
+    for (int p = 0; p < dfa.num_states; ++p) {
+      for (int q = 0; q < dfa.num_states; ++q) {
+        for (int t = 0; t < dfa.num_states; ++t) {
+          Word u;
+          if (reach.MeetsIn(p, q, t)) {
+            ASSERT_TRUE(reach.FindMeetInWord(p, q, t, &u));
+            EXPECT_EQ(dfa.Run(p, u), t);
+            EXPECT_EQ(dfa.Run(q, u), t);
+          } else {
+            EXPECT_FALSE(reach.FindMeetInWord(p, q, t, &u));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PairReachability, BlindMeetIsWeakerThanMeet) {
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(8, 2, 0.5, &rng));
+    PairReachability sync(dfa, /*blind=*/false);
+    PairReachability blind(dfa, /*blind=*/true);
+    for (int p = 0; p < dfa.num_states; ++p) {
+      for (int q = 0; q < dfa.num_states; ++q) {
+        if (sync.Meets(p, q)) {
+          EXPECT_TRUE(blind.Meets(p, q));  // same word on both sides
+        }
+      }
+    }
+  }
+}
+
+TEST(PairReachability, BlindWitnessesHaveEqualLength) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    Dfa dfa = Minimize(RandomDfa(7, 2, 0.5, &rng));
+    PairReachability blind(dfa, /*blind=*/true);
+    for (int p = 0; p < dfa.num_states; ++p) {
+      for (int q = 0; q < dfa.num_states; ++q) {
+        for (int t = 0; t < dfa.num_states; ++t) {
+          Word u1, u2;
+          if (blind.MeetsIn(p, q, t)) {
+            ASSERT_TRUE(blind.FindBlindMeetInWords(p, q, t, &u1, &u2));
+            EXPECT_EQ(u1.size(), u2.size());
+            EXPECT_EQ(dfa.Run(p, u1), t);
+            EXPECT_EQ(dfa.Run(q, u2), t);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Loops, LoopingWordReturnsToState) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(a|b)*a", alphabet);
+  for (int q = 0; q < dfa.num_states; ++q) {
+    Word w;
+    ASSERT_TRUE(FindLoopingWord(dfa, q, &w));
+    EXPECT_FALSE(w.empty());
+    EXPECT_EQ(dfa.Run(q, w), q);
+  }
+}
+
+TEST(WordToAcceptance, FindsWitnesses) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("ab", alphabet);
+  Word w;
+  ASSERT_TRUE(FindWordToAcceptance(dfa, dfa.initial, true, &w));
+  EXPECT_TRUE(dfa.accepting[dfa.Run(dfa.initial, w)]);
+  ASSERT_TRUE(FindWordToAcceptance(dfa, dfa.initial, false, &w));
+  EXPECT_FALSE(dfa.accepting[dfa.Run(dfa.initial, w)]);
+}
+
+}  // namespace
+}  // namespace sst

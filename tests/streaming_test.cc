@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "dra/streaming.h"
+#include "dra/tag_dfa.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+// Splits `text` into chunks of the given size and feeds them one by one,
+// exercising every possible tag split across chunk boundaries.
+bool FeedChunked(StreamingSelector* selector, const std::string& text,
+                 size_t chunk_size) {
+  for (size_t i = 0; i < text.size(); i += chunk_size) {
+    if (!selector->Feed(std::string_view(text).substr(i, chunk_size))) {
+      return false;
+    }
+  }
+  return selector->Finish();
+}
+
+TEST(StreamingSelector, CompactMarkupMatchesBatchEvaluation) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  Rng rng(3);
+  for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+    std::string text = ToCompactMarkup(alphabet, Encode(tree));
+    std::vector<bool> expected = SelectNodes(dfa, tree);
+    int64_t expected_matches = 0;
+    for (bool b : expected) expected_matches += b ? 1 : 0;
+    for (size_t chunk_size : {size_t{1}, size_t{3}, text.size()}) {
+      TagDfaMachine machine(&evaluator);
+      StreamingSelector selector(
+          &machine, StreamingSelector::Format::kCompactMarkup, &alphabet);
+      ASSERT_TRUE(FeedChunked(&selector, text, chunk_size))
+          << selector.error();
+      EXPECT_EQ(selector.matches(), expected_matches);
+      EXPECT_EQ(selector.nodes(), tree.size());
+      EXPECT_TRUE(selector.document_complete());
+    }
+  }
+}
+
+TEST(StreamingSelector, XmlLiteHandlesTagsSplitAcrossChunks) {
+  Alphabet alphabet;
+  alphabet.Intern("doc");
+  alphabet.Intern("item");
+  Dfa dfa = CompileRegex(".*", alphabet);  // select every node
+  Dfa every = dfa;
+  StackQueryEvaluator machine(&every);
+  StreamingSelector selector(&machine, StreamingSelector::Format::kXmlLite,
+                             &alphabet);
+  std::string text = "<doc><item></item><item></item></doc>";
+  for (size_t chunk_size = 1; chunk_size <= text.size(); ++chunk_size) {
+    selector.Reset();
+    ASSERT_TRUE(FeedChunked(&selector, text, chunk_size))
+        << chunk_size << ": " << selector.error();
+    EXPECT_EQ(selector.nodes(), 3);
+    EXPECT_EQ(selector.matches(), 3);
+  }
+}
+
+TEST(StreamingSelector, TermEncodingDrivesBlindMachines) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/true);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(40, 3, &rng)) {
+    std::string text = ToCompactTerm(alphabet, Encode(tree));
+    std::vector<bool> expected = SelectNodes(dfa, tree);
+    int64_t expected_matches = 0;
+    for (bool b : expected) expected_matches += b ? 1 : 0;
+    TagDfaMachine machine(&evaluator);
+    StreamingSelector selector(
+        &machine, StreamingSelector::Format::kCompactTerm, &alphabet);
+    ASSERT_TRUE(FeedChunked(&selector, text, 2)) << selector.error();
+    EXPECT_EQ(selector.matches(), expected_matches);
+  }
+}
+
+TEST(StreamingSelector, MatchCallbackReportsDocumentOrderIndices) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);  // select nodes on all-a paths
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  std::vector<int64_t> reported;
+  selector.set_match_callback(
+      [&](int64_t index, Symbol) { reported.push_back(index); });
+  ASSERT_TRUE(selector.Feed("aabBAbBA"));  // a( a(b), b )
+  ASSERT_TRUE(selector.Finish());
+  EXPECT_EQ(reported, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(StreamingSelector, MalformedInputsAreRejected) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+
+  auto reject = [&](StreamingSelector::Format format, const char* text) {
+    StackQueryEvaluator machine(&dfa);
+    StreamingSelector selector(&machine, format, &alphabet);
+    bool fed = selector.Feed(text);
+    bool finished = fed && selector.Finish();
+    EXPECT_FALSE(finished) << text;
+    EXPECT_FALSE(selector.error().empty()) << text;
+  };
+
+  using Format = StreamingSelector::Format;
+  reject(Format::kCompactMarkup, "aB");     // mismatched close
+  reject(Format::kCompactMarkup, "a");      // unclosed
+  reject(Format::kCompactMarkup, "A");      // close without open
+  reject(Format::kCompactMarkup, "aAbB");   // two roots
+  reject(Format::kCompactMarkup, "x");      // unknown label
+  reject(Format::kCompactMarkup, "a?A");    // garbage byte
+  reject(Format::kXmlLite, "<a><b></a></b>");  // improper nesting
+  reject(Format::kXmlLite, "<a>");             // truncated document
+  reject(Format::kXmlLite, "<a></a><!");       // trailing garbage
+  reject(Format::kXmlLite, "<zzz></zzz>");     // outside alphabet
+  reject(Format::kCompactTerm, "a{");          // unclosed
+  reject(Format::kCompactTerm, "}");           // close without open
+  reject(Format::kCompactTerm, "a}");          // label without '{'
+}
+
+TEST(StreamingSelector, WhitespaceIsIgnoredBetweenTags) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("a \n b"));
+  ASSERT_TRUE(selector.Feed("B\tA"));
+  EXPECT_TRUE(selector.Finish());
+  EXPECT_EQ(selector.nodes(), 2);
+}
+
+}  // namespace
+}  // namespace sst

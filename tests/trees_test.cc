@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/ground_truth.h"
+#include "trees/tree.h"
+
+namespace sst {
+namespace {
+
+TEST(Tree, BuildAndNavigate) {
+  // The paper's first example: aaācc̄ā encodes a root a with children a, c.
+  Tree tree;
+  int root = tree.AddRoot(0);
+  int child_a = tree.AddChild(root, 0);
+  int child_c = tree.AddChild(root, 2);
+  EXPECT_EQ(tree.size(), 3);
+  EXPECT_EQ(tree.node(root).first_child, child_a);
+  EXPECT_EQ(tree.node(child_a).next_sibling, child_c);
+  EXPECT_TRUE(tree.IsLeaf(child_a));
+  EXPECT_FALSE(tree.IsLeaf(root));
+  EXPECT_EQ(tree.Depth(child_c), 2);
+  EXPECT_EQ(tree.Height(), 2);
+  EXPECT_EQ(tree.Leaves(), (std::vector<int>{child_a, child_c}));
+  EXPECT_EQ(tree.PathWord(child_c), (Word{0, 2}));
+}
+
+TEST(Encoding, MatchesPaperExample) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Tree tree;
+  int root = tree.AddRoot(0);
+  tree.AddChild(root, 0);
+  tree.AddChild(root, 2);
+  EventStream events = Encode(tree);
+  // Paper Section 2: aaācc̄ā, i.e. "aaAcCA" in compact form.
+  EXPECT_EQ(ToCompactMarkup(alphabet, events), "aaAcCA");
+}
+
+TEST(Encoding, RoundTripThroughDecode) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Tree tree = RandomTree(1 + static_cast<int>(rng.NextBelow(60)), 3,
+                           rng.NextDouble(), &rng);
+    EventStream events = Encode(tree);
+    EXPECT_EQ(events.size(), 2 * static_cast<size_t>(tree.size()));
+    std::optional<Tree> decoded = Decode(events);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(Encode(*decoded), events);
+  }
+}
+
+TEST(Encoding, InvalidStreamsRejected) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  auto parse = [&](const char* text) {
+    std::optional<EventStream> events = ParseCompactMarkup(alphabet, text);
+    return events.has_value() && IsValidEncoding(*events);
+  };
+  EXPECT_TRUE(parse("aA"));
+  EXPECT_TRUE(parse("abBA"));
+  EXPECT_FALSE(parse(""));        // empty
+  EXPECT_FALSE(parse("a"));       // dangling open
+  EXPECT_FALSE(parse("A"));       // dangling close
+  EXPECT_FALSE(parse("aB"));      // mismatched label
+  EXPECT_FALSE(parse("aAbB"));    // two roots
+  EXPECT_FALSE(parse("abAB"));    // improper nesting
+}
+
+TEST(Encoding, CompactMarkupRoundTrip) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  std::optional<EventStream> events =
+      ParseCompactMarkup(alphabet, "abaAaABcCA");
+  ASSERT_TRUE(events.has_value());
+  EXPECT_EQ(ToCompactMarkup(alphabet, *events), "abaAaABcCA");
+  std::optional<Tree> tree = Decode(*events);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->size(), 5);
+}
+
+TEST(Encoding, TermEncodingMatchesSection42Example) {
+  // Section 4.2: instead of abaāaāb̄cc̄ā we write a{b{a{}a{}}c{}}.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  std::optional<EventStream> markup =
+      ParseCompactMarkup(alphabet, "abaAaABcCA");
+  ASSERT_TRUE(markup.has_value());
+  EXPECT_EQ(ToCompactTerm(alphabet, *markup), "a{b{a{}a{}}c{}}");
+  std::optional<EventStream> term =
+      ParseCompactTerm(alphabet, "a{b{a{}a{}}c{}}");
+  ASSERT_TRUE(term.has_value());
+  std::optional<Tree> t1 = Decode(*markup);
+  std::optional<Tree> t2 = Decode(*term);
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(Encode(*t1), Encode(*t2));
+}
+
+TEST(Encoding, XmlLiteRoundTrip) {
+  Alphabet alphabet;
+  std::optional<EventStream> events =
+      ParseXmlLite(&alphabet, "<doc><item></item><item></item></doc>");
+  ASSERT_TRUE(events.has_value());
+  EXPECT_EQ(events->size(), 6u);
+  EXPECT_TRUE(IsValidEncoding(*events));
+  EXPECT_EQ(ToXmlLite(alphabet, *events),
+            "<doc><item></item><item></item></doc>");
+}
+
+TEST(Generators, ChainTreeIsASingleBranch) {
+  Word word = {0, 1, 2, 1};
+  Tree tree = ChainTree(word);
+  EXPECT_EQ(tree.size(), 4);
+  EXPECT_EQ(tree.Height(), 4);
+  EXPECT_EQ(tree.Leaves().size(), 1u);
+  EXPECT_EQ(tree.PathWord(tree.Leaves()[0]), word);
+}
+
+TEST(Generators, RandomTreeRespectsSizeAndHeight) {
+  Rng rng(7);
+  Tree deep = RandomTree(100, 3, 1.0, &rng);
+  EXPECT_EQ(deep.size(), 100);
+  EXPECT_EQ(deep.Height(), 100);  // bias 1.0 gives a chain
+  Tree bounded = RandomTreeWithHeight(200, 10, 3, &rng);
+  EXPECT_EQ(bounded.size(), 200);
+  EXPECT_EQ(bounded.Height(), 10);
+}
+
+TEST(Generators, KnSchemaShape) {
+  // n = 4, a-children at position 2 only, c-children at 1 and 4.
+  int n = 4;
+  std::vector<bool> a_child(n, false), c_child(n, false);
+  a_child[1] = true;  // 1-based position 2
+  c_child[0] = true;  // position 1
+  c_child[3] = true;  // position 4
+  Tree tree = KnSchemaTree(n, a_child, c_child, 0, 1, 2);
+  // Main branch: 4 b's; plus one a and two c's.
+  int count_a = 0, count_b = 0, count_c = 0;
+  for (int id = 0; id < tree.size(); ++id) {
+    if (tree.label(id) == 0) ++count_a;
+    if (tree.label(id) == 1) ++count_b;
+    if (tree.label(id) == 2) ++count_c;
+  }
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, n);
+  EXPECT_EQ(count_c, 2);
+  EXPECT_EQ(tree.Height(), n + 1);  // deepest b has a c-child? position 4 yes
+  EXPECT_EQ(AllKnAChoices(n).size(), 4u);  // 2^(n-2)
+}
+
+TEST(GroundTruth, SelectExistsForallConsistent) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree tree = RandomTree(30, 3, 0.5, &rng);
+    std::vector<bool> selected = SelectNodes(dfa, tree);
+    bool some_leaf = false, all_leaves = true;
+    for (int leaf : tree.Leaves()) {
+      some_leaf = some_leaf || selected[leaf];
+      all_leaves = all_leaves && selected[leaf];
+    }
+    EXPECT_EQ(TreeInExists(dfa, tree), some_leaf);
+    EXPECT_EQ(TreeInForall(dfa, tree), all_leaves);
+    // Selection agrees with direct path-word evaluation.
+    for (int id = 0; id < tree.size(); ++id) {
+      EXPECT_EQ(selected[id], dfa.Accepts(tree.PathWord(id)));
+    }
+  }
+}
+
+TEST(GroundTruth, ForallDualToExistsOfComplement) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a(a|b)*", alphabet);
+  Dfa comp = Complement(dfa);
+  Rng rng(13);
+  for (int trial = 0; trial < 40; ++trial) {
+    Tree tree = RandomTree(20, 2, 0.4, &rng);
+    EXPECT_EQ(TreeInForall(dfa, tree), !TreeInExists(comp, tree));
+  }
+}
+
+}  // namespace
+}  // namespace sst

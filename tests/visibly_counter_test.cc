@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "dra/machine.h"
+#include "dra/visibly_counter.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+constexpr Symbol kA = 0;
+
+// m-VCA rejecting trees that have an a-labelled node at depth >= 3.
+VisiblyCounterAutomaton BuildShallowAChecker() {
+  constexpr int kOk = 0, kBad = 1;
+  VisiblyCounterAutomaton vca =
+      VisiblyCounterAutomaton::Create(2, 2, /*threshold=*/3);
+  vca.initial = kOk;
+  vca.accepting = {true, false};
+  for (int close = 0; close < 2; ++close) {
+    for (Symbol s = 0; s < 2; ++s) {
+      for (int d = 0; d <= 3; ++d) {
+        bool deep_a = close == 0 && s == kA && d == 3;
+        vca.SetNext(kOk, close != 0, s, d, deep_a ? kBad : kOk);
+        vca.SetNext(kBad, close != 0, s, d, kBad);
+      }
+    }
+  }
+  return vca;
+}
+
+TEST(VisiblyCounter, ShallowACheckerMatchesOracle) {
+  VisiblyCounterAutomaton vca = BuildShallowAChecker();
+  VcaRunner runner(&vca);
+  Rng rng(3);
+  int accepted = 0, rejected = 0;
+  for (const Tree& tree : testing::SampleTrees(300, 2, &rng)) {
+    bool expected = true;
+    for (int id = 0; id < tree.size(); ++id) {
+      if (tree.label(id) == kA && tree.Depth(id) >= 3) expected = false;
+    }
+    ASSERT_EQ(RunAcceptor(&runner, Encode(tree)), expected);
+    (expected ? accepted : rejected) += 1;
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(VisiblyCounter, EmbeddingIntoOffsetDraIsExact) {
+  VisiblyCounterAutomaton vca = BuildShallowAChecker();
+  OffsetDra embedded = VcaToOffsetDra(vca);
+  VcaRunner direct(&vca);
+  OffsetDraRunner offset_runner(&embedded);
+  Rng rng(5);
+  for (const Tree& tree : testing::SampleTrees(200, 2, &rng)) {
+    EventStream events = Encode(tree);
+    ASSERT_EQ(RunAcceptor(&offset_runner, events),
+              RunAcceptor(&direct, events));
+  }
+}
+
+TEST(VisiblyCounter, FullPipelineToPlainDra) {
+  // m-VCA -> offset DRA -> plain Definition-2.1 DRA: all three agree.
+  VisiblyCounterAutomaton vca = BuildShallowAChecker();
+  OffsetDra embedded = VcaToOffsetDra(vca);
+  std::optional<Dra> plain = CompileOffsetDra(embedded, 100000);
+  ASSERT_TRUE(plain.has_value());
+  VcaRunner direct(&vca);
+  DraRunner compiled(&*plain);
+  Rng rng(7);
+  for (const Tree& tree : testing::SampleTrees(200, 2, &rng)) {
+    EventStream events = Encode(tree);
+    ASSERT_EQ(RunAcceptor(&compiled, events), RunAcceptor(&direct, events));
+  }
+}
+
+TEST(VisiblyCounter, RandomVcasAgreeWithTheirEmbeddings) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    int threshold = static_cast<int>(rng.NextBelow(4));
+    VisiblyCounterAutomaton vca =
+        VisiblyCounterAutomaton::Create(3, 2, threshold);
+    vca.initial = 0;
+    for (int q = 0; q < 3; ++q) vca.accepting[q] = rng.NextBool(0.5);
+    for (size_t i = 0; i < vca.next.size(); ++i) {
+      vca.next[i] = static_cast<int>(rng.NextBelow(3));
+    }
+    OffsetDra embedded = VcaToOffsetDra(vca);
+    VcaRunner direct(&vca);
+    OffsetDraRunner offset_runner(&embedded);
+    for (const Tree& tree : testing::SampleTrees(30, 2, &rng)) {
+      EventStream events = Encode(tree);
+      ASSERT_EQ(RunAcceptor(&offset_runner, events),
+                RunAcceptor(&direct, events))
+          << trial;
+      ASSERT_EQ(RunQueryOnTree(&offset_runner, tree),
+                RunQueryOnTree(&direct, tree))
+          << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sst
