@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_el_al.dir/bench_el_al.cpp.o"
+  "CMakeFiles/bench_el_al.dir/bench_el_al.cpp.o.d"
+  "bench_el_al"
+  "bench_el_al.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_el_al.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

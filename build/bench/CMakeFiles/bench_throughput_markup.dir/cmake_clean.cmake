@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_markup.dir/bench_throughput_markup.cpp.o"
+  "CMakeFiles/bench_throughput_markup.dir/bench_throughput_markup.cpp.o.d"
+  "bench_throughput_markup"
+  "bench_throughput_markup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_markup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_term.dir/bench_throughput_term.cpp.o"
+  "CMakeFiles/bench_throughput_term.dir/bench_throughput_term.cpp.o.d"
+  "bench_throughput_term"
+  "bench_throughput_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

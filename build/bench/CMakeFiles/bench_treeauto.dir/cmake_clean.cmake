@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treeauto.dir/bench_treeauto.cpp.o"
+  "CMakeFiles/bench_treeauto.dir/bench_treeauto.cpp.o.d"
+  "bench_treeauto"
+  "bench_treeauto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treeauto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_validation.dir/dtd_validation.cpp.o"
+  "CMakeFiles/dtd_validation.dir/dtd_validation.cpp.o.d"
+  "dtd_validation"
+  "dtd_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

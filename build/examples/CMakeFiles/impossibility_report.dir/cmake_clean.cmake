@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impossibility_report.dir/impossibility_report.cpp.o"
+  "CMakeFiles/impossibility_report.dir/impossibility_report.cpp.o.d"
+  "impossibility_report"
+  "impossibility_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impossibility_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_log_filter.dir/json_log_filter.cpp.o"
+  "CMakeFiles/json_log_filter.dir/json_log_filter.cpp.o.d"
+  "json_log_filter"
+  "json_log_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_log_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

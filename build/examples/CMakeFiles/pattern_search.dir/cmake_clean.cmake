@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_search.dir/pattern_search.cpp.o"
+  "CMakeFiles/pattern_search.dir/pattern_search.cpp.o.d"
+  "pattern_search"
+  "pattern_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpq_classifier.dir/rpq_classifier.cpp.o"
+  "CMakeFiles/rpq_classifier.dir/rpq_classifier.cpp.o.d"
+  "rpq_classifier"
+  "rpq_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpq_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_chunks.dir/streaming_chunks.cpp.o"
+  "CMakeFiles/streaming_chunks.dir/streaming_chunks.cpp.o.d"
+  "streaming_chunks"
+  "streaming_chunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_chunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

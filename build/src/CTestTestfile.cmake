@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("automata")
+subdirs("classes")
+subdirs("trees")
+subdirs("dra")
+subdirs("eval")
+subdirs("patterns")
+subdirs("dtd")
+subdirs("fooling")
+subdirs("treeauto")
+subdirs("query")
+subdirs("core")

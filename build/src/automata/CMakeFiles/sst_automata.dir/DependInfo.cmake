@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/alphabet.cc" "src/automata/CMakeFiles/sst_automata.dir/alphabet.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/alphabet.cc.o.d"
+  "/root/repo/src/automata/determinize.cc" "src/automata/CMakeFiles/sst_automata.dir/determinize.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/determinize.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/automata/CMakeFiles/sst_automata.dir/dfa.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/dfa.cc.o.d"
+  "/root/repo/src/automata/minimize.cc" "src/automata/CMakeFiles/sst_automata.dir/minimize.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/minimize.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/automata/CMakeFiles/sst_automata.dir/nfa.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/nfa.cc.o.d"
+  "/root/repo/src/automata/random_dfa.cc" "src/automata/CMakeFiles/sst_automata.dir/random_dfa.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/random_dfa.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/automata/CMakeFiles/sst_automata.dir/regex.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/regex.cc.o.d"
+  "/root/repo/src/automata/relations.cc" "src/automata/CMakeFiles/sst_automata.dir/relations.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/relations.cc.o.d"
+  "/root/repo/src/automata/scc.cc" "src/automata/CMakeFiles/sst_automata.dir/scc.cc.o" "gcc" "src/automata/CMakeFiles/sst_automata.dir/scc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_automata.dir/alphabet.cc.o"
+  "CMakeFiles/sst_automata.dir/alphabet.cc.o.d"
+  "CMakeFiles/sst_automata.dir/determinize.cc.o"
+  "CMakeFiles/sst_automata.dir/determinize.cc.o.d"
+  "CMakeFiles/sst_automata.dir/dfa.cc.o"
+  "CMakeFiles/sst_automata.dir/dfa.cc.o.d"
+  "CMakeFiles/sst_automata.dir/minimize.cc.o"
+  "CMakeFiles/sst_automata.dir/minimize.cc.o.d"
+  "CMakeFiles/sst_automata.dir/nfa.cc.o"
+  "CMakeFiles/sst_automata.dir/nfa.cc.o.d"
+  "CMakeFiles/sst_automata.dir/random_dfa.cc.o"
+  "CMakeFiles/sst_automata.dir/random_dfa.cc.o.d"
+  "CMakeFiles/sst_automata.dir/regex.cc.o"
+  "CMakeFiles/sst_automata.dir/regex.cc.o.d"
+  "CMakeFiles/sst_automata.dir/relations.cc.o"
+  "CMakeFiles/sst_automata.dir/relations.cc.o.d"
+  "CMakeFiles/sst_automata.dir/scc.cc.o"
+  "CMakeFiles/sst_automata.dir/scc.cc.o.d"
+  "libsst_automata.a"
+  "libsst_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

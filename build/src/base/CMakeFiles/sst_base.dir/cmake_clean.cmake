@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_base.dir/rng.cc.o"
+  "CMakeFiles/sst_base.dir/rng.cc.o.d"
+  "libsst_base.a"
+  "libsst_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_classes.dir/syntactic_classes.cc.o"
+  "CMakeFiles/sst_classes.dir/syntactic_classes.cc.o.d"
+  "libsst_classes.a"
+  "libsst_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_core.dir/stackless.cc.o"
+  "CMakeFiles/sst_core.dir/stackless.cc.o.d"
+  "libsst_core.a"
+  "libsst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

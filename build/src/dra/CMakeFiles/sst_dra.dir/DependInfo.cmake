@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dra/dra.cc" "src/dra/CMakeFiles/sst_dra.dir/dra.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/dra.cc.o.d"
+  "/root/repo/src/dra/machine.cc" "src/dra/CMakeFiles/sst_dra.dir/machine.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/machine.cc.o.d"
+  "/root/repo/src/dra/offset_dra.cc" "src/dra/CMakeFiles/sst_dra.dir/offset_dra.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/offset_dra.cc.o.d"
+  "/root/repo/src/dra/paper_examples.cc" "src/dra/CMakeFiles/sst_dra.dir/paper_examples.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/paper_examples.cc.o.d"
+  "/root/repo/src/dra/streaming.cc" "src/dra/CMakeFiles/sst_dra.dir/streaming.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/streaming.cc.o.d"
+  "/root/repo/src/dra/tag_dfa.cc" "src/dra/CMakeFiles/sst_dra.dir/tag_dfa.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/tag_dfa.cc.o.d"
+  "/root/repo/src/dra/visibly_counter.cc" "src/dra/CMakeFiles/sst_dra.dir/visibly_counter.cc.o" "gcc" "src/dra/CMakeFiles/sst_dra.dir/visibly_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

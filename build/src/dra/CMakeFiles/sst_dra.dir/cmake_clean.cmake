@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_dra.dir/dra.cc.o"
+  "CMakeFiles/sst_dra.dir/dra.cc.o.d"
+  "CMakeFiles/sst_dra.dir/machine.cc.o"
+  "CMakeFiles/sst_dra.dir/machine.cc.o.d"
+  "CMakeFiles/sst_dra.dir/offset_dra.cc.o"
+  "CMakeFiles/sst_dra.dir/offset_dra.cc.o.d"
+  "CMakeFiles/sst_dra.dir/paper_examples.cc.o"
+  "CMakeFiles/sst_dra.dir/paper_examples.cc.o.d"
+  "CMakeFiles/sst_dra.dir/streaming.cc.o"
+  "CMakeFiles/sst_dra.dir/streaming.cc.o.d"
+  "CMakeFiles/sst_dra.dir/tag_dfa.cc.o"
+  "CMakeFiles/sst_dra.dir/tag_dfa.cc.o.d"
+  "CMakeFiles/sst_dra.dir/visibly_counter.cc.o"
+  "CMakeFiles/sst_dra.dir/visibly_counter.cc.o.d"
+  "libsst_dra.a"
+  "libsst_dra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_dra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

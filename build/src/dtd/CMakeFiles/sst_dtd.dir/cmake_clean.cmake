@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_dtd.dir/path_dtd.cc.o"
+  "CMakeFiles/sst_dtd.dir/path_dtd.cc.o.d"
+  "libsst_dtd.a"
+  "libsst_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

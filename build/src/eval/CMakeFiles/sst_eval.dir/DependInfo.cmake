@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/al_recognizer.cc" "src/eval/CMakeFiles/sst_eval.dir/al_recognizer.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/al_recognizer.cc.o.d"
+  "/root/repo/src/eval/byte_runner.cc" "src/eval/CMakeFiles/sst_eval.dir/byte_runner.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/byte_runner.cc.o.d"
+  "/root/repo/src/eval/el_synopsis.cc" "src/eval/CMakeFiles/sst_eval.dir/el_synopsis.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/el_synopsis.cc.o.d"
+  "/root/repo/src/eval/post_selection.cc" "src/eval/CMakeFiles/sst_eval.dir/post_selection.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/post_selection.cc.o.d"
+  "/root/repo/src/eval/registerless_query.cc" "src/eval/CMakeFiles/sst_eval.dir/registerless_query.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/registerless_query.cc.o.d"
+  "/root/repo/src/eval/stackless_query.cc" "src/eval/CMakeFiles/sst_eval.dir/stackless_query.cc.o" "gcc" "src/eval/CMakeFiles/sst_eval.dir/stackless_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dra/CMakeFiles/sst_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

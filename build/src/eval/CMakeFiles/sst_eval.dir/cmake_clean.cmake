@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_eval.dir/al_recognizer.cc.o"
+  "CMakeFiles/sst_eval.dir/al_recognizer.cc.o.d"
+  "CMakeFiles/sst_eval.dir/byte_runner.cc.o"
+  "CMakeFiles/sst_eval.dir/byte_runner.cc.o.d"
+  "CMakeFiles/sst_eval.dir/el_synopsis.cc.o"
+  "CMakeFiles/sst_eval.dir/el_synopsis.cc.o.d"
+  "CMakeFiles/sst_eval.dir/post_selection.cc.o"
+  "CMakeFiles/sst_eval.dir/post_selection.cc.o.d"
+  "CMakeFiles/sst_eval.dir/registerless_query.cc.o"
+  "CMakeFiles/sst_eval.dir/registerless_query.cc.o.d"
+  "CMakeFiles/sst_eval.dir/stackless_query.cc.o"
+  "CMakeFiles/sst_eval.dir/stackless_query.cc.o.d"
+  "libsst_eval.a"
+  "libsst_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fooling/fooling.cc" "src/fooling/CMakeFiles/sst_fooling.dir/fooling.cc.o" "gcc" "src/fooling/CMakeFiles/sst_fooling.dir/fooling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classes/CMakeFiles/sst_classes.dir/DependInfo.cmake"
+  "/root/repo/build/src/dra/CMakeFiles/sst_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

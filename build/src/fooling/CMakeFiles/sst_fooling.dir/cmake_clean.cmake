@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_fooling.dir/fooling.cc.o"
+  "CMakeFiles/sst_fooling.dir/fooling.cc.o.d"
+  "libsst_fooling.a"
+  "libsst_fooling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_fooling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/patterns/descendant_pattern.cc" "src/patterns/CMakeFiles/sst_patterns.dir/descendant_pattern.cc.o" "gcc" "src/patterns/CMakeFiles/sst_patterns.dir/descendant_pattern.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dra/CMakeFiles/sst_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_patterns.dir/descendant_pattern.cc.o"
+  "CMakeFiles/sst_patterns.dir/descendant_pattern.cc.o.d"
+  "libsst_patterns.a"
+  "libsst_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

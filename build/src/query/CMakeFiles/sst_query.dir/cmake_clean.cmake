@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_query.dir/rpq.cc.o"
+  "CMakeFiles/sst_query.dir/rpq.cc.o.d"
+  "libsst_query.a"
+  "libsst_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/treeauto/hedge_automaton.cc" "src/treeauto/CMakeFiles/sst_treeauto.dir/hedge_automaton.cc.o" "gcc" "src/treeauto/CMakeFiles/sst_treeauto.dir/hedge_automaton.cc.o.d"
+  "/root/repo/src/treeauto/hedge_builders.cc" "src/treeauto/CMakeFiles/sst_treeauto.dir/hedge_builders.cc.o" "gcc" "src/treeauto/CMakeFiles/sst_treeauto.dir/hedge_builders.cc.o.d"
+  "/root/repo/src/treeauto/marked_trees.cc" "src/treeauto/CMakeFiles/sst_treeauto.dir/marked_trees.cc.o" "gcc" "src/treeauto/CMakeFiles/sst_treeauto.dir/marked_trees.cc.o.d"
+  "/root/repo/src/treeauto/restricted_to_tree_automaton.cc" "src/treeauto/CMakeFiles/sst_treeauto.dir/restricted_to_tree_automaton.cc.o" "gcc" "src/treeauto/CMakeFiles/sst_treeauto.dir/restricted_to_tree_automaton.cc.o.d"
+  "/root/repo/src/treeauto/rpqness.cc" "src/treeauto/CMakeFiles/sst_treeauto.dir/rpqness.cc.o" "gcc" "src/treeauto/CMakeFiles/sst_treeauto.dir/rpqness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dtd/CMakeFiles/sst_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dra/CMakeFiles/sst_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sst_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/classes/CMakeFiles/sst_classes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

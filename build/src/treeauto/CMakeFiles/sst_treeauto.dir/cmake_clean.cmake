@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_treeauto.dir/hedge_automaton.cc.o"
+  "CMakeFiles/sst_treeauto.dir/hedge_automaton.cc.o.d"
+  "CMakeFiles/sst_treeauto.dir/hedge_builders.cc.o"
+  "CMakeFiles/sst_treeauto.dir/hedge_builders.cc.o.d"
+  "CMakeFiles/sst_treeauto.dir/marked_trees.cc.o"
+  "CMakeFiles/sst_treeauto.dir/marked_trees.cc.o.d"
+  "CMakeFiles/sst_treeauto.dir/restricted_to_tree_automaton.cc.o"
+  "CMakeFiles/sst_treeauto.dir/restricted_to_tree_automaton.cc.o.d"
+  "CMakeFiles/sst_treeauto.dir/rpqness.cc.o"
+  "CMakeFiles/sst_treeauto.dir/rpqness.cc.o.d"
+  "libsst_treeauto.a"
+  "libsst_treeauto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_treeauto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_trees.dir/encoding.cc.o"
+  "CMakeFiles/sst_trees.dir/encoding.cc.o.d"
+  "CMakeFiles/sst_trees.dir/generators.cc.o"
+  "CMakeFiles/sst_trees.dir/generators.cc.o.d"
+  "CMakeFiles/sst_trees.dir/ground_truth.cc.o"
+  "CMakeFiles/sst_trees.dir/ground_truth.cc.o.d"
+  "CMakeFiles/sst_trees.dir/tree.cc.o"
+  "CMakeFiles/sst_trees.dir/tree.cc.o.d"
+  "libsst_trees.a"
+  "libsst_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

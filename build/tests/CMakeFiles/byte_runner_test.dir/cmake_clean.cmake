@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byte_runner_test.dir/byte_runner_test.cc.o"
+  "CMakeFiles/byte_runner_test.dir/byte_runner_test.cc.o.d"
+  "byte_runner_test"
+  "byte_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byte_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classes_test.dir/classes_test.cc.o"
+  "CMakeFiles/classes_test.dir/classes_test.cc.o.d"
+  "classes_test"
+  "classes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

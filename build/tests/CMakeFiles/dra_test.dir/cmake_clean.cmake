@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dra_test.dir/dra_test.cc.o"
+  "CMakeFiles/dra_test.dir/dra_test.cc.o.d"
+  "dra_test"
+  "dra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_param_test.dir/dtd_param_test.cc.o"
+  "CMakeFiles/dtd_param_test.dir/dtd_param_test.cc.o.d"
+  "dtd_param_test"
+  "dtd_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval_el_al_test.cc" "tests/CMakeFiles/eval_el_al_test.dir/eval_el_al_test.cc.o" "gcc" "tests/CMakeFiles/eval_el_al_test.dir/eval_el_al_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sst_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/treeauto/CMakeFiles/sst_treeauto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fooling/CMakeFiles/sst_fooling.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/sst_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/sst_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/sst_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/dra/CMakeFiles/sst_dra.dir/DependInfo.cmake"
+  "/root/repo/build/src/trees/CMakeFiles/sst_trees.dir/DependInfo.cmake"
+  "/root/repo/build/src/classes/CMakeFiles/sst_classes.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/sst_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/sst_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

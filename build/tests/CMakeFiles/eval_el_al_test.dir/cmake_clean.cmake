@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_el_al_test.dir/eval_el_al_test.cc.o"
+  "CMakeFiles/eval_el_al_test.dir/eval_el_al_test.cc.o.d"
+  "eval_el_al_test"
+  "eval_el_al_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_el_al_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

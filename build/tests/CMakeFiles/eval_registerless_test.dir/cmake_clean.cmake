@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_registerless_test.dir/eval_registerless_test.cc.o"
+  "CMakeFiles/eval_registerless_test.dir/eval_registerless_test.cc.o.d"
+  "eval_registerless_test"
+  "eval_registerless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_registerless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_stackless_test.dir/eval_stackless_test.cc.o"
+  "CMakeFiles/eval_stackless_test.dir/eval_stackless_test.cc.o.d"
+  "eval_stackless_test"
+  "eval_stackless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_stackless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

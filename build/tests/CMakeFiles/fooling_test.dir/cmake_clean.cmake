@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fooling_test.dir/fooling_test.cc.o"
+  "CMakeFiles/fooling_test.dir/fooling_test.cc.o.d"
+  "fooling_test"
+  "fooling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

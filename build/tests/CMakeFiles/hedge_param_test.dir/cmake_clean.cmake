@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedge_param_test.dir/hedge_param_test.cc.o"
+  "CMakeFiles/hedge_param_test.dir/hedge_param_test.cc.o.d"
+  "hedge_param_test"
+  "hedge_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedge_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marked_trees_test.dir/marked_trees_test.cc.o"
+  "CMakeFiles/marked_trees_test.dir/marked_trees_test.cc.o.d"
+  "marked_trees_test"
+  "marked_trees_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marked_trees_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offset_dra_test.dir/offset_dra_test.cc.o"
+  "CMakeFiles/offset_dra_test.dir/offset_dra_test.cc.o.d"
+  "offset_dra_test"
+  "offset_dra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offset_dra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

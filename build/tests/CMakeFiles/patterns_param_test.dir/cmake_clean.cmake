@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_param_test.dir/patterns_param_test.cc.o"
+  "CMakeFiles/patterns_param_test.dir/patterns_param_test.cc.o.d"
+  "patterns_param_test"
+  "patterns_param_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/post_selection_test.dir/post_selection_test.cc.o"
+  "CMakeFiles/post_selection_test.dir/post_selection_test.cc.o.d"
+  "post_selection_test"
+  "post_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/post_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

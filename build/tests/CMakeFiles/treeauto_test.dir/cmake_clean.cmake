@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treeauto_test.dir/treeauto_test.cc.o"
+  "CMakeFiles/treeauto_test.dir/treeauto_test.cc.o.d"
+  "treeauto_test"
+  "treeauto_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treeauto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

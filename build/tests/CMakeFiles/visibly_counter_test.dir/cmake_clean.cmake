@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visibly_counter_test.dir/visibly_counter_test.cc.o"
+  "CMakeFiles/visibly_counter_test.dir/visibly_counter_test.cc.o.d"
+  "visibly_counter_test"
+  "visibly_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visibly_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
