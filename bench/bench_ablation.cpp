@@ -22,7 +22,7 @@
 #include "bench_util.h"
 #include "dra/dra.h"
 #include "dra/tag_dfa.h"
-#include "eval/byte_runner.h"
+#include "dra/byte_runner.h"
 #include "eval/registerless_query.h"
 #include "eval/stackless_query.h"
 #include "trees/encoding.h"

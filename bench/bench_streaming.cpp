@@ -1,0 +1,302 @@
+// Old-vs-new scanner throughput for the StreamingSelector front-end. The
+// "legacy" scanner below is a faithful copy of the seed implementation: one
+// locale-dependent std::isspace call and (for compact markup) one hash-map
+// Alphabet::Find lookup per input byte, a heap-backed std::string for
+// partial tags, and virtual machine dispatch per event. The rebuilt scanner
+// classifies bytes through precomputed 256-entry tables and, for
+// registerless machines on compact markup, runs the fused ByteTagDfaRunner
+// byte→state table. Chunk sizes sweep 64 B … 1 MB to show the per-chunk
+// overhead amortizing away.
+
+#include <benchmark/benchmark.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "bench_util.h"
+#include "dra/streaming.h"
+#include "dra/tag_dfa.h"
+#include "eval/registerless_query.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+// --- Seed scanner (pre-rebuild), kept verbatim as the baseline ----------
+
+class LegacyStreamingSelector {
+ public:
+  using Format = StreamingSelector::Format;
+
+  LegacyStreamingSelector(StreamMachine* machine, Format format,
+                          Alphabet* alphabet)
+      : machine_(machine), format_(format), alphabet_(alphabet) {
+    Reset();
+  }
+
+  void Reset() {
+    machine_->Reset();
+    open_labels_.clear();
+    pending_.clear();
+    in_tag_ = false;
+    nodes_ = 0;
+    matches_ = 0;
+    depth_ = 0;
+    saw_root_ = false;
+    failed_ = false;
+  }
+
+  bool Feed(std::string_view chunk) {
+    if (failed_) return false;
+    switch (format_) {
+      case Format::kCompactMarkup:
+        for (char c : chunk) {
+          if (std::isspace(static_cast<unsigned char>(c))) continue;
+          if (c >= 'a' && c <= 'z') {
+            Symbol s = alphabet_->Find(std::string_view(&c, 1));
+            if (s < 0) return Fail();
+            if (!EmitOpen(s)) return false;
+          } else if (c >= 'A' && c <= 'Z') {
+            char lower = static_cast<char>(c - 'A' + 'a');
+            Symbol s = alphabet_->Find(std::string_view(&lower, 1));
+            if (s < 0) return Fail();
+            if (!EmitClose(s)) return false;
+          } else {
+            return Fail();
+          }
+        }
+        return true;
+      case Format::kCompactTerm:
+        for (char c : chunk) {
+          if (std::isspace(static_cast<unsigned char>(c))) continue;
+          if (!pending_.empty()) {
+            if (c != '{') return Fail();
+            Symbol s = alphabet_->Find(pending_);
+            pending_.clear();
+            if (s < 0) return Fail();
+            if (!EmitOpen(s)) return false;
+            continue;
+          }
+          if (c == '}') {
+            if (!EmitClose(-1)) return false;
+          } else if (std::isalnum(static_cast<unsigned char>(c)) ||
+                     c == '_' || c == '-') {
+            if (pending_.size() >= 256) return Fail();
+            pending_.push_back(c);
+          } else {
+            return Fail();
+          }
+        }
+        return true;
+      case Format::kXmlLite:
+        for (char c : chunk) {
+          if (!in_tag_) {
+            if (std::isspace(static_cast<unsigned char>(c))) continue;
+            if (c != '<') return Fail();
+            in_tag_ = true;
+            pending_.clear();
+            continue;
+          }
+          if (c != '>') {
+            if (pending_.size() >= 256) return Fail();
+            pending_.push_back(c);
+            continue;
+          }
+          in_tag_ = false;
+          if (pending_.empty()) return Fail();
+          bool closing = pending_[0] == '/';
+          std::string_view name(pending_);
+          if (closing) name.remove_prefix(1);
+          if (name.empty()) return Fail();
+          Symbol s = alphabet_->Find(name);
+          if (s < 0) return Fail();
+          bool ok = closing ? EmitClose(s) : EmitOpen(s);
+          pending_.clear();
+          if (!ok) return false;
+        }
+        return true;
+    }
+    return Fail();
+  }
+
+  bool Finish() {
+    if (failed_ || in_tag_ || !pending_.empty()) return false;
+    return saw_root_ && depth_ == 0;
+  }
+
+  int64_t matches() const { return matches_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+
+  bool EmitOpen(Symbol symbol) {
+    if (depth_ == 0 && saw_root_) return Fail();
+    saw_root_ = true;
+    ++depth_;
+    open_labels_.push_back(symbol);
+    machine_->OnOpen(symbol);
+    if (machine_->InAcceptingState()) ++matches_;
+    ++nodes_;
+    return true;
+  }
+
+  bool EmitClose(Symbol symbol) {
+    if (open_labels_.empty()) return Fail();
+    if (symbol >= 0 && open_labels_.back() != symbol) return Fail();
+    open_labels_.pop_back();
+    --depth_;
+    machine_->OnClose(symbol);
+    return true;
+  }
+
+  StreamMachine* machine_;
+  Format format_;
+  Alphabet* alphabet_;
+  std::vector<Symbol> open_labels_;
+  std::string pending_;
+  bool in_tag_ = false;
+  int64_t nodes_ = 0;
+  int64_t matches_ = 0;
+  int64_t depth_ = 0;
+  bool saw_root_ = false;
+  bool failed_ = false;
+};
+
+// ------------------------------------------------------------------------
+
+using Format = StreamingSelector::Format;
+
+constexpr int kDocNodes = 1 << 19;  // 1 MiB of compact markup
+
+std::string DocumentBytes(Format format) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  EventStream events =
+      Encode(bench::MakeDocument(bench::DocShape::kMixed, kDocNodes, 3, 42));
+  switch (format) {
+    case Format::kCompactMarkup:
+      return ToCompactMarkup(alphabet, events);
+    case Format::kXmlLite:
+      return ToXmlLite(alphabet, events);
+    case Format::kCompactTerm:
+      return ToCompactTerm(alphabet, events);
+  }
+  return {};
+}
+
+const char* FormatName(Format format) {
+  switch (format) {
+    case Format::kCompactMarkup:
+      return "markup";
+    case Format::kXmlLite:
+      return "xml";
+    case Format::kCompactTerm:
+      return "term";
+  }
+  return "?";
+}
+
+// Hides the TagDfa export, forcing the rebuilt scanner onto its generic
+// (virtual-dispatch) path — isolates table-driven lexing from the fused
+// byte-table gain.
+class OpaqueMachine final : public StreamMachine {
+ public:
+  explicit OpaqueMachine(StreamMachine* inner) : inner_(inner) {}
+  void Reset() override { inner_->Reset(); }
+  void OnOpen(Symbol symbol) override { inner_->OnOpen(symbol); }
+  void OnClose(Symbol symbol) override { inner_->OnClose(symbol); }
+  bool InAcceptingState() const override {
+    return inner_->InAcceptingState();
+  }
+
+ private:
+  StreamMachine* inner_;
+};
+
+template <typename Selector>
+int64_t DriveChunked(Selector& selector, const std::string& bytes,
+                     size_t chunk_size) {
+  selector.Reset();
+  for (size_t i = 0; i < bytes.size(); i += chunk_size) {
+    if (!selector.Feed(std::string_view(bytes).substr(i, chunk_size))) {
+      return -1;
+    }
+  }
+  return selector.Finish() ? selector.matches() : -1;
+}
+
+struct BenchSetup {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  TagDfa evaluator;
+  TagDfaMachine machine;
+
+  explicit BenchSetup(bool blind)
+      : evaluator(BuildRegisterlessQueryAutomaton(
+            CompileRegex("a.*b", Alphabet::FromLetters("abc")), blind)),
+        machine(&evaluator) {}
+};
+
+void RunScanBench(benchmark::State& state, bool legacy, bool opaque) {
+  Format format = static_cast<Format>(state.range(0));
+  size_t chunk_size = static_cast<size_t>(state.range(1));
+  BenchSetup setup(format == Format::kCompactTerm);
+  std::string bytes = DocumentBytes(format);
+  OpaqueMachine hidden(&setup.machine);
+  StreamMachine* machine =
+      opaque ? static_cast<StreamMachine*>(&hidden) : &setup.machine;
+  int64_t matches = 0;
+  if (legacy) {
+    LegacyStreamingSelector selector(machine, format, &setup.alphabet);
+    for (auto _ : state) {
+      matches = DriveChunked(selector, bytes, chunk_size);
+      benchmark::DoNotOptimize(matches);
+    }
+  } else {
+    StreamingSelector selector(machine, format, &setup.alphabet);
+    for (auto _ : state) {
+      matches = DriveChunked(selector, bytes, chunk_size);
+      benchmark::DoNotOptimize(matches);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  std::string label = FormatName(format);
+  label += opaque ? "/generic" : "/fastest";
+  label += "/chunk=" + std::to_string(chunk_size);
+  state.SetLabel(label);
+}
+
+void BM_LegacyScanner(benchmark::State& state) {
+  RunScanBench(state, /*legacy=*/true, /*opaque=*/false);
+}
+
+void BM_RebuiltScanner(benchmark::State& state) {
+  RunScanBench(state, /*legacy=*/false, /*opaque=*/false);
+}
+
+// Table-driven lexing only (fused byte table disabled) — how much of the
+// win is the lexer vs. the fused transition table.
+void BM_RebuiltScannerGenericPath(benchmark::State& state) {
+  RunScanBench(state, /*legacy=*/false, /*opaque=*/true);
+}
+
+const std::vector<std::vector<int64_t>> kArgs = {
+    {0, 1, 2},                              // format
+    {64, 1024, 65536, 1 << 20},             // chunk size
+};
+
+BENCHMARK(BM_LegacyScanner)->ArgsProduct(kArgs);
+BENCHMARK(BM_RebuiltScanner)->ArgsProduct(kArgs);
+BENCHMARK(BM_RebuiltScannerGenericPath)
+    ->ArgsProduct({{0}, {64, 1024, 65536, 1 << 20}});
+
+}  // namespace
+}  // namespace sst
+
+BENCHMARK_MAIN();

@@ -15,7 +15,7 @@
 #include "bench_util.h"
 #include "dra/tag_dfa.h"
 #include "base/rng.h"
-#include "eval/byte_runner.h"
+#include "dra/byte_runner.h"
 #include "eval/registerless_query.h"
 #include "eval/stack_evaluator.h"
 #include "eval/stackless_query.h"

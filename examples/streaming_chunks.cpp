@@ -38,6 +38,9 @@ int main(int argc, char** argv) {
   sst::StreamingSelector selector(
       compiled.machine.get(), sst::StreamingSelector::Format::kCompactMarkup,
       &alphabet);
+  std::printf("scanner path: %s\n", selector.using_fused_fast_path()
+                                        ? "fused byte-table (registerless)"
+                                        : "generic table-driven");
   int printed = 0;
   selector.set_match_callback([&](int64_t node_index, sst::Symbol symbol) {
     if (printed < 5) {
@@ -69,5 +72,10 @@ int main(int argc, char** argv) {
   std::printf("%lld nodes in %d chunks; %lld matches (first %d shown)\n",
               static_cast<long long>(selector.nodes()), chunks,
               static_cast<long long>(selector.matches()), printed);
+  sst::StreamStats stats = selector.stats();
+  std::printf("stats: %lld bytes, %lld events, max depth %lld\n",
+              static_cast<long long>(stats.bytes_fed),
+              static_cast<long long>(stats.events),
+              static_cast<long long>(stats.max_depth));
   return 0;
 }

@@ -24,6 +24,18 @@ Symbol Alphabet::Find(std::string_view label) const {
   return it == index_.end() ? -1 : it->second;
 }
 
+std::array<Symbol, 256> Alphabet::ByteSymbolTable() const {
+  std::array<Symbol, 256> table;
+  table.fill(-1);
+  for (Symbol s = 0; s < size(); ++s) {
+    const std::string& label = labels_[s];
+    if (label.size() == 1) {
+      table[static_cast<unsigned char>(label[0])] = s;
+    }
+  }
+  return table;
+}
+
 Word WordFromString(const Alphabet& alphabet, std::string_view text) {
   Word word;
   word.reserve(text.size());

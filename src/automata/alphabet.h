@@ -1,6 +1,7 @@
 #ifndef SST_AUTOMATA_ALPHABET_H_
 #define SST_AUTOMATA_ALPHABET_H_
 
+#include <array>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -27,6 +28,12 @@ class Alphabet {
 
   // Returns the symbol for `label`, or -1 if unknown.
   Symbol Find(std::string_view label) const;
+
+  // Byte→symbol export for table-driven byte scanners: entry b is the
+  // symbol whose label is exactly the one-byte string {b}, or -1 if no
+  // such label is interned. Hot loops precompute this once instead of
+  // calling Find per input byte.
+  std::array<Symbol, 256> ByteSymbolTable() const;
 
   const std::string& LabelOf(Symbol s) const { return labels_[s]; }
   int size() const { return static_cast<int>(labels_.size()); }

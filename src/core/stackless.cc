@@ -29,6 +29,12 @@ class OwningTagDfaMachine final : public StreamMachine {
   void OnClose(Symbol symbol) override { inner_.OnClose(symbol); }
   bool InAcceptingState() const override { return inner_.InAcceptingState(); }
 
+  const TagDfa* ExportTagDfa() const override { return &dfa_; }
+  int ExportedState() const override { return inner_.ExportedState(); }
+  void SyncExportedState(int state) override {
+    inner_.SyncExportedState(state);
+  }
+
  private:
   TagDfa dfa_;
   TagDfaMachine inner_;

@@ -1,0 +1,107 @@
+#include "dra/byte_runner.h"
+
+#include <array>
+
+#include "base/check.h"
+
+namespace sst {
+
+ByteTagDfaRunner::ByteTagDfaRunner(const TagDfa& dfa)
+    : num_states_(dfa.num_states), initial_(dfa.initial) {
+  SST_CHECK_MSG(dfa.num_symbols <= 26, "compact markup allows 26 symbols");
+  std::array<Symbol, 256> byte_symbol;
+  byte_symbol.fill(-1);
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) byte_symbol['a' + a] = a;
+  BuildTable(dfa, byte_symbol.data());
+}
+
+ByteTagDfaRunner::ByteTagDfaRunner(const TagDfa& dfa, const Alphabet& alphabet)
+    : num_states_(dfa.num_states), initial_(dfa.initial) {
+  std::array<Symbol, 256> byte_symbol = alphabet.ByteSymbolTable();
+  for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+    const std::string& label = alphabet.LabelOf(a);
+    SST_CHECK_MSG(
+        label.size() == 1 && label[0] >= 'a' && label[0] <= 'z',
+        "compact markup requires single lowercase-letter labels");
+  }
+  // Keep only lowercase-letter entries: other single-byte labels (digits,
+  // punctuation) have no uppercase closing form in compact markup.
+  for (int byte = 0; byte < 256; ++byte) {
+    if (byte < 'a' || byte > 'z') byte_symbol[byte] = -1;
+  }
+  BuildTable(dfa, byte_symbol.data());
+}
+
+void ByteTagDfaRunner::BuildTable(const TagDfa& dfa,
+                                  const Symbol* byte_symbol) {
+  table_.assign(static_cast<size_t>(num_states_) * 256, 0);
+  accepting_.assign(num_states_, 0);
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[q] = dfa.accepting[q] ? 1 : 0;
+    int* row = &table_[static_cast<size_t>(q) * 256];
+    for (int byte = 0; byte < 256; ++byte) {
+      // Unknown bytes self-loop (they cannot occur in valid input).
+      row[byte] = q;
+    }
+    for (int byte = 'a'; byte <= 'z'; ++byte) {
+      Symbol a = byte_symbol[byte];
+      if (a < 0 || a >= dfa.num_symbols) continue;
+      row[byte] = dfa.NextOpen(q, a);
+      row[byte - 'a' + 'A'] = dfa.NextClose(q, a);
+    }
+  }
+}
+
+int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
+  int state = initial_;
+  int64_t selected = 0;
+  for (unsigned char byte : bytes) {
+    state = Step(state, byte);
+    // Pre-selection samples only after opening tags: exactly the lowercase
+    // letters. Anything else ('{', '|', bytes >= 0x7B, ...) self-loops and
+    // must not count even when the looped state is accepting.
+    selected += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') &
+                                     accepting_[state]);
+  }
+  return selected;
+}
+
+bool ByteTagDfaRunner::Accepts(std::string_view bytes) const {
+  int state = initial_;
+  for (unsigned char byte : bytes) state = Step(state, byte);
+  return accepting_[state] != 0;
+}
+
+ByteStackRunner::ByteStackRunner(const Dfa& dfa)
+    : num_states_(dfa.num_states), initial_(dfa.initial) {
+  SST_CHECK_MSG(dfa.num_symbols <= 26, "compact markup allows 26 symbols");
+  open_table_.assign(static_cast<size_t>(num_states_) * 26, 0);
+  accepting_.assign(num_states_, 0);
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[q] = dfa.accepting[q] ? 1 : 0;
+    for (Symbol a = 0; a < dfa.num_symbols; ++a) {
+      open_table_[static_cast<size_t>(q) * 26 + a] = dfa.Next(q, a);
+    }
+  }
+}
+
+int64_t ByteStackRunner::CountSelections(std::string_view bytes) {
+  stack_.clear();
+  int state = initial_;
+  int64_t selected = 0;
+  for (unsigned char byte : bytes) {
+    if (byte >= 'a' && byte <= 'z') {
+      stack_.push_back(state);
+      if (stack_.size() > max_stack_depth_) max_stack_depth_ = stack_.size();
+      state = open_table_[static_cast<size_t>(state) * 26 + (byte - 'a')];
+      selected += accepting_[state];
+    } else if (byte >= 'A' && byte <= 'Z') {
+      if (stack_.empty()) return -1;  // unbalanced: close without open
+      state = stack_.back();
+      stack_.pop_back();
+    }
+  }
+  return selected;
+}
+
+}  // namespace sst

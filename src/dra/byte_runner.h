@@ -1,0 +1,92 @@
+#ifndef SST_DRA_BYTE_RUNNER_H_
+#define SST_DRA_BYTE_RUNNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/dfa.h"
+#include "dra/tag_dfa.h"
+
+namespace sst {
+
+// Byte-level evaluation over the compact markup serialization ('a'..'z'
+// opening tags, 'A'..'Z' closing tags). These runners are the library's
+// answer to the paper's Section 4.3 outlook: a registerless evaluator is a
+// single fused 256-way transition table — one dependent load per input
+// byte, no branches, no external memory — which is exactly the shape that
+// SIMD/vectorization research targets, while the stack baseline must touch
+// O(depth) memory.
+
+// Fused byte-table runner for a TagDfa. The table maps (state, byte) to the
+// next state; a parallel bitset marks states that pre-select on the byte
+// just consumed (only meaningful after opening bytes). Besides the batch
+// entry points, the runner exposes incremental stepping so streaming
+// scanners (StreamingSelector) can drive it chunk by chunk.
+class ByteTagDfaRunner {
+ public:
+  // Positional convention: symbol s opens as byte 'a' + s and closes as
+  // 'A' + s (requires at most 26 symbols).
+  explicit ByteTagDfaRunner(const TagDfa& dfa);
+
+  // Label-driven convention: each symbol of `dfa` opens as its single
+  // lowercase-letter label in `alphabet` and closes as the uppercase form.
+  // Every symbol in [0, dfa.num_symbols) must have such a label.
+  ByteTagDfaRunner(const TagDfa& dfa, const Alphabet& alphabet);
+
+  // Streams the bytes; returns the number of pre-selected nodes (accepting
+  // states entered on opening bytes 'a'..'z'; all other bytes self-loop and
+  // never count).
+  int64_t CountSelections(std::string_view bytes) const;
+
+  // Final-state acceptance after the whole stream.
+  bool Accepts(std::string_view bytes) const;
+
+  // Incremental stepping for chunked scanners.
+  int initial_state() const { return initial_; }
+  int Next(int state, unsigned char byte) const { return Step(state, byte); }
+  bool IsAccepting(int state) const { return accepting_[state] != 0; }
+
+  int num_states() const { return num_states_; }
+
+ private:
+  void BuildTable(const TagDfa& dfa, const Symbol* byte_symbol);
+
+  int Step(int state, unsigned char byte) const {
+    return table_[static_cast<size_t>(state) * 256 + byte];
+  }
+
+  int num_states_;
+  int initial_;
+  std::vector<int> table_;        // num_states * 256
+  std::vector<uint8_t> accepting_;
+};
+
+// Byte-level pushdown baseline: simulate the DFA of L with an explicit
+// state stack (push on open, pop on close).
+class ByteStackRunner {
+ public:
+  explicit ByteStackRunner(const Dfa& dfa);
+
+  // Streams the bytes; returns the number of pre-selected nodes, or -1 when
+  // the input is unbalanced (a closing tag with no matching opener — the
+  // runner cannot recover the state it never pushed). Bytes outside
+  // 'a'..'z' / 'A'..'Z' are ignored; excess *opening* tags are fine (a
+  // prefix of a valid document is still countable).
+  int64_t CountSelections(std::string_view bytes);
+
+  size_t max_stack_depth() const { return max_stack_depth_; }
+
+ private:
+  int num_states_;
+  int initial_;
+  std::vector<int> open_table_;  // num_states * 26
+  std::vector<uint8_t> accepting_;
+  std::vector<int> stack_;
+  size_t max_stack_depth_ = 0;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_BYTE_RUNNER_H_

@@ -9,6 +9,8 @@
 
 namespace sst {
 
+struct TagDfa;
+
 // Common interface of all streaming evaluators: explicit DRAs, registerless
 // automata, and the constructed evaluators of Section 3. A machine consumes
 // tag events; after any event its acceptance bit can be sampled.
@@ -29,6 +31,16 @@ class StreamMachine {
   virtual void OnOpen(Symbol symbol) = 0;
   virtual void OnClose(Symbol symbol) = 0;
   virtual bool InAcceptingState() const = 0;
+
+  // Registerless fast-path export (Section 4.3): machines that are (wrappers
+  // of) a plain TagDfa may expose the automaton plus get/set access to their
+  // current state. Byte-level scanners then run a fused byte→state
+  // transition table with no virtual dispatch per event and sync the state
+  // back after each chunk. Machines without such a representation keep the
+  // defaults (no export; state calls ignored).
+  virtual const TagDfa* ExportTagDfa() const { return nullptr; }
+  virtual int ExportedState() const { return 0; }
+  virtual void SyncExportedState(int /*state*/) {}
 };
 
 // Runs the machine over the given encoding and returns, per opening tag in

@@ -1,40 +1,126 @@
 #include "dra/streaming.h"
 
-#include <cctype>
+#include <string>
 
 namespace sst {
+
+namespace {
+
+// ASCII whitespace, independent of the process locale (std::isspace is
+// locale-dependent and one hash-of-locale call per byte besides).
+inline bool IsAsciiWs(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+inline bool IsAsciiAlnum(unsigned char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z');
+}
+
+}  // namespace
 
 StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
                                      Alphabet* alphabet)
     : machine_(machine), format_(format), alphabet_(alphabet) {
+  BuildTables();
+  open_labels_.reserve(kDepthReserve);
+  if (format_ == Format::kCompactMarkup) {
+    if (const TagDfa* dfa = machine_->ExportTagDfa()) {
+      // The fused table is keyed by the raw byte, so every symbol the
+      // stream can mention must be a single lowercase letter and covered
+      // by the automaton.
+      bool compact = alphabet_->size() <= dfa->num_symbols;
+      for (Symbol s = 0; compact && s < alphabet_->size(); ++s) {
+        const std::string& label = alphabet_->LabelOf(s);
+        compact = label.size() == 1 && label[0] >= 'a' && label[0] <= 'z';
+      }
+      if (compact) {
+        fused_ = std::make_unique<ByteTagDfaRunner>(*dfa, *alphabet_);
+      }
+    }
+  }
   Reset();
+}
+
+void StreamingSelector::BuildTables() {
+  std::array<Symbol, 256> interned = alphabet_->ByteSymbolTable();
+  byte_class_.fill(kBad);
+  byte_symbol_.fill(-1);
+  for (int c = 0; c < 256; ++c) {
+    unsigned char b = static_cast<unsigned char>(c);
+    if (IsAsciiWs(b)) byte_class_[c] = kWs;
+  }
+  switch (format_) {
+    case Format::kCompactMarkup:
+      for (int c = 'a'; c <= 'z'; ++c) {
+        byte_class_[c] = kOpen;
+        byte_symbol_[c] = interned[c];
+        byte_class_[c - 'a' + 'A'] = kClose;
+        byte_symbol_[c - 'a' + 'A'] = interned[c];
+      }
+      break;
+    case Format::kCompactTerm:
+      for (int c = 0; c < 256; ++c) {
+        unsigned char b = static_cast<unsigned char>(c);
+        if (IsAsciiAlnum(b) || b == '_' || b == '-') {
+          byte_class_[c] = kLabel;
+          byte_symbol_[c] = interned[c];
+        }
+      }
+      byte_class_[static_cast<unsigned char>('}')] = kCloseBrace;
+      break;
+    case Format::kXmlLite:
+      // XML-lite lexing branches on '<' and '>' directly; names are looked
+      // up per tag, with the single-byte table as a shortcut.
+      byte_symbol_ = interned;
+      break;
+  }
 }
 
 void StreamingSelector::Reset() {
   machine_->Reset();
   open_labels_.clear();
-  pending_.clear();
+  tag_len_ = 0;
   in_tag_ = false;
+  tag_first_ = false;
+  tag_closing_ = false;
+  have_pending_ = false;
+  pending_byte_ = 0;
+  chunk_base_ = 0;
+  bytes_fed_ = 0;
+  events_ = 0;
   nodes_ = 0;
   matches_ = 0;
   depth_ = 0;
+  max_depth_ = 0;
+  error_offset_ = -1;
   saw_root_ = false;
   failed_ = false;
   error_.clear();
 }
 
-bool StreamingSelector::Fail(const char* message) {
+bool StreamingSelector::FailAt(int64_t offset, const char* message) {
   failed_ = true;
-  if (error_.empty()) error_ = message;
+  if (error_offset_ < 0) {
+    error_offset_ = offset;
+    error_.assign(message);
+    error_ += " at byte ";
+    error_ += std::to_string(offset);
+  }
   return false;
 }
 
-bool StreamingSelector::EmitOpen(Symbol symbol) {
-  if (depth_ == 0 && saw_root_) return Fail("content after the root closed");
+bool StreamingSelector::EmitOpen(Symbol symbol, int64_t offset) {
+  if (depth_ == 0 && saw_root_) {
+    return FailAt(offset, "content after the root closed");
+  }
   saw_root_ = true;
   ++depth_;
+  if (depth_ > max_depth_) max_depth_ = depth_;
   open_labels_.push_back(symbol);
   machine_->OnOpen(symbol);
+  ++events_;
   if (machine_->InAcceptingState()) {
     ++matches_;
     if (match_callback_) match_callback_(nodes_, symbol);
@@ -43,97 +129,178 @@ bool StreamingSelector::EmitOpen(Symbol symbol) {
   return true;
 }
 
-bool StreamingSelector::EmitClose(Symbol symbol) {
-  if (open_labels_.empty()) return Fail("closing tag without open element");
+bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset) {
+  if (open_labels_.empty()) {
+    return FailAt(offset, "closing tag without open element");
+  }
   if (symbol >= 0 && open_labels_.back() != symbol) {
-    return Fail("mismatched closing tag");
+    return FailAt(offset, "mismatched closing tag");
   }
   open_labels_.pop_back();
   --depth_;
   machine_->OnClose(symbol);
+  ++events_;
+  return true;
+}
+
+template <typename Stepper>
+bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
+  const uint8_t* cls = byte_class_.data();
+  const Symbol* sym = byte_symbol_.data();
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(chunk[i]);
+    switch (cls[c]) {
+      case kWs:
+        break;
+      case kOpen: {
+        Symbol s = sym[c];
+        if (s < 0) return FailAt(chunk_base_ + i, "unknown opening tag");
+        if (depth_ == 0 && saw_root_) {
+          return FailAt(chunk_base_ + i, "content after the root closed");
+        }
+        saw_root_ = true;
+        ++depth_;
+        if (depth_ > max_depth_) max_depth_ = depth_;
+        open_labels_.push_back(s);
+        stepper.Open(s, c);
+        ++events_;
+        if (stepper.Accepting()) {
+          ++matches_;
+          if (match_callback_) match_callback_(nodes_, s);
+        }
+        ++nodes_;
+        break;
+      }
+      case kClose: {
+        Symbol s = sym[c];
+        if (s < 0) return FailAt(chunk_base_ + i, "unknown closing tag");
+        if (open_labels_.empty()) {
+          return FailAt(chunk_base_ + i, "closing tag without open element");
+        }
+        if (open_labels_.back() != s) {
+          return FailAt(chunk_base_ + i, "mismatched closing tag");
+        }
+        open_labels_.pop_back();
+        --depth_;
+        stepper.Close(s, c);
+        ++events_;
+        break;
+      }
+      default:
+        return FailAt(chunk_base_ + i, "unexpected byte in compact markup");
+    }
+  }
+  return true;
+}
+
+bool StreamingSelector::FeedTerm(std::string_view chunk) {
+  const uint8_t* cls = byte_class_.data();
+  const Symbol* sym = byte_symbol_.data();
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(chunk[i]);
+    if (cls[c] == kWs) continue;
+    if (have_pending_) {
+      if (c != '{') {
+        return FailAt(chunk_base_ + i, "expected '{' after label");
+      }
+      have_pending_ = false;
+      Symbol s = sym[pending_byte_];
+      if (s < 0) {
+        return FailAt(chunk_base_ + i, "unknown label in term encoding");
+      }
+      if (!EmitOpen(s, chunk_base_ + i)) return false;
+      continue;
+    }
+    switch (cls[c]) {
+      case kCloseBrace:
+        if (!EmitClose(-1, chunk_base_ + i)) return false;
+        break;
+      case kLabel:
+        pending_byte_ = c;
+        have_pending_ = true;
+        break;
+      default:
+        return FailAt(chunk_base_ + i, "unexpected byte in term encoding");
+    }
+  }
+  return true;
+}
+
+bool StreamingSelector::FeedXml(std::string_view chunk) {
+  const uint8_t* cls = byte_class_.data();
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(chunk[i]);
+    if (!in_tag_) {
+      if (cls[c] == kWs) continue;
+      if (c != '<') return FailAt(chunk_base_ + i, "expected '<'");
+      in_tag_ = true;
+      tag_first_ = true;
+      tag_closing_ = false;
+      tag_len_ = 0;
+      continue;
+    }
+    if (c != '>') {
+      if (c == '/' && tag_first_) {
+        tag_closing_ = true;
+        tag_first_ = false;
+        continue;
+      }
+      tag_first_ = false;
+      if (tag_len_ >= kMaxTagBytes) {
+        return FailAt(chunk_base_ + i, "tag too long");
+      }
+      tag_buf_[tag_len_++] = static_cast<char>(c);
+      continue;
+    }
+    in_tag_ = false;
+    if (tag_len_ == 0) {
+      return FailAt(chunk_base_ + i,
+                    tag_closing_ ? "empty tag name" : "empty tag");
+    }
+    Symbol s = tag_len_ == 1
+                   ? byte_symbol_[static_cast<unsigned char>(tag_buf_[0])]
+                   : alphabet_->Find(std::string_view(tag_buf_, tag_len_));
+    if (s < 0) {
+      return FailAt(chunk_base_ + i, "element name outside the query alphabet");
+    }
+    bool ok = tag_closing_ ? EmitClose(s, chunk_base_ + i)
+                           : EmitOpen(s, chunk_base_ + i);
+    tag_len_ = 0;
+    if (!ok) return false;
+  }
   return true;
 }
 
 bool StreamingSelector::Feed(std::string_view chunk) {
   if (failed_) return false;
+  chunk_base_ = bytes_fed_;
+  bytes_fed_ += static_cast<int64_t>(chunk.size());
   switch (format_) {
-    case Format::kCompactMarkup:
-      for (char c : chunk) {
-        if (std::isspace(static_cast<unsigned char>(c))) continue;
-        if (c >= 'a' && c <= 'z') {
-          Symbol s = alphabet_->Find(std::string_view(&c, 1));
-          if (s < 0) return Fail("unknown opening tag");
-          if (!EmitOpen(s)) return false;
-        } else if (c >= 'A' && c <= 'Z') {
-          char lower = static_cast<char>(c - 'A' + 'a');
-          Symbol s = alphabet_->Find(std::string_view(&lower, 1));
-          if (s < 0) return Fail("unknown closing tag");
-          if (!EmitClose(s)) return false;
-        } else {
-          return Fail("unexpected byte in compact markup");
-        }
+    case Format::kCompactMarkup: {
+      if (fused_) {
+        FusedStepper stepper{fused_.get(), machine_->ExportedState()};
+        bool ok = FeedMarkup(chunk, stepper);
+        machine_->SyncExportedState(stepper.state);
+        return ok;
       }
-      return true;
-
+      VirtualStepper stepper{machine_};
+      return FeedMarkup(chunk, stepper);
+    }
     case Format::kCompactTerm:
-      for (char c : chunk) {
-        if (std::isspace(static_cast<unsigned char>(c))) continue;
-        if (!pending_.empty()) {
-          if (c != '{') return Fail("expected '{' after label");
-          Symbol s = alphabet_->Find(pending_);
-          pending_.clear();
-          if (s < 0) return Fail("unknown label in term encoding");
-          if (!EmitOpen(s)) return false;
-          continue;
-        }
-        if (c == '}') {
-          if (!EmitClose(-1)) return false;
-        } else if (std::isalnum(static_cast<unsigned char>(c)) ||
-                   c == '_' || c == '-') {
-          if (pending_.size() >= 256) return Fail("label too long");
-          pending_.push_back(c);
-        } else {
-          return Fail("unexpected byte in term encoding");
-        }
-      }
-      return true;
-
+      return FeedTerm(chunk);
     case Format::kXmlLite:
-      for (char c : chunk) {
-        if (!in_tag_) {
-          if (std::isspace(static_cast<unsigned char>(c))) continue;
-          if (c != '<') return Fail("expected '<'");
-          in_tag_ = true;
-          pending_.clear();
-          continue;
-        }
-        if (c != '>') {
-          if (pending_.size() >= 256) return Fail("tag too long");
-          pending_.push_back(c);
-          continue;
-        }
-        in_tag_ = false;
-        if (pending_.empty()) return Fail("empty tag");
-        bool closing = pending_[0] == '/';
-        std::string_view name(pending_);
-        if (closing) name.remove_prefix(1);
-        if (name.empty()) return Fail("empty tag name");
-        Symbol s = alphabet_->Find(name);
-        if (s < 0) return Fail("element name outside the query alphabet");
-        bool ok = closing ? EmitClose(s) : EmitOpen(s);
-        pending_.clear();
-        if (!ok) return false;
-      }
-      return true;
+      return FeedXml(chunk);
   }
-  return Fail("unknown format");
+  return FailAt(chunk_base_, "unknown format");
 }
 
 bool StreamingSelector::Finish() {
   if (failed_) return false;
-  if (in_tag_ || !pending_.empty()) return Fail("truncated tag at end");
-  if (!saw_root_) return Fail("empty document");
-  if (depth_ != 0) return Fail("unclosed elements at end");
+  if (in_tag_ || have_pending_) {
+    return FailAt(bytes_fed_, "truncated tag at end");
+  }
+  if (!saw_root_) return FailAt(bytes_fed_, "empty document");
+  if (depth_ != 0) return FailAt(bytes_fed_, "unclosed elements at end");
   return true;
 }
 

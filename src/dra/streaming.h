@@ -1,15 +1,29 @@
 #ifndef SST_DRA_STREAMING_H_
 #define SST_DRA_STREAMING_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "automata/alphabet.h"
+#include "dra/byte_runner.h"
 #include "dra/machine.h"
 
 namespace sst {
+
+// Byte-level observability of one streaming run; see
+// StreamingSelector::stats(). All counters reset with Reset().
+struct StreamStats {
+  int64_t bytes_fed = 0;      // bytes handed to Feed, whitespace included
+  int64_t events = 0;         // tag events decoded (opens + closes)
+  int64_t max_depth = 0;      // peak element nesting depth
+  int64_t matches = 0;        // pre-selected nodes
+  int64_t error_offset = -1;  // byte offset of the first error, -1 if none
+};
 
 // Incremental push-parser driving a StreamMachine: feed arbitrary byte
 // chunks (network reads, mmap windows); tag events are decoded on the fly
@@ -21,13 +35,31 @@ namespace sst {
 //   kCompactMarkup  'a'..'z' opening tags, 'A'..'Z' closing tags;
 //   kXmlLite        <name> ... </name>, tags only;
 //   kCompactTerm    name{ ... } (JSON-style; drives OnClose with -1).
-// Whitespace between tags is ignored. The parser validates well-formedness
-// (tag balance and, for markup formats, label matching) since the paper's
-// weak setting assumes it: a violation is reported as an error rather than
-// silently producing nonsense.
+// Whitespace between tags is ignored (ASCII whitespace only — behavior is
+// locale-independent). The parser validates well-formedness (tag balance
+// and, for markup formats, label matching) since the paper's weak setting
+// assumes it: a violation is reported as an error rather than silently
+// producing nonsense.
+//
+// The hot loop is table-driven: a 256-entry byte classification and a
+// byte→Symbol table are precomputed from the Alphabet at construction, so
+// the steady state performs no isspace/hash-lookup calls and no heap
+// allocation (partial tags live in a fixed buffer; the well-formedness
+// label stack keeps its capacity across Reset and only grows past
+// kDepthReserve on pathologically deep documents). When the machine exports
+// a plain TagDfa (registerless tier) and the format is compact markup, the
+// scanner runs a fused ByteTagDfaRunner byte→state table with no virtual
+// dispatch per event (Section 4.3).
 class StreamingSelector {
  public:
   enum class Format { kCompactMarkup, kXmlLite, kCompactTerm };
+
+  // Longest supported tag label, in bytes (an XML-lite closing tag's '/'
+  // does not count towards this).
+  static constexpr size_t kMaxTagBytes = 256;
+
+  // Depth up to which the label stack never reallocates in steady state.
+  static constexpr size_t kDepthReserve = 1024;
 
   // Called right after a node is pre-selected: (node index in document
   // order, label symbol).
@@ -43,7 +75,8 @@ class StreamingSelector {
     match_callback_ = std::move(callback);
   }
 
-  // Feeds a chunk; false on malformed input (error() explains).
+  // Feeds a chunk; false on malformed input (error() explains, with the
+  // byte offset of the first offending byte).
   bool Feed(std::string_view chunk);
 
   // Declares end of input; false if the document is incomplete.
@@ -58,29 +91,90 @@ class StreamingSelector {
   bool machine_accepting() const { return machine_->InAcceptingState(); }
   const std::string& error() const { return error_; }
 
+  // Byte-level counters of the run so far.
+  StreamStats stats() const {
+    return {bytes_fed_, events_, max_depth_, matches_, error_offset_};
+  }
+
+  // True when the fused byte→state fast path is active (registerless
+  // machine + compact markup + single-letter labels).
+  bool using_fused_fast_path() const { return fused_ != nullptr; }
+
  private:
-  bool Fail(const char* message);
-  bool EmitOpen(Symbol symbol);
-  bool EmitClose(Symbol symbol);
+  // Byte classes; one table per selector, specialized to its format.
+  enum ByteClass : uint8_t {
+    kBad = 0,
+    kWs,          // ASCII whitespace
+    kOpen,        // markup: 'a'..'z'
+    kClose,       // markup: 'A'..'Z'
+    kLabel,       // term: label byte (ASCII alnum, '_', '-')
+    kCloseBrace,  // term: '}'
+  };
+
+  // Steppers let the markup scanner run either through the virtual
+  // StreamMachine interface or the fused byte table with identical
+  // validation code.
+  struct VirtualStepper {
+    StreamMachine* machine;
+    void Open(Symbol s, unsigned char) { machine->OnOpen(s); }
+    void Close(Symbol s, unsigned char) { machine->OnClose(s); }
+    bool Accepting() const { return machine->InAcceptingState(); }
+  };
+  struct FusedStepper {
+    const ByteTagDfaRunner* runner;
+    int state;
+    void Open(Symbol, unsigned char byte) { state = runner->Next(state, byte); }
+    void Close(Symbol, unsigned char byte) {
+      state = runner->Next(state, byte);
+    }
+    bool Accepting() const { return runner->IsAccepting(state); }
+  };
+
+  void BuildTables();
+  bool FailAt(int64_t offset, const char* message);
+  template <typename Stepper>
+  bool FeedMarkup(std::string_view chunk, Stepper& stepper);
+  bool FeedTerm(std::string_view chunk);
+  bool FeedXml(std::string_view chunk);
+  bool EmitOpen(Symbol symbol, int64_t offset);
+  bool EmitClose(Symbol symbol, int64_t offset);
 
   StreamMachine* machine_;
   Format format_;
   Alphabet* alphabet_;
   MatchCallback match_callback_;
 
+  // Precomputed per-byte tables (built once at construction).
+  std::array<uint8_t, 256> byte_class_;
+  std::array<Symbol, 256> byte_symbol_;
+
+  // Compact-markup fused fast path; null when the machine is not
+  // registerless (or labels are not single lowercase letters).
+  std::unique_ptr<ByteTagDfaRunner> fused_;
+
   // Well-formedness: the expected closing labels (only the labels, not
   // full automaton states — the library never keeps evaluation state per
-  // level, but a *validator* of the input framing needs the open labels;
-  // for the weak/trusted setting this check can be disabled).
+  // level, but a *validator* of the input framing needs the open labels).
   std::vector<Symbol> open_labels_;
 
-  // Incremental lexer state (partial tag across chunk boundaries).
-  std::string pending_;
-  bool in_tag_ = false;  // kXmlLite: between '<' and '>'
+  // Incremental lexer state (partial tag across chunk boundaries) — fixed
+  // capacity, no allocation.
+  char tag_buf_[kMaxTagBytes];
+  uint32_t tag_len_ = 0;
+  bool in_tag_ = false;       // kXmlLite: between '<' and '>'
+  bool tag_first_ = false;    // kXmlLite: next byte is the first after '<'
+  bool tag_closing_ = false;  // kXmlLite: tag started with '/'
+  bool have_pending_ = false;  // kCompactTerm: label byte awaiting '{'
+  unsigned char pending_byte_ = 0;
 
+  int64_t chunk_base_ = 0;  // bytes fed before the current chunk
+  int64_t bytes_fed_ = 0;
+  int64_t events_ = 0;
   int64_t nodes_ = 0;
   int64_t matches_ = 0;
   int64_t depth_ = 0;
+  int64_t max_depth_ = 0;
+  int64_t error_offset_ = -1;
   bool saw_root_ = false;
   bool failed_ = false;
   std::string error_;

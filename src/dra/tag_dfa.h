@@ -61,6 +61,10 @@ class TagDfaMachine final : public StreamMachine {
   }
   bool InAcceptingState() const override { return dfa_->accepting[state_]; }
 
+  const TagDfa* ExportTagDfa() const override { return dfa_; }
+  int ExportedState() const override { return state_; }
+  void SyncExportedState(int state) override { state_ = state; }
+
   int state() const { return state_; }
 
  private:

@@ -327,7 +327,11 @@ std::optional<HedgeAutomaton> HedgeDeterminize(const HedgeAutomaton& a,
       LabelMachine& machine = machines[s];
       for (size_t t = 0; t < machine.tuples.size(); ++t) {
         machine.transitions[t].resize(subsets.size(), -1);
-        for (size_t letter = 0; letter < subsets.size(); ++letter) {
+        // intern() below may grow `subsets`; letters added mid-pass are
+        // filled in on the next fixpoint round (the resize above re-pads
+        // with -1), so iterate only over the letters sized for here.
+        const size_t num_letters = machine.transitions[t].size();
+        for (size_t letter = 0; letter < num_letters; ++letter) {
           if (machine.transitions[t][letter] >= 0) continue;
           grew = true;
           // Advance every per-q set simulation by the subset letter.

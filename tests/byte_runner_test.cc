@@ -5,7 +5,7 @@
 #include "base/rng.h"
 #include "dra/machine.h"
 #include "dra/tag_dfa.h"
-#include "eval/byte_runner.h"
+#include "dra/byte_runner.h"
 #include "eval/registerless_query.h"
 #include "eval/stack_evaluator.h"
 #include "test_util.h"
@@ -75,6 +75,55 @@ TEST(ByteStackRunner, ReportsPeakDepth) {
   bytes += std::string(100, 'A');
   runner.CountSelections(bytes);
   EXPECT_EQ(runner.max_stack_depth(), 100u);
+}
+
+// Regression: the selection predicate used to be `byte >= 'a'`, which also
+// counted '{', '|', '}', '~', and every byte >= 0x7B whenever the
+// (self-looped) state happened to be accepting.
+TEST(ByteRunner, JunkBytesDoNotCountSelections) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex(".*", alphabet);  // every node pre-selected
+  ByteTagDfaRunner runner(
+      BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false));
+  const std::string clean = "abBAcC";
+  EXPECT_EQ(runner.CountSelections(clean), 3);
+  std::string junk = "a{b|B}A~c\x7f\xff\x80" "C";  // same tags + garbage
+  EXPECT_EQ(runner.CountSelections(junk), runner.CountSelections(clean));
+  // Junk alone selects nothing, whatever state it loops in.
+  EXPECT_EQ(runner.CountSelections("{|}~\x7f\x80\xff"), 0);
+}
+
+// The label-driven constructor follows the alphabet instead of assuming
+// labels 'a', 'b', ... in symbol order.
+TEST(ByteRunner, AlphabetAwareTableFollowsTheLabels) {
+  Alphabet alphabet = Alphabet::FromLetters("xyz");
+  Dfa dfa = CompileRegex("x.*y", alphabet);
+  ByteTagDfaRunner runner(BuildRegisterlessQueryAutomaton(dfa, false),
+                          alphabet);
+  Rng rng(73);
+  for (const Tree& tree : testing::SampleTrees(60, 3, &rng)) {
+    std::string bytes = ToCompactMarkup(alphabet, Encode(tree));
+    std::vector<bool> selected = SelectNodes(dfa, tree);
+    int64_t expected = 0;
+    for (bool b : selected) expected += b ? 1 : 0;
+    EXPECT_EQ(runner.CountSelections(bytes), expected);
+  }
+}
+
+// Regression: a closing tag on an empty stack used to be silently skipped,
+// miscounting unbalanced inputs instead of reporting them.
+TEST(ByteStackRunner, UnbalancedCloseIsReported) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  ByteStackRunner runner(dfa);
+  EXPECT_EQ(runner.CountSelections("A"), -1);
+  EXPECT_EQ(runner.CountSelections("aAA"), -1);
+  EXPECT_EQ(runner.CountSelections("aA"), 1);   // balanced: fine
+  EXPECT_EQ(runner.CountSelections("aab"), 2);  // open prefix: fine
+  // Failed runs never inflate the peak-depth counter past real pushes.
+  ByteStackRunner fresh(dfa);
+  EXPECT_EQ(fresh.CountSelections("AAAA"), -1);
+  EXPECT_EQ(fresh.max_stack_depth(), 0u);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "automata/alphabet.h"
 #include "automata/minimize.h"
 #include "base/rng.h"
@@ -10,6 +14,27 @@
 #include "test_util.h"
 #include "trees/encoding.h"
 #include "trees/ground_truth.h"
+
+// Global allocation counter so tests can assert that Feed performs no
+// steady-state heap allocation. Counts every operator new in the binary;
+// tests only look at deltas around the code under test.
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace sst {
 namespace {
@@ -128,6 +153,305 @@ TEST(StreamingSelector, MalformedInputsAreRejected) {
   reject(Format::kCompactTerm, "a{");          // unclosed
   reject(Format::kCompactTerm, "}");           // close without open
   reject(Format::kCompactTerm, "a}");          // label without '{'
+}
+
+// Hides a machine's TagDfa export so the selector takes the generic
+// (virtual-dispatch) path; used to cross-check the fused fast path.
+class OpaqueMachine final : public StreamMachine {
+ public:
+  explicit OpaqueMachine(StreamMachine* inner) : inner_(inner) {}
+  void Reset() override { inner_->Reset(); }
+  void OnOpen(Symbol symbol) override { inner_->OnOpen(symbol); }
+  void OnClose(Symbol symbol) override { inner_->OnClose(symbol); }
+  bool InAcceptingState() const override {
+    return inner_->InAcceptingState();
+  }
+
+ private:
+  StreamMachine* inner_;
+};
+
+// Everything observable about one streaming run.
+struct RunResult {
+  bool fed = false;
+  bool finished = false;
+  int64_t nodes = 0;
+  int64_t matches = 0;
+  int64_t events = 0;
+  int64_t max_depth = 0;
+  int64_t error_offset = -1;
+  std::string error;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
+};
+
+RunResult RunWithSplits(StreamingSelector* selector, const std::string& text,
+                        const std::vector<size_t>& splits) {
+  selector->Reset();
+  RunResult result;
+  result.fed = true;
+  size_t offset = 0;
+  for (size_t len : splits) {
+    if (!selector->Feed(std::string_view(text).substr(offset, len))) {
+      result.fed = false;
+      break;
+    }
+    offset += len;
+  }
+  result.finished = result.fed && selector->Finish();
+  result.nodes = selector->nodes();
+  result.matches = selector->matches();
+  StreamStats stats = selector->stats();
+  result.events = stats.events;
+  result.max_depth = stats.max_depth;
+  result.error_offset = stats.error_offset;
+  result.error = selector->error();
+  return result;
+}
+
+std::vector<size_t> UniformSplits(size_t text_size, size_t chunk_size) {
+  std::vector<size_t> splits;
+  for (size_t i = 0; i < text_size; i += chunk_size) {
+    splits.push_back(std::min(chunk_size, text_size - i));
+  }
+  return splits;
+}
+
+std::vector<size_t> RandomSplits(size_t text_size, Rng* rng) {
+  std::vector<size_t> splits;
+  size_t offset = 0;
+  while (offset < text_size) {
+    size_t len = 1 + static_cast<size_t>(rng->NextBelow(9));
+    len = std::min(len, text_size - offset);
+    splits.push_back(len);
+    offset += len;
+  }
+  return splits;
+}
+
+// Valid and malformed documents per format, for the re-split property.
+std::vector<std::string> PropertyCorpus(StreamingSelector::Format format,
+                                        const Alphabet& alphabet) {
+  Rng rng(13);
+  std::vector<std::string> corpus;
+  for (const Tree& tree : testing::SampleTrees(12, 3, &rng)) {
+    EventStream events = Encode(tree);
+    switch (format) {
+      case StreamingSelector::Format::kCompactMarkup:
+        corpus.push_back(ToCompactMarkup(alphabet, events));
+        break;
+      case StreamingSelector::Format::kXmlLite:
+        corpus.push_back(ToXmlLite(alphabet, events));
+        break;
+      case StreamingSelector::Format::kCompactTerm:
+        corpus.push_back(ToCompactTerm(alphabet, events));
+        break;
+    }
+  }
+  switch (format) {
+    case StreamingSelector::Format::kCompactMarkup:
+      for (const char* text : {"aB", "a", "A", "aAbB", "x", "a?A", "",
+                               "a \n b\tB  A", "abcCBAaA", "aa"}) {
+        corpus.push_back(text);
+      }
+      break;
+    case StreamingSelector::Format::kXmlLite:
+      for (const char* text :
+           {"<a><b></a></b>", "<a>", "<a></a><!", "<zzz></zzz>", "<>",
+            "</>", "< a></ a>", " <a> <b> </b> </a> ", "<a></a",
+            "<a></a><b></b>"}) {
+        corpus.push_back(text);
+      }
+      break;
+    case StreamingSelector::Format::kCompactTerm:
+      for (const char* text : {"a{", "}", "a}", "a{b{}}", "a{} b{}", "a?",
+                               "a {b {} c {}}", "a{}}", "x{}", "a"}) {
+        corpus.push_back(text);
+      }
+      break;
+  }
+  return corpus;
+}
+
+// Satellite: every document, re-split at all chunk sizes 1..16 plus
+// randomized schedules, must behave byte-for-byte like single-chunk
+// feeding — matches, nodes, events, errors, and error offsets included.
+TEST(StreamingSelector, ChunkSplitsNeverChangeTheOutcome) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  for (bool blind : {false, true}) {
+    TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, blind);
+    TagDfaMachine machine(&evaluator);
+    auto formats = blind
+        ? std::vector<StreamingSelector::Format>{
+              StreamingSelector::Format::kCompactTerm}
+        : std::vector<StreamingSelector::Format>{
+              StreamingSelector::Format::kCompactMarkup,
+              StreamingSelector::Format::kXmlLite};
+    for (auto format : formats) {
+      StreamingSelector selector(&machine, format, &alphabet);
+      for (const std::string& text : PropertyCorpus(format, alphabet)) {
+        RunResult whole =
+            RunWithSplits(&selector, text, UniformSplits(text.size(),
+                          text.empty() ? 1 : text.size()));
+        for (size_t chunk_size = 1; chunk_size <= 16; ++chunk_size) {
+          RunResult split = RunWithSplits(
+              &selector, text, UniformSplits(text.size(), chunk_size));
+          EXPECT_EQ(split, whole)
+              << "format " << static_cast<int>(format) << " chunk "
+              << chunk_size << " text \"" << text << '"';
+        }
+        Rng rng(17);
+        for (int trial = 0; trial < 8; ++trial) {
+          RunResult split =
+              RunWithSplits(&selector, text, RandomSplits(text.size(), &rng));
+          EXPECT_EQ(split, whole)
+              << "format " << static_cast<int>(format) << " random trial "
+              << trial << " text \"" << text << '"';
+        }
+      }
+    }
+  }
+}
+
+// The fused byte-table fast path (registerless machine) and the generic
+// virtual-dispatch path must be observationally identical.
+TEST(StreamingSelector, FusedFastPathAgreesWithGenericPath) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  TagDfaMachine fused_machine(&evaluator);
+  TagDfaMachine inner(&evaluator);
+  OpaqueMachine generic_machine(&inner);
+
+  StreamingSelector fused(&fused_machine,
+                          StreamingSelector::Format::kCompactMarkup,
+                          &alphabet);
+  StreamingSelector generic(&generic_machine,
+                            StreamingSelector::Format::kCompactMarkup,
+                            &alphabet);
+  ASSERT_TRUE(fused.using_fused_fast_path());
+  ASSERT_FALSE(generic.using_fused_fast_path());
+
+  for (const std::string& text : PropertyCorpus(
+           StreamingSelector::Format::kCompactMarkup, alphabet)) {
+    for (size_t chunk_size = 1; chunk_size <= 8; ++chunk_size) {
+      std::vector<size_t> splits = UniformSplits(text.size(), chunk_size);
+      EXPECT_EQ(RunWithSplits(&fused, text, splits),
+                RunWithSplits(&generic, text, splits))
+          << "chunk " << chunk_size << " text \"" << text << '"';
+    }
+  }
+  // The synced machine state must agree too.
+  EXPECT_EQ(fused_machine.state(), inner.state());
+}
+
+// Acceptance criterion: the steady-state Feed loop performs zero heap
+// allocations, on every format and on both markup paths.
+TEST(StreamingSelector, FeedDoesNotAllocateInSteadyState) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  TagDfa plain = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/false);
+  TagDfa blind = BuildRegisterlessQueryAutomaton(dfa, /*blind=*/true);
+  Rng rng(29);
+  Tree tree = RandomTree(500, 3, 0.5, &rng);
+  EventStream events = Encode(tree);
+
+  TagDfaMachine plain_machine(&plain);
+  TagDfaMachine blind_machine(&blind);
+  OpaqueMachine opaque(&plain_machine);
+
+  struct Case {
+    const char* name;
+    StreamMachine* machine;
+    StreamingSelector::Format format;
+    std::string text;
+  };
+  std::vector<Case> cases = {
+      {"markup-fused", &plain_machine,
+       StreamingSelector::Format::kCompactMarkup,
+       ToCompactMarkup(alphabet, events)},
+      {"markup-generic", &opaque, StreamingSelector::Format::kCompactMarkup,
+       ToCompactMarkup(alphabet, events)},
+      {"xml", &plain_machine, StreamingSelector::Format::kXmlLite,
+       ToXmlLite(alphabet, events)},
+      {"term", &blind_machine, StreamingSelector::Format::kCompactTerm,
+       ToCompactTerm(alphabet, events)},
+  };
+  for (const Case& c : cases) {
+    StreamingSelector selector(c.machine, c.format, &alphabet);
+    auto feed_all = [&] {
+      selector.Reset();
+      for (size_t i = 0; i < c.text.size(); i += 7) {
+        ASSERT_TRUE(selector.Feed(std::string_view(c.text).substr(i, 7)))
+            << c.name << ": " << selector.error();
+      }
+      ASSERT_TRUE(selector.Finish()) << c.name << ": " << selector.error();
+    };
+    feed_all();  // warm-up: label stack reaches its steady-state capacity
+    int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+    feed_all();
+    int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << c.name << " allocated during steady-state Feed";
+    EXPECT_GT(selector.nodes(), 0) << c.name;
+  }
+}
+
+// Satellite regression: an XML-lite name may use the full tag-length
+// budget; the '/' of the closing form must not eat into it.
+TEST(StreamingSelector, XmlLiteClosingSlashDoesNotCountTowardTagLength) {
+  Alphabet alphabet;
+  std::string name(StreamingSelector::kMaxTagBytes, 'k');
+  alphabet.Intern(name);
+  Dfa dfa = CompileRegex(".*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine, StreamingSelector::Format::kXmlLite,
+                             &alphabet);
+  std::string text = "<" + name + "></" + name + ">";
+  EXPECT_TRUE(selector.Feed(text) && selector.Finish()) << selector.error();
+  EXPECT_EQ(selector.nodes(), 1);
+
+  // One byte over the budget is rejected, opening and closing alike.
+  std::string too_long(StreamingSelector::kMaxTagBytes + 1, 'k');
+  selector.Reset();
+  EXPECT_FALSE(selector.Feed("<" + too_long + ">"));
+  EXPECT_NE(selector.error().find("tag too long"), std::string::npos);
+}
+
+TEST(StreamingSelector, StreamStatsCountTheRun) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("a bB"));  // split mid-document on purpose
+  ASSERT_TRUE(selector.Feed("bBA \n"));
+  ASSERT_TRUE(selector.Finish());
+  StreamStats stats = selector.stats();
+  EXPECT_EQ(stats.bytes_fed, 9);  // whitespace included
+  EXPECT_EQ(stats.events, 6);      // 3 opens + 3 closes
+  EXPECT_EQ(stats.max_depth, 2);
+  EXPECT_EQ(stats.matches, selector.matches());
+  EXPECT_EQ(stats.error_offset, -1);
+}
+
+TEST(StreamingSelector, ErrorsCarryTheByteOffset) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("ab"));
+  EXPECT_FALSE(selector.Feed("B?A"));  // offset 3 in the overall stream
+  EXPECT_EQ(selector.stats().error_offset, 3);
+  EXPECT_NE(selector.error().find("at byte 3"), std::string::npos)
+      << selector.error();
+  // The first error wins; later feeds cannot overwrite it.
+  EXPECT_FALSE(selector.Feed("?"));
+  EXPECT_EQ(selector.stats().error_offset, 3);
 }
 
 TEST(StreamingSelector, WhitespaceIsIgnoredBetweenTags) {
