@@ -11,12 +11,18 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "automata/alphabet.h"
 #include "automata/minimize.h"
+#include "base/byte_scan.h"
+#include "base/check.h"
+#include "base/thread_pool.h"
 #include "bench_util.h"
+#include "dra/byte_runner.h"
+#include "dra/parallel_runner.h"
 #include "dra/streaming.h"
 #include "dra/tag_dfa.h"
 #include "eval/registerless_query.h"
@@ -295,6 +301,139 @@ BENCHMARK(BM_LegacyScanner)->ArgsProduct(kArgs);
 BENCHMARK(BM_RebuiltScanner)->ArgsProduct(kArgs);
 BENCHMARK(BM_RebuiltScannerGenericPath)
     ->ArgsProduct({{0}, {64, 1024, 65536, 1 << 20}});
+
+// --- Whitespace-padded XML: the SIMD/SWAR bulk-skip showcase ------------
+// Pretty-printed XML is mostly indentation; the rebuilt scanner jumps
+// whitespace runs 64 bytes at a time (base/byte_scan.h) and memchr-scans
+// tag bodies, while the legacy scanner touches every byte.
+
+std::string PaddedXmlBytes() {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  EventStream events = Encode(
+      bench::MakeDocument(bench::DocShape::kMixed, 1 << 17, 3, 42));
+  std::string out;
+  int depth = 0;
+  for (const TagEvent& event : events) {
+    if (!event.open) --depth;
+    out.append(1, '\n');
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += event.open ? "<" : "</";
+    out += alphabet.LabelOf(event.symbol);
+    out += ">";
+    if (event.open) ++depth;
+  }
+  return out;
+}
+
+void RunPaddedXmlBench(benchmark::State& state, bool legacy) {
+  BenchSetup setup(false);
+  std::string bytes = PaddedXmlBytes();
+  size_t chunk_size = 65536;
+  int64_t matches = 0;
+  if (legacy) {
+    LegacyStreamingSelector selector(&setup.machine, Format::kXmlLite,
+                                     &setup.alphabet);
+    for (auto _ : state) {
+      matches = DriveChunked(selector, bytes, chunk_size);
+      benchmark::DoNotOptimize(matches);
+    }
+  } else {
+    StreamingSelector selector(&setup.machine, Format::kXmlLite,
+                               &setup.alphabet);
+    for (auto _ : state) {
+      matches = DriveChunked(selector, bytes, chunk_size);
+      benchmark::DoNotOptimize(matches);
+    }
+  }
+  SST_CHECK(matches >= 0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  std::string label = "xmlpad/";
+  label += legacy ? "legacy" : "rebuilt";
+  label += "/kernel=";
+  label += ByteScanKernelName();
+  state.SetLabel(label);
+}
+
+void BM_LegacyScannerPaddedXml(benchmark::State& state) {
+  RunPaddedXmlBench(state, /*legacy=*/true);
+}
+
+void BM_RebuiltScannerPaddedXml(benchmark::State& state) {
+  RunPaddedXmlBench(state, /*legacy=*/false);
+}
+
+BENCHMARK(BM_LegacyScannerPaddedXml);
+BENCHMARK(BM_RebuiltScannerPaddedXml);
+
+// --- Parallel speculative DFA execution vs the sequential fused table ---
+// Inputs are large balanced documents: copies of the 1 MiB random document
+// nested under a single root, so 64 MB of compact markup stays one
+// well-formed tree. The parallel runner splits into threads * 4 chunks,
+// runs chunks 1.. speculatively from every state, and folds the per-chunk
+// state maps; the result is checked against the sequential count each
+// iteration.
+
+const std::string& TiledMarkup(size_t target_bytes) {
+  static std::map<size_t, std::string>* cache =
+      new std::map<size_t, std::string>();
+  auto it = cache->find(target_bytes);
+  if (it != cache->end()) return it->second;
+  const std::string base = DocumentBytes(Format::kCompactMarkup);
+  std::string out = "a";
+  out.reserve(target_bytes + base.size() + 2);
+  while (out.size() + base.size() + 1 < target_bytes) out += base;
+  out += "A";
+  return (*cache)[target_bytes] = std::move(out);
+}
+
+void BM_SequentialFusedRunner(benchmark::State& state) {
+  size_t mib = static_cast<size_t>(state.range(0));
+  BenchSetup setup(false);
+  ByteTagDfaRunner runner(setup.evaluator);
+  const std::string& bytes = TiledMarkup(mib << 20);
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = runner.CountSelections(bytes);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel("seq/" + std::to_string(mib) + "MiB");
+}
+
+void BM_ParallelSpeculativeRunner(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  size_t mib = static_cast<size_t>(state.range(1));
+  BenchSetup setup(false);
+  ByteTagDfaRunner runner(setup.evaluator);
+  ThreadPool pool(threads);
+  ParallelTagDfaRunner parallel(&runner, &pool);
+  const std::string& bytes = TiledMarkup(mib << 20);
+  const int chunks = threads * 4;
+  const int64_t expected = runner.CountSelections(bytes);
+  const int expected_state = runner.FinalState(bytes);
+  for (auto _ : state) {
+    ParallelTagDfaRunner::Result result = parallel.Run(bytes, chunks);
+    SST_CHECK(result.selections == expected);
+    SST_CHECK(result.final_state == expected_state);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["threads"] = threads;
+  state.counters["matches"] = static_cast<double>(expected);
+  state.SetLabel("par/threads=" + std::to_string(threads) + "/" +
+                 std::to_string(mib) + "MiB");
+}
+
+BENCHMARK(BM_SequentialFusedRunner)->Arg(16)->Arg(64);
+BENCHMARK(BM_ParallelSpeculativeRunner)
+    ->ArgsProduct({{1, 2, 4, 8}, {16, 64}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace sst

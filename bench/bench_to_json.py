@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Post-processes Google Benchmark JSON into the BENCH_*.json artifact.
+
+Keeps only the fields that are comparable across machines and PRs (name,
+label, throughput, iteration time, user counters), sorts entries by name,
+and rounds values so re-running on the same machine produces small diffs.
+Usage: bench_to_json.py <raw-google-benchmark.json> [> BENCH_foo.json]
+"""
+
+import json
+import sys
+
+
+def compact(raw):
+    ctx = raw.get("context", {})
+    out = {
+        "context": {
+            "date": ctx.get("date"),
+            "host_name": ctx.get("host_name"),
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+        },
+        "benchmarks": [],
+    }
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": bench.get("name"),
+            "label": bench.get("label"),
+            "real_time_ns": round(bench.get("real_time", 0.0), 1),
+            "cpu_time_ns": round(bench.get("cpu_time", 0.0), 1),
+            "iterations": bench.get("iterations"),
+        }
+        if "bytes_per_second" in bench:
+            entry["mib_per_second"] = round(
+                bench["bytes_per_second"] / (1 << 20), 1)
+        for key, value in bench.items():
+            if key in ("threads", "matches"):
+                entry[key] = value
+        out["benchmarks"].append(entry)
+    out["benchmarks"].sort(key=lambda entry: entry["name"] or "")
+    return out
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as handle:
+        raw = json.load(handle)
+    json.dump(compact(raw), sys.stdout, indent=1)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+#include "base/byte_scan.h"
+
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace sst {
+
+namespace {
+
+constexpr uint64_t kLow = 0x0101010101010101ULL;
+constexpr uint64_t kHigh = 0x8080808080808080ULL;
+constexpr uint64_t kNoHigh = 0x7F7F7F7F7F7F7F7FULL;
+
+// 0x80 in every byte of x that is zero, 0x00 elsewhere. Exact per byte:
+// (b & 0x7F) + 0x7F sets bit 7 iff the low bits are nonzero, | x folds in
+// the high bit, and neither addition nor OR crosses byte lanes.
+inline uint64_t ZeroBytes(uint64_t x) {
+  uint64_t t = (x & kNoHigh) + kNoHigh;
+  return ~(t | x) & kHigh;
+}
+
+// 0x80 in every byte b with b >= n (unsigned), for 1 <= n <= 0x80. Bytes
+// below 0x80 decide via the carry into bit 7 of (b + 0x80 - n); bytes with
+// the high bit set are >= 0x80 >= n, folded in by | x.
+inline uint64_t GeBytes(uint64_t x, unsigned n) {
+  return (((x & kNoHigh) + (0x80 - n) * kLow) | x) & kHigh;
+}
+
+// Compacts the 0x80 lane markers of m into the low 8 bits (bit k = byte k).
+// The products 8k + 7j of the multiplier's bit positions are pairwise
+// distinct, so no addition carries corrupt the top byte.
+inline uint64_t MoveMask8(uint64_t m) {
+  return ((m & kHigh) * 0x0002040810204081ULL) >> 56;
+}
+
+// 0x80 in every byte that is ASCII whitespace: 0x20 or 0x09..0x0D.
+inline uint64_t WsBytes(uint64_t x) {
+  return ZeroBytes(x ^ 0x2020202020202020ULL) |
+         (GeBytes(x, 0x09) & ~GeBytes(x, 0x0E));
+}
+
+}  // namespace
+
+uint64_t ClassifyBlockScalar(const char* data, size_t len) {
+  if (len > 64) len = 64;
+  uint64_t out = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (!ByteIsAsciiWs(static_cast<unsigned char>(data[i]))) {
+      out |= uint64_t{1} << i;
+    }
+  }
+  return out;
+}
+
+uint64_t ClassifyBlockSwar(const char* data, size_t len) {
+  if (len > 64) len = 64;
+  uint64_t out = 0;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t v;
+    std::memcpy(&v, data + i, 8);
+    out |= MoveMask8(~WsBytes(v)) << i;
+  }
+  if (i < len) {
+    // Zero padding is structural (NUL is not whitespace); mask it off.
+    uint64_t v = 0;
+    std::memcpy(&v, data + i, len - i);
+    uint64_t bits = MoveMask8(~WsBytes(v)) & ((uint64_t{1} << (len - i)) - 1);
+    out |= bits << i;
+  }
+  return out;
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+bool CpuHasSse2() { return __builtin_cpu_supports("sse2"); }
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+
+namespace {
+
+// 16 lanes: whitespace iff byte == ' ' or (byte - 9) <= 4 unsigned.
+inline uint32_t StructuralMask16(__m128i v) {
+  __m128i space = _mm_cmpeq_epi8(v, _mm_set1_epi8(' '));
+  __m128i t = _mm_sub_epi8(v, _mm_set1_epi8(9));
+  __m128i ctrl = _mm_cmpeq_epi8(_mm_min_epu8(t, _mm_set1_epi8(4)), t);
+  uint32_t ws = static_cast<uint32_t>(
+      _mm_movemask_epi8(_mm_or_si128(space, ctrl)));
+  return ws ^ 0xFFFFu;
+}
+
+__attribute__((target("avx2"))) inline uint32_t StructuralMask32(__m256i v) {
+  __m256i space = _mm256_cmpeq_epi8(v, _mm256_set1_epi8(' '));
+  __m256i t = _mm256_sub_epi8(v, _mm256_set1_epi8(9));
+  __m256i ctrl = _mm256_cmpeq_epi8(_mm256_min_epu8(t, _mm256_set1_epi8(4)), t);
+  uint32_t ws = static_cast<uint32_t>(
+      _mm256_movemask_epi8(_mm256_or_si256(space, ctrl)));
+  return ~ws;
+}
+
+}  // namespace
+
+uint64_t ClassifyBlockSse2(const char* data, size_t len) {
+  if (len > 64) len = 64;
+  uint64_t out = 0;
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    out |= uint64_t{StructuralMask16(v)} << i;
+  }
+  if (i < len) {
+    alignas(16) char buf[16] = {};
+    std::memcpy(buf, data + i, len - i);
+    __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(buf));
+    uint64_t bits =
+        StructuralMask16(v) & ((uint64_t{1} << (len - i)) - 1);
+    out |= bits << i;
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) uint64_t ClassifyBlockAvx2(const char* data,
+                                                           size_t len) {
+  if (len > 64) len = 64;
+  uint64_t out = 0;
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    out |= uint64_t{StructuralMask32(v)} << i;
+  }
+  if (i < len) {
+    alignas(32) char buf[32] = {};
+    std::memcpy(buf, data + i, len - i);
+    __m256i v = _mm256_load_si256(reinterpret_cast<const __m256i*>(buf));
+    uint64_t bits =
+        StructuralMask32(v) & ((uint64_t{1} << (len - i)) - 1);
+    out |= bits << i;
+  }
+  return out;
+}
+
+#endif  // x86
+
+namespace {
+
+struct ScanDispatch {
+  uint64_t (*classify)(const char*, size_t);
+  const char* name;
+};
+
+ScanDispatch Resolve() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (CpuHasAvx2()) return {&ClassifyBlockAvx2, "avx2"};
+  if (CpuHasSse2()) return {&ClassifyBlockSse2, "sse2"};
+#endif
+  return {&ClassifyBlockSwar, "swar"};
+}
+
+const ScanDispatch& Active() {
+  static const ScanDispatch dispatch = Resolve();
+  return dispatch;
+}
+
+}  // namespace
+
+uint64_t ClassifyBlock(const char* data, size_t len) {
+  return Active().classify(data, len);
+}
+
+const char* ByteScanKernelName() { return Active().name; }
+
+size_t FindStructural(const char* data, size_t len) {
+  const ScanDispatch& dispatch = Active();
+  size_t i = 0;
+  while (i < len) {
+    size_t n = len - i < 64 ? len - i : 64;
+    uint64_t mask = dispatch.classify(data + i, n);
+    if (mask) return i + static_cast<size_t>(std::countr_zero(mask));
+    i += n;
+  }
+  return len;
+}
+
+}  // namespace sst

@@ -1,0 +1,51 @@
+#ifndef SST_BASE_BYTE_SCAN_H_
+#define SST_BASE_BYTE_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sst {
+
+// Data-parallel byte classification for streaming scanners. The structural
+// bytes of every supported serialization ('<', '>', '{', '}', tag letters)
+// are exactly the non-whitespace bytes — between tags only ASCII whitespace
+// is legal — so "find the next structural byte" reduces to "find the first
+// byte outside {' ', '\t', '\n', '\v', '\f', '\r'}". ClassifyBlock answers
+// that for up to 64 bytes at a time: a portable 64-bit SWAR kernel with
+// SSE2/AVX2 specializations selected once at startup (runtime dispatch; the
+// binary never requires AVX2). Single-byte searches ('>' inside an XML tag)
+// go through libc memchr, which is already vectorized.
+
+// Scalar whitespace predicate; the reference all kernels must agree with.
+inline bool ByteIsAsciiWs(unsigned char b) {
+  return b == ' ' || b == '\t' || b == '\n' || b == '\v' || b == '\f' ||
+         b == '\r';
+}
+
+// Classifies up to 64 bytes: bit i of the result is set iff data[i] is
+// structural (not ASCII whitespace). len is clamped to 64; bits at or past
+// the clamped length are zero. Dispatches to the best kernel for the CPU.
+uint64_t ClassifyBlock(const char* data, size_t len);
+
+// Individual kernels, exposed so tests can cross-check every
+// implementation on this machine (not just the dispatched one).
+uint64_t ClassifyBlockScalar(const char* data, size_t len);
+uint64_t ClassifyBlockSwar(const char* data, size_t len);
+#if defined(__x86_64__) || defined(__i386__)
+uint64_t ClassifyBlockSse2(const char* data, size_t len);
+uint64_t ClassifyBlockAvx2(const char* data, size_t len);
+// True when the running CPU can execute the corresponding kernel.
+bool CpuHasSse2();
+bool CpuHasAvx2();
+#endif
+
+// Name of the kernel ClassifyBlock dispatches to: "avx2", "sse2" or "swar".
+const char* ByteScanKernelName();
+
+// Offset of the first structural (non-whitespace) byte in [0, len), or len
+// when the whole range is whitespace.
+size_t FindStructural(const char* data, size_t len);
+
+}  // namespace sst
+
+#endif  // SST_BASE_BYTE_SCAN_H_

@@ -1,0 +1,86 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+
+namespace sst {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with no work left
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& task) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (int i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  // Per-batch completion state lives on this stack frame; every enqueued
+  // job decrements `remaining` under the batch mutex before the frame can
+  // unwind, and the final notify happens while that mutex is held, so the
+  // condition variable outlives all signalers.
+  struct Batch {
+    std::mutex mu;
+    std::condition_variable done;
+    int remaining;
+  } batch;
+  batch.remaining = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < num_tasks; ++i) {
+      queue_.emplace_back([&task, &batch, i] {
+        task(i);
+        std::lock_guard<std::mutex> lock(batch.mu);
+        if (--batch.remaining == 0) batch.done.notify_all();
+      });
+    }
+  }
+  work_cv_.notify_all();
+  // The caller is a lane too: drain jobs (possibly from an interleaved
+  // batch — running those is harmless and keeps the queue moving).
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+}
+
+}  // namespace sst

@@ -1,0 +1,51 @@
+#ifndef SST_BASE_THREAD_POOL_H_
+#define SST_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sst {
+
+// Minimal fork-join worker pool for data-parallel loops (speculative chunk
+// evaluation, benchmark sweeps). Workers are spawned once and reused across
+// Run calls; each Run is an independent batch, so concurrent Run calls from
+// different threads interleave safely on the shared queue.
+class ThreadPool {
+ public:
+  // `num_threads` is the concurrency level: the pool spawns num_threads - 1
+  // workers and the thread calling Run participates as the last lane.
+  // num_threads <= 1 runs everything inline on the caller.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  // Invokes task(0), ..., task(num_tasks - 1), spread across the workers
+  // and the calling thread; blocks until every task has finished. Tasks
+  // must not call Run on the same pool (no nested parallelism).
+  void Run(int num_tasks, const std::function<void(int)>& task);
+
+  // Hardware concurrency with a floor of 1 (hardware_concurrency may
+  // report 0 on exotic platforms).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sst
+
+#endif  // SST_BASE_THREAD_POOL_H_

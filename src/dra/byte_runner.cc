@@ -32,31 +32,43 @@ ByteTagDfaRunner::ByteTagDfaRunner(const TagDfa& dfa, const Alphabet& alphabet)
   BuildTable(dfa, byte_symbol.data());
 }
 
-void ByteTagDfaRunner::BuildTable(const TagDfa& dfa,
-                                  const Symbol* byte_symbol) {
-  table_.assign(static_cast<size_t>(num_states_) * 256, 0);
-  accepting_.assign(num_states_, 0);
+template <typename T>
+void ByteTagDfaRunner::FillTable(std::vector<T>* table, const TagDfa& dfa,
+                                 const Symbol* byte_symbol) {
+  table->assign(static_cast<size_t>(num_states_) * 256, 0);
   for (int q = 0; q < num_states_; ++q) {
     accepting_[q] = dfa.accepting[q] ? 1 : 0;
-    int* row = &table_[static_cast<size_t>(q) * 256];
+    T* row = table->data() + static_cast<size_t>(q) * 256;
     for (int byte = 0; byte < 256; ++byte) {
       // Unknown bytes self-loop (they cannot occur in valid input).
-      row[byte] = q;
+      row[byte] = static_cast<T>(q);
     }
     for (int byte = 'a'; byte <= 'z'; ++byte) {
       Symbol a = byte_symbol[byte];
       if (a < 0 || a >= dfa.num_symbols) continue;
-      row[byte] = dfa.NextOpen(q, a);
-      row[byte - 'a' + 'A'] = dfa.NextClose(q, a);
+      row[byte] = static_cast<T>(dfa.NextOpen(q, a));
+      row[byte - 'a' + 'A'] = static_cast<T>(dfa.NextClose(q, a));
     }
   }
 }
 
-int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
+void ByteTagDfaRunner::BuildTable(const TagDfa& dfa,
+                                  const Symbol* byte_symbol) {
+  accepting_.assign(num_states_, 0);
+  if (num_states_ < 65536) {
+    FillTable(&table16_, dfa, byte_symbol);
+  } else {
+    FillTable(&table32_, dfa, byte_symbol);
+  }
+}
+
+template <typename T>
+int64_t ByteTagDfaRunner::CountSelectionsImpl(const T* table,
+                                              std::string_view bytes) const {
   int state = initial_;
   int64_t selected = 0;
   for (unsigned char byte : bytes) {
-    state = Step(state, byte);
+    state = table[static_cast<size_t>(state) * 256 + byte];
     // Pre-selection samples only after opening tags: exactly the lowercase
     // letters. Anything else ('{', '|', bytes >= 0x7B, ...) self-loops and
     // must not count even when the looped state is accepting.
@@ -66,10 +78,28 @@ int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
   return selected;
 }
 
-bool ByteTagDfaRunner::Accepts(std::string_view bytes) const {
+int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
+  return uses_compact_table() ? CountSelectionsImpl(table16_.data(), bytes)
+                              : CountSelectionsImpl(table32_.data(), bytes);
+}
+
+template <typename T>
+int ByteTagDfaRunner::FinalStateImpl(const T* table,
+                                     std::string_view bytes) const {
   int state = initial_;
-  for (unsigned char byte : bytes) state = Step(state, byte);
-  return accepting_[state] != 0;
+  for (unsigned char byte : bytes) {
+    state = table[static_cast<size_t>(state) * 256 + byte];
+  }
+  return state;
+}
+
+int ByteTagDfaRunner::FinalState(std::string_view bytes) const {
+  return uses_compact_table() ? FinalStateImpl(table16_.data(), bytes)
+                              : FinalStateImpl(table32_.data(), bytes);
+}
+
+bool ByteTagDfaRunner::Accepts(std::string_view bytes) const {
+  return accepting_[FinalState(bytes)] != 0;
 }
 
 ByteStackRunner::ByteStackRunner(const Dfa& dfa)

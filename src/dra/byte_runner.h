@@ -24,6 +24,11 @@ namespace sst {
 // just consumed (only meaningful after opening bytes). Besides the batch
 // entry points, the runner exposes incremental stepping so streaming
 // scanners (StreamingSelector) can drive it chunk by chunk.
+//
+// Storage is uint16_t when the machine has fewer than 65536 states (the
+// overwhelmingly common case — halves the cache footprint of the hot
+// table) and int32_t otherwise. Batch loops dispatch on the width once per
+// call; the incremental Next() pays one well-predicted branch per event.
 class ByteTagDfaRunner {
  public:
   // Positional convention: symbol s opens as byte 'a' + s and closes as
@@ -43,6 +48,10 @@ class ByteTagDfaRunner {
   // Final-state acceptance after the whole stream.
   bool Accepts(std::string_view bytes) const;
 
+  // State reached from the initial state after the whole stream (the
+  // sequential reference the parallel runner must reproduce).
+  int FinalState(std::string_view bytes) const;
+
   // Incremental stepping for chunked scanners.
   int initial_state() const { return initial_; }
   int Next(int state, unsigned char byte) const { return Step(state, byte); }
@@ -50,16 +59,38 @@ class ByteTagDfaRunner {
 
   int num_states() const { return num_states_; }
 
+  // Raw storage access for the speculative parallel runner and benchmarks:
+  // exactly one of table16()/table32() is non-null, matching
+  // uses_compact_table(). Rows are 256 entries wide.
+  bool uses_compact_table() const { return !table16_.empty(); }
+  const uint16_t* table16() const {
+    return table16_.empty() ? nullptr : table16_.data();
+  }
+  const int32_t* table32() const {
+    return table32_.empty() ? nullptr : table32_.data();
+  }
+  const uint8_t* accepting_bytes() const { return accepting_.data(); }
+
  private:
   void BuildTable(const TagDfa& dfa, const Symbol* byte_symbol);
 
   int Step(int state, unsigned char byte) const {
-    return table_[static_cast<size_t>(state) * 256 + byte];
+    size_t index = static_cast<size_t>(state) * 256 + byte;
+    return table16_.empty() ? table32_[index] : table16_[index];
   }
+
+  template <typename T>
+  void FillTable(std::vector<T>* table, const TagDfa& dfa,
+                 const Symbol* byte_symbol);
+  template <typename T>
+  int64_t CountSelectionsImpl(const T* table, std::string_view bytes) const;
+  template <typename T>
+  int FinalStateImpl(const T* table, std::string_view bytes) const;
 
   int num_states_;
   int initial_;
-  std::vector<int> table_;        // num_states * 256
+  std::vector<uint16_t> table16_;  // num_states * 256 when < 65536 states
+  std::vector<int32_t> table32_;   // num_states * 256 otherwise
   std::vector<uint8_t> accepting_;
 };
 

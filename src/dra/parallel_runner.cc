@@ -1,0 +1,214 @@
+#include "dra/parallel_runner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Speculative chunk evaluation from every state. Survivor start states are
+// stepped byte by byte; every `dedup_interval` bytes, start states whose
+// trajectories have met are merged: the retiree records its parent and the
+// count difference at merge time (their futures are identical from here
+// on, so the final count of the retiree is its delta plus the parent's
+// final count, following the chain across later merges).
+template <typename T>
+void RunFromAllStates(const T* table, const uint8_t* accepting,
+                      int num_states, int dedup_interval,
+                      std::string_view chunk, std::vector<int>* final_state,
+                      std::vector<int64_t>* final_count) {
+  std::vector<int> cur(num_states);      // current state, per survivor
+  std::vector<int64_t> cnt(num_states, 0);
+  std::vector<int> reps(num_states);     // surviving start states
+  std::iota(reps.begin(), reps.end(), 0);
+  std::iota(cur.begin(), cur.end(), 0);
+  std::vector<int> parent(num_states, -1);
+  std::vector<int64_t> delta(num_states, 0);
+  std::vector<int> owner(num_states, -1);  // dedup scratch, keyed by state
+  std::vector<int> survivors;
+
+  const size_t interval =
+      dedup_interval <= 0 ? chunk.size() : static_cast<size_t>(dedup_interval);
+  size_t pos = 0;
+  while (pos < chunk.size()) {
+    if (reps.size() == 1) {
+      // Fully converged: one trajectory left, run it at sequential cost.
+      int s = reps[0];
+      int q = cur[s];
+      int64_t c = cnt[s];
+      for (size_t i = pos; i < chunk.size(); ++i) {
+        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+        q = table[static_cast<size_t>(q) * 256 + byte];
+        c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') &
+                                  accepting[q]);
+      }
+      cur[s] = q;
+      cnt[s] = c;
+      pos = chunk.size();
+      break;
+    }
+    size_t end = std::min(pos + interval, chunk.size());
+    if (reps.size() == 2) {
+      // The common steady state: two trajectories that never meet (e.g.
+      // matched-context vs not). Keep both in registers.
+      int s0 = reps[0], s1 = reps[1];
+      int q0 = cur[s0], q1 = cur[s1];
+      int64_t c0 = cnt[s0], c1 = cnt[s1];
+      for (size_t i = pos; i < end; ++i) {
+        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+        int64_t open = (byte >= 'a') & (byte <= 'z');
+        q0 = table[static_cast<size_t>(q0) * 256 + byte];
+        q1 = table[static_cast<size_t>(q1) * 256 + byte];
+        c0 += open & accepting[q0];
+        c1 += open & accepting[q1];
+      }
+      cur[s0] = q0;
+      cur[s1] = q1;
+      cnt[s0] = c0;
+      cnt[s1] = c1;
+    } else {
+      for (size_t i = pos; i < end; ++i) {
+        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+        int64_t open = (byte >= 'a') & (byte <= 'z');
+        for (int s : reps) {
+          int q = table[static_cast<size_t>(cur[s]) * 256 + byte];
+          cur[s] = q;
+          cnt[s] += open & accepting[q];
+        }
+      }
+    }
+    pos = end;
+    // Merge survivors that reached the same state.
+    survivors.clear();
+    for (int s : reps) {
+      int q = cur[s];
+      if (owner[q] < 0) {
+        owner[q] = s;
+        survivors.push_back(s);
+      } else {
+        parent[s] = owner[q];
+        delta[s] = cnt[s] - cnt[owner[q]];
+      }
+    }
+    for (int s : survivors) owner[cur[s]] = -1;
+    reps.swap(survivors);
+  }
+
+  final_state->resize(num_states);
+  final_count->resize(num_states);
+  for (int s = 0; s < num_states; ++s) {
+    int64_t extra = 0;
+    int r = s;
+    while (parent[r] >= 0) {
+      extra += delta[r];
+      r = parent[r];
+    }
+    (*final_state)[s] = cur[r];
+    (*final_count)[s] = cnt[r] + extra;
+  }
+}
+
+template <typename T>
+void RunFromState(const T* table, const uint8_t* accepting,
+                  std::string_view chunk, int start, int* final_state,
+                  int64_t* count) {
+  int q = start;
+  int64_t c = 0;
+  for (unsigned char byte : chunk) {
+    q = table[static_cast<size_t>(q) * 256 + byte];
+    c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') & accepting[q]);
+  }
+  *final_state = q;
+  *count = c;
+}
+
+}  // namespace
+
+ParallelTagDfaRunner::ParallelTagDfaRunner(const ByteTagDfaRunner* runner,
+                                           ThreadPool* pool,
+                                           int dedup_interval)
+    : runner_(runner), pool_(pool), dedup_interval_(dedup_interval) {
+  SST_CHECK(runner != nullptr);
+}
+
+void ParallelTagDfaRunner::RunChunkFromAll(std::string_view chunk,
+                                           ChunkEffect* out) const {
+  if (runner_->uses_compact_table()) {
+    RunFromAllStates(runner_->table16(), runner_->accepting_bytes(),
+                     runner_->num_states(), dedup_interval_, chunk,
+                     &out->final_state, &out->count);
+  } else {
+    RunFromAllStates(runner_->table32(), runner_->accepting_bytes(),
+                     runner_->num_states(), dedup_interval_, chunk,
+                     &out->final_state, &out->count);
+  }
+}
+
+void ParallelTagDfaRunner::RunChunkFrom(std::string_view chunk, int start,
+                                        int* final_state,
+                                        int64_t* count) const {
+  if (runner_->uses_compact_table()) {
+    RunFromState(runner_->table16(), runner_->accepting_bytes(), chunk, start,
+                 final_state, count);
+  } else {
+    RunFromState(runner_->table32(), runner_->accepting_bytes(), chunk, start,
+                 final_state, count);
+  }
+}
+
+ParallelTagDfaRunner::Result ParallelTagDfaRunner::Run(std::string_view bytes,
+                                                       int num_chunks) const {
+  Result result;
+  result.final_state = runner_->initial_state();
+  if (bytes.empty()) {
+    result.chunks = 0;
+    return result;
+  }
+  size_t n = bytes.size();
+  size_t chunks = std::clamp<size_t>(num_chunks, 1, n);
+  result.chunks = static_cast<int>(chunks);
+  if (chunks == 1) {
+    RunChunkFrom(bytes, result.final_state, &result.final_state,
+                 &result.selections);
+    return result;
+  }
+
+  // Chunk 0 starts from the known initial state (sequential cost); chunks
+  // 1..K-1 are speculative.
+  int chunk0_state = 0;
+  int64_t chunk0_count = 0;
+  std::vector<ChunkEffect> effects(chunks - 1);
+  auto boundary = [n, chunks](size_t k) { return k * n / chunks; };
+  auto work = [&](int k) {
+    size_t lo = boundary(k);
+    size_t hi = boundary(k + 1);
+    std::string_view chunk = bytes.substr(lo, hi - lo);
+    if (k == 0) {
+      RunChunkFrom(chunk, runner_->initial_state(), &chunk0_state,
+                   &chunk0_count);
+    } else {
+      RunChunkFromAll(chunk, &effects[k - 1]);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->Run(static_cast<int>(chunks), work);
+  } else {
+    for (size_t k = 0; k < chunks; ++k) work(static_cast<int>(k));
+  }
+
+  // Left-to-right fold of the chunk effects along the realized trajectory.
+  int state = chunk0_state;
+  int64_t total = chunk0_count;
+  for (const ChunkEffect& effect : effects) {
+    total += effect.count[state];
+    state = effect.final_state[state];
+  }
+  result.final_state = state;
+  result.selections = total;
+  return result;
+}
+
+}  // namespace sst

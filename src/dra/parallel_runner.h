@@ -1,0 +1,83 @@
+#ifndef SST_DRA_PARALLEL_RUNNER_H_
+#define SST_DRA_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "base/thread_pool.h"
+#include "dra/byte_runner.h"
+
+namespace sst {
+
+// Data-parallel speculative execution of a fused ByteTagDfaRunner table.
+//
+// A registerless machine carries no stack and no registers: its whole
+// configuration is one of finitely many states, so a chunk of the stream
+// induces (a) a total function Q -> Q (where does the chunk take each
+// state) and (b) a selection count per start state. These per-chunk
+// effects compose associatively — f_{uv} = f_v . f_u and
+// c_{uv}(q) = c_u(q) + c_v(f_u(q)) — which makes evaluation a monoid fold:
+// split the input into K chunks, run every chunk *speculatively from all
+// states* in parallel, then compose the effects left-to-right to recover
+// the exact sequential trajectory and match count. (This is precisely what
+// breaks for DRAs and stack machines: their chunk effect depends on an
+// unbounded register valuation / stack content at entry, so it cannot be
+// tabulated; see DESIGN.md "Parallel evaluation".)
+//
+// The speculative overhead starts at |Q| table lookups per byte, but
+// trajectories merge: once two start states reach the same state they stay
+// together forever, so merged states are retired to a (parent, count
+// delta) record and only distinct survivors are stepped. On real automata
+// the survivor set typically collapses to 1-2 states within a few hundred
+// bytes, making the per-chunk cost approach the sequential cost.
+class ParallelTagDfaRunner {
+ public:
+  struct Result {
+    int final_state = 0;      // state after the whole stream, from initial
+    int64_t selections = 0;   // == sequential CountSelections
+    int chunks = 0;           // chunks actually used
+  };
+
+  // `runner` must outlive this object. `pool` may be null: chunks then run
+  // back-to-back on the calling thread (still through the speculative
+  // path, which is what the correctness tests exercise).
+  // `dedup_interval` is the number of bytes between merge sweeps of the
+  // speculative state set; smaller values converge sooner at the price of
+  // more sweeps (tests use tiny values to force merges on short inputs).
+  ParallelTagDfaRunner(const ByteTagDfaRunner* runner, ThreadPool* pool,
+                       int dedup_interval = 256);
+
+  // Splits `bytes` into `num_chunks` near-equal chunks (clamped to
+  // [1, bytes.size()]); chunk 0 starts from the known initial state and
+  // runs at sequential cost, later chunks run speculatively from all
+  // states. Returns the exact sequential result.
+  Result Run(std::string_view bytes, int num_chunks) const;
+
+  int64_t CountSelections(std::string_view bytes, int num_chunks) const {
+    return Run(bytes, num_chunks).selections;
+  }
+  bool Accepts(std::string_view bytes, int num_chunks) const {
+    return runner_->IsAccepting(Run(bytes, num_chunks).final_state);
+  }
+
+ private:
+  // Effect of one chunk: entry i holds the exit state / selection count
+  // when the chunk is entered in state i.
+  struct ChunkEffect {
+    std::vector<int> final_state;
+    std::vector<int64_t> count;
+  };
+
+  void RunChunkFromAll(std::string_view chunk, ChunkEffect* out) const;
+  void RunChunkFrom(std::string_view chunk, int start, int* final_state,
+                    int64_t* count) const;
+
+  const ByteTagDfaRunner* runner_;
+  ThreadPool* pool_;
+  int dedup_interval_;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_PARALLEL_RUNNER_H_

@@ -1,6 +1,9 @@
 #include "dra/streaming.h"
 
+#include <cstring>
 #include <string>
+
+#include "base/byte_scan.h"
 
 namespace sst {
 
@@ -89,6 +92,7 @@ void StreamingSelector::Reset() {
   pending_byte_ = 0;
   chunk_base_ = 0;
   bytes_fed_ = 0;
+  chunks_fed_ = 0;
   events_ = 0;
   nodes_ = 0;
   matches_ = 0;
@@ -151,6 +155,9 @@ bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     switch (cls[c]) {
       case kWs:
+        // Bulk-skip the whitespace run (SIMD/SWAR; see base/byte_scan.h);
+        // the loop increment then lands on the next structural byte.
+        i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
         break;
       case kOpen: {
         Symbol s = sym[c];
@@ -198,7 +205,10 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
   const Symbol* sym = byte_symbol_.data();
   for (size_t i = 0; i < chunk.size(); ++i) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
-    if (cls[c] == kWs) continue;
+    if (cls[c] == kWs) {
+      i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
+      continue;
+    }
     if (have_pending_) {
       if (c != '{') {
         return FailAt(chunk_base_ + i, "expected '{' after label");
@@ -228,43 +238,66 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
 
 bool StreamingSelector::FeedXml(std::string_view chunk) {
   const uint8_t* cls = byte_class_.data();
-  for (size_t i = 0; i < chunk.size(); ++i) {
+  const size_t n = chunk.size();
+  size_t i = 0;
+  while (i < n) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     if (!in_tag_) {
-      if (cls[c] == kWs) continue;
+      if (cls[c] == kWs) {
+        // Between tags only whitespace is legal before the next '<';
+        // bulk-skip the run (SIMD/SWAR, base/byte_scan.h).
+        i += 1 + FindStructural(chunk.data() + i + 1, n - i - 1);
+        continue;
+      }
       if (c != '<') return FailAt(chunk_base_ + i, "expected '<'");
       in_tag_ = true;
       tag_first_ = true;
       tag_closing_ = false;
       tag_len_ = 0;
+      ++i;
       continue;
     }
-    if (c != '>') {
-      if (c == '/' && tag_first_) {
-        tag_closing_ = true;
-        tag_first_ = false;
-        continue;
-      }
+    if (tag_first_ && c == '/') {
+      tag_closing_ = true;
       tag_first_ = false;
-      if (tag_len_ >= kMaxTagBytes) {
-        return FailAt(chunk_base_ + i, "tag too long");
-      }
-      tag_buf_[tag_len_++] = static_cast<char>(c);
+      ++i;
       continue;
     }
+    // Inside a tag: find the closing '>' in one vectorized sweep (libc
+    // memchr) and copy the whole name run instead of byte-at-a-time.
+    const void* gt = std::memchr(chunk.data() + i, '>', n - i);
+    size_t name_end =
+        gt != nullptr
+            ? static_cast<size_t>(static_cast<const char*>(gt) - chunk.data())
+            : n;
+    if (size_t name_len = name_end - i; name_len > 0) {
+      tag_first_ = false;
+      if (tag_len_ + name_len > kMaxTagBytes) {
+        // Error offset = the first byte that no longer fits, matching the
+        // byte-at-a-time scanner.
+        return FailAt(chunk_base_ + i + (kMaxTagBytes - tag_len_),
+                      "tag too long");
+      }
+      std::memcpy(tag_buf_ + tag_len_, chunk.data() + i, name_len);
+      tag_len_ += static_cast<uint32_t>(name_len);
+      i = name_end;
+    }
+    if (gt == nullptr) break;  // partial tag; the next chunk continues it
     in_tag_ = false;
+    ++i;  // past the '>'
     if (tag_len_ == 0) {
-      return FailAt(chunk_base_ + i,
+      return FailAt(chunk_base_ + name_end,
                     tag_closing_ ? "empty tag name" : "empty tag");
     }
     Symbol s = tag_len_ == 1
                    ? byte_symbol_[static_cast<unsigned char>(tag_buf_[0])]
                    : alphabet_->Find(std::string_view(tag_buf_, tag_len_));
     if (s < 0) {
-      return FailAt(chunk_base_ + i, "element name outside the query alphabet");
+      return FailAt(chunk_base_ + name_end,
+                    "element name outside the query alphabet");
     }
-    bool ok = tag_closing_ ? EmitClose(s, chunk_base_ + i)
-                           : EmitOpen(s, chunk_base_ + i);
+    bool ok = tag_closing_ ? EmitClose(s, chunk_base_ + name_end)
+                           : EmitOpen(s, chunk_base_ + name_end);
     tag_len_ = 0;
     if (!ok) return false;
   }
@@ -275,6 +308,7 @@ bool StreamingSelector::Feed(std::string_view chunk) {
   if (failed_) return false;
   chunk_base_ = bytes_fed_;
   bytes_fed_ += static_cast<int64_t>(chunk.size());
+  ++chunks_fed_;
   switch (format_) {
     case Format::kCompactMarkup: {
       if (fused_) {

@@ -19,6 +19,9 @@ namespace sst {
 // StreamingSelector::stats(). All counters reset with Reset().
 struct StreamStats {
   int64_t bytes_fed = 0;      // bytes handed to Feed, whitespace included
+  int64_t chunks_fed = 0;     // Feed calls processed (throughput input that
+                              // needs no wall clock: bytes_fed / chunks_fed
+                              // is the average chunk the transport delivers)
   int64_t events = 0;         // tag events decoded (opens + closes)
   int64_t max_depth = 0;      // peak element nesting depth
   int64_t matches = 0;        // pre-selected nodes
@@ -44,7 +47,9 @@ struct StreamStats {
 // The hot loop is table-driven: a 256-entry byte classification and a
 // byte→Symbol table are precomputed from the Alphabet at construction, so
 // the steady state performs no isspace/hash-lookup calls and no heap
-// allocation (partial tags live in a fixed buffer; the well-formedness
+// allocation; whitespace runs and XML tag bodies are skipped in bulk with
+// the SIMD/SWAR kernels of base/byte_scan.h rather than byte by byte
+// (partial tags live in a fixed buffer; the well-formedness
 // label stack keeps its capacity across Reset and only grows past
 // kDepthReserve on pathologically deep documents). When the machine exports
 // a plain TagDfa (registerless tier) and the format is compact markup, the
@@ -93,7 +98,8 @@ class StreamingSelector {
 
   // Byte-level counters of the run so far.
   StreamStats stats() const {
-    return {bytes_fed_, events_, max_depth_, matches_, error_offset_};
+    return {bytes_fed_, chunks_fed_, events_, max_depth_, matches_,
+            error_offset_};
   }
 
   // True when the fused byte→state fast path is active (registerless
@@ -169,6 +175,7 @@ class StreamingSelector {
 
   int64_t chunk_base_ = 0;  // bytes fed before the current chunk
   int64_t bytes_fed_ = 0;
+  int64_t chunks_fed_ = 0;
   int64_t events_ = 0;
   int64_t nodes_ = 0;
   int64_t matches_ = 0;

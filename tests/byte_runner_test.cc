@@ -110,6 +110,46 @@ TEST(ByteRunner, AlphabetAwareTableFollowsTheLabels) {
   }
 }
 
+// Small machines compact the fused table to uint16_t (half the cache
+// footprint); machines with >= 65536 states keep int32_t entries. Both
+// storages must agree byte for byte with the event-level machine.
+TEST(ByteRunner, CompactAndWideTablesAgree) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  ByteTagDfaRunner small(BuildRegisterlessQueryAutomaton(dfa, false));
+  EXPECT_TRUE(small.uses_compact_table());
+  EXPECT_NE(small.table16(), nullptr);
+  EXPECT_EQ(small.table32(), nullptr);
+
+  // A wide machine that embeds the small one in its low states: states
+  // [0, n) of `wide` replicate `small`'s automaton, so runs agree while
+  // exercising the int32 storage.
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(dfa, false);
+  const int wide_states = 65536 + evaluator.num_states;
+  TagDfa padded = TagDfa::Create(wide_states, evaluator.num_symbols);
+  padded.initial = evaluator.initial;
+  for (int q = 0; q < wide_states; ++q) {
+    bool embedded = q < evaluator.num_states;
+    padded.accepting[q] = embedded && evaluator.accepting[q];
+    for (Symbol a = 0; a < evaluator.num_symbols; ++a) {
+      padded.SetNextOpen(q, a, embedded ? evaluator.NextOpen(q, a) : q);
+      padded.SetNextClose(q, a, embedded ? evaluator.NextClose(q, a) : q);
+    }
+  }
+  ByteTagDfaRunner wide(padded);
+  EXPECT_FALSE(wide.uses_compact_table());
+  EXPECT_EQ(wide.table16(), nullptr);
+  EXPECT_NE(wide.table32(), nullptr);
+
+  Rng rng(79);
+  for (const Tree& tree : testing::SampleTrees(40, 2, &rng)) {
+    std::string bytes = ToCompactMarkup(alphabet, Encode(tree));
+    EXPECT_EQ(wide.CountSelections(bytes), small.CountSelections(bytes));
+    EXPECT_EQ(wide.FinalState(bytes), small.FinalState(bytes));
+    EXPECT_EQ(wide.Accepts(bytes), small.Accepts(bytes));
+  }
+}
+
 // Regression: a closing tag on an empty stack used to be silently skipped,
 // miscounting unbalanced inputs instead of reporting them.
 TEST(ByteStackRunner, UnbalancedCloseIsReported) {

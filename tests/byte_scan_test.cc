@@ -1,0 +1,112 @@
+#include "base/byte_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace sst {
+namespace {
+
+// All ClassifyBlock kernels available on this machine, by name.
+std::vector<std::pair<const char*, uint64_t (*)(const char*, size_t)>>
+AvailableKernels() {
+  std::vector<std::pair<const char*, uint64_t (*)(const char*, size_t)>>
+      kernels = {{"swar", &ClassifyBlockSwar},
+                 {"dispatched", &ClassifyBlock}};
+#if defined(__x86_64__) || defined(__i386__)
+  if (CpuHasSse2()) kernels.emplace_back("sse2", &ClassifyBlockSse2);
+  if (CpuHasAvx2()) kernels.emplace_back("avx2", &ClassifyBlockAvx2);
+#endif
+  return kernels;
+}
+
+// Fills `out` with a mix heavy in whitespace and boundary bytes (0x08,
+// 0x0E, 0x1F, 0x21, 0x7F, 0x80, 0xFF straddle the classifier's ranges).
+void FillAdversarial(Rng* rng, char* out, size_t len) {
+  static constexpr unsigned char kPool[] = {
+      ' ',  '\t', '\n', '\v', '\f', '\r', 0x08, 0x0E, 0x1F, 0x21,
+      '<',  '>',  '{',  '}',  'a',  'Z',  0x00, 0x7F, 0x80, 0xFF};
+  for (size_t i = 0; i < len; ++i) {
+    if (rng->NextBool(0.5)) {
+      out[i] = static_cast<char>(kPool[rng->NextBelow(sizeof(kPool))]);
+    } else {
+      out[i] = static_cast<char>(rng->NextBelow(256));
+    }
+  }
+}
+
+TEST(ByteScan, ScalarReferenceSanity) {
+  EXPECT_EQ(ClassifyBlockScalar("a b", 3), 0b101u);
+  EXPECT_EQ(ClassifyBlockScalar(" \t\n\v\f\r", 6), 0u);
+  EXPECT_EQ(ClassifyBlockScalar("", 0), 0u);
+  // NUL and other control bytes are structural (only the six ASCII
+  // whitespace bytes are skippable).
+  const char nul[2] = {'\0', 0x08};
+  EXPECT_EQ(ClassifyBlockScalar(nul, 2), 0b11u);
+}
+
+// Fuzz: every kernel agrees with the scalar classifier on random buffers
+// at every alignment offset 0..31 and every length 0..80 (crosses the 8-,
+// 16-, 32- and 64-byte block boundaries of all implementations).
+TEST(ByteScan, ClassifyBlockMatchesScalarAtEveryAlignment) {
+  Rng rng(2026);
+  auto kernels = AvailableKernels();
+  alignas(64) char buffer[32 + 128];
+  for (int round = 0; round < 200; ++round) {
+    FillAdversarial(&rng, buffer, sizeof(buffer));
+    for (size_t offset = 0; offset < 32; ++offset) {
+      const char* data = buffer + offset;
+      for (size_t len : {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64,
+                         65, 80}) {
+        uint64_t expected = ClassifyBlockScalar(data, len);
+        for (const auto& [name, kernel] : kernels) {
+          EXPECT_EQ(kernel(data, len), expected)
+              << name << " kernel, round " << round << ", offset " << offset
+              << ", len " << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(ByteScan, FindStructuralMatchesScalarScan) {
+  Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    size_t len = rng.NextBelow(300);
+    std::string s(len, ' ');
+    // Bias towards long whitespace runs with occasional structural bytes.
+    for (size_t i = 0; i < len; ++i) {
+      if (rng.NextBool(0.1)) s[i] = static_cast<char>(rng.NextBelow(256));
+    }
+    size_t expected = len;
+    for (size_t i = 0; i < len; ++i) {
+      if (!ByteIsAsciiWs(static_cast<unsigned char>(s[i]))) {
+        expected = i;
+        break;
+      }
+    }
+    EXPECT_EQ(FindStructural(s.data(), len), expected) << "round " << round;
+  }
+}
+
+TEST(ByteScan, FindStructuralEdgeCases) {
+  EXPECT_EQ(FindStructural(nullptr, 0), 0u);
+  std::string all_ws(1000, '\n');
+  EXPECT_EQ(FindStructural(all_ws.data(), all_ws.size()), all_ws.size());
+  all_ws += '<';
+  EXPECT_EQ(FindStructural(all_ws.data(), all_ws.size()),
+            all_ws.size() - 1);
+  EXPECT_EQ(FindStructural("x", 1), 0u);
+}
+
+TEST(ByteScan, KernelNameIsKnown) {
+  std::string name = ByteScanKernelName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "swar") << name;
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,154 @@
+#include "dra/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/rng.h"
+#include "base/thread_pool.h"
+#include "dra/byte_runner.h"
+#include "dra/tag_dfa.h"
+#include "eval/registerless_query.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+
+namespace sst {
+namespace {
+
+constexpr int kChunkCounts[] = {1, 2, 3, 7, 16};
+constexpr int kThreadCounts[] = {1, 2, 8};
+constexpr int kDedupIntervals[] = {7, 256};
+
+TagDfa RandomTagDfa(int num_states, int num_symbols, Rng* rng) {
+  TagDfa dfa = TagDfa::Create(num_states, num_symbols);
+  dfa.initial = static_cast<int>(rng->NextBelow(num_states));
+  for (int q = 0; q < num_states; ++q) {
+    dfa.accepting[q] = rng->NextBool(0.3);
+    for (Symbol a = 0; a < num_symbols; ++a) {
+      dfa.SetNextOpen(q, a, static_cast<int>(rng->NextBelow(num_states)));
+      dfa.SetNextClose(q, a, static_cast<int>(rng->NextBelow(num_states)));
+    }
+  }
+  return dfa;
+}
+
+// Asserts that the parallel runner reproduces the sequential final state
+// and selection count for every chunk count × thread count × dedup
+// interval combination.
+void ExpectParallelMatchesSequential(const ByteTagDfaRunner& runner,
+                                     const std::string& bytes) {
+  int64_t expected_count = runner.CountSelections(bytes);
+  int expected_state = runner.FinalState(bytes);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (int dedup : kDedupIntervals) {
+      ParallelTagDfaRunner parallel(&runner, &pool, dedup);
+      for (int chunks : kChunkCounts) {
+        ParallelTagDfaRunner::Result result = parallel.Run(bytes, chunks);
+        ASSERT_EQ(result.selections, expected_count)
+            << "threads=" << threads << " chunks=" << chunks
+            << " dedup=" << dedup << " len=" << bytes.size();
+        ASSERT_EQ(result.final_state, expected_state)
+            << "threads=" << threads << " chunks=" << chunks
+            << " dedup=" << dedup << " len=" << bytes.size();
+      }
+    }
+  }
+}
+
+TEST(ParallelRunner, MatchesSequentialOnRandomTrees) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  Rng rng(101);
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    ExpectParallelMatchesSequential(
+        runner, ToCompactMarkup(alphabet, Encode(tree)));
+  }
+}
+
+TEST(ParallelRunner, MatchesSequentialOnRandomAutomata) {
+  Rng rng(202);
+  for (int round = 0; round < 20; ++round) {
+    int num_states = 2 + static_cast<int>(rng.NextBelow(9));
+    TagDfa dfa = RandomTagDfa(num_states, 3, &rng);
+    ByteTagDfaRunner runner(dfa);
+    int nodes = 1 + static_cast<int>(rng.NextBelow(800));
+    Tree tree = RandomTree(nodes, 3, rng.NextDouble(), &rng);
+    std::string bytes =
+        ToCompactMarkup(Alphabet::FromLetters("abc"), Encode(tree));
+    // Inject whitespace and junk: both self-loop in the fused table and
+    // must not disturb speculative composition.
+    std::string noisy;
+    for (char c : bytes) {
+      if (rng.NextBool(0.1)) noisy += ' ';
+      if (rng.NextBool(0.02)) noisy += '~';
+      noisy += c;
+    }
+    ExpectParallelMatchesSequential(runner, noisy);
+  }
+}
+
+TEST(ParallelRunner, MatchesSequentialOnLargeDocument) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  Rng rng(303);
+  Tree tree = RandomTree(20000, 3, 0.5, &rng);
+  ExpectParallelMatchesSequential(runner,
+                                  ToCompactMarkup(alphabet, Encode(tree)));
+}
+
+TEST(ParallelRunner, EdgeCaseInputs) {
+  Rng rng(404);
+  TagDfa dfa = RandomTagDfa(5, 2, &rng);
+  ByteTagDfaRunner runner(dfa);
+  ThreadPool pool(2);
+  ParallelTagDfaRunner parallel(&runner, &pool);
+  // Empty input: no chunks, initial state, zero selections.
+  ParallelTagDfaRunner::Result empty = parallel.Run("", 8);
+  EXPECT_EQ(empty.chunks, 0);
+  EXPECT_EQ(empty.selections, 0);
+  EXPECT_EQ(empty.final_state, runner.initial_state());
+  // More chunks than bytes: clamps to one chunk per byte.
+  ExpectParallelMatchesSequential(runner, "a");
+  ExpectParallelMatchesSequential(runner, "abBA");
+  // Null pool: chunks run inline, still speculatively.
+  ParallelTagDfaRunner inline_runner(&runner, nullptr, 3);
+  std::string bytes = "ababABABbaBAabAB";
+  EXPECT_EQ(inline_runner.CountSelections(bytes, 5),
+            runner.CountSelections(bytes));
+  EXPECT_EQ(inline_runner.Accepts(bytes, 5), runner.Accepts(bytes));
+}
+
+// The wide (int32) table path: machines with >= 65536 states fall back to
+// the uncompacted table and the speculative runner must dispatch to it.
+TEST(ParallelRunner, WideTableMachineMatchesSequential) {
+  const int n = 65600;
+  TagDfa dfa = TagDfa::Create(n, 1);
+  dfa.initial = 17;
+  for (int q = 0; q < n; ++q) {
+    dfa.accepting[q] = (q % 7) == 0;
+    dfa.SetNextOpen(q, 0, (q * 5 + 1) % n);
+    dfa.SetNextClose(q, 0, (q + 3) % n);
+  }
+  ByteTagDfaRunner runner(dfa);
+  EXPECT_FALSE(runner.uses_compact_table());
+  Rng rng(505);
+  std::string bytes;
+  for (int i = 0; i < 200; ++i) bytes += rng.NextBool() ? 'a' : 'A';
+  ThreadPool pool(2);
+  ParallelTagDfaRunner parallel(&runner, &pool, 16);
+  ParallelTagDfaRunner::Result result = parallel.Run(bytes, 3);
+  EXPECT_EQ(result.selections, runner.CountSelections(bytes));
+  EXPECT_EQ(result.final_state, runner.FinalState(bytes));
+}
+
+}  // namespace
+}  // namespace sst

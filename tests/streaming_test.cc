@@ -431,10 +431,103 @@ TEST(StreamingSelector, StreamStatsCountTheRun) {
   ASSERT_TRUE(selector.Finish());
   StreamStats stats = selector.stats();
   EXPECT_EQ(stats.bytes_fed, 9);  // whitespace included
+  EXPECT_EQ(stats.chunks_fed, 2);  // two Feed calls
   EXPECT_EQ(stats.events, 6);      // 3 opens + 3 closes
   EXPECT_EQ(stats.max_depth, 2);
   EXPECT_EQ(stats.matches, selector.matches());
   EXPECT_EQ(stats.error_offset, -1);
+}
+
+TEST(StreamingSelector, StatsResetBetweenDocuments) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("a bB"));
+  ASSERT_TRUE(selector.Feed("A"));
+  ASSERT_TRUE(selector.Finish());
+  ASSERT_GT(selector.stats().bytes_fed, 0);
+  ASSERT_GT(selector.stats().chunks_fed, 0);
+
+  // Reset must zero every counter so per-document stats never bleed into
+  // the next stream on a reused selector.
+  selector.Reset();
+  StreamStats cleared = selector.stats();
+  EXPECT_EQ(cleared.bytes_fed, 0);
+  EXPECT_EQ(cleared.chunks_fed, 0);
+  EXPECT_EQ(cleared.events, 0);
+  EXPECT_EQ(cleared.max_depth, 0);
+  EXPECT_EQ(cleared.matches, 0);
+  EXPECT_EQ(cleared.error_offset, -1);
+
+  // A second document starts counting from scratch.
+  ASSERT_TRUE(selector.Feed("aA"));
+  ASSERT_TRUE(selector.Finish());
+  StreamStats second = selector.stats();
+  EXPECT_EQ(second.bytes_fed, 2);
+  EXPECT_EQ(second.chunks_fed, 1);
+  EXPECT_EQ(second.events, 2);
+  EXPECT_EQ(second.max_depth, 1);
+
+  // Reset also clears a failed run (error offset included).
+  EXPECT_FALSE(selector.Feed("?"));
+  ASSERT_GE(selector.stats().error_offset, 0);
+  selector.Reset();
+  EXPECT_EQ(selector.stats().error_offset, -1);
+  EXPECT_EQ(selector.stats().chunks_fed, 0);
+  EXPECT_TRUE(selector.error().empty());
+}
+
+TEST(StreamingSelector, ChunksFedNotCountedAfterFailure) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  EXPECT_FALSE(selector.Feed("?"));
+  EXPECT_EQ(selector.stats().chunks_fed, 1);  // the failing chunk counts
+  EXPECT_FALSE(selector.Feed("a"));           // rejected outright: not fed
+  EXPECT_EQ(selector.stats().chunks_fed, 1);
+}
+
+// Long whitespace runs exercise the bulk SIMD/SWAR skip in every format,
+// including runs split across chunk boundaries at every offset.
+TEST(StreamingSelector, BulkWhitespaceSkipMatchesByteAtATime) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex(".*", alphabet);
+  std::string pad(200, ' ');
+  pad[67] = '\n';
+  pad[133] = '\t';
+  const std::string markup = "a" + pad + "b" + pad + "B" + pad + "A";
+  const std::string xml =
+      "<a>" + pad + "<b>" + pad + "</b>" + pad + "</a>";
+  const std::string term = "a{" + pad + "b{" + pad + "}" + pad + "}";
+  struct Case {
+    StreamingSelector::Format format;
+    const std::string* text;
+  } cases[] = {
+      {StreamingSelector::Format::kCompactMarkup, &markup},
+      {StreamingSelector::Format::kXmlLite, &xml},
+      {StreamingSelector::Format::kCompactTerm, &term},
+  };
+  for (const Case& c : cases) {
+    StackQueryEvaluator machine(&dfa);
+    StreamingSelector selector(&machine, c.format, &alphabet);
+    for (size_t chunk : {1u, 7u, 64u, 4096u}) {
+      selector.Reset();
+      for (size_t i = 0; i < c.text->size(); i += chunk) {
+        ASSERT_TRUE(
+            selector.Feed(std::string_view(*c.text).substr(i, chunk)))
+            << selector.error();
+      }
+      ASSERT_TRUE(selector.Finish()) << selector.error();
+      EXPECT_EQ(selector.nodes(), 2);
+      EXPECT_EQ(selector.stats().events, 4);
+    }
+  }
 }
 
 TEST(StreamingSelector, ErrorsCarryTheByteOffset) {

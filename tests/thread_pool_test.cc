@@ -1,0 +1,49 @@
+#include "base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace sst {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.Run(257, [&hits](int i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  for (int batch = 0; batch < 50; ++batch) {
+    pool.Run(16, [&sum](int i) { sum.fetch_add(i + 1); });
+  }
+  EXPECT_EQ(sum.load(), 50 * (16 * 17 / 2));
+}
+
+TEST(ThreadPool, HandlesDegenerateBatchSizes) {
+  ThreadPool pool(3);
+  int ran = 0;
+  pool.Run(0, [&ran](int) { ++ran; });
+  EXPECT_EQ(ran, 0);
+  pool.Run(1, [&ran](int) { ++ran; });  // single task runs inline
+  EXPECT_EQ(ran, 1);
+  std::atomic<int> wide{0};
+  pool.Run(1000, [&wide](int) { wide.fetch_add(1); });
+  EXPECT_EQ(wide.load(), 1000);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace sst
