@@ -292,6 +292,38 @@ void BM_RebuiltScannerGenericPath(benchmark::State& state) {
   RunScanBench(state, /*legacy=*/false, /*opaque=*/true);
 }
 
+// Robustness guards on: finite StreamLimits plus the skip-recovery
+// policy, on a clean document. Measures the hot-path overhead of the
+// hardened front-end (per-open depth check, per-event budget check,
+// per-Feed byte-guard split) against BM_RebuiltScanner — the acceptance
+// bar is <2%.
+void BM_RebuiltScannerGuarded(benchmark::State& state) {
+  Format format = static_cast<Format>(state.range(0));
+  size_t chunk_size = static_cast<size_t>(state.range(1));
+  BenchSetup setup(format == Format::kCompactTerm);
+  std::string bytes = DocumentBytes(format);
+  StreamLimits limits;
+  limits.max_depth = 1 << 20;
+  limits.max_document_bytes = int64_t{1} << 40;
+  limits.max_events = int64_t{1} << 40;
+  limits.max_recovered_errors = 64;
+  StreamingSelector selector(&setup.machine, format, &setup.alphabet);
+  selector.set_recovery_policy(RecoveryPolicy::kSkipMalformedSubtree);
+  selector.set_limits(limits);
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = DriveChunked(selector, bytes, chunk_size);
+    benchmark::DoNotOptimize(matches);
+  }
+  SST_CHECK(matches >= 0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  std::string label = FormatName(format);
+  label += "/guarded/chunk=" + std::to_string(chunk_size);
+  state.SetLabel(label);
+}
+
 const std::vector<std::vector<int64_t>> kArgs = {
     {0, 1, 2},                              // format
     {64, 1024, 65536, 1 << 20},             // chunk size
@@ -301,6 +333,7 @@ BENCHMARK(BM_LegacyScanner)->ArgsProduct(kArgs);
 BENCHMARK(BM_RebuiltScanner)->ArgsProduct(kArgs);
 BENCHMARK(BM_RebuiltScannerGenericPath)
     ->ArgsProduct({{0}, {64, 1024, 65536, 1 << 20}});
+BENCHMARK(BM_RebuiltScannerGuarded)->ArgsProduct(kArgs);
 
 // --- Whitespace-padded XML: the SIMD/SWAR bulk-skip showcase ------------
 // Pretty-printed XML is mostly indentation; the rebuilt scanner jumps

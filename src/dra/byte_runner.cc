@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "base/byte_scan.h"
 #include "base/check.h"
 
 namespace sst {
@@ -55,6 +56,13 @@ void ByteTagDfaRunner::FillTable(std::vector<T>* table, const TagDfa& dfa,
 void ByteTagDfaRunner::BuildTable(const TagDfa& dfa,
                                   const Symbol* byte_symbol) {
   accepting_.assign(num_states_, 0);
+  byte_symbol_.fill(-1);
+  for (int byte = 'a'; byte <= 'z'; ++byte) {
+    Symbol a = byte_symbol[byte];
+    if (a < 0 || a >= dfa.num_symbols) continue;
+    byte_symbol_[byte] = a;
+    byte_symbol_[byte - 'a' + 'A'] = a;
+  }
   if (num_states_ < 65536) {
     FillTable(&table16_, dfa, byte_symbol);
   } else {
@@ -100,6 +108,98 @@ int ByteTagDfaRunner::FinalState(std::string_view bytes) const {
 
 bool ByteTagDfaRunner::Accepts(std::string_view bytes) const {
   return accepting_[FinalState(bytes)] != 0;
+}
+
+ValidatedRun ByteTagDfaRunner::RunValidated(std::string_view bytes,
+                                            const StreamLimits& limits) const {
+  ValidatedRun run;
+  run.final_state = initial_;
+  std::vector<Symbol> open_letters;
+  int64_t depth = 0;
+  bool saw_root = false;
+  // Byte guard first (as a prefix split, exactly like StreamingSelector):
+  // the error fires at offset max_document_bytes iff the prefix is clean.
+  bool over_byte_limit =
+      static_cast<int64_t>(bytes.size()) > limits.max_document_bytes;
+  size_t scan_end = over_byte_limit
+                        ? static_cast<size_t>(limits.max_document_bytes)
+                        : bytes.size();
+  auto fail = [&](StreamErrorCode code, int64_t offset, Symbol expected,
+                  Symbol got) {
+    run.error.code = code;
+    run.error.offset = offset;
+    run.error.depth = depth;
+    run.error.expected = expected;
+    run.error.got = got;
+  };
+  for (size_t i = 0; i < scan_end; ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) continue;
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, i, -1, -1);
+        return run;
+      }
+      if (depth == 0 && saw_root) {
+        fail(StreamErrorCode::kTrailingContent, i, -1, s);
+        return run;
+      }
+      if (depth >= limits.max_depth) {
+        fail(StreamErrorCode::kDepthLimitExceeded, i, -1, s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, i, -1, -1);
+        return run;
+      }
+      saw_root = true;
+      ++depth;
+      if (depth > run.max_depth) run.max_depth = depth;
+      open_letters.push_back(s);
+      run.final_state = Step(run.final_state, byte);
+      ++run.events;
+      if (accepting_[run.final_state]) ++run.matches;
+      ++run.nodes;
+      continue;
+    }
+    if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, i, -1, -1);
+        return run;
+      }
+      if (open_letters.empty()) {
+        fail(StreamErrorCode::kUnbalancedClose, i, -1, s);
+        return run;
+      }
+      if (open_letters.back() != s) {
+        fail(StreamErrorCode::kLabelMismatch, i, open_letters.back(), s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, i, -1, -1);
+        return run;
+      }
+      open_letters.pop_back();
+      --depth;
+      run.final_state = Step(run.final_state, byte);
+      ++run.events;
+      continue;
+    }
+    fail(StreamErrorCode::kBadByte, i, -1, -1);
+    return run;
+  }
+  if (over_byte_limit) {
+    fail(StreamErrorCode::kByteLimitExceeded, limits.max_document_bytes, -1,
+         -1);
+    return run;
+  }
+  if (!saw_root || depth != 0) {
+    fail(StreamErrorCode::kTruncatedDocument,
+         static_cast<int64_t>(bytes.size()), -1, -1);
+  }
+  return run;
 }
 
 ByteStackRunner::ByteStackRunner(const Dfa& dfa)

@@ -1,12 +1,14 @@
 #ifndef SST_DRA_BYTE_RUNNER_H_
 #define SST_DRA_BYTE_RUNNER_H_
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "automata/alphabet.h"
 #include "automata/dfa.h"
+#include "dra/stream_error.h"
 #include "dra/tag_dfa.h"
 
 namespace sst {
@@ -48,6 +50,17 @@ class ByteTagDfaRunner {
   // Final-state acceptance after the whole stream.
   bool Accepts(std::string_view bytes) const;
 
+  // Well-formedness-validated whole-document run: same selection counting
+  // as CountSelections, but the input framing is checked byte for byte
+  // with StreamingSelector's fail-fast compact-markup semantics (unknown
+  // letters, label mismatches, unbalanced closes, trailing content, junk
+  // bytes, truncation, and the StreamLimits guards), reporting the same
+  // first StreamError at the same byte offset. The validation keeps an
+  // open-letter stack — a *validator* of the framing needs the expected
+  // closing labels even though the DFA evaluation itself stays stackless.
+  ValidatedRun RunValidated(std::string_view bytes,
+                            const StreamLimits& limits = {}) const;
+
   // State reached from the initial state after the whole stream (the
   // sequential reference the parallel runner must reproduce).
   int FinalState(std::string_view bytes) const;
@@ -56,6 +69,10 @@ class ByteTagDfaRunner {
   int initial_state() const { return initial_; }
   int Next(int state, unsigned char byte) const { return Step(state, byte); }
   bool IsAccepting(int state) const { return accepting_[state] != 0; }
+
+  // Symbol of an opening ('a'..'z') or closing ('A'..'Z') letter under this
+  // runner's construction convention; -1 for any byte that is neither.
+  Symbol byte_symbol(unsigned char byte) const { return byte_symbol_[byte]; }
 
   int num_states() const { return num_states_; }
 
@@ -92,6 +109,9 @@ class ByteTagDfaRunner {
   std::vector<uint16_t> table16_;  // num_states * 256 when < 65536 states
   std::vector<int32_t> table32_;   // num_states * 256 otherwise
   std::vector<uint8_t> accepting_;
+  // byte → symbol of the construction convention; -1 for bytes that are
+  // not a known opening/closing letter. Only RunValidated consults it.
+  std::array<Symbol, 256> byte_symbol_;
 };
 
 // Byte-level pushdown baseline: simulate the DFA of L with an explicit

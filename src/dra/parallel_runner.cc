@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "base/byte_scan.h"
 #include "base/check.h"
 
 namespace sst {
@@ -111,6 +113,197 @@ void RunFromAllStates(const T* table, const uint8_t* accepting,
   }
 }
 
+// Context-free per-chunk validation summary for RunValidated. Computed
+// speculatively (no knowledge of entry depth, entry labels, or entry
+// event count); the fold threads the real context through it.
+struct ChunkAudit {
+  // Absolute offset of the first error decidable without context (junk
+  // byte, unknown letter, or a close mismatching an open *within* the
+  // chunk); -1 if none. Scanning stops there.
+  int64_t local_error = -1;
+  // Closing labels that pop below the chunk-local stack, in order. These
+  // occur exactly at the chunk's running net-depth minima; the fold checks
+  // them against the enclosing open labels.
+  std::vector<Symbol> unmatched_closes;
+  // Opening labels still open at chunk end, bottom to top.
+  std::vector<Symbol> unmatched_opens;
+  // opens_at_net[d] = how many opens (clamped to 2) fired while the net
+  // depth relative to chunk entry was exactly -d. The fold reads entry d =
+  // entry_depth to detect content after the root closed: the root chunk
+  // legitimately opens once at net 0, so the clamp distinguishes "first
+  // root" from "reopen".
+  std::vector<uint8_t> opens_at_net;
+  int64_t max_net = 0;    // peak net depth relative to entry
+  int64_t net = 0;        // net depth delta over the chunk
+  int64_t letters = 0;    // tag events in the chunk
+  int64_t opens = 0;      // opening tags in the chunk
+};
+
+ChunkAudit AuditChunk(const ByteTagDfaRunner& runner, std::string_view chunk,
+                      int64_t lo) {
+  ChunkAudit audit;
+  std::vector<Symbol> local;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(chunk[i]);
+    if (ByteIsAsciiWs(byte)) continue;
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = runner.byte_symbol(byte);
+      if (s < 0) {
+        audit.local_error = lo + static_cast<int64_t>(i);
+        break;
+      }
+      if (audit.net <= 0) {
+        size_t level = static_cast<size_t>(-audit.net);
+        if (level >= audit.opens_at_net.size()) {
+          audit.opens_at_net.resize(level + 1, 0);
+        }
+        if (audit.opens_at_net[level] < 2) ++audit.opens_at_net[level];
+      }
+      local.push_back(s);
+      ++audit.net;
+      if (audit.net > audit.max_net) audit.max_net = audit.net;
+      ++audit.letters;
+      ++audit.opens;
+      continue;
+    }
+    if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = runner.byte_symbol(byte);
+      if (s < 0) {
+        audit.local_error = lo + static_cast<int64_t>(i);
+        break;
+      }
+      if (local.empty()) {
+        audit.unmatched_closes.push_back(s);
+      } else if (local.back() != s) {
+        audit.local_error = lo + static_cast<int64_t>(i);
+        break;
+      } else {
+        local.pop_back();
+      }
+      --audit.net;
+      ++audit.letters;
+      continue;
+    }
+    audit.local_error = lo + static_cast<int64_t>(i);
+    break;
+  }
+  audit.unmatched_opens = std::move(local);
+  return audit;
+}
+
+// Fold-side context of the validated run: everything the sequential
+// validator would know at a chunk boundary.
+struct ValidateContext {
+  int state = 0;
+  int64_t depth = 0;
+  std::vector<Symbol> open_letters;
+  bool saw_root = false;
+  int64_t events = 0;
+  int64_t nodes = 0;
+  int64_t matches = 0;
+  int64_t max_depth = 0;
+};
+
+// Sequential validation of one chunk from full context — run only on the
+// chunk flagged as containing the first error (and authoritative for it).
+// Mirrors ByteTagDfaRunner::RunValidated's per-byte check order exactly.
+// Returns false with *err set when the chunk errors.
+bool ValidateChunkSequential(const ByteTagDfaRunner& runner,
+                             std::string_view chunk, int64_t lo,
+                             const StreamLimits& limits, ValidateContext* ctx,
+                             StreamError* err) {
+  auto fail = [&](StreamErrorCode code, int64_t offset, Symbol expected,
+                  Symbol got) {
+    err->code = code;
+    err->offset = offset;
+    err->depth = ctx->depth;
+    err->expected = expected;
+    err->got = got;
+    return false;
+  };
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(chunk[i]);
+    if (ByteIsAsciiWs(byte)) continue;
+    int64_t offset = lo + static_cast<int64_t>(i);
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = runner.byte_symbol(byte);
+      if (s < 0) return fail(StreamErrorCode::kUnknownLabel, offset, -1, -1);
+      if (ctx->depth == 0 && ctx->saw_root) {
+        return fail(StreamErrorCode::kTrailingContent, offset, -1, s);
+      }
+      if (ctx->depth >= limits.max_depth) {
+        return fail(StreamErrorCode::kDepthLimitExceeded, offset, -1, s);
+      }
+      if (ctx->events >= limits.max_events) {
+        return fail(StreamErrorCode::kEventLimitExceeded, offset, -1, -1);
+      }
+      ctx->saw_root = true;
+      ++ctx->depth;
+      if (ctx->depth > ctx->max_depth) ctx->max_depth = ctx->depth;
+      ctx->open_letters.push_back(s);
+      ctx->state = runner.Next(ctx->state, byte);
+      ++ctx->events;
+      if (runner.IsAccepting(ctx->state)) ++ctx->matches;
+      ++ctx->nodes;
+      continue;
+    }
+    if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = runner.byte_symbol(byte);
+      if (s < 0) return fail(StreamErrorCode::kUnknownLabel, offset, -1, -1);
+      if (ctx->open_letters.empty()) {
+        return fail(StreamErrorCode::kUnbalancedClose, offset, -1, s);
+      }
+      if (ctx->open_letters.back() != s) {
+        return fail(StreamErrorCode::kLabelMismatch, offset,
+                    ctx->open_letters.back(), s);
+      }
+      if (ctx->events >= limits.max_events) {
+        return fail(StreamErrorCode::kEventLimitExceeded, offset, -1, -1);
+      }
+      ctx->open_letters.pop_back();
+      --ctx->depth;
+      ctx->state = runner.Next(ctx->state, byte);
+      ++ctx->events;
+      continue;
+    }
+    return fail(StreamErrorCode::kBadByte, offset, -1, -1);
+  }
+  return true;
+}
+
+// True when, given the entry context, the chunk's audit cannot rule out
+// that the run's first error is inside this chunk. Complete (no false
+// negatives); a flagged chunk is re-validated sequentially, so spurious
+// flags cost time, never correctness.
+bool AuditSuspicious(const ChunkAudit& audit, const ValidateContext& ctx,
+                     const StreamLimits& limits) {
+  if (audit.local_error >= 0) return true;
+  // Closes below the chunk entry: underflow or label mismatch against the
+  // enclosing opens.
+  if (static_cast<int64_t>(audit.unmatched_closes.size()) > ctx.depth) {
+    return true;
+  }
+  for (size_t j = 0; j < audit.unmatched_closes.size(); ++j) {
+    Symbol expected =
+        ctx.open_letters[ctx.open_letters.size() - 1 - j];
+    if (expected != audit.unmatched_closes[j]) return true;
+  }
+  // An open while the global depth sits at 0 is content after the root —
+  // except the very first open of the document.
+  size_t level = static_cast<size_t>(ctx.depth);
+  uint8_t reopens = level < audit.opens_at_net.size()
+                        ? audit.opens_at_net[level]
+                        : 0;
+  if (ctx.depth > 0 || ctx.saw_root) {
+    if (reopens >= 1) return true;
+  } else if (reopens >= 2) {
+    return true;
+  }
+  if (ctx.depth + audit.max_net > limits.max_depth) return true;
+  if (ctx.events + audit.letters > limits.max_events) return true;
+  return false;
+}
+
 template <typename T>
 void RunFromState(const T* table, const uint8_t* accepting,
                   std::string_view chunk, int start, int* final_state,
@@ -209,6 +402,108 @@ ParallelTagDfaRunner::Result ParallelTagDfaRunner::Run(std::string_view bytes,
   result.final_state = state;
   result.selections = total;
   return result;
+}
+
+ValidatedRun ParallelTagDfaRunner::RunValidated(
+    std::string_view bytes, int num_chunks, const StreamLimits& limits) const {
+  ValidatedRun run;
+  ValidateContext ctx;
+  ctx.state = runner_->initial_state();
+  // Byte guard as a prefix split, exactly like the sequential validator:
+  // the error fires at offset max_document_bytes iff the prefix is clean.
+  const bool over_byte_limit =
+      static_cast<int64_t>(bytes.size()) > limits.max_document_bytes;
+  std::string_view scan =
+      over_byte_limit
+          ? bytes.substr(0, static_cast<size_t>(limits.max_document_bytes))
+          : bytes;
+  const size_t n = scan.size();
+  const size_t chunks = n == 0 ? 0 : std::clamp<size_t>(num_chunks, 1, n);
+  auto boundary = [n, chunks](size_t k) { return k * n / chunks; };
+
+  // Per-chunk state effects and audits, both context-free, in parallel.
+  // Chunk 0's entry state is known, so its effect is a plain run.
+  int chunk0_state = ctx.state;
+  int64_t chunk0_count = 0;
+  std::vector<ChunkEffect> effects(chunks > 0 ? chunks - 1 : 0);
+  std::vector<ChunkAudit> audits(chunks);
+  auto work = [&](int k) {
+    size_t lo = boundary(k);
+    size_t hi = boundary(k + 1);
+    std::string_view chunk = scan.substr(lo, hi - lo);
+    audits[k] = AuditChunk(*runner_, chunk, static_cast<int64_t>(lo));
+    if (k == 0) {
+      RunChunkFrom(chunk, runner_->initial_state(), &chunk0_state,
+                   &chunk0_count);
+    } else {
+      RunChunkFromAll(chunk, &effects[k - 1]);
+    }
+  };
+  if (chunks > 1 && pool_ != nullptr) {
+    pool_->Run(static_cast<int>(chunks), work);
+  } else {
+    for (size_t k = 0; k < chunks; ++k) work(static_cast<int>(k));
+  }
+
+  // Left-to-right fold: thread the real entry context through the audits;
+  // the first chunk the audit cannot clear is re-validated sequentially
+  // (authoritative for the error byte and the partial counters).
+  for (size_t k = 0; k < chunks; ++k) {
+    const ChunkAudit& audit = audits[k];
+    size_t lo = boundary(k);
+    size_t hi = boundary(k + 1);
+    if (AuditSuspicious(audit, ctx, limits)) {
+      std::string_view chunk = scan.substr(lo, hi - lo);
+      if (!ValidateChunkSequential(*runner_, chunk, static_cast<int64_t>(lo),
+                                   limits, &ctx, &run.error)) {
+        run.nodes = ctx.nodes;
+        run.events = ctx.events;
+        run.max_depth = ctx.max_depth;
+        run.matches = ctx.matches;
+        run.final_state = ctx.state;
+        return run;
+      }
+      continue;  // spurious flag: the chunk was clean after all
+    }
+    // Clean chunk: apply its effect to the context wholesale.
+    if (ctx.depth + audit.max_net > ctx.max_depth) {
+      ctx.max_depth = ctx.depth + audit.max_net;
+    }
+    for (size_t j = 0; j < audit.unmatched_closes.size(); ++j) {
+      ctx.open_letters.pop_back();
+    }
+    ctx.open_letters.insert(ctx.open_letters.end(),
+                            audit.unmatched_opens.begin(),
+                            audit.unmatched_opens.end());
+    ctx.depth += audit.net;
+    ctx.events += audit.letters;
+    ctx.nodes += audit.opens;
+    if (audit.opens > 0) ctx.saw_root = true;
+    if (k == 0) {
+      ctx.matches += chunk0_count;
+      ctx.state = chunk0_state;
+    } else {
+      const ChunkEffect& effect = effects[k - 1];
+      ctx.matches += effect.count[ctx.state];
+      ctx.state = effect.final_state[ctx.state];
+    }
+  }
+
+  run.nodes = ctx.nodes;
+  run.events = ctx.events;
+  run.max_depth = ctx.max_depth;
+  run.matches = ctx.matches;
+  run.final_state = ctx.state;
+  if (over_byte_limit) {
+    run.error.code = StreamErrorCode::kByteLimitExceeded;
+    run.error.offset = limits.max_document_bytes;
+    run.error.depth = ctx.depth;
+  } else if (!ctx.saw_root || ctx.depth != 0) {
+    run.error.code = StreamErrorCode::kTruncatedDocument;
+    run.error.offset = static_cast<int64_t>(bytes.size());
+    run.error.depth = ctx.depth;
+  }
+  return run;
 }
 
 }  // namespace sst

@@ -61,6 +61,25 @@ class ParallelTagDfaRunner {
     return runner_->IsAccepting(Run(bytes, num_chunks).final_state);
   }
 
+  // Well-formedness-validated parallel run. Returns exactly the report of
+  // the sequential ByteTagDfaRunner::RunValidated(bytes, limits) — same
+  // first StreamError (code + byte offset + depth + labels) and the same
+  // partial counters — for every chunk count and thread schedule.
+  //
+  // How: each chunk is audited *speculatively* alongside the state-effect
+  // pass, producing a context-free summary (first locally-decidable error,
+  // the unmatched close labels — which occur exactly at the chunk's
+  // running depth minima — the labels left open, the depth excursion, and
+  // an open-at-depth-zero ladder). The left-to-right fold threads the real
+  // entry context (depth, expected labels, event count) through these
+  // summaries in O(boundary depth) per chunk; only a chunk flagged as
+  // containing the first error is re-scanned sequentially to pin the
+  // error byte. The *validator* therefore carries stack-like framing
+  // state at fold time, while the DFA evaluation itself stays stackless —
+  // see DESIGN.md "Robustness & recovery".
+  ValidatedRun RunValidated(std::string_view bytes, int num_chunks,
+                            const StreamLimits& limits = {}) const;
+
  private:
   // Effect of one chunk: entry i holds the exit state / selection count
   // when the chunk is entered in state i.

@@ -1,0 +1,82 @@
+#include "dra/stream_error.h"
+
+#include <string>
+
+namespace sst {
+
+const char* StreamErrorCodeName(StreamErrorCode code) {
+  switch (code) {
+    case StreamErrorCode::kNone:
+      return "kNone";
+    case StreamErrorCode::kUnknownLabel:
+      return "kUnknownLabel";
+    case StreamErrorCode::kLabelMismatch:
+      return "kLabelMismatch";
+    case StreamErrorCode::kUnbalancedClose:
+      return "kUnbalancedClose";
+    case StreamErrorCode::kTagTooLong:
+      return "kTagTooLong";
+    case StreamErrorCode::kDepthLimitExceeded:
+      return "kDepthLimitExceeded";
+    case StreamErrorCode::kByteLimitExceeded:
+      return "kByteLimitExceeded";
+    case StreamErrorCode::kEventLimitExceeded:
+      return "kEventLimitExceeded";
+    case StreamErrorCode::kTruncatedDocument:
+      return "kTruncatedDocument";
+    case StreamErrorCode::kBadByte:
+      return "kBadByte";
+    case StreamErrorCode::kTrailingContent:
+      return "kTrailingContent";
+  }
+  return "kNone";
+}
+
+const char* RecoveryPolicyName(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kFailFast:
+      return "kFailFast";
+    case RecoveryPolicy::kSkipMalformedSubtree:
+      return "kSkipMalformedSubtree";
+    case RecoveryPolicy::kAutoClose:
+      return "kAutoClose";
+  }
+  return "kFailFast";
+}
+
+namespace {
+
+void AppendSymbol(std::string* out, Symbol symbol, const Alphabet* alphabet) {
+  if (symbol < 0) {
+    *out += "<none>";
+  } else if (alphabet != nullptr &&
+             symbol < static_cast<Symbol>(alphabet->size())) {
+    *out += '\'';
+    *out += alphabet->LabelOf(symbol);
+    *out += '\'';
+  } else {
+    *out += '#';
+    *out += std::to_string(symbol);
+  }
+}
+
+}  // namespace
+
+std::string StreamError::Render(const Alphabet* alphabet) const {
+  if (ok()) return std::string();
+  std::string out = StreamErrorCodeName(code);
+  out += " at byte ";
+  out += std::to_string(offset);
+  out += " (depth ";
+  out += std::to_string(depth);
+  out += ')';
+  if (expected >= 0 || got >= 0) {
+    out += ": expected ";
+    AppendSymbol(&out, expected, alphabet);
+    out += ", got ";
+    AppendSymbol(&out, got, alphabet);
+  }
+  return out;
+}
+
+}  // namespace sst

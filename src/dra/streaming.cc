@@ -90,6 +90,11 @@ void StreamingSelector::Reset() {
   tag_closing_ = false;
   have_pending_ = false;
   pending_byte_ = 0;
+  pending_offset_ = -1;
+  tag_start_ = -1;
+  in_skip_ = false;
+  skip_depth_ = 0;
+  demoted_ = false;
   chunk_base_ = 0;
   bytes_fed_ = 0;
   chunks_fed_ = 0;
@@ -98,26 +103,113 @@ void StreamingSelector::Reset() {
   matches_ = 0;
   depth_ = 0;
   max_depth_ = 0;
+  errors_recovered_ = 0;
+  subtrees_skipped_ = 0;
   error_offset_ = -1;
   saw_root_ = false;
   failed_ = false;
+  stream_error_ = StreamError{};
   error_.clear();
+  recovered_errors_.clear();
 }
 
-bool StreamingSelector::FailAt(int64_t offset, const char* message) {
+StreamError StreamingSelector::MakeError(StreamErrorCode code, int64_t offset,
+                                         Symbol expected, Symbol got) const {
+  StreamError err;
+  err.code = code;
+  err.offset = offset;
+  err.depth = depth_;
+  err.expected = expected;
+  err.got = got;
+  return err;
+}
+
+bool StreamingSelector::FailAt(const StreamError& err) {
   failed_ = true;
-  if (error_offset_ < 0) {
-    error_offset_ = offset;
-    error_.assign(message);
-    error_ += " at byte ";
-    error_ += std::to_string(offset);
+  if (error_offset_ < 0) error_offset_ = err.offset;
+  if (stream_error_.ok()) {
+    stream_error_ = err;
+    error_ = err.Render(alphabet_);
   }
+  // bytes_fed reports the consumed prefix on failure: rewind past the
+  // in-flight chunk tail so the counter is chunk-invariant.
+  if (err.offset >= 0 && err.offset < bytes_fed_) bytes_fed_ = err.offset;
   return false;
 }
 
-bool StreamingSelector::EmitOpen(Symbol symbol, int64_t offset) {
+bool StreamingSelector::Recover(const StreamError& err, ErrorToken token,
+                                int64_t excise_from) {
+  // Resource exhaustion is never recoverable (the guard exists to stop the
+  // stream), and resynchronization needs an enclosing open element to
+  // truncate — at depth 0 there is nothing to resync on.
+  const bool hard_limit = err.code == StreamErrorCode::kByteLimitExceeded ||
+                          err.code == StreamErrorCode::kEventLimitExceeded;
+  if (policy_ != RecoveryPolicy::kSkipMalformedSubtree || depth_ <= 0 ||
+      hard_limit || errors_recovered_ >= limits_.max_recovered_errors) {
+    return FailAt(err);
+  }
+  if (error_offset_ < 0) error_offset_ = err.offset;
+  if (stream_error_.ok()) {
+    stream_error_ = err;
+    error_ = err.Render(alphabet_);
+  }
+  ++errors_recovered_;
+  ++subtrees_skipped_;
+  recovered_errors_.push_back(RecoveredError{err, excise_from, -1});
+  have_pending_ = false;  // a pending term label is part of the damage
+  in_skip_ = true;
+  skip_depth_ = 0;
+  switch (token) {
+    case ErrorToken::kJunk:
+      break;
+    case ErrorToken::kOpenLike:
+      skip_depth_ = 1;
+      break;
+    case ErrorToken::kCloseLike:
+      // The offending close token is itself the resynchronization point.
+      return ResyncClose(err.offset + 1);
+  }
+  return true;
+}
+
+bool StreamingSelector::ResyncClose(int64_t consumed_end) {
+  in_skip_ = false;
+  skip_depth_ = 0;
+  if (!recovered_errors_.empty() &&
+      recovered_errors_.back().resume_offset < 0) {
+    recovered_errors_.back().resume_offset = consumed_end;
+    recovered_errors_.back().closed_label = open_labels_.back();
+  }
+  return EmitSynthClose(consumed_end - 1);
+}
+
+bool StreamingSelector::EmitSynthClose(int64_t offset) {
+  if (events_ >= limits_.max_events) {
+    return FailAt(MakeError(StreamErrorCode::kEventLimitExceeded, offset));
+  }
+  Symbol symbol = open_labels_.back();
+  open_labels_.pop_back();
+  --depth_;
+  machine_->OnClose(format_ == Format::kCompactTerm ? -1 : symbol);
+  ++events_;
+  return true;
+}
+
+bool StreamingSelector::EmitOpen(Symbol symbol, int64_t offset,
+                                 int64_t excise_from) {
   if (depth_ == 0 && saw_root_) {
-    return FailAt(offset, "content after the root closed");
+    return Recover(
+        MakeError(StreamErrorCode::kTrailingContent, offset, -1, symbol),
+        ErrorToken::kOpenLike, excise_from);
+  }
+  if (depth_ >= limits_.max_depth) {
+    return Recover(
+        MakeError(StreamErrorCode::kDepthLimitExceeded, offset, -1, symbol),
+        ErrorToken::kOpenLike, excise_from);
+  }
+  if (events_ >= limits_.max_events) {
+    return Recover(MakeError(StreamErrorCode::kEventLimitExceeded, offset),
+                   ErrorToken::kOpenLike, excise_from);
   }
   saw_root_ = true;
   ++depth_;
@@ -133,12 +225,21 @@ bool StreamingSelector::EmitOpen(Symbol symbol, int64_t offset) {
   return true;
 }
 
-bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset) {
+bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset,
+                                  int64_t excise_from) {
   if (open_labels_.empty()) {
-    return FailAt(offset, "closing tag without open element");
+    return Recover(
+        MakeError(StreamErrorCode::kUnbalancedClose, offset, -1, symbol),
+        ErrorToken::kCloseLike, excise_from);
   }
   if (symbol >= 0 && open_labels_.back() != symbol) {
-    return FailAt(offset, "mismatched closing tag");
+    return Recover(MakeError(StreamErrorCode::kLabelMismatch, offset,
+                             open_labels_.back(), symbol),
+                   ErrorToken::kCloseLike, excise_from);
+  }
+  if (events_ >= limits_.max_events) {
+    return Recover(MakeError(StreamErrorCode::kEventLimitExceeded, offset),
+                   ErrorToken::kCloseLike, excise_from);
   }
   open_labels_.pop_back();
   --depth_;
@@ -148,11 +249,52 @@ bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset) {
 }
 
 template <typename Stepper>
-bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
+StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
+    std::string_view chunk, size_t start, Stepper& stepper) {
   const uint8_t* cls = byte_class_.data();
   const Symbol* sym = byte_symbol_.data();
-  for (size_t i = 0; i < chunk.size(); ++i) {
+  // Shared error exit. The fused tier cannot synthesize machine-level
+  // events, so when the policy wants resynchronization it demotes (the
+  // generic tier re-detects the same error at the same byte and owns the
+  // recovery decision); otherwise Recover() decides between absorbing the
+  // error and failing fatally.
+  auto fail_or_recover = [&](const StreamError& err,
+                             ErrorToken token) -> ScanStatus {
+    if constexpr (!Stepper::kCanRecover) {
+      if (policy_ == RecoveryPolicy::kSkipMalformedSubtree) {
+        return ScanStatus::kDemote;
+      }
+    }
+    return Recover(err, token, err.offset) ? ScanStatus::kOk
+                                           : ScanStatus::kFatal;
+  };
+  for (size_t i = start; i < chunk.size(); ++i) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
+    if constexpr (Stepper::kCanRecover) {
+      if (in_skip_) {
+        // Framing-only scan of the skipped region: O(1) state, no machine
+        // events, until the close that ends the innermost open element.
+        switch (cls[c]) {
+          case kWs:
+            i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
+            break;
+          case kOpen:
+            ++skip_depth_;
+            break;
+          case kClose:
+            if (skip_depth_ > 0) {
+              --skip_depth_;
+            } else if (!ResyncClose(chunk_base_ + static_cast<int64_t>(i) +
+                                    1)) {
+              return {ScanStatus::kFatal, i};
+            }
+            break;
+          default:
+            break;  // junk inside a region that is already being excised
+        }
+        continue;
+      }
+    }
     switch (cls[c]) {
       case kWs:
         // Bulk-skip the whitespace run (SIMD/SWAR; see base/byte_scan.h);
@@ -161,9 +303,35 @@ bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
         break;
       case kOpen: {
         Symbol s = sym[c];
-        if (s < 0) return FailAt(chunk_base_ + i, "unknown opening tag");
+        if (s < 0) {
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kUnknownLabel, chunk_base_ + i),
+              ErrorToken::kOpenLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
+        }
         if (depth_ == 0 && saw_root_) {
-          return FailAt(chunk_base_ + i, "content after the root closed");
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kTrailingContent, chunk_base_ + i,
+                        -1, s),
+              ErrorToken::kOpenLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
+        }
+        if (depth_ >= limits_.max_depth) {
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kDepthLimitExceeded, chunk_base_ + i,
+                        -1, s),
+              ErrorToken::kOpenLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
+        }
+        if (events_ >= limits_.max_events) {
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kEventLimitExceeded, chunk_base_ + i),
+              ErrorToken::kOpenLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
         }
         saw_root_ = true;
         ++depth_;
@@ -180,12 +348,35 @@ bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
       }
       case kClose: {
         Symbol s = sym[c];
-        if (s < 0) return FailAt(chunk_base_ + i, "unknown closing tag");
+        if (s < 0) {
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kUnknownLabel, chunk_base_ + i),
+              ErrorToken::kCloseLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
+        }
         if (open_labels_.empty()) {
-          return FailAt(chunk_base_ + i, "closing tag without open element");
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kUnbalancedClose, chunk_base_ + i,
+                        -1, s),
+              ErrorToken::kCloseLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
         }
         if (open_labels_.back() != s) {
-          return FailAt(chunk_base_ + i, "mismatched closing tag");
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kLabelMismatch, chunk_base_ + i,
+                        open_labels_.back(), s),
+              ErrorToken::kCloseLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
+        }
+        if (events_ >= limits_.max_events) {
+          ScanStatus st = fail_or_recover(
+              MakeError(StreamErrorCode::kEventLimitExceeded, chunk_base_ + i),
+              ErrorToken::kCloseLike);
+          if (st != ScanStatus::kOk) return {st, i};
+          break;
         }
         open_labels_.pop_back();
         --depth_;
@@ -193,11 +384,16 @@ bool StreamingSelector::FeedMarkup(std::string_view chunk, Stepper& stepper) {
         ++events_;
         break;
       }
-      default:
-        return FailAt(chunk_base_ + i, "unexpected byte in compact markup");
+      default: {
+        ScanStatus st = fail_or_recover(
+            MakeError(StreamErrorCode::kBadByte, chunk_base_ + i),
+            ErrorToken::kJunk);
+        if (st != ScanStatus::kOk) return {st, i};
+        break;
+      }
     }
   }
-  return true;
+  return {ScanStatus::kOk, chunk.size()};
 }
 
 bool StreamingSelector::FeedTerm(std::string_view chunk) {
@@ -205,32 +401,64 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
   const Symbol* sym = byte_symbol_.data();
   for (size_t i = 0; i < chunk.size(); ++i) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
+    if (in_skip_) {
+      if (c == '{') {
+        ++skip_depth_;
+      } else if (cls[c] == kCloseBrace) {
+        if (skip_depth_ > 0) {
+          --skip_depth_;
+        } else if (!ResyncClose(chunk_base_ + static_cast<int64_t>(i) + 1)) {
+          return false;
+        }
+      } else if (cls[c] == kWs) {
+        i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
+      }
+      continue;
+    }
     if (cls[c] == kWs) {
       i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
       continue;
     }
     if (have_pending_) {
       if (c != '{') {
-        return FailAt(chunk_base_ + i, "expected '{' after label");
+        if (!Recover(MakeError(StreamErrorCode::kBadByte, chunk_base_ + i),
+                     ErrorToken::kJunk, pending_offset_)) {
+          return false;
+        }
+        --i;  // reprocess this byte under skip framing ('}' must resync)
+        continue;
       }
       have_pending_ = false;
       Symbol s = sym[pending_byte_];
       if (s < 0) {
-        return FailAt(chunk_base_ + i, "unknown label in term encoding");
+        if (!Recover(
+                MakeError(StreamErrorCode::kUnknownLabel, chunk_base_ + i),
+                ErrorToken::kOpenLike, pending_offset_)) {
+          return false;
+        }
+        continue;
       }
-      if (!EmitOpen(s, chunk_base_ + i)) return false;
+      if (!EmitOpen(s, chunk_base_ + i, pending_offset_)) return false;
       continue;
     }
     switch (cls[c]) {
       case kCloseBrace:
-        if (!EmitClose(-1, chunk_base_ + i)) return false;
+        if (!EmitClose(-1, chunk_base_ + i, chunk_base_ + i)) return false;
         break;
       case kLabel:
         pending_byte_ = c;
+        pending_offset_ = chunk_base_ + static_cast<int64_t>(i);
         have_pending_ = true;
         break;
       default:
-        return FailAt(chunk_base_ + i, "unexpected byte in term encoding");
+        // A stray '{' still opens a frame (its matching '}' will close
+        // it); any other byte is plain junk.
+        if (!Recover(MakeError(StreamErrorCode::kBadByte, chunk_base_ + i),
+                     c == '{' ? ErrorToken::kOpenLike : ErrorToken::kJunk,
+                     chunk_base_ + i)) {
+          return false;
+        }
+        break;
     }
   }
   return true;
@@ -243,17 +471,39 @@ bool StreamingSelector::FeedXml(std::string_view chunk) {
   while (i < n) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     if (!in_tag_) {
+      if (in_skip_) {
+        // Inside the excised region only tag framing matters: jump to the
+        // next '<' in one vectorized sweep.
+        const void* lt = std::memchr(chunk.data() + i, '<', n - i);
+        if (lt == nullptr) return true;
+        i = static_cast<size_t>(static_cast<const char*>(lt) - chunk.data());
+        in_tag_ = true;
+        tag_first_ = true;
+        tag_closing_ = false;
+        tag_len_ = 0;
+        tag_start_ = chunk_base_ + static_cast<int64_t>(i);
+        ++i;
+        continue;
+      }
       if (cls[c] == kWs) {
         // Between tags only whitespace is legal before the next '<';
         // bulk-skip the run (SIMD/SWAR, base/byte_scan.h).
         i += 1 + FindStructural(chunk.data() + i + 1, n - i - 1);
         continue;
       }
-      if (c != '<') return FailAt(chunk_base_ + i, "expected '<'");
+      if (c != '<') {
+        if (!Recover(MakeError(StreamErrorCode::kBadByte, chunk_base_ + i),
+                     ErrorToken::kJunk, chunk_base_ + i)) {
+          return false;
+        }
+        ++i;
+        continue;
+      }
       in_tag_ = true;
       tag_first_ = true;
       tag_closing_ = false;
       tag_len_ = 0;
+      tag_start_ = chunk_base_ + static_cast<int64_t>(i);
       ++i;
       continue;
     }
@@ -272,33 +522,73 @@ bool StreamingSelector::FeedXml(std::string_view chunk) {
             : n;
     if (size_t name_len = name_end - i; name_len > 0) {
       tag_first_ = false;
-      if (tag_len_ + name_len > kMaxTagBytes) {
+      if (in_skip_) {
+        // Only "name was nonempty" matters for skip framing; don't buffer.
+        tag_len_ = 1;
+        i = name_end;
+      } else if (tag_len_ + name_len > kMaxTagBytes) {
         // Error offset = the first byte that no longer fits, matching the
         // byte-at-a-time scanner.
-        return FailAt(chunk_base_ + i + (kMaxTagBytes - tag_len_),
-                      "tag too long");
+        if (!Recover(
+                MakeError(StreamErrorCode::kTagTooLong,
+                          chunk_base_ + i + (kMaxTagBytes - tag_len_)),
+                ErrorToken::kJunk, tag_start_)) {
+          return false;
+        }
+        // Recovered: the oversized tag is junk inside the skipped region;
+        // keep consuming its body without buffering.
+        tag_len_ = 1;
+        i = name_end;
+      } else {
+        std::memcpy(tag_buf_ + tag_len_, chunk.data() + i, name_len);
+        tag_len_ += static_cast<uint32_t>(name_len);
+        i = name_end;
       }
-      std::memcpy(tag_buf_ + tag_len_, chunk.data() + i, name_len);
-      tag_len_ += static_cast<uint32_t>(name_len);
-      i = name_end;
     }
     if (gt == nullptr) break;  // partial tag; the next chunk continues it
     in_tag_ = false;
     ++i;  // past the '>'
+    if (in_skip_) {
+      const bool nonempty = tag_len_ != 0;
+      tag_len_ = 0;
+      if (!nonempty) continue;  // "<>" is junk even while skipping
+      if (tag_closing_) {
+        if (skip_depth_ > 0) {
+          --skip_depth_;
+        } else if (!ResyncClose(chunk_base_ +
+                                static_cast<int64_t>(name_end) + 1)) {
+          return false;
+        }
+      } else {
+        ++skip_depth_;
+      }
+      continue;
+    }
     if (tag_len_ == 0) {
-      return FailAt(chunk_base_ + name_end,
-                    tag_closing_ ? "empty tag name" : "empty tag");
+      if (!Recover(MakeError(StreamErrorCode::kBadByte,
+                             chunk_base_ + static_cast<int64_t>(name_end)),
+                   ErrorToken::kJunk, tag_start_)) {
+        return false;
+      }
+      continue;
     }
     Symbol s = tag_len_ == 1
                    ? byte_symbol_[static_cast<unsigned char>(tag_buf_[0])]
                    : alphabet_->Find(std::string_view(tag_buf_, tag_len_));
-    if (s < 0) {
-      return FailAt(chunk_base_ + name_end,
-                    "element name outside the query alphabet");
-    }
-    bool ok = tag_closing_ ? EmitClose(s, chunk_base_ + name_end)
-                           : EmitOpen(s, chunk_base_ + name_end);
+    const bool closing = tag_closing_;
     tag_len_ = 0;
+    if (s < 0) {
+      if (!Recover(MakeError(StreamErrorCode::kUnknownLabel,
+                             chunk_base_ + static_cast<int64_t>(name_end)),
+                   closing ? ErrorToken::kCloseLike : ErrorToken::kOpenLike,
+                   tag_start_)) {
+        return false;
+      }
+      continue;
+    }
+    int64_t offset = chunk_base_ + static_cast<int64_t>(name_end);
+    bool ok = closing ? EmitClose(s, offset, tag_start_)
+                      : EmitOpen(s, offset, tag_start_);
     if (!ok) return false;
   }
   return true;
@@ -306,36 +596,85 @@ bool StreamingSelector::FeedXml(std::string_view chunk) {
 
 bool StreamingSelector::Feed(std::string_view chunk) {
   if (failed_) return false;
+  // Byte guard: split the chunk at the document-byte limit so the error
+  // fires at offset max_document_bytes under any split schedule — checked
+  // once per Feed, never inside the scan loops.
+  bool over_byte_limit = false;
+  if (static_cast<int64_t>(chunk.size()) >
+      limits_.max_document_bytes - bytes_fed_) {
+    over_byte_limit = true;
+    chunk = chunk.substr(
+        0, static_cast<size_t>(limits_.max_document_bytes - bytes_fed_));
+  }
   chunk_base_ = bytes_fed_;
   bytes_fed_ += static_cast<int64_t>(chunk.size());
   ++chunks_fed_;
+  bool ok = true;
   switch (format_) {
     case Format::kCompactMarkup: {
-      if (fused_) {
+      if (using_fused_fast_path()) {
         FusedStepper stepper{fused_.get(), machine_->ExportedState()};
-        bool ok = FeedMarkup(chunk, stepper);
+        ScanResult r = FeedMarkup(chunk, 0, stepper);
         machine_->SyncExportedState(stepper.state);
-        return ok;
+        if (r.status == ScanStatus::kDemote) {
+          // Degradation ladder: recovery synthesizes machine-level close
+          // events, which the fused byte table cannot express. Drop to the
+          // generic tier for the rest of the document; it re-detects the
+          // error at the same byte and owns the recovery decision.
+          demoted_ = true;
+          VirtualStepper generic{machine_};
+          r = FeedMarkup(chunk, r.resume_index, generic);
+        }
+        ok = r.status == ScanStatus::kOk;
+      } else {
+        VirtualStepper stepper{machine_};
+        ok = FeedMarkup(chunk, 0, stepper).status == ScanStatus::kOk;
       }
-      VirtualStepper stepper{machine_};
-      return FeedMarkup(chunk, stepper);
+      break;
     }
     case Format::kCompactTerm:
-      return FeedTerm(chunk);
+      ok = FeedTerm(chunk);
+      break;
     case Format::kXmlLite:
-      return FeedXml(chunk);
+      ok = FeedXml(chunk);
+      break;
   }
-  return FailAt(chunk_base_, "unknown format");
+  if (!ok) return false;
+  if (over_byte_limit) {
+    return FailAt(MakeError(StreamErrorCode::kByteLimitExceeded,
+                            limits_.max_document_bytes));
+  }
+  return true;
 }
 
 bool StreamingSelector::Finish() {
   if (failed_) return false;
-  if (in_tag_ || have_pending_) {
-    return FailAt(bytes_fed_, "truncated tag at end");
+  const bool incomplete =
+      in_tag_ || have_pending_ || in_skip_ || depth_ != 0 || !saw_root_;
+  if (!incomplete) return true;
+  if (policy_ == RecoveryPolicy::kAutoClose && saw_root_ && depth_ > 0) {
+    // Tolerated truncation: discard a partial tag in the lexer buffer and
+    // synthesize the missing closes for every still-open element.
+    StreamError err =
+        MakeError(StreamErrorCode::kTruncatedDocument, bytes_fed_);
+    if (error_offset_ < 0) error_offset_ = err.offset;
+    if (stream_error_.ok()) {
+      stream_error_ = err;
+      error_ = err.Render(alphabet_);
+    }
+    ++errors_recovered_;
+    recovered_errors_.push_back(RecoveredError{err, bytes_fed_, bytes_fed_});
+    in_tag_ = false;
+    tag_first_ = false;
+    tag_closing_ = false;
+    tag_len_ = 0;
+    have_pending_ = false;
+    while (depth_ > 0) {
+      if (!EmitSynthClose(bytes_fed_)) return false;
+    }
+    return true;
   }
-  if (!saw_root_) return FailAt(bytes_fed_, "empty document");
-  if (depth_ != 0) return FailAt(bytes_fed_, "unclosed elements at end");
-  return true;
+  return FailAt(MakeError(StreamErrorCode::kTruncatedDocument, bytes_fed_));
 }
 
 }  // namespace sst

@@ -12,19 +12,29 @@
 #include "automata/alphabet.h"
 #include "dra/byte_runner.h"
 #include "dra/machine.h"
+#include "dra/stream_error.h"
 
 namespace sst {
 
 // Byte-level observability of one streaming run; see
 // StreamingSelector::stats(). All counters reset with Reset().
+//
+// Every counter except chunks_fed is chunking-invariant: feeding the same
+// bytes under any split schedule yields the same values, including
+// error_offset and the recovery counters. (chunks_fed measures the split
+// schedule itself, so it is the one counter that cannot be.) On a fatal
+// error, bytes_fed reports the consumed prefix — exactly error_offset
+// bytes — not whatever chunk tail happened to be in flight.
 struct StreamStats {
-  int64_t bytes_fed = 0;      // bytes handed to Feed, whitespace included
+  int64_t bytes_fed = 0;      // bytes consumed (whitespace included)
   int64_t chunks_fed = 0;     // Feed calls processed (throughput input that
                               // needs no wall clock: bytes_fed / chunks_fed
                               // is the average chunk the transport delivers)
   int64_t events = 0;         // tag events decoded (opens + closes)
   int64_t max_depth = 0;      // peak element nesting depth
   int64_t matches = 0;        // pre-selected nodes
+  int64_t errors_recovered = 0;  // errors absorbed by the recovery policy
+  int64_t subtrees_skipped = 0;  // kSkipMalformedSubtree resync regions
   int64_t error_offset = -1;  // byte offset of the first error, -1 if none
 };
 
@@ -41,8 +51,20 @@ struct StreamStats {
 // Whitespace between tags is ignored (ASCII whitespace only — behavior is
 // locale-independent). The parser validates well-formedness (tag balance
 // and, for markup formats, label matching) since the paper's weak setting
-// assumes it: a violation is reported as an error rather than silently
-// producing nonsense.
+// assumes it: a violation is reported as a structured StreamError rather
+// than silently producing nonsense.
+//
+// Robustness layer (see DESIGN.md "Robustness & recovery"):
+//   * every malformed-input condition produces a StreamError (code + byte
+//     offset + depth + expected/got labels), identical under any chunk
+//     split of the same bytes;
+//   * a RecoveryPolicy selects fail-fast (default), skip-malformed-subtree
+//     resynchronization, or auto-close-at-EOF;
+//   * StreamLimits guard depth / document size / event count / recovery
+//     budget deterministically, with the checks kept off the bulk-skip
+//     loops (per-open, per-event, and per-Feed prefix splits);
+//   * once an error is fatal, Feed and Finish are no-ops returning false
+//     and the first StreamError is preserved verbatim.
 //
 // The hot loop is table-driven: a 256-entry byte classification and a
 // byte→Symbol table are precomputed from the Alphabet at construction, so
@@ -54,10 +76,36 @@ struct StreamStats {
 // kDepthReserve on pathologically deep documents). When the machine exports
 // a plain TagDfa (registerless tier) and the format is compact markup, the
 // scanner runs a fused ByteTagDfaRunner byte→state table with no virtual
-// dispatch per event (Section 4.3).
+// dispatch per event (Section 4.3). Recovery demotes the fused tier to the
+// generic machine tier for the rest of the document (the degradation
+// ladder); Reset() re-arms the fused tier.
 class StreamingSelector {
  public:
   enum class Format { kCompactMarkup, kXmlLite, kCompactTerm };
+
+  // Which rung of the degradation ladder is executing events. The third
+  // rung — the stack tier (StackQueryEvaluator) — is chosen by the caller
+  // as the machine itself; the selector can only report the two rungs it
+  // switches between internally.
+  enum class Tier { kFusedByteTable, kGenericMachine };
+
+  // One recovered error: the structured error plus the excised byte range.
+  // excise_from is the first damaged byte (the start of the offending
+  // token, which for multi-byte tokens — an XML tag, a term label — begins
+  // before error.offset); resume_offset is the byte just past the
+  // resynchronization token (-1 while the skip is still open at EOF);
+  // closed_label is the label of the element whose close was synthesized
+  // at resync (-1 for the kAutoClose EOF record, which closes every
+  // remaining level). The sanitized document equivalent to the recovered
+  // run is
+  //   bytes[0, excise_from) + <close of closed_label> + bytes[resume_offset,)
+  // which the property tests rebuild and re-parse fail-fast.
+  struct RecoveredError {
+    StreamError error;
+    int64_t excise_from = -1;
+    int64_t resume_offset = -1;
+    Symbol closed_label = -1;
+  };
 
   // Longest supported tag label, in bytes (an XML-lite closing tag's '/'
   // does not count towards this).
@@ -80,11 +128,22 @@ class StreamingSelector {
     match_callback_ = std::move(callback);
   }
 
-  // Feeds a chunk; false on malformed input (error() explains, with the
-  // byte offset of the first offending byte).
+  // Both must be set before the first Feed of a document (they are not
+  // consulted retroactively).
+  void set_recovery_policy(RecoveryPolicy policy) { policy_ = policy; }
+  void set_limits(const StreamLimits& limits) { limits_ = limits; }
+  RecoveryPolicy recovery_policy() const { return policy_; }
+  const StreamLimits& limits() const { return limits_; }
+
+  // Feeds a chunk; false on fatal malformed input (stream_error() has the
+  // structured error, error() a rendered message). Recovered errors keep
+  // Feed returning true. After a fatal error every further Feed is a no-op
+  // returning false; the original error is preserved.
   bool Feed(std::string_view chunk);
 
-  // Declares end of input; false if the document is incomplete.
+  // Declares end of input; false if the document is incomplete (under
+  // kAutoClose, missing closes are synthesized instead and Finish
+  // succeeds).
   bool Finish();
 
   void Reset();
@@ -94,17 +153,39 @@ class StreamingSelector {
   int64_t depth() const { return depth_; }
   bool document_complete() const { return saw_root_ && depth_ == 0; }
   bool machine_accepting() const { return machine_->InAcceptingState(); }
+
+  // True once a fatal (unrecovered) error has been recorded.
+  bool failed() const { return failed_; }
+
+  // The first error observed — fatal or recovered; code kNone if the
+  // stream has been clean so far. Chunking-invariant.
+  const StreamError& stream_error() const { return stream_error_; }
+
+  // Rendered first error ("" while clean). Kept for log-friendliness;
+  // structured consumers should use stream_error().
   const std::string& error() const { return error_; }
+
+  // Errors absorbed by the recovery policy, in stream order.
+  const std::vector<RecoveredError>& recovered_errors() const {
+    return recovered_errors_;
+  }
 
   // Byte-level counters of the run so far.
   StreamStats stats() const {
-    return {bytes_fed_, chunks_fed_, events_, max_depth_, matches_,
-            error_offset_};
+    return {bytes_fed_,        chunks_fed_, events_,
+            max_depth_,        matches_,    errors_recovered_,
+            subtrees_skipped_, error_offset_};
   }
 
   // True when the fused byte→state fast path is active (registerless
-  // machine + compact markup + single-letter labels).
-  bool using_fused_fast_path() const { return fused_ != nullptr; }
+  // machine + compact markup + single-letter labels, not demoted).
+  bool using_fused_fast_path() const {
+    return fused_ != nullptr && !demoted_;
+  }
+  Tier active_tier() const {
+    return using_fused_fast_path() ? Tier::kFusedByteTable
+                                   : Tier::kGenericMachine;
+  }
 
  private:
   // Byte classes; one table per selector, specialized to its format.
@@ -117,16 +198,33 @@ class StreamingSelector {
     kCloseBrace,  // term: '}'
   };
 
+  // How the offending token participates in skip-mode framing when the
+  // error is recovered: an open-like token starts a nested skipped
+  // element, a close-like token is itself the resynchronization point,
+  // and junk is simply discarded.
+  enum class ErrorToken : uint8_t { kJunk, kOpenLike, kCloseLike };
+
+  // Per-chunk scan result; kDemote asks Feed to re-run the remainder of
+  // the chunk on the generic tier (which owns all recovery logic).
+  enum class ScanStatus : uint8_t { kOk, kFatal, kDemote };
+  struct ScanResult {
+    ScanStatus status = ScanStatus::kOk;
+    size_t resume_index = 0;  // kDemote: first unconsumed chunk index
+  };
+
   // Steppers let the markup scanner run either through the virtual
   // StreamMachine interface or the fused byte table with identical
-  // validation code.
+  // validation code. Only the virtual stepper can recover (kCanRecover);
+  // the fused instantiation demotes instead.
   struct VirtualStepper {
+    static constexpr bool kCanRecover = true;
     StreamMachine* machine;
     void Open(Symbol s, unsigned char) { machine->OnOpen(s); }
     void Close(Symbol s, unsigned char) { machine->OnClose(s); }
     bool Accepting() const { return machine->InAcceptingState(); }
   };
   struct FusedStepper {
+    static constexpr bool kCanRecover = false;
     const ByteTagDfaRunner* runner;
     int state;
     void Open(Symbol, unsigned char byte) { state = runner->Next(state, byte); }
@@ -137,18 +235,40 @@ class StreamingSelector {
   };
 
   void BuildTables();
-  bool FailAt(int64_t offset, const char* message);
+
+  // Records the first error and marks the stream fatally failed.
+  bool FailAt(const StreamError& err);
+  StreamError MakeError(StreamErrorCode code, int64_t offset,
+                        Symbol expected = -1, Symbol got = -1) const;
+
+  // Recovery decision point: under kSkipMalformedSubtree (and within the
+  // recovery budget) records the error, enters skip mode, and returns
+  // true; otherwise records it fatally and returns false. `excise_from`
+  // is the first damaged byte (see RecoveredError). Machine events
+  // synthesized here go through the virtual interface — callers on the
+  // fused tier must demote before calling.
+  bool Recover(const StreamError& err, ErrorToken token, int64_t excise_from);
+
+  // Synthesizes the close of the innermost open element (symbol -1 under
+  // the term encoding) and leaves skip mode. `consumed_end` is the offset
+  // just past the resync token. False on a fatal guard violation.
+  bool ResyncClose(int64_t consumed_end);
+
   template <typename Stepper>
-  bool FeedMarkup(std::string_view chunk, Stepper& stepper);
+  ScanResult FeedMarkup(std::string_view chunk, size_t start,
+                        Stepper& stepper);
   bool FeedTerm(std::string_view chunk);
   bool FeedXml(std::string_view chunk);
-  bool EmitOpen(Symbol symbol, int64_t offset);
-  bool EmitClose(Symbol symbol, int64_t offset);
+  bool EmitOpen(Symbol symbol, int64_t offset, int64_t excise_from);
+  bool EmitClose(Symbol symbol, int64_t offset, int64_t excise_from);
+  bool EmitSynthClose(int64_t offset);
 
   StreamMachine* machine_;
   Format format_;
   Alphabet* alphabet_;
   MatchCallback match_callback_;
+  RecoveryPolicy policy_ = RecoveryPolicy::kFailFast;
+  StreamLimits limits_;
 
   // Precomputed per-byte tables (built once at construction).
   std::array<uint8_t, 256> byte_class_;
@@ -172,6 +292,17 @@ class StreamingSelector {
   bool tag_closing_ = false;  // kXmlLite: tag started with '/'
   bool have_pending_ = false;  // kCompactTerm: label byte awaiting '{'
   unsigned char pending_byte_ = 0;
+  int64_t pending_offset_ = -1;  // kCompactTerm: offset of pending_byte_
+  int64_t tag_start_ = -1;       // kXmlLite: offset of the current tag's '<'
+
+  // Recovery state (kSkipMalformedSubtree): while in_skip_, input is
+  // framing-scanned only; skip_depth_ counts elements opened inside the
+  // skipped region. Resync happens at the close that would return the
+  // region to the innermost open element's end. demoted_ latches the
+  // fused→generic tier drop until Reset.
+  bool in_skip_ = false;
+  int64_t skip_depth_ = 0;
+  bool demoted_ = false;
 
   int64_t chunk_base_ = 0;  // bytes fed before the current chunk
   int64_t bytes_fed_ = 0;
@@ -181,10 +312,14 @@ class StreamingSelector {
   int64_t matches_ = 0;
   int64_t depth_ = 0;
   int64_t max_depth_ = 0;
+  int64_t errors_recovered_ = 0;
+  int64_t subtrees_skipped_ = 0;
   int64_t error_offset_ = -1;
   bool saw_root_ = false;
   bool failed_ = false;
+  StreamError stream_error_;
   std::string error_;
+  std::vector<RecoveredError> recovered_errors_;
 };
 
 }  // namespace sst

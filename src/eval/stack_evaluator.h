@@ -16,7 +16,12 @@ namespace sst {
 //
 // Used throughout the test suite as the correctness oracle for the
 // registerless and stackless constructions, and in benchmarks as the
-// baseline.
+// baseline. It is also the third rung of the robustness degradation
+// ladder (DESIGN.md "Robustness & recovery"): because it keeps the DFA
+// state per open level, it tolerates event streams the stackless tiers
+// cannot even express recovery for — a close with nothing open is simply
+// ignored (and counted in underflow_closes() for diagnosis) instead of
+// corrupting the state.
 class StackQueryEvaluator final : public StreamMachine {
  public:
   explicit StackQueryEvaluator(const Dfa* dfa) : dfa_(dfa) { Reset(); }
@@ -25,6 +30,7 @@ class StackQueryEvaluator final : public StreamMachine {
     stack_.clear();
     state_ = dfa_->initial;
     max_stack_depth_ = 0;
+    underflow_closes_ = 0;
   }
 
   void OnOpen(Symbol symbol) override {
@@ -34,7 +40,10 @@ class StackQueryEvaluator final : public StreamMachine {
   }
 
   void OnClose(Symbol /*symbol*/) override {
-    if (stack_.empty()) return;  // invalid stream; stay put
+    if (stack_.empty()) {
+      ++underflow_closes_;  // invalid stream; stay put
+      return;
+    }
     state_ = stack_.back();
     stack_.pop_back();
   }
@@ -44,11 +53,19 @@ class StackQueryEvaluator final : public StreamMachine {
   // Peak auxiliary memory, in stacked states (benchmark counter).
   size_t max_stack_depth() const { return max_stack_depth_; }
 
+  // Current nesting depth as seen by the evaluator.
+  size_t depth() const { return stack_.size(); }
+
+  // Close events ignored because nothing was open — nonzero means the
+  // upstream scanner fed an unbalanced stream.
+  size_t underflow_closes() const { return underflow_closes_; }
+
  private:
   const Dfa* dfa_;
   std::vector<int> stack_;
   int state_ = 0;
   size_t max_stack_depth_ = 0;
+  size_t underflow_closes_ = 0;
 };
 
 }  // namespace sst

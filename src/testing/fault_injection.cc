@@ -1,0 +1,196 @@
+#include "testing/fault_injection.h"
+
+#include <algorithm>
+
+namespace sst {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kFlipByte:
+      return "flip-byte";
+    case FaultKind::kDuplicateSpan:
+      return "duplicate-span";
+    case FaultKind::kDropSpan:
+      return "drop-span";
+    case FaultKind::kSpliceSubtree:
+      return "splice-subtree";
+    case FaultKind::kUnbalanceClose:
+      return "unbalance-close";
+    case FaultKind::kInjectJunk:
+      return "inject-junk";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// A short run of bytes that are junk in every supported serialization.
+constexpr char kJunkAlphabet[] = "!#$%&*?@^~|";
+
+// Picks a span [lo, lo+len) with len in [1, max_len] inside [0, n).
+bool PickSpan(Rng& rng, size_t n, size_t max_len, size_t* lo, size_t* len) {
+  if (n == 0) return false;
+  *lo = static_cast<size_t>(rng.NextBelow(n));
+  size_t cap = std::min(max_len, n - *lo);
+  *len = 1 + static_cast<size_t>(rng.NextBelow(cap));
+  return true;
+}
+
+// Compact-markup subtree starting at a lowercase letter: returns the
+// length through the matching uppercase close, or 0 when unbalanced.
+size_t SubtreeLength(std::string_view doc, size_t start) {
+  int depth = 0;
+  for (size_t i = start; i < doc.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(doc[i]);
+    if (c >= 'a' && c <= 'z') {
+      ++depth;
+    } else if (c >= 'A' && c <= 'Z') {
+      --depth;
+      if (depth == 0) return i - start + 1;
+      if (depth < 0) return 0;
+    }
+  }
+  return 0;
+}
+
+FaultReport Unchanged(FaultKind kind) {
+  FaultReport report;
+  report.kind = kind;
+  report.changed = false;
+  return report;
+}
+
+}  // namespace
+
+FaultReport FaultInjector::Apply(FaultKind kind, std::string* doc) {
+  FaultReport report;
+  report.kind = kind;
+  report.changed = true;
+  const size_t n = doc->size();
+  switch (kind) {
+    case FaultKind::kTruncate: {
+      if (n == 0) return Unchanged(kind);
+      size_t keep = static_cast<size_t>(rng_.NextBelow(n));
+      report.offset = keep;
+      report.length = n - keep;
+      doc->resize(keep);
+      return report;
+    }
+    case FaultKind::kFlipByte: {
+      if (n == 0) return Unchanged(kind);
+      size_t pos = static_cast<size_t>(rng_.NextBelow(n));
+      // Flip a low bit; retry bits until the byte actually changes is not
+      // needed — any xor with a nonzero mask changes it.
+      unsigned char mask =
+          static_cast<unsigned char>(1u << rng_.NextBelow(7));
+      (*doc)[pos] = static_cast<char>((*doc)[pos] ^ mask);
+      report.offset = pos;
+      report.length = 1;
+      return report;
+    }
+    case FaultKind::kDuplicateSpan: {
+      size_t lo = 0, len = 0;
+      if (!PickSpan(rng_, n, 32, &lo, &len)) return Unchanged(kind);
+      std::string span = doc->substr(lo, len);
+      doc->insert(lo + len, span);
+      report.offset = lo + len;
+      report.length = len;
+      return report;
+    }
+    case FaultKind::kDropSpan: {
+      size_t lo = 0, len = 0;
+      if (!PickSpan(rng_, n, 32, &lo, &len)) return Unchanged(kind);
+      doc->erase(lo, len);
+      report.offset = lo;
+      report.length = len;
+      return report;
+    }
+    case FaultKind::kSpliceSubtree: {
+      // Try a few rng-chosen starts for a balanced compact-markup subtree;
+      // fall back to a plain span duplication when none is found (e.g.
+      // XML-lite bytes), so the mutator never silently no-ops on valid
+      // input.
+      for (int attempt = 0; attempt < 8 && n > 0; ++attempt) {
+        size_t start = static_cast<size_t>(rng_.NextBelow(n));
+        unsigned char c = static_cast<unsigned char>((*doc)[start]);
+        if (c < 'a' || c > 'z') continue;
+        size_t len = SubtreeLength(*doc, start);
+        if (len == 0 || len > 256) continue;
+        std::string subtree = doc->substr(start, len);
+        size_t at = static_cast<size_t>(rng_.NextBelow(n + 1));
+        doc->insert(at, subtree);
+        report.offset = at;
+        report.length = len;
+        return report;
+      }
+      return Apply(FaultKind::kDuplicateSpan, doc);
+    }
+    case FaultKind::kUnbalanceClose: {
+      // Collect closing tokens ('A'..'Z' and '}'); corrupt or delete one.
+      std::vector<size_t> closes;
+      for (size_t i = 0; i < n; ++i) {
+        unsigned char c = static_cast<unsigned char>((*doc)[i]);
+        if ((c >= 'A' && c <= 'Z') || c == '}') closes.push_back(i);
+      }
+      if (closes.empty()) return Unchanged(kind);
+      size_t pos = closes[rng_.NextBelow(closes.size())];
+      report.offset = pos;
+      report.length = 1;
+      unsigned char c = static_cast<unsigned char>((*doc)[pos]);
+      if (c != '}' && rng_.NextBool(0.5)) {
+        // Rotate to a different closing letter: a guaranteed mismatch.
+        (*doc)[pos] = static_cast<char>('A' + (c - 'A' + 1) % 26);
+      } else {
+        doc->erase(pos, 1);
+      }
+      return report;
+    }
+    case FaultKind::kInjectJunk: {
+      size_t at = static_cast<size_t>(rng_.NextBelow(n + 1));
+      size_t len = 1 + static_cast<size_t>(rng_.NextBelow(8));
+      std::string junk;
+      for (size_t i = 0; i < len; ++i) {
+        junk += kJunkAlphabet[rng_.NextBelow(sizeof(kJunkAlphabet) - 1)];
+      }
+      doc->insert(at, junk);
+      report.offset = at;
+      report.length = len;
+      return report;
+    }
+  }
+  return Unchanged(kind);
+}
+
+FaultReport FaultInjector::ApplyRandom(std::string* doc) {
+  FaultKind kind = static_cast<FaultKind>(rng_.NextBelow(kNumFaultKinds));
+  return Apply(kind, doc);
+}
+
+std::vector<std::string_view> SplitAt(std::string_view bytes,
+                                      const std::vector<size_t>& cuts) {
+  std::vector<std::string_view> chunks;
+  size_t prev = 0;
+  for (size_t cut : cuts) {
+    size_t at = std::min(cut, bytes.size());
+    chunks.push_back(bytes.substr(prev, at - prev));
+    prev = at;
+  }
+  chunks.push_back(bytes.substr(prev));
+  return chunks;
+}
+
+std::vector<size_t> RandomCuts(Rng& rng, size_t n, int max_cuts) {
+  std::vector<size_t> cuts;
+  int count = max_cuts <= 0 ? 0 : static_cast<int>(rng.NextBelow(
+                                      static_cast<uint64_t>(max_cuts) + 1));
+  cuts.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    cuts.push_back(static_cast<size_t>(rng.NextBelow(n + 1)));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  return cuts;
+}
+
+}  // namespace sst

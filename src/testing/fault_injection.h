@@ -1,0 +1,74 @@
+#ifndef SST_TESTING_FAULT_INJECTION_H_
+#define SST_TESTING_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/rng.h"
+
+namespace sst {
+
+// Deterministic fault-injection harness for the streaming robustness
+// suites: every mutator is a pure function of (document, seed), so a
+// failing fuzz case is reproducible from the two numbers a test prints.
+// The mutators model the faults an untrusted transport actually produces
+// — truncation mid-document, bit corruption, replayed or lost windows,
+// duplicated subtrees, lost closes, junk runs — rather than uniformly
+// random bytes (which almost always die on the first byte and never
+// exercise recovery deep in a document).
+
+enum class FaultKind : uint8_t {
+  kTruncate = 0,     // drop the document's tail
+  kFlipByte,         // corrupt one byte
+  kDuplicateSpan,    // replay a window (chunk duplication)
+  kDropSpan,         // lose a window (chunk loss)
+  kSpliceSubtree,    // insert a copy of a balanced subtree elsewhere
+  kUnbalanceClose,   // corrupt or delete one closing token
+  kInjectJunk,       // insert a run of junk bytes
+};
+inline constexpr int kNumFaultKinds = 7;
+
+const char* FaultKindName(FaultKind kind);
+
+// What a mutator did; tests use it to label failures and to aim the
+// chunk-resplit differential at the damaged region.
+struct FaultReport {
+  FaultKind kind = FaultKind::kTruncate;
+  size_t offset = 0;   // first byte affected in the mutated document
+  size_t length = 0;   // bytes inserted / removed / rewritten
+  bool changed = false;  // false when the document offered no target
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // Applies one fault of the given kind at an rng-chosen position.
+  FaultReport Apply(FaultKind kind, std::string* doc);
+
+  // Applies one fault of an rng-chosen kind.
+  FaultReport ApplyRandom(std::string* doc);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+// Chunk-schedule helpers for differential (re-split) fuzzing.
+
+// Cuts `bytes` at the given ascending positions (each in [0, size]);
+// returns the resulting chunks, some possibly empty.
+std::vector<std::string_view> SplitAt(std::string_view bytes,
+                                      const std::vector<size_t>& cuts);
+
+// Deterministic random split schedule: up to max_cuts cut points over
+// [0, n], sorted (duplicates allowed — empty chunks are a legal and
+// interesting schedule).
+std::vector<size_t> RandomCuts(Rng& rng, size_t n, int max_cuts);
+
+}  // namespace sst
+
+#endif  // SST_TESTING_FAULT_INJECTION_H_

@@ -1,0 +1,200 @@
+// Tests of the deterministic fault-injection harness itself: mutators
+// are pure functions of (document, seed), each FaultKind does what its
+// name says, and the chunk-schedule helpers produce valid schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/rng.h"
+#include "testing/fault_injection.h"
+
+namespace sst {
+namespace {
+
+const char kDoc[] = "aabbBBcdDCabBAAA";  // balanced compact markup
+
+std::string Mutate(FaultKind kind, uint64_t seed, FaultReport* report) {
+  std::string doc = kDoc;
+  FaultInjector injector(seed);
+  *report = injector.Apply(kind, &doc);
+  return doc;
+}
+
+TEST(FaultInjection, SameSeedSameMutation) {
+  for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+    for (uint64_t seed : {uint64_t{1}, uint64_t{42}, uint64_t{20260807}}) {
+      FaultReport r1, r2;
+      std::string m1 = Mutate(static_cast<FaultKind>(kind), seed, &r1);
+      std::string m2 = Mutate(static_cast<FaultKind>(kind), seed, &r2);
+      EXPECT_EQ(m1, m2) << FaultKindName(static_cast<FaultKind>(kind));
+      EXPECT_EQ(r1.offset, r2.offset);
+      EXPECT_EQ(r1.length, r2.length);
+      EXPECT_EQ(r1.changed, r2.changed);
+    }
+  }
+}
+
+TEST(FaultInjection, DifferentSeedsEventuallyDiffer) {
+  FaultReport report;
+  std::string base = Mutate(FaultKind::kFlipByte, 1, &report);
+  bool any_different = false;
+  for (uint64_t seed = 2; seed < 12; ++seed) {
+    if (Mutate(FaultKind::kFlipByte, seed, &report) != base) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FaultInjection, TruncateDropsATail) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport report;
+    std::string mutated = Mutate(FaultKind::kTruncate, seed, &report);
+    ASSERT_TRUE(report.changed);
+    EXPECT_LT(mutated.size(), sizeof(kDoc) - 1);
+    EXPECT_EQ(mutated, std::string(kDoc).substr(0, mutated.size()));
+  }
+}
+
+TEST(FaultInjection, FlipByteChangesExactlyOneByte) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport report;
+    std::string mutated = Mutate(FaultKind::kFlipByte, seed, &report);
+    ASSERT_TRUE(report.changed);
+    ASSERT_EQ(mutated.size(), sizeof(kDoc) - 1);
+    int diffs = 0;
+    for (size_t i = 0; i < mutated.size(); ++i) {
+      if (mutated[i] != kDoc[i]) {
+        ++diffs;
+        EXPECT_EQ(i, report.offset);
+      }
+    }
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(FaultInjection, DuplicateAndDropChangeLengthByTheSpan) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport dup_report;
+    std::string dup = Mutate(FaultKind::kDuplicateSpan, seed, &dup_report);
+    ASSERT_TRUE(dup_report.changed);
+    EXPECT_EQ(dup.size(), sizeof(kDoc) - 1 + dup_report.length);
+
+    FaultReport drop_report;
+    std::string drop = Mutate(FaultKind::kDropSpan, seed, &drop_report);
+    ASSERT_TRUE(drop_report.changed);
+    EXPECT_EQ(drop.size(), sizeof(kDoc) - 1 - drop_report.length);
+  }
+}
+
+TEST(FaultInjection, SpliceInsertsBytesSomewhere) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport report;
+    std::string mutated = Mutate(FaultKind::kSpliceSubtree, seed, &report);
+    ASSERT_TRUE(report.changed);
+    EXPECT_GT(mutated.size(), sizeof(kDoc) - 1);
+    EXPECT_EQ(mutated.size(), sizeof(kDoc) - 1 + report.length);
+  }
+}
+
+TEST(FaultInjection, UnbalanceCloseTouchesAClosingToken) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport report;
+    std::string mutated = Mutate(FaultKind::kUnbalanceClose, seed, &report);
+    ASSERT_TRUE(report.changed);
+    // Either one close was deleted or one close was rewritten in place.
+    if (mutated.size() == sizeof(kDoc) - 1) {
+      EXPECT_NE(mutated, kDoc);
+      char original = kDoc[report.offset];
+      EXPECT_TRUE(original == '}' || (original >= 'A' && original <= 'Z'));
+    } else {
+      EXPECT_EQ(mutated.size(), sizeof(kDoc) - 2);
+    }
+  }
+}
+
+TEST(FaultInjection, InjectJunkInsertsNonStructuralBytes) {
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    FaultReport report;
+    std::string mutated = Mutate(FaultKind::kInjectJunk, seed, &report);
+    ASSERT_TRUE(report.changed);
+    ASSERT_EQ(mutated.size(), sizeof(kDoc) - 1 + report.length);
+    for (size_t i = 0; i < report.length; ++i) {
+      char c = mutated[report.offset + i];
+      EXPECT_FALSE(std::isalnum(static_cast<unsigned char>(c))) << c;
+      EXPECT_NE(c, '{');
+      EXPECT_NE(c, '}');
+      EXPECT_NE(c, '<');
+      EXPECT_NE(c, '>');
+    }
+  }
+}
+
+TEST(FaultInjection, ApplyRandomAlwaysMutatesANonEmptyDocument) {
+  for (uint64_t seed = 0; seed < 32; ++seed) {
+    std::string doc = kDoc;
+    FaultInjector injector(seed);
+    FaultReport report = injector.ApplyRandom(&doc);
+    EXPECT_TRUE(report.changed);
+    EXPECT_NE(doc, kDoc);
+  }
+}
+
+TEST(FaultInjection, EmptyDocumentReportsNoTarget) {
+  // Kinds that need existing bytes report changed == false on "".
+  for (FaultKind kind : {FaultKind::kTruncate, FaultKind::kFlipByte,
+                         FaultKind::kDuplicateSpan, FaultKind::kDropSpan,
+                         FaultKind::kUnbalanceClose}) {
+    std::string doc;
+    FaultInjector injector(9);
+    FaultReport report = injector.Apply(kind, &doc);
+    EXPECT_FALSE(report.changed) << FaultKindName(kind);
+    EXPECT_TRUE(doc.empty());
+  }
+}
+
+TEST(FaultInjection, SplitAtReassemblesTheInput) {
+  const std::string bytes = "abcdefgh";
+  struct Case {
+    std::vector<size_t> cuts;
+    size_t want_chunks;
+  } cases[] = {
+      {{}, 1},
+      {{0}, 2},
+      {{8}, 2},
+      {{3, 3, 5}, 4},  // duplicate cut: an empty middle chunk
+      {{1, 2, 3, 4, 5, 6, 7}, 8},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::string_view> chunks = SplitAt(bytes, c.cuts);
+    EXPECT_EQ(chunks.size(), c.want_chunks);
+    std::string glued;
+    for (std::string_view chunk : chunks) glued.append(chunk);
+    EXPECT_EQ(glued, bytes);
+  }
+}
+
+TEST(FaultInjection, RandomCutsAreSortedAndInRange) {
+  Rng rng(11);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<size_t> cuts = RandomCuts(rng, 100, 9);
+    EXPECT_LE(cuts.size(), 9u);
+    EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+    for (size_t cut : cuts) EXPECT_LE(cut, 100u);
+    // The schedule must reassemble losslessly.
+    std::string bytes(100, 'x');
+    std::vector<std::string_view> chunks = SplitAt(bytes, cuts);
+    size_t total = 0;
+    for (std::string_view chunk : chunks) total += chunk.size();
+    EXPECT_EQ(total, bytes.size());
+  }
+}
+
+}  // namespace
+}  // namespace sst

@@ -4,23 +4,39 @@
 // automata may accept or reject invalid encodings arbitrarily, but the
 // implementations must stay memory-safe and terminating).
 
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "automata/alphabet.h"
 #include "automata/minimize.h"
 #include "base/rng.h"
+#include "dra/byte_runner.h"
 #include "dra/machine.h"
 #include "dra/paper_examples.h"
 #include "dra/streaming.h"
 #include "eval/el_synopsis.h"
 #include "eval/stack_evaluator.h"
 #include "eval/stackless_query.h"
+#include "eval/registerless_query.h"
+#include "test_util.h"
+#include "testing/fault_injection.h"
 #include "trees/encoding.h"
 
 namespace sst {
 namespace {
+
+// Iteration multiplier for the scheduled long-fuzz CI job: SST_FUZZ_ITERS
+// scales every sweep (default 1 keeps the suite fast for tier-1 runs).
+int FuzzIters() {
+  const char* env = std::getenv("SST_FUZZ_ITERS");
+  if (env == nullptr) return 1;
+  int iters = std::atoi(env);
+  return iters > 0 ? iters : 1;
+}
 
 std::string RandomBytes(Rng* rng, int length, const char* pool) {
   std::string bytes;
@@ -118,6 +134,153 @@ TEST(Fuzz, MachinesSurviveInvalidEventStreams) {
         }
       }
       (void)machine->InAcceptingState();
+    }
+  }
+}
+
+// The observable outcome of one selector run, for differential checks.
+struct FuzzOutcome {
+  bool finished = false;
+  int64_t nodes = 0;
+  int64_t matches = 0;
+  int64_t events = 0;
+  int64_t errors_recovered = 0;
+  int64_t subtrees_skipped = 0;
+  StreamError error;
+
+  friend bool operator==(const FuzzOutcome&, const FuzzOutcome&) = default;
+};
+
+FuzzOutcome RunSelector(StreamMachine* machine,
+                        StreamingSelector::Format format, Alphabet* alphabet,
+                        const std::vector<std::string_view>& pieces,
+                        RecoveryPolicy policy, const StreamLimits& limits) {
+  machine->Reset();
+  StreamingSelector selector(machine, format, alphabet);
+  selector.set_recovery_policy(policy);
+  selector.set_limits(limits);
+  bool fed = true;
+  for (std::string_view piece : pieces) {
+    if (!selector.Feed(piece)) {
+      fed = false;
+      break;
+    }
+  }
+  FuzzOutcome out;
+  out.finished = fed && selector.Finish();
+  out.nodes = selector.nodes();
+  out.matches = selector.matches();
+  out.events = selector.stats().events;
+  out.errors_recovered = selector.stats().errors_recovered;
+  out.subtrees_skipped = selector.stats().subtrees_skipped;
+  out.error = selector.stream_error();
+  return out;
+}
+
+// Seeded fault-injection sweep: mutate valid documents of every format,
+// run under every recovery policy, and require (a) no crash, (b) a
+// structured error whenever the run did not finish, and (c) the same
+// outcome when the bytes are re-split into chunks clustered around the
+// error offset — the splits most likely to upset lexer or recovery
+// state spanning a boundary.
+TEST(Fuzz, MutatedDocumentsAreChunkSplitInvariant) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a.*b", alphabet);
+  StreamLimits limits;
+  limits.max_depth = 256;
+  const RecoveryPolicy policies[] = {RecoveryPolicy::kFailFast,
+                                     RecoveryPolicy::kSkipMalformedSubtree,
+                                     RecoveryPolicy::kAutoClose};
+  for (int iter = 0; iter < FuzzIters(); ++iter) {
+    Rng rng(900 + iter);
+    std::vector<Tree> trees = testing::SampleTrees(20, 3, &rng);
+    for (size_t t = 0; t < trees.size(); ++t) {
+      EventStream events = Encode(trees[t]);
+      struct Doc {
+        StreamingSelector::Format format;
+        std::string text;
+      };
+      const Doc docs[] = {
+          {StreamingSelector::Format::kCompactMarkup,
+           ToCompactMarkup(alphabet, events)},
+          {StreamingSelector::Format::kXmlLite, ToXmlLite(alphabet, events)},
+          {StreamingSelector::Format::kCompactTerm,
+           ToCompactTerm(alphabet, events)},
+      };
+      for (const Doc& doc : docs) {
+        for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+          std::string mutated = doc.text;
+          FaultInjector injector(iter * 7919 + t * 131 + kind);
+          injector.Apply(static_cast<FaultKind>(kind), &mutated);
+          for (RecoveryPolicy policy : policies) {
+            StackQueryEvaluator machine(&dfa);
+            FuzzOutcome whole =
+                RunSelector(&machine, doc.format, &alphabet,
+                            {std::string_view(mutated)}, policy, limits);
+            if (!whole.finished) {
+              EXPECT_NE(whole.error.code, StreamErrorCode::kNone);
+            }
+            // Re-split around the error (or around the mutation when the
+            // run recovered), byte by byte in a +/-2 window.
+            size_t focus = whole.error.offset >= 0
+                               ? static_cast<size_t>(whole.error.offset)
+                               : mutated.size() / 2;
+            size_t lo = focus > 2 ? focus - 2 : 0;
+            for (size_t cut = lo;
+                 cut <= focus + 2 && cut <= mutated.size(); ++cut) {
+              std::vector<size_t> cuts = {cut};
+              FuzzOutcome split =
+                  RunSelector(&machine, doc.format, &alphabet,
+                              SplitAt(mutated, cuts), policy, limits);
+              ASSERT_EQ(split, whole)
+                  << "cut=" << cut << " policy=" << RecoveryPolicyName(policy)
+                  << " doc=" << mutated;
+            }
+            // And a few random schedules for good measure.
+            for (int trial = 0; trial < 3; ++trial) {
+              std::vector<size_t> cuts =
+                  RandomCuts(injector.rng(), mutated.size(), 5);
+              FuzzOutcome split =
+                  RunSelector(&machine, doc.format, &alphabet,
+                              SplitAt(mutated, cuts), policy, limits);
+              ASSERT_EQ(split, whole)
+                  << "policy=" << RecoveryPolicyName(policy)
+                  << " doc=" << mutated;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Differential: on compact markup, the streaming selector (fail-fast) and
+// the batch validated runner are two implementations of one
+// specification and must report the identical first StreamError.
+TEST(Fuzz, SelectorAndValidatedRunnerAgreeOnMutants) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  for (int iter = 0; iter < FuzzIters(); ++iter) {
+    Rng rng(1700 + iter);
+    std::vector<Tree> trees = testing::SampleTrees(20, 3, &rng);
+    for (size_t t = 0; t < trees.size(); ++t) {
+      std::string doc = ToCompactMarkup(alphabet, Encode(trees[t]));
+      for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+        std::string mutated = doc;
+        FaultInjector injector(iter * 524287 + t * 8191 + kind);
+        injector.Apply(static_cast<FaultKind>(kind), &mutated);
+        ValidatedRun batch = runner.RunValidated(mutated);
+        TagDfaMachine machine(&evaluator);
+        StreamingSelector selector(
+            &machine, StreamingSelector::Format::kCompactMarkup, &alphabet);
+        bool finished = selector.Feed(mutated) && selector.Finish();
+        ASSERT_EQ(batch.ok(), finished) << mutated;
+        ASSERT_EQ(batch.error, selector.stream_error()) << mutated;
+        ASSERT_EQ(batch.matches, selector.matches()) << mutated;
+        ASSERT_EQ(batch.events, selector.stats().events) << mutated;
+      }
     }
   }
 }

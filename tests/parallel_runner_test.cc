@@ -10,9 +10,11 @@
 #include "base/rng.h"
 #include "base/thread_pool.h"
 #include "dra/byte_runner.h"
+#include "dra/streaming.h"
 #include "dra/tag_dfa.h"
 #include "eval/registerless_query.h"
 #include "test_util.h"
+#include "testing/fault_injection.h"
 #include "trees/encoding.h"
 #include "trees/generators.h"
 
@@ -148,6 +150,144 @@ TEST(ParallelRunner, WideTableMachineMatchesSequential) {
   ParallelTagDfaRunner::Result result = parallel.Run(bytes, 3);
   EXPECT_EQ(result.selections, runner.CountSelections(bytes));
   EXPECT_EQ(result.final_state, runner.FinalState(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input parity: the speculative validated run must report the
+// byte-identical first StreamError — and the same partial counters — as
+// the sequential validator, under every chunk/thread/dedup combination.
+
+void ExpectValidatedParity(const ByteTagDfaRunner& runner,
+                           const std::string& bytes,
+                           const StreamLimits& limits = {}) {
+  ValidatedRun expected = runner.RunValidated(bytes, limits);
+  for (int threads : kThreadCounts) {
+    ThreadPool pool(threads);
+    for (int dedup : kDedupIntervals) {
+      ParallelTagDfaRunner parallel(&runner, &pool, dedup);
+      for (int chunks : kChunkCounts) {
+        ValidatedRun got = parallel.RunValidated(bytes, chunks, limits);
+        ASSERT_EQ(got, expected)
+            << "threads=" << threads << " chunks=" << chunks
+            << " dedup=" << dedup << " doc=" << bytes
+            << "\nexpected: " << expected.error.Render(nullptr)
+            << "\ngot:      " << got.error.Render(nullptr);
+      }
+    }
+  }
+}
+
+TEST(ParallelRunnerValidated, AgreesWithSequentialOnMalformedInputs) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  const std::string docs[] = {
+      "",          // truncated (empty)
+      "ab",        // truncated mid-document
+      "abBA",      // clean — ok() on both sides
+      "ab?BA",     // junk byte at offset 2
+      "abAB",      // label mismatch at offset 2
+      "B",         // unbalanced close at offset 0
+      "abBAB",     // unbalanced close after the root closed
+      "abdDBA",    // unknown label 'd' at offset 2
+      "aAbB",      // trailing content at offset 2
+      "aA  bB",    // trailing content after whitespace
+      "  abBA  ",  // leading/trailing whitespace, clean
+      "aAA",       // unbalanced close at offset 2
+      "aabb",      // truncated, depth 4 pending
+  };
+  for (const std::string& doc : docs) {
+    ExpectValidatedParity(runner, doc);
+  }
+}
+
+TEST(ParallelRunnerValidated, AgreesWithSequentialUnderLimits) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  StreamLimits depth_limit;
+  depth_limit.max_depth = 3;
+  ExpectValidatedParity(runner, "ababBABA", depth_limit);
+  ExpectValidatedParity(runner, "abaABA", depth_limit);  // exactly at limit
+  StreamLimits byte_limit;
+  byte_limit.max_document_bytes = 5;
+  ExpectValidatedParity(runner, "abcCBA", byte_limit);
+  ExpectValidatedParity(runner, "abBA", byte_limit);
+  StreamLimits event_limit;
+  event_limit.max_events = 3;
+  ExpectValidatedParity(runner, "abcCBA", event_limit);
+}
+
+TEST(ParallelRunnerValidated, AgreesWithSequentialOnMutatedDocuments) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  Rng rng(606);
+  int failing_docs = 0;
+  std::vector<Tree> trees = testing::SampleTrees(25, 3, &rng);
+  for (size_t t = 0; t < trees.size(); ++t) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(trees[t]));
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      std::string mutated = doc;
+      FaultInjector injector(t * 1000 + kind);
+      injector.Apply(static_cast<FaultKind>(kind), &mutated);
+      ExpectValidatedParity(runner, mutated);
+      if (!runner.RunValidated(mutated).ok()) ++failing_docs;
+    }
+  }
+  EXPECT_GT(failing_docs, 40);  // the corpus must exercise error paths
+}
+
+// The validated runners and the streaming selector implement one
+// specification: same first error (full structured payload) and same
+// partial event/match counters at the stop point.
+TEST(ParallelRunnerValidated, AgreesWithTheStreamingSelector) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  ThreadPool pool(2);
+  ParallelTagDfaRunner parallel(&runner, &pool);
+  const std::string docs[] = {
+      "abBA", "ab?BA", "abAB", "B",    "abBAB", "abdDBA",
+      "aAbB", "ab",    "aAA",  "aabb", " ab BA# ",
+  };
+  for (const std::string& doc : docs) {
+    ValidatedRun seq = runner.RunValidated(doc);
+    ValidatedRun par = parallel.RunValidated(doc, 3);
+    TagDfaMachine machine(&evaluator);
+    StreamingSelector selector(
+        &machine, StreamingSelector::Format::kCompactMarkup, &alphabet);
+    bool fed = selector.Feed(doc);
+    bool finished = fed && selector.Finish();
+    EXPECT_EQ(seq, par) << doc;
+    EXPECT_EQ(seq.ok(), finished) << doc;
+    EXPECT_EQ(seq.error, selector.stream_error()) << doc;
+    EXPECT_EQ(seq.events, selector.stats().events) << doc;
+    EXPECT_EQ(seq.max_depth, selector.stats().max_depth) << doc;
+    EXPECT_EQ(seq.matches, selector.matches()) << doc;
+    EXPECT_EQ(seq.nodes, selector.nodes()) << doc;
+  }
+}
+
+TEST(ParallelRunnerValidated, CleanRunsMatchTheUnvalidatedFastPath) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa query = CompileRegex("a.*b", alphabet);
+  TagDfa evaluator = BuildRegisterlessQueryAutomaton(query, /*blind=*/false);
+  ByteTagDfaRunner runner(evaluator);
+  Rng rng(707);
+  ThreadPool pool(4);
+  ParallelTagDfaRunner parallel(&runner, &pool);
+  for (const Tree& tree : testing::SampleTrees(15, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    ValidatedRun run = parallel.RunValidated(doc, 7);
+    ASSERT_TRUE(run.ok()) << run.error.Render(&alphabet);
+    EXPECT_EQ(run.matches, runner.CountSelections(doc));
+    EXPECT_EQ(run.final_state, runner.FinalState(doc));
+  }
 }
 
 }  // namespace

@@ -171,7 +171,8 @@ class OpaqueMachine final : public StreamMachine {
   StreamMachine* inner_;
 };
 
-// Everything observable about one streaming run.
+// Everything observable about one streaming run. chunks_fed is the one
+// counter deliberately absent: it measures the split schedule itself.
 struct RunResult {
   bool fed = false;
   bool finished = false;
@@ -179,7 +180,11 @@ struct RunResult {
   int64_t matches = 0;
   int64_t events = 0;
   int64_t max_depth = 0;
+  int64_t bytes_fed = 0;
+  int64_t errors_recovered = 0;
+  int64_t subtrees_skipped = 0;
   int64_t error_offset = -1;
+  StreamError stream_error;
   std::string error;
 
   friend bool operator==(const RunResult&, const RunResult&) = default;
@@ -204,7 +209,11 @@ RunResult RunWithSplits(StreamingSelector* selector, const std::string& text,
   StreamStats stats = selector->stats();
   result.events = stats.events;
   result.max_depth = stats.max_depth;
+  result.bytes_fed = stats.bytes_fed;
+  result.errors_recovered = stats.errors_recovered;
+  result.subtrees_skipped = stats.subtrees_skipped;
   result.error_offset = stats.error_offset;
+  result.stream_error = selector->stream_error();
   result.error = selector->error();
   return result;
 }
@@ -416,7 +425,8 @@ TEST(StreamingSelector, XmlLiteClosingSlashDoesNotCountTowardTagLength) {
   std::string too_long(StreamingSelector::kMaxTagBytes + 1, 'k');
   selector.Reset();
   EXPECT_FALSE(selector.Feed("<" + too_long + ">"));
-  EXPECT_NE(selector.error().find("tag too long"), std::string::npos);
+  EXPECT_EQ(selector.stream_error().code, StreamErrorCode::kTagTooLong);
+  EXPECT_NE(selector.error().find("kTagTooLong"), std::string::npos);
 }
 
 TEST(StreamingSelector, StreamStatsCountTheRun) {
@@ -460,7 +470,12 @@ TEST(StreamingSelector, StatsResetBetweenDocuments) {
   EXPECT_EQ(cleared.events, 0);
   EXPECT_EQ(cleared.max_depth, 0);
   EXPECT_EQ(cleared.matches, 0);
+  EXPECT_EQ(cleared.errors_recovered, 0);
+  EXPECT_EQ(cleared.subtrees_skipped, 0);
   EXPECT_EQ(cleared.error_offset, -1);
+  EXPECT_TRUE(selector.stream_error().ok());
+  EXPECT_TRUE(selector.recovered_errors().empty());
+  EXPECT_FALSE(selector.failed());
 
   // A second document starts counting from scratch.
   ASSERT_TRUE(selector.Feed("aA"));
@@ -545,6 +560,64 @@ TEST(StreamingSelector, ErrorsCarryTheByteOffset) {
   // The first error wins; later feeds cannot overwrite it.
   EXPECT_FALSE(selector.Feed("?"));
   EXPECT_EQ(selector.stats().error_offset, 3);
+}
+
+// Satellite (a): once a run has failed, Feed and Finish are no-ops that
+// return false and preserve the original StreamError verbatim.
+TEST(StreamingSelector, FeedAndFinishAfterErrorAreNoOps) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("ab"));
+  ASSERT_FALSE(selector.Feed("c"));  // unknown label at offset 2
+  const StreamError first = selector.stream_error();
+  ASSERT_EQ(first.code, StreamErrorCode::kUnknownLabel);
+  ASSERT_EQ(first.offset, 2);
+  const StreamStats frozen = selector.stats();
+  const std::string rendered = selector.error();
+
+  // Feeding valid or invalid bytes afterwards changes nothing observable.
+  EXPECT_FALSE(selector.Feed("BA"));
+  EXPECT_FALSE(selector.Feed("?"));
+  EXPECT_FALSE(selector.Feed(""));
+  EXPECT_FALSE(selector.Finish());
+  EXPECT_FALSE(selector.Finish());  // idempotent
+  EXPECT_EQ(selector.stream_error(), first);
+  EXPECT_EQ(selector.error(), rendered);
+  StreamStats after = selector.stats();
+  EXPECT_EQ(after.bytes_fed, frozen.bytes_fed);
+  EXPECT_EQ(after.chunks_fed, frozen.chunks_fed);
+  EXPECT_EQ(after.events, frozen.events);
+  EXPECT_EQ(after.matches, frozen.matches);
+  EXPECT_EQ(after.error_offset, frozen.error_offset);
+
+  // Reset rearms the selector for a fresh, successful run.
+  selector.Reset();
+  EXPECT_TRUE(selector.Feed("aA"));
+  EXPECT_TRUE(selector.Finish());
+  EXPECT_TRUE(selector.stream_error().ok());
+}
+
+// A Finish-time failure (truncated document) is just as final as a
+// Feed-time failure.
+TEST(StreamingSelector, FeedAfterFailedFinishIsRejected) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  StreamingSelector selector(&machine,
+                             StreamingSelector::Format::kCompactMarkup,
+                             &alphabet);
+  ASSERT_TRUE(selector.Feed("ab"));
+  ASSERT_FALSE(selector.Finish());  // two opens still pending
+  const StreamError first = selector.stream_error();
+  EXPECT_EQ(first.code, StreamErrorCode::kTruncatedDocument);
+  EXPECT_EQ(first.offset, 2);
+  EXPECT_FALSE(selector.Feed("BA"));  // too late: the run is over
+  EXPECT_FALSE(selector.Finish());
+  EXPECT_EQ(selector.stream_error(), first);
 }
 
 TEST(StreamingSelector, WhitespaceIsIgnoredBetweenTags) {
