@@ -25,7 +25,11 @@
 #include "dra/parallel_runner.h"
 #include "dra/streaming.h"
 #include "dra/tag_dfa.h"
+#include "engine/plan_cache.h"
+#include "engine/query_plan.h"
+#include "engine/session.h"
 #include "eval/registerless_query.h"
+#include "query/rpq.h"
 #include "trees/encoding.h"
 
 namespace sst {
@@ -465,6 +469,110 @@ void BM_ParallelSpeculativeRunner(benchmark::State& state) {
 BENCHMARK(BM_SequentialFusedRunner)->Arg(16)->Arg(64);
 BENCHMARK(BM_ParallelSpeculativeRunner)
     ->ArgsProduct({{1, 2, 4, 8}, {16, 64}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// --- Engine layer: compile-once/run-many amortization -------------------
+// The cost ladder the engine is built around, one rung per benchmark:
+// a cold QueryPlan::Compile (minimize + classify + build every table), a
+// warm PlanCache hit (one shard lock + hash lookup), a fresh Session on a
+// compiled plan (machine + scanner state, no tables), and a pooled
+// re-acquire (free-list pop + Reset, zero allocations). Run side-by-side
+// with BM_SharedPlanStreaming these give the break-even stream count where
+// compiling stops mattering.
+
+void BM_EngineColdCompile(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rpq rpq = Rpq::FromXPath("/a//b", alphabet);
+  for (auto _ : state) {
+    auto plan = QueryPlan::Compile(rpq, PlanOptions{});
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("compile/cold");
+}
+
+void BM_EngineCacheHit(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet, PlanOptions{});
+  for (auto _ : state) {
+    auto plan = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet,
+                                   PlanOptions{});
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetLabel("compile/cache-hit");
+}
+
+void BM_EngineFreshSession(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = QueryPlan::Compile(Rpq::FromXPath("/a//b", alphabet),
+                                 PlanOptions{});
+  for (auto _ : state) {
+    Session session(plan);
+    benchmark::DoNotOptimize(session.matches());
+  }
+  state.SetLabel("session/fresh");
+}
+
+void BM_EnginePooledSession(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = QueryPlan::Compile(Rpq::FromXPath("/a//b", alphabet),
+                                 PlanOptions{});
+  SessionPool pool(plan);
+  pool.Release(pool.Acquire());  // warm the free list
+  for (auto _ : state) {
+    auto session = pool.Acquire();
+    benchmark::DoNotOptimize(session->matches());
+    pool.Release(std::move(session));
+  }
+  state.SetLabel("session/pooled");
+}
+
+BENCHMARK(BM_EngineColdCompile);
+BENCHMARK(BM_EngineCacheHit);
+BENCHMARK(BM_EngineFreshSession);
+BENCHMARK(BM_EnginePooledSession);
+
+// --- Multi-session shared-plan throughput -------------------------------
+// T worker lanes stream disjoint replicas of the 1 MiB document through T
+// pooled sessions over ONE plan — the serving configuration the engine
+// layer exists for. Aggregate bytes/sec across lanes; real time, so lane
+// counts beyond the core count show the (expected) flat line rather than
+// fake scaling.
+
+void BM_SharedPlanStreaming(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = QueryPlan::Compile(Rpq::FromXPath("/a//b", alphabet),
+                                 PlanOptions{});
+  SessionPool session_pool(plan, static_cast<size_t>(threads));
+  ThreadPool pool(threads);
+  const std::string& bytes = TiledMarkup(size_t{4} << 20);
+  constexpr size_t kChunk = 65536;
+  for (auto _ : state) {
+    pool.Run(threads, [&](int) {
+      auto session = session_pool.Acquire();
+      session->Reset();
+      bool ok = true;
+      for (size_t i = 0; ok && i < bytes.size(); i += kChunk) {
+        ok = session->Feed(std::string_view(bytes).substr(i, kChunk));
+      }
+      SST_CHECK(ok && session->Finish());
+      benchmark::DoNotOptimize(session->matches());
+      session_pool.Release(std::move(session));
+    });
+  }
+  state.SetBytesProcessed(state.iterations() * threads *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["threads"] = threads;
+  state.SetLabel("sharedplan/threads=" + std::to_string(threads));
+}
+
+BENCHMARK(BM_SharedPlanStreaming)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 

@@ -72,40 +72,28 @@ std::unique_ptr<StreamMachine> MakeQueryMachine(const Dfa& minimal,
 
 }  // namespace
 
-const char* EvaluatorKindName(EvaluatorKind kind) {
-  switch (kind) {
-    case EvaluatorKind::kRegisterless:
-      return "registerless (finite automaton)";
-    case EvaluatorKind::kStackless:
-      return "stackless (depth-register automaton)";
-    case EvaluatorKind::kStackBaseline:
-      return "stack baseline (pushdown)";
-  }
-  return "unknown";
-}
-
 Classification ClassifyQuery(const Rpq& rpq) {
   return Classify(rpq.minimal_dfa);
 }
 
 CompiledQuery CompileQuery(const Rpq& rpq, StreamEncoding encoding,
                            bool allow_stack_fallback) {
-  const bool term = encoding == StreamEncoding::kTerm;
+  // Facade-as-adapter: compile an engine QueryPlan (the shared immutable
+  // artifact) and hand back one per-stream machine over it. The plan rides
+  // along in the result so callers can open more streams over the same
+  // compilation (engine/session.h).
+  PlanOptions options;
+  options.encoding = encoding;
+  options.format = StreamFormat::kCompactMarkup;
+  options.allow_stack_fallback = allow_stack_fallback;
   CompiledQuery result;
-  result.classification = ClassifyQuery(rpq);
-  const Classification& c = result.classification;
-  bool registerless = term ? c.blind_almost_reversible : c.almost_reversible;
-  bool stackless = term ? c.blind_har : c.har;
-  if (registerless) {
-    result.kind = EvaluatorKind::kRegisterless;
-  } else if (stackless) {
-    result.kind = EvaluatorKind::kStackless;
-  } else if (allow_stack_fallback) {
-    result.kind = EvaluatorKind::kStackBaseline;
-  } else {
+  result.plan = QueryPlan::Compile(rpq, options);
+  result.classification = result.plan->classification();
+  result.kind = result.plan->kind();
+  if (!result.plan->exact()) {
     return result;  // exact = false, machine = nullptr
   }
-  result.machine = MakeQueryMachine(rpq.minimal_dfa, result.kind, term);
+  result.machine = result.plan->NewMachine();
   result.exact = true;
   return result;
 }

@@ -8,6 +8,7 @@
 #include "automata/dfa.h"
 #include "classes/syntactic_classes.h"
 #include "dra/machine.h"
+#include "engine/query_plan.h"
 #include "query/rpq.h"
 #include "trees/tree.h"
 
@@ -16,6 +17,13 @@ namespace sst {
 // Public facade of the library: classify an RPQ per the paper's
 // characterization theorems and compile the strongest streaming evaluator
 // that provably realizes it.
+//
+// Since the engine layer landed, this facade is an adapter over
+// engine/query_plan.h: CompileQuery compiles (or reuses) an immutable
+// QueryPlan and wraps a per-stream machine over it. Serving loops that
+// run one query over many streams should use the engine directly
+// (QueryPlan / PlanCache / Session) to share one plan across streams; the
+// facade keeps the one-shot ergonomics.
 //
 //   markup encoding (XML-style, labelled closing tags):
 //     registerless  <=>  L almost-reversible        (Theorem 3.2(3))
@@ -28,21 +36,22 @@ namespace sst {
 // E-flat; AL ("all branches match") iff L is A-flat (Theorem 3.2(1,2));
 // both are stackless iff L is HAR (Theorem 3.1).
 
-enum class StreamEncoding { kMarkup, kTerm };
+// StreamEncoding, EvaluatorKind, and EvaluatorKindName now live in
+// engine/query_plan.h (included above); they are re-exported here
+// unchanged for existing users of the facade.
 
-enum class EvaluatorKind {
-  kRegisterless,   // plain DFA over the tag stream (Lemma 3.5 / 3.11)
-  kStackless,      // depth-register automaton (Lemma 3.8)
-  kStackBaseline,  // classical pushdown evaluation (always applicable)
-};
-
-const char* EvaluatorKindName(EvaluatorKind kind);
-
-// A compiled streaming evaluator. Owns the machine and the automata it
-// runs; move-only.
+// A compiled streaming evaluator: a per-stream machine over a shared
+// immutable QueryPlan. Move-only. The plan is exposed so callers can open
+// additional streams over the same compilation (see engine/session.h) —
+// `machine` is one such stream's mutable state.
 struct CompiledQuery {
   EvaluatorKind kind = EvaluatorKind::kStackBaseline;
   Classification classification;
+  // The shared compile-once artifact behind `machine`. Set by CompileQuery
+  // (unary QL); the Boolean compilers (CompileExists / CompileForall) build
+  // recognizer machines outside the plan model and leave it null.
+  // Declared before `machine` so the machine is destroyed first.
+  std::shared_ptr<const QueryPlan> plan;
   std::unique_ptr<StreamMachine> machine;
   // The machine realizes the query exactly; false only when the stack
   // fallback was disabled and no stackless evaluator exists — in that case

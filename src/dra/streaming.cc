@@ -4,6 +4,7 @@
 #include <string>
 
 #include "base/byte_scan.h"
+#include "base/check.h"
 
 namespace sst {
 
@@ -23,10 +24,50 @@ inline bool IsAsciiAlnum(unsigned char c) {
 
 }  // namespace
 
+ScannerTables ScannerTables::Build(StreamFormat format,
+                                   const Alphabet& alphabet) {
+  ScannerTables tables;
+  std::array<Symbol, 256> interned = alphabet.ByteSymbolTable();
+  tables.byte_class.fill(kBad);
+  tables.byte_symbol.fill(-1);
+  for (int c = 0; c < 256; ++c) {
+    unsigned char b = static_cast<unsigned char>(c);
+    if (IsAsciiWs(b)) tables.byte_class[c] = kWs;
+  }
+  switch (format) {
+    case StreamFormat::kCompactMarkup:
+      for (int c = 'a'; c <= 'z'; ++c) {
+        tables.byte_class[c] = kOpen;
+        tables.byte_symbol[c] = interned[c];
+        tables.byte_class[c - 'a' + 'A'] = kClose;
+        tables.byte_symbol[c - 'a' + 'A'] = interned[c];
+      }
+      break;
+    case StreamFormat::kCompactTerm:
+      for (int c = 0; c < 256; ++c) {
+        unsigned char b = static_cast<unsigned char>(c);
+        if (IsAsciiAlnum(b) || b == '_' || b == '-') {
+          tables.byte_class[c] = kLabel;
+          tables.byte_symbol[c] = interned[c];
+        }
+      }
+      tables.byte_class[static_cast<unsigned char>('}')] = kCloseBrace;
+      break;
+    case StreamFormat::kXmlLite:
+      // XML-lite lexing branches on '<' and '>' directly; names are looked
+      // up per tag, with the single-byte table as a shortcut.
+      tables.byte_symbol = interned;
+      break;
+  }
+  return tables;
+}
+
 StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
-                                     Alphabet* alphabet)
+                                     const Alphabet* alphabet)
     : machine_(machine), format_(format), alphabet_(alphabet) {
-  BuildTables();
+  owned_tables_ =
+      std::make_unique<ScannerTables>(ScannerTables::Build(format, *alphabet));
+  tables_ = owned_tables_.get();
   open_labels_.reserve(kDepthReserve);
   if (format_ == Format::kCompactMarkup) {
     if (const TagDfa* dfa = machine_->ExportTagDfa()) {
@@ -39,46 +80,55 @@ StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
         compact = label.size() == 1 && label[0] >= 'a' && label[0] <= 'z';
       }
       if (compact) {
-        fused_ = std::make_unique<ByteTagDfaRunner>(*dfa, *alphabet_);
+        owned_fused_ = std::make_unique<ByteTagDfaRunner>(*dfa, *alphabet_);
+        fused_ = owned_fused_.get();
       }
     }
   }
+  CheckTableAgreement();
   Reset();
 }
 
-void StreamingSelector::BuildTables() {
-  std::array<Symbol, 256> interned = alphabet_->ByteSymbolTable();
-  byte_class_.fill(kBad);
-  byte_symbol_.fill(-1);
-  for (int c = 0; c < 256; ++c) {
-    unsigned char b = static_cast<unsigned char>(c);
-    if (IsAsciiWs(b)) byte_class_[c] = kWs;
+StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
+                                     const Alphabet* alphabet,
+                                     const ScannerTables* tables,
+                                     const ByteTagDfaRunner* fused)
+    : machine_(machine),
+      format_(format),
+      alphabet_(alphabet),
+      tables_(tables),
+      fused_(fused) {
+  SST_CHECK(tables_ != nullptr);
+  if (fused_ != nullptr) {
+    // The fused tier syncs the machine's exported state around each chunk,
+    // so a shared fused table is only sound for a machine that actually
+    // exports a TagDfa (of matching size) on the compact-markup format.
+    SST_CHECK(format_ == Format::kCompactMarkup);
+    const TagDfa* dfa = machine_->ExportTagDfa();
+    SST_CHECK(dfa != nullptr && dfa->num_states == fused_->num_states());
   }
-  switch (format_) {
-    case Format::kCompactMarkup:
-      for (int c = 'a'; c <= 'z'; ++c) {
-        byte_class_[c] = kOpen;
-        byte_symbol_[c] = interned[c];
-        byte_class_[c - 'a' + 'A'] = kClose;
-        byte_symbol_[c - 'a' + 'A'] = interned[c];
-      }
-      break;
-    case Format::kCompactTerm:
-      for (int c = 0; c < 256; ++c) {
-        unsigned char b = static_cast<unsigned char>(c);
-        if (IsAsciiAlnum(b) || b == '_' || b == '-') {
-          byte_class_[c] = kLabel;
-          byte_symbol_[c] = interned[c];
-        }
-      }
-      byte_class_[static_cast<unsigned char>('}')] = kCloseBrace;
-      break;
-    case Format::kXmlLite:
-      // XML-lite lexing branches on '<' and '>' directly; names are looked
-      // up per tag, with the single-byte table as a shortcut.
-      byte_symbol_ = interned;
-      break;
+  open_labels_.reserve(kDepthReserve);
+  CheckTableAgreement();
+  Reset();
+}
+
+void StreamingSelector::CheckTableAgreement() const {
+#ifndef NDEBUG
+  // The scanner tables and the fused byte table are built independently
+  // from the same Alphabet (satellite of the compile-once refactor:
+  // previously each layer derived its own copy with no cross-check). They
+  // must agree on every letter byte: same symbol, open/close polarity
+  // matching the case convention.
+  if (fused_ == nullptr) return;
+  for (int c = 'a'; c <= 'z'; ++c) {
+    SST_CHECK(tables_->byte_class[c] == ScannerTables::kOpen);
+    SST_CHECK(tables_->byte_class[c - 'a' + 'A'] == ScannerTables::kClose);
+    SST_CHECK(fused_->byte_symbol(static_cast<unsigned char>(c)) ==
+              tables_->byte_symbol[c]);
+    SST_CHECK(fused_->byte_symbol(static_cast<unsigned char>(c - 'a' + 'A')) ==
+              tables_->byte_symbol[c - 'a' + 'A']);
   }
+#endif
 }
 
 void StreamingSelector::Reset() {
@@ -251,8 +301,8 @@ bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset,
 template <typename Stepper>
 StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
     std::string_view chunk, size_t start, Stepper& stepper) {
-  const uint8_t* cls = byte_class_.data();
-  const Symbol* sym = byte_symbol_.data();
+  const uint8_t* cls = tables_->byte_class.data();
+  const Symbol* sym = tables_->byte_symbol.data();
   // Shared error exit. The fused tier cannot synthesize machine-level
   // events, so when the policy wants resynchronization it demotes (the
   // generic tier re-detects the same error at the same byte and owns the
@@ -275,13 +325,13 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
         // Framing-only scan of the skipped region: O(1) state, no machine
         // events, until the close that ends the innermost open element.
         switch (cls[c]) {
-          case kWs:
+          case ScannerTables::kWs:
             i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
             break;
-          case kOpen:
+          case ScannerTables::kOpen:
             ++skip_depth_;
             break;
-          case kClose:
+          case ScannerTables::kClose:
             if (skip_depth_ > 0) {
               --skip_depth_;
             } else if (!ResyncClose(chunk_base_ + static_cast<int64_t>(i) +
@@ -296,12 +346,12 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
       }
     }
     switch (cls[c]) {
-      case kWs:
+      case ScannerTables::kWs:
         // Bulk-skip the whitespace run (SIMD/SWAR; see base/byte_scan.h);
         // the loop increment then lands on the next structural byte.
         i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
         break;
-      case kOpen: {
+      case ScannerTables::kOpen: {
         Symbol s = sym[c];
         if (s < 0) {
           ScanStatus st = fail_or_recover(
@@ -346,7 +396,7 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
         ++nodes_;
         break;
       }
-      case kClose: {
+      case ScannerTables::kClose: {
         Symbol s = sym[c];
         if (s < 0) {
           ScanStatus st = fail_or_recover(
@@ -397,25 +447,25 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
 }
 
 bool StreamingSelector::FeedTerm(std::string_view chunk) {
-  const uint8_t* cls = byte_class_.data();
-  const Symbol* sym = byte_symbol_.data();
+  const uint8_t* cls = tables_->byte_class.data();
+  const Symbol* sym = tables_->byte_symbol.data();
   for (size_t i = 0; i < chunk.size(); ++i) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     if (in_skip_) {
       if (c == '{') {
         ++skip_depth_;
-      } else if (cls[c] == kCloseBrace) {
+      } else if (cls[c] == ScannerTables::kCloseBrace) {
         if (skip_depth_ > 0) {
           --skip_depth_;
         } else if (!ResyncClose(chunk_base_ + static_cast<int64_t>(i) + 1)) {
           return false;
         }
-      } else if (cls[c] == kWs) {
+      } else if (cls[c] == ScannerTables::kWs) {
         i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
       }
       continue;
     }
-    if (cls[c] == kWs) {
+    if (cls[c] == ScannerTables::kWs) {
       i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
       continue;
     }
@@ -442,10 +492,10 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
       continue;
     }
     switch (cls[c]) {
-      case kCloseBrace:
+      case ScannerTables::kCloseBrace:
         if (!EmitClose(-1, chunk_base_ + i, chunk_base_ + i)) return false;
         break;
-      case kLabel:
+      case ScannerTables::kLabel:
         pending_byte_ = c;
         pending_offset_ = chunk_base_ + static_cast<int64_t>(i);
         have_pending_ = true;
@@ -465,7 +515,7 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
 }
 
 bool StreamingSelector::FeedXml(std::string_view chunk) {
-  const uint8_t* cls = byte_class_.data();
+  const uint8_t* cls = tables_->byte_class.data();
   const size_t n = chunk.size();
   size_t i = 0;
   while (i < n) {
@@ -485,7 +535,7 @@ bool StreamingSelector::FeedXml(std::string_view chunk) {
         ++i;
         continue;
       }
-      if (cls[c] == kWs) {
+      if (cls[c] == ScannerTables::kWs) {
         // Between tags only whitespace is legal before the next '<';
         // bulk-skip the run (SIMD/SWAR, base/byte_scan.h).
         i += 1 + FindStructural(chunk.data() + i + 1, n - i - 1);
@@ -573,7 +623,7 @@ bool StreamingSelector::FeedXml(std::string_view chunk) {
       continue;
     }
     Symbol s = tag_len_ == 1
-                   ? byte_symbol_[static_cast<unsigned char>(tag_buf_[0])]
+                   ? tables_->byte_symbol[static_cast<unsigned char>(tag_buf_[0])]
                    : alphabet_->Find(std::string_view(tag_buf_, tag_len_));
     const bool closing = tag_closing_;
     tag_len_ = 0;
@@ -613,7 +663,7 @@ bool StreamingSelector::Feed(std::string_view chunk) {
   switch (format_) {
     case Format::kCompactMarkup: {
       if (using_fused_fast_path()) {
-        FusedStepper stepper{fused_.get(), machine_->ExportedState()};
+        FusedStepper stepper{fused_, machine_->ExportedState()};
         ScanResult r = FeedMarkup(chunk, 0, stepper);
         machine_->SyncExportedState(stepper.state);
         if (r.status == ScanStatus::kDemote) {

@@ -16,6 +16,36 @@
 
 namespace sst {
 
+// Byte serialization consumed by the streaming front-end. (Also aliased as
+// StreamingSelector::Format for the pre-engine spelling.)
+enum class StreamFormat {
+  kCompactMarkup,  // 'a'..'z' opening tags, 'A'..'Z' closing tags
+  kXmlLite,        // <name> ... </name>, tags only
+  kCompactTerm,    // name{ ... } (JSON-style; universal close)
+};
+
+// Precomputed per-byte classification of one (format, alphabet) pair: the
+// compile-time half of the scanner. Immutable once built, so one instance
+// can be shared read-only by any number of concurrently running
+// StreamingSelectors (the engine's QueryPlan owns exactly one); selectors
+// constructed standalone build a private copy.
+struct ScannerTables {
+  // Byte classes; meanings depend on the format the table was built for.
+  enum ByteClass : uint8_t {
+    kBad = 0,
+    kWs,          // ASCII whitespace
+    kOpen,        // markup: 'a'..'z'
+    kClose,       // markup: 'A'..'Z'
+    kLabel,       // term: label byte (ASCII alnum, '_', '-')
+    kCloseBrace,  // term: '}'
+  };
+
+  std::array<uint8_t, 256> byte_class;
+  std::array<Symbol, 256> byte_symbol;
+
+  static ScannerTables Build(StreamFormat format, const Alphabet& alphabet);
+};
+
 // Byte-level observability of one streaming run; see
 // StreamingSelector::stats(). All counters reset with Reset().
 //
@@ -81,7 +111,7 @@ struct StreamStats {
 // ladder); Reset() re-arms the fused tier.
 class StreamingSelector {
  public:
-  enum class Format { kCompactMarkup, kXmlLite, kCompactTerm };
+  using Format = StreamFormat;
 
   // Which rung of the degradation ladder is executing events. The third
   // rung — the stack tier (StackQueryEvaluator) — is chosen by the caller
@@ -120,9 +150,21 @@ class StreamingSelector {
 
   // `machine` and `alphabet` must outlive the selector. Labels must be
   // present in the alphabet (the machine's automaton is indexed by it);
-  // unknown element names fail the feed.
+  // unknown element names fail the feed. Builds private scanner tables
+  // (and, when eligible, a private fused byte table) at construction.
   StreamingSelector(StreamMachine* machine, Format format,
-                    Alphabet* alphabet);
+                    const Alphabet* alphabet);
+
+  // Compile-once / run-many form: borrows immutable tables owned by a
+  // shared plan instead of building them. `tables` must have been built
+  // for exactly this (format, alphabet); `fused` may be null (generic tier
+  // only) and otherwise must be the fused byte table of the TagDfa the
+  // machine exports (the scanner syncs the exported state around fused
+  // chunks). No table construction — and no allocation proportional to the
+  // automaton — happens on this path; see engine/session.h.
+  StreamingSelector(StreamMachine* machine, Format format,
+                    const Alphabet* alphabet, const ScannerTables* tables,
+                    const ByteTagDfaRunner* fused);
 
   void set_match_callback(MatchCallback callback) {
     match_callback_ = std::move(callback);
@@ -188,16 +230,6 @@ class StreamingSelector {
   }
 
  private:
-  // Byte classes; one table per selector, specialized to its format.
-  enum ByteClass : uint8_t {
-    kBad = 0,
-    kWs,          // ASCII whitespace
-    kOpen,        // markup: 'a'..'z'
-    kClose,       // markup: 'A'..'Z'
-    kLabel,       // term: label byte (ASCII alnum, '_', '-')
-    kCloseBrace,  // term: '}'
-  };
-
   // How the offending token participates in skip-mode framing when the
   // error is recovered: an open-like token starts a nested skipped
   // element, a close-like token is itself the resynchronization point,
@@ -234,7 +266,10 @@ class StreamingSelector {
     bool Accepting() const { return runner->IsAccepting(state); }
   };
 
-  void BuildTables();
+  // Verifies (debug builds only) that the shared/owned scanner tables and
+  // the fused byte table, built independently from the same Alphabet,
+  // agree byte for byte on the letters they classify.
+  void CheckTableAgreement() const;
 
   // Records the first error and marks the stream fatally failed.
   bool FailAt(const StreamError& err);
@@ -265,18 +300,21 @@ class StreamingSelector {
 
   StreamMachine* machine_;
   Format format_;
-  Alphabet* alphabet_;
+  const Alphabet* alphabet_;
   MatchCallback match_callback_;
   RecoveryPolicy policy_ = RecoveryPolicy::kFailFast;
   StreamLimits limits_;
 
-  // Precomputed per-byte tables (built once at construction).
-  std::array<uint8_t, 256> byte_class_;
-  std::array<Symbol, 256> byte_symbol_;
+  // Per-byte tables: either borrowed from a shared plan (owned_tables_
+  // null) or privately built at construction. tables_ is never null.
+  std::unique_ptr<ScannerTables> owned_tables_;
+  const ScannerTables* tables_;
 
   // Compact-markup fused fast path; null when the machine is not
-  // registerless (or labels are not single lowercase letters).
-  std::unique_ptr<ByteTagDfaRunner> fused_;
+  // registerless (or labels are not single lowercase letters). Borrowed
+  // from a shared plan or privately owned, like the scanner tables.
+  std::unique_ptr<ByteTagDfaRunner> owned_fused_;
+  const ByteTagDfaRunner* fused_ = nullptr;
 
   // Well-formedness: the expected closing labels (only the labels, not
   // full automaton states — the library never keeps evaluation state per

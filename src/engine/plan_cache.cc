@@ -1,0 +1,174 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+inline bool IsAsciiWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+Rpq ParseQuery(QuerySyntax syntax, const std::string& canonical_text,
+               const Alphabet& alphabet) {
+  switch (syntax) {
+    case QuerySyntax::kRegex:
+      return Rpq::FromRegex(canonical_text, alphabet);
+    case QuerySyntax::kXPath:
+      return Rpq::FromXPath(canonical_text, alphabet);
+    case QuerySyntax::kJsonPath:
+      return Rpq::FromJsonPath(canonical_text, alphabet);
+  }
+  SST_CHECK_MSG(false, "unknown query syntax");
+  return Rpq{};
+}
+
+}  // namespace
+
+const char* QuerySyntaxName(QuerySyntax syntax) {
+  switch (syntax) {
+    case QuerySyntax::kRegex:
+      return "regex";
+    case QuerySyntax::kXPath:
+      return "xpath";
+    case QuerySyntax::kJsonPath:
+      return "jsonpath";
+  }
+  return "unknown";
+}
+
+PlanCache::PlanCache() : PlanCache(Options()) {}
+
+PlanCache::PlanCache(const Options& options) {
+  int num_shards = std::max(1, options.num_shards);
+  per_shard_capacity_ =
+      std::max<size_t>(1, (options.capacity + num_shards - 1) /
+                              static_cast<size_t>(num_shards));
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string PlanCache::CanonicalizeQueryText(std::string_view query) {
+  std::string canonical;
+  canonical.reserve(query.size());
+  for (char c : query) {
+    if (!IsAsciiWs(c)) canonical.push_back(c);
+  }
+  return canonical;
+}
+
+std::string PlanCache::CanonicalKey(QuerySyntax syntax,
+                                    std::string_view query,
+                                    const Alphabet& alphabet,
+                                    const PlanOptions& options) {
+  // Field separator \x1f / label separator \x1e cannot occur in query text
+  // or labels that the parsers accept, so the key is collision-free.
+  std::string key = QuerySyntaxName(syntax);
+  key.push_back('\x1f');
+  key += CanonicalizeQueryText(query);
+  key.push_back('\x1f');
+  key.push_back(
+      static_cast<char>('0' + static_cast<int>(options.encoding)));
+  key.push_back(static_cast<char>('0' + static_cast<int>(options.format)));
+  key.push_back(options.allow_stack_fallback ? '1' : '0');
+  key.push_back('\x1f');
+  for (Symbol s = 0; s < alphabet.size(); ++s) {
+    key += alphabet.LabelOf(s);
+    key.push_back('\x1e');
+  }
+  return key;
+}
+
+PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
+  size_t hash = std::hash<std::string>{}(key);
+  return *shards_[hash % shards_.size()];
+}
+
+std::shared_ptr<const QueryPlan> PlanCache::GetOrCompile(
+    QuerySyntax syntax, std::string_view query, const Alphabet& alphabet,
+    const PlanOptions& options) {
+  const std::string key = CanonicalKey(syntax, query, alphabet, options);
+  Shard& shard = ShardFor(key);
+
+  std::promise<std::shared_ptr<const QueryPlan>> promise;
+  PlanFuture future;
+  bool this_thread_compiles = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      if (it->second.ready) {
+        ++shard.stats.hits;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+        return it->second.future.get();
+      }
+      // Another thread is compiling this key right now: coalesce onto its
+      // in-flight future (single-flight).
+      ++shard.stats.coalesced_misses;
+      future = it->second.future;
+    } else {
+      ++shard.stats.misses;
+      this_thread_compiles = true;
+      future = promise.get_future().share();
+      Entry entry;
+      entry.future = future;
+      shard.entries.emplace(key, std::move(entry));
+    }
+  }
+  if (!this_thread_compiles) return future.get();
+
+  if (compile_hook_) compile_hook_();
+  std::shared_ptr<const QueryPlan> plan =
+      QueryPlan::Compile(ParseQuery(syntax, CanonicalizeQueryText(query),
+                                    alphabet),
+                         options);
+  promise.set_value(plan);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end() && !it->second.ready) {
+      it->second.ready = true;
+      shard.lru.push_front(key);
+      it->second.lru_pos = shard.lru.begin();
+      while (shard.lru.size() > per_shard_capacity_) {
+        const std::string& victim = shard.lru.back();
+        shard.entries.erase(victim);
+        shard.lru.pop_back();
+        ++shard.stats.evictions;
+      }
+    }
+    // Entry missing (Clear() raced the compilation): nothing to publish;
+    // the caller still gets its plan.
+  }
+  return plan;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.coalesced_misses += shard->stats.coalesced_misses;
+    total.evictions += shard->stats.evictions;
+    total.size += static_cast<int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+void PlanCache::Clear() {
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace sst

@@ -1,0 +1,124 @@
+#ifndef SST_ENGINE_PLAN_CACHE_H_
+#define SST_ENGINE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/query_plan.h"
+
+namespace sst {
+
+// Which front-end parses the query text (part of the cache key: the same
+// characters mean different things under different syntaxes).
+enum class QuerySyntax : uint8_t {
+  kRegex,     // Rpq::FromRegex
+  kXPath,     // Rpq::FromXPath
+  kJsonPath,  // Rpq::FromJsonPath
+};
+
+const char* QuerySyntaxName(QuerySyntax syntax);
+
+// Bounded, thread-safe, sharded LRU of compiled QueryPlans.
+//
+// Serving N concurrent streams of the same query must cost ONE compilation
+// (minimization, classification, table construction are orders of
+// magnitude above per-stream work); the cache provides that:
+//
+//   * keys canonicalize the query text (ASCII whitespace stripped — every
+//     supported syntax is whitespace-insensitive) and fingerprint the
+//     alphabet and PlanOptions, so textually different but equivalent
+//     requests share one plan;
+//   * lookups touch only one shard (hash-partitioned), keeping lock
+//     contention bounded under many-core load;
+//   * concurrent misses for the same key coalesce (single-flight): the
+//     first requester compiles, the rest block on the same shared future
+//     and the compilation runs exactly once;
+//   * capacity is enforced per shard with LRU eviction, and hit / miss /
+//     coalesced-miss / eviction counters expose the cache's behavior to
+//     serving dashboards.
+//
+// Returned plans are shared_ptr<const>: eviction only drops the cache's
+// reference, so sessions streaming over an evicted plan are unaffected.
+class PlanCache {
+ public:
+  struct Options {
+    size_t capacity = 64;  // total cached plans, across all shards
+    int num_shards = 8;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;            // lookups that triggered a compilation
+    int64_t coalesced_misses = 0;  // misses served by another's in-flight
+                                   // compilation (single-flight)
+    int64_t evictions = 0;
+    int64_t size = 0;  // plans currently cached
+  };
+
+  PlanCache();  // default Options
+  explicit PlanCache(const Options& options);
+
+  // Returns the cached plan for (syntax, query, alphabet, options),
+  // compiling it exactly once on first use. Blocks only when another
+  // thread is already compiling the same key.
+  std::shared_ptr<const QueryPlan> GetOrCompile(QuerySyntax syntax,
+                                                std::string_view query,
+                                                const Alphabet& alphabet,
+                                                const PlanOptions& options);
+
+  // The canonical cache key (exposed for tests and for precomputing keys
+  // in hot serving paths).
+  static std::string CanonicalKey(QuerySyntax syntax, std::string_view query,
+                                  const Alphabet& alphabet,
+                                  const PlanOptions& options);
+
+  // Query text with ASCII whitespace removed (sound for all supported
+  // syntaxes; labels cannot contain whitespace).
+  static std::string CanonicalizeQueryText(std::string_view query);
+
+  Stats stats() const;
+  void Clear();
+
+  // Test-only: invoked by the compiling thread after it has published its
+  // in-flight entry and released the shard lock, right before compiling.
+  // Lets tests hold the compilation open while concurrent requesters
+  // arrive and coalesce. Not for production use.
+  void set_compile_hook_for_test(std::function<void()> hook) {
+    compile_hook_ = std::move(hook);
+  }
+
+ private:
+  using PlanFuture = std::shared_future<std::shared_ptr<const QueryPlan>>;
+
+  struct Entry {
+    PlanFuture future;
+    bool ready = false;
+    // Position in the shard's LRU list; valid only when ready.
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, Entry> entries;
+    std::list<std::string> lru;  // most recent at front; ready entries only
+    Stats stats;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::function<void()> compile_hook_;
+};
+
+}  // namespace sst
+
+#endif  // SST_ENGINE_PLAN_CACHE_H_

@@ -1,0 +1,122 @@
+#include "engine/query_plan.h"
+
+#include <utility>
+
+#include "base/check.h"
+#include "eval/registerless_query.h"
+#include "eval/stack_evaluator.h"
+
+namespace sst {
+
+namespace {
+
+// True when the fused byte→state rung of the degradation ladder exists:
+// every document label is a single lowercase letter covered by the TagDfa,
+// so the table can be keyed by the raw byte.
+bool FusedEligible(const TagDfa& dfa, const Alphabet& alphabet) {
+  if (alphabet.size() > dfa.num_symbols) return false;
+  for (Symbol s = 0; s < alphabet.size(); ++s) {
+    const std::string& label = alphabet.LabelOf(s);
+    if (label.size() != 1 || label[0] < 'a' || label[0] > 'z') return false;
+  }
+  return true;
+}
+
+// Owning adapter over the plan's minimal DFA for the pushdown baseline
+// tier (StackQueryEvaluator borrows a Dfa*; the plan outlives it via the
+// session's shared_ptr).
+class BorrowingStackMachine final : public StreamMachine {
+ public:
+  explicit BorrowingStackMachine(const Dfa* dfa) : inner_(dfa) {}
+
+  void Reset() override { inner_.Reset(); }
+  void OnOpen(Symbol symbol) override { inner_.OnOpen(symbol); }
+  void OnClose(Symbol symbol) override { inner_.OnClose(symbol); }
+  bool InAcceptingState() const override { return inner_.InAcceptingState(); }
+
+ private:
+  StackQueryEvaluator inner_;
+};
+
+}  // namespace
+
+const char* EvaluatorKindName(EvaluatorKind kind) {
+  switch (kind) {
+    case EvaluatorKind::kRegisterless:
+      return "registerless (finite automaton)";
+    case EvaluatorKind::kStackless:
+      return "stackless (depth-register automaton)";
+    case EvaluatorKind::kStackBaseline:
+      return "stack baseline (pushdown)";
+  }
+  return "unknown";
+}
+
+std::shared_ptr<const QueryPlan> QueryPlan::Compile(
+    const Rpq& rpq, const PlanOptions& options) {
+  auto plan = std::shared_ptr<QueryPlan>(new QueryPlan());
+  plan->options_ = options;
+  plan->source_ = rpq.source;
+  plan->alphabet_ = rpq.alphabet;
+  plan->minimal_dfa_ = rpq.minimal_dfa;
+  plan->classification_ = Classify(rpq.minimal_dfa);
+  plan->scanner_tables_ =
+      ScannerTables::Build(options.format, plan->alphabet_);
+
+  const Classification& c = plan->classification_;
+  const bool term = options.encoding == StreamEncoding::kTerm;
+  const bool registerless =
+      term ? c.blind_almost_reversible : c.almost_reversible;
+  const bool stackless = term ? c.blind_har : c.har;
+  if (registerless) {
+    plan->kind_ = EvaluatorKind::kRegisterless;
+    plan->tag_dfa_ =
+        BuildRegisterlessQueryAutomaton(plan->minimal_dfa_, term);
+    if (options.format == StreamFormat::kCompactMarkup &&
+        FusedEligible(*plan->tag_dfa_, plan->alphabet_)) {
+      plan->fused_ = std::make_unique<ByteTagDfaRunner>(*plan->tag_dfa_,
+                                                        plan->alphabet_);
+#ifndef NDEBUG
+      // The fused byte→state table and the scanner's byte-class/byte→
+      // symbol tables are derived independently from the same Alphabet;
+      // the plan is the one place both exist, so cross-check them here
+      // (previously each layer rebuilt its own copy with no such check).
+      for (int b = 'a'; b <= 'z'; ++b) {
+        SST_CHECK(plan->scanner_tables_.byte_class[b] == ScannerTables::kOpen);
+        SST_CHECK(plan->scanner_tables_.byte_class[b - 'a' + 'A'] ==
+                  ScannerTables::kClose);
+        SST_CHECK(plan->fused_->byte_symbol(static_cast<unsigned char>(b)) ==
+                  plan->scanner_tables_.byte_symbol[b]);
+        SST_CHECK(
+            plan->fused_->byte_symbol(
+                static_cast<unsigned char>(b - 'a' + 'A')) ==
+            plan->scanner_tables_.byte_symbol[b - 'a' + 'A']);
+      }
+#endif
+    }
+  } else if (stackless) {
+    plan->kind_ = EvaluatorKind::kStackless;
+    plan->stackless_ = StacklessBlueprint::Build(plan->minimal_dfa_, term);
+  } else if (options.allow_stack_fallback) {
+    plan->kind_ = EvaluatorKind::kStackBaseline;
+  } else {
+    return plan;  // exact_ = false; classification still available
+  }
+  plan->exact_ = true;
+  return plan;
+}
+
+std::unique_ptr<StreamMachine> QueryPlan::NewMachine() const {
+  if (!exact_) return nullptr;
+  switch (kind_) {
+    case EvaluatorKind::kRegisterless:
+      return std::make_unique<TagDfaMachine>(&*tag_dfa_);
+    case EvaluatorKind::kStackless:
+      return std::make_unique<StacklessQueryEvaluator>(&*stackless_);
+    case EvaluatorKind::kStackBaseline:
+      return std::make_unique<BorrowingStackMachine>(&minimal_dfa_);
+  }
+  return nullptr;
+}
+
+}  // namespace sst

@@ -1,0 +1,117 @@
+#ifndef SST_ENGINE_SESSION_H_
+#define SST_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dra/stream_error.h"
+#include "dra/streaming.h"
+#include "engine/query_plan.h"
+
+namespace sst {
+
+// The run-many half of query evaluation: cheap per-stream mutable state —
+// one machine instance (a state, or a state plus O(registers) chain), the
+// scanner's lexer/validator state, and the StreamStats counters — borrowing
+// a const QueryPlan. K concurrent streams over the same query hold K
+// Sessions and ONE plan: no per-session table copies, no recompilation.
+//
+// A Session is single-threaded (one stream); concurrency comes from many
+// sessions sharing the plan. Construction on a compiled plan performs no
+// table building (cost independent of automaton and alphabet size), and
+// Reset() restores the freshly-constructed state without touching the heap,
+// which makes sessions poolable (SessionPool below).
+class Session {
+ public:
+  // `plan` must be exact() — a plan with no machine cannot stream.
+  explicit Session(std::shared_ptr<const QueryPlan> plan);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const QueryPlan& plan() const { return *plan_; }
+  const std::shared_ptr<const QueryPlan>& plan_ptr() const { return plan_; }
+
+  // The underlying scanner, for policy/limits/callback configuration and
+  // the full observability surface (stats, recovered errors, tiers).
+  StreamingSelector& selector() { return selector_; }
+  const StreamingSelector& selector() const { return selector_; }
+
+  // Streaming interface (see StreamingSelector for semantics).
+  bool Feed(std::string_view chunk) { return selector_.Feed(chunk); }
+  bool Finish() { return selector_.Finish(); }
+  void Reset() { selector_.Reset(); }
+
+  int64_t matches() const { return selector_.matches(); }
+  StreamStats stats() const { return selector_.stats(); }
+  bool failed() const { return selector_.failed(); }
+  const StreamError& stream_error() const { return selector_.stream_error(); }
+
+ private:
+  std::shared_ptr<const QueryPlan> plan_;
+  std::unique_ptr<StreamMachine> machine_;
+  StreamingSelector selector_;
+};
+
+// A bounded free-list of idle Sessions over one shared plan. Acquire()
+// reuses an idle session (a Reset, zero heap allocations) or creates a
+// fresh one; Release() returns it. Thread-safe; typical use is one pool
+// per served query with worker threads acquiring per request.
+class SessionPool {
+ public:
+  struct Stats {
+    int64_t created = 0;  // sessions constructed from scratch
+    int64_t reused = 0;   // acquisitions served from the free list
+  };
+
+  // `max_idle` bounds the free list; releases beyond it destroy the
+  // session instead (bounding memory under bursty load).
+  explicit SessionPool(std::shared_ptr<const QueryPlan> plan,
+                       size_t max_idle = 64);
+
+  std::unique_ptr<Session> Acquire();
+  void Release(std::unique_ptr<Session> session);
+
+  const std::shared_ptr<const QueryPlan>& plan() const { return plan_; }
+  Stats stats() const;
+  size_t idle() const;
+
+ private:
+  std::shared_ptr<const QueryPlan> plan_;
+  size_t max_idle_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Session>> idle_;
+  Stats stats_;
+};
+
+// RAII lease: a Session that returns itself to its pool on destruction.
+class SessionLease {
+ public:
+  SessionLease(SessionPool* pool, std::unique_ptr<Session> session)
+      : pool_(pool), session_(std::move(session)) {}
+  ~SessionLease() {
+    if (session_) pool_->Release(std::move(session_));
+  }
+
+  SessionLease(SessionLease&&) = default;
+  SessionLease& operator=(SessionLease&&) = default;
+
+  Session* operator->() { return session_.get(); }
+  Session& operator*() { return *session_; }
+
+ private:
+  SessionPool* pool_;
+  std::unique_ptr<Session> session_;
+};
+
+inline SessionLease Lease(SessionPool& pool) {
+  return SessionLease(&pool, pool.Acquire());
+}
+
+}  // namespace sst
+
+#endif  // SST_ENGINE_SESSION_H_

@@ -52,18 +52,38 @@ std::vector<int> BuildRevertTable(const Dfa& dfa, const SccInfo& scc,
 
 }  // namespace
 
+StacklessBlueprint StacklessBlueprint::Build(const Dfa& minimal_dfa,
+                                             bool blind) {
+  StacklessBlueprint blueprint;
+  blueprint.dfa = minimal_dfa;
+  blueprint.blind = blind;
+  blueprint.scc = ComputeScc(blueprint.dfa);
+  blueprint.revert = BuildRevertTable(blueprint.dfa, blueprint.scc, blind);
+  blueprint.max_chain = std::max(0, LongestChainLength(blueprint.scc) - 1);
+  return blueprint;
+}
+
 StacklessQueryEvaluator::StacklessQueryEvaluator(const Dfa& minimal_dfa,
                                                  bool blind)
-    : dfa_(minimal_dfa), blind_(blind), scc_(ComputeScc(dfa_)) {
-  revert_ = BuildRevertTable(dfa_, scc_, blind_);
-  max_chain_ = std::max(0, LongestChainLength(scc_) - 1);
+    : owned_blueprint_(std::make_unique<StacklessBlueprint>(
+          StacklessBlueprint::Build(minimal_dfa, blind))),
+      blueprint_(owned_blueprint_.get()) {
+  Reset();
+}
+
+StacklessQueryEvaluator::StacklessQueryEvaluator(
+    const StacklessBlueprint* blueprint)
+    : blueprint_(blueprint) {
+  chain_scc_.reserve(blueprint_->max_chain);
+  chain_witness_.reserve(blueprint_->max_chain);
+  chain_depth_.reserve(blueprint_->max_chain);
   Reset();
 }
 
 void StacklessQueryEvaluator::Reset() {
   dead_ = false;
-  witness_ = dfa_.initial;
-  current_scc_ = scc_.component_of[witness_];
+  witness_ = blueprint_->dfa.initial;
+  current_scc_ = blueprint_->scc.component_of[witness_];
   depth_ = 0;
   chain_scc_.clear();
   chain_witness_.clear();
@@ -73,8 +93,8 @@ void StacklessQueryEvaluator::Reset() {
 void StacklessQueryEvaluator::OnOpen(Symbol symbol) {
   ++depth_;
   if (dead_) return;
-  int next = dfa_.Next(witness_, symbol);
-  int next_scc = scc_.component_of[next];
+  int next = blueprint_->dfa.Next(witness_, symbol);
+  int next_scc = blueprint_->scc.component_of[next];
   if (next_scc != current_scc_) {
     chain_scc_.push_back(current_scc_);
     chain_witness_.push_back(witness_);
@@ -97,7 +117,7 @@ void StacklessQueryEvaluator::OnClose(Symbol symbol) {
     chain_depth_.pop_back();
     return;
   }
-  int target = Revert(witness_, blind_ ? 0 : symbol);
+  int target = Revert(witness_, blueprint_->blind ? 0 : symbol);
   if (target < 0) {
     dead_ = true;
     return;
@@ -106,7 +126,7 @@ void StacklessQueryEvaluator::OnClose(Symbol symbol) {
 }
 
 bool StacklessQueryEvaluator::InAcceptingState() const {
-  return !dead_ && dfa_.accepting[witness_];
+  return !dead_ && blueprint_->dfa.accepting[witness_];
 }
 
 namespace {

@@ -32,9 +32,39 @@ namespace sst {
 // The construction realizes QL exactly when L is HAR (blind: blindly HAR);
 // it is well-defined for any minimal DFA, which the fooling experiments
 // exploit.
+
+// The compile-time half of the Lemma 3.8 machine: the minimal DFA, its SCC
+// decomposition, the backtrack table, and the register bound. Everything
+// here is immutable once built, so one blueprint can back any number of
+// concurrently running evaluators (the engine's QueryPlan owns exactly
+// one); evaluators constructed from a bare DFA build a private copy.
+struct StacklessBlueprint {
+  Dfa dfa;  // owned copy of the minimal automaton
+  bool blind = false;
+  SccInfo scc;
+  std::vector<int> revert;
+  int max_chain = 0;  // register bound: longest SCC-DAG chain
+
+  static StacklessBlueprint Build(const Dfa& minimal_dfa, bool blind);
+
+  // Backtrack table: for p in SCC Y and label a, the minimal p' in Y with
+  // p'·a in Y and p'·a almost equivalent to p (-1 if none). In blind mode
+  // the table is indexed with a = 0 only.
+  int Revert(int p, Symbol a) const {
+    return revert[static_cast<size_t>(p) * (blind ? 1 : dfa.num_symbols) +
+                  (blind ? 0 : a)];
+  }
+};
+
 class StacklessQueryEvaluator final : public StreamMachine {
  public:
+  // Builds (and privately owns) the blueprint for `minimal_dfa`.
   StacklessQueryEvaluator(const Dfa& minimal_dfa, bool blind);
+
+  // Compile-once / run-many form: borrows a blueprint owned elsewhere
+  // (it must outlive the evaluator). Construction cost is O(register
+  // bound), independent of the automaton size.
+  explicit StacklessQueryEvaluator(const StacklessBlueprint* blueprint);
 
   void Reset() override;
   void OnOpen(Symbol symbol) override;
@@ -46,28 +76,23 @@ class StacklessQueryEvaluator final : public StreamMachine {
   bool dead() const { return dead_; }
 
   // Number of registers the machine may use (longest SCC-DAG chain).
-  int num_registers() const { return max_chain_; }
+  int num_registers() const { return blueprint_->max_chain; }
 
   // Current number of live registers (benchmark counter).
   size_t live_registers() const { return chain_scc_.size(); }
 
-  const Dfa& dfa() const { return dfa_; }
-  const SccInfo& scc() const { return scc_; }
-  // Backtrack table: for p in SCC Y and label a, the minimal p' in Y with
-  // p'·a in Y and p'·a almost equivalent to p (-1 if none). In blind mode
-  // the table is indexed with a = 0 only.
-  int Revert(int p, Symbol a) const {
-    return revert_[static_cast<size_t>(p) * (blind_ ? 1 : dfa_.num_symbols) +
-                   (blind_ ? 0 : a)];
-  }
-  bool blind() const { return blind_; }
+  const Dfa& dfa() const { return blueprint_->dfa; }
+  const SccInfo& scc() const { return blueprint_->scc; }
+  // See StacklessBlueprint::Revert.
+  int Revert(int p, Symbol a) const { return blueprint_->Revert(p, a); }
+  bool blind() const { return blueprint_->blind; }
+  const StacklessBlueprint& blueprint() const { return *blueprint_; }
 
  private:
-  Dfa dfa_;  // owned copy of the minimal automaton
-  bool blind_;
-  SccInfo scc_;
-  std::vector<int> revert_;
-  int max_chain_ = 0;
+  // Immutable compile artifact: `blueprint_` points at either the shared
+  // blueprint passed in or the privately owned copy in `owned_blueprint_`.
+  std::unique_ptr<const StacklessBlueprint> owned_blueprint_;
+  const StacklessBlueprint* blueprint_;
 
   // Configuration.
   bool dead_ = false;

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "base/rng.h"
+#include "dra/stream_error.h"
+#include "engine/plan_cache.h"
+#include "engine/query_plan.h"
+#include "engine/session.h"
+#include "query/rpq.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+#include "trees/ground_truth.h"
+
+namespace sst {
+namespace {
+
+// Everything a streaming run can observe, for byte-for-byte comparison of
+// concurrent sessions against a sequential reference.
+struct RunRecord {
+  bool ok = false;
+  int64_t matches = 0;
+  int64_t events = 0;
+  int64_t max_depth = 0;
+  int64_t bytes_fed = 0;
+  StreamErrorCode error_code = StreamErrorCode::kNone;
+  int64_t error_offset = -1;
+
+  friend bool operator==(const RunRecord&, const RunRecord&) = default;
+};
+
+RunRecord Drive(Session* session, const std::string& text,
+                size_t chunk_size) {
+  session->Reset();
+  RunRecord record;
+  record.ok = true;
+  for (size_t i = 0; i < text.size() && record.ok; i += chunk_size) {
+    record.ok = session->Feed(std::string_view(text).substr(i, chunk_size));
+  }
+  if (record.ok) record.ok = session->Finish();
+  StreamStats stats = session->stats();
+  record.matches = session->matches();
+  record.events = stats.events;
+  record.max_depth = stats.max_depth;
+  record.bytes_fed = stats.bytes_fed;
+  record.error_code = session->stream_error().code;
+  record.error_offset = session->stream_error().offset;
+  return record;
+}
+
+// Acceptance criterion: one plan shared by 8 concurrent sessions, each
+// replaying the document set at its own chunk size, must produce results
+// byte-identical to 8 sequential runs. Includes a malformed document so
+// the error path is exercised under sharing too.
+TEST(EngineConcurrency, EightSessionsOverOnePlanMatchSequentialRuns) {
+  constexpr int kThreads = 8;
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rpq rpq = Rpq::FromXPath("/a//b", alphabet);
+  auto plan = QueryPlan::Compile(rpq, PlanOptions{});
+
+  Rng rng(21);
+  std::vector<std::string> documents;
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    documents.push_back(ToCompactMarkup(alphabet, Encode(tree)));
+  }
+  documents.push_back("abBAabA");   // unclosed element
+  documents.push_back("abXBA");     // mismatched close label
+  documents.push_back("a}bBA");     // byte illegal in compact markup
+
+  // Thread t re-splits every document into chunks of size t + 1, so the
+  // concurrent runs disagree on every Feed boundary yet must agree on
+  // every observable outcome.
+  std::vector<std::vector<RunRecord>> sequential(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    Session session(plan);
+    for (const std::string& doc : documents) {
+      sequential[t].push_back(
+          Drive(&session, doc, static_cast<size_t>(t) + 1));
+    }
+  }
+
+  std::vector<std::vector<RunRecord>> concurrent(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session(plan);
+      for (const std::string& doc : documents) {
+        concurrent[t].push_back(
+            Drive(&session, doc, static_cast<size_t>(t) + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(concurrent[t].size(), sequential[t].size());
+    for (size_t d = 0; d < documents.size(); ++d) {
+      EXPECT_EQ(concurrent[t][d], sequential[t][d])
+          << "thread " << t << ", document " << d;
+    }
+  }
+}
+
+TEST(EngineConcurrency, PooledSessionsAcrossThreadsStayConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 25;
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  auto plan = QueryPlan::Compile(Rpq::FromXPath("/a//b", alphabet),
+                                 PlanOptions{});
+  SessionPool pool(plan, /*max_idle=*/kThreads);
+
+  const std::string doc = "abBabBAbBA";  // a(b, a(b), b): 3 matches
+  Session reference(plan);
+  RunRecord expected = Drive(&reference, doc, doc.size());
+  ASSERT_TRUE(expected.ok);
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        SessionLease lease = Lease(pool);
+        RunRecord record = Drive(&*lease, doc, static_cast<size_t>(i) + 1);
+        if (!(record == expected)) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+  SessionPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.created + stats.reused,
+            static_cast<int64_t>(kThreads) * kRequestsPerThread);
+}
+
+TEST(EngineConcurrency, PlanCacheServesManyThreadsManyQueries) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  const std::vector<std::string> queries = {"/a//b", "/a/b", "//a/b",
+                                            "/b//c"};
+  PlanCache cache;
+
+  std::vector<std::vector<const QueryPlan*>> seen(
+      kThreads, std::vector<const QueryPlan*>(queries.size(), nullptr));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          auto plan = cache.GetOrCompile(QuerySyntax::kXPath, queries[q],
+                                         alphabet, PlanOptions{});
+          if (seen[t][q] == nullptr) seen[t][q] = plan.get();
+          // Every lookup of the same query must return the same plan.
+          ASSERT_EQ(plan.get(), seen[t][q]);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // All threads resolved each query to one shared plan.
+  for (int t = 1; t < kThreads; ++t) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(seen[t][q], seen[0][q]);
+    }
+  }
+  PlanCache::Stats stats = cache.stats();
+  // Exactly one compilation per distinct query; everything else hit or
+  // coalesced.
+  EXPECT_EQ(stats.misses, static_cast<int64_t>(queries.size()));
+  EXPECT_EQ(stats.hits + stats.coalesced_misses,
+            static_cast<int64_t>(kThreads) * kRounds *
+                    static_cast<int64_t>(queries.size()) -
+                stats.misses);
+  EXPECT_EQ(stats.size, static_cast<int64_t>(queries.size()));
+}
+
+}  // namespace
+}  // namespace sst

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "engine/plan_cache.h"
+#include "engine/query_plan.h"
+
+namespace sst {
+namespace {
+
+TEST(PlanCache, HitReturnsTheSamePlanPointer) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  auto first = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet,
+                                  PlanOptions{});
+  auto second = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet,
+                                   PlanOptions{});
+  EXPECT_EQ(first.get(), second.get());
+
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.coalesced_misses, 0);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.size, 1);
+}
+
+TEST(PlanCache, WhitespaceDifferingQueriesShareOnePlan) {
+  // Every supported syntax is whitespace-insensitive, so canonicalization
+  // strips ASCII whitespace before keying.
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  auto compact = cache.GetOrCompile(QuerySyntax::kRegex, "a.*b", alphabet,
+                                    PlanOptions{});
+  auto spaced = cache.GetOrCompile(QuerySyntax::kRegex, " a . * b\t", alphabet,
+                                   PlanOptions{});
+  EXPECT_EQ(compact.get(), spaced.get());
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(PlanCache, DistinctOptionsAndSyntaxesDoNotCollide) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  PlanOptions markup;
+  PlanOptions term;
+  term.encoding = StreamEncoding::kTerm;
+  term.format = StreamFormat::kCompactTerm;
+  auto a = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet, markup);
+  auto b = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet, term);
+  auto c = cache.GetOrCompile(QuerySyntax::kJsonPath, "$.a..b", alphabet,
+                              markup);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.stats().misses, 3);
+  EXPECT_EQ(cache.stats().size, 3);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedAtCapacity) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache::Options options;
+  options.capacity = 2;
+  options.num_shards = 1;  // single shard so capacity is exact
+  PlanCache cache(options);
+
+  auto plan_a = cache.GetOrCompile(QuerySyntax::kXPath, "/a", alphabet,
+                                   PlanOptions{});
+  cache.GetOrCompile(QuerySyntax::kXPath, "/b", alphabet, PlanOptions{});
+  // Touch /a so /b becomes the LRU victim.
+  cache.GetOrCompile(QuerySyntax::kXPath, "/a", alphabet, PlanOptions{});
+  cache.GetOrCompile(QuerySyntax::kXPath, "/c", alphabet, PlanOptions{});
+
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.size, 2);
+
+  // /a survived (hit), /b was evicted (miss recompiles).
+  auto again_a = cache.GetOrCompile(QuerySyntax::kXPath, "/a", alphabet,
+                                    PlanOptions{});
+  EXPECT_EQ(again_a.get(), plan_a.get());
+  EXPECT_EQ(cache.stats().hits, 2);
+  cache.GetOrCompile(QuerySyntax::kXPath, "/b", alphabet, PlanOptions{});
+  EXPECT_EQ(cache.stats().misses, 4);
+
+  // Eviction only drops the cache's reference: the evicted plan's holders
+  // keep streaming over it (plan_a's use_count proves shared ownership).
+  EXPECT_GE(plan_a.use_count(), 2);
+}
+
+TEST(PlanCache, ClearEmptiesAllShards) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  PlanCache cache;
+  cache.GetOrCompile(QuerySyntax::kXPath, "/a", alphabet, PlanOptions{});
+  cache.GetOrCompile(QuerySyntax::kXPath, "/b", alphabet, PlanOptions{});
+  EXPECT_EQ(cache.stats().size, 2);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().size, 0);
+}
+
+TEST(PlanCache, SingleFlightCoalescesConcurrentMisses) {
+  // N threads request the same uncached key at once: exactly one thread
+  // compiles, the rest block on its in-flight future. The compile hook
+  // (invoked by the compiling thread outside the shard lock) holds the
+  // compilation open until every other thread has registered as a
+  // coalesced miss, making the assertion deterministic.
+  constexpr int kThreads = 8;
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  std::atomic<int> compile_calls{0};
+  cache.set_compile_hook_for_test([&] {
+    compile_calls.fetch_add(1);
+    while (cache.stats().coalesced_misses < kThreads - 1) {
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::shared_ptr<const QueryPlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      plans[i] = cache.GetOrCompile(QuerySyntax::kXPath, "/a//b", alphabet,
+                                    PlanOptions{});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(compile_calls.load(), 1);
+  for (int i = 1; i < kThreads; ++i) {
+    EXPECT_EQ(plans[i].get(), plans[0].get());
+  }
+  PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.coalesced_misses, kThreads - 1);
+  EXPECT_EQ(stats.size, 1);
+}
+
+TEST(PlanCache, CanonicalKeySeparatesFields) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  std::string key = PlanCache::CanonicalKey(QuerySyntax::kXPath, " /a //b ",
+                                            alphabet, PlanOptions{});
+  EXPECT_NE(key.find("xpath\x1f/a//b\x1f"), std::string::npos);
+  EXPECT_EQ(PlanCache::CanonicalizeQueryText(" /a //b "), "/a//b");
+}
+
+}  // namespace
+}  // namespace sst
