@@ -25,6 +25,7 @@
 #include "dra/parallel_runner.h"
 #include "dra/streaming.h"
 #include "dra/tag_dfa.h"
+#include "engine/multi_query.h"
 #include "engine/plan_cache.h"
 #include "engine/query_plan.h"
 #include "engine/session.h"
@@ -575,6 +576,232 @@ BENCHMARK(BM_SharedPlanStreaming)
     ->Arg(8)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+// --- Multi-query fused execution ----------------------------------------
+// N queries answered over ONE document scan through the output-annotated
+// product automaton (engine/multi_query.h), against the status quo of N
+// independent pooled sessions each scanning the document. Both report
+// bytes-processed = document size per iteration — the work is "answer all
+// N queries over this document" — so the bytes/sec ratio IS the speedup.
+
+const Alphabet& WideAlphabet() {
+  static const Alphabet* alphabet =
+      new Alphabet(Alphabet::FromLetters("abcdef"));
+  return *alphabet;
+}
+
+// Deterministic registerless family over {a..f}: the 30 two-step vertical
+// paths "/x//y" (x != y) first, then the 6 root tests "/x". Every one
+// compiles to the registerless tier, so any prefix of the list fuses.
+std::vector<BatchQuery> MultiQueryBatch(int n) {
+  static const std::vector<std::string>* texts = [] {
+    auto* list = new std::vector<std::string>();
+    const char* letters = "abcdef";
+    for (int x = 0; x < 6; ++x) {
+      for (int y = 0; y < 6; ++y) {
+        if (x == y) continue;
+        list->push_back(std::string("/") + letters[x] + "//" + letters[y]);
+      }
+    }
+    for (int x = 0; x < 6; ++x) {
+      list->push_back(std::string("/") + letters[x]);
+    }
+    return list;
+  }();
+  SST_CHECK(n <= static_cast<int>(texts->size()));
+  std::vector<BatchQuery> batch;
+  for (int i = 0; i < n; ++i) {
+    batch.push_back(BatchQuery{QuerySyntax::kXPath, (*texts)[i]});
+  }
+  return batch;
+}
+
+// The padded-XML acceptance corpus over the six-letter alphabet:
+// pretty-printed xml-lite, two spaces of indentation per depth level.
+const std::string& PaddedXmlWideBytes() {
+  static const std::string* cached = [] {
+    const Alphabet& alphabet = WideAlphabet();
+    EventStream events = Encode(
+        bench::MakeDocument(bench::DocShape::kMixed, 1 << 17, 6, 42));
+    auto* out = new std::string();
+    int depth = 0;
+    for (const TagEvent& event : events) {
+      if (!event.open) --depth;
+      out->append(1, '\n');
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+      *out += event.open ? "<" : "</";
+      *out += alphabet.LabelOf(event.symbol);
+      *out += ">";
+      if (event.open) ++depth;
+    }
+    return out;
+  }();
+  return *cached;
+}
+
+// Compact-markup corpus over the same alphabet for the byte-table tier.
+const std::string& WideMarkupBytes() {
+  static const std::string* cached = [] {
+    return new std::string(ToCompactMarkup(
+        WideAlphabet(),
+        Encode(bench::MakeDocument(bench::DocShape::kMixed, 1 << 20, 6, 7))));
+  }();
+  return *cached;
+}
+
+// Per-query reference counts from N independent streaming runs.
+std::vector<int64_t> IndependentReference(const std::vector<BatchQuery>& batch,
+                                          const PlanOptions& options,
+                                          const std::string& bytes) {
+  std::vector<int64_t> counts;
+  for (const BatchQuery& query : batch) {
+    auto plan = QueryPlan::Compile(
+        Rpq::FromXPath(query.text, WideAlphabet()), options);
+    Session session(plan);
+    SST_CHECK(session.Feed(bytes) && session.Finish());
+    counts.push_back(session.matches());
+  }
+  return counts;
+}
+
+bool DriveBatchChunked(BatchSession& session, const std::string& bytes,
+                       size_t chunk_size) {
+  session.Reset();
+  for (size_t i = 0; i < bytes.size(); i += chunk_size) {
+    if (!session.Feed(std::string_view(bytes).substr(i, chunk_size))) {
+      return false;
+    }
+  }
+  return session.Finish();
+}
+
+void BM_MultiQueryFused(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  std::vector<BatchQuery> batch = MultiQueryBatch(num_queries);
+  MultiQueryOptions options;
+  options.plan.format = StreamFormat::kXmlLite;
+  auto plan = MultiQueryPlan::Compile(batch, WideAlphabet(), options);
+  SST_CHECK(plan->tier() == MultiTier::kFusedProduct);
+  BatchSession session(plan);
+  const std::string& bytes = PaddedXmlWideBytes();
+  std::vector<int64_t> expected =
+      IndependentReference(batch, options.plan, bytes);
+  constexpr size_t kChunk = 65536;
+  for (auto _ : state) {
+    SST_CHECK(DriveBatchChunked(session, bytes, kChunk));
+    // Acceptance: per-query counts byte-identical to independent runs.
+    SST_CHECK(session.query_matches() == expected);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = num_queries;
+  state.counters["product_states"] =
+      static_cast<double>(plan->stats().eager_states);
+  state.SetLabel("multiquery/fused/xmlpad/N=" + std::to_string(num_queries));
+}
+
+void BM_MultiQueryIndependent(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  std::vector<BatchQuery> batch = MultiQueryBatch(num_queries);
+  PlanOptions options;
+  options.format = StreamFormat::kXmlLite;
+  // The status quo: one pooled session per query, N full scans.
+  std::vector<std::unique_ptr<SessionPool>> pools;
+  for (const BatchQuery& query : batch) {
+    pools.push_back(std::make_unique<SessionPool>(QueryPlan::Compile(
+        Rpq::FromXPath(query.text, WideAlphabet()), options)));
+  }
+  const std::string& bytes = PaddedXmlWideBytes();
+  constexpr size_t kChunk = 65536;
+  std::vector<int64_t> counts(static_cast<size_t>(num_queries), 0);
+  for (auto _ : state) {
+    for (size_t q = 0; q < pools.size(); ++q) {
+      auto session = pools[q]->Acquire();
+      bool ok = true;
+      for (size_t i = 0; ok && i < bytes.size(); i += kChunk) {
+        ok = session->Feed(std::string_view(bytes).substr(i, kChunk));
+      }
+      SST_CHECK(ok && session->Finish());
+      counts[q] = session->matches();
+      pools[q]->Release(std::move(session));
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = num_queries;
+  state.SetLabel("multiquery/independent/xmlpad/N=" +
+                 std::to_string(num_queries));
+}
+
+BENCHMARK(BM_MultiQueryFused)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_MultiQueryIndependent)->Arg(2)->Arg(8)->Arg(32);
+
+// Byte-table tier on compact markup: the eager product fused into one
+// 256-entry table vs the lazy product stepped state-by-state vs N
+// independent fused single-query tables. Same accounting as above.
+
+void RunMultiQueryScanBench(benchmark::State& state, bool lazy) {
+  int num_queries = static_cast<int>(state.range(0));
+  std::vector<BatchQuery> batch = MultiQueryBatch(num_queries);
+  MultiQueryOptions options;
+  if (lazy) options.eager_state_cap = 1;  // force the lazy tier
+  auto plan = MultiQueryPlan::Compile(batch, WideAlphabet(), options);
+  SST_CHECK(plan->tier() == (lazy ? MultiTier::kLazyProduct
+                                  : MultiTier::kFusedProduct));
+  BatchSession session(plan);
+  const std::string& bytes = WideMarkupBytes();
+  std::vector<int64_t> counts;
+  for (auto _ : state) {
+    counts = session.CountSelections(bytes);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = num_queries;
+  MultiQueryPlan::Stats stats = plan->stats();
+  state.counters["product_states"] = static_cast<double>(
+      lazy ? stats.lazy_states : stats.eager_states);
+  std::string label = lazy ? "multiquery/lazy-scan/N="
+                           : "multiquery/eager-scan/N=";
+  state.SetLabel(label + std::to_string(num_queries));
+}
+
+void BM_MultiQueryEagerScan(benchmark::State& state) {
+  RunMultiQueryScanBench(state, /*lazy=*/false);
+}
+
+void BM_MultiQueryLazyScan(benchmark::State& state) {
+  RunMultiQueryScanBench(state, /*lazy=*/true);
+}
+
+void BM_MultiQueryIndependentScan(benchmark::State& state) {
+  int num_queries = static_cast<int>(state.range(0));
+  std::vector<BatchQuery> batch = MultiQueryBatch(num_queries);
+  std::vector<std::shared_ptr<const QueryPlan>> plans;
+  for (const BatchQuery& query : batch) {
+    plans.push_back(QueryPlan::Compile(
+        Rpq::FromXPath(query.text, WideAlphabet()), PlanOptions{}));
+    SST_CHECK(plans.back()->fused() != nullptr);
+  }
+  const std::string& bytes = WideMarkupBytes();
+  std::vector<int64_t> counts(plans.size(), 0);
+  for (auto _ : state) {
+    for (size_t q = 0; q < plans.size(); ++q) {
+      counts[q] = plans[q]->fused()->CountSelections(bytes);
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = num_queries;
+  state.SetLabel("multiquery/independent-scan/N=" +
+                 std::to_string(num_queries));
+}
+
+BENCHMARK(BM_MultiQueryEagerScan)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_MultiQueryLazyScan)->Arg(2)->Arg(8)->Arg(32);
+BENCHMARK(BM_MultiQueryIndependentScan)->Arg(2)->Arg(8)->Arg(32);
 
 }  // namespace
 }  // namespace sst

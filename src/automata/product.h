@@ -1,0 +1,306 @@
+#ifndef SST_AUTOMATA_PRODUCT_H_
+#define SST_AUTOMATA_PRODUCT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/selection_mask.h"
+#include "base/check.h"
+
+namespace sst {
+
+// Output-annotated N-ary product of deterministic automata over a paired
+// tag alphabet (one opening and one closing letter per symbol — the shape
+// of the paper's TagDfa). Closure of registerless queries under product
+// (Lemma 2.4) means a batch of N query automata fuses into ONE automaton
+// whose states carry an N-bit SelectionMask: bit i of the mask of the
+// state reached after a node's opening tag answers "does query i select
+// this node?", so all N queries are answered in a single pass.
+//
+// The component type A must expose the TagDfa field/method surface:
+// num_states, num_symbols, initial, NextOpen(q, a), NextClose(q, a) and
+// accepting[q]. Everything here is generic over that concept so the
+// construction lives with the rest of the automata algebra; dra
+// instantiates it for TagDfa.
+//
+// Two constructions, matching how products behave in practice:
+//   * BuildEagerPairedProduct — bounded BFS materialization of every
+//     reachable product state up front. Cheap for small batches; the
+//     resulting table can be fused into a single 256-entry byte table.
+//     Returns nullopt when the reachable product exceeds the state cap.
+//   * LazyPairedProduct — on-the-fly materialization: a product state is
+//     interned the first time some input actually reaches it, so the
+//     product never blows up beyond what the documents exercise. Safe for
+//     concurrent readers (see below).
+
+// Flat transition table of an eagerly built product. Letters are indexed
+// open-first: letter a in [0, num_symbols) is the opening tag of symbol a,
+// letter num_symbols + a its closing tag.
+struct PairedProductTable {
+  int arity = 0;        // number of component automata (mask width)
+  int num_states = 0;   // reachable product states
+  int num_symbols = 0;  // |Γ| shared by all components
+  int initial = 0;
+  std::vector<int32_t> next;        // num_states * 2 * num_symbols
+  std::vector<SelectionMask> masks;  // per state: accepting components
+  std::vector<int32_t> tuples;      // num_states * arity component states
+
+  int Next(int state, int letter) const {
+    return next[static_cast<size_t>(state) * 2 * num_symbols + letter];
+  }
+};
+
+namespace product_internal {
+
+struct TupleHash {
+  size_t operator()(const std::vector<int32_t>& tuple) const {
+    size_t hash = 14695981039346656037ull;
+    for (int32_t value : tuple) {
+      hash ^= static_cast<uint32_t>(value);
+      hash *= 1099511628211ull;
+    }
+    return hash;
+  }
+};
+
+template <typename A>
+SelectionMask MaskOfTuple(const std::vector<const A*>& components,
+                          const int32_t* tuple) {
+  SelectionMask mask(static_cast<int>(components.size()));
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i]->accepting[tuple[i]]) mask.Set(static_cast<int>(i));
+  }
+  return mask;
+}
+
+}  // namespace product_internal
+
+// BFS over the reachable product; nullopt once more than `state_cap`
+// states materialize (the caller then falls back to the lazy product or to
+// per-query execution). All components must share num_symbols.
+template <typename A>
+std::optional<PairedProductTable> BuildEagerPairedProduct(
+    const std::vector<const A*>& components, int state_cap) {
+  SST_CHECK(!components.empty());
+  const int arity = static_cast<int>(components.size());
+  const int num_symbols = components[0]->num_symbols;
+  for (const A* component : components) {
+    SST_CHECK_MSG(component->num_symbols == num_symbols,
+                  "product components must share one tag alphabet");
+  }
+  const int width = 2 * num_symbols;
+
+  PairedProductTable table;
+  table.arity = arity;
+  table.num_symbols = num_symbols;
+  table.initial = 0;
+
+  std::unordered_map<std::vector<int32_t>, int, product_internal::TupleHash>
+      index;
+  std::vector<int32_t> tuple(static_cast<size_t>(arity));
+  for (int i = 0; i < arity; ++i) tuple[i] = components[i]->initial;
+  index.emplace(tuple, 0);
+  table.tuples.insert(table.tuples.end(), tuple.begin(), tuple.end());
+  table.masks.push_back(
+      product_internal::MaskOfTuple(components, tuple.data()));
+  table.num_states = 1;
+
+  for (int state = 0; state < table.num_states; ++state) {
+    table.next.resize(static_cast<size_t>(state + 1) * width);
+    for (int letter = 0; letter < width; ++letter) {
+      const int32_t* from =
+          table.tuples.data() + static_cast<size_t>(state) * arity;
+      for (int i = 0; i < arity; ++i) {
+        tuple[i] = letter < num_symbols
+                       ? components[i]->NextOpen(from[i], letter)
+                       : components[i]->NextClose(from[i],
+                                                  letter - num_symbols);
+      }
+      auto [it, inserted] = index.emplace(tuple, table.num_states);
+      if (inserted) {
+        if (table.num_states >= state_cap) return std::nullopt;
+        table.tuples.insert(table.tuples.end(), tuple.begin(), tuple.end());
+        table.masks.push_back(
+            product_internal::MaskOfTuple(components, tuple.data()));
+        ++table.num_states;
+      }
+      table.next[static_cast<size_t>(state) * width + letter] = it->second;
+    }
+  }
+  return table;
+}
+
+// Lazily materialized product, shared by any number of concurrently
+// streaming sessions. States and transitions appear on first use:
+//
+//   * the read path is lock-free — one acquire load of an atomic
+//     transition entry per event; a non-negative entry is the already
+//     materialized target;
+//   * the insert path (entry still kUnexplored) takes a mutex, steps every
+//     component, interns the target tuple, and publishes the entry with a
+//     release store, so readers that observe the id also observe the new
+//     state's mask, tuple and (kUnexplored-initialized) row;
+//   * per-state storage lives in fixed-size blocks whose pointer array is
+//     sized once at construction — nothing a reader dereferences is ever
+//     reallocated.
+//
+// The state cap bounds materialization: once reached, transitions into
+// never-seen tuples return kOverflow and the caller demotes that stream to
+// stepping the component tuple directly (the product stays valid for every
+// state already materialized — other streams are unaffected).
+template <typename A>
+class LazyPairedProduct {
+ public:
+  static constexpr int kOverflow = -1;
+
+  LazyPairedProduct(std::vector<const A*> components, int state_cap)
+      : components_(std::move(components)),
+        num_symbols_(components_[0]->num_symbols),
+        width_(2 * num_symbols_),
+        cap_(state_cap < 1 ? 1 : state_cap),
+        scratch_(components_.size()) {
+    SST_CHECK(!components_.empty());
+    for (const A* component : components_) {
+      SST_CHECK_MSG(component->num_symbols == num_symbols_,
+                    "product components must share one tag alphabet");
+    }
+    const size_t blocks =
+        (static_cast<size_t>(cap_) + kBlockStates - 1) / kBlockStates;
+    rows_.resize(blocks);
+    tuples_.resize(blocks);
+    masks_.resize(blocks);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < components_.size(); ++i) {
+      scratch_[i] = components_[i]->initial;
+    }
+    int initial = InternLocked();
+    SST_CHECK(initial == 0);
+  }
+
+  int arity() const { return static_cast<int>(components_.size()); }
+  int num_symbols() const { return num_symbols_; }
+  int initial() const { return 0; }
+  int state_cap() const { return cap_; }
+  const std::vector<const A*>& components() const { return components_; }
+
+  // Materialized states so far (a live statistic; monotone).
+  int num_states() const {
+    return num_states_.load(std::memory_order_acquire);
+  }
+  bool overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  // Product successor of materialized state `id`, materializing the target
+  // on first use; kOverflow when the target is new but the cap is reached.
+  int NextOpen(int id, int symbol) { return Next(id, symbol); }
+  int NextClose(int id, int symbol) {
+    // Term-encoded streams pass -1; mirror TagDfaMachine's symbol-0
+    // fallback (sound for ClosingSymbolInvariant components).
+    return Next(id, num_symbols_ + (symbol < 0 ? 0 : symbol));
+  }
+
+  // Mask/tuple of a materialized state. Safe to call concurrently with
+  // growth for any id obtained from Next* or num_states().
+  const SelectionMask& MaskOf(int id) const {
+    return masks_[static_cast<size_t>(id) / kBlockStates]
+                 [static_cast<size_t>(id) % kBlockStates];
+  }
+  bool AnyAccepting(int id) const { return MaskOf(id).Any(); }
+  void CopyTuple(int id, int32_t* out) const {
+    const int32_t* tuple = TupleOf(id);
+    for (int i = 0; i < arity(); ++i) out[i] = tuple[i];
+  }
+
+ private:
+  static constexpr size_t kBlockStates = 256;
+  static constexpr int32_t kUnexplored = -2;
+
+  std::atomic<int32_t>* RowOf(int id) const {
+    return rows_[static_cast<size_t>(id) / kBlockStates].get() +
+           (static_cast<size_t>(id) % kBlockStates) * width_;
+  }
+  const int32_t* TupleOf(int id) const {
+    return tuples_[static_cast<size_t>(id) / kBlockStates].get() +
+           (static_cast<size_t>(id) % kBlockStates) * components_.size();
+  }
+
+  int Next(int id, int letter) {
+    std::atomic<int32_t>* row = RowOf(id);
+    int32_t target = row[letter].load(std::memory_order_acquire);
+    if (target != kUnexplored) return target;
+    std::lock_guard<std::mutex> lock(mu_);
+    target = row[letter].load(std::memory_order_relaxed);
+    if (target != kUnexplored) return target;
+    const int32_t* tuple = TupleOf(id);
+    for (size_t i = 0; i < components_.size(); ++i) {
+      scratch_[i] = letter < num_symbols_
+                        ? components_[i]->NextOpen(tuple[i], letter)
+                        : components_[i]->NextClose(tuple[i],
+                                                    letter - num_symbols_);
+    }
+    target = InternLocked();
+    row[letter].store(target, std::memory_order_release);
+    return target;
+  }
+
+  // Interns scratch_; mu_ must be held. Returns the dense id or kOverflow.
+  int InternLocked() {
+    auto it = index_.find(scratch_);
+    if (it != index_.end()) return it->second;
+    int id = num_states_.load(std::memory_order_relaxed);
+    if (id >= cap_) {
+      overflowed_.store(true, std::memory_order_relaxed);
+      return kOverflow;
+    }
+    const size_t block = static_cast<size_t>(id) / kBlockStates;
+    const size_t slot = static_cast<size_t>(id) % kBlockStates;
+    if (rows_[block] == nullptr) {
+      rows_[block] =
+          std::make_unique<std::atomic<int32_t>[]>(kBlockStates * width_);
+      for (size_t i = 0; i < kBlockStates * width_; ++i) {
+        rows_[block][i].store(kUnexplored, std::memory_order_relaxed);
+      }
+      tuples_[block] =
+          std::make_unique<int32_t[]>(kBlockStates * components_.size());
+      masks_[block] = std::make_unique<SelectionMask[]>(kBlockStates);
+    }
+    int32_t* tuple = tuples_[block].get() + slot * components_.size();
+    for (size_t i = 0; i < components_.size(); ++i) tuple[i] = scratch_[i];
+    masks_[block][slot] =
+        product_internal::MaskOfTuple(components_, tuple);
+    index_.emplace(scratch_, id);
+    // Publish after the state's storage is fully written: a reader that
+    // acquires an entry naming `id` (or num_states() >= id) sees it all.
+    num_states_.store(id + 1, std::memory_order_release);
+    return id;
+  }
+
+  const std::vector<const A*> components_;
+  const int num_symbols_;
+  const int width_;
+  const int cap_;
+
+  // Block pointer arrays are sized once in the constructor and entries are
+  // written (under mu_) before any state in them is published.
+  std::vector<std::unique_ptr<std::atomic<int32_t>[]>> rows_;
+  std::vector<std::unique_ptr<int32_t[]>> tuples_;
+  std::vector<std::unique_ptr<SelectionMask[]>> masks_;
+
+  std::atomic<int> num_states_{0};
+  std::atomic<bool> overflowed_{false};
+
+  std::mutex mu_;  // guards index_, scratch_ and all growth
+  std::vector<int32_t> scratch_;
+  std::unordered_map<std::vector<int32_t>, int, product_internal::TupleHash>
+      index_;
+};
+
+}  // namespace sst
+
+#endif  // SST_AUTOMATA_PRODUCT_H_

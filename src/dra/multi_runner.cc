@@ -1,0 +1,431 @@
+#include "dra/multi_runner.h"
+
+#include <utility>
+
+#include "base/byte_scan.h"
+#include "base/check.h"
+
+namespace sst {
+
+const char* MultiTierName(MultiTier tier) {
+  switch (tier) {
+    case MultiTier::kFusedProduct:
+      return "fused-product";
+    case MultiTier::kLazyProduct:
+      return "lazy-product";
+    case MultiTier::kIndependent:
+      return "independent";
+  }
+  return "unknown";
+}
+
+std::optional<TagDfaProduct> BuildTagDfaProduct(
+    const std::vector<const TagDfa*>& components, int state_cap) {
+  std::optional<PairedProductTable> table =
+      BuildEagerPairedProduct(components, state_cap);
+  if (!table.has_value()) return std::nullopt;
+
+  TagDfaProduct product;
+  product.arity = table->arity;
+  product.narrow = table->arity <= 64;
+  product.masks = std::move(table->masks);
+  product.mask_words.reserve(product.masks.size());
+  for (const SelectionMask& mask : product.masks) {
+    product.mask_words.push_back(mask.word());
+  }
+
+  TagDfa& dfa = product.dfa;
+  dfa = TagDfa::Create(table->num_states, table->num_symbols);
+  dfa.initial = table->initial;
+  for (int state = 0; state < table->num_states; ++state) {
+    for (Symbol a = 0; a < table->num_symbols; ++a) {
+      dfa.SetNextOpen(state, a, table->Next(state, a));
+      dfa.SetNextClose(state, a, table->Next(state, table->num_symbols + a));
+    }
+    dfa.accepting[state] = product.masks[state].Any();
+  }
+  return product;
+}
+
+// --- LazyProductCursor ---------------------------------------------------
+
+LazyProductCursor::LazyProductCursor(LazyTagDfaProduct* lazy)
+    : lazy_(lazy), id_(lazy->initial()) {
+  accepting_ = lazy_->AnyAccepting(id_);
+}
+
+void LazyProductCursor::Reset() {
+  id_ = lazy_->initial();
+  wide_ = false;
+  accepting_ = lazy_->AnyAccepting(id_);
+}
+
+void LazyProductCursor::StepWide(int letter) {
+  const std::vector<const TagDfa*>& components = lazy_->components();
+  const int k = lazy_->num_symbols();
+  bool any = false;
+  for (size_t i = 0; i < components.size(); ++i) {
+    tuple_[i] = letter < k
+                    ? components[i]->NextOpen(tuple_[i], letter)
+                    : components[i]->NextClose(tuple_[i], letter - k);
+    any |= static_cast<bool>(components[i]->accepting[tuple_[i]]);
+  }
+  accepting_ = any;
+}
+
+void LazyProductCursor::Open(Symbol symbol) {
+  if (!wide_) {
+    int next = lazy_->NextOpen(id_, symbol);
+    if (next != LazyTagDfaProduct::kOverflow) {
+      id_ = next;
+      accepting_ = lazy_->AnyAccepting(id_);
+      return;
+    }
+    // State cap hit: demote this stream to component-wise stepping from
+    // the tuple of the last materialized state (latched until Reset).
+    tuple_.resize(static_cast<size_t>(lazy_->arity()));
+    lazy_->CopyTuple(id_, tuple_.data());
+    wide_ = true;
+  }
+  StepWide(symbol);
+}
+
+void LazyProductCursor::Close(Symbol symbol) {
+  Symbol s = symbol < 0 ? 0 : symbol;
+  if (!wide_) {
+    int next = lazy_->NextClose(id_, s);
+    if (next != LazyTagDfaProduct::kOverflow) {
+      id_ = next;
+      accepting_ = lazy_->AnyAccepting(id_);
+      return;
+    }
+    tuple_.resize(static_cast<size_t>(lazy_->arity()));
+    lazy_->CopyTuple(id_, tuple_.data());
+    wide_ = true;
+  }
+  StepWide(lazy_->num_symbols() + s);
+}
+
+void LazyProductCursor::AccumulateMask(int64_t* counts) const {
+  if (!wide_) {
+    lazy_->MaskOf(id_).AccumulateInto(counts);
+    return;
+  }
+  const std::vector<const TagDfa*>& components = lazy_->components();
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i]->accepting[tuple_[i]]) ++counts[i];
+  }
+}
+
+// --- ProductTagMachine ---------------------------------------------------
+
+ProductTagMachine::ProductTagMachine(const TagDfaProduct* eager,
+                                     LazyTagDfaProduct* lazy)
+    : eager_(eager) {
+  SST_CHECK_MSG((eager != nullptr) != (lazy != nullptr),
+                "exactly one of eager/lazy product required");
+  if (eager_ != nullptr) {
+    eager_state_ = eager_->dfa.initial;
+    counts_.assign(static_cast<size_t>(eager_->arity), 0);
+  } else {
+    lazy_cursor_.emplace(lazy);
+    counts_.assign(static_cast<size_t>(lazy->arity()), 0);
+  }
+}
+
+void ProductTagMachine::Reset() {
+  if (eager_ != nullptr) {
+    eager_state_ = eager_->dfa.initial;
+  } else {
+    lazy_cursor_->Reset();
+  }
+  counts_.assign(counts_.size(), 0);
+}
+
+void ProductTagMachine::OnOpen(Symbol symbol) {
+  if (eager_ != nullptr) {
+    eager_state_ = eager_->dfa.NextOpen(eager_state_, symbol);
+    // Pre-selection samples directly after opening tags: accumulate the
+    // new state's mask into the per-query counts.
+    if (eager_->dfa.accepting[eager_state_]) {
+      eager_->masks[static_cast<size_t>(eager_state_)].AccumulateInto(
+          counts_.data());
+    }
+    return;
+  }
+  lazy_cursor_->Open(symbol);
+  if (lazy_cursor_->Accepting()) {
+    lazy_cursor_->AccumulateMask(counts_.data());
+  }
+}
+
+void ProductTagMachine::OnClose(Symbol symbol) {
+  if (eager_ != nullptr) {
+    eager_state_ = eager_->dfa.NextClose(eager_state_, symbol < 0 ? 0 : symbol);
+    return;
+  }
+  lazy_cursor_->Close(symbol);
+}
+
+bool ProductTagMachine::InAcceptingState() const {
+  if (eager_ != nullptr) return eager_->dfa.accepting[eager_state_];
+  return lazy_cursor_->Accepting();
+}
+
+// --- MultiTagDfaRunner ---------------------------------------------------
+
+MultiTagDfaRunner::MultiTagDfaRunner(StreamFormat format,
+                                     const Alphabet* alphabet,
+                                     const ScannerTables* tables,
+                                     const TagDfaProduct* eager,
+                                     const ByteTagDfaRunner* eager_fused,
+                                     LazyTagDfaProduct* lazy)
+    : eager_(eager),
+      eager_fused_(eager_fused),
+      lazy_(lazy),
+      machine_(eager, lazy),
+      owned_tables_(tables == nullptr
+                        ? std::make_unique<ScannerTables>(
+                              ScannerTables::Build(format, *alphabet))
+                        : nullptr),
+      selector_(&machine_, format, alphabet,
+                tables != nullptr ? tables : owned_tables_.get(),
+                /*fused=*/nullptr) {
+  SST_CHECK(eager_fused_ == nullptr || eager_ != nullptr);
+  // The one-scan markup APIs need every label to be a single lowercase
+  // letter (same eligibility rule as the fused single-query byte table).
+  byte_symbol_.fill(-1);
+  byte_api_ok_ = true;
+  for (Symbol s = 0; s < alphabet->size(); ++s) {
+    const std::string& label = alphabet->LabelOf(s);
+    if (label.size() != 1 || label[0] < 'a' || label[0] > 'z') {
+      byte_api_ok_ = false;
+      break;
+    }
+  }
+  if (byte_api_ok_) {
+    for (Symbol s = 0; s < alphabet->size(); ++s) {
+      unsigned char open = static_cast<unsigned char>(alphabet->LabelOf(s)[0]);
+      byte_symbol_[open] = s;
+      byte_symbol_[open - 'a' + 'A'] = s;
+    }
+  }
+}
+
+template <typename T>
+void MultiTagDfaRunner::CountSelectionsFused(
+    const T* table, std::string_view bytes,
+    std::vector<int64_t>* counts) const {
+  const uint64_t* mask_words = eager_->mask_words.data();
+  int64_t* out = counts->data();
+  int state = eager_fused_->initial_state();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) {
+      // Whitespace self-loops and never counts; jump the whole run with
+      // the SWAR/SIMD kernel instead of one table load per byte.
+      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
+      continue;
+    }
+    state = table[static_cast<size_t>(state) * 256 + byte];
+    if (byte >= 'a' && byte <= 'z') {
+      uint64_t mask = mask_words[state];
+      for (; mask != 0; mask &= mask - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+        ++out[__builtin_ctzll(mask)];
+#else
+        uint64_t low = mask & (~mask + 1);
+        int bit = 0;
+        while ((low >> bit) != 1) ++bit;
+        ++out[bit];
+#endif
+      }
+    }
+  }
+}
+
+void MultiTagDfaRunner::CountSelectionsLazy(
+    std::string_view bytes, std::vector<int64_t>* counts) const {
+  LazyProductCursor cursor(lazy_);
+  int64_t* out = counts->data();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) {
+      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
+      continue;
+    }
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      // Unknown lowercase letters self-loop (ByteTagDfaRunner parity):
+      // the state is unchanged but the byte still samples acceptance.
+      if (s >= 0) cursor.Open(s);
+      if (cursor.Accepting()) cursor.AccumulateMask(out);
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) cursor.Close(s);
+    }
+    // All other bytes self-loop and never count.
+  }
+}
+
+std::vector<int64_t> MultiTagDfaRunner::CountSelections(
+    std::string_view bytes) const {
+  SST_CHECK_MSG(byte_api_ok_,
+                "one-scan byte APIs require single-letter labels");
+  std::vector<int64_t> counts(static_cast<size_t>(num_queries()), 0);
+  if (eager_fused_ != nullptr && eager_->narrow) {
+    if (eager_fused_->uses_compact_table()) {
+      CountSelectionsFused(eager_fused_->table16(), bytes, &counts);
+    } else {
+      CountSelectionsFused(eager_fused_->table32(), bytes, &counts);
+    }
+    return counts;
+  }
+  if (eager_ != nullptr) {
+    // Eager product without a byte table (or a >64-query batch): walk the
+    // product TagDfa directly.
+    int state = eager_->dfa.initial;
+    for (size_t i = 0; i < bytes.size(); ++i) {
+      unsigned char byte = static_cast<unsigned char>(bytes[i]);
+      if (ByteIsAsciiWs(byte)) {
+        i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
+        continue;
+      }
+      if (byte >= 'a' && byte <= 'z') {
+        Symbol s = byte_symbol_[byte];
+        if (s >= 0) state = eager_->dfa.NextOpen(state, s);
+        if (eager_->dfa.accepting[state]) {
+          eager_->masks[static_cast<size_t>(state)].AccumulateInto(
+              counts.data());
+        }
+      } else if (byte >= 'A' && byte <= 'Z') {
+        Symbol s = byte_symbol_[byte];
+        if (s >= 0) state = eager_->dfa.NextClose(state, s);
+      }
+    }
+    return counts;
+  }
+  CountSelectionsLazy(bytes, &counts);
+  return counts;
+}
+
+MultiValidatedRun MultiTagDfaRunner::RunValidated(
+    std::string_view bytes, const StreamLimits& limits) const {
+  SST_CHECK_MSG(byte_api_ok_,
+                "one-scan byte APIs require single-letter labels");
+  MultiValidatedRun run;
+  run.matches.assign(static_cast<size_t>(num_queries()), 0);
+
+  // Stepper state for whichever tier is strongest; validation is tier-
+  // independent, so the control flow below mirrors
+  // ByteTagDfaRunner::RunValidated line for line (same errors at the same
+  // offsets).
+  int eager_state = eager_ != nullptr ? eager_->dfa.initial : 0;
+  std::optional<LazyProductCursor> cursor;
+  if (eager_ == nullptr) cursor.emplace(lazy_);
+
+  std::vector<Symbol> open_letters;
+  int64_t depth = 0;
+  bool saw_root = false;
+  bool over_byte_limit =
+      static_cast<int64_t>(bytes.size()) > limits.max_document_bytes;
+  size_t scan_end = over_byte_limit
+                        ? static_cast<size_t>(limits.max_document_bytes)
+                        : bytes.size();
+  auto fail = [&](StreamErrorCode code, int64_t offset, Symbol expected,
+                  Symbol got) {
+    run.error.code = code;
+    run.error.offset = offset;
+    run.error.depth = depth;
+    run.error.expected = expected;
+    run.error.got = got;
+  };
+  for (size_t i = 0; i < scan_end; ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) continue;
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, static_cast<int64_t>(i), -1, -1);
+        return run;
+      }
+      if (depth == 0 && saw_root) {
+        fail(StreamErrorCode::kTrailingContent, static_cast<int64_t>(i), -1,
+             s);
+        return run;
+      }
+      if (depth >= limits.max_depth) {
+        fail(StreamErrorCode::kDepthLimitExceeded, static_cast<int64_t>(i),
+             -1, s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, static_cast<int64_t>(i),
+             -1, -1);
+        return run;
+      }
+      saw_root = true;
+      ++depth;
+      if (depth > run.max_depth) run.max_depth = depth;
+      open_letters.push_back(s);
+      if (eager_ != nullptr) {
+        eager_state = eager_->dfa.NextOpen(eager_state, s);
+        if (eager_->dfa.accepting[eager_state]) {
+          eager_->masks[static_cast<size_t>(eager_state)].AccumulateInto(
+              run.matches.data());
+        }
+      } else {
+        cursor->Open(s);
+        if (cursor->Accepting()) cursor->AccumulateMask(run.matches.data());
+      }
+      ++run.events;
+      ++run.nodes;
+      continue;
+    }
+    if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, static_cast<int64_t>(i), -1, -1);
+        return run;
+      }
+      if (open_letters.empty()) {
+        fail(StreamErrorCode::kUnbalancedClose, static_cast<int64_t>(i), -1,
+             s);
+        return run;
+      }
+      if (open_letters.back() != s) {
+        fail(StreamErrorCode::kLabelMismatch, static_cast<int64_t>(i),
+             open_letters.back(), s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, static_cast<int64_t>(i),
+             -1, -1);
+        return run;
+      }
+      open_letters.pop_back();
+      --depth;
+      if (eager_ != nullptr) {
+        eager_state = eager_->dfa.NextClose(eager_state, s);
+      } else {
+        cursor->Close(s);
+      }
+      ++run.events;
+      continue;
+    }
+    fail(StreamErrorCode::kBadByte, static_cast<int64_t>(i), -1, -1);
+    return run;
+  }
+  if (over_byte_limit) {
+    fail(StreamErrorCode::kByteLimitExceeded, limits.max_document_bytes, -1,
+         -1);
+    return run;
+  }
+  if (!saw_root || depth != 0) {
+    fail(StreamErrorCode::kTruncatedDocument,
+         static_cast<int64_t>(bytes.size()), -1, -1);
+  }
+  return run;
+}
+
+}  // namespace sst

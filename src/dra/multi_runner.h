@@ -1,0 +1,226 @@
+#ifndef SST_DRA_MULTI_RUNNER_H_
+#define SST_DRA_MULTI_RUNNER_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/product.h"
+#include "automata/selection_mask.h"
+#include "dra/byte_runner.h"
+#include "dra/machine.h"
+#include "dra/stream_error.h"
+#include "dra/streaming.h"
+#include "dra/tag_dfa.h"
+
+namespace sst {
+
+// Multi-query fused execution: N registerless query automata answered in
+// ONE pass over the document. Closure under product (Lemma 2.4) fuses the
+// batch into an output-annotated product automaton whose states carry an
+// N-bit SelectionMask — the mask of the state reached after a node's
+// opening tag answers "which queries select this node?" — so the dominant
+// per-query cost (scanning the stream) becomes a per-document cost.
+//
+// The execution ladder mirrors the single-query degradation ladder:
+//   kFusedProduct   eagerly materialized product, fusable into a single
+//                   256-entry byte→state table (small batches);
+//   kLazyProduct    on-the-fly product shared across sessions — only
+//                   states the inputs actually reach materialize;
+//   kIndependent    per-query stepping (N automaton steps per event):
+//                   the landing spot when the lazy product hits its state
+//                   cap mid-stream, and the engine's tier for batches
+//                   containing non-registerless queries.
+enum class MultiTier { kFusedProduct, kLazyProduct, kIndependent };
+
+const char* MultiTierName(MultiTier tier);
+
+// Eagerly built product of TagDfas: the product TagDfa (accepting =
+// "some query selects") plus the per-state selection masks, with the
+// masks' fast-path words flattened for byte-scan loops when the batch
+// fits in 64 bits.
+struct TagDfaProduct {
+  TagDfa dfa;
+  std::vector<SelectionMask> masks;   // per product state
+  std::vector<uint64_t> mask_words;   // masks[s].word(); complete iff narrow
+  int arity = 0;
+  bool narrow = false;  // arity <= 64: mask_words fully describe the masks
+};
+
+// BFS materialization bounded by `state_cap`; nullopt when the reachable
+// product is larger (callers fall back to the lazy product).
+std::optional<TagDfaProduct> BuildTagDfaProduct(
+    const std::vector<const TagDfa*>& components, int state_cap);
+
+// The shared lazily materialized product (automata/product.h) over
+// TagDfas. Thread-safe: any number of streams may step it concurrently.
+using LazyTagDfaProduct = LazyPairedProduct<TagDfa>;
+
+// One stream's position in a shared lazy product: a dense product-state id
+// while materialization stays within the cap, or — after kOverflow — the
+// raw component tuple, stepped one component at a time ("wide mode", the
+// kIndependent rung). Wide mode is latched until Reset.
+class LazyProductCursor {
+ public:
+  explicit LazyProductCursor(LazyTagDfaProduct* lazy);
+
+  void Reset();
+  void Open(Symbol symbol);
+  void Close(Symbol symbol);
+  bool Accepting() const { return accepting_; }
+  bool wide() const { return wide_; }
+
+  // counts[i] += 1 for every query whose automaton accepts right now.
+  void AccumulateMask(int64_t* counts) const;
+
+ private:
+  void StepWide(int letter);
+
+  LazyTagDfaProduct* lazy_;
+  int id_;
+  bool wide_ = false;
+  bool accepting_ = false;
+  std::vector<int32_t> tuple_;  // wide mode only
+};
+
+// StreamMachine over the fused product: drives either the eager product
+// table or a cursor on the shared lazy product, and accumulates per-query
+// selection counts on every opening tag (the multi-query analogue of the
+// selector's single matches_ counter). InAcceptingState() is the batch
+// "any query selects" disjunction, so the aggregate matches statistic of a
+// StreamingSelector running this machine counts nodes selected by at
+// least one query.
+class ProductTagMachine final : public StreamMachine {
+ public:
+  // Exactly one of `eager` / `lazy` must be non-null. Both must outlive
+  // the machine.
+  ProductTagMachine(const TagDfaProduct* eager, LazyTagDfaProduct* lazy);
+
+  void Reset() override;
+  void OnOpen(Symbol symbol) override;
+  void OnClose(Symbol symbol) override;
+  bool InAcceptingState() const override;
+
+  int arity() const { return static_cast<int>(counts_.size()); }
+  const std::vector<int64_t>& counts() const { return counts_; }
+  bool wide() const { return lazy_cursor_ && lazy_cursor_->wide(); }
+
+ private:
+  const TagDfaProduct* eager_;
+  int eager_state_ = 0;
+  std::optional<LazyProductCursor> lazy_cursor_;
+  std::vector<int64_t> counts_;
+};
+
+// Whole-document validated multi-query run: the batch analogue of
+// ValidatedRun, field-for-field comparable with N independent fail-fast
+// runs over the same bytes — same first StreamError (code + offset +
+// depth + labels), same per-query selection counts up to that error.
+struct MultiValidatedRun {
+  StreamError error;
+  int64_t nodes = 0;
+  int64_t events = 0;
+  int64_t max_depth = 0;
+  std::vector<int64_t> matches;  // per component, in batch order
+
+  bool ok() const { return error.ok(); }
+};
+
+// Multi-query front-end over one shared product: a chunk-capable
+// StreamingSelector (any format, full StreamError / recovery-policy
+// parity with single-query sessions) around a ProductTagMachine, plus
+// one-scan byte-table entry points for compact markup that reuse the
+// fused ByteTagDfaRunner machinery (uint16/uint32 compaction, SWAR/SIMD
+// whitespace bulk-skip) to emit every query's selection count in a single
+// table walk.
+//
+// The runner holds only per-stream state; the product artifacts are
+// shared, immutable (eager) or internally synchronized (lazy), so K
+// concurrent streams hold K runners and ONE product.
+class MultiTagDfaRunner {
+ public:
+  // Exactly one of `eager` / `lazy` must be non-null; `eager_fused` is
+  // the optional fused byte table of the eager product (built by the
+  // engine when the alphabet is markup-eligible) and `tables` may be null
+  // to build private scanner tables. All pointers are borrowed and must
+  // outlive the runner.
+  MultiTagDfaRunner(StreamFormat format, const Alphabet* alphabet,
+                    const ScannerTables* tables, const TagDfaProduct* eager,
+                    const ByteTagDfaRunner* eager_fused,
+                    LazyTagDfaProduct* lazy);
+
+  int num_queries() const { return machine_.arity(); }
+
+  // The strongest tier this runner was built with; active_tier() reports
+  // the rung actually executing (kIndependent once a lazy stream demoted
+  // to wide mode).
+  MultiTier tier() const {
+    return eager_ != nullptr ? MultiTier::kFusedProduct
+                             : MultiTier::kLazyProduct;
+  }
+  MultiTier active_tier() const {
+    return machine_.wide() ? MultiTier::kIndependent : tier();
+  }
+
+  // --- Chunked streaming (any format) -----------------------------------
+  bool Feed(std::string_view chunk) { return selector_.Feed(chunk); }
+  bool Finish() { return selector_.Finish(); }
+  void Reset() { selector_.Reset(); }
+
+  // Per-query selection counts, in batch order.
+  const std::vector<int64_t>& query_matches() const {
+    return machine_.counts();
+  }
+  StreamStats stats() const { return selector_.stats(); }
+  bool failed() const { return selector_.failed(); }
+  const StreamError& stream_error() const {
+    return selector_.stream_error();
+  }
+  // Policy / limits / observability surface of the underlying scanner.
+  StreamingSelector& selector() { return selector_; }
+  const StreamingSelector& selector() const { return selector_; }
+
+  // --- One-scan byte entry points (compact markup) ----------------------
+  // Whether the one-scan APIs below may be called (markup-eligible
+  // alphabet: every label a single lowercase letter).
+  bool one_scan_eligible() const { return byte_api_ok_; }
+
+  // ByteTagDfaRunner::CountSelections semantics, per query: one table
+  // walk over the bytes, whitespace runs bulk-skipped. Requires a
+  // markup-eligible alphabet (single lowercase-letter labels).
+  std::vector<int64_t> CountSelections(std::string_view bytes) const;
+
+  // Well-formedness-validated whole-document run with StreamingSelector's
+  // fail-fast compact-markup semantics: same first StreamError at the
+  // same byte offset as N independent validated runs.
+  MultiValidatedRun RunValidated(std::string_view bytes,
+                                 const StreamLimits& limits = {}) const;
+
+ private:
+  template <typename T>
+  void CountSelectionsFused(const T* table, std::string_view bytes,
+                            std::vector<int64_t>* counts) const;
+  void CountSelectionsLazy(std::string_view bytes,
+                           std::vector<int64_t>* counts) const;
+
+  const TagDfaProduct* eager_;
+  const ByteTagDfaRunner* eager_fused_;
+  LazyTagDfaProduct* lazy_;
+
+  ProductTagMachine machine_;
+  std::unique_ptr<ScannerTables> owned_tables_;
+  StreamingSelector selector_;
+
+  // byte → symbol for the one-scan markup APIs; -1 when the alphabet is
+  // not markup-eligible (byte_api_ok_ false) or the byte is no tag letter.
+  std::array<Symbol, 256> byte_symbol_;
+  bool byte_api_ok_ = false;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_MULTI_RUNNER_H_

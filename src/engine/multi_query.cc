@@ -1,0 +1,241 @@
+#include "engine/multi_query.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "base/check.h"
+
+namespace sst {
+
+namespace {
+
+// Same eligibility rule as QueryPlan's fused byte table: one lowercase
+// letter per symbol.
+bool MarkupEligible(const Alphabet& alphabet) {
+  for (Symbol s = 0; s < alphabet.size(); ++s) {
+    const std::string& label = alphabet.LabelOf(s);
+    if (label.size() != 1 || label[0] < 'a' || label[0] > 'z') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::shared_ptr<const MultiQueryPlan> MultiQueryPlan::Compile(
+    const std::vector<BatchQuery>& queries, const Alphabet& alphabet,
+    const MultiQueryOptions& options, PlanCache* cache) {
+  SST_CHECK_MSG(!queries.empty(), "a batch needs at least one query");
+  // The per-query plans come from the PlanCache (the caller's, so batch
+  // compilation shares work with single-query serving; a private one
+  // otherwise): dedup below reuses its canonical key, so the batch sees
+  // through whitespace and textual variants.
+  PlanCache local_cache;
+  PlanCache& plans = cache != nullptr ? *cache : local_cache;
+
+  auto plan = std::shared_ptr<MultiQueryPlan>(new MultiQueryPlan());
+  plan->options_ = options;
+  plan->alphabet_ = alphabet;
+  plan->scanner_tables_ =
+      ScannerTables::Build(options.plan.format, alphabet);
+
+  std::unordered_map<std::string, int> slot_index;
+  plan->slot_of_.reserve(queries.size());
+  for (const BatchQuery& query : queries) {
+    std::string key = PlanCache::CanonicalKey(query.syntax, query.text,
+                                              alphabet, options.plan);
+    auto [it, inserted] =
+        slot_index.emplace(std::move(key), plan->num_slots());
+    if (inserted) {
+      plan->slot_plans_.push_back(plans.GetOrCompile(
+          query.syntax, query.text, alphabet, options.plan));
+    }
+    plan->slot_of_.push_back(it->second);
+  }
+
+  bool all_registerless = true;
+  for (const auto& slot_plan : plan->slot_plans_) {
+    if (!slot_plan->exact() || slot_plan->tag_dfa() == nullptr) {
+      all_registerless = false;
+      break;
+    }
+  }
+  if (!all_registerless) {
+    plan->tier_ = MultiTier::kIndependent;
+    return plan;
+  }
+
+  plan->components_.reserve(plan->slot_plans_.size());
+  for (const auto& slot_plan : plan->slot_plans_) {
+    plan->components_.push_back(slot_plan->tag_dfa());
+  }
+
+  plan->eager_ =
+      BuildTagDfaProduct(plan->components_, options.eager_state_cap);
+  if (plan->eager_.has_value()) {
+    plan->tier_ = MultiTier::kFusedProduct;
+    if (options.plan.format == StreamFormat::kCompactMarkup &&
+        MarkupEligible(alphabet)) {
+      plan->eager_fused_ =
+          std::make_unique<ByteTagDfaRunner>(plan->eager_->dfa, alphabet);
+    }
+  } else {
+    plan->tier_ = MultiTier::kLazyProduct;
+    plan->lazy_ = std::make_unique<LazyTagDfaProduct>(
+        plan->components_, options.lazy_state_cap);
+  }
+  return plan;
+}
+
+std::vector<int64_t> MultiQueryPlan::ExpandCounts(
+    const std::vector<int64_t>& slot_counts) const {
+  SST_CHECK(static_cast<int>(slot_counts.size()) == num_slots());
+  std::vector<int64_t> counts(slot_of_.size());
+  for (size_t i = 0; i < slot_of_.size(); ++i) {
+    counts[i] = slot_counts[static_cast<size_t>(slot_of_[i])];
+  }
+  return counts;
+}
+
+MultiQueryPlan::Stats MultiQueryPlan::stats() const {
+  Stats stats;
+  stats.num_queries = num_queries();
+  stats.num_slots = num_slots();
+  stats.tier = tier_;
+  stats.fused_byte_table = eager_fused_ != nullptr;
+  stats.eager_states = eager_ ? eager_->dfa.num_states : 0;
+  stats.lazy_states = lazy_ ? lazy_->num_states() : 0;
+  stats.lazy_overflowed = lazy_ ? lazy_->overflowed() : false;
+  return stats;
+}
+
+// --- BatchSession --------------------------------------------------------
+
+BatchSession::BatchSession(std::shared_ptr<const MultiQueryPlan> plan)
+    : plan_(std::move(plan)) {
+  if (plan_->tier() == MultiTier::kIndependent) {
+    sessions_.reserve(static_cast<size_t>(plan_->num_slots()));
+    for (const auto& slot_plan : plan_->slot_plans()) {
+      sessions_.push_back(std::make_unique<Session>(slot_plan));
+    }
+    return;
+  }
+  runner_.emplace(plan_->options().plan.format, &plan_->alphabet(),
+                  &plan_->scanner_tables(), plan_->eager(),
+                  plan_->eager_fused(), plan_->lazy());
+}
+
+bool BatchSession::Feed(std::string_view chunk) {
+  if (runner_) return runner_->Feed(chunk);
+  // Lockstep: the scanners are identical, so every session sees the same
+  // events and fails at the same byte; the conjunction is just defensive.
+  bool ok = true;
+  for (auto& session : sessions_) ok = session->Feed(chunk) && ok;
+  return ok;
+}
+
+bool BatchSession::Finish() {
+  if (runner_) return runner_->Finish();
+  bool ok = true;
+  for (auto& session : sessions_) ok = session->Finish() && ok;
+  return ok;
+}
+
+void BatchSession::Reset() {
+  if (runner_) {
+    runner_->Reset();
+    return;
+  }
+  for (auto& session : sessions_) session->Reset();
+}
+
+std::vector<int64_t> BatchSession::query_matches() const {
+  if (runner_) return plan_->ExpandCounts(runner_->query_matches());
+  std::vector<int64_t> slot_counts(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    slot_counts[i] = sessions_[i]->matches();
+  }
+  return plan_->ExpandCounts(slot_counts);
+}
+
+bool BatchSession::failed() const {
+  if (runner_) return runner_->failed();
+  return sessions_.front()->failed();
+}
+
+const StreamError& BatchSession::stream_error() const {
+  if (runner_) return runner_->stream_error();
+  return sessions_.front()->stream_error();
+}
+
+StreamStats BatchSession::stats() const {
+  if (runner_) return runner_->stats();
+  return sessions_.front()->stats();
+}
+
+MultiTier BatchSession::active_tier() const {
+  if (runner_) return runner_->active_tier();
+  return MultiTier::kIndependent;
+}
+
+bool BatchSession::one_scan_eligible() const {
+  if (runner_) return runner_->one_scan_eligible();
+  for (const auto& slot_plan : plan_->slot_plans()) {
+    if (slot_plan->fused() == nullptr) return false;
+  }
+  return true;
+}
+
+std::vector<int64_t> BatchSession::CountSelections(
+    std::string_view bytes) const {
+  if (runner_) return plan_->ExpandCounts(runner_->CountSelections(bytes));
+  SST_CHECK_MSG(one_scan_eligible(),
+                "one-scan counting needs per-slot fused byte tables");
+  std::vector<int64_t> slot_counts(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    slot_counts[i] =
+        plan_->slot_plans()[i]->fused()->CountSelections(bytes);
+  }
+  return plan_->ExpandCounts(slot_counts);
+}
+
+// --- BatchSessionPool ----------------------------------------------------
+
+BatchSessionPool::BatchSessionPool(std::shared_ptr<const MultiQueryPlan> plan,
+                                   size_t max_idle)
+    : plan_(std::move(plan)), max_idle_(max_idle) {}
+
+std::unique_ptr<BatchSession> BatchSessionPool::Acquire() {
+  std::unique_ptr<BatchSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      session = std::move(idle_.back());
+      idle_.pop_back();
+      ++stats_.reused;
+    } else {
+      ++stats_.created;
+    }
+  }
+  if (session == nullptr) return std::make_unique<BatchSession>(plan_);
+  session->Reset();
+  return session;
+}
+
+void BatchSessionPool::Release(std::unique_ptr<BatchSession> session) {
+  if (session == nullptr) return;
+  SST_CHECK(session->plan_ptr() == plan_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(session));
+}
+
+SessionPool::Stats BatchSessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t BatchSessionPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return idle_.size();
+}
+
+}  // namespace sst

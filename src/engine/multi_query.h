@@ -1,0 +1,211 @@
+#ifndef SST_ENGINE_MULTI_QUERY_H_
+#define SST_ENGINE_MULTI_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dra/multi_runner.h"
+#include "engine/plan_cache.h"
+#include "engine/query_plan.h"
+#include "engine/session.h"
+
+namespace sst {
+
+// Multi-query serving: a batch of N queries answered over each document in
+// ONE pass. The batch compiles once into a MultiQueryPlan — per-query
+// plans deduplicated through the PlanCache canonical key, fused into an
+// output-annotated product automaton when every (unique) query is
+// registerless — and any number of concurrent BatchSessions stream
+// documents against it, each emitting all N selection counts.
+
+// One query of a batch, in any supported front-end syntax.
+struct BatchQuery {
+  QuerySyntax syntax = QuerySyntax::kXPath;
+  std::string text;
+};
+
+struct MultiQueryOptions {
+  PlanOptions plan;  // encoding/format, shared by the whole batch
+
+  // Eager product bound: if the full reachable product has more states,
+  // the batch falls back to the lazy product. The eager tier buys the
+  // fused 256-entry byte table (one load per byte for ALL queries), so
+  // the cap trades compile time + table memory for scan speed.
+  int eager_state_cap = 4096;
+
+  // Lazy materialization bound: states beyond it are never interned and
+  // the affected stream demotes to per-query stepping (kIndependent rung)
+  // for the rest of its document.
+  int lazy_state_cap = 1 << 20;
+
+  friend bool operator==(const MultiQueryOptions&,
+                         const MultiQueryOptions&) = default;
+};
+
+// The compile-once half of batch evaluation. Immutable after Compile
+// (the lazy product is internally synchronized — materialization is a
+// cache fill, not a logical mutation), so `shared_ptr<const
+// MultiQueryPlan>` is shared across threads exactly like QueryPlan.
+//
+// The tier ladder, decided at compile time from the batch's verdicts:
+//   kFusedProduct   every unique query registerless and the reachable
+//                   product fit eager_state_cap — plus, on markup-
+//                   eligible alphabets, ONE fused byte table for the
+//                   whole batch;
+//   kLazyProduct    every unique query registerless but the product is
+//                   too big to materialize up front — states appear as
+//                   documents reach them, shared by all sessions;
+//   kIndependent    some query needs registers/stack: one machine per
+//                   unique query, stepped in lockstep.
+class MultiQueryPlan {
+ public:
+  struct Stats {
+    int num_queries = 0;  // batch size as submitted
+    int num_slots = 0;    // unique queries after canonical-key dedup
+    MultiTier tier = MultiTier::kIndependent;
+    bool fused_byte_table = false;  // eager product fused to 256-entry table
+    int eager_states = 0;           // eager product size (fused tier)
+    int lazy_states = 0;            // lazy states materialized so far (live)
+    bool lazy_overflowed = false;   // some stream hit lazy_state_cap
+  };
+
+  // Compiles the batch. Queries are deduplicated by PlanCache canonical
+  // key first, so textual variants of one query cost one bitmask slot and
+  // one DFA; `cache` (optional) additionally shares the per-query plans
+  // with the rest of the server. Never fails: batches outside the product
+  // tiers get kIndependent execution.
+  static std::shared_ptr<const MultiQueryPlan> Compile(
+      const std::vector<BatchQuery>& queries, const Alphabet& alphabet,
+      const MultiQueryOptions& options, PlanCache* cache = nullptr);
+
+  int num_queries() const { return static_cast<int>(slot_of_.size()); }
+  int num_slots() const { return static_cast<int>(slot_plans_.size()); }
+  int slot_of(int query) const { return slot_of_[static_cast<size_t>(query)]; }
+
+  const MultiQueryOptions& options() const { return options_; }
+  const Alphabet& alphabet() const { return alphabet_; }
+  const ScannerTables& scanner_tables() const { return scanner_tables_; }
+
+  // Per-slot compiled plans (index = bitmask bit).
+  const std::vector<std::shared_ptr<const QueryPlan>>& slot_plans() const {
+    return slot_plans_;
+  }
+
+  MultiTier tier() const { return tier_; }
+
+  // Product artifacts; null outside their tier.
+  const TagDfaProduct* eager() const {
+    return eager_ ? &*eager_ : nullptr;
+  }
+  const ByteTagDfaRunner* eager_fused() const { return eager_fused_.get(); }
+  // Internally synchronized; safe to step from any number of sessions.
+  LazyTagDfaProduct* lazy() const { return lazy_.get(); }
+
+  // Expands per-slot counts (product/bitmask order) to per-query counts
+  // (submission order); duplicates of one query report the same count.
+  std::vector<int64_t> ExpandCounts(
+      const std::vector<int64_t>& slot_counts) const;
+
+  Stats stats() const;
+
+ private:
+  MultiQueryPlan() = default;
+
+  MultiQueryOptions options_;
+  Alphabet alphabet_;
+  ScannerTables scanner_tables_;
+
+  std::vector<int> slot_of_;  // query index -> slot
+  std::vector<std::shared_ptr<const QueryPlan>> slot_plans_;
+  std::vector<const TagDfa*> components_;  // borrowed from slot_plans_
+
+  MultiTier tier_ = MultiTier::kIndependent;
+  std::optional<TagDfaProduct> eager_;
+  std::unique_ptr<ByteTagDfaRunner> eager_fused_;
+  std::unique_ptr<LazyTagDfaProduct> lazy_;
+};
+
+// The run-many half: one document stream answering the whole batch.
+// Product tiers hold ONE scanner + product machine (a MultiTagDfaRunner);
+// the independent tier holds one Session per unique query, fed in
+// lockstep. Single-threaded like Session; concurrency comes from many
+// BatchSessions sharing the plan (and, on the lazy tier, the product).
+class BatchSession {
+ public:
+  explicit BatchSession(std::shared_ptr<const MultiQueryPlan> plan);
+
+  BatchSession(const BatchSession&) = delete;
+  BatchSession& operator=(const BatchSession&) = delete;
+
+  const MultiQueryPlan& plan() const { return *plan_; }
+  const std::shared_ptr<const MultiQueryPlan>& plan_ptr() const {
+    return plan_;
+  }
+
+  // Streaming interface (StreamingSelector semantics; fail-fast parity
+  // with independent per-query sessions over the same bytes).
+  bool Feed(std::string_view chunk);
+  bool Finish();
+  void Reset();
+
+  // Selection counts per submitted query, in submission order.
+  std::vector<int64_t> query_matches() const;
+
+  bool failed() const;
+  const StreamError& stream_error() const;
+  StreamStats stats() const;
+
+  // The rung actually executing for THIS stream (a lazy-product session
+  // demotes to kIndependent when materialization hits the state cap).
+  MultiTier active_tier() const;
+
+  // One-scan whole-document counting (compact markup, single-letter
+  // labels): per-query counts via the fused product byte table / lazy
+  // product / per-slot fused tables, without touching this session's
+  // streaming state.
+  bool one_scan_eligible() const;
+  std::vector<int64_t> CountSelections(std::string_view bytes) const;
+
+  // Product-tier runner for direct access (benchmarks, validated runs);
+  // null on the independent tier.
+  MultiTagDfaRunner* runner() { return runner_ ? &*runner_ : nullptr; }
+  const MultiTagDfaRunner* runner() const {
+    return runner_ ? &*runner_ : nullptr;
+  }
+
+ private:
+  std::shared_ptr<const MultiQueryPlan> plan_;
+  std::optional<MultiTagDfaRunner> runner_;          // product tiers
+  std::vector<std::unique_ptr<Session>> sessions_;   // independent tier
+};
+
+// Bounded free-list of idle BatchSessions over one shared plan; the batch
+// analogue of SessionPool (acquire = free-list pop + Reset).
+class BatchSessionPool {
+ public:
+  explicit BatchSessionPool(std::shared_ptr<const MultiQueryPlan> plan,
+                            size_t max_idle = 64);
+
+  std::unique_ptr<BatchSession> Acquire();
+  void Release(std::unique_ptr<BatchSession> session);
+
+  const std::shared_ptr<const MultiQueryPlan>& plan() const { return plan_; }
+  SessionPool::Stats stats() const;
+  size_t idle() const;
+
+ private:
+  std::shared_ptr<const MultiQueryPlan> plan_;
+  size_t max_idle_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<BatchSession>> idle_;
+  SessionPool::Stats stats_;
+};
+
+}  // namespace sst
+
+#endif  // SST_ENGINE_MULTI_QUERY_H_

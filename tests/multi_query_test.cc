@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "base/rng.h"
+#include "dra/stream_error.h"
+#include "engine/multi_query.h"
+#include "engine/plan_cache.h"
+#include "engine/session.h"
+#include "test_util.h"
+#include "testing/fault_injection.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+std::vector<BatchQuery> XPathBatch(std::initializer_list<const char*> texts) {
+  std::vector<BatchQuery> batch;
+  for (const char* text : texts) {
+    batch.push_back(BatchQuery{QuerySyntax::kXPath, text});
+  }
+  return batch;
+}
+
+// A registerless batch over {a, b, c} (verified where a test's tier
+// assertion depends on it).
+std::vector<BatchQuery> RegisterlessBatch() {
+  return XPathBatch({"/a//b", "/a//c", "/b//a", "/c//b"});
+}
+
+struct BatchRunRecord {
+  bool ok = false;
+  std::vector<int64_t> matches;
+  StreamErrorCode error_code = StreamErrorCode::kNone;
+  int64_t error_offset = -1;
+
+  friend bool operator==(const BatchRunRecord&, const BatchRunRecord&) =
+      default;
+};
+
+BatchRunRecord DriveBatch(BatchSession* session, const std::string& text,
+                          size_t chunk_size) {
+  session->Reset();
+  BatchRunRecord record;
+  record.ok = true;
+  for (size_t i = 0; i < text.size() && record.ok; i += chunk_size) {
+    record.ok = session->Feed(std::string_view(text).substr(i, chunk_size));
+  }
+  if (record.ok) record.ok = session->Finish();
+  record.matches = session->query_matches();
+  record.error_code = session->stream_error().code;
+  record.error_offset = session->stream_error().offset;
+  return record;
+}
+
+// The independent reference: one Session per query (each a plain
+// StreamingSelector over that query's plan), driven with the same
+// chunking.
+BatchRunRecord DriveIndependent(const std::vector<Session*>& sessions,
+                                const std::string& text, size_t chunk_size) {
+  BatchRunRecord record;
+  record.ok = true;
+  for (Session* session : sessions) {
+    session->Reset();
+    bool ok = true;
+    for (size_t i = 0; i < text.size() && ok; i += chunk_size) {
+      ok = session->Feed(std::string_view(text).substr(i, chunk_size));
+    }
+    if (ok) ok = session->Finish();
+    record.ok = record.ok && ok;
+    record.matches.push_back(session->matches());
+  }
+  record.error_code = sessions.front()->stream_error().code;
+  record.error_offset = sessions.front()->stream_error().offset;
+  return record;
+}
+
+TEST(MultiQueryPlan, DedupsEquivalentQueriesThroughCanonicalKeys) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  PlanCache cache;
+  auto plan = MultiQueryPlan::Compile(
+      XPathBatch({"/a//b", " /a //b ", "//c", "/a//b"}), alphabet,
+      MultiQueryOptions{}, &cache);
+  EXPECT_EQ(plan->num_queries(), 4);
+  EXPECT_EQ(plan->num_slots(), 2);
+  EXPECT_EQ(plan->slot_of(0), plan->slot_of(1));
+  EXPECT_EQ(plan->slot_of(0), plan->slot_of(3));
+  EXPECT_NE(plan->slot_of(0), plan->slot_of(2));
+  // Dedup happens on the canonical key BEFORE the cache lookup: exactly
+  // one compilation per unique query, duplicates never touch the cache.
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+
+  // Duplicates answer identically through the expansion.
+  std::vector<int64_t> slot_counts = {7, 9};
+  EXPECT_EQ(plan->ExpandCounts(slot_counts),
+            (std::vector<int64_t>{7, 7, 9, 7}));
+}
+
+TEST(MultiQueryPlan, TierSelectionFollowsBatchVerdicts) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+
+  auto fused = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                       MultiQueryOptions{});
+  EXPECT_EQ(fused->tier(), MultiTier::kFusedProduct);
+  ASSERT_NE(fused->eager(), nullptr);
+  EXPECT_NE(fused->eager_fused(), nullptr);
+  EXPECT_EQ(fused->lazy(), nullptr);
+  EXPECT_GT(fused->stats().eager_states, 0);
+  EXPECT_TRUE(fused->stats().fused_byte_table);
+
+  MultiQueryOptions lazy_options;
+  lazy_options.eager_state_cap = 1;
+  auto lazy = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                      lazy_options);
+  EXPECT_EQ(lazy->tier(), MultiTier::kLazyProduct);
+  EXPECT_EQ(lazy->eager(), nullptr);
+  ASSERT_NE(lazy->lazy(), nullptr);
+
+  // A stackless query in the batch rules the product tiers out.
+  auto mixed = MultiQueryPlan::Compile(XPathBatch({"/a//b", "/a/b"}),
+                                       alphabet, MultiQueryOptions{});
+  EXPECT_EQ(mixed->tier(), MultiTier::kIndependent);
+  EXPECT_EQ(mixed->eager(), nullptr);
+  EXPECT_EQ(mixed->lazy(), nullptr);
+}
+
+// Satellite property test: 30 random trees × {markup, xml-lite, term} ×
+// chunk splits {1, 3, 16} — BatchSession per-query results byte-identical
+// to N independent StreamingSelector runs.
+TEST(BatchSession, ParityAcrossFormatsAndChunkings) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(71);
+  std::vector<Tree> trees = testing::SampleTrees(30, 3, &rng);
+
+  struct FormatCase {
+    const char* name;
+    StreamEncoding encoding;
+    StreamFormat format;
+  };
+  const FormatCase kFormats[] = {
+      {"markup", StreamEncoding::kMarkup, StreamFormat::kCompactMarkup},
+      {"xml-lite", StreamEncoding::kMarkup, StreamFormat::kXmlLite},
+      {"term", StreamEncoding::kTerm, StreamFormat::kCompactTerm},
+  };
+  for (const FormatCase& format_case : kFormats) {
+    MultiQueryOptions options;
+    options.plan.encoding = format_case.encoding;
+    options.plan.format = format_case.format;
+    auto plan = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                        options);
+    BatchSession batch(plan);
+
+    std::vector<std::unique_ptr<Session>> independent;
+    std::vector<Session*> independent_ptrs;
+    for (const auto& slot_plan : plan->slot_plans()) {
+      independent.push_back(std::make_unique<Session>(slot_plan));
+      independent_ptrs.push_back(independent.back().get());
+    }
+    ASSERT_EQ(independent.size(), 4u) << format_case.name;
+
+    for (const Tree& tree : trees) {
+      EventStream events = Encode(tree);
+      std::string text;
+      switch (format_case.format) {
+        case StreamFormat::kCompactMarkup:
+          text = ToCompactMarkup(alphabet, events);
+          break;
+        case StreamFormat::kXmlLite:
+          text = ToXmlLite(alphabet, events);
+          break;
+        case StreamFormat::kCompactTerm:
+          text = ToCompactTerm(alphabet, events);
+          break;
+      }
+      for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}}) {
+        BatchRunRecord fused = DriveBatch(&batch, text, chunk);
+        BatchRunRecord reference =
+            DriveIndependent(independent_ptrs, text, chunk);
+        EXPECT_EQ(fused, reference)
+            << format_case.name << " chunk " << chunk << ": " << text;
+      }
+    }
+  }
+}
+
+TEST(BatchSession, FaultedInputsFirstErrorParity) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                      MultiQueryOptions{});
+  ASSERT_EQ(plan->tier(), MultiTier::kFusedProduct);
+  BatchSession batch(plan);
+
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+
+  Rng rng(83);
+  FaultInjector injector(83);
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      std::string mutated = doc;
+      injector.Apply(static_cast<FaultKind>(kind), &mutated);
+      for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}}) {
+        BatchRunRecord fused = DriveBatch(&batch, mutated, chunk);
+        BatchRunRecord reference =
+            DriveIndependent(independent_ptrs, mutated, chunk);
+        EXPECT_EQ(fused, reference)
+            << FaultKindName(static_cast<FaultKind>(kind)) << " chunk "
+            << chunk << ": " << mutated;
+      }
+    }
+  }
+}
+
+TEST(BatchSession, IndependentTierMatchesReferenceToo) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  // "/a/b" is stackless, "//a/b" needs the stack baseline: the batch runs
+  // on the independent tier but must behave exactly the same.
+  auto plan = MultiQueryPlan::Compile(
+      XPathBatch({"/a//b", "/a/b", "//a/b"}), alphabet, MultiQueryOptions{});
+  ASSERT_EQ(plan->tier(), MultiTier::kIndependent);
+  BatchSession batch(plan);
+  EXPECT_EQ(batch.active_tier(), MultiTier::kIndependent);
+  EXPECT_EQ(batch.runner(), nullptr);
+
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+
+  Rng rng(89);
+  for (const Tree& tree : testing::SampleTrees(20, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    for (size_t chunk : {size_t{1}, size_t{16}}) {
+      EXPECT_EQ(DriveBatch(&batch, doc, chunk),
+                DriveIndependent(independent_ptrs, doc, chunk));
+    }
+  }
+}
+
+TEST(BatchSession, LazyTierAndWideDemotionKeepParity) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  MultiQueryOptions lazy_options;
+  lazy_options.eager_state_cap = 1;  // force the lazy tier
+  lazy_options.lazy_state_cap = 2;   // ...and mid-stream wide demotion
+  auto plan = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                      lazy_options);
+  ASSERT_EQ(plan->tier(), MultiTier::kLazyProduct);
+  BatchSession batch(plan);
+
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+
+  Rng rng(97);
+  bool saw_demotion = false;
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    for (size_t chunk : {size_t{1}, size_t{7}}) {
+      EXPECT_EQ(DriveBatch(&batch, doc, chunk),
+                DriveIndependent(independent_ptrs, doc, chunk))
+          << doc;
+      saw_demotion |= batch.active_tier() == MultiTier::kIndependent;
+    }
+  }
+  EXPECT_TRUE(saw_demotion);
+  EXPECT_TRUE(plan->stats().lazy_overflowed);
+  EXPECT_LE(plan->stats().lazy_states, 2);
+}
+
+TEST(BatchSession, OneScanCountsMatchStreaming) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(
+      XPathBatch({"/a//b", " /a //b ", "/b//a", "/c//b"}), alphabet,
+      MultiQueryOptions{});
+  ASSERT_EQ(plan->tier(), MultiTier::kFusedProduct);
+  BatchSession batch(plan);
+  ASSERT_TRUE(batch.one_scan_eligible());
+
+  Rng rng(101);
+  for (const Tree& tree : testing::SampleTrees(20, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    BatchRunRecord streamed = DriveBatch(&batch, doc, 16);
+    ASSERT_TRUE(streamed.ok);
+    EXPECT_EQ(batch.CountSelections(doc), streamed.matches) << doc;
+  }
+}
+
+TEST(BatchSession, ConcurrentSessionsShareOneLazyPlan) {
+  constexpr int kThreads = 8;
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  MultiQueryOptions lazy_options;
+  lazy_options.eager_state_cap = 1;
+  auto plan = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                      lazy_options);
+  ASSERT_EQ(plan->tier(), MultiTier::kLazyProduct);
+
+  Rng rng(103);
+  std::vector<std::string> documents;
+  for (const Tree& tree : testing::SampleTrees(40, 3, &rng)) {
+    documents.push_back(ToCompactMarkup(alphabet, Encode(tree)));
+  }
+  documents.push_back("abBAabA");  // truncated
+  documents.push_back("abXBA");    // unknown label
+
+  // Sequential reference over independent per-query sessions.
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+  std::vector<std::vector<BatchRunRecord>> expected(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (const std::string& doc : documents) {
+      expected[t].push_back(DriveIndependent(independent_ptrs, doc,
+                                             static_cast<size_t>(t) + 1));
+    }
+  }
+
+  std::vector<std::vector<BatchRunRecord>> concurrent(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      BatchSession session(plan);
+      for (const std::string& doc : documents) {
+        concurrent[t].push_back(
+            DriveBatch(&session, doc, static_cast<size_t>(t) + 1));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(concurrent[t], expected[t]) << "thread " << t;
+  }
+}
+
+TEST(BatchSessionPool, ReusesSessionsAcrossAcquires) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(RegisterlessBatch(), alphabet,
+                                      MultiQueryOptions{});
+  BatchSessionPool pool(plan, /*max_idle=*/2);
+
+  std::string doc = "abBA";
+  auto first = pool.Acquire();
+  ASSERT_TRUE(first->Feed(doc) && first->Finish());
+  std::vector<int64_t> counts = first->query_matches();
+  pool.Release(std::move(first));
+  EXPECT_EQ(pool.idle(), 1u);
+
+  auto second = pool.Acquire();
+  EXPECT_EQ(pool.stats().reused, 1);
+  EXPECT_EQ(pool.stats().created, 1);
+  // Reset-on-acquire: counts start from zero again.
+  ASSERT_TRUE(second->Feed(doc) && second->Finish());
+  EXPECT_EQ(second->query_matches(), counts);
+  pool.Release(std::move(second));
+}
+
+}  // namespace
+}  // namespace sst

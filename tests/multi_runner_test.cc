@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/product.h"
+#include "automata/selection_mask.h"
+#include "base/rng.h"
+#include "dra/multi_runner.h"
+#include "dra/stream_error.h"
+#include "engine/query_plan.h"
+#include "engine/session.h"
+#include "query/rpq.h"
+#include "test_util.h"
+#include "testing/fault_injection.h"
+#include "trees/encoding.h"
+
+namespace sst {
+namespace {
+
+std::shared_ptr<const QueryPlan> CompileXPath(const std::string& xpath,
+                                              const Alphabet& alphabet,
+                                              PlanOptions options = {}) {
+  return QueryPlan::Compile(Rpq::FromXPath(xpath, alphabet), options);
+}
+
+// Registerless plans over {a, b, c}: the candidates every other test draws
+// its batches from. Filtered by verdict so the suite never depends on the
+// exact classification of any one query shape.
+std::vector<std::shared_ptr<const QueryPlan>> RegisterlessPlans(
+    const Alphabet& alphabet) {
+  std::vector<std::shared_ptr<const QueryPlan>> plans;
+  for (const char* xpath :
+       {"/a//b", "/a//c", "/b//a", "/b//c", "/c//a", "/c//b", "/a", "/b"}) {
+    auto plan = CompileXPath(xpath, alphabet);
+    if (plan->kind() == EvaluatorKind::kRegisterless &&
+        plan->tag_dfa() != nullptr && plan->fused() != nullptr) {
+      plans.push_back(std::move(plan));
+    }
+  }
+  return plans;
+}
+
+std::vector<const TagDfa*> Components(
+    const std::vector<std::shared_ptr<const QueryPlan>>& plans) {
+  std::vector<const TagDfa*> components;
+  for (const auto& plan : plans) components.push_back(plan->tag_dfa());
+  return components;
+}
+
+std::vector<std::string> MarkupDocuments(const Alphabet& alphabet, int count,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> documents;
+  for (const Tree& tree : testing::SampleTrees(count, alphabet.size(), &rng)) {
+    documents.push_back(ToCompactMarkup(alphabet, Encode(tree)));
+  }
+  return documents;
+}
+
+TEST(SelectionMask, NarrowBasics) {
+  SelectionMask mask(8);
+  EXPECT_FALSE(mask.Any());
+  EXPECT_EQ(mask.Count(), 0);
+  mask.Set(0);
+  mask.Set(5);
+  EXPECT_TRUE(mask.Any());
+  EXPECT_TRUE(mask.Test(0));
+  EXPECT_FALSE(mask.Test(1));
+  EXPECT_TRUE(mask.Test(5));
+  EXPECT_EQ(mask.Count(), 2);
+  EXPECT_TRUE(mask.narrow());
+  EXPECT_EQ(mask.word(), (uint64_t{1} << 0) | (uint64_t{1} << 5));
+
+  int64_t counts[8] = {0};
+  mask.AccumulateInto(counts);
+  mask.AccumulateInto(counts);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[5], 2);
+  EXPECT_EQ(counts[1], 0);
+}
+
+TEST(SelectionMask, WideBatches) {
+  SelectionMask mask(130);
+  EXPECT_FALSE(mask.narrow());
+  mask.Set(3);
+  mask.Set(64);
+  mask.Set(129);
+  EXPECT_TRUE(mask.Test(3));
+  EXPECT_TRUE(mask.Test(64));
+  EXPECT_TRUE(mask.Test(129));
+  EXPECT_FALSE(mask.Test(63));
+  EXPECT_FALSE(mask.Test(128));
+  EXPECT_EQ(mask.Count(), 3);
+  EXPECT_TRUE(mask.Any());
+
+  std::vector<int64_t> counts(130, 0);
+  mask.AccumulateInto(counts.data());
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(counts[64], 1);
+  EXPECT_EQ(counts[129], 1);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, 3);
+
+  SelectionMask other(130);
+  other.Set(3);
+  other.Set(64);
+  other.Set(129);
+  EXPECT_EQ(mask, other);
+  other.Set(70);
+  EXPECT_NE(mask, other);
+}
+
+TEST(TagDfaProduct, EagerCountsMatchComponentsOnRandomTrees) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  auto product = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(product.has_value());
+  EXPECT_EQ(product->arity, static_cast<int>(plans.size()));
+  EXPECT_TRUE(product->narrow);
+
+  MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet,
+                           /*tables=*/nullptr, &*product,
+                           /*eager_fused=*/nullptr, /*lazy=*/nullptr);
+  ASSERT_TRUE(runner.one_scan_eligible());
+  EXPECT_EQ(runner.tier(), MultiTier::kFusedProduct);
+  for (const std::string& doc : MarkupDocuments(alphabet, 30, 17)) {
+    std::vector<int64_t> counts = runner.CountSelections(doc);
+    ASSERT_EQ(counts.size(), plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      EXPECT_EQ(counts[i], plans[i]->fused()->CountSelections(doc)) << doc;
+    }
+  }
+}
+
+TEST(TagDfaProduct, EagerFusedByteTableMatchesTableFreeWalk) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 2u);
+  auto product = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(product.has_value());
+  ByteTagDfaRunner fused(product->dfa, alphabet);
+
+  MultiTagDfaRunner with_table(StreamFormat::kCompactMarkup, &alphabet,
+                               nullptr, &*product, &fused, nullptr);
+  MultiTagDfaRunner without_table(StreamFormat::kCompactMarkup, &alphabet,
+                                  nullptr, &*product, nullptr, nullptr);
+  for (const std::string& doc : MarkupDocuments(alphabet, 20, 23)) {
+    EXPECT_EQ(with_table.CountSelections(doc),
+              without_table.CountSelections(doc));
+  }
+  // Junk bytes self-loop in the fused table; both paths must agree there
+  // too (unknown lowercase letters still sample acceptance).
+  for (const char* doc : {"a zb BA", "aq b BA", "a!bB?A"}) {
+    EXPECT_EQ(with_table.CountSelections(doc),
+              without_table.CountSelections(doc))
+        << doc;
+  }
+}
+
+TEST(TagDfaProduct, EagerRespectsStateCap) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 2u);
+  EXPECT_FALSE(BuildTagDfaProduct(Components(plans), 1).has_value());
+  EXPECT_TRUE(BuildTagDfaProduct(Components(plans), 1 << 16).has_value());
+}
+
+TEST(LazyProduct, MatchesEagerOnRandomTrees) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  auto eager = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(eager.has_value());
+  LazyTagDfaProduct lazy(Components(plans), 1 << 16);
+
+  MultiTagDfaRunner eager_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                 nullptr, &*eager, nullptr, nullptr);
+  MultiTagDfaRunner lazy_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                nullptr, nullptr, nullptr, &lazy);
+  EXPECT_EQ(lazy_runner.tier(), MultiTier::kLazyProduct);
+  for (const std::string& doc : MarkupDocuments(alphabet, 30, 31)) {
+    EXPECT_EQ(eager_runner.CountSelections(doc),
+              lazy_runner.CountSelections(doc))
+        << doc;
+  }
+  // Only reached states materialized, and never more than the full product.
+  EXPECT_GT(lazy.num_states(), 0);
+  EXPECT_LE(lazy.num_states(), eager->dfa.num_states);
+  EXPECT_FALSE(lazy.overflowed());
+}
+
+TEST(LazyProduct, OverflowDemotesToWideModeWithIdenticalCounts) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  auto eager = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(eager.has_value());
+  ASSERT_GT(eager->dfa.num_states, 2);
+
+  // A cap below the reachable product forces mid-stream demotion.
+  LazyTagDfaProduct lazy(Components(plans), 2);
+  MultiTagDfaRunner eager_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                 nullptr, &*eager, nullptr, nullptr);
+  MultiTagDfaRunner lazy_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                nullptr, nullptr, nullptr, &lazy);
+  for (const std::string& doc : MarkupDocuments(alphabet, 30, 37)) {
+    EXPECT_EQ(eager_runner.CountSelections(doc),
+              lazy_runner.CountSelections(doc))
+        << doc;
+  }
+  EXPECT_TRUE(lazy.overflowed());
+  EXPECT_LE(lazy.num_states(), 2);
+
+  // The chunked front-end latches wide mode per stream and reports it.
+  std::string doc = MarkupDocuments(alphabet, 1, 41).front();
+  ASSERT_TRUE(lazy_runner.Feed(doc) && lazy_runner.Finish());
+  EXPECT_EQ(lazy_runner.active_tier(), MultiTier::kIndependent);
+  lazy_runner.Reset();
+  EXPECT_EQ(lazy_runner.active_tier(), MultiTier::kLazyProduct);
+}
+
+TEST(MultiTagDfaRunner, ChunkedFeedMatchesIndependentSelectors) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  auto eager = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(eager.has_value());
+  MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet, nullptr,
+                           &*eager, nullptr, nullptr);
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (const auto& plan : plans) {
+    sessions.push_back(std::make_unique<Session>(plan));
+  }
+
+  for (const std::string& doc : MarkupDocuments(alphabet, 30, 43)) {
+    for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}}) {
+      runner.Reset();
+      bool ok = true;
+      for (size_t i = 0; i < doc.size() && ok; i += chunk) {
+        ok = runner.Feed(std::string_view(doc).substr(i, chunk));
+      }
+      if (ok) ok = runner.Finish();
+      ASSERT_TRUE(ok) << doc;
+      for (size_t q = 0; q < plans.size(); ++q) {
+        sessions[q]->Reset();
+        bool session_ok = true;
+        for (size_t i = 0; i < doc.size() && session_ok; i += chunk) {
+          session_ok =
+              sessions[q]->Feed(std::string_view(doc).substr(i, chunk));
+        }
+        ASSERT_TRUE(session_ok && sessions[q]->Finish());
+        EXPECT_EQ(runner.query_matches()[q], sessions[q]->matches())
+            << "query " << q << " chunk " << chunk << " doc " << doc;
+      }
+    }
+  }
+}
+
+TEST(MultiTagDfaRunner, RunValidatedParityOnFaultedInputs) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  auto eager = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(eager.has_value());
+  ByteTagDfaRunner fused(eager->dfa, alphabet);
+  LazyTagDfaProduct lazy(Components(plans), 1 << 16);
+  MultiTagDfaRunner eager_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                 nullptr, &*eager, &fused, nullptr);
+  MultiTagDfaRunner lazy_runner(StreamFormat::kCompactMarkup, &alphabet,
+                                nullptr, nullptr, nullptr, &lazy);
+
+  FaultInjector injector(59);
+  std::vector<std::string> documents = MarkupDocuments(alphabet, 30, 59);
+  std::vector<std::string> faulted;
+  for (const std::string& doc : documents) {
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      std::string mutated = doc;
+      injector.Apply(static_cast<FaultKind>(kind), &mutated);
+      faulted.push_back(std::move(mutated));
+    }
+  }
+  documents.insert(documents.end(), faulted.begin(), faulted.end());
+
+  StreamLimits tight;
+  tight.max_depth = 5;
+  tight.max_events = 40;
+  for (const StreamLimits& limits : {StreamLimits{}, tight}) {
+    for (const std::string& doc : documents) {
+      MultiValidatedRun multi = eager_runner.RunValidated(doc, limits);
+      MultiValidatedRun via_lazy = lazy_runner.RunValidated(doc, limits);
+      ASSERT_EQ(multi.matches.size(), plans.size());
+      EXPECT_EQ(multi.error, via_lazy.error) << doc;
+      EXPECT_EQ(multi.matches, via_lazy.matches) << doc;
+      for (size_t q = 0; q < plans.size(); ++q) {
+        ValidatedRun single = plans[q]->fused()->RunValidated(doc, limits);
+        EXPECT_EQ(multi.error, single.error) << "query " << q << ": " << doc;
+        EXPECT_EQ(multi.matches[q], single.matches)
+            << "query " << q << ": " << doc;
+        EXPECT_EQ(multi.nodes, single.nodes) << doc;
+        EXPECT_EQ(multi.events, single.events) << doc;
+        EXPECT_EQ(multi.max_depth, single.max_depth) << doc;
+      }
+    }
+  }
+}
+
+TEST(MultiTagDfaRunner, WideBatchesBeyond64Queries) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto base = RegisterlessPlans(alphabet);
+  ASSERT_GE(base.size(), 4u);
+  // 70 queries cycling the base set: duplicated components stay in
+  // lockstep, so the product stays small while the masks go wide.
+  std::vector<std::shared_ptr<const QueryPlan>> plans;
+  for (int i = 0; i < 70; ++i) plans.push_back(base[i % base.size()]);
+  auto product = BuildTagDfaProduct(Components(plans), 1 << 16);
+  ASSERT_TRUE(product.has_value());
+  EXPECT_EQ(product->arity, 70);
+  EXPECT_FALSE(product->narrow);
+
+  MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet, nullptr,
+                           &*product, nullptr, nullptr);
+  for (const std::string& doc : MarkupDocuments(alphabet, 10, 61)) {
+    std::vector<int64_t> counts = runner.CountSelections(doc);
+    ASSERT_EQ(counts.size(), 70u);
+    for (size_t q = 0; q < counts.size(); ++q) {
+      EXPECT_EQ(counts[q],
+                plans[q]->fused()->CountSelections(doc))
+          << "query " << q << ": " << doc;
+    }
+  }
+}
+
+TEST(MultiTagDfaRunner, ConcurrentStreamsShareOneLazyProduct) {
+  constexpr int kThreads = 8;
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  LazyTagDfaProduct lazy(Components(plans), 1 << 16);
+  std::vector<std::string> documents = MarkupDocuments(alphabet, 40, 67);
+
+  // Per-query reference from the independent fused runners.
+  std::vector<std::vector<int64_t>> expected;
+  for (const std::string& doc : documents) {
+    std::vector<int64_t> counts;
+    for (const auto& plan : plans) {
+      counts.push_back(plan->fused()->CountSelections(doc));
+    }
+    expected.push_back(std::move(counts));
+  }
+
+  // Every thread streams the whole corpus, racing to materialize product
+  // states; each must still see exact per-query counts.
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet,
+                               nullptr, nullptr, nullptr, &lazy);
+      size_t chunk = static_cast<size_t>(t) + 1;
+      for (size_t d = 0; d < documents.size(); ++d) {
+        const std::string& doc = documents[d];
+        runner.Reset();
+        bool ok = true;
+        for (size_t i = 0; i < doc.size() && ok; i += chunk) {
+          ok = runner.Feed(std::string_view(doc).substr(i, chunk));
+        }
+        if (!(ok && runner.Finish()) ||
+            runner.query_matches() != expected[d]) {
+          ++mismatches[static_cast<size_t>(t)];
+        }
+        if (runner.CountSelections(doc) != expected[d]) {
+          ++mismatches[static_cast<size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+  EXPECT_FALSE(lazy.overflowed());
+}
+
+}  // namespace
+}  // namespace sst
