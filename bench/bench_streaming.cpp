@@ -803,6 +803,189 @@ BENCHMARK(BM_MultiQueryEagerScan)->Arg(2)->Arg(8)->Arg(32);
 BENCHMARK(BM_MultiQueryLazyScan)->Arg(2)->Arg(8)->Arg(32);
 BENCHMARK(BM_MultiQueryIndependentScan)->Arg(2)->Arg(8)->Arg(32);
 
+// --- Stackless fused tier: Lemma 3.8 at byte-table speed ----------------
+// Whitespace-padded compact markup over {a, b, c}: pretty-printed with a
+// newline and two spaces of indentation per depth level, so the corpus is
+// mostly padding both fused tiers bulk-skip with the SWAR/SIMD kernel
+// before resolving each tag from a flat byte table. The registerless
+// fused scan on the SAME corpus is the yardstick — the acceptance bar is
+// stackless fused within 1.5x of it. The interpreter rows show what the
+// materialize+fuse rung buys over per-event virtual dispatch with live
+// register compares.
+
+const std::string& PaddedMarkupBytes() {
+  static const std::string* cached = [] {
+    Alphabet alphabet = Alphabet::FromLetters("abc");
+    EventStream events = Encode(
+        bench::MakeDocument(bench::DocShape::kMixed, 1 << 17, 3, 42));
+    auto* out = new std::string();
+    int depth = 0;
+    for (const TagEvent& event : events) {
+      if (!event.open) --depth;
+      out->append(1, '\n');
+      out->append(static_cast<size_t>(depth) * 2, ' ');
+      char letter = alphabet.LabelOf(event.symbol)[0];
+      out->push_back(event.open ? letter
+                                : static_cast<char>(letter - 'a' + 'A'));
+      if (event.open) ++depth;
+    }
+    return out;
+  }();
+  return *cached;
+}
+
+std::shared_ptr<const QueryPlan> StacklessFusedPlan() {
+  auto plan = QueryPlan::Compile(
+      Rpq::FromXPath("/a/b", Alphabet::FromLetters("abc")), PlanOptions{});
+  SST_CHECK(plan->kind() == EvaluatorKind::kStackless);
+  SST_CHECK(plan->fused_dra() != nullptr);
+  return plan;
+}
+
+// Registerless yardstick on the same corpus (whole-document fused scan).
+void BM_RegisterlessFusedScanPadded(benchmark::State& state) {
+  auto plan = QueryPlan::Compile(
+      Rpq::FromXPath("/a//b", Alphabet::FromLetters("abc")), PlanOptions{});
+  SST_CHECK(plan->fused() != nullptr);
+  const std::string& bytes = PaddedMarkupBytes();
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = plan->fused()->CountSelections(bytes);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel("registerless/fused-scan/markup-pad");
+}
+
+// Stackless fused whole-document scan: depth + registers + 3^r code
+// resolved inside the byte loop.
+void BM_StacklessFusedScan(benchmark::State& state) {
+  auto plan = StacklessFusedPlan();
+  const std::string& bytes = PaddedMarkupBytes();
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = plan->fused_dra()->CountSelections(bytes);
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["registers"] =
+      static_cast<double>(plan->fused_dra()->num_registers());
+  state.counters["dra_states"] =
+      static_cast<double>(plan->fused_dra()->num_states());
+  state.SetLabel("stackless/fused-scan/markup-pad");
+}
+
+// The same plan through the chunked front-end on the kFusedDraTable rung.
+void BM_StacklessFusedStreaming(benchmark::State& state) {
+  Session session(StacklessFusedPlan());
+  SST_CHECK(session.selector().active_tier() ==
+            StreamingSelector::Tier::kFusedDraTable);
+  const std::string& bytes = PaddedMarkupBytes();
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = DriveChunked(session, bytes, 65536);
+    benchmark::DoNotOptimize(matches);
+  }
+  SST_CHECK(matches >= 0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel("stackless/fused-streaming/markup-pad");
+}
+
+// Generic-tier baseline: the same materialized DRA stepped through the
+// virtual machine interface (no fused table), chunked like above.
+void BM_StacklessInterpreterStreaming(benchmark::State& state) {
+  auto plan = StacklessFusedPlan();
+  std::unique_ptr<StreamMachine> machine = plan->NewMachine();
+  StreamingSelector selector(machine.get(), Format::kCompactMarkup,
+                             &plan->alphabet(), &plan->scanner_tables(),
+                             /*fused=*/nullptr, /*fused_dra=*/nullptr);
+  SST_CHECK(selector.active_tier() ==
+            StreamingSelector::Tier::kGenericMachine);
+  const std::string& bytes = PaddedMarkupBytes();
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = DriveChunked(selector, bytes, 65536);
+    benchmark::DoNotOptimize(matches);
+  }
+  SST_CHECK(matches >= 0);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel("stackless/generic-streaming/markup-pad");
+}
+
+BENCHMARK(BM_RegisterlessFusedScanPadded);
+BENCHMARK(BM_StacklessFusedScan);
+BENCHMARK(BM_StacklessFusedStreaming);
+BENCHMARK(BM_StacklessInterpreterStreaming);
+
+// Mixed multi-query batch: registerless members on the eager sub-product,
+// stackless members stepping their fused DRAs, all in ONE scan — vs the
+// same batch answered by per-member fused scans.
+
+std::vector<BatchQuery> MixedBatch() {
+  std::vector<BatchQuery> batch;
+  for (const char* text : {"/a//b", "/c//b", "/a/b", "/b/*//c"}) {
+    batch.push_back(BatchQuery{QuerySyntax::kXPath, text});
+  }
+  return batch;
+}
+
+void BM_StacklessFusedMixedBatchScan(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(MixedBatch(), alphabet,
+                                      MultiQueryOptions{});
+  SST_CHECK(plan->tier() == MultiTier::kMixed);
+  BatchSession session(plan);
+  SST_CHECK(session.one_scan_eligible());
+  const std::string& bytes = PaddedMarkupBytes();
+  std::vector<int64_t> counts;
+  for (auto _ : state) {
+    counts = session.CountSelections(bytes);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = static_cast<double>(counts.size());
+  state.counters["stackless_members"] =
+      static_cast<double>(plan->stats().stackless_members);
+  state.SetLabel("stackless/mixed-batch-scan/markup-pad");
+}
+
+void BM_StacklessFusedMixedBatchIndependent(benchmark::State& state) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  std::vector<std::shared_ptr<const QueryPlan>> plans;
+  for (const BatchQuery& query : MixedBatch()) {
+    plans.push_back(QueryPlan::Compile(
+        Rpq::FromXPath(query.text, alphabet), PlanOptions{}));
+    SST_CHECK(plans.back()->fused() != nullptr ||
+              plans.back()->fused_dra() != nullptr);
+  }
+  const std::string& bytes = PaddedMarkupBytes();
+  std::vector<int64_t> counts(plans.size(), 0);
+  for (auto _ : state) {
+    for (size_t q = 0; q < plans.size(); ++q) {
+      counts[q] = plans[q]->fused() != nullptr
+                      ? plans[q]->fused()->CountSelections(bytes)
+                      : plans[q]->fused_dra()->CountSelections(bytes);
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["queries"] = static_cast<double>(plans.size());
+  state.SetLabel("stackless/mixed-batch-independent/markup-pad");
+}
+
+BENCHMARK(BM_StacklessFusedMixedBatchScan);
+BENCHMARK(BM_StacklessFusedMixedBatchIndependent);
+
 }  // namespace
 }  // namespace sst
 

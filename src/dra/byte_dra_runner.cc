@@ -1,0 +1,198 @@
+#include "dra/byte_dra_runner.h"
+
+#include "base/byte_scan.h"
+#include "base/check.h"
+
+namespace sst {
+
+ByteDraRunner::ByteDraRunner(const Dra* dra, const Alphabet& alphabet)
+    : dra_(dra),
+      num_states_(dra->num_states),
+      num_symbols_(dra->num_symbols),
+      num_registers_(dra->num_registers),
+      num_codes_(dra->NumCmpCodes()) {
+  SST_CHECK_MSG(IsRestricted(*dra),
+                "fused byte execution requires a restricted DRA");
+  SST_CHECK(num_registers_ <= Dra::kMaxRegisters);
+  for (int r = 0, p = 1; r < num_registers_; ++r, p *= 3) {
+    pow3_[static_cast<size_t>(r)] = p;
+  }
+  byte_symbol_.fill(-1);
+  for (Symbol a = 0; a < num_symbols_; ++a) {
+    const std::string& label = alphabet.LabelOf(a);
+    SST_CHECK_MSG(label.size() == 1 && label[0] >= 'a' && label[0] <= 'z',
+                  "compact markup requires single lowercase-letter labels");
+    byte_symbol_[static_cast<unsigned char>(label[0])] = a;
+    byte_symbol_[static_cast<unsigned char>(label[0] - 'a' + 'A')] = a;
+  }
+  accepting_.assign(num_states_, 0);
+  for (int q = 0; q < num_states_; ++q) {
+    accepting_[q] = dra->accepting[q] ? 1 : 0;
+  }
+  if (num_states_ < 65536) {
+    FillTables(&open_next16_, &close_next16_);
+  } else {
+    FillTables(&open_next32_, &close_next32_);
+  }
+}
+
+template <typename T>
+void ByteDraRunner::FillTables(std::vector<T>* open_next,
+                               std::vector<T>* close_next) {
+  const size_t open_rows =
+      static_cast<size_t>(num_states_) * static_cast<size_t>(num_symbols_);
+  open_next->assign(open_rows, 0);
+  open_load_.assign(open_rows, 0);
+  close_next->assign(open_rows * static_cast<size_t>(num_codes_), 0);
+  close_load_.assign(open_rows * static_cast<size_t>(num_codes_), 0);
+  for (int q = 0; q < num_states_; ++q) {
+    for (Symbol a = 0; a < num_symbols_; ++a) {
+      const size_t open_index =
+          static_cast<size_t>(q) * num_symbols_ + a;
+      // Restricted invariant: the comparison vector on opening tags is
+      // all-kLess (code 0); the other 3^r - 1 rows of the explicit table
+      // are unreachable and simply dropped.
+      const Dra::Action& open = dra_->At(q, /*is_close=*/false, a, 0);
+      (*open_next)[open_index] = static_cast<T>(open.next);
+      open_load_[open_index] = static_cast<uint16_t>(open.load_mask);
+      for (int code = 0; code < num_codes_; ++code) {
+        const Dra::Action& close = dra_->At(q, /*is_close=*/true, a, code);
+        const size_t close_index = open_index * num_codes_ + code;
+        (*close_next)[close_index] = static_cast<T>(close.next);
+        close_load_[close_index] = static_cast<uint16_t>(close.load_mask);
+      }
+    }
+  }
+}
+
+DraConfig ByteDraRunner::InitialConfig() const {
+  DraConfig config;
+  config.state = dra_->initial;
+  return config;
+}
+
+DraConfig ByteDraRunner::FinalConfig(std::string_view bytes) const {
+  DraConfig config = InitialConfig();
+  for (unsigned char byte : bytes) Next(&config, byte);
+  return config;
+}
+
+int64_t ByteDraRunner::CountSelections(std::string_view bytes) const {
+  DraConfig config = InitialConfig();
+  int64_t selected = 0;
+  for (unsigned char byte : bytes) {
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepOpen(&config, s);
+      // Pre-selection samples after every opening byte — including unknown
+      // lowercase letters, which self-loop but still sample (parity with
+      // ByteTagDfaRunner, whose self-loop rows make the same call).
+      selected += static_cast<int64_t>(accepting_[config.state]);
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepClose(&config, s);
+    }
+  }
+  return selected;
+}
+
+bool ByteDraRunner::Accepts(std::string_view bytes) const {
+  return accepting_[FinalConfig(bytes).state] != 0;
+}
+
+ValidatedRun ByteDraRunner::RunValidated(std::string_view bytes,
+                                         const StreamLimits& limits) const {
+  ValidatedRun run;
+  DraConfig config = InitialConfig();
+  run.final_state = config.state;
+  std::vector<Symbol> open_letters;
+  int64_t depth = 0;
+  bool saw_root = false;
+  // Byte guard first (as a prefix split, exactly like StreamingSelector):
+  // the error fires at offset max_document_bytes iff the prefix is clean.
+  bool over_byte_limit =
+      static_cast<int64_t>(bytes.size()) > limits.max_document_bytes;
+  size_t scan_end = over_byte_limit
+                        ? static_cast<size_t>(limits.max_document_bytes)
+                        : bytes.size();
+  auto fail = [&](StreamErrorCode code, int64_t offset, Symbol expected,
+                  Symbol got) {
+    run.error.code = code;
+    run.error.offset = offset;
+    run.error.depth = depth;
+    run.error.expected = expected;
+    run.error.got = got;
+  };
+  for (size_t i = 0; i < scan_end; ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) continue;
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, i, -1, -1);
+        return run;
+      }
+      if (depth == 0 && saw_root) {
+        fail(StreamErrorCode::kTrailingContent, i, -1, s);
+        return run;
+      }
+      if (depth >= limits.max_depth) {
+        fail(StreamErrorCode::kDepthLimitExceeded, i, -1, s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, i, -1, -1);
+        return run;
+      }
+      saw_root = true;
+      ++depth;
+      if (depth > run.max_depth) run.max_depth = depth;
+      open_letters.push_back(s);
+      StepOpen(&config, s);
+      run.final_state = config.state;
+      ++run.events;
+      if (accepting_[config.state]) ++run.matches;
+      ++run.nodes;
+      continue;
+    }
+    if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s < 0) {
+        fail(StreamErrorCode::kUnknownLabel, i, -1, -1);
+        return run;
+      }
+      if (open_letters.empty()) {
+        fail(StreamErrorCode::kUnbalancedClose, i, -1, s);
+        return run;
+      }
+      if (open_letters.back() != s) {
+        fail(StreamErrorCode::kLabelMismatch, i, open_letters.back(), s);
+        return run;
+      }
+      if (run.events >= limits.max_events) {
+        fail(StreamErrorCode::kEventLimitExceeded, i, -1, -1);
+        return run;
+      }
+      open_letters.pop_back();
+      --depth;
+      StepClose(&config, s);
+      run.final_state = config.state;
+      ++run.events;
+      continue;
+    }
+    fail(StreamErrorCode::kBadByte, i, -1, -1);
+    return run;
+  }
+  if (over_byte_limit) {
+    fail(StreamErrorCode::kByteLimitExceeded, limits.max_document_bytes, -1,
+         -1);
+    return run;
+  }
+  if (!saw_root || depth != 0) {
+    fail(StreamErrorCode::kTruncatedDocument,
+         static_cast<int64_t>(bytes.size()), -1, -1);
+  }
+  return run;
+}
+
+}  // namespace sst

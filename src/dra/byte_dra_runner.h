@@ -1,0 +1,168 @@
+#ifndef SST_DRA_BYTE_DRA_RUNNER_H_
+#define SST_DRA_BYTE_DRA_RUNNER_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "dra/dra.h"
+#include "dra/machine.h"
+#include "dra/stream_error.h"
+
+namespace sst {
+
+// Byte-level fused execution of a *restricted* DRA over the compact markup
+// serialization ('a'..'z' opening tags, 'A'..'Z' closing tags): the
+// stackless analogue of ByteTagDfaRunner, closing the gap between the
+// paper's Lemma 3.8 evaluators and the Section 4.3 byte-table regime. The
+// depth counter, the <= Dra::kMaxRegisters depth registers, and the 3^r
+// comparison code are all resolved inside the scan loop — no virtual
+// dispatch, no per-event heap traffic.
+//
+// Restrictedness (Section 2.2) is what makes the fusion cheap. In a
+// restricted DRA every transition reloads each register reading strictly
+// greater than the new depth, so by induction every reachable
+// configuration satisfies "all registers <= depth" — on ANY byte
+// sequence, not just well-formed ones. Hence:
+//   * opening tags raise the depth above every register: the comparison
+//     code is identically 0 (all kLess). The open half of the table is
+//     stored with the code dimension collapsed away — the "comparison
+//     outcome precomputed per byte class".
+//   * closing tags lower the depth by one, so each register digit is
+//     computed branch-free as (reg >= depth) + (reg > depth) after the
+//     decrement (kGreater can only mean reg == depth + 1).
+//
+// The (state, open/close, symbol, code) -> action table is flattened to
+// the same compact storage ByteTagDfaRunner uses: uint16_t next-state
+// entries when the DRA has fewer than 65536 states (int32_t otherwise),
+// plus a parallel uint16_t load-mask array (<= kMaxRegisters bits) applied
+// with a ctz walk. Rows are laid out open-major:
+//   open:  [state * num_symbols + symbol]                      (code == 0)
+//   close: [(state * num_symbols + symbol) * 3^r + code]
+class ByteDraRunner {
+ public:
+  // Label-driven convention, matching ByteTagDfaRunner: each symbol of
+  // `dra` opens as its single lowercase-letter label in `alphabet` and
+  // closes as the uppercase form. Requires IsRestricted(*dra); `dra` is
+  // borrowed and must outlive the runner.
+  ByteDraRunner(const Dra* dra, const Alphabet& alphabet);
+
+  // Streams the bytes; returns the number of pre-selected nodes (acceptance
+  // sampled after every opening byte 'a'..'z'). Bytes that are no known tag
+  // letter self-loop and leave the configuration untouched; unknown
+  // *lowercase* letters still sample acceptance — ByteTagDfaRunner parity.
+  int64_t CountSelections(std::string_view bytes) const;
+
+  // Final-configuration acceptance after the whole stream.
+  bool Accepts(std::string_view bytes) const;
+
+  // Well-formedness-validated whole-document run with StreamingSelector's
+  // fail-fast compact-markup semantics: same first StreamError at the
+  // same byte offset, same partial counters (see ByteTagDfaRunner).
+  ValidatedRun RunValidated(std::string_view bytes,
+                            const StreamLimits& limits = {}) const;
+
+  // Configuration reached from the initial configuration.
+  DraConfig FinalConfig(std::string_view bytes) const;
+
+  // Incremental stepping for chunked scanners. The config is the caller's
+  // per-stream state; the runner itself stays immutable and shareable.
+  DraConfig InitialConfig() const;
+  void Next(DraConfig* config, unsigned char byte) const {
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepOpen(config, s);
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepClose(config, s);
+    }
+  }
+  bool IsAccepting(int state) const { return accepting_[state] != 0; }
+
+  // Symbol-level stepping for event-driven callers (the streaming
+  // scanner's stepper, the mixed multi-query tier). The symbol must be in
+  // [0, num_symbols).
+  void StepOpen(DraConfig* config, Symbol symbol) const {
+    ++config->depth;
+    // Restricted invariant: every register <= old depth < new depth, so
+    // the comparison code is 0 and the open row needs no code dimension.
+    size_t index =
+        static_cast<size_t>(config->state) * num_symbols_ + symbol;
+    ApplyLoads(config, open_load_[index]);
+    config->state = open_next16_.empty()
+                        ? open_next32_[index]
+                        : open_next16_[index];
+  }
+  void StepClose(DraConfig* config, Symbol symbol) const {
+    const int64_t depth = --config->depth;
+    int code = 0;
+    for (int r = 0; r < num_registers_; ++r) {
+      const int64_t reg = config->registers[static_cast<size_t>(r)];
+      // Branch-free digit: kLess=0, kEqual=1, kGreater=2. Restrictedness
+      // bounds every register by depth + 1, so the two comparisons cover
+      // all reachable cases.
+      code += (static_cast<int>(reg >= depth) + static_cast<int>(reg > depth)) *
+              pow3_[static_cast<size_t>(r)];
+    }
+    size_t index =
+        (static_cast<size_t>(config->state) * num_symbols_ + symbol) *
+            num_codes_ +
+        code;
+    ApplyLoads(config, close_load_[index]);
+    config->state = close_next16_.empty()
+                        ? close_next32_[index]
+                        : close_next16_[index];
+  }
+
+  // Symbol of an opening ('a'..'z') or closing ('A'..'Z') letter under the
+  // label convention; -1 for any byte that is neither.
+  Symbol byte_symbol(unsigned char byte) const { return byte_symbol_[byte]; }
+
+  int num_states() const { return num_states_; }
+  int num_registers() const { return num_registers_; }
+  bool uses_compact_table() const { return !open_next16_.empty(); }
+  const Dra* dra() const { return dra_; }
+
+ private:
+  template <typename T>
+  void FillTables(std::vector<T>* open_next, std::vector<T>* close_next);
+
+  void ApplyLoads(DraConfig* config, uint16_t load_mask) const {
+    for (uint32_t mask = load_mask; mask != 0; mask &= mask - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+      config->registers[static_cast<size_t>(__builtin_ctz(mask))] =
+          config->depth;
+#else
+      uint32_t low = mask & (~mask + 1);
+      int bit = 0;
+      while ((low >> bit) != 1) ++bit;
+      config->registers[static_cast<size_t>(bit)] = config->depth;
+#endif
+    }
+  }
+
+  const Dra* dra_;
+  int num_states_;
+  int num_symbols_;
+  int num_registers_;
+  int num_codes_;  // 3^num_registers_
+  std::array<int, Dra::kMaxRegisters> pow3_{};
+
+  // Open rows: num_states * num_symbols (code dimension collapsed to 0).
+  // Close rows: num_states * num_symbols * num_codes. Exactly one of the
+  // 16/32-bit pairs is populated, matching uses_compact_table().
+  std::vector<uint16_t> open_next16_;
+  std::vector<int32_t> open_next32_;
+  std::vector<uint16_t> open_load_;
+  std::vector<uint16_t> close_next16_;
+  std::vector<int32_t> close_next32_;
+  std::vector<uint16_t> close_load_;
+  std::vector<uint8_t> accepting_;
+  std::array<Symbol, 256> byte_symbol_;
+};
+
+}  // namespace sst
+
+#endif  // SST_DRA_BYTE_DRA_RUNNER_H_

@@ -164,6 +164,24 @@ void DraRunner::Reset() {
   registers_.assign(dra_->num_registers, 0);
 }
 
+DraConfig DraRunner::ExportedDraConfig() const {
+  DraConfig config;
+  config.state = state_;
+  config.depth = depth_;
+  for (int r = 0; r < dra_->num_registers; ++r) {
+    config.registers[static_cast<size_t>(r)] = registers_[r];
+  }
+  return config;
+}
+
+void DraRunner::SyncExportedDraConfig(const DraConfig& config) {
+  state_ = config.state;
+  depth_ = config.depth;
+  for (int r = 0; r < dra_->num_registers; ++r) {
+    registers_[r] = config.registers[static_cast<size_t>(r)];
+  }
+}
+
 void DraRunner::Step(Symbol symbol, bool is_close) {
   depth_ += is_close ? -1 : 1;
   int code = 0;

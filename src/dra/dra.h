@@ -37,7 +37,8 @@ struct Dra {
   // Indexed by (((state * 2 + is_close) * num_symbols) + symbol) * 3^R + cmp.
   std::vector<Action> table;
 
-  static constexpr int kMaxRegisters = 10;  // 3^10 table columns max
+  static constexpr int kMaxRegisters =
+      DraConfig::kMaxRegisters;  // 3^10 table columns max
 
   static Dra Create(int num_states, int num_symbols, int num_registers);
 
@@ -91,6 +92,13 @@ class DraRunner final : public StreamMachine {
   int state() const { return state_; }
   int64_t depth() const { return depth_; }
   const std::vector<int64_t>& registers() const { return registers_; }
+
+  // Stackless fused fast path (see dra/byte_dra_runner.h): the runner IS a
+  // DRA wrapper, so byte scanners may run its transitions through a fused
+  // byte table and sync the configuration back per chunk.
+  const Dra* ExportDra() const override { return dra_; }
+  DraConfig ExportedDraConfig() const override;
+  void SyncExportedDraConfig(const DraConfig& config) override;
 
  private:
   void Step(Symbol symbol, bool is_close);

@@ -1,6 +1,8 @@
 #ifndef SST_DRA_MACHINE_H_
 #define SST_DRA_MACHINE_H_
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "automata/alphabet.h"
@@ -10,6 +12,22 @@
 namespace sst {
 
 struct TagDfa;
+struct Dra;
+
+// Full configuration of a depth-register automaton (Definition 2.1):
+// control state, depth counter, register values. This is the unit the
+// stackless fused fast path syncs between a DRA-backed StreamMachine and
+// the byte-level ByteDraRunner around each chunk, mirroring the
+// registerless ExportedState()/SyncExportedState(int) protocol below.
+// The register array is fixed-size (registers past num_registers are
+// ignored) so a config is copyable with no heap traffic per chunk.
+struct DraConfig {
+  static constexpr int kMaxRegisters = 10;  // = Dra::kMaxRegisters
+
+  int state = 0;
+  int64_t depth = 0;
+  std::array<int64_t, kMaxRegisters> registers{};
+};
 
 // Common interface of all streaming evaluators: explicit DRAs, registerless
 // automata, and the constructed evaluators of Section 3. A machine consumes
@@ -41,6 +59,17 @@ class StreamMachine {
   virtual const TagDfa* ExportTagDfa() const { return nullptr; }
   virtual int ExportedState() const { return 0; }
   virtual void SyncExportedState(int /*state*/) {}
+
+  // Stackless fast-path export: machines that are (wrappers of) an explicit
+  // restricted DRA expose the automaton plus get/set access to their full
+  // configuration (state, depth, registers). Byte-level scanners then
+  // resolve the depth counter, the registers, and the 3^r comparison code
+  // inside the fused scan loop (ByteDraRunner) and sync the configuration
+  // back after each chunk. A machine exports at most one of
+  // ExportTagDfa()/ExportDra().
+  virtual const Dra* ExportDra() const { return nullptr; }
+  virtual DraConfig ExportedDraConfig() const { return {}; }
+  virtual void SyncExportedDraConfig(const DraConfig& /*config*/) {}
 };
 
 // Runs the machine over the given encoding and returns, per opening tag in

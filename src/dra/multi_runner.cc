@@ -13,6 +13,8 @@ const char* MultiTierName(MultiTier tier) {
       return "fused-product";
     case MultiTier::kLazyProduct:
       return "lazy-product";
+    case MultiTier::kMixed:
+      return "mixed";
     case MultiTier::kIndependent:
       return "independent";
   }
@@ -120,24 +122,38 @@ void LazyProductCursor::AccumulateMask(int64_t* counts) const {
 // --- ProductTagMachine ---------------------------------------------------
 
 ProductTagMachine::ProductTagMachine(const TagDfaProduct* eager,
-                                     LazyTagDfaProduct* lazy)
-    : eager_(eager) {
-  SST_CHECK_MSG((eager != nullptr) != (lazy != nullptr),
-                "exactly one of eager/lazy product required");
+                                     LazyTagDfaProduct* lazy,
+                                     std::vector<const ByteDraRunner*> dras)
+    : eager_(eager), dras_(std::move(dras)) {
+  SST_CHECK_MSG(eager == nullptr || lazy == nullptr,
+                "at most one of eager/lazy product");
+  SST_CHECK_MSG(eager != nullptr || lazy != nullptr || !dras_.empty(),
+                "a product or at least one DRA member required");
+  SST_CHECK_MSG(lazy == nullptr || dras_.empty(),
+                "mixed batches ride the eager product only");
+  size_t base = 0;
   if (eager_ != nullptr) {
     eager_state_ = eager_->dfa.initial;
-    counts_.assign(static_cast<size_t>(eager_->arity), 0);
-  } else {
+    base = static_cast<size_t>(eager_->arity);
+  } else if (lazy != nullptr) {
     lazy_cursor_.emplace(lazy);
-    counts_.assign(static_cast<size_t>(lazy->arity()), 0);
+    base = static_cast<size_t>(lazy->arity());
   }
+  dra_configs_.reserve(dras_.size());
+  for (const ByteDraRunner* dra : dras_) {
+    dra_configs_.push_back(dra->InitialConfig());
+  }
+  counts_.assign(base + dras_.size(), 0);
 }
 
 void ProductTagMachine::Reset() {
   if (eager_ != nullptr) {
     eager_state_ = eager_->dfa.initial;
-  } else {
+  } else if (lazy_cursor_) {
     lazy_cursor_->Reset();
+  }
+  for (size_t j = 0; j < dras_.size(); ++j) {
+    dra_configs_[j] = dras_[j]->InitialConfig();
   }
   counts_.assign(counts_.size(), 0);
 }
@@ -151,25 +167,40 @@ void ProductTagMachine::OnOpen(Symbol symbol) {
       eager_->masks[static_cast<size_t>(eager_state_)].AccumulateInto(
           counts_.data());
     }
-    return;
+  } else if (lazy_cursor_) {
+    lazy_cursor_->Open(symbol);
+    if (lazy_cursor_->Accepting()) {
+      lazy_cursor_->AccumulateMask(counts_.data());
+    }
   }
-  lazy_cursor_->Open(symbol);
-  if (lazy_cursor_->Accepting()) {
-    lazy_cursor_->AccumulateMask(counts_.data());
+  if (dras_.empty()) return;
+  const size_t base = counts_.size() - dras_.size();
+  for (size_t j = 0; j < dras_.size(); ++j) {
+    dras_[j]->StepOpen(&dra_configs_[j], symbol);
+    counts_[base + j] += static_cast<int64_t>(
+        dras_[j]->IsAccepting(dra_configs_[j].state));
   }
 }
 
 void ProductTagMachine::OnClose(Symbol symbol) {
+  const Symbol s = symbol < 0 ? 0 : symbol;
   if (eager_ != nullptr) {
-    eager_state_ = eager_->dfa.NextClose(eager_state_, symbol < 0 ? 0 : symbol);
-    return;
+    eager_state_ = eager_->dfa.NextClose(eager_state_, s);
+  } else if (lazy_cursor_) {
+    lazy_cursor_->Close(symbol);
   }
-  lazy_cursor_->Close(symbol);
+  for (size_t j = 0; j < dras_.size(); ++j) {
+    dras_[j]->StepClose(&dra_configs_[j], s);
+  }
 }
 
 bool ProductTagMachine::InAcceptingState() const {
-  if (eager_ != nullptr) return eager_->dfa.accepting[eager_state_];
-  return lazy_cursor_->Accepting();
+  if (eager_ != nullptr && eager_->dfa.accepting[eager_state_]) return true;
+  if (lazy_cursor_ && lazy_cursor_->Accepting()) return true;
+  for (size_t j = 0; j < dras_.size(); ++j) {
+    if (dras_[j]->IsAccepting(dra_configs_[j].state)) return true;
+  }
+  return false;
 }
 
 // --- MultiTagDfaRunner ---------------------------------------------------
@@ -179,11 +210,13 @@ MultiTagDfaRunner::MultiTagDfaRunner(StreamFormat format,
                                      const ScannerTables* tables,
                                      const TagDfaProduct* eager,
                                      const ByteTagDfaRunner* eager_fused,
-                                     LazyTagDfaProduct* lazy)
+                                     LazyTagDfaProduct* lazy,
+                                     std::vector<const ByteDraRunner*> mixed_dras)
     : eager_(eager),
       eager_fused_(eager_fused),
       lazy_(lazy),
-      machine_(eager, lazy),
+      mixed_dras_(std::move(mixed_dras)),
+      machine_(eager, lazy, mixed_dras_),
       owned_tables_(tables == nullptr
                         ? std::make_unique<ScannerTables>(
                               ScannerTables::Build(format, *alphabet))
@@ -268,11 +301,62 @@ void MultiTagDfaRunner::CountSelectionsLazy(
   }
 }
 
+void MultiTagDfaRunner::CountSelectionsMixed(
+    std::string_view bytes, std::vector<int64_t>* counts) const {
+  int64_t* out = counts->data();
+  const size_t base =
+      eager_ != nullptr ? static_cast<size_t>(eager_->arity) : 0;
+  int state = eager_ != nullptr ? eager_->dfa.initial : 0;
+  std::vector<DraConfig> configs;
+  configs.reserve(mixed_dras_.size());
+  for (const ByteDraRunner* dra : mixed_dras_) {
+    configs.push_back(dra->InitialConfig());
+  }
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) {
+      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
+      continue;
+    }
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) {
+        if (eager_ != nullptr) state = eager_->dfa.NextOpen(state, s);
+        for (size_t j = 0; j < mixed_dras_.size(); ++j) {
+          mixed_dras_[j]->StepOpen(&configs[j], s);
+        }
+      }
+      // Unknown lowercase letters self-loop but still sample acceptance
+      // (ByteTagDfaRunner parity).
+      if (eager_ != nullptr && eager_->dfa.accepting[state]) {
+        eager_->masks[static_cast<size_t>(state)].AccumulateInto(out);
+      }
+      for (size_t j = 0; j < mixed_dras_.size(); ++j) {
+        out[base + j] += static_cast<int64_t>(
+            mixed_dras_[j]->IsAccepting(configs[j].state));
+      }
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) {
+        if (eager_ != nullptr) state = eager_->dfa.NextClose(state, s);
+        for (size_t j = 0; j < mixed_dras_.size(); ++j) {
+          mixed_dras_[j]->StepClose(&configs[j], s);
+        }
+      }
+    }
+    // All other bytes self-loop and never count.
+  }
+}
+
 std::vector<int64_t> MultiTagDfaRunner::CountSelections(
     std::string_view bytes) const {
   SST_CHECK_MSG(byte_api_ok_,
                 "one-scan byte APIs require single-letter labels");
   std::vector<int64_t> counts(static_cast<size_t>(num_queries()), 0);
+  if (!mixed_dras_.empty()) {
+    CountSelectionsMixed(bytes, &counts);
+    return counts;
+  }
   if (eager_fused_ != nullptr && eager_->narrow) {
     if (eager_fused_->uses_compact_table()) {
       CountSelectionsFused(eager_fused_->table16(), bytes, &counts);
@@ -322,7 +406,16 @@ MultiValidatedRun MultiTagDfaRunner::RunValidated(
   // offsets).
   int eager_state = eager_ != nullptr ? eager_->dfa.initial : 0;
   std::optional<LazyProductCursor> cursor;
-  if (eager_ == nullptr) cursor.emplace(lazy_);
+  if (eager_ == nullptr && lazy_ != nullptr) cursor.emplace(lazy_);
+  const size_t dra_base =
+      eager_ != nullptr ? static_cast<size_t>(eager_->arity)
+      : lazy_ != nullptr ? static_cast<size_t>(lazy_->arity())
+                         : 0;
+  std::vector<DraConfig> dra_configs;
+  dra_configs.reserve(mixed_dras_.size());
+  for (const ByteDraRunner* dra : mixed_dras_) {
+    dra_configs.push_back(dra->InitialConfig());
+  }
 
   std::vector<Symbol> open_letters;
   int64_t depth = 0;
@@ -374,9 +467,14 @@ MultiValidatedRun MultiTagDfaRunner::RunValidated(
           eager_->masks[static_cast<size_t>(eager_state)].AccumulateInto(
               run.matches.data());
         }
-      } else {
+      } else if (cursor) {
         cursor->Open(s);
         if (cursor->Accepting()) cursor->AccumulateMask(run.matches.data());
+      }
+      for (size_t j = 0; j < mixed_dras_.size(); ++j) {
+        mixed_dras_[j]->StepOpen(&dra_configs[j], s);
+        run.matches[dra_base + j] += static_cast<int64_t>(
+            mixed_dras_[j]->IsAccepting(dra_configs[j].state));
       }
       ++run.events;
       ++run.nodes;
@@ -407,8 +505,11 @@ MultiValidatedRun MultiTagDfaRunner::RunValidated(
       --depth;
       if (eager_ != nullptr) {
         eager_state = eager_->dfa.NextClose(eager_state, s);
-      } else {
+      } else if (cursor) {
         cursor->Close(s);
+      }
+      for (size_t j = 0; j < mixed_dras_.size(); ++j) {
+        mixed_dras_[j]->StepClose(&dra_configs[j], s);
       }
       ++run.events;
       continue;

@@ -11,6 +11,7 @@
 #include "automata/alphabet.h"
 #include "automata/product.h"
 #include "automata/selection_mask.h"
+#include "dra/byte_dra_runner.h"
 #include "dra/byte_runner.h"
 #include "dra/machine.h"
 #include "dra/stream_error.h"
@@ -31,11 +32,15 @@ namespace sst {
 //                   256-entry byte→state table (small batches);
 //   kLazyProduct    on-the-fly product shared across sessions — only
 //                   states the inputs actually reach materialize;
+//   kMixed          registerless + stackless batch in ONE scan: the
+//                   registerless members ride an eager product while each
+//                   stackless member steps its fused restricted DRA
+//                   (ByteDraRunner) alongside;
 //   kIndependent    per-query stepping (N automaton steps per event):
 //                   the landing spot when the lazy product hits its state
 //                   cap mid-stream, and the engine's tier for batches
-//                   containing non-registerless queries.
-enum class MultiTier { kFusedProduct, kLazyProduct, kIndependent };
+//                   containing queries outside every fused form.
+enum class MultiTier { kFusedProduct, kLazyProduct, kMixed, kIndependent };
 
 const char* MultiTierName(MultiTier tier);
 
@@ -96,9 +101,15 @@ class LazyProductCursor {
 // least one query.
 class ProductTagMachine final : public StreamMachine {
  public:
-  // Exactly one of `eager` / `lazy` must be non-null. Both must outlive
-  // the machine.
-  ProductTagMachine(const TagDfaProduct* eager, LazyTagDfaProduct* lazy);
+  // At most one of `eager` / `lazy` may be non-null; `dras` adds stackless
+  // members (mixed batches) stepped alongside the product — fused
+  // restricted DRAs whose full configurations live in this machine. At
+  // least one of the three sources must be present, and `dras` composes
+  // with `eager` only (the mixed tier has no lazy rung). counts() reports
+  // members in order: product mask bits first, then the DRA members. All
+  // pointers must outlive the machine.
+  ProductTagMachine(const TagDfaProduct* eager, LazyTagDfaProduct* lazy,
+                    std::vector<const ByteDraRunner*> dras = {});
 
   void Reset() override;
   void OnOpen(Symbol symbol) override;
@@ -113,6 +124,10 @@ class ProductTagMachine final : public StreamMachine {
   const TagDfaProduct* eager_;
   int eager_state_ = 0;
   std::optional<LazyProductCursor> lazy_cursor_;
+  // Mixed batches: stackless members and their configurations, parallel
+  // arrays in member order (after the product bits).
+  std::vector<const ByteDraRunner*> dras_;
+  std::vector<DraConfig> dra_configs_;
   std::vector<int64_t> counts_;
 };
 
@@ -143,15 +158,19 @@ struct MultiValidatedRun {
 // concurrent streams hold K runners and ONE product.
 class MultiTagDfaRunner {
  public:
-  // Exactly one of `eager` / `lazy` must be non-null; `eager_fused` is
+  // At most one of `eager` / `lazy` may be non-null; `eager_fused` is
   // the optional fused byte table of the eager product (built by the
   // engine when the alphabet is markup-eligible) and `tables` may be null
-  // to build private scanner tables. All pointers are borrowed and must
-  // outlive the runner.
+  // to build private scanner tables. `mixed_dras` adds stackless members
+  // (mixed tier): fused restricted DRAs stepped alongside the product,
+  // reported after the product bits in member order — composes with
+  // `eager` (or stands alone for an all-stackless batch), never with
+  // `lazy`. All pointers are borrowed and must outlive the runner.
   MultiTagDfaRunner(StreamFormat format, const Alphabet* alphabet,
                     const ScannerTables* tables, const TagDfaProduct* eager,
                     const ByteTagDfaRunner* eager_fused,
-                    LazyTagDfaProduct* lazy);
+                    LazyTagDfaProduct* lazy,
+                    std::vector<const ByteDraRunner*> mixed_dras = {});
 
   int num_queries() const { return machine_.arity(); }
 
@@ -159,6 +178,7 @@ class MultiTagDfaRunner {
   // the rung actually executing (kIndependent once a lazy stream demoted
   // to wide mode).
   MultiTier tier() const {
+    if (!mixed_dras_.empty()) return MultiTier::kMixed;
     return eager_ != nullptr ? MultiTier::kFusedProduct
                              : MultiTier::kLazyProduct;
   }
@@ -206,10 +226,13 @@ class MultiTagDfaRunner {
                             std::vector<int64_t>* counts) const;
   void CountSelectionsLazy(std::string_view bytes,
                            std::vector<int64_t>* counts) const;
+  void CountSelectionsMixed(std::string_view bytes,
+                            std::vector<int64_t>* counts) const;
 
   const TagDfaProduct* eager_;
   const ByteTagDfaRunner* eager_fused_;
   LazyTagDfaProduct* lazy_;
+  std::vector<const ByteDraRunner*> mixed_dras_;
 
   ProductTagMachine machine_;
   std::unique_ptr<ScannerTables> owned_tables_;

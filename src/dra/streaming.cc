@@ -83,6 +83,24 @@ StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
         owned_fused_ = std::make_unique<ByteTagDfaRunner>(*dfa, *alphabet_);
         fused_ = owned_fused_.get();
       }
+    } else if (const Dra* dra = machine_->ExportDra()) {
+      // Stackless fused tier: same label eligibility, plus restrictedness
+      // (the fused table's open/close layout is only sound then) and a
+      // table budget — the close table has 3^r columns per (state, symbol)
+      // and an unrestricted register count could make it enormous.
+      bool compact = alphabet_->size() == dra->num_symbols &&
+                     IsRestricted(*dra) &&
+                     static_cast<int64_t>(dra->num_states) *
+                             dra->num_symbols * dra->NumCmpCodes() <=
+                         kFusedDraEntryBudget;
+      for (Symbol s = 0; compact && s < alphabet_->size(); ++s) {
+        const std::string& label = alphabet_->LabelOf(s);
+        compact = label.size() == 1 && label[0] >= 'a' && label[0] <= 'z';
+      }
+      if (compact) {
+        owned_fused_dra_ = std::make_unique<ByteDraRunner>(dra, *alphabet_);
+        fused_dra_ = owned_fused_dra_.get();
+      }
     }
   }
   CheckTableAgreement();
@@ -92,13 +110,16 @@ StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
 StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
                                      const Alphabet* alphabet,
                                      const ScannerTables* tables,
-                                     const ByteTagDfaRunner* fused)
+                                     const ByteTagDfaRunner* fused,
+                                     const ByteDraRunner* fused_dra)
     : machine_(machine),
       format_(format),
       alphabet_(alphabet),
       tables_(tables),
-      fused_(fused) {
+      fused_(fused),
+      fused_dra_(fused_dra) {
   SST_CHECK(tables_ != nullptr);
+  SST_CHECK(fused_ == nullptr || fused_dra_ == nullptr);
   if (fused_ != nullptr) {
     // The fused tier syncs the machine's exported state around each chunk,
     // so a shared fused table is only sound for a machine that actually
@@ -106,6 +127,14 @@ StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
     SST_CHECK(format_ == Format::kCompactMarkup);
     const TagDfa* dfa = machine_->ExportTagDfa();
     SST_CHECK(dfa != nullptr && dfa->num_states == fused_->num_states());
+  }
+  if (fused_dra_ != nullptr) {
+    // Likewise for the stackless tier: the full configuration is synced
+    // around each chunk, so the machine must export a DRA the shared fused
+    // table was built from.
+    SST_CHECK(format_ == Format::kCompactMarkup);
+    const Dra* dra = machine_->ExportDra();
+    SST_CHECK(dra != nullptr && dra->num_states == fused_dra_->num_states());
   }
   open_labels_.reserve(kDepthReserve);
   CheckTableAgreement();
@@ -119,14 +148,24 @@ void StreamingSelector::CheckTableAgreement() const {
   // previously each layer derived its own copy with no cross-check). They
   // must agree on every letter byte: same symbol, open/close polarity
   // matching the case convention.
-  if (fused_ == nullptr) return;
+  if (fused_ == nullptr && fused_dra_ == nullptr) return;
   for (int c = 'a'; c <= 'z'; ++c) {
     SST_CHECK(tables_->byte_class[c] == ScannerTables::kOpen);
     SST_CHECK(tables_->byte_class[c - 'a' + 'A'] == ScannerTables::kClose);
-    SST_CHECK(fused_->byte_symbol(static_cast<unsigned char>(c)) ==
-              tables_->byte_symbol[c]);
-    SST_CHECK(fused_->byte_symbol(static_cast<unsigned char>(c - 'a' + 'A')) ==
-              tables_->byte_symbol[c - 'a' + 'A']);
+    if (fused_ != nullptr) {
+      SST_CHECK(fused_->byte_symbol(static_cast<unsigned char>(c)) ==
+                tables_->byte_symbol[c]);
+      SST_CHECK(
+          fused_->byte_symbol(static_cast<unsigned char>(c - 'a' + 'A')) ==
+          tables_->byte_symbol[c - 'a' + 'A']);
+    }
+    if (fused_dra_ != nullptr) {
+      SST_CHECK(fused_dra_->byte_symbol(static_cast<unsigned char>(c)) ==
+                tables_->byte_symbol[c]);
+      SST_CHECK(
+          fused_dra_->byte_symbol(static_cast<unsigned char>(c - 'a' + 'A')) ==
+          tables_->byte_symbol[c - 'a' + 'A']);
+    }
   }
 #endif
 }
@@ -671,6 +710,20 @@ bool StreamingSelector::Feed(std::string_view chunk) {
           // events, which the fused byte table cannot express. Drop to the
           // generic tier for the rest of the document; it re-detects the
           // error at the same byte and owns the recovery decision.
+          demoted_ = true;
+          VirtualStepper generic{machine_};
+          r = FeedMarkup(chunk, r.resume_index, generic);
+        }
+        ok = r.status == ScanStatus::kOk;
+      } else if (using_fused_dra_path()) {
+        DraFusedStepper stepper{fused_dra_, machine_->ExportedDraConfig()};
+        ScanResult r = FeedMarkup(chunk, 0, stepper);
+        machine_->SyncExportedDraConfig(stepper.config);
+        if (r.status == ScanStatus::kDemote) {
+          // Same degradation ladder as the registerless tier: the machine
+          // holds the configuration reached just before the offending byte
+          // (synced above), so the generic re-run continues seamlessly and
+          // re-detects the error at the same offset.
           demoted_ = true;
           VirtualStepper generic{machine_};
           r = FeedMarkup(chunk, r.resume_index, generic);

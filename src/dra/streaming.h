@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "automata/alphabet.h"
+#include "dra/byte_dra_runner.h"
 #include "dra/byte_runner.h"
 #include "dra/machine.h"
 #include "dra/stream_error.h"
@@ -106,18 +107,22 @@ struct StreamStats {
 // kDepthReserve on pathologically deep documents). When the machine exports
 // a plain TagDfa (registerless tier) and the format is compact markup, the
 // scanner runs a fused ByteTagDfaRunner byte→state table with no virtual
-// dispatch per event (Section 4.3). Recovery demotes the fused tier to the
-// generic machine tier for the rest of the document (the degradation
-// ladder); Reset() re-arms the fused tier.
+// dispatch per event (Section 4.3); when it instead exports a restricted
+// DRA (stackless tier, Lemma 3.8), the scanner runs a fused ByteDraRunner
+// that resolves depth, registers, and the comparison code inline — one rung
+// below the registerless table on the ladder, still byte-table speed.
+// Recovery demotes either fused tier to the generic machine tier for the
+// rest of the document (the degradation ladder); Reset() re-arms it.
 class StreamingSelector {
  public:
   using Format = StreamFormat;
 
-  // Which rung of the degradation ladder is executing events. The third
-  // rung — the stack tier (StackQueryEvaluator) — is chosen by the caller
-  // as the machine itself; the selector can only report the two rungs it
-  // switches between internally.
-  enum class Tier { kFusedByteTable, kGenericMachine };
+  // Which rung of the degradation ladder is executing events. The stack
+  // tier (StackQueryEvaluator) — below all of these — is chosen by the
+  // caller as the machine itself; the selector can only report the rungs
+  // it switches between internally: the registerless fused byte table, the
+  // stackless fused DRA table, and the generic virtual machine.
+  enum class Tier { kFusedByteTable, kFusedDraTable, kGenericMachine };
 
   // One recovered error: the structured error plus the excised byte range.
   // excise_from is the first damaged byte (the start of the offending
@@ -144,6 +149,12 @@ class StreamingSelector {
   // Depth up to which the label stack never reallocates in steady state.
   static constexpr size_t kDepthReserve = 1024;
 
+  // Upper bound on stackless fused close-table entries (states × symbols ×
+  // 3^registers, ~4 bytes each) a selector will build privately; larger
+  // DRAs stay on the generic tier. Plan-level builds apply their own
+  // budget before materializing (see engine/query_plan.cc).
+  static constexpr int64_t kFusedDraEntryBudget = int64_t{1} << 22;
+
   // Called right after a node is pre-selected: (node index in document
   // order, label symbol).
   using MatchCallback = std::function<void(int64_t, Symbol)>;
@@ -160,11 +171,15 @@ class StreamingSelector {
   // for exactly this (format, alphabet); `fused` may be null (generic tier
   // only) and otherwise must be the fused byte table of the TagDfa the
   // machine exports (the scanner syncs the exported state around fused
-  // chunks). No table construction — and no allocation proportional to the
-  // automaton — happens on this path; see engine/session.h.
+  // chunks); `fused_dra` is the stackless analogue — the fused table of
+  // the restricted DRA the machine exports (configuration synced around
+  // fused chunks) — and is mutually exclusive with `fused`. No table
+  // construction — and no allocation proportional to the automaton —
+  // happens on this path; see engine/session.h.
   StreamingSelector(StreamMachine* machine, Format format,
                     const Alphabet* alphabet, const ScannerTables* tables,
-                    const ByteTagDfaRunner* fused);
+                    const ByteTagDfaRunner* fused,
+                    const ByteDraRunner* fused_dra = nullptr);
 
   void set_match_callback(MatchCallback callback) {
     match_callback_ = std::move(callback);
@@ -224,9 +239,15 @@ class StreamingSelector {
   bool using_fused_fast_path() const {
     return fused_ != nullptr && !demoted_;
   }
+  // True when the fused byte→configuration fast path is active (restricted
+  // DRA machine + compact markup + single-letter labels, not demoted).
+  bool using_fused_dra_path() const {
+    return fused_dra_ != nullptr && !demoted_;
+  }
   Tier active_tier() const {
-    return using_fused_fast_path() ? Tier::kFusedByteTable
-                                   : Tier::kGenericMachine;
+    if (using_fused_fast_path()) return Tier::kFusedByteTable;
+    if (using_fused_dra_path()) return Tier::kFusedDraTable;
+    return Tier::kGenericMachine;
   }
 
  private:
@@ -264,6 +285,17 @@ class StreamingSelector {
       state = runner->Next(state, byte);
     }
     bool Accepting() const { return runner->IsAccepting(state); }
+  };
+  // Stackless fused tier: the whole DRA configuration (state, depth,
+  // registers) lives in the stepper for the duration of a chunk; the
+  // runner resolves the 3^r comparison code and the register loads inline.
+  struct DraFusedStepper {
+    static constexpr bool kCanRecover = false;
+    const ByteDraRunner* runner;
+    DraConfig config;
+    void Open(Symbol s, unsigned char) { runner->StepOpen(&config, s); }
+    void Close(Symbol s, unsigned char) { runner->StepClose(&config, s); }
+    bool Accepting() const { return runner->IsAccepting(config.state); }
   };
 
   // Verifies (debug builds only) that the shared/owned scanner tables and
@@ -315,6 +347,12 @@ class StreamingSelector {
   // from a shared plan or privately owned, like the scanner tables.
   std::unique_ptr<ByteTagDfaRunner> owned_fused_;
   const ByteTagDfaRunner* fused_ = nullptr;
+
+  // Stackless fused fast path; null when the machine exports no restricted
+  // DRA (or the table would exceed the build budget). Mutually exclusive
+  // with fused_; same ownership scheme.
+  std::unique_ptr<ByteDraRunner> owned_fused_dra_;
+  const ByteDraRunner* fused_dra_ = nullptr;
 
   // Well-formedness: the expected closing labels (only the labels, not
   // full automaton states — the library never keeps evaluation state per

@@ -53,13 +53,65 @@ std::shared_ptr<const MultiQueryPlan> MultiQueryPlan::Compile(
   }
 
   bool all_registerless = true;
+  bool mixed_ok = true;
+  int stackless_members = 0;
   for (const auto& slot_plan : plan->slot_plans_) {
-    if (!slot_plan->exact() || slot_plan->tag_dfa() == nullptr) {
+    if (!slot_plan->exact()) {
       all_registerless = false;
+      mixed_ok = false;
+      break;
+    }
+    if (slot_plan->tag_dfa() != nullptr) continue;
+    all_registerless = false;
+    if (slot_plan->fused_dra() != nullptr) {
+      ++stackless_members;
+    } else {
+      // A stackless member without a fused DRA (term encoding, budget
+      // blown, unfusable labels) — or a stack-baseline member — has no
+      // one-scan form, so the whole batch steps independently.
+      mixed_ok = false;
       break;
     }
   }
   if (!all_registerless) {
+    if (mixed_ok && stackless_members > 0) {
+      // Mixed tier: fuse the registerless members into an eager
+      // sub-product (their mask bits lead the member order) and borrow
+      // each stackless member's fused DRA from its slot plan.
+      for (int slot = 0; slot < plan->num_slots(); ++slot) {
+        if (plan->slot_plans_[static_cast<size_t>(slot)]->tag_dfa() !=
+            nullptr) {
+          plan->product_slot_.push_back(slot);
+        } else {
+          plan->dra_slot_.push_back(slot);
+        }
+      }
+      bool product_ok = true;
+      if (!plan->product_slot_.empty()) {
+        plan->components_.reserve(plan->product_slot_.size());
+        for (int slot : plan->product_slot_) {
+          plan->components_.push_back(
+              plan->slot_plans_[static_cast<size_t>(slot)]->tag_dfa());
+        }
+        plan->eager_ =
+            BuildTagDfaProduct(plan->components_, options.eager_state_cap);
+        product_ok = plan->eager_.has_value();
+      }
+      if (product_ok) {
+        plan->mixed_dras_.reserve(plan->dra_slot_.size());
+        for (int slot : plan->dra_slot_) {
+          plan->mixed_dras_.push_back(
+              plan->slot_plans_[static_cast<size_t>(slot)]->fused_dra());
+        }
+        plan->tier_ = MultiTier::kMixed;
+        return plan;
+      }
+      // The registerless sub-product outgrew the eager cap; the mixed
+      // tier has no lazy rung, so the batch steps independently.
+      plan->components_.clear();
+      plan->product_slot_.clear();
+      plan->dra_slot_.clear();
+    }
     plan->tier_ = MultiTier::kIndependent;
     return plan;
   }
@@ -96,6 +148,22 @@ std::vector<int64_t> MultiQueryPlan::ExpandCounts(
   return counts;
 }
 
+std::vector<int64_t> MultiQueryPlan::MemberCountsToSlots(
+    const std::vector<int64_t>& member_counts) const {
+  if (tier_ != MultiTier::kMixed) return member_counts;
+  SST_CHECK(member_counts.size() ==
+            product_slot_.size() + dra_slot_.size());
+  std::vector<int64_t> slot_counts(static_cast<size_t>(num_slots()), 0);
+  for (size_t i = 0; i < product_slot_.size(); ++i) {
+    slot_counts[static_cast<size_t>(product_slot_[i])] = member_counts[i];
+  }
+  for (size_t j = 0; j < dra_slot_.size(); ++j) {
+    slot_counts[static_cast<size_t>(dra_slot_[j])] =
+        member_counts[product_slot_.size() + j];
+  }
+  return slot_counts;
+}
+
 MultiQueryPlan::Stats MultiQueryPlan::stats() const {
   Stats stats;
   stats.num_queries = num_queries();
@@ -105,6 +173,7 @@ MultiQueryPlan::Stats MultiQueryPlan::stats() const {
   stats.eager_states = eager_ ? eager_->dfa.num_states : 0;
   stats.lazy_states = lazy_ ? lazy_->num_states() : 0;
   stats.lazy_overflowed = lazy_ ? lazy_->overflowed() : false;
+  stats.stackless_members = static_cast<int>(dra_slot_.size());
   return stats;
 }
 
@@ -121,7 +190,7 @@ BatchSession::BatchSession(std::shared_ptr<const MultiQueryPlan> plan)
   }
   runner_.emplace(plan_->options().plan.format, &plan_->alphabet(),
                   &plan_->scanner_tables(), plan_->eager(),
-                  plan_->eager_fused(), plan_->lazy());
+                  plan_->eager_fused(), plan_->lazy(), plan_->mixed_dras());
 }
 
 bool BatchSession::Feed(std::string_view chunk) {
@@ -149,7 +218,10 @@ void BatchSession::Reset() {
 }
 
 std::vector<int64_t> BatchSession::query_matches() const {
-  if (runner_) return plan_->ExpandCounts(runner_->query_matches());
+  if (runner_) {
+    return plan_->ExpandCounts(
+        plan_->MemberCountsToSlots(runner_->query_matches()));
+  }
   std::vector<int64_t> slot_counts(sessions_.size());
   for (size_t i = 0; i < sessions_.size(); ++i) {
     slot_counts[i] = sessions_[i]->matches();
@@ -187,7 +259,10 @@ bool BatchSession::one_scan_eligible() const {
 
 std::vector<int64_t> BatchSession::CountSelections(
     std::string_view bytes) const {
-  if (runner_) return plan_->ExpandCounts(runner_->CountSelections(bytes));
+  if (runner_) {
+    return plan_->ExpandCounts(
+        plan_->MemberCountsToSlots(runner_->CountSelections(bytes)));
+  }
   SST_CHECK_MSG(one_scan_eligible(),
                 "one-scan counting needs per-slot fused byte tables");
   std::vector<int64_t> slot_counts(sessions_.size());

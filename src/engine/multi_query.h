@@ -60,8 +60,15 @@ struct MultiQueryOptions {
 //   kLazyProduct    every unique query registerless but the product is
 //                   too big to materialize up front — states appear as
 //                   documents reach them, shared by all sessions;
-//   kIndependent    some query needs registers/stack: one machine per
-//                   unique query, stepped in lockstep.
+//   kMixed          registerless + stackless batch, every stackless
+//                   member carrying a fused restricted DRA: ONE scan
+//                   steps the registerless sub-product and every DRA
+//                   side by side. Requires the registerless sub-product
+//                   to fit eager_state_cap (the mixed tier has no lazy
+//                   rung);
+//   kIndependent    some query needs an unfused stackless machine or the
+//                   stack baseline: one machine per unique query,
+//                   stepped in lockstep.
 class MultiQueryPlan {
  public:
   struct Stats {
@@ -69,9 +76,10 @@ class MultiQueryPlan {
     int num_slots = 0;    // unique queries after canonical-key dedup
     MultiTier tier = MultiTier::kIndependent;
     bool fused_byte_table = false;  // eager product fused to 256-entry table
-    int eager_states = 0;           // eager product size (fused tier)
+    int eager_states = 0;           // eager product size (fused/mixed tiers)
     int lazy_states = 0;            // lazy states materialized so far (live)
     bool lazy_overflowed = false;   // some stream hit lazy_state_cap
+    int stackless_members = 0;      // mixed tier: DRA members in the batch
   };
 
   // Compiles the batch. Queries are deduplicated by PlanCache canonical
@@ -105,11 +113,22 @@ class MultiQueryPlan {
   const ByteTagDfaRunner* eager_fused() const { return eager_fused_.get(); }
   // Internally synchronized; safe to step from any number of sessions.
   LazyTagDfaProduct* lazy() const { return lazy_.get(); }
+  // Mixed tier: the fused DRA of every stackless member, in member order
+  // (borrowed from the slot plans); empty outside kMixed.
+  const std::vector<const ByteDraRunner*>& mixed_dras() const {
+    return mixed_dras_;
+  }
 
   // Expands per-slot counts (product/bitmask order) to per-query counts
   // (submission order); duplicates of one query report the same count.
   std::vector<int64_t> ExpandCounts(
       const std::vector<int64_t>& slot_counts) const;
+
+  // Mixed tier: reorders MultiTagDfaRunner member-order counts (product
+  // mask bits first, then DRA members) into slot order for ExpandCounts.
+  // Identity on every other tier, where member order IS slot order.
+  std::vector<int64_t> MemberCountsToSlots(
+      const std::vector<int64_t>& member_counts) const;
 
   Stats stats() const;
 
@@ -128,6 +147,12 @@ class MultiQueryPlan {
   std::optional<TagDfaProduct> eager_;
   std::unique_ptr<ByteTagDfaRunner> eager_fused_;
   std::unique_ptr<LazyTagDfaProduct> lazy_;
+
+  // Mixed tier bookkeeping: which slots ride the sub-product (in product
+  // mask-bit order) and which step a fused DRA (in DRA member order).
+  std::vector<int> product_slot_;
+  std::vector<int> dra_slot_;
+  std::vector<const ByteDraRunner*> mixed_dras_;  // borrowed from slot_plans_
 };
 
 // The run-many half: one document stream answering the whole batch.

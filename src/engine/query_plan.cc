@@ -1,5 +1,6 @@
 #include "engine/query_plan.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
@@ -10,17 +11,29 @@ namespace sst {
 
 namespace {
 
-// True when the fused byte→state rung of the degradation ladder exists:
-// every document label is a single lowercase letter covered by the TagDfa,
-// so the table can be keyed by the raw byte.
-bool FusedEligible(const TagDfa& dfa, const Alphabet& alphabet) {
-  if (alphabet.size() > dfa.num_symbols) return false;
+// Compact-markup label eligibility shared by both fused rungs: every
+// document label must be a single lowercase letter so tables can be keyed
+// by the raw byte.
+bool CompactLabels(const Alphabet& alphabet) {
   for (Symbol s = 0; s < alphabet.size(); ++s) {
     const std::string& label = alphabet.LabelOf(s);
     if (label.size() != 1 || label[0] < 'a' || label[0] > 'z') return false;
   }
   return true;
 }
+
+// True when the fused byte→state rung of the degradation ladder exists:
+// compact labels, all covered by the TagDfa.
+bool FusedEligible(const TagDfa& dfa, const Alphabet& alphabet) {
+  return alphabet.size() <= dfa.num_symbols && CompactLabels(alphabet);
+}
+
+// Budgets for materializing a stackless query into an explicit DRA at
+// plan-compile time. The state budget caps the BFS frontier; the table
+// budget caps the transient explicit table (2 × symbols × 3^chain entries
+// per state), which dominates memory when the register chain is long.
+constexpr int kDraStateBudget = 4096;
+constexpr int64_t kDraTableBudget = int64_t{1} << 22;
 
 // Owning adapter over the plan's minimal DFA for the pushdown baseline
 // tier (StackQueryEvaluator borrows a Dfa*; the plan outlives it via the
@@ -97,6 +110,48 @@ std::shared_ptr<const QueryPlan> QueryPlan::Compile(
   } else if (stackless) {
     plan->kind_ = EvaluatorKind::kStackless;
     plan->stackless_ = StacklessBlueprint::Build(plan->minimal_dfa_, term);
+    // Stackless fused rung: materialize the Lemma 3.8 machine into an
+    // explicit restricted DRA and flatten it to a byte table, when the
+    // format and labels allow and the table fits the budget. The budget is
+    // resolved *before* materializing — the blueprint's register bound
+    // (max_chain) fixes the per-state table cost, so the state cap is
+    // shrunk until the transient table is bounded too. Markup encoding
+    // only: term-encoded callers drive OnClose(-1) (universal closing
+    // tag), which an explicit DRA table cannot index — those plans keep
+    // the StacklessQueryEvaluator interpreter.
+    if (options.encoding == StreamEncoding::kMarkup &&
+        options.format == StreamFormat::kCompactMarkup &&
+        plan->minimal_dfa_.num_symbols == plan->alphabet_.size() &&
+        CompactLabels(plan->alphabet_) &&
+        plan->stackless_->max_chain <= Dra::kMaxRegisters) {
+      int64_t codes = 1;
+      for (int i = 0; i < plan->stackless_->max_chain; ++i) codes *= 3;
+      const int64_t per_state =
+          2 * static_cast<int64_t>(plan->minimal_dfa_.num_symbols) * codes;
+      const int64_t max_states =
+          std::min<int64_t>(kDraStateBudget, kDraTableBudget / per_state);
+      if (max_states >= 2) {
+        plan->stackless_dra_ = MaterializeStacklessQueryDra(
+            plan->minimal_dfa_, term, static_cast<int>(max_states));
+      }
+      if (plan->stackless_dra_) {
+        plan->fused_dra_ = std::make_unique<ByteDraRunner>(
+            &*plan->stackless_dra_, plan->alphabet_);
+#ifndef NDEBUG
+        // Same cross-check as the registerless rung: the fused DRA table
+        // and the scanner tables are derived independently from the same
+        // Alphabet and must agree on every letter byte.
+        for (int b = 'a'; b <= 'z'; ++b) {
+          SST_CHECK(plan->fused_dra_->byte_symbol(
+                        static_cast<unsigned char>(b)) ==
+                    plan->scanner_tables_.byte_symbol[b]);
+          SST_CHECK(plan->fused_dra_->byte_symbol(
+                        static_cast<unsigned char>(b - 'a' + 'A')) ==
+                    plan->scanner_tables_.byte_symbol[b - 'a' + 'A']);
+        }
+#endif
+      }
+    }
   } else if (options.allow_stack_fallback) {
     plan->kind_ = EvaluatorKind::kStackBaseline;
   } else {
@@ -112,6 +167,12 @@ std::unique_ptr<StreamMachine> QueryPlan::NewMachine() const {
     case EvaluatorKind::kRegisterless:
       return std::make_unique<TagDfaMachine>(&*tag_dfa_);
     case EvaluatorKind::kStackless:
+      // With the fused rung present, instantiate the machine as a DRA
+      // runner over the materialized automaton: it exports the (state,
+      // depth, registers) configuration the fused scanner syncs around
+      // each chunk, and steps the *same* automaton on the generic tier
+      // after a demotion — the two tiers cannot diverge.
+      if (fused_dra_) return std::make_unique<DraRunner>(&*stackless_dra_);
       return std::make_unique<StacklessQueryEvaluator>(&*stackless_);
     case EvaluatorKind::kStackBaseline:
       return std::make_unique<BorrowingStackMachine>(&minimal_dfa_);

@@ -7,7 +7,9 @@
 
 #include "automata/dfa.h"
 #include "classes/syntactic_classes.h"
+#include "dra/byte_dra_runner.h"
 #include "dra/byte_runner.h"
+#include "dra/dra.h"
 #include "dra/machine.h"
 #include "dra/streaming.h"
 #include "dra/tag_dfa.h"
@@ -51,10 +53,12 @@ struct PlanOptions {
 //
 // The degradation ladder (DESIGN.md "Robustness & recovery") is encoded in
 // which artifacts are present:
-//   fused byte table  ->  generic machine  ->  stack baseline
-// fused() non-null means the first rung exists; kind() names the strongest
-// machine tier NewMachine() instantiates; minimal_dfa() always supports
-// the pushdown baseline.
+//   fused byte table  ->  fused DRA table  ->  generic machine  ->  stack
+// fused() non-null means the registerless byte-table rung exists;
+// fused_dra() non-null the stackless one (Lemma 3.8 materialized into a
+// restricted DRA and flattened to byte-table form — at most one of the two
+// is present); kind() names the strongest machine tier NewMachine()
+// instantiates; minimal_dfa() always supports the pushdown baseline.
 class QueryPlan {
  public:
   // Classifies the query and builds every immutable table of the
@@ -93,12 +97,25 @@ class QueryPlan {
   // degradation ladder does not exist for this plan.
   const ByteTagDfaRunner* fused() const { return fused_.get(); }
 
+  // Stackless fused tier (kind() == kStackless, compact markup,
+  // single-lowercase-letter labels, materialization within budget): the
+  // Lemma 3.8 machine materialized into an explicit restricted DRA plus
+  // its fused byte table. Both null when the stackless query runs on the
+  // generic machine tier only. stackless_dra() is non-null iff fused_dra()
+  // is.
+  const Dra* stackless_dra() const {
+    return stackless_dra_ ? &*stackless_dra_ : nullptr;
+  }
+  const ByteDraRunner* fused_dra() const { return fused_dra_.get(); }
+
   // Per-byte scanner classification for options().format.
   const ScannerTables& scanner_tables() const { return scanner_tables_; }
 
   // --- Per-session instantiation ---------------------------------------
   // A fresh mutable machine borrowing this plan's tables: TagDfaMachine
-  // over tag_dfa(), StacklessQueryEvaluator over stackless(), or
+  // over tag_dfa(), DraRunner over stackless_dra() (when the fused DRA
+  // rung exists — it exports the configuration the fused scanner syncs)
+  // or StacklessQueryEvaluator over stackless() otherwise, or
   // StackQueryEvaluator over minimal_dfa(). O(registers) construction
   // cost, no table building; the machine must not outlive the plan (hold
   // the shared_ptr — engine/session.h does). Null iff !exact().
@@ -118,6 +135,8 @@ class QueryPlan {
   std::optional<TagDfa> tag_dfa_;
   std::optional<StacklessBlueprint> stackless_;
   std::unique_ptr<ByteTagDfaRunner> fused_;
+  std::optional<Dra> stackless_dra_;
+  std::unique_ptr<ByteDraRunner> fused_dra_;
   ScannerTables scanner_tables_;
 };
 

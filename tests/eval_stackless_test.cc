@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+#include <string>
+
 #include "automata/alphabet.h"
 #include "automata/minimize.h"
 #include "base/rng.h"
 #include "classes/syntactic_classes.h"
+#include "dra/byte_dra_runner.h"
 #include "dra/dra.h"
 #include "dra/machine.h"
 #include "eval/stack_evaluator.h"
@@ -175,6 +180,64 @@ TEST(Materialize, QueriesSelectTheSameNodesAsTheOracle) {
   for (const Tree& tree : testing::SampleTrees(120, 3, &rng)) {
     ASSERT_EQ(RunQueryOnTree(&runner, tree), SelectNodes(dfa, tree));
   }
+}
+
+// Satellite audit: a wide differential sweep over random minimal DFAs.
+// For every HAR language sampled, four evaluations of the same query must
+// agree node-for-node on every random tree:
+//   * the Lemma 3.8 interpreter (StacklessQueryEvaluator),
+//   * the materialized explicit DRA (MaterializeStacklessQueryDra),
+//   * the pushdown baseline (StackQueryEvaluator),
+//   * the ground-truth oracle (SelectNodes),
+// plus, byte-level, the fused ByteDraRunner's selection count over the
+// compact-markup serialization. Any divergence pins a bug to the layer
+// whose answer is the odd one out.
+TEST(DifferentialAudit, StacklessLayersAgreeOnRandomMinimalDfas) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Rng rng(2026);
+  std::vector<Dfa> languages = testing::SampleLanguages(
+      200, 2, [](const Dfa& d) { return IsHar(d); }, &rng,
+      /*max_attempts=*/40000);
+  ASSERT_GE(languages.size(), 100u);
+
+  int audited = 0;
+  int materialized = 0;
+  int fused = 0;
+  for (const Dfa& dfa : languages) {
+    ++audited;
+    StacklessQueryEvaluator interpreter(dfa, /*blind=*/false);
+    StackQueryEvaluator baseline(&dfa);
+    std::optional<Dra> dra =
+        MaterializeStacklessQueryDra(dfa, /*blind=*/false, 50000);
+    std::optional<DraRunner> runner;
+    std::optional<ByteDraRunner> byte_runner;
+    if (dra.has_value()) {
+      ASSERT_TRUE(IsRestricted(*dra));
+      runner.emplace(&*dra);
+      ++materialized;
+      if (dra->num_registers <= Dra::kMaxRegisters &&
+          dra->num_symbols == alphabet.size()) {
+        byte_runner.emplace(&*dra, alphabet);
+        ++fused;
+      }
+    }
+    for (const Tree& tree : testing::SampleTrees(15, dfa.num_symbols, &rng)) {
+      const std::vector<bool> want = SelectNodes(dfa, tree);
+      ASSERT_EQ(RunQueryOnTree(&interpreter, tree), want);
+      ASSERT_EQ(RunQueryOnTree(&baseline, tree), want);
+      if (runner) ASSERT_EQ(RunQueryOnTree(&*runner, tree), want);
+      if (byte_runner) {
+        int64_t selected = 0;
+        for (bool b : want) selected += static_cast<int64_t>(b);
+        std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+        ASSERT_EQ(byte_runner->CountSelections(doc), selected) << doc;
+      }
+    }
+  }
+  // The audit only means something if the deeper layers actually ran.
+  EXPECT_GE(audited, 100);
+  EXPECT_GT(materialized, 50);
+  EXPECT_GT(fused, 50);
 }
 
 TEST(Materialize, RespectsStateBudget) {

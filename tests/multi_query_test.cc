@@ -123,12 +123,45 @@ TEST(MultiQueryPlan, TierSelectionFollowsBatchVerdicts) {
   EXPECT_EQ(lazy->eager(), nullptr);
   ASSERT_NE(lazy->lazy(), nullptr);
 
-  // A stackless query in the batch rules the product tiers out.
+  // A stackless query with a fused DRA joins the registerless members in
+  // ONE scan: the mixed tier, registerless sub-product + DRA side-car.
   auto mixed = MultiQueryPlan::Compile(XPathBatch({"/a//b", "/a/b"}),
                                        alphabet, MultiQueryOptions{});
-  EXPECT_EQ(mixed->tier(), MultiTier::kIndependent);
-  EXPECT_EQ(mixed->eager(), nullptr);
+  EXPECT_EQ(mixed->tier(), MultiTier::kMixed);
+  EXPECT_NE(mixed->eager(), nullptr);
   EXPECT_EQ(mixed->lazy(), nullptr);
+  EXPECT_EQ(mixed->stats().stackless_members, 1);
+  ASSERT_EQ(mixed->mixed_dras().size(), 1u);
+
+  // The mixed tier needs every stackless member's fused DRA; term
+  // encoding has none (OnClose(-1) cannot be tabled), so the same batch
+  // steps independently there.
+  MultiQueryOptions term_options;
+  term_options.plan.encoding = StreamEncoding::kTerm;
+  term_options.plan.format = StreamFormat::kCompactTerm;
+  auto term_mixed = MultiQueryPlan::Compile(XPathBatch({"/a//b", "/a/b"}),
+                                            alphabet, term_options);
+  EXPECT_EQ(term_mixed->tier(), MultiTier::kIndependent);
+  EXPECT_EQ(term_mixed->eager(), nullptr);
+  EXPECT_EQ(term_mixed->lazy(), nullptr);
+
+  // Mixed has no lazy rung: an over-cap registerless sub-product demotes
+  // the whole batch to independent stepping.
+  MultiQueryOptions tiny_cap;
+  tiny_cap.eager_state_cap = 1;
+  auto capped = MultiQueryPlan::Compile(XPathBatch({"/a//b", "/a/b"}),
+                                        alphabet, tiny_cap);
+  EXPECT_EQ(capped->tier(), MultiTier::kIndependent);
+  EXPECT_EQ(capped->eager(), nullptr);
+  EXPECT_TRUE(capped->mixed_dras().empty());
+
+  // An all-stackless batch is mixed too: no product members, every slot a
+  // fused DRA.
+  auto all_dra = MultiQueryPlan::Compile(XPathBatch({"/a/b", "/b/*//c"}),
+                                         alphabet, MultiQueryOptions{});
+  EXPECT_EQ(all_dra->tier(), MultiTier::kMixed);
+  EXPECT_EQ(all_dra->eager(), nullptr);
+  EXPECT_EQ(all_dra->stats().stackless_members, 2);
 }
 
 // Satellite property test: 30 random trees × {markup, xml-lite, term} ×
@@ -247,6 +280,84 @@ TEST(BatchSession, IndependentTierMatchesReferenceToo) {
     for (size_t chunk : {size_t{1}, size_t{16}}) {
       EXPECT_EQ(DriveBatch(&batch, doc, chunk),
                 DriveIndependent(independent_ptrs, doc, chunk));
+    }
+  }
+}
+
+// Mixed tier: registerless + stackless in ONE scan must agree
+// query-for-query with independent per-query sessions — clean and faulted
+// inputs, every chunking, and the one-scan byte entry points.
+TEST(BatchSession, MixedTierMatchesIndependentReference) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(
+      XPathBatch({"/a//b", "/a/b", "/c//b", "/b/*//c"}), alphabet,
+      MultiQueryOptions{});
+  ASSERT_EQ(plan->tier(), MultiTier::kMixed);
+  EXPECT_EQ(plan->stats().stackless_members, 2);
+  BatchSession batch(plan);
+  EXPECT_EQ(batch.active_tier(), MultiTier::kMixed);
+  ASSERT_TRUE(batch.one_scan_eligible());
+
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+
+  Rng rng(107);
+  FaultInjector injector(107);
+  for (const Tree& tree : testing::SampleTrees(30, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    for (size_t chunk : {size_t{1}, size_t{3}, size_t{16}}) {
+      BatchRunRecord mixed = DriveBatch(&batch, doc, chunk);
+      BatchRunRecord reference =
+          DriveIndependent(independent_ptrs, doc, chunk);
+      EXPECT_EQ(mixed, reference) << "chunk " << chunk << ": " << doc;
+      if (mixed.ok) {
+        EXPECT_EQ(batch.CountSelections(doc), mixed.matches) << doc;
+      }
+    }
+    std::string mutated = doc;
+    injector.Apply(
+        static_cast<FaultKind>(rng.NextBelow(
+            static_cast<uint64_t>(kNumFaultKinds))),
+        &mutated);
+    for (size_t chunk : {size_t{1}, size_t{16}}) {
+      EXPECT_EQ(DriveBatch(&batch, mutated, chunk),
+                DriveIndependent(independent_ptrs, mutated, chunk))
+          << mutated;
+    }
+  }
+}
+
+// All-stackless mixed batch: no registerless sub-product at all, every
+// member a fused DRA stepped in the same scan.
+TEST(BatchSession, AllStacklessBatchRunsMixed) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plan = MultiQueryPlan::Compile(XPathBatch({"/a/b", "/b/*//c"}),
+                                      alphabet, MultiQueryOptions{});
+  ASSERT_EQ(plan->tier(), MultiTier::kMixed);
+  ASSERT_EQ(plan->eager(), nullptr);
+  BatchSession batch(plan);
+
+  std::vector<std::unique_ptr<Session>> independent;
+  std::vector<Session*> independent_ptrs;
+  for (const auto& slot_plan : plan->slot_plans()) {
+    independent.push_back(std::make_unique<Session>(slot_plan));
+    independent_ptrs.push_back(independent.back().get());
+  }
+
+  Rng rng(109);
+  for (const Tree& tree : testing::SampleTrees(20, 3, &rng)) {
+    std::string doc = ToCompactMarkup(alphabet, Encode(tree));
+    for (size_t chunk : {size_t{1}, size_t{7}}) {
+      BatchRunRecord mixed = DriveBatch(&batch, doc, chunk);
+      EXPECT_EQ(mixed, DriveIndependent(independent_ptrs, doc, chunk))
+          << doc;
+      if (mixed.ok) {
+        EXPECT_EQ(batch.CountSelections(doc), mixed.matches) << doc;
+      }
     }
   }
 }

@@ -116,6 +116,90 @@ TEST(SelectionMask, WideBatches) {
   EXPECT_NE(mask, other);
 }
 
+// Satellite audit: the narrow/wide representation boundary. Exactly 64
+// queries is the last single-word batch; 65 and 128 must spill into the
+// wide representation with no bit lost at the seams (bits 63, 64, 127).
+TEST(SelectionMask, BoundaryWidthsMatchScalarReference) {
+  for (int arity : {64, 65, 128}) {
+    SelectionMask mask(arity);
+    EXPECT_EQ(mask.narrow(), arity <= 64) << arity;
+
+    std::vector<bool> reference(static_cast<size_t>(arity), false);
+    std::vector<int> bits = {0, arity / 2, arity - 1};
+    if (arity > 64) {
+      bits.push_back(63);  // last bit of the first word
+      bits.push_back(64);  // first bit of the second word
+    }
+    Rng rng(static_cast<uint64_t>(arity));
+    for (int extra = 0; extra < 10; ++extra) {
+      bits.push_back(
+          static_cast<int>(rng.NextBelow(static_cast<uint64_t>(arity))));
+    }
+    for (int bit : bits) {
+      mask.Set(bit);
+      reference[static_cast<size_t>(bit)] = true;
+    }
+
+    int want_count = 0;
+    for (bool b : reference) want_count += static_cast<int>(b);
+    EXPECT_EQ(mask.Count(), want_count) << arity;
+    EXPECT_TRUE(mask.Any()) << arity;
+    for (int i = 0; i < arity; ++i) {
+      EXPECT_EQ(mask.Test(i), reference[static_cast<size_t>(i)])
+          << "arity " << arity << " bit " << i;
+    }
+
+    std::vector<int64_t> counts(static_cast<size_t>(arity), 0);
+    mask.AccumulateInto(counts.data());
+    mask.AccumulateInto(counts.data());
+    for (int i = 0; i < arity; ++i) {
+      EXPECT_EQ(counts[static_cast<size_t>(i)],
+                reference[static_cast<size_t>(i)] ? 2 : 0)
+          << "arity " << arity << " bit " << i;
+    }
+
+    // Equality must compare the full width, not just the first word.
+    SelectionMask twin(arity);
+    for (int bit : bits) twin.Set(bit);
+    EXPECT_EQ(mask, twin) << arity;
+    if (!twin.Test(1)) {
+      twin.Set(1);
+      EXPECT_NE(mask, twin) << arity;
+    }
+  }
+}
+
+// The same boundary, end to end: batches of exactly 64, 65, and 128
+// queries through the product runner, checked per query against the
+// independent scalar (single-query fused) counts.
+TEST(MultiTagDfaRunner, BatchWidth64And65And128MatchScalarReference) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto base = RegisterlessPlans(alphabet);
+  ASSERT_GE(base.size(), 4u);
+  for (int width : {64, 65, 128}) {
+    std::vector<std::shared_ptr<const QueryPlan>> plans;
+    for (int i = 0; i < width; ++i) {
+      plans.push_back(base[static_cast<size_t>(i) % base.size()]);
+    }
+    auto product = BuildTagDfaProduct(Components(plans), 1 << 16);
+    ASSERT_TRUE(product.has_value()) << width;
+    EXPECT_EQ(product->arity, width);
+    EXPECT_EQ(product->narrow, width <= 64);
+
+    MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet,
+                             nullptr, &*product, nullptr, nullptr);
+    for (const std::string& doc :
+         MarkupDocuments(alphabet, 10, 200 + static_cast<uint64_t>(width))) {
+      std::vector<int64_t> counts = runner.CountSelections(doc);
+      ASSERT_EQ(counts.size(), static_cast<size_t>(width));
+      for (size_t q = 0; q < counts.size(); ++q) {
+        EXPECT_EQ(counts[q], plans[q]->fused()->CountSelections(doc))
+            << "width " << width << " query " << q << ": " << doc;
+      }
+    }
+  }
+}
+
 TEST(TagDfaProduct, EagerCountsMatchComponentsOnRandomTrees) {
   Alphabet alphabet = Alphabet::FromLetters("abc");
   auto plans = RegisterlessPlans(alphabet);
@@ -307,6 +391,143 @@ TEST(MultiTagDfaRunner, RunValidatedParityOnFaultedInputs) {
         EXPECT_EQ(multi.nodes, single.nodes) << doc;
         EXPECT_EQ(multi.events, single.events) << doc;
         EXPECT_EQ(multi.max_depth, single.max_depth) << doc;
+      }
+    }
+  }
+}
+
+// Satellite audit: a stream that demotes to wide mode MID-chunk must
+// report the same first StreamError (code + offset) as a run that was
+// wide from its very first event, and as the independent per-query
+// sessions — demotion may never move or change the error.
+TEST(MultiTagDfaRunner, WideDemotionMidChunkKeepsFirstErrorParity) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(plans.size(), 4u);
+  // Cap 2: the stream runs dense for a couple of states, then demotes
+  // mid-document. Cap 1: the very first transition overflows, so the
+  // stream is effectively wide from scratch.
+  LazyTagDfaProduct lazy_mid(Components(plans), 2);
+  LazyTagDfaProduct lazy_scratch(Components(plans), 1);
+  MultiTagDfaRunner mid(StreamFormat::kCompactMarkup, &alphabet, nullptr,
+                        nullptr, nullptr, &lazy_mid);
+  MultiTagDfaRunner scratch(StreamFormat::kCompactMarkup, &alphabet, nullptr,
+                            nullptr, nullptr, &lazy_scratch);
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  for (const auto& plan : plans) {
+    sessions.push_back(std::make_unique<Session>(plan));
+  }
+
+  auto drive = [](auto* target, const std::string& doc, size_t chunk) {
+    target->Reset();
+    bool ok = true;
+    for (size_t i = 0; i < doc.size() && ok; i += chunk) {
+      ok = target->Feed(std::string_view(doc).substr(i, chunk));
+    }
+    if (ok) ok = target->Finish();
+    return ok;
+  };
+
+  FaultInjector injector(73);
+  bool saw_mid_demotion = false;
+  for (const std::string& doc : MarkupDocuments(alphabet, 30, 73)) {
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      std::string mutated = doc;
+      injector.Apply(static_cast<FaultKind>(kind), &mutated);
+      for (size_t chunk : {size_t{3}, size_t{16}}) {
+        bool mid_ok = drive(&mid, mutated, chunk);
+        bool scratch_ok = drive(&scratch, mutated, chunk);
+        EXPECT_EQ(mid_ok, scratch_ok) << mutated;
+        EXPECT_EQ(mid.stream_error().code, scratch.stream_error().code)
+            << mutated;
+        EXPECT_EQ(mid.stream_error().offset, scratch.stream_error().offset)
+            << mutated;
+        EXPECT_EQ(mid.query_matches(), scratch.query_matches()) << mutated;
+        saw_mid_demotion |=
+            mid.active_tier() == MultiTier::kIndependent;
+
+        // And both agree with the per-query reference sessions.
+        bool session_ok = drive(sessions.front().get(), mutated, chunk);
+        EXPECT_EQ(mid_ok, session_ok) << mutated;
+        EXPECT_EQ(mid.stream_error().code,
+                  sessions.front()->stream_error().code)
+            << mutated;
+        EXPECT_EQ(mid.stream_error().offset,
+                  sessions.front()->stream_error().offset)
+            << mutated;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_mid_demotion);
+  EXPECT_TRUE(lazy_mid.overflowed());
+}
+
+// Mixed batch (registerless product + fused DRAs) through the validated
+// whole-document entry point: same first error, same counters, and
+// per-member counts equal to each member's own fused validated run.
+TEST(MultiTagDfaRunner, MixedBatchRunValidatedParity) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  auto product_plans = RegisterlessPlans(alphabet);
+  ASSERT_GE(product_plans.size(), 2u);
+  product_plans.resize(2);
+  std::vector<std::shared_ptr<const QueryPlan>> dra_plans;
+  for (const char* xpath : {"/a/b", "/b/*//c"}) {
+    auto plan = CompileXPath(xpath, alphabet);
+    ASSERT_EQ(plan->kind(), EvaluatorKind::kStackless) << xpath;
+    ASSERT_NE(plan->fused_dra(), nullptr) << xpath;
+    dra_plans.push_back(std::move(plan));
+  }
+  auto eager = BuildTagDfaProduct(Components(product_plans), 1 << 16);
+  ASSERT_TRUE(eager.has_value());
+  std::vector<const ByteDraRunner*> dras;
+  for (const auto& plan : dra_plans) dras.push_back(plan->fused_dra());
+
+  MultiTagDfaRunner runner(StreamFormat::kCompactMarkup, &alphabet, nullptr,
+                           &*eager, nullptr, nullptr, dras);
+  EXPECT_EQ(runner.tier(), MultiTier::kMixed);
+  ASSERT_TRUE(runner.one_scan_eligible());
+
+  FaultInjector injector(79);
+  std::vector<std::string> documents = MarkupDocuments(alphabet, 30, 79);
+  std::vector<std::string> faulted;
+  for (const std::string& doc : documents) {
+    for (int kind = 0; kind < kNumFaultKinds; ++kind) {
+      std::string mutated = doc;
+      injector.Apply(static_cast<FaultKind>(kind), &mutated);
+      faulted.push_back(std::move(mutated));
+    }
+  }
+  documents.insert(documents.end(), faulted.begin(), faulted.end());
+
+  StreamLimits tight;
+  tight.max_depth = 5;
+  tight.max_events = 40;
+  const size_t base = product_plans.size();
+  for (const StreamLimits& limits : {StreamLimits{}, tight}) {
+    for (const std::string& doc : documents) {
+      MultiValidatedRun multi = runner.RunValidated(doc, limits);
+      ASSERT_EQ(multi.matches.size(), product_plans.size() + dras.size());
+      for (size_t q = 0; q < product_plans.size(); ++q) {
+        ValidatedRun single =
+            product_plans[q]->fused()->RunValidated(doc, limits);
+        EXPECT_EQ(multi.error, single.error) << "member " << q << ": " << doc;
+        EXPECT_EQ(multi.matches[q], single.matches)
+            << "member " << q << ": " << doc;
+      }
+      for (size_t j = 0; j < dras.size(); ++j) {
+        ValidatedRun single = dras[j]->RunValidated(doc, limits);
+        EXPECT_EQ(multi.error, single.error)
+            << "DRA member " << j << ": " << doc;
+        EXPECT_EQ(multi.matches[base + j], single.matches)
+            << "DRA member " << j << ": " << doc;
+        EXPECT_EQ(multi.nodes, single.nodes) << doc;
+        EXPECT_EQ(multi.events, single.events) << doc;
+        EXPECT_EQ(multi.max_depth, single.max_depth) << doc;
+      }
+      if (multi.ok()) {
+        std::vector<int64_t> one_scan = runner.CountSelections(doc);
+        EXPECT_EQ(one_scan, multi.matches) << doc;
       }
     }
   }
