@@ -11,9 +11,21 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "automata/alphabet.h"
 #include "automata/minimize.h"
@@ -925,6 +937,74 @@ BENCHMARK(BM_StacklessFusedScan);
 BENCHMARK(BM_StacklessFusedStreaming);
 BENCHMARK(BM_StacklessInterpreterStreaming);
 
+// --- Padded-corpus variants of the runner benchmarks --------------------
+// The dense TiledMarkup corpora above measure the worst case for the
+// structural index (every byte structural, no gaps to skip); these tile
+// the pretty-printed document instead, so roughly 80% of the bytes are
+// indentation the stage-1 SIMD scan removes before the table walk.
+
+const std::string& TiledPaddedMarkup(size_t target_bytes) {
+  static std::map<size_t, std::string>* cache =
+      new std::map<size_t, std::string>();
+  auto it = cache->find(target_bytes);
+  if (it != cache->end()) return it->second;
+  const std::string& base = PaddedMarkupBytes();
+  std::string out = "a";
+  out.reserve(target_bytes + base.size() + 2);
+  while (out.size() + base.size() + 1 < target_bytes) out += base;
+  out += "A";
+  return (*cache)[target_bytes] = std::move(out);
+}
+
+void BM_SequentialFusedRunnerPadded(benchmark::State& state) {
+  size_t mib = static_cast<size_t>(state.range(0));
+  BenchSetup setup(false);
+  ByteTagDfaRunner runner(setup.evaluator);
+  const std::string& bytes = TiledPaddedMarkup(mib << 20);
+  int64_t matches = 0;
+  for (auto _ : state) {
+    matches = runner.CountSelections(bytes);
+    benchmark::DoNotOptimize(matches);
+  }
+  SST_CHECK(matches == runner.CountSelectionsPerByte(bytes));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  state.SetLabel("seq-pad/" + std::to_string(mib) + "MiB/kernel=" +
+                 ByteScanKernelName());
+}
+
+void BM_ParallelSpeculativeRunnerPadded(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  size_t mib = static_cast<size_t>(state.range(1));
+  BenchSetup setup(false);
+  ByteTagDfaRunner runner(setup.evaluator);
+  ThreadPool pool(threads);
+  ParallelTagDfaRunner parallel(&runner, &pool);
+  const std::string& bytes = TiledPaddedMarkup(mib << 20);
+  const int chunks = threads * 4;
+  const int64_t expected = runner.CountSelections(bytes);
+  const int expected_state = runner.FinalState(bytes);
+  for (auto _ : state) {
+    ParallelTagDfaRunner::Result result = parallel.Run(bytes, chunks);
+    SST_CHECK(result.selections == expected);
+    SST_CHECK(result.final_state == expected_state);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["threads"] = threads;
+  state.counters["matches"] = static_cast<double>(expected);
+  state.SetLabel("par-pad/threads=" + std::to_string(threads) + "/" +
+                 std::to_string(mib) + "MiB");
+}
+
+BENCHMARK(BM_SequentialFusedRunnerPadded)->Arg(16)->Arg(64);
+BENCHMARK(BM_ParallelSpeculativeRunnerPadded)
+    ->ArgsProduct({{1, 2, 4, 8}, {16}})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 // Mixed multi-query batch: registerless members on the eager sub-product,
 // stackless members stepping their fused DRAs, all in ONE scan — vs the
 // same batch answered by per-member fused scans.
@@ -989,4 +1069,162 @@ BENCHMARK(BM_StacklessFusedMixedBatchIndependent);
 }  // namespace
 }  // namespace sst
 
-BENCHMARK_MAIN();
+// --- Custom main: benchmark context + the --corpus flag -----------------
+// `--corpus <path>` (or --corpus=<path>) mmaps a real document and
+// registers per-tier throughput benchmarks over its bytes: the stage-1
+// structural scan alone, then each fused count-scan tier. All of these
+// are pure table walks, well-defined on arbitrary byte content, so any
+// file measures — the corpus does not have to be well-formed compact
+// markup (bytes outside the tag alphabet self-loop).
+
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SST_BENCH_HAVE_MMAP 1
+#endif
+
+// Leaked on purpose: benchmarks registered over the mapping run until
+// process exit.
+std::string_view MapCorpus(const char* path) {
+#if defined(SST_BENCH_HAVE_MMAP)
+  int fd = ::open(path, O_RDONLY);
+  if (fd < 0) {
+    std::perror(path);
+    std::exit(1);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    std::fprintf(stderr, "--corpus %s: empty or unreadable\n", path);
+    std::exit(1);
+  }
+  void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    std::perror("mmap");
+    std::exit(1);
+  }
+  return {static_cast<const char*>(mapped), static_cast<size_t>(st.st_size)};
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "--corpus %s: unreadable\n", path);
+    std::exit(1);
+  }
+  auto* owned = new std::string(std::istreambuf_iterator<char>(in), {});
+  return *owned;
+#endif
+}
+
+void RegisterCorpusBenches(std::string_view corpus) {
+  const char* data = corpus.data();
+  const size_t len = corpus.size();
+  const auto bytes_done = [len](benchmark::State& state) {
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(len));
+  };
+
+  benchmark::RegisterBenchmark(
+      "BM_CorpusStage1Extract", [=](benchmark::State& state) {
+        std::vector<uint32_t> positions(len);
+        size_t structural = 0;
+        for (auto _ : state) {
+          structural = sst::ExtractStructural(data, len, positions.data());
+          benchmark::DoNotOptimize(positions.data());
+        }
+        bytes_done(state);
+        state.counters["structural_fraction"] =
+            len == 0 ? 0.0
+                     : static_cast<double>(structural) /
+                           static_cast<double>(len);
+        state.SetLabel(std::string("corpus/stage1-extract/kernel=") +
+                       sst::ByteScanKernelName());
+      });
+
+  benchmark::RegisterBenchmark(
+      "BM_CorpusRegisterlessFusedScan", [=](benchmark::State& state) {
+        auto plan = sst::QueryPlan::Compile(
+            sst::Rpq::FromXPath("/a//b", sst::Alphabet::FromLetters("abc")),
+            sst::PlanOptions{});
+        SST_CHECK(plan->fused() != nullptr);
+        int64_t matches = 0;
+        for (auto _ : state) {
+          matches = plan->fused()->CountSelections({data, len});
+          benchmark::DoNotOptimize(matches);
+        }
+        bytes_done(state);
+        state.counters["matches"] = static_cast<double>(matches);
+        state.SetLabel("corpus/registerless-fused-scan");
+      });
+
+  benchmark::RegisterBenchmark(
+      "BM_CorpusStacklessFusedScan", [=](benchmark::State& state) {
+        auto plan = sst::QueryPlan::Compile(
+            sst::Rpq::FromXPath("/a/b", sst::Alphabet::FromLetters("abc")),
+            sst::PlanOptions{});
+        SST_CHECK(plan->fused_dra() != nullptr);
+        int64_t matches = 0;
+        for (auto _ : state) {
+          matches = plan->fused_dra()->CountSelections({data, len});
+          benchmark::DoNotOptimize(matches);
+        }
+        bytes_done(state);
+        state.counters["matches"] = static_cast<double>(matches);
+        state.SetLabel("corpus/stackless-fused-scan");
+      });
+
+  benchmark::RegisterBenchmark(
+      "BM_CorpusMixedBatchScan", [=](benchmark::State& state) {
+        sst::Alphabet alphabet = sst::Alphabet::FromLetters("abc");
+        std::vector<sst::BatchQuery> batch;
+        for (const char* text : {"/a//b", "/c//b", "/a/b", "/b/*//c"}) {
+          batch.push_back(
+              sst::BatchQuery{sst::QuerySyntax::kXPath, text});
+        }
+        auto plan = sst::MultiQueryPlan::Compile(batch, alphabet,
+                                                 sst::MultiQueryOptions{});
+        sst::BatchSession session(plan);
+        SST_CHECK(session.one_scan_eligible());
+        std::vector<int64_t> counts;
+        for (auto _ : state) {
+          counts = session.CountSelections({data, len});
+          benchmark::DoNotOptimize(counts.data());
+        }
+        bytes_done(state);
+        state.counters["queries"] = static_cast<double>(counts.size());
+        state.SetLabel("corpus/mixed-batch-scan");
+      });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Extract --corpus before benchmark::Initialize sees (and rejects) it.
+  const char* corpus_path = nullptr;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      corpus_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--corpus=", 9) == 0) {
+      corpus_path = argv[i] + 9;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("byte_scan_kernel", sst::ByteScanKernelName());
+#ifdef NDEBUG
+  benchmark::AddCustomContext("build_type", "Release");
+#else
+  benchmark::AddCustomContext("build_type", "Debug");
+#endif
+  if (corpus_path != nullptr) {
+    RegisterCorpusBenches(MapCorpus(corpus_path));
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compares a BENCH_streaming.json artifact against committed baselines.
+
+bench/bench_baselines.json pins the padded-corpus throughput (MiB/s) of
+the fused-tier benchmarks — the rows the structural-index execution path
+is responsible for. A run must reach at least (1 - tolerance) of each
+committed figure; anything lower fails the check (and CI). Missing rows
+fail too, so a silently-skipped benchmark cannot pass.
+
+Usage:
+  check_bench_baselines.py [--artifact BENCH_streaming.json]
+                           [--baselines bench/bench_baselines.json]
+                           [--tolerance 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--artifact", default="BENCH_streaming.json")
+    parser.add_argument("--baselines", default="bench/bench_baselines.json")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+    with open(args.baselines) as handle:
+        baselines = json.load(handle)
+
+    measured = {
+        bench["name"]: bench.get("mib_per_second")
+        for bench in artifact.get("benchmarks", [])
+    }
+
+    failures = []
+    print(f"{'benchmark':55} {'baseline':>10} {'floor':>10} {'measured':>10}")
+    for name, baseline in sorted(baselines["baselines_mib_per_second"].items()):
+        floor = baseline * (1.0 - args.tolerance)
+        got = measured.get(name)
+        shown = "MISSING" if got is None else f"{got:.1f}"
+        print(f"{name:55} {baseline:10.1f} {floor:10.1f} {shown:>10}")
+        if got is None:
+            failures.append(f"{name}: not present in {args.artifact}")
+        elif got < floor:
+            failures.append(
+                f"{name}: {got:.1f} MiB/s < floor {floor:.1f} MiB/s "
+                f"(baseline {baseline:.1f}, tolerance {args.tolerance:.0%})")
+
+    if failures:
+        print("\nFAIL: padded-corpus throughput regression", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("\nOK: all fused-tier padded-corpus benchmarks within tolerance")
+
+
+if __name__ == "__main__":
+    main()

@@ -185,4 +185,20 @@ size_t FindStructural(const char* data, size_t len) {
   return len;
 }
 
+size_t ExtractStructural(const char* data, size_t len, uint32_t* out) {
+  const ScanDispatch& dispatch = Active();
+  size_t count = 0;
+  size_t i = 0;
+  while (i < len) {
+    size_t n = len - i < 64 ? len - i : 64;
+    uint64_t mask = dispatch.classify(data + i, n);
+    uint32_t base = static_cast<uint32_t>(i);
+    for (; mask != 0; mask &= mask - 1) {
+      out[count++] = base + static_cast<uint32_t>(std::countr_zero(mask));
+    }
+    i += n;
+  }
+  return count;
+}
+
 }  // namespace sst

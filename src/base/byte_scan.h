@@ -1,8 +1,10 @@
 #ifndef SST_BASE_BYTE_SCAN_H_
 #define SST_BASE_BYTE_SCAN_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 namespace sst {
 
@@ -45,6 +47,67 @@ const char* ByteScanKernelName();
 // Offset of the first structural (non-whitespace) byte in [0, len), or len
 // when the whole range is whitespace.
 size_t FindStructural(const char* data, size_t len);
+
+// Stage-1 structural index: compacts the ClassifyBlock bitmasks into a
+// position buffer with a ctz walk. `out` must have room for len entries;
+// the return value is how many were written (the number of structural
+// bytes). Positions are uint32_t, so a single extracted range is capped at
+// 4 GiB — chunked callers are always far below that.
+size_t ExtractStructural(const char* data, size_t len, uint32_t* out);
+
+// Streaming view of the same index for loops that need to break, switch
+// modes mid-scan, or interleave with other state (validators, the chunked
+// scanner): Next() yields structural offsets in increasing order and len
+// when exhausted. One ClassifyBlock call per 64-byte block, one ctz pop
+// per structural byte, no buffer.
+class StructuralIterator {
+ public:
+  StructuralIterator(const char* data, size_t len)
+      : data_(data), len_(len) {}
+
+  size_t Next() {
+    while (mask_ == 0) {
+      if (base_ >= len_) return len_;
+      size_t n = len_ - base_ < 64 ? len_ - base_ : 64;
+      next_base_ = base_ + n;
+      mask_ = ClassifyBlock(data_ + base_, n);
+      if (mask_ == 0) base_ = next_base_;
+    }
+    size_t pos = base_ + static_cast<size_t>(std::countr_zero(mask_));
+    mask_ &= mask_ - 1;
+    if (mask_ == 0) base_ = next_base_;
+    return pos;
+  }
+
+ private:
+  const char* data_;
+  size_t len_;
+  size_t base_ = 0;
+  size_t next_base_ = 0;
+  uint64_t mask_ = 0;
+};
+
+// Calls fn(offset) for every structural byte of [data, data + len), in
+// order. The workhorse of the indexed batch loops: fully-structural blocks
+// (mask == all-ones, the dense-corpus steady state) take a plain 64-byte
+// loop so the index costs one ClassifyBlock per block and nothing per
+// byte; sparse blocks take the ctz walk and skip text/whitespace entirely.
+template <typename Fn>
+inline void ForEachStructural(const char* data, size_t len, Fn&& fn) {
+  size_t i = 0;
+  while (i < len) {
+    size_t n = len - i < 64 ? len - i : 64;
+    uint64_t mask = ClassifyBlock(data + i, n);
+    if (mask == ~uint64_t{0}) {
+      for (size_t k = 0; k < 64; ++k) fn(i + k);
+    } else {
+      for (; mask != 0; mask &= mask - 1) {
+        fn(i + static_cast<size_t>(std::countr_zero(mask)));
+      }
+    }
+    i += n;
+  }
+}
 
 }  // namespace sst
 

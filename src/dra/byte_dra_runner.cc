@@ -73,11 +73,14 @@ DraConfig ByteDraRunner::InitialConfig() const {
 
 DraConfig ByteDraRunner::FinalConfig(std::string_view bytes) const {
   DraConfig config = InitialConfig();
-  for (unsigned char byte : bytes) Next(&config, byte);
+  ForEachStructural(bytes.data(), bytes.size(),
+                    [&](size_t i) {
+                      Next(&config, static_cast<unsigned char>(bytes[i]));
+                    });
   return config;
 }
 
-int64_t ByteDraRunner::CountSelections(std::string_view bytes) const {
+int64_t ByteDraRunner::CountSelectionsPerByte(std::string_view bytes) const {
   DraConfig config = InitialConfig();
   int64_t selected = 0;
   for (unsigned char byte : bytes) {
@@ -93,6 +96,26 @@ int64_t ByteDraRunner::CountSelections(std::string_view bytes) const {
       if (s >= 0) StepClose(&config, s);
     }
   }
+  return selected;
+}
+
+int64_t ByteDraRunner::CountSelections(std::string_view bytes) const {
+  DraConfig config = InitialConfig();
+  int64_t selected = 0;
+  // Structural-index walk: whitespace gaps leave the configuration and the
+  // count untouched (text_run_trivial() by construction), so the automaton
+  // only ever sees structural bytes.
+  ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepOpen(&config, s);
+      selected += static_cast<int64_t>(accepting_[config.state]);
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepClose(&config, s);
+    }
+  });
   return selected;
 }
 
@@ -123,9 +146,12 @@ ValidatedRun ByteDraRunner::RunValidated(std::string_view bytes,
     run.error.expected = expected;
     run.error.got = got;
   };
-  for (size_t i = 0; i < scan_end; ++i) {
+  // Same structural-index iteration as ByteTagDfaRunner::RunValidated:
+  // validation treats whitespace as pure identity, so skipping it with the
+  // index preserves every error code and byte offset.
+  StructuralIterator structural(bytes.data(), scan_end);
+  for (size_t i = structural.Next(); i < scan_end; i = structural.Next()) {
     unsigned char byte = static_cast<unsigned char>(bytes[i]);
-    if (ByteIsAsciiWs(byte)) continue;
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = byte_symbol_[byte];
       if (s < 0) {

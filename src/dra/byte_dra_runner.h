@@ -53,7 +53,22 @@ class ByteDraRunner {
   // sampled after every opening byte 'a'..'z'). Bytes that are no known tag
   // letter self-loop and leave the configuration untouched; unknown
   // *lowercase* letters still sample acceptance — ByteTagDfaRunner parity.
+  // Runs over the SIMD structural index: whitespace gaps are skipped in
+  // bulk (sound unconditionally here — see text_run_trivial()).
   int64_t CountSelections(std::string_view bytes) const;
+
+  // Per-byte reference loop (no structural index): the oracle the parity
+  // tests diff the indexed path against.
+  int64_t CountSelectionsPerByte(std::string_view bytes) const;
+
+  // Text-run closure of this runner, trivially: a whitespace byte is
+  // neither an opening nor a closing letter, so Next() leaves the
+  // configuration untouched (identity fixpoint) and the sampling predicate
+  // ('a'..'z' only) never counts it (zero coefficient). Unlike
+  // ByteTagDfaRunner there is no 256-wide row that could disagree — text
+  // bytes never index the table at all — so the closure is exact and
+  // trivial by construction for every DRA.
+  bool text_run_trivial() const { return true; }
 
   // Final-configuration acceptance after the whole stream.
   bool Accepts(std::string_view bytes) const;

@@ -44,8 +44,17 @@ class ByteTagDfaRunner {
 
   // Streams the bytes; returns the number of pre-selected nodes (accepting
   // states entered on opening bytes 'a'..'z'; all other bytes self-loop and
-  // never count).
+  // never count). Runs over the structural index when the text-run closure
+  // allows (see below): the SIMD stage-1 scan classifies 64 bytes at a
+  // time and the table walk touches only structural bytes, advancing each
+  // whitespace gap in O(1) with the per-state closure.
   int64_t CountSelections(std::string_view bytes) const;
+
+  // The per-byte reference loop (one table load per input byte, no
+  // structural index). This is both the fallback for tables whose text-run
+  // closure is not exact and the oracle the parity tests diff the indexed
+  // paths against.
+  int64_t CountSelectionsPerByte(std::string_view bytes) const;
 
   // Final-state acceptance after the whole stream.
   bool Accepts(std::string_view bytes) const;
@@ -64,6 +73,25 @@ class ByteTagDfaRunner {
   // State reached from the initial state after the whole stream (the
   // sequential reference the parallel runner must reproduce).
   int FinalState(std::string_view bytes) const;
+  int FinalStatePerByte(std::string_view bytes) const;
+
+  // Text-run closure (computed from the table at construction, not
+  // assumed): for each state q, the fixpoint state text_fixpoint(q) that a
+  // run of non-structural (whitespace) bytes converges to, and the
+  // per-byte selection coefficient text_coeff(q) such a run accrues. The
+  // closure is *exact* when every state steps uniformly across the six
+  // whitespace bytes and the step is idempotent — then a gap of g > 0 text
+  // bytes is equivalent to: count += coeff(q) + (g-1)*coeff(fix(q));
+  // q = fix(q). It is *trivial* when additionally fix(q) == q and the
+  // coefficient is zero for every q — then gaps need no work at all. The
+  // tables this runner builds are trivial by construction (non-letter
+  // bytes self-loop and only 'a'..'z' samples acceptance); the flags keep
+  // that a checked property rather than a silent assumption, and the
+  // indexed fast paths gate on them with the per-byte loop as fallback.
+  bool text_run_trivial() const { return text_run_trivial_; }
+  bool text_run_exact() const { return text_run_exact_; }
+  int text_fixpoint(int state) const { return text_fix_[state]; }
+  int text_coeff(int state) const { return text_coeff_[state]; }
 
   // Incremental stepping for chunked scanners.
   int initial_state() const { return initial_; }
@@ -90,6 +118,7 @@ class ByteTagDfaRunner {
 
  private:
   void BuildTable(const TagDfa& dfa, const Symbol* byte_symbol);
+  void ComputeTextClosure();
 
   int Step(int state, unsigned char byte) const {
     size_t index = static_cast<size_t>(state) * 256 + byte;
@@ -102,6 +131,8 @@ class ByteTagDfaRunner {
   template <typename T>
   int64_t CountSelectionsImpl(const T* table, std::string_view bytes) const;
   template <typename T>
+  int64_t CountSelectionsIndexed(const T* table, std::string_view bytes) const;
+  template <typename T>
   int FinalStateImpl(const T* table, std::string_view bytes) const;
 
   int num_states_;
@@ -109,6 +140,11 @@ class ByteTagDfaRunner {
   std::vector<uint16_t> table16_;  // num_states * 256 when < 65536 states
   std::vector<int32_t> table32_;   // num_states * 256 otherwise
   std::vector<uint8_t> accepting_;
+  // Text-run closure, indexed by state (see the accessors above).
+  std::vector<int32_t> text_fix_;
+  std::vector<int32_t> text_coeff_;
+  bool text_run_trivial_ = false;
+  bool text_run_exact_ = false;
   // byte → symbol of the construction convention; -1 for bytes that are
   // not a known opening/closing letter. Only RunValidated consults it.
   std::array<Symbol, 256> byte_symbol_;

@@ -252,14 +252,7 @@ void MultiTagDfaRunner::CountSelectionsFused(
   const uint64_t* mask_words = eager_->mask_words.data();
   int64_t* out = counts->data();
   int state = eager_fused_->initial_state();
-  for (size_t i = 0; i < bytes.size(); ++i) {
-    unsigned char byte = static_cast<unsigned char>(bytes[i]);
-    if (ByteIsAsciiWs(byte)) {
-      // Whitespace self-loops and never counts; jump the whole run with
-      // the SWAR/SIMD kernel instead of one table load per byte.
-      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
-      continue;
-    }
+  auto accumulate = [&](unsigned char byte) {
     state = table[static_cast<size_t>(state) * 256 + byte];
     if (byte >= 'a' && byte <= 'z') {
       uint64_t mask = mask_words[state];
@@ -274,6 +267,26 @@ void MultiTagDfaRunner::CountSelectionsFused(
 #endif
       }
     }
+  };
+  if (eager_fused_->text_run_trivial()) {
+    // Structural-index walk: the product table's whitespace rows self-loop
+    // and never count (trivial text-run closure, checked at construction),
+    // so the stage-1 scan drops every text byte before the table walk.
+    ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
+      accumulate(static_cast<unsigned char>(bytes[i]));
+    });
+    return;
+  }
+  // Per-byte fallback for a non-trivial closure (also the reference the
+  // parity tests run against): whitespace runs are still jumped with the
+  // SWAR/SIMD kernel, but every structural byte costs a table load.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (ByteIsAsciiWs(byte)) {
+      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
+      continue;
+    }
+    accumulate(byte);
   }
 }
 
@@ -281,12 +294,12 @@ void MultiTagDfaRunner::CountSelectionsLazy(
     std::string_view bytes, std::vector<int64_t>* counts) const {
   LazyProductCursor cursor(lazy_);
   int64_t* out = counts->data();
-  for (size_t i = 0; i < bytes.size(); ++i) {
+  // The cursor steps only on tag letters — whitespace is identity on both
+  // the cursor and the counts — so the structural index is sound here
+  // unconditionally (including across a mid-scan wide-mode demotion: the
+  // latched cursor state rides along untouched through every gap).
+  ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
     unsigned char byte = static_cast<unsigned char>(bytes[i]);
-    if (ByteIsAsciiWs(byte)) {
-      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
-      continue;
-    }
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = byte_symbol_[byte];
       // Unknown lowercase letters self-loop (ByteTagDfaRunner parity):
@@ -297,8 +310,8 @@ void MultiTagDfaRunner::CountSelectionsLazy(
       Symbol s = byte_symbol_[byte];
       if (s >= 0) cursor.Close(s);
     }
-    // All other bytes self-loop and never count.
-  }
+    // All other structural bytes self-loop and never count.
+  });
 }
 
 void MultiTagDfaRunner::CountSelectionsMixed(
@@ -312,12 +325,11 @@ void MultiTagDfaRunner::CountSelectionsMixed(
   for (const ByteDraRunner* dra : mixed_dras_) {
     configs.push_back(dra->InitialConfig());
   }
-  for (size_t i = 0; i < bytes.size(); ++i) {
+  // Mixed tier: the sub-product and every DRA side-car step only on tag
+  // letters, so the structural index is sound unconditionally (whitespace
+  // is identity on all the interleaved machines at once).
+  ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
     unsigned char byte = static_cast<unsigned char>(bytes[i]);
-    if (ByteIsAsciiWs(byte)) {
-      i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
-      continue;
-    }
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = byte_symbol_[byte];
       if (s >= 0) {
@@ -344,8 +356,8 @@ void MultiTagDfaRunner::CountSelectionsMixed(
         }
       }
     }
-    // All other bytes self-loop and never count.
-  }
+    // All other structural bytes self-loop and never count.
+  });
 }
 
 std::vector<int64_t> MultiTagDfaRunner::CountSelections(
@@ -367,14 +379,11 @@ std::vector<int64_t> MultiTagDfaRunner::CountSelections(
   }
   if (eager_ != nullptr) {
     // Eager product without a byte table (or a >64-query batch): walk the
-    // product TagDfa directly.
+    // product TagDfa directly over the structural index (the walk steps on
+    // tag letters only, so whitespace is identity).
     int state = eager_->dfa.initial;
-    for (size_t i = 0; i < bytes.size(); ++i) {
+    ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
       unsigned char byte = static_cast<unsigned char>(bytes[i]);
-      if (ByteIsAsciiWs(byte)) {
-        i += FindStructural(bytes.data() + i + 1, bytes.size() - i - 1);
-        continue;
-      }
       if (byte >= 'a' && byte <= 'z') {
         Symbol s = byte_symbol_[byte];
         if (s >= 0) state = eager_->dfa.NextOpen(state, s);
@@ -386,7 +395,7 @@ std::vector<int64_t> MultiTagDfaRunner::CountSelections(
         Symbol s = byte_symbol_[byte];
         if (s >= 0) state = eager_->dfa.NextClose(state, s);
       }
-    }
+    });
     return counts;
   }
   CountSelectionsLazy(bytes, &counts);
@@ -433,9 +442,12 @@ MultiValidatedRun MultiTagDfaRunner::RunValidated(
     run.error.expected = expected;
     run.error.got = got;
   };
-  for (size_t i = 0; i < scan_end; ++i) {
+  // Structural-index iteration (see ByteTagDfaRunner::RunValidated):
+  // validation is whitespace-identity, so the indexed walk reports the
+  // same first error at the same byte offset as the per-byte scan.
+  StructuralIterator structural(bytes.data(), scan_end);
+  for (size_t i = structural.Next(); i < scan_end; i = structural.Next()) {
     unsigned char byte = static_cast<unsigned char>(bytes[i]);
-    if (ByteIsAsciiWs(byte)) continue;
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = byte_symbol_[byte];
       if (s < 0) {

@@ -12,16 +12,31 @@ namespace sst {
 namespace {
 
 // Speculative chunk evaluation from every state. Survivor start states are
-// stepped byte by byte; every `dedup_interval` bytes, start states whose
-// trajectories have met are merged: the retiree records its parent and the
-// count difference at merge time (their futures are identical from here
-// on, so the final count of the retiree is its delta plus the parent's
-// final count, following the chain across later merges).
+// stepped over the structural index (stage-1 SIMD scan extracts the
+// positions once; all survivor walks replay the shared position buffer —
+// the extraction cost is amortized across every trajectory); every
+// `dedup_interval` bytes, start states whose trajectories have met are
+// merged: the retiree records its parent and the count difference at merge
+// time (their futures are identical from here on, so the final count of
+// the retiree is its delta plus the parent's final count, following the
+// chain across later merges). Skipping text bytes is sound for EVERY start
+// state at once exactly when the table's text-run closure is trivial
+// (whitespace self-loops and never counts) — the caller gates on
+// ByteTagDfaRunner::text_run_trivial(); with use_index false the position
+// buffer degenerates to every byte offset, which is the per-byte fallback
+// (and parity reference) with unchanged iteration order.
 template <typename T>
 void RunFromAllStates(const T* table, const uint8_t* accepting,
-                      int num_states, int dedup_interval,
+                      int num_states, int dedup_interval, bool use_index,
                       std::string_view chunk, std::vector<int>* final_state,
                       std::vector<int64_t>* final_count) {
+  std::vector<uint32_t> positions(chunk.size());
+  size_t npos = chunk.size();
+  if (use_index) {
+    npos = ExtractStructural(chunk.data(), chunk.size(), positions.data());
+  } else {
+    std::iota(positions.begin(), positions.end(), 0u);
+  }
   std::vector<int> cur(num_states);      // current state, per survivor
   std::vector<int64_t> cnt(num_states, 0);
   std::vector<int> reps(num_states);     // surviving start states
@@ -32,17 +47,21 @@ void RunFromAllStates(const T* table, const uint8_t* accepting,
   std::vector<int> owner(num_states, -1);  // dedup scratch, keyed by state
   std::vector<int> survivors;
 
+  // Dedup intervals stay measured in document bytes (not structural
+  // bytes), so merge points land where the per-byte variant would put
+  // them; the fold result is interval-invariant either way.
   const size_t interval =
       dedup_interval <= 0 ? chunk.size() : static_cast<size_t>(dedup_interval);
   size_t pos = 0;
+  size_t pi = 0;  // cursor into the shared position buffer
   while (pos < chunk.size()) {
     if (reps.size() == 1) {
       // Fully converged: one trajectory left, run it at sequential cost.
       int s = reps[0];
       int q = cur[s];
       int64_t c = cnt[s];
-      for (size_t i = pos; i < chunk.size(); ++i) {
-        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+      for (; pi < npos; ++pi) {
+        unsigned char byte = static_cast<unsigned char>(chunk[positions[pi]]);
         q = table[static_cast<size_t>(q) * 256 + byte];
         c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') &
                                   accepting[q]);
@@ -59,8 +78,8 @@ void RunFromAllStates(const T* table, const uint8_t* accepting,
       int s0 = reps[0], s1 = reps[1];
       int q0 = cur[s0], q1 = cur[s1];
       int64_t c0 = cnt[s0], c1 = cnt[s1];
-      for (size_t i = pos; i < end; ++i) {
-        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+      for (; pi < npos && positions[pi] < end; ++pi) {
+        unsigned char byte = static_cast<unsigned char>(chunk[positions[pi]]);
         int64_t open = (byte >= 'a') & (byte <= 'z');
         q0 = table[static_cast<size_t>(q0) * 256 + byte];
         q1 = table[static_cast<size_t>(q1) * 256 + byte];
@@ -72,8 +91,8 @@ void RunFromAllStates(const T* table, const uint8_t* accepting,
       cnt[s0] = c0;
       cnt[s1] = c1;
     } else {
-      for (size_t i = pos; i < end; ++i) {
-        unsigned char byte = static_cast<unsigned char>(chunk[i]);
+      for (; pi < npos && positions[pi] < end; ++pi) {
+        unsigned char byte = static_cast<unsigned char>(chunk[positions[pi]]);
         int64_t open = (byte >= 'a') & (byte <= 'z');
         for (int s : reps) {
           int q = table[static_cast<size_t>(cur[s]) * 256 + byte];
@@ -143,9 +162,12 @@ ChunkAudit AuditChunk(const ByteTagDfaRunner& runner, std::string_view chunk,
                       int64_t lo) {
   ChunkAudit audit;
   std::vector<Symbol> local;
-  for (size_t i = 0; i < chunk.size(); ++i) {
+  // Whitespace contributes nothing to the audit (no depth motion, no
+  // letters, no errors), so the structural index drives the scan.
+  StructuralIterator structural(chunk.data(), chunk.size());
+  for (size_t i = structural.Next(); i < chunk.size();
+       i = structural.Next()) {
     unsigned char byte = static_cast<unsigned char>(chunk[i]);
-    if (ByteIsAsciiWs(byte)) continue;
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = runner.byte_symbol(byte);
       if (s < 0) {
@@ -221,9 +243,13 @@ bool ValidateChunkSequential(const ByteTagDfaRunner& runner,
     err->got = got;
     return false;
   };
-  for (size_t i = 0; i < chunk.size(); ++i) {
+  // Structural-index iteration, same argument as the sequential
+  // validators: whitespace is identity for validation, so the first error
+  // and every partial counter are byte-identical to the per-byte scan.
+  StructuralIterator structural(chunk.data(), chunk.size());
+  for (size_t i = structural.Next(); i < chunk.size();
+       i = structural.Next()) {
     unsigned char byte = static_cast<unsigned char>(chunk[i]);
-    if (ByteIsAsciiWs(byte)) continue;
     int64_t offset = lo + static_cast<int64_t>(i);
     if (byte >= 'a' && byte <= 'z') {
       Symbol s = runner.byte_symbol(byte);
@@ -305,14 +331,24 @@ bool AuditSuspicious(const ChunkAudit& audit, const ValidateContext& ctx,
 }
 
 template <typename T>
-void RunFromState(const T* table, const uint8_t* accepting,
+void RunFromState(const T* table, const uint8_t* accepting, bool use_index,
                   std::string_view chunk, int start, int* final_state,
                   int64_t* count) {
   int q = start;
   int64_t c = 0;
-  for (unsigned char byte : chunk) {
-    q = table[static_cast<size_t>(q) * 256 + byte];
-    c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') & accepting[q]);
+  if (use_index) {
+    // Trivial text-run closure: whitespace gaps move neither state nor
+    // count, so only structural bytes reach the table walk.
+    ForEachStructural(chunk.data(), chunk.size(), [&](size_t i) {
+      unsigned char byte = static_cast<unsigned char>(chunk[i]);
+      q = table[static_cast<size_t>(q) * 256 + byte];
+      c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') & accepting[q]);
+    });
+  } else {
+    for (unsigned char byte : chunk) {
+      q = table[static_cast<size_t>(q) * 256 + byte];
+      c += static_cast<int64_t>((byte >= 'a') & (byte <= 'z') & accepting[q]);
+    }
   }
   *final_state = q;
   *count = c;
@@ -329,13 +365,14 @@ ParallelTagDfaRunner::ParallelTagDfaRunner(const ByteTagDfaRunner* runner,
 
 void ParallelTagDfaRunner::RunChunkFromAll(std::string_view chunk,
                                            ChunkEffect* out) const {
+  const bool use_index = runner_->text_run_trivial();
   if (runner_->uses_compact_table()) {
     RunFromAllStates(runner_->table16(), runner_->accepting_bytes(),
-                     runner_->num_states(), dedup_interval_, chunk,
+                     runner_->num_states(), dedup_interval_, use_index, chunk,
                      &out->final_state, &out->count);
   } else {
     RunFromAllStates(runner_->table32(), runner_->accepting_bytes(),
-                     runner_->num_states(), dedup_interval_, chunk,
+                     runner_->num_states(), dedup_interval_, use_index, chunk,
                      &out->final_state, &out->count);
   }
 }
@@ -343,12 +380,13 @@ void ParallelTagDfaRunner::RunChunkFromAll(std::string_view chunk,
 void ParallelTagDfaRunner::RunChunkFrom(std::string_view chunk, int start,
                                         int* final_state,
                                         int64_t* count) const {
+  const bool use_index = runner_->text_run_trivial();
   if (runner_->uses_compact_table()) {
-    RunFromState(runner_->table16(), runner_->accepting_bytes(), chunk, start,
-                 final_state, count);
+    RunFromState(runner_->table16(), runner_->accepting_bytes(), use_index,
+                 chunk, start, final_state, count);
   } else {
-    RunFromState(runner_->table32(), runner_->accepting_bytes(), chunk, start,
-                 final_state, count);
+    RunFromState(runner_->table32(), runner_->accepting_bytes(), use_index,
+                 chunk, start, final_state, count);
   }
 }
 

@@ -143,6 +143,14 @@ StreamingSelector::StreamingSelector(StreamMachine* machine, Format format,
 
 void StreamingSelector::CheckTableAgreement() const {
 #ifndef NDEBUG
+  // The structural index (ClassifyBlock / StructuralIterator) skips
+  // exactly the bytes the scanner classifies kWs; the scan loops rely on
+  // the two definitions agreeing byte for byte (a structural byte must
+  // never be classified kWs, and vice versa).
+  for (int c = 0; c < 256; ++c) {
+    SST_CHECK((tables_->byte_class[c] == ScannerTables::kWs) ==
+              ByteIsAsciiWs(static_cast<unsigned char>(c)));
+  }
   // The scanner tables and the fused byte table are built independently
   // from the same Alphabet (satellite of the compile-once refactor:
   // previously each layer derived its own copy with no cross-check). They
@@ -357,16 +365,21 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
     return Recover(err, token, err.offset) ? ScanStatus::kOk
                                            : ScanStatus::kFatal;
   };
-  for (size_t i = start; i < chunk.size(); ++i) {
+  // Structural-index scan: the stage-1 SIMD classification yields only
+  // structural offsets, so the byte-class switch never sees whitespace
+  // (CheckTableAgreement asserts the kWs class and the index classifier
+  // agree byte for byte). Error returns report the structural byte's own
+  // chunk index, so demotion resumes (FeedMarkup(chunk, resume_index, ...))
+  // land on exactly the byte the per-byte scan would have stopped at.
+  StructuralIterator structural(chunk.data() + start, chunk.size() - start);
+  for (size_t i = start + structural.Next(); i < chunk.size();
+       i = start + structural.Next()) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     if constexpr (Stepper::kCanRecover) {
       if (in_skip_) {
         // Framing-only scan of the skipped region: O(1) state, no machine
         // events, until the close that ends the innermost open element.
         switch (cls[c]) {
-          case ScannerTables::kWs:
-            i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
-            break;
           case ScannerTables::kOpen:
             ++skip_depth_;
             break;
@@ -385,11 +398,6 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
       }
     }
     switch (cls[c]) {
-      case ScannerTables::kWs:
-        // Bulk-skip the whitespace run (SIMD/SWAR; see base/byte_scan.h);
-        // the loop increment then lands on the next structural byte.
-        i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
-        break;
       case ScannerTables::kOpen: {
         Symbol s = sym[c];
         if (s < 0) {
@@ -488,7 +496,13 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
 bool StreamingSelector::FeedTerm(std::string_view chunk) {
   const uint8_t* cls = tables_->byte_class.data();
   const Symbol* sym = tables_->byte_symbol.data();
-  for (size_t i = 0; i < chunk.size(); ++i) {
+  // Structural-index scan (term delimiters and labels are all structural
+  // bytes); whitespace between tokens never reaches the token logic. The
+  // pending-label reprocess trick keeps its semantics: instead of --i, the
+  // loop simply does not advance the iterator for that round.
+  StructuralIterator structural(chunk.data(), chunk.size());
+  size_t i = structural.Next();
+  while (i < chunk.size()) {
     unsigned char c = static_cast<unsigned char>(chunk[i]);
     if (in_skip_) {
       if (c == '{') {
@@ -499,13 +513,8 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
         } else if (!ResyncClose(chunk_base_ + static_cast<int64_t>(i) + 1)) {
           return false;
         }
-      } else if (cls[c] == ScannerTables::kWs) {
-        i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
       }
-      continue;
-    }
-    if (cls[c] == ScannerTables::kWs) {
-      i += FindStructural(chunk.data() + i + 1, chunk.size() - i - 1);
+      i = structural.Next();
       continue;
     }
     if (have_pending_) {
@@ -514,7 +523,8 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
                      ErrorToken::kJunk, pending_offset_)) {
           return false;
         }
-        --i;  // reprocess this byte under skip framing ('}' must resync)
+        // Reprocess this byte under skip framing ('}' must resync): keep
+        // i where it is for the next round.
         continue;
       }
       have_pending_ = false;
@@ -525,9 +535,11 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
                 ErrorToken::kOpenLike, pending_offset_)) {
           return false;
         }
+        i = structural.Next();
         continue;
       }
       if (!EmitOpen(s, chunk_base_ + i, pending_offset_)) return false;
+      i = structural.Next();
       continue;
     }
     switch (cls[c]) {
@@ -549,6 +561,7 @@ bool StreamingSelector::FeedTerm(std::string_view chunk) {
         }
         break;
     }
+    i = structural.Next();
   }
   return true;
 }

@@ -50,18 +50,22 @@ TEST(ByteScan, ScalarReferenceSanity) {
 }
 
 // Fuzz: every kernel agrees with the scalar classifier on random buffers
-// at every alignment offset 0..31 and every length 0..80 (crosses the 8-,
-// 16-, 32- and 64-byte block boundaries of all implementations).
+// at every alignment offset 0..31 and EVERY length 0..130 — exhaustively
+// covering the tail-handling paths: every non-block-multiple remainder of
+// the 8- (SWAR), 16- (SSE2) and 32-byte (AVX2) inner blocks, the 64-byte
+// clamp boundary, and over-long inputs past the clamp. (The tail audit
+// found no defect — each kernel zero-pads the remainder and masks with
+// (1 << rem) - 1, where rem is strictly below the shift width — and this
+// sweep keeps it that way.)
 TEST(ByteScan, ClassifyBlockMatchesScalarAtEveryAlignment) {
   Rng rng(2026);
   auto kernels = AvailableKernels();
-  alignas(64) char buffer[32 + 128];
-  for (int round = 0; round < 200; ++round) {
+  alignas(64) char buffer[32 + 160];
+  for (int round = 0; round < 50; ++round) {
     FillAdversarial(&rng, buffer, sizeof(buffer));
     for (size_t offset = 0; offset < 32; ++offset) {
       const char* data = buffer + offset;
-      for (size_t len : {0, 1, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64,
-                         65, 80}) {
+      for (size_t len = 0; len <= 130; ++len) {
         uint64_t expected = ClassifyBlockScalar(data, len);
         for (const auto& [name, kernel] : kernels) {
           EXPECT_EQ(kernel(data, len), expected)
@@ -101,6 +105,108 @@ TEST(ByteScan, FindStructuralEdgeCases) {
   EXPECT_EQ(FindStructural(all_ws.data(), all_ws.size()),
             all_ws.size() - 1);
   EXPECT_EQ(FindStructural("x", 1), 0u);
+}
+
+// Scalar reference for all three structural-consumption primitives: the
+// ascending list of non-whitespace byte offsets.
+std::vector<uint32_t> ScalarStructuralPositions(const std::string& s) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (!ByteIsAsciiWs(static_cast<unsigned char>(s[i]))) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+// Random buffer biased to exercise the interesting regimes: long
+// whitespace runs (sparse masks), dense all-structural 64-byte blocks
+// (the ForEachStructural fast path), and everything in between.
+std::string RandomMixedBuffer(Rng* rng, size_t len) {
+  std::string s;
+  s.reserve(len);
+  while (s.size() < len) {
+    size_t run = 1 + rng->NextBelow(96);
+    if (run > len - s.size()) run = len - s.size();
+    if (rng->NextBool(0.4)) {
+      static constexpr char kWs[] = {' ', '\t', '\n', '\v', '\f', '\r'};
+      s.append(run, kWs[rng->NextBelow(6)]);
+    } else {
+      for (size_t i = 0; i < run; ++i) {
+        s.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+      }
+    }
+  }
+  return s;
+}
+
+TEST(ByteScan, ExtractStructuralMatchesScalarScan) {
+  Rng rng(404);
+  for (int round = 0; round < 300; ++round) {
+    size_t len = rng.NextBelow(500);
+    std::string s = RandomMixedBuffer(&rng, len);
+    std::vector<uint32_t> expected = ScalarStructuralPositions(s);
+    std::vector<uint32_t> got(len + 1, 0xDEADBEEFu);
+    size_t n = ExtractStructural(s.data(), len, got.data());
+    ASSERT_EQ(n, expected.size()) << "round " << round << ", len " << len;
+    got.resize(n);
+    EXPECT_EQ(got, expected) << "round " << round;
+  }
+}
+
+TEST(ByteScan, ExtractStructuralEdgeCases) {
+  uint32_t out[8];
+  EXPECT_EQ(ExtractStructural(nullptr, 0, out), 0u);
+  std::string ws(257, ' ');
+  EXPECT_EQ(ExtractStructural(ws.data(), ws.size(), out), 0u);
+  std::string one = ws + "x";
+  ASSERT_EQ(ExtractStructural(one.data(), one.size(), out), 1u);
+  EXPECT_EQ(out[0], 257u);
+}
+
+TEST(ByteScan, StructuralIteratorMatchesScalarScan) {
+  Rng rng(405);
+  for (int round = 0; round < 300; ++round) {
+    size_t len = rng.NextBelow(500);
+    std::string s = RandomMixedBuffer(&rng, len);
+    std::vector<uint32_t> expected = ScalarStructuralPositions(s);
+    std::vector<uint32_t> got;
+    StructuralIterator it(s.data(), len);
+    for (size_t i = it.Next(); i < len; i = it.Next()) {
+      got.push_back(static_cast<uint32_t>(i));
+    }
+    EXPECT_EQ(got, expected) << "round " << round << ", len " << len;
+    // Exhausted iterators keep returning len.
+    EXPECT_EQ(it.Next(), len);
+    EXPECT_EQ(it.Next(), len);
+  }
+}
+
+TEST(ByteScan, ForEachStructuralMatchesScalarScan) {
+  Rng rng(406);
+  for (int round = 0; round < 300; ++round) {
+    size_t len = rng.NextBelow(500);
+    std::string s = RandomMixedBuffer(&rng, len);
+    std::vector<uint32_t> expected = ScalarStructuralPositions(s);
+    std::vector<uint32_t> got;
+    ForEachStructural(s.data(), len, [&](size_t i) {
+      got.push_back(static_cast<uint32_t>(i));
+    });
+    EXPECT_EQ(got, expected) << "round " << round << ", len " << len;
+  }
+}
+
+// The dense fast path (mask == all-ones) must fire on fully structural
+// blocks and still visit every byte exactly once, in order.
+TEST(ByteScan, ForEachStructuralDenseBlocks) {
+  std::string s(256, 'q');
+  size_t calls = 0;
+  size_t next = 0;
+  ForEachStructural(s.data(), s.size(), [&](size_t i) {
+    EXPECT_EQ(i, next++);
+    ++calls;
+  });
+  EXPECT_EQ(calls, s.size());
 }
 
 TEST(ByteScan, KernelNameIsKnown) {
