@@ -43,7 +43,8 @@ def compact(raw):
             entry["mib_per_second"] = round(
                 bench["bytes_per_second"] / (1 << 20), 1)
         for key, value in bench.items():
-            if key in ("threads", "matches"):
+            if key in ("threads", "matches", "connections", "streams",
+                       "p50_ms", "p99_ms", "sheds"):
                 entry[key] = value
         out["benchmarks"].append(entry)
     out["benchmarks"].sort(key=lambda entry: entry["name"] or "")

@@ -1,0 +1,95 @@
+// The query service as a process: binds the resilient serving layer
+// (src/server) to a TCP port and runs until SIGTERM/SIGINT, which trigger
+// a graceful drain — stop accepting, finish in-flight documents up to the
+// drain deadline, force-close stragglers with a typed verdict — before
+// the process exits with a final metrics dump.
+//
+//   query_server --port 7007 --workers 2
+//   query_server --port 0 --port-file /tmp/port   # kernel picks; file gets it
+//
+// Pair with examples/load_client for a closed-loop benchmark.
+
+#include <sys/resource.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+// GitHub-runner default is 1024 fds; serving a thousand connections needs
+// headroom for sockets + pipes. Best effort.
+void RaiseFdLimit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) != 0) return;
+  if (limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+int64_t ParseFlag(const char* value) { return std::atoll(value); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RaiseFdLimit();
+
+  sst::ServerOptions options;
+  options.limits.max_connections = 4096;
+  options.limits.max_streams = 2048;
+  const char* port_file = nullptr;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const char* flag = argv[i];
+    const char* value = argv[i + 1];
+    if (std::strcmp(flag, "--port") == 0) {
+      options.port = static_cast<uint16_t>(ParseFlag(value));
+    } else if (std::strcmp(flag, "--port-file") == 0) {
+      port_file = value;
+    } else if (std::strcmp(flag, "--workers") == 0) {
+      options.num_workers = static_cast<int>(ParseFlag(value));
+    } else if (std::strcmp(flag, "--max-connections") == 0) {
+      options.limits.max_connections = static_cast<int>(ParseFlag(value));
+    } else if (std::strcmp(flag, "--max-streams") == 0) {
+      options.limits.max_streams = static_cast<int>(ParseFlag(value));
+    } else if (std::strcmp(flag, "--idle-timeout-ms") == 0) {
+      options.limits.idle_timeout_ms = ParseFlag(value);
+    } else if (std::strcmp(flag, "--write-timeout-ms") == 0) {
+      options.limits.write_timeout_ms = ParseFlag(value);
+    } else if (std::strcmp(flag, "--drain-deadline-ms") == 0) {
+      options.limits.drain_deadline_ms = ParseFlag(value);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag);
+      return 2;
+    }
+  }
+
+  sst::QueryServer server(options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  server.InstallSignalDrain(SIGTERM);
+  server.InstallSignalDrain(SIGINT);
+
+  std::printf("query_server listening on %s:%u (%d workers)\n",
+              options.host.c_str(), server.port(), options.num_workers);
+  if (port_file != nullptr) {
+    std::FILE* file = std::fopen(port_file, "w");
+    if (file != nullptr) {
+      std::fprintf(file, "%u\n", server.port());
+      std::fclose(file);
+    }
+  }
+  std::fflush(stdout);
+
+  server.WaitUntilDrained();
+  std::printf("drained; final metrics:\n%s",
+              sst::RenderMetrics(server.stats()).c_str());
+  return 0;
+}

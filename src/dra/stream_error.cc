@@ -1,8 +1,56 @@
 #include "dra/stream_error.h"
 
+#include <algorithm>
 #include <string>
 
 namespace sst {
+
+const char* StreamLimits::Validate() const {
+  if (max_depth <= 0) {
+    return "max_depth must be positive (a depth limit of 0 rejects every "
+           "document at its root open)";
+  }
+  if (max_document_bytes <= 0) {
+    return "max_document_bytes must be positive (a byte limit of 0 rejects "
+           "every document before its first byte)";
+  }
+  if (max_events <= 0) {
+    return "max_events must be positive (an event limit of 0 rejects every "
+           "document at its first tag)";
+  }
+  if (max_events < 2) {
+    return "max_events must be at least 2 (the one-node document already "
+           "produces a root open and a root close)";
+  }
+  if (max_recovered_errors < 0) {
+    return "max_recovered_errors must be non-negative (0 makes the first "
+           "recovery attempt fatal; negative values are meaningless)";
+  }
+  if (max_depth != kUnlimited && max_depth > max_events) {
+    return "contradictory limits: max_depth exceeds max_events, so the "
+           "depth guard can never fire (reaching depth d costs at least d "
+           "open events)";
+  }
+  return nullptr;
+}
+
+StreamLimits StreamLimits::Merged(const StreamLimits& a,
+                                  const StreamLimits& b) {
+  StreamLimits merged;
+  merged.max_depth = std::min(a.max_depth, b.max_depth);
+  merged.max_document_bytes =
+      std::min(a.max_document_bytes, b.max_document_bytes);
+  merged.max_events = std::min(a.max_events, b.max_events);
+  merged.max_recovered_errors =
+      std::min(a.max_recovered_errors, b.max_recovered_errors);
+  // Reaching depth d costs at least d open events, so a depth guard above
+  // the event guard can never fire; capping it keeps Merged closed under
+  // Validate (merging two valid limits always yields valid limits), which
+  // matters because one input often bounds only depth and the other only
+  // events.
+  merged.max_depth = std::min(merged.max_depth, merged.max_events);
+  return merged;
+}
 
 const char* StreamErrorCodeName(StreamErrorCode code) {
   switch (code) {

@@ -90,6 +90,25 @@ struct StreamLimits {
     return max_depth == kUnlimited && max_document_bytes == kUnlimited &&
            max_events == kUnlimited && max_recovered_errors == kUnlimited;
   }
+
+  // Returns nullptr when the limits admit at least one document, or a
+  // static description of the first defect otherwise. Zero or negative
+  // structural limits reject every stream at its first byte (the guard
+  // looks enabled but nothing can ever pass it), max_events below 2
+  // cannot admit even the one-node document (root open + close), and a
+  // depth limit above the event limit can never fire before the event
+  // guard does — all three are configuration bugs callers should see at
+  // setup time, not as per-document kDepthLimitExceeded noise.
+  // StreamingSelector::set_limits and the serving layer both reject
+  // limits with Validate() != nullptr.
+  const char* Validate() const;
+
+  // Element-wise minimum: the stricter of the two bounds for every field.
+  // The serving layer merges server defaults with per-request limits this
+  // way, so a client can only ever tighten what the operator configured.
+  static StreamLimits Merged(const StreamLimits& a, const StreamLimits& b);
+
+  friend bool operator==(const StreamLimits&, const StreamLimits&) = default;
 };
 
 // Result of a validated (well-formedness-checked) whole-document run —

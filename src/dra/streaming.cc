@@ -178,6 +178,12 @@ void StreamingSelector::CheckTableAgreement() const {
 #endif
 }
 
+void StreamingSelector::set_limits(const StreamLimits& limits) {
+  const char* defect = limits.Validate();
+  SST_CHECK_MSG(defect == nullptr, defect);
+  limits_ = limits;
+}
+
 void StreamingSelector::Reset() {
   machine_->Reset();
   open_labels_.clear();

@@ -186,9 +186,11 @@ class StreamingSelector {
   }
 
   // Both must be set before the first Feed of a document (they are not
-  // consulted retroactively).
+  // consulted retroactively). Limits must pass StreamLimits::Validate() —
+  // zero or contradictory guards are a configuration bug, rejected loudly
+  // here instead of silently failing every document downstream.
   void set_recovery_policy(RecoveryPolicy policy) { policy_ = policy; }
-  void set_limits(const StreamLimits& limits) { limits_ = limits; }
+  void set_limits(const StreamLimits& limits);
   RecoveryPolicy recovery_policy() const { return policy_; }
   const StreamLimits& limits() const { return limits_; }
 

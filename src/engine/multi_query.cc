@@ -217,6 +217,24 @@ void BatchSession::Reset() {
   for (auto& session : sessions_) session->Reset();
 }
 
+void BatchSession::set_limits(const StreamLimits& limits) {
+  if (runner_) {
+    runner_->selector().set_limits(limits);
+    return;
+  }
+  for (auto& session : sessions_) session->selector().set_limits(limits);
+}
+
+void BatchSession::set_recovery_policy(RecoveryPolicy policy) {
+  if (runner_) {
+    runner_->selector().set_recovery_policy(policy);
+    return;
+  }
+  for (auto& session : sessions_) {
+    session->selector().set_recovery_policy(policy);
+  }
+}
+
 std::vector<int64_t> BatchSession::query_matches() const {
   if (runner_) {
     return plan_->ExpandCounts(
@@ -290,6 +308,10 @@ std::unique_ptr<BatchSession> BatchSessionPool::Acquire() {
     } else {
       ++stats_.created;
     }
+    ++stats_.outstanding;
+    if (stats_.outstanding > stats_.peak_outstanding) {
+      stats_.peak_outstanding = stats_.outstanding;
+    }
   }
   if (session == nullptr) return std::make_unique<BatchSession>(plan_);
   session->Reset();
@@ -300,12 +322,19 @@ void BatchSessionPool::Release(std::unique_ptr<BatchSession> session) {
   if (session == nullptr) return;
   SST_CHECK(session->plan_ptr() == plan_);
   std::lock_guard<std::mutex> lock(mu_);
-  if (idle_.size() < max_idle_) idle_.push_back(std::move(session));
+  --stats_.outstanding;
+  if (idle_.size() < max_idle_) {
+    idle_.push_back(std::move(session));
+  } else {
+    ++stats_.destroyed;
+  }
 }
 
 SessionPool::Stats BatchSessionPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  SessionPool::Stats snapshot = stats_;
+  snapshot.idle = static_cast<int64_t>(idle_.size());
+  return snapshot;
 }
 
 size_t BatchSessionPool::idle() const {

@@ -178,6 +178,14 @@ class BatchSession {
   bool Finish();
   void Reset();
 
+  // Policy/limits surface, applied uniformly to whichever execution tier
+  // this session runs (the product runner's scanner, or every lockstep
+  // per-slot session). Limits must pass StreamLimits::Validate(); both
+  // must be set before the first Feed of a document and survive Reset(),
+  // so a pooled session keeps its serving configuration across documents.
+  void set_limits(const StreamLimits& limits);
+  void set_recovery_policy(RecoveryPolicy policy);
+
   // Selection counts per submitted query, in submission order.
   std::vector<int64_t> query_matches() const;
 

@@ -29,6 +29,10 @@ std::unique_ptr<Session> SessionPool::Acquire() {
     } else {
       ++stats_.created;
     }
+    ++stats_.outstanding;
+    if (stats_.outstanding > stats_.peak_outstanding) {
+      stats_.peak_outstanding = stats_.outstanding;
+    }
   }
   if (session == nullptr) return std::make_unique<Session>(plan_);
   session->Reset();
@@ -39,12 +43,19 @@ void SessionPool::Release(std::unique_ptr<Session> session) {
   if (session == nullptr) return;
   SST_CHECK(session->plan_ptr() == plan_);
   std::lock_guard<std::mutex> lock(mu_);
-  if (idle_.size() < max_idle_) idle_.push_back(std::move(session));
+  --stats_.outstanding;
+  if (idle_.size() < max_idle_) {
+    idle_.push_back(std::move(session));
+  } else {
+    ++stats_.destroyed;
+  }
 }
 
 SessionPool::Stats SessionPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats snapshot = stats_;
+  snapshot.idle = static_cast<int64_t>(idle_.size());
+  return snapshot;
 }
 
 size_t SessionPool::idle() const {

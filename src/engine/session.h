@@ -63,9 +63,19 @@ class Session {
 // per served query with worker threads acquiring per request.
 class SessionPool {
  public:
+  // Occupancy-observable pool counters: serving layers drive admission
+  // control and load shedding off `outstanding` (leases currently live)
+  // and `peak_outstanding` (the high-watermark since construction), and
+  // export the whole snapshot through their metrics endpoint.
   struct Stats {
-    int64_t created = 0;  // sessions constructed from scratch
-    int64_t reused = 0;   // acquisitions served from the free list
+    int64_t created = 0;    // sessions constructed from scratch
+    int64_t reused = 0;     // acquisitions served from the free list
+    int64_t destroyed = 0;  // releases dropped because the free list was full
+    int64_t outstanding = 0;       // acquired and not yet released
+    int64_t peak_outstanding = 0;  // occupancy high-watermark
+    int64_t idle = 0;              // free-list size at snapshot time
+
+    friend bool operator==(const Stats&, const Stats&) = default;
   };
 
   // `max_idle` bounds the free list; releases beyond it destroy the

@@ -1,0 +1,52 @@
+#include "server/admission.h"
+
+namespace sst {
+
+const char* ServerLimits::Validate() const {
+  if (max_connections < 1) return "max_connections must be positive";
+  if (max_streams < 1) return "max_streams must be positive";
+  if (max_streams_per_batch < 1) {
+    return "max_streams_per_batch must be positive";
+  }
+  if (max_frame_payload < 1) return "max_frame_payload must be positive";
+  if (max_queries_per_batch < 1) {
+    return "max_queries_per_batch must be positive";
+  }
+  if (max_output_buffer < 1) return "max_output_buffer must be positive";
+  if (resume_output_buffer > max_output_buffer) {
+    return "resume_output_buffer must not exceed max_output_buffer "
+           "(reads would never resume)";
+  }
+  if (idle_timeout_ms < 1) return "idle_timeout_ms must be positive";
+  if (write_timeout_ms < 1) return "write_timeout_ms must be positive";
+  if (drain_deadline_ms < 0) return "drain_deadline_ms must be non-negative";
+  return stream.Validate();
+}
+
+std::optional<ShedReason> AdmissionController::AdmitConnection() const {
+  if (state_->draining.load(std::memory_order_relaxed)) {
+    return ShedReason::kDraining;
+  }
+  if (state_->active_connections.load(std::memory_order_relaxed) >=
+      limits_.max_connections) {
+    return ShedReason::kMaxConnections;
+  }
+  return std::nullopt;
+}
+
+std::optional<ShedReason> AdmissionController::AdmitStream(
+    int64_t batch_outstanding) const {
+  if (state_->draining.load(std::memory_order_relaxed)) {
+    return ShedReason::kDraining;
+  }
+  if (state_->active_streams.load(std::memory_order_relaxed) >=
+      limits_.max_streams) {
+    return ShedReason::kMaxStreams;
+  }
+  if (batch_outstanding >= limits_.max_streams_per_batch) {
+    return ShedReason::kPoolSaturated;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sst

@@ -1,0 +1,90 @@
+#ifndef SST_SERVER_ADMISSION_H_
+#define SST_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "dra/stream_error.h"
+#include "server/protocol.h"
+
+namespace sst {
+
+// Operator-configured robustness envelope of the query service: admission
+// high-watermarks, per-connection byte-rate deadlines, the backpressure
+// bounds of the output queue, and the default per-stream StreamLimits
+// every document runs under (per-request limits only tighten these via
+// StreamLimits::Merged).
+struct ServerLimits {
+  // Admission high-watermarks. A connection beyond max_connections is
+  // answered with a typed kShed(max_connections) frame and closed before
+  // it costs any worker state; a document started beyond max_streams (or
+  // beyond its batch pool's occupancy cap) is shed without touching a
+  // session.
+  int max_connections = 1024;
+  int max_streams = 512;
+  int max_streams_per_batch = 1 << 30;  // pool-occupancy shed threshold
+
+  // Protocol guards.
+  size_t max_frame_payload = 1 << 20;  // oversized frames rejected by header
+  int max_queries_per_batch = 256;
+
+  // Backpressure: once a connection's output queue holds more than
+  // max_output_buffer bytes the server stops reading AND stops decoding
+  // frames for it (input stays in the kernel buffer; TCP pushes back on
+  // the client) until writes drain below resume_output_buffer.
+  size_t max_output_buffer = 256 << 10;
+  size_t resume_output_buffer = 64 << 10;
+
+  // Byte-rate deadlines. idle_timeout_ms bounds the gap between reads
+  // (slow-loris clients feeding a byte per poll hit this); write_timeout_ms
+  // bounds how long a non-empty output queue may sit without the peer
+  // accepting a byte (stalled readers).
+  int64_t idle_timeout_ms = 30'000;
+  int64_t write_timeout_ms = 10'000;
+
+  // Graceful drain: in-flight documents get this long to finish after
+  // RequestDrain() before being force-closed with kShed(drain_deadline).
+  int64_t drain_deadline_ms = 5'000;
+
+  // Default per-stream limits (defense against hostile documents even
+  // when the client requests none). Must pass StreamLimits::Validate().
+  StreamLimits stream;
+
+  // nullptr when coherent; otherwise a static description of the defect.
+  const char* Validate() const;
+};
+
+// The live occupancy the admission decisions read. Plain atomics:
+// incremented by the acceptor and workers, read by everyone (metrics
+// snapshots included) without locks.
+struct AdmissionState {
+  std::atomic<int64_t> active_connections{0};
+  std::atomic<int64_t> active_streams{0};
+  std::atomic<bool> draining{false};
+};
+
+// Stateless admission policy over (limits, live occupancy): each check
+// returns std::nullopt to admit or the typed ShedReason to reject with.
+class AdmissionController {
+ public:
+  AdmissionController(const ServerLimits& limits, AdmissionState* state)
+      : limits_(limits), state_(state) {}
+
+  // At accept time, before the connection reaches a worker.
+  std::optional<ShedReason> AdmitConnection() const;
+
+  // At document-start time. `batch_outstanding` is the stream's batch
+  // pool occupancy (SessionPool::Stats::outstanding).
+  std::optional<ShedReason> AdmitStream(int64_t batch_outstanding) const;
+
+  const ServerLimits& limits() const { return limits_; }
+
+ private:
+  ServerLimits limits_;
+  AdmissionState* state_;
+};
+
+}  // namespace sst
+
+#endif  // SST_SERVER_ADMISSION_H_

@@ -1,0 +1,447 @@
+#include "server/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+namespace sst {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+void Bump(std::atomic<int64_t>& counter, int64_t delta = 1) {
+  counter.fetch_add(delta, kRelaxed);
+}
+
+}  // namespace
+
+Connection::Connection(int fd, ConnectionHost* host)
+    : fd_(fd), host_(host), decoder_(host->limits().max_frame_payload) {}
+
+Connection::~Connection() {
+  // Backstop: every orderly path released already.
+  ReleaseStream();
+  if (fd_ >= 0) close(fd_);
+}
+
+void Connection::Start() {
+  last_read_ms_ = EventLoop::NowMs();
+  host_->loop().Add(fd_, this, /*want_read=*/true, /*want_write=*/false);
+  host_->loop().SetDeadline(fd_,
+                            last_read_ms_ + host_->limits().idle_timeout_ms);
+}
+
+void Connection::BeginDrain() {
+  if (drain_pending_ || closing_) return;
+  if (phase_ == DocPhase::kIdle) {
+    SendShedAndClose(ShedReason::kDraining);  // may destroy *this
+    return;
+  }
+  drain_pending_ = true;  // close right after the in-flight document
+}
+
+void Connection::ForceCloseForDrain() {
+  if (closing_) {
+    // Every owed verdict was already queued (and, if lingering, flushed);
+    // the peer just has not closed yet. Not a forced abort.
+    CloseNow();
+    return;
+  }
+  Bump(host_->counters().drain_forced_closes);
+  if (stream_) {
+    Bump(host_->counters().disconnects_mid_stream);
+    ReleaseStream();
+  }
+  // Best effort: one direct write of the typed verdict; the socket is
+  // closing either way and the queue may already be stalled.
+  std::string frame;
+  AppendFrame(FrameType::kShed, EncodeShed(ShedReason::kDrainDeadline),
+              &frame);
+  Bump(host_->counters().frames_out);
+  ssize_t n = send(fd_, frame.data(), frame.size(), MSG_NOSIGNAL);
+  if (n > 0) Bump(host_->counters().bytes_out, n);
+  CloseNow();  // destroys *this
+}
+
+void Connection::OnReadable(int) {
+  char buf[16 * 1024];
+  size_t budget = 64 * 1024;  // fairness cap per wakeup (level-triggered)
+  bool eof = false;
+  while (budget > 0) {
+    ssize_t n = read(fd_, buf, std::min(sizeof buf, budget));
+    if (n > 0) {
+      budget -= static_cast<size_t>(n);
+      Bump(host_->counters().bytes_in, n);
+      last_read_ms_ = EventLoop::NowMs();
+      // A closing connection only reads to detect the peer's close; its
+      // input is discarded, never decoded.
+      if (!closing_) {
+        decoder_.Append(std::string_view(buf, static_cast<size_t>(n)));
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    eof = true;  // hard read error: treat as disconnect
+    break;
+  }
+
+  if (closing_) {
+    if (eof) CloseNow();  // linger over: the peer saw everything
+    return;
+  }
+
+  if (!eof) {
+    ProcessFrames();
+    return;
+  }
+
+  // Peer finished writing. Drain whatever complete frames it pipelined,
+  // deliver the replies, then close (the peer may have half-closed and
+  // still be reading).
+  if (!ProcessFrames()) return;
+  read_closed_ = true;
+  if (stream_) {
+    Bump(host_->counters().disconnects_mid_stream);
+    ReleaseStream();
+    phase_ = DocPhase::kIdle;
+  }
+  closing_ = true;
+  if (!FlushWrites()) return;
+  UpdateInterest();
+}
+
+void Connection::OnWritable(int) {
+  if (!FlushWrites()) return;
+  if (paused_ && pending_out() <= host_->limits().resume_output_buffer) {
+    paused_ = false;
+    ProcessFrames();  // decode what buffered while paused; may re-pause
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::OnError(int) {
+  if (stream_) {
+    Bump(host_->counters().disconnects_mid_stream);
+    ReleaseStream();
+  }
+  CloseNow();
+}
+
+void Connection::OnDeadline(int, int64_t now_ms) {
+  const ServerLimits& limits = host_->limits();
+  if (lingering_ && now_ms >= linger_deadline_ms_) {
+    CloseNow();  // peer never closed; stop holding the fd for it
+    return;
+  }
+  if (pending_out() > 0 && write_stall_since_ms_ != 0 &&
+      now_ms >= write_stall_since_ms_ + limits.write_timeout_ms) {
+    // The peer is not taking bytes; a typed frame would not be
+    // deliverable either. Just close.
+    Bump(host_->counters().write_timeouts);
+    if (stream_) {
+      Bump(host_->counters().disconnects_mid_stream);
+      ReleaseStream();
+    }
+    CloseNow();
+    return;
+  }
+  if (!closing_ && !read_closed_ && !paused_ &&
+      now_ms >= last_read_ms_ + limits.idle_timeout_ms) {
+    Bump(host_->counters().idle_timeouts);
+    ReleaseStream();  // a slow-loris mid-document frees its session too
+    SendShedAndClose(ShedReason::kIdleTimeout);  // may destroy *this
+    return;
+  }
+  UpdateInterest();  // stale deadline (state advanced since it was armed)
+}
+
+bool Connection::ProcessFrames() {
+  const ServerLimits& limits = host_->limits();
+  while (!closing_) {
+    if (pending_out() > limits.max_output_buffer) {
+      if (!paused_) {
+        paused_ = true;
+        Bump(host_->counters().backpressure_pauses);
+      }
+      // Give the socket a chance to absorb the queue right now: if it
+      // does, resume decoding immediately. Only a peer that genuinely
+      // is not reading keeps the connection paused (and OnWritable
+      // resumes it later) — pausing on a fully-flushed queue would
+      // leave no event to ever wake the connection up.
+      if (!FlushWrites()) return false;
+      if (pending_out() <= limits.resume_output_buffer) {
+        paused_ = false;
+        continue;
+      }
+      break;
+    }
+    Frame frame;
+    FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) break;
+    if (status == FrameDecoder::Status::kTooLarge) {
+      Bump(host_->counters().protocol_errors);
+      return SendErrorAndClose("frame_too_large",
+                               "declared payload exceeds max_frame_payload");
+    }
+    if (status == FrameDecoder::Status::kBadType) {
+      Bump(host_->counters().protocol_errors);
+      return SendErrorAndClose("bad_frame", "unknown frame type byte");
+    }
+    if (!HandleFrame(std::move(frame))) return false;
+  }
+  if (!FlushWrites()) return false;
+  UpdateInterest();
+  return true;
+}
+
+bool Connection::HandleFrame(Frame frame) {
+  Bump(host_->counters().frames_in);
+  switch (frame.type) {
+    case FrameType::kRegister:
+      return HandleRegister(frame.payload);
+    case FrameType::kData:
+      return HandleData(frame.payload);
+    case FrameType::kFinish:
+      return HandleFinish();
+    case FrameType::kMetrics:
+      SendFrame(FrameType::kMetricsText, host_->MetricsText());
+      return true;
+    case FrameType::kGoodbye:
+      if (stream_) {
+        Bump(host_->counters().disconnects_mid_stream);
+        ReleaseStream();
+        phase_ = DocPhase::kIdle;
+      }
+      closing_ = true;  // ProcessFrames stops; FlushWrites closes
+      return true;
+    default:
+      Bump(host_->counters().protocol_errors);
+      return SendErrorAndClose(
+          "unexpected_frame",
+          std::string("client sent a server-side frame type: ") +
+              FrameTypeName(frame.type));
+  }
+}
+
+bool Connection::HandleRegister(std::string_view payload) {
+  if (phase_ != DocPhase::kIdle) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("unexpected_frame", "kRegister mid-document");
+  }
+  RegisterRequest request;
+  std::string error;
+  if (!ParseRegister(payload, &request, &error)) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("bad_register", std::move(error));
+  }
+  StreamLimits merged =
+      StreamLimits::Merged(host_->limits().stream, request.limits);
+  if (const char* defect = merged.Validate()) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("bad_limits", defect);
+  }
+  std::shared_ptr<BatchHandle> handle =
+      host_->GetOrRegisterBatch(request, &error);
+  if (handle == nullptr) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("bad_register", std::move(error));
+  }
+  batch_ = std::move(handle);
+  merged_limits_ = merged;
+  SendFrame(FrameType::kRegistered, EncodeRegistered(batch_->info()));
+  return true;
+}
+
+bool Connection::HandleData(std::string_view payload) {
+  if (phase_ == DocPhase::kDiscarding) return true;
+  if (batch_ == nullptr) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("not_registered", "kData before kRegister");
+  }
+  if (phase_ == DocPhase::kIdle && !StartStream()) return true;  // shed
+  if (!stream_->Feed(payload)) FinishStreamWithError();
+  return true;
+}
+
+bool Connection::HandleFinish() {
+  if (phase_ == DocPhase::kDiscarding) {
+    phase_ = DocPhase::kIdle;
+    return AfterDocument();
+  }
+  if (batch_ == nullptr) {
+    Bump(host_->counters().protocol_errors);
+    return SendErrorAndClose("not_registered", "kFinish before kRegister");
+  }
+  if (phase_ == DocPhase::kIdle) {
+    // Zero-chunk document: run the same admission + verdict path, so the
+    // client gets the exact StreamError an offline run would produce.
+    if (!StartStream()) {
+      phase_ = DocPhase::kIdle;
+      return AfterDocument();
+    }
+  }
+  if (stream_->Finish()) {
+    SendFrame(FrameType::kCounts, EncodeCounts(stream_->counts()));
+    Bump(host_->counters().streams_completed);
+  } else {
+    SendFrame(FrameType::kError,
+              EncodeErrorInfo(
+                  StreamErrorInfo(stream_->stream_error(), &batch_->alphabet())));
+    Bump(host_->counters().streams_failed);
+  }
+  if (drain_pending_) Bump(host_->counters().drain_completed_streams);
+  ReleaseStream();
+  phase_ = DocPhase::kIdle;
+  return AfterDocument();
+}
+
+bool Connection::AfterDocument() {
+  if (drain_pending_) {
+    SendFrame(FrameType::kShed, EncodeShed(ShedReason::kDraining));
+    closing_ = true;
+  }
+  return true;
+}
+
+bool Connection::StartStream() {
+  std::optional<ShedReason> shed =
+      host_->AdmitStream(batch_->pool_stats().outstanding);
+  if (shed.has_value()) {
+    Bump(host_->counters().sheds_stream);
+    SendFrame(FrameType::kShed, EncodeShed(*shed));
+    phase_ = DocPhase::kDiscarding;  // connection survives; client may retry
+    return false;
+  }
+  stream_ = batch_->Acquire(merged_limits_, host_->recovery_policy());
+  int64_t active =
+      host_->admission_state().active_streams.fetch_add(1, kRelaxed) + 1;
+  ServerCounters::RaisePeak(&host_->counters().streams_peak, active);
+  Bump(host_->counters().streams_started);
+  phase_ = DocPhase::kStreaming;
+  return true;
+}
+
+void Connection::FinishStreamWithError() {
+  SendFrame(FrameType::kError,
+            EncodeErrorInfo(
+                StreamErrorInfo(stream_->stream_error(), &batch_->alphabet())));
+  Bump(host_->counters().streams_failed);
+  ReleaseStream();
+  phase_ = DocPhase::kDiscarding;
+}
+
+void Connection::SendFrame(FrameType type, std::string_view payload) {
+  AppendFrame(type, payload, &out_);
+  Bump(host_->counters().frames_out);
+}
+
+bool Connection::SendErrorAndClose(const char* code, std::string message) {
+  ErrorInfo info;
+  info.code = code;
+  info.message = std::move(message);
+  SendFrame(FrameType::kError, EncodeErrorInfo(info));
+  closing_ = true;
+  if (!FlushWrites()) return false;
+  UpdateInterest();
+  return true;
+}
+
+void Connection::SendShedAndClose(ShedReason reason) {
+  SendFrame(FrameType::kShed, EncodeShed(reason));
+  closing_ = true;
+  if (!FlushWrites()) return;
+  UpdateInterest();
+}
+
+bool Connection::FlushWrites() {
+  while (out_pos_ < out_.size()) {
+    ssize_t n = send(fd_, out_.data() + out_pos_, out_.size() - out_pos_,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<size_t>(n);
+      Bump(host_->counters().bytes_out, n);
+      write_stall_since_ms_ = 0;  // progress resets the stall clock
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (write_stall_since_ms_ == 0) {
+        write_stall_since_ms_ = EventLoop::NowMs();
+      }
+      return true;
+    }
+    // EPIPE / ECONNRESET: nothing is deliverable anymore.
+    if (stream_) {
+      Bump(host_->counters().disconnects_mid_stream);
+      ReleaseStream();
+    }
+    CloseNow();
+    return false;
+  }
+  out_.clear();
+  out_pos_ = 0;
+  write_stall_since_ms_ = 0;
+  if (closing_) {
+    // Everything owed is on the wire. Half-close and linger until the
+    // peer closes: an immediate close() would turn into a RST if the
+    // peer is still mid-write (pipelining into a drain), tearing the
+    // final verdict out of its receive buffer.
+    if (read_closed_) {
+      CloseNow();
+      return false;
+    }
+    if (!lingering_) {
+      lingering_ = true;
+      shutdown(fd_, SHUT_WR);
+      linger_deadline_ms_ =
+          EventLoop::NowMs() + host_->limits().write_timeout_ms;
+    }
+  }
+  return true;
+}
+
+void Connection::UpdateInterest() {
+  bool want_read = lingering_ || (!closing_ && !read_closed_ && !paused_);
+  bool want_write = pending_out() > 0;
+  host_->loop().SetWants(fd_, want_read, want_write);
+
+  int64_t deadline = EventLoop::kNoDeadline;
+  if (want_write && write_stall_since_ms_ != 0) {
+    deadline = write_stall_since_ms_ + host_->limits().write_timeout_ms;
+  }
+  if (lingering_) {
+    if (deadline == EventLoop::kNoDeadline || linger_deadline_ms_ < deadline) {
+      deadline = linger_deadline_ms_;
+    }
+  } else if (want_read) {
+    int64_t idle = last_read_ms_ + host_->limits().idle_timeout_ms;
+    if (deadline == EventLoop::kNoDeadline || idle < deadline) deadline = idle;
+  }
+  host_->loop().SetDeadline(fd_, deadline);
+}
+
+void Connection::ReleaseStream() {
+  if (!stream_) return;
+  batch_->Release(std::move(stream_));
+  host_->admission_state().active_streams.fetch_sub(1, kRelaxed);
+}
+
+void Connection::CloseNow() {
+  ReleaseStream();
+  host_->loop().Remove(fd_);
+  Bump(host_->counters().connections_closed);
+  host_->admission_state().active_connections.fetch_sub(1, kRelaxed);
+  host_->DestroyConnection(fd_);  // deletes *this; nothing may follow
+}
+
+}  // namespace sst

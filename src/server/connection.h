@@ -1,0 +1,132 @@
+#ifndef SST_SERVER_CONNECTION_H_
+#define SST_SERVER_CONNECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "server/event_loop.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace sst {
+
+// One client connection: the protocol state machine over a non-blocking
+// socket, owned by exactly one worker loop (single-threaded).
+//
+// Document phases:
+//   kIdle        between documents (register / metrics / data all legal)
+//   kStreaming   a session is leased; kData feeds it, kFinish verdicts it
+//   kDiscarding  a verdict (StreamError or kShed) already went out for the
+//                current document; remaining kData is swallowed so the
+//                client's pipeline stays aligned, kFinish re-idles.
+//
+// Robustness machinery:
+//   - backpressure: while the output queue holds more than
+//     limits.max_output_buffer bytes, the connection stops reading AND
+//     stops decoding already-buffered frames; both resume from OnWritable
+//     once the queue drains below resume_output_buffer. Output growth per
+//     pause is bounded by one frame's replies, so server memory per
+//     connection is bounded no matter how fast the client writes or how
+//     slowly it reads.
+//   - deadlines: one poll-driven deadline per connection — the nearer of
+//     idle (gap between reads; slow-loris guard) and write-stall (queued
+//     output the peer will not take). Idle sheds with kShed(idle_timeout);
+//     a write stall just closes (the peer is not reading frames anyway).
+//   - drain: BeginDrain sheds idle connections immediately and marks
+//     in-flight ones to close (kShed(draining)) right after their current
+//     document's verdict; ForceCloseForDrain is the deadline hammer.
+//
+// Lifetime: CloseNow() ends with host->DestroyConnection(fd), which
+// deletes this object. Methods that may close return false when the
+// connection is destroyed; callers must not touch it afterwards.
+class Connection : public EventLoop::Handler {
+ public:
+  Connection(int fd, ConnectionHost* host);
+  ~Connection() override;
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Registers with the host loop and arms the idle deadline.
+  void Start();
+
+  // Drain entry points (loop thread; see class comment). Both may destroy
+  // *this.
+  void BeginDrain();
+  void ForceCloseForDrain();
+
+  // EventLoop::Handler:
+  void OnReadable(int fd) override;
+  void OnWritable(int fd) override;
+  void OnError(int fd) override;
+  void OnDeadline(int fd, int64_t now_ms) override;
+
+ private:
+  enum class DocPhase { kIdle, kStreaming, kDiscarding };
+
+  size_t pending_out() const { return out_.size() - out_pos_; }
+
+  // Frame pump; false if *this was destroyed.
+  bool ProcessFrames();
+  bool HandleFrame(Frame frame);
+  bool HandleRegister(std::string_view payload);
+  bool HandleData(std::string_view payload);
+  bool HandleFinish();
+
+  // Admits + leases a stream for a new document; on shed, emits the typed
+  // frame and flips to kDiscarding (returns false).
+  bool StartStream();
+  // Emits the structured StreamError verdict and flips to kDiscarding.
+  void FinishStreamWithError();
+  // End-of-document bookkeeping (drain-pending connections close here).
+  bool AfterDocument();
+
+  void SendFrame(FrameType type, std::string_view payload);
+  // Protocol-level rejection: kError frame, then flush-and-close. False
+  // if *this was destroyed.
+  bool SendErrorAndClose(const char* code, std::string message);
+  // Typed lifecycle verdict, then flush-and-close. May destroy *this.
+  void SendShedAndClose(ShedReason reason);
+
+  // Writes as much queued output as the socket takes; false if *this was
+  // destroyed (write error, or close-after-flush completed).
+  bool FlushWrites();
+  // Recomputes poll interest + the armed deadline from current state.
+  void UpdateInterest();
+  // Returns the leased session to its pool (idempotent).
+  void ReleaseStream();
+  // Tears the connection down; destroys *this.
+  void CloseNow();
+
+  int fd_;
+  ConnectionHost* host_;
+  FrameDecoder decoder_;
+
+  // Output queue: [out_pos_, out_.size()) is unsent.
+  std::string out_;
+  size_t out_pos_ = 0;
+
+  DocPhase phase_ = DocPhase::kIdle;
+  std::shared_ptr<BatchHandle> batch_;
+  std::unique_ptr<BatchStream> stream_;
+  StreamLimits merged_limits_;  // server defaults merged with the request
+
+  bool paused_ = false;         // backpressure: reads + decoding stopped
+  bool closing_ = false;        // flush remaining output, then close
+  bool read_closed_ = false;    // peer EOF seen
+  bool drain_pending_ = false;  // close right after the in-flight document
+  // Output flushed and SHUT_WR sent; discarding reads until the peer
+  // closes (or the linger deadline). Guarantees a final verdict frame is
+  // not torn away by a RST when the peer is still mid-write.
+  bool lingering_ = false;
+
+  int64_t last_read_ms_ = 0;
+  int64_t write_stall_since_ms_ = 0;  // 0: output is not stalled
+  int64_t linger_deadline_ms_ = 0;
+};
+
+}  // namespace sst
+
+#endif  // SST_SERVER_CONNECTION_H_

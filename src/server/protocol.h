@@ -1,0 +1,164 @@
+#ifndef SST_SERVER_PROTOCOL_H_
+#define SST_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dra/stream_error.h"
+#include "dra/streaming.h"
+
+namespace sst {
+
+// Wire protocol of the query service: length-prefixed frames over a byte
+// stream. Every frame is
+//
+//   [1 byte type][4 bytes payload length, little endian][payload]
+//
+// and payloads are plain text (newline-separated key=value lines or
+// space-separated decimals), so a session is inspectable with a hex dump
+// and the protocol layer stays allocation-light without a codegen step.
+//
+// A session:
+//   client  -> kRegister    alphabet + options + N query lines
+//   server  -> kRegistered  slots/tier verdicts   (or kError and close)
+//   repeat:
+//     client -> kData*       document bytes, any chunking
+//     client -> kFinish      end of document
+//     server -> kCounts      per-query selection counts in submission order
+//               (or kError   structured StreamError verdict; the stream
+//                state resets and the connection stays usable)
+//   client -> kMetrics      at any point between documents
+//   server -> kMetricsText  plaintext counter snapshot
+//   client -> kGoodbye      orderly close (server flushes and closes)
+//
+// Overload and lifecycle verdicts arrive as kShed frames with a typed
+// reason (admission rejection, idle/write timeouts, drain), after which
+// the server closes the connection.
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kRegister = 'Q',
+  kData = 'D',
+  kFinish = 'F',
+  kMetrics = 'M',
+  kGoodbye = 'G',
+  // server -> client
+  kRegistered = 'R',
+  kCounts = 'C',
+  kError = 'E',
+  kShed = 'S',
+  kMetricsText = 'T',
+};
+
+bool IsKnownFrameType(uint8_t byte);
+const char* FrameTypeName(FrameType type);
+
+inline constexpr size_t kFrameHeaderBytes = 5;
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::string payload;
+};
+
+// Appends one encoded frame to `out`.
+void AppendFrame(FrameType type, std::string_view payload, std::string* out);
+
+// Incremental frame parser over a receive buffer. Append() bytes as they
+// arrive, then drain Next() until kNeedMore. The decoder enforces the
+// payload-size cap up front — an oversized length prefix is rejected from
+// its header alone, before any payload accumulates, so a malicious
+// 4 GiB declaration cannot make the server buffer anything.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,     // *frame holds the next complete frame
+    kNeedMore,  // buffer has no complete frame yet
+    kTooLarge,  // declared payload exceeds max_payload (fatal)
+    kBadType,   // unknown frame type byte (fatal)
+  };
+
+  explicit FrameDecoder(size_t max_payload) : max_payload_(max_payload) {}
+
+  void Append(std::string_view bytes);
+  Status Next(Frame* frame);
+
+  // Bytes buffered and not yet returned as frames.
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  size_t max_payload_;
+  std::string buf_;
+  size_t pos_ = 0;  // parse cursor; buf_ compacts when fully drained
+};
+
+// Typed overload/lifecycle verdicts carried by kShed frames.
+enum class ShedReason : uint8_t {
+  kMaxConnections,  // admission: connection high-watermark tripped
+  kMaxStreams,      // admission: concurrent-stream high-watermark tripped
+  kPoolSaturated,   // admission: this batch's session pool is at capacity
+  kDraining,        // server is draining; no new work accepted
+  kDrainDeadline,   // drain deadline expired with the stream in flight
+  kIdleTimeout,     // no bytes read for idle_timeout (slow-loris guard)
+  kWriteTimeout,    // peer stopped reading and the write stalled
+};
+
+const char* ShedReasonName(ShedReason reason);
+bool ParseShedReason(std::string_view payload, ShedReason* reason);
+std::string EncodeShed(ShedReason reason);
+
+// --- kRegister payload -----------------------------------------------------
+
+struct RegisterRequest {
+  std::string alphabet;  // tag letters, e.g. "abcdef"
+  StreamFormat format = StreamFormat::kCompactMarkup;
+  // Client-side stream limits; merged with the server's defaults via
+  // StreamLimits::Merged (clients can only tighten).
+  StreamLimits limits;
+  std::vector<std::string> queries;  // XPath texts, one per batch member
+};
+
+std::string EncodeRegister(const RegisterRequest& request);
+// False on malformed payloads, with a one-line reason in *error.
+bool ParseRegister(std::string_view payload, RegisterRequest* request,
+                   std::string* error);
+
+// --- kRegistered payload ----------------------------------------------------
+
+struct RegisteredInfo {
+  int num_queries = 0;
+  int num_slots = 0;      // unique queries after canonicalization
+  std::string tier;       // MultiTierName / EvaluatorKindName verdict
+};
+
+std::string EncodeRegistered(const RegisteredInfo& info);
+bool ParseRegistered(std::string_view payload, RegisteredInfo* info);
+
+// --- kError payload ----------------------------------------------------------
+
+// Structured error verdict: stream errors carry the StreamErrorCode name
+// and coordinates; protocol-level rejections use stable lowercase codes
+// ("frame_too_large", "bad_frame", "not_registered", "bad_register",
+// "bad_limits", "unexpected_frame").
+struct ErrorInfo {
+  std::string code;
+  int64_t offset = -1;
+  int64_t depth = 0;
+  std::string message;
+};
+
+std::string EncodeErrorInfo(const ErrorInfo& info);
+bool ParseErrorInfo(std::string_view payload, ErrorInfo* info);
+
+// The ErrorInfo for a streaming verdict; `alphabet` may be null.
+ErrorInfo StreamErrorInfo(const StreamError& error, const Alphabet* alphabet);
+
+// --- kCounts payload ---------------------------------------------------------
+
+std::string EncodeCounts(const std::vector<int64_t>& counts);
+bool ParseCounts(std::string_view payload, std::vector<int64_t>* counts);
+
+}  // namespace sst
+
+#endif  // SST_SERVER_PROTOCOL_H_
