@@ -31,6 +31,7 @@
 #include "automata/minimize.h"
 #include "base/byte_scan.h"
 #include "base/check.h"
+#include "base/match_sink.h"
 #include "base/thread_pool.h"
 #include "bench_util.h"
 #include "dra/byte_runner.h"
@@ -1065,6 +1066,130 @@ void BM_StacklessFusedMixedBatchIndependent(benchmark::State& state) {
 
 BENCHMARK(BM_StacklessFusedMixedBatchScan);
 BENCHMARK(BM_StacklessFusedMixedBatchIndependent);
+
+// --- Match-sink emission cost and latency-to-certainty ------------------
+// The streaming MatchSink pipeline replaces count-at-Finish with per-match
+// push events carrying byte spans. These benches measure its overhead on
+// the hottest tier (the fused byte table over the padded markup corpus —
+// the same pretty-printed document the committed throughput baselines
+// pin) and report the earliest-answering metrics:
+//   latency_to_certainty_bytes  mean (certainty_offset - start_offset):
+//                               bytes between a node's opening token and
+//                               the byte at which its verdict is provably
+//                               certain — the opening-token width under
+//                               pre-selection semantics.
+//   certainty_lead_bytes        mean (end_offset - certainty_offset) over
+//                               completed spans: how many bytes before the
+//                               node's close tag the verdict was pushed,
+//                               i.e. the win over a close-tag-based
+//                               answering model.
+// The counting-sink bench is the acceptance anchor: it must stay within
+// 5% of the sink-off bench (enforced as a relative floor by
+// check_bench_baselines.py).
+
+void AddLatencyCounters(benchmark::State& state,
+                        const CollectingSink& sink) {
+  double latency_sum = 0.0;
+  double lead_sum = 0.0;
+  int64_t lead_n = 0;
+  for (const MatchEvent& event : sink.matches()) {
+    latency_sum +=
+        static_cast<double>(event.certainty_offset - event.start_offset);
+  }
+  for (const MatchEvent& event : sink.spans()) {
+    if (event.end_offset >= 0) {
+      lead_sum +=
+          static_cast<double>(event.end_offset - event.certainty_offset);
+      ++lead_n;
+    }
+  }
+  state.counters["latency_to_certainty_bytes"] =
+      sink.matches().empty()
+          ? 0.0
+          : latency_sum / static_cast<double>(sink.matches().size());
+  state.counters["certainty_lead_bytes"] =
+      lead_n == 0 ? 0.0 : lead_sum / static_cast<double>(lead_n);
+}
+
+enum class SinkMode { kOff, kCounting, kCollecting };
+
+void RunMatchSinkBench(benchmark::State& state, SinkMode mode) {
+  size_t chunk_size = static_cast<size_t>(state.range(0));
+  BenchSetup setup(false);
+  const std::string& bytes = PaddedMarkupBytes();
+  StreamingSelector selector(&setup.machine, Format::kCompactMarkup,
+                             &setup.alphabet);
+  SST_CHECK(selector.using_fused_fast_path());
+  CountingSink counting;
+  CollectingSink collecting;
+  int64_t matches = 0;
+  switch (mode) {
+    case SinkMode::kOff:
+      for (auto _ : state) {
+        matches = DriveChunked(selector, bytes, chunk_size);
+        benchmark::DoNotOptimize(matches);
+      }
+      break;
+    case SinkMode::kCounting:
+      selector.set_match_sink(&counting);
+      for (auto _ : state) {
+        counting.Reset();
+        matches = DriveChunked(selector, bytes, chunk_size);
+        benchmark::DoNotOptimize(matches);
+      }
+      SST_CHECK(counting.total() == matches);
+      break;
+    case SinkMode::kCollecting:
+      selector.set_match_sink(&collecting);
+      for (auto _ : state) {
+        collecting.Reset();
+        matches = DriveChunked(selector, bytes, chunk_size);
+        benchmark::DoNotOptimize(matches);
+      }
+      SST_CHECK(static_cast<int64_t>(collecting.matches().size()) ==
+                matches);
+      break;
+  }
+  SST_CHECK(matches >= 0);
+  SST_CHECK(selector.using_fused_fast_path());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["matches"] = static_cast<double>(matches);
+  if (mode == SinkMode::kCollecting) {
+    AddLatencyCounters(state, collecting);
+  } else {
+    // One instrumented pass outside the timing loop supplies the latency
+    // metrics; the same bytes yield the same log on every tier.
+    CollectingSink probe;
+    StreamingSelector probe_selector(&setup.machine, Format::kCompactMarkup,
+                                     &setup.alphabet);
+    probe_selector.set_match_sink(&probe);
+    SST_CHECK(DriveChunked(probe_selector, bytes, chunk_size) == matches);
+    AddLatencyCounters(state, probe);
+  }
+  std::string label = "markup-pad/fused/sink=";
+  label += mode == SinkMode::kOff
+               ? "off"
+               : mode == SinkMode::kCounting ? "counting" : "collecting";
+  label += "/chunk=" + std::to_string(chunk_size);
+  state.SetLabel(label);
+}
+
+void BM_MatchSinkOff(benchmark::State& state) {
+  RunMatchSinkBench(state, SinkMode::kOff);
+}
+
+void BM_MatchSinkCounting(benchmark::State& state) {
+  RunMatchSinkBench(state, SinkMode::kCounting);
+}
+
+void BM_MatchSinkCollecting(benchmark::State& state) {
+  RunMatchSinkBench(state, SinkMode::kCollecting);
+}
+
+BENCHMARK(BM_MatchSinkOff)->Arg(65536);
+BENCHMARK(BM_MatchSinkCounting)->Arg(65536);
+BENCHMARK(BM_MatchSinkCollecting)->Arg(65536);
 
 }  // namespace
 }  // namespace sst

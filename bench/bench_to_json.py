@@ -44,7 +44,9 @@ def compact(raw):
                 bench["bytes_per_second"] / (1 << 20), 1)
         for key, value in bench.items():
             if key in ("threads", "matches", "connections", "streams",
-                       "p50_ms", "p99_ms", "sheds"):
+                       "p50_ms", "p99_ms", "sheds",
+                       "latency_to_certainty_bytes", "certainty_lead_bytes",
+                       "match_p50_ms", "match_p99_ms"):
                 entry[key] = value
         out["benchmarks"].append(entry)
     out["benchmarks"].sort(key=lambda entry: entry["name"] or "")

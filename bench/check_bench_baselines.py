@@ -7,6 +7,12 @@ is responsible for. A run must reach at least (1 - tolerance) of each
 committed figure; anything lower fails the check (and CI). Missing rows
 fail too, so a silently-skipped benchmark cannot pass.
 
+The baselines file may also carry "relative_floors": same-artifact
+throughput ratios that must hold regardless of the machine. Each entry
+pins one benchmark to a fraction of another from the SAME run — e.g. the
+counting-sink scan must reach >= 95% of the sink-off scan, the
+match-event pipeline's <=5% overhead budget.
+
 Usage:
   check_bench_baselines.py [--artifact BENCH_streaming.json]
                            [--baselines bench/bench_baselines.json]
@@ -48,6 +54,28 @@ def main():
             failures.append(
                 f"{name}: {got:.1f} MiB/s < floor {floor:.1f} MiB/s "
                 f"(baseline {baseline:.1f}, tolerance {args.tolerance:.0%})")
+
+    relative = baselines.get("relative_floors", {})
+    if relative:
+        print(f"\n{'benchmark':40} {'vs':28} {'min_ratio':>9} {'ratio':>8}")
+    for name, spec in sorted(relative.items()):
+        other = spec["of"]
+        min_ratio = float(spec["min_ratio"])
+        got = measured.get(name)
+        ref = measured.get(other)
+        if got is None or ref is None:
+            missing = name if got is None else other
+            print(f"{name:40} {other:28} {min_ratio:9.2f}  MISSING")
+            failures.append(
+                f"{name} vs {other}: {missing} not present in "
+                f"{args.artifact}")
+            continue
+        ratio = got / ref if ref else 0.0
+        print(f"{name:40} {other:28} {min_ratio:9.2f} {ratio:8.3f}")
+        if ratio < min_ratio:
+            failures.append(
+                f"{name}: {got:.1f} MiB/s is {ratio:.1%} of {other} "
+                f"({ref:.1f} MiB/s), below the {min_ratio:.0%} floor")
 
     if failures:
         print("\nFAIL: padded-corpus throughput regression", file=sys.stderr)

@@ -7,12 +7,17 @@
 //   load_client --port 7007 --connections 200 --docs 20 --chunk-size 4096
 //   load_client --port 7007 --fault-rate 0.3 --seed 9   # chaos mix
 //   load_client --port 7007 --json-out raw.json         # bench artifact
+//   load_client --port 7007 --matches                   # streamed spans
 //
 // Reports per-document latency (p50/p99), throughput in MiB/s, and the
-// verdict mix (counts / stream errors / sheds). With --json-out it writes
-// Google-Benchmark-shaped JSON for bench/bench_to_json.py. Exit status is
-// non-zero when any verified count mismatches the offline engine run over
-// the same bytes.
+// verdict mix (counts / stream errors / sheds). With --matches every
+// connection opts into streamed MatchEvent spans (kMatches frames); the
+// client verifies each clean document's record sequence against an
+// offline CollectingSink run over the same bytes and reports p50/p99
+// first-emission latency (document start to first kMatches frame). With
+// --json-out it writes Google-Benchmark-shaped JSON for
+// bench/bench_to_json.py. Exit status is non-zero when any verified count
+// or match log mismatches the offline engine run over the same bytes.
 
 #include <netinet/in.h>
 #include <poll.h>
@@ -68,6 +73,7 @@ struct Config {
   uint64_t seed = 7;
   double timeout_s = 120.0;
   const char* json_out = nullptr;
+  bool matches = false;  // opt into streamed MatchEvent spans
 };
 
 // The serve_many query family over {a..f}.
@@ -91,6 +97,11 @@ std::vector<std::string> QueryTexts(int n) {
 struct Workload {
   std::vector<std::string> documents;            // clean docs
   std::vector<std::vector<int64_t>> expected;    // offline engine counts
+  // Offline match-record oracle per clean document (--matches): the same
+  // BatchSession the server runs, drained through a MatchWireBuffer. The
+  // match-event log is chunking-invariant, so the whole-document offline
+  // feed predicts the server's incremental kMatches flushes exactly.
+  std::vector<std::vector<sst::MatchWireRecord>> expected_records;
   std::vector<std::string> faulted;              // mutated variants
   std::string register_payload;
 };
@@ -104,6 +115,7 @@ Workload BuildWorkload(const Config& config) {
   request.alphabet = "abcdef";
   request.format = sst::StreamFormat::kCompactMarkup;
   request.queries = queries;
+  request.matches = config.matches;
   workload.register_payload = sst::EncodeRegister(request);
 
   sst::Rng rng(config.seed);
@@ -129,14 +141,18 @@ Workload BuildWorkload(const Config& config) {
   auto plan = sst::MultiQueryPlan::Compile(batch, alphabet,
                                            sst::MultiQueryOptions{});
   sst::BatchSession session(plan);
+  sst::MatchWireBuffer oracle;
+  if (config.matches) session.set_match_sink(&oracle);
   for (const std::string& doc : workload.documents) {
     session.Reset();
+    oracle.Reset();
     bool ok = session.Feed(doc) && session.Finish();
     if (!ok) {
       std::fprintf(stderr, "clean document failed offline?\n");
       std::exit(1);
     }
     workload.expected.push_back(session.query_matches());
+    if (config.matches) workload.expected_records.push_back(oracle.Take());
   }
 
   if (config.fault_rate > 0.0) {
@@ -169,15 +185,21 @@ struct Conn {
   bool doc_faulted = false;
   Clock::time_point doc_start;
   bool failed = false;
+  // --matches bookkeeping for the in-flight document.
+  std::vector<sst::MatchWireRecord> records;
+  bool saw_match_frame = false;
+  double first_match_ms = 0.0;
 };
 
 struct Totals {
   std::vector<double> latencies_ms;
+  std::vector<double> first_match_ms;  // doc start -> first kMatches frame
   long long bytes_sent = 0;
   long long ok = 0;
   long long stream_errors = 0;
   long long sheds = 0;
   long long mismatches = 0;
+  long long match_records = 0;
   long long connection_failures = 0;
 };
 
@@ -289,6 +311,9 @@ class Driver {
         conn.doc_faulted
             ? workload_.faulted[static_cast<size_t>(conn.doc_index)]
             : workload_.documents[static_cast<size_t>(conn.doc_index)];
+    conn.records.clear();
+    conn.saw_match_frame = false;
+    conn.first_match_ms = 0.0;
     conn.doc_start = Clock::now();
     for (size_t i = 0; i < doc.size(); i += config_.chunk_size) {
       sst::AppendFrame(sst::FrameType::kData,
@@ -303,6 +328,12 @@ class Driver {
   void OnVerdict(Conn& conn, const sst::Frame& frame) {
     totals_.latencies_ms.push_back(MsSince(conn.doc_start));
     ++conn.docs_done;
+    if (config_.matches) {
+      totals_.match_records += static_cast<long long>(conn.records.size());
+      if (conn.saw_match_frame) {
+        totals_.first_match_ms.push_back(conn.first_match_ms);
+      }
+    }
     if (frame.type == sst::FrameType::kCounts) {
       ++totals_.ok;
       std::vector<int64_t> counts;
@@ -310,6 +341,14 @@ class Driver {
           (!sst::ParseCounts(frame.payload, &counts) ||
            counts !=
                workload_.expected[static_cast<size_t>(conn.doc_index)])) {
+        ++totals_.mismatches;
+      }
+      // The streamed record sequence must replay the offline sink run
+      // byte for byte — same events, same offsets, same order.
+      if (config_.matches && !conn.doc_faulted &&
+          conn.records !=
+              workload_.expected_records[static_cast<size_t>(
+                  conn.doc_index)]) {
         ++totals_.mismatches;
       }
     } else {
@@ -348,6 +387,21 @@ class Driver {
           } else {
             CloseConn(conn, /*failed=*/true);  // bad_register et al.
             return;
+          }
+          break;
+        case sst::FrameType::kMatches:
+          if (conn.state == ConnState::kAwaitVerdict) {
+            if (!conn.saw_match_frame) {
+              conn.saw_match_frame = true;
+              conn.first_match_ms = MsSince(conn.doc_start);
+            }
+            std::vector<sst::MatchWireRecord> parsed;  // ParseMatches clears
+            if (!sst::ParseMatches(frame.payload, &parsed)) {
+              CloseConn(conn, /*failed=*/true);
+              return;
+            }
+            conn.records.insert(conn.records.end(), parsed.begin(),
+                                parsed.end());
           }
           break;
         case sst::FrameType::kShed: {
@@ -423,7 +477,8 @@ double Percentile(std::vector<double>& values, double p) {
 }
 
 void WriteJson(const Config& config, const Totals& totals, double wall_s,
-               double p50, double p99, double mib_per_s) {
+               double p50, double p99, double mib_per_s, double match_p50,
+               double match_p99) {
   std::FILE* file = std::fopen(config.json_out, "w");
   if (file == nullptr) {
     std::perror("json-out");
@@ -450,14 +505,16 @@ void WriteJson(const Config& config, const Totals& totals, double wall_s,
                " \"bytes_per_second\": %.1f,"
                " \"items_per_second\": %.1f,"
                " \"connections\": %d, \"streams\": %lld,"
-               " \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"sheds\": %lld}\n"
+               " \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"sheds\": %lld,"
+               " \"matches\": %lld,"
+               " \"match_p50_ms\": %.3f, \"match_p99_ms\": %.3f}\n"
                " ]\n"
                "}\n",
                date, host, sysconf(_SC_NPROCESSORS_ONLN),
                config.connections, config.batch, docs, per_doc_ns,
                per_doc_ns, mib_per_s * 1024.0 * 1024.0,
                docs / wall_s, config.connections, docs, p50, p99,
-               totals.sheds);
+               totals.sheds, totals.match_records, match_p50, match_p99);
   std::fclose(file);
 }
 
@@ -468,8 +525,17 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   Config config;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; i += 2) {
     const char* flag = argv[i];
+    if (std::strcmp(flag, "--matches") == 0) {  // valueless
+      config.matches = true;
+      i -= 1;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag %s needs a value\n", flag);
+      return 2;
+    }
     const char* value = argv[i + 1];
     if (std::strcmp(flag, "--host") == 0) {
       config.host = value;
@@ -523,9 +589,19 @@ int main(int argc, char** argv) {
   std::printf("latency p50=%.3fms p99=%.3fms; %.1f MiB in %.2fs = %.1f "
               "MiB/s\n",
               p50, p99, mib, wall_s, mib_per_s);
+  double match_p50 = 0.0;
+  double match_p99 = 0.0;
+  if (config.matches) {
+    match_p50 = Percentile(totals.first_match_ms, 0.50);
+    match_p99 = Percentile(totals.first_match_ms, 0.99);
+    std::printf("matches: records=%lld first-emission p50=%.3fms "
+                "p99=%.3fms\n",
+                totals.match_records, match_p50, match_p99);
+  }
 
   if (config.json_out != nullptr) {
-    WriteJson(config, totals, wall_s, p50, p99, mib_per_s);
+    WriteJson(config, totals, wall_s, p50, p99, mib_per_s, match_p50,
+              match_p99);
   }
   return (completed && totals.mismatches == 0) ? 0 : 1;
 }

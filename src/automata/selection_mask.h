@@ -67,6 +67,15 @@ class SelectionMask {
     }
   }
 
+  // Appends every set bit index, ascending — the per-node fan-out step of
+  // multi-query match-event emission (one MatchEvent per selecting query).
+  void AppendSetBits(std::vector<int32_t>* out) const {
+    AppendWord(bits_, 0, out);
+    for (size_t slot = 0; slot < extra_.size(); ++slot) {
+      AppendWord(extra_[slot], (static_cast<int>(slot) + 1) * 64, out);
+    }
+  }
+
   friend bool operator==(const SelectionMask&, const SelectionMask&) = default;
 
  private:
@@ -93,6 +102,12 @@ class SelectionMask {
   static void AccumulateWord(uint64_t word, int base, int64_t* counts) {
     for (; word != 0; word &= word - 1) {
       ++counts[base + CountTrailingZeros(word)];
+    }
+  }
+
+  static void AppendWord(uint64_t word, int base, std::vector<int32_t>* out) {
+    for (; word != 0; word &= word - 1) {
+      out->push_back(static_cast<int32_t>(base + CountTrailingZeros(word)));
     }
   }
 

@@ -119,6 +119,86 @@ int64_t ByteDraRunner::CountSelections(std::string_view bytes) const {
   return selected;
 }
 
+namespace {
+
+// Shared span-tracking step for the indexed and per-byte collect loops:
+// framing depth counts every tag letter (known or not — the framing view,
+// matching the recorder depths ByteTagDfaRunner::CollectMatches uses),
+// while only known letters step the configuration.
+struct DraCollectState {
+  DraConfig config;
+  int64_t depth = 0;
+  int64_t selected = 0;
+};
+
+}  // namespace
+
+int64_t ByteDraRunner::CollectMatches(std::string_view bytes, MatchSink* sink,
+                                      int64_t max_pending) const {
+  MatchRecorder recorder;
+  recorder.set_sink(sink);
+  recorder.set_max_pending(max_pending);
+  DraCollectState st;
+  st.config = InitialConfig();
+  // Structural-index walk is sound unconditionally (text_run_trivial()):
+  // whitespace touches neither the configuration, the framing depth, nor
+  // any event offset.
+  ForEachStructural(bytes.data(), bytes.size(), [&](size_t i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepOpen(&st.config, s);
+      ++st.depth;
+      if (accepting_[st.config.state]) {
+        ++st.selected;
+        recorder.OnMatch(0, st.depth, static_cast<int64_t>(i),
+                         static_cast<int64_t>(i) + 1);
+      }
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepClose(&st.config, s);
+      if (st.depth > 0) {
+        recorder.OnClose(st.depth, static_cast<int64_t>(i) + 1);
+        --st.depth;
+      }
+    }
+  });
+  recorder.FlushTruncated();
+  return st.selected;
+}
+
+int64_t ByteDraRunner::CollectMatchesPerByte(std::string_view bytes,
+                                             MatchSink* sink,
+                                             int64_t max_pending) const {
+  MatchRecorder recorder;
+  recorder.set_sink(sink);
+  recorder.set_max_pending(max_pending);
+  DraCollectState st;
+  st.config = InitialConfig();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    if (byte >= 'a' && byte <= 'z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepOpen(&st.config, s);
+      ++st.depth;
+      if (accepting_[st.config.state]) {
+        ++st.selected;
+        recorder.OnMatch(0, st.depth, static_cast<int64_t>(i),
+                         static_cast<int64_t>(i) + 1);
+      }
+    } else if (byte >= 'A' && byte <= 'Z') {
+      Symbol s = byte_symbol_[byte];
+      if (s >= 0) StepClose(&st.config, s);
+      if (st.depth > 0) {
+        recorder.OnClose(st.depth, static_cast<int64_t>(i) + 1);
+        --st.depth;
+      }
+    }
+  }
+  recorder.FlushTruncated();
+  return st.selected;
+}
+
 bool ByteDraRunner::Accepts(std::string_view bytes) const {
   return accepting_[FinalConfig(bytes).state] != 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "automata/alphabet.h"
+#include "base/match_sink.h"
 #include "dra/dra.h"
 #include "dra/machine.h"
 #include "dra/stream_error.h"
@@ -60,6 +61,20 @@ class ByteDraRunner {
   // Per-byte reference loop (no structural index): the oracle the parity
   // tests diff the indexed path against.
   int64_t CountSelectionsPerByte(std::string_view bytes) const;
+
+  // CountSelections with byte-span position tracking: every pre-selected
+  // node becomes a MatchEvent (query_id 0) in `sink`, emitted just past
+  // its opening letter (the earliest certain offset) and completed at the
+  // matching close; see ByteTagDfaRunner::CollectMatches for the exact
+  // semantics (framing depth counter, truncated spans, `max_pending`
+  // bound). Indexed walk is sound unconditionally here
+  // (text_run_trivial()); CollectMatchesPerByte is the per-byte oracle.
+  int64_t CollectMatches(std::string_view bytes, MatchSink* sink,
+                         int64_t max_pending = MatchRecorder::kUnlimited)
+      const;
+  int64_t CollectMatchesPerByte(std::string_view bytes, MatchSink* sink,
+                                int64_t max_pending =
+                                    MatchRecorder::kUnlimited) const;
 
   // Text-run closure of this runner, trivially: a whitespace byte is
   // neither an opening nor a closing letter, so Next() leaves the

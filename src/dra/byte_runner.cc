@@ -177,6 +177,72 @@ int64_t ByteTagDfaRunner::CountSelections(std::string_view bytes) const {
 }
 
 template <typename T>
+int64_t ByteTagDfaRunner::CollectMatchesImpl(const T* table,
+                                             std::string_view bytes,
+                                             MatchRecorder* recorder,
+                                             bool indexed) const {
+  int state = initial_;
+  int64_t depth = 0;
+  int64_t selected = 0;
+  // Span bookkeeping rides the same fused walk as selection counting: a
+  // depth counter frames opens/closes (no validation — CountSelections
+  // semantics), matches arm a pending span at the opening letter and the
+  // close at the same depth completes it.
+  auto step = [&](size_t i) {
+    unsigned char byte = static_cast<unsigned char>(bytes[i]);
+    state = table[static_cast<size_t>(state) * 256 + byte];
+    if (byte >= 'a' && byte <= 'z') {
+      ++depth;
+      if (accepting_[state]) {
+        ++selected;
+        recorder->OnMatch(0, depth, static_cast<int64_t>(i),
+                          static_cast<int64_t>(i) + 1);
+      }
+    } else if (byte >= 'A' && byte <= 'Z') {
+      if (depth > 0) {
+        recorder->OnClose(depth, static_cast<int64_t>(i) + 1);
+        --depth;
+      }
+    }
+  };
+  if (indexed) {
+    // Sound only under a trivial text-run closure (the gate in
+    // CollectMatches): whitespace gaps touch neither the state nor the
+    // framing, so skipping them changes no event and no offset.
+    ForEachStructural(bytes.data(), bytes.size(), step);
+  } else {
+    for (size_t i = 0; i < bytes.size(); ++i) step(i);
+  }
+  // Spans still open at end of input have no close in the bytes: report
+  // them truncated (end_offset -1), never drop them.
+  recorder->FlushTruncated();
+  return selected;
+}
+
+int64_t ByteTagDfaRunner::CollectMatches(std::string_view bytes,
+                                         MatchSink* sink,
+                                         int64_t max_pending) const {
+  MatchRecorder recorder;
+  recorder.set_sink(sink);
+  recorder.set_max_pending(max_pending);
+  const bool indexed = text_run_trivial_;
+  return uses_compact_table()
+             ? CollectMatchesImpl(table16_.data(), bytes, &recorder, indexed)
+             : CollectMatchesImpl(table32_.data(), bytes, &recorder, indexed);
+}
+
+int64_t ByteTagDfaRunner::CollectMatchesPerByte(std::string_view bytes,
+                                                MatchSink* sink,
+                                                int64_t max_pending) const {
+  MatchRecorder recorder;
+  recorder.set_sink(sink);
+  recorder.set_max_pending(max_pending);
+  return uses_compact_table()
+             ? CollectMatchesImpl(table16_.data(), bytes, &recorder, false)
+             : CollectMatchesImpl(table32_.data(), bytes, &recorder, false);
+}
+
+template <typename T>
 int ByteTagDfaRunner::FinalStateImpl(const T* table,
                                      std::string_view bytes) const {
   int state = initial_;

@@ -8,6 +8,7 @@
 
 #include "automata/alphabet.h"
 #include "automata/dfa.h"
+#include "base/match_sink.h"
 #include "dra/stream_error.h"
 #include "dra/tag_dfa.h"
 
@@ -55,6 +56,25 @@ class ByteTagDfaRunner {
   // closure is not exact and the oracle the parity tests diff the indexed
   // paths against.
   int64_t CountSelectionsPerByte(std::string_view bytes) const;
+
+  // CountSelections with byte-span position tracking: every pre-selected
+  // node is pushed into `sink` as a MatchEvent (query_id 0) at its
+  // earliest certain offset — just past the opening letter — and its span
+  // completes at the matching closing letter (tracked with a depth
+  // counter; the pending buffer is bounded by `max_pending`, overflow and
+  // end-of-input spans report end_offset -1). Runs over the structural
+  // index when the text-run closure is trivial and falls back to the
+  // per-byte oracle loop otherwise; CollectMatchesPerByte is that oracle,
+  // exposed for the differential tests. Both produce the same events at
+  // the same offsets in the same order, and the same count as
+  // CountSelections. Framing is not validated (CountSelections
+  // semantics): unmatched closes at depth 0 are ignored.
+  int64_t CollectMatches(std::string_view bytes, MatchSink* sink,
+                         int64_t max_pending = MatchRecorder::kUnlimited)
+      const;
+  int64_t CollectMatchesPerByte(std::string_view bytes, MatchSink* sink,
+                                int64_t max_pending =
+                                    MatchRecorder::kUnlimited) const;
 
   // Final-state acceptance after the whole stream.
   bool Accepts(std::string_view bytes) const;
@@ -132,6 +152,9 @@ class ByteTagDfaRunner {
   int64_t CountSelectionsImpl(const T* table, std::string_view bytes) const;
   template <typename T>
   int64_t CountSelectionsIndexed(const T* table, std::string_view bytes) const;
+  template <typename T>
+  int64_t CollectMatchesImpl(const T* table, std::string_view bytes,
+                             MatchRecorder* recorder, bool indexed) const;
   template <typename T>
   int FinalStateImpl(const T* table, std::string_view bytes) const;
 

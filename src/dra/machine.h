@@ -50,6 +50,19 @@ class StreamMachine {
   virtual void OnClose(Symbol symbol) = 0;
   virtual bool InAcceptingState() const = 0;
 
+  // Match-event fan-out: appends the ids of the members whose verdict is
+  // "selected" for the node just opened. Called by scanners only when the
+  // machine (or its fused stand-in) reports acceptance, so single-query
+  // machines keep the default — member 0 — which is deliberately
+  // state-independent: the fused tiers sample acceptance from the byte
+  // table without syncing the machine mid-chunk, and the default must stay
+  // correct there. Multi-query machines (ProductTagMachine) override this
+  // to enumerate the accepting members of the product mask; they never run
+  // fused, so their machine state is in sync at every call.
+  virtual void AppendSelectedMembers(std::vector<int32_t>* out) const {
+    out->push_back(0);
+  }
+
   // Registerless fast-path export (Section 4.3): machines that are (wrappers
   // of) a plain TagDfa may expose the automaton plus get/set access to their
   // current state. Byte-level scanners then run a fused byte→state

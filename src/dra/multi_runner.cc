@@ -119,6 +119,19 @@ void LazyProductCursor::AccumulateMask(int64_t* counts) const {
   }
 }
 
+void LazyProductCursor::AppendSelected(std::vector<int32_t>* out) const {
+  if (!wide_) {
+    lazy_->MaskOf(id_).AppendSetBits(out);
+    return;
+  }
+  const std::vector<const TagDfa*>& components = lazy_->components();
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (components[i]->accepting[tuple_[i]]) {
+      out->push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
 // --- ProductTagMachine ---------------------------------------------------
 
 ProductTagMachine::ProductTagMachine(const TagDfaProduct* eager,
@@ -201,6 +214,24 @@ bool ProductTagMachine::InAcceptingState() const {
     if (dras_[j]->IsAccepting(dra_configs_[j].state)) return true;
   }
   return false;
+}
+
+void ProductTagMachine::AppendSelectedMembers(
+    std::vector<int32_t>* out) const {
+  if (eager_ != nullptr) {
+    if (eager_->dfa.accepting[eager_state_]) {
+      eager_->masks[static_cast<size_t>(eager_state_)].AppendSetBits(out);
+    }
+  } else if (lazy_cursor_) {
+    if (lazy_cursor_->Accepting()) lazy_cursor_->AppendSelected(out);
+  }
+  if (dras_.empty()) return;
+  const int32_t base = static_cast<int32_t>(counts_.size() - dras_.size());
+  for (size_t j = 0; j < dras_.size(); ++j) {
+    if (dras_[j]->IsAccepting(dra_configs_[j].state)) {
+      out->push_back(base + static_cast<int32_t>(j));
+    }
+  }
 }
 
 // --- MultiTagDfaRunner ---------------------------------------------------

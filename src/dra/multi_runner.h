@@ -82,6 +82,9 @@ class LazyProductCursor {
   // counts[i] += 1 for every query whose automaton accepts right now.
   void AccumulateMask(int64_t* counts) const;
 
+  // Appends the index of every query whose automaton accepts right now.
+  void AppendSelected(std::vector<int32_t>* out) const;
+
  private:
   void StepWide(int letter);
 
@@ -115,6 +118,12 @@ class ProductTagMachine final : public StreamMachine {
   void OnOpen(Symbol symbol) override;
   void OnClose(Symbol symbol) override;
   bool InAcceptingState() const override;
+
+  // Match-event fan-out (base/match_sink.h): member ids are the product
+  // mask bits first, then the DRA members — the same member order as
+  // counts(). This machine always runs the generic scanner tier (never
+  // fused), so its state is in sync whenever the selector samples it.
+  void AppendSelectedMembers(std::vector<int32_t>* out) const override;
 
   int arity() const { return static_cast<int>(counts_.size()); }
   const std::vector<int64_t>& counts() const { return counts_; }

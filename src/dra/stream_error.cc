@@ -26,6 +26,10 @@ const char* StreamLimits::Validate() const {
     return "max_recovered_errors must be non-negative (0 makes the first "
            "recovery attempt fatal; negative values are meaningless)";
   }
+  if (max_pending_matches <= 0) {
+    return "max_pending_matches must be positive (a bound of 0 truncates "
+           "every match span at emission, making span output useless)";
+  }
   if (max_depth != kUnlimited && max_depth > max_events) {
     return "contradictory limits: max_depth exceeds max_events, so the "
            "depth guard can never fire (reaching depth d costs at least d "
@@ -43,6 +47,8 @@ StreamLimits StreamLimits::Merged(const StreamLimits& a,
   merged.max_events = std::min(a.max_events, b.max_events);
   merged.max_recovered_errors =
       std::min(a.max_recovered_errors, b.max_recovered_errors);
+  merged.max_pending_matches =
+      std::min(a.max_pending_matches, b.max_pending_matches);
   // Reaching depth d costs at least d open events, so a depth guard above
   // the event guard can never fire; capping it keeps Merged closed under
   // Validate (merging two valid limits always yields valid limits), which

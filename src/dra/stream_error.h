@@ -85,10 +85,17 @@ struct StreamLimits {
   int64_t max_document_bytes = kUnlimited;  // total bytes fed
   int64_t max_events = kUnlimited;          // tag events (opens + closes)
   int64_t max_recovered_errors = kUnlimited;  // recoveries before fatal
+  // Emission-buffer bound of the match-event pipeline: the most spans a
+  // stream may hold pending (verdict emitted, end offset unknown) at once.
+  // Unlike the guards above this limit is not an error condition — on
+  // overflow the newest span is reported immediately as truncated
+  // (end_offset -1) instead of buffered; see base/match_sink.h.
+  int64_t max_pending_matches = kUnlimited;
 
   bool unlimited() const {
     return max_depth == kUnlimited && max_document_bytes == kUnlimited &&
-           max_events == kUnlimited && max_recovered_errors == kUnlimited;
+           max_events == kUnlimited && max_recovered_errors == kUnlimited &&
+           max_pending_matches == kUnlimited;
   }
 
   // Returns nullptr when the limits admit at least one document, or a

@@ -22,6 +22,28 @@ inline bool IsAsciiAlnum(unsigned char c) {
          (c >= 'A' && c <= 'Z');
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define SST_NOINLINE __attribute__((noinline))
+#else
+#define SST_NOINLINE
+#endif
+
+// Out-of-line recorder entry points for the fused scan loop. Keeping the
+// emission bodies (event construction, virtual sink dispatch, pending-
+// stack maintenance) out of the loop keeps its register allocation —
+// stepper state plus the structural iterator — intact; inlining them
+// costs ~10% whole-scan throughput on the padded corpus even though the
+// guard branches are never taken without a sink.
+SST_NOINLINE void RecordSingleMemberMatchSlow(MatchRecorder& recorder,
+                                              int64_t depth, int64_t start) {
+  recorder.OnMatch(0, depth, start, start + 1);
+}
+
+SST_NOINLINE void RecordSpanClose(MatchRecorder& recorder, int64_t depth,
+                                  int64_t end) {
+  recorder.OnClose(depth, end);
+}
+
 }  // namespace
 
 ScannerTables ScannerTables::Build(StreamFormat format,
@@ -182,6 +204,15 @@ void StreamingSelector::set_limits(const StreamLimits& limits) {
   const char* defect = limits.Validate();
   SST_CHECK_MSG(defect == nullptr, defect);
   limits_ = limits;
+  recorder_.set_max_pending(limits.max_pending_matches);
+}
+
+void StreamingSelector::RecordMatch(int64_t start, int64_t certainty) {
+  member_scratch_.clear();
+  machine_->AppendSelectedMembers(&member_scratch_);
+  for (int32_t member : member_scratch_) {
+    recorder_.OnMatch(member, depth_, start, certainty);
+  }
 }
 
 void StreamingSelector::Reset() {
@@ -214,6 +245,7 @@ void StreamingSelector::Reset() {
   stream_error_ = StreamError{};
   error_.clear();
   recovered_errors_.clear();
+  recorder_.Reset();  // keeps the sink and max_pending wiring
 }
 
 StreamError StreamingSelector::MakeError(StreamErrorCode code, int64_t offset,
@@ -237,6 +269,9 @@ bool StreamingSelector::FailAt(const StreamError& err) {
   // bytes_fed reports the consumed prefix on failure: rewind past the
   // in-flight chunk tail so the counter is chunk-invariant.
   if (err.offset >= 0 && err.offset < bytes_fed_) bytes_fed_ = err.offset;
+  // Spans whose close will never arrive are reported truncated, not
+  // dropped: every sink sees the same events before and after the error.
+  if (recorder_.active()) recorder_.FlushTruncated();
   return false;
 }
 
@@ -283,15 +318,16 @@ bool StreamingSelector::ResyncClose(int64_t consumed_end) {
     recovered_errors_.back().resume_offset = consumed_end;
     recovered_errors_.back().closed_label = open_labels_.back();
   }
-  return EmitSynthClose(consumed_end - 1);
+  return EmitSynthClose(consumed_end - 1, consumed_end);
 }
 
-bool StreamingSelector::EmitSynthClose(int64_t offset) {
+bool StreamingSelector::EmitSynthClose(int64_t offset, int64_t span_end) {
   if (events_ >= limits_.max_events) {
     return FailAt(MakeError(StreamErrorCode::kEventLimitExceeded, offset));
   }
   Symbol symbol = open_labels_.back();
   open_labels_.pop_back();
+  if (recorder_.active()) recorder_.OnClose(depth_, span_end);
   --depth_;
   machine_->OnClose(format_ == Format::kCompactTerm ? -1 : symbol);
   ++events_;
@@ -323,6 +359,10 @@ bool StreamingSelector::EmitOpen(Symbol symbol, int64_t offset,
   if (machine_->InAcceptingState()) {
     ++matches_;
     if (match_callback_) match_callback_(nodes_, symbol);
+    // Span start = first byte of the opening token (excise_from: the '<',
+    // the term label byte); certainty = just past the token — the earliest
+    // offset at which pre-selection is decided.
+    if (recorder_.active()) RecordMatch(excise_from, offset + 1);
   }
   ++nodes_;
   return true;
@@ -345,6 +385,7 @@ bool StreamingSelector::EmitClose(Symbol symbol, int64_t offset,
                    ErrorToken::kCloseLike, excise_from);
   }
   open_labels_.pop_back();
+  if (recorder_.active()) recorder_.OnClose(depth_, offset + 1);
   --depth_;
   machine_->OnClose(symbol);
   ++events_;
@@ -445,6 +486,29 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
         if (stepper.Accepting()) {
           ++matches_;
           if (match_callback_) match_callback_(nodes_, s);
+          // Compact-markup tokens are one byte: the span starts at the
+          // letter and the verdict is certain at the very next byte. On
+          // the fused tiers acceptance comes from the byte table, so the
+          // recorder path costs one predictable branch when no sink is
+          // installed; single-member steppers also skip the virtual
+          // AppendSelectedMembers fan-out (always {0} there).
+          if (recorder_.active()) {
+            if constexpr (Stepper::kSingleMember) {
+              const int64_t start = chunk_base_ + static_cast<int64_t>(i);
+              if (MatchSink* vsink = recorder_.verdict_only_sink()) {
+                MatchEvent event;
+                event.start_offset = start;
+                event.certainty_offset = start + 1;
+                vsink->OnMatch(event);
+                recorder_.CountEmitted();
+              } else {
+                RecordSingleMemberMatchSlow(recorder_, depth_, start);
+              }
+            } else {
+              RecordMatch(chunk_base_ + static_cast<int64_t>(i),
+                          chunk_base_ + static_cast<int64_t>(i) + 1);
+            }
+          }
         }
         ++nodes_;
         break;
@@ -482,6 +546,10 @@ StreamingSelector::ScanResult StreamingSelector::FeedMarkup(
           break;
         }
         open_labels_.pop_back();
+        if (recorder_.active() && recorder_.pending() > 0) {
+          RecordSpanClose(recorder_, depth_,
+                          chunk_base_ + static_cast<int64_t>(i) + 1);
+        }
         --depth_;
         stepper.Close(s, c);
         ++events_;
@@ -792,7 +860,9 @@ bool StreamingSelector::Finish() {
     tag_len_ = 0;
     have_pending_ = false;
     while (depth_ > 0) {
-      if (!EmitSynthClose(bytes_fed_)) return false;
+      // Pending match spans complete at the EOF offset: the synthesized
+      // close is where the sanitized document ends them.
+      if (!EmitSynthClose(bytes_fed_, bytes_fed_)) return false;
     }
     return true;
   }

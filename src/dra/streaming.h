@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "automata/alphabet.h"
+#include "base/match_sink.h"
 #include "dra/byte_dra_runner.h"
 #include "dra/byte_runner.h"
 #include "dra/machine.h"
@@ -67,6 +68,8 @@ struct StreamStats {
   int64_t errors_recovered = 0;  // errors absorbed by the recovery policy
   int64_t subtrees_skipped = 0;  // kSkipMalformedSubtree resync regions
   int64_t error_offset = -1;  // byte offset of the first error, -1 if none
+  int64_t matches_emitted = 0;  // MatchSink OnMatch events (0 with no sink)
+  int64_t pending_matches_peak = 0;  // emission-buffer high-water
 };
 
 // Incremental push-parser driving a StreamMachine: feed arbitrary byte
@@ -185,6 +188,21 @@ class StreamingSelector {
     match_callback_ = std::move(callback);
   }
 
+  // Streams match events (byte spans, emitted at the earliest certain
+  // offset) into `sink`; see base/match_sink.h for the event model and
+  // ordering guarantees. The sink must outlive the selector or be cleared
+  // with nullptr; it survives Reset() like the policy and limits, so a
+  // pooled session keeps its sink wiring across documents. For multi-query
+  // machines, event query_ids are the machine's member indices
+  // (StreamMachine::AppendSelectedMembers); single-query machines emit
+  // query_id 0. The emission buffer is bounded by
+  // StreamLimits::max_pending_matches.
+  void set_match_sink(MatchSink* sink) { recorder_.set_sink(sink); }
+
+  // Emission-buffer observability: pending/peak span counts, OnMatch
+  // totals, and overflow truncations of the current run.
+  const MatchRecorder& match_recorder() const { return recorder_; }
+
   // Both must be set before the first Feed of a document (they are not
   // consulted retroactively). Limits must pass StreamLimits::Validate() —
   // zero or contradictory guards are a configuration bug, rejected loudly
@@ -231,9 +249,16 @@ class StreamingSelector {
 
   // Byte-level counters of the run so far.
   StreamStats stats() const {
-    return {bytes_fed_,        chunks_fed_, events_,
-            max_depth_,        matches_,    errors_recovered_,
-            subtrees_skipped_, error_offset_};
+    return {bytes_fed_,
+            chunks_fed_,
+            events_,
+            max_depth_,
+            matches_,
+            errors_recovered_,
+            subtrees_skipped_,
+            error_offset_,
+            recorder_.emitted(),
+            recorder_.peak_pending()};
   }
 
   // True when the fused byte→state fast path is active (registerless
@@ -271,8 +296,13 @@ class StreamingSelector {
   // StreamMachine interface or the fused byte table with identical
   // validation code. Only the virtual stepper can recover (kCanRecover);
   // the fused instantiation demotes instead.
+  // kSingleMember marks steppers whose acceptance always fans out to
+  // member 0 alone: the fused tiers only ever run single-query machines
+  // (ProductTagMachine never exports a fused table), so their match
+  // emission skips the virtual AppendSelectedMembers enumeration.
   struct VirtualStepper {
     static constexpr bool kCanRecover = true;
+    static constexpr bool kSingleMember = false;
     StreamMachine* machine;
     void Open(Symbol s, unsigned char) { machine->OnOpen(s); }
     void Close(Symbol s, unsigned char) { machine->OnClose(s); }
@@ -280,6 +310,7 @@ class StreamingSelector {
   };
   struct FusedStepper {
     static constexpr bool kCanRecover = false;
+    static constexpr bool kSingleMember = true;
     const ByteTagDfaRunner* runner;
     int state;
     void Open(Symbol, unsigned char byte) { state = runner->Next(state, byte); }
@@ -293,6 +324,7 @@ class StreamingSelector {
   // runner resolves the 3^r comparison code and the register loads inline.
   struct DraFusedStepper {
     static constexpr bool kCanRecover = false;
+    static constexpr bool kSingleMember = true;
     const ByteDraRunner* runner;
     DraConfig config;
     void Open(Symbol s, unsigned char) { runner->StepOpen(&config, s); }
@@ -330,7 +362,15 @@ class StreamingSelector {
   bool FeedXml(std::string_view chunk);
   bool EmitOpen(Symbol symbol, int64_t offset, int64_t excise_from);
   bool EmitClose(Symbol symbol, int64_t offset, int64_t excise_from);
-  bool EmitSynthClose(int64_t offset);
+  // `span_end` is the end offset pending match spans complete with —
+  // just past the resync token (kSkipMalformedSubtree) or the EOF offset
+  // (kAutoClose); distinct from `offset`, the event-guard coordinate.
+  bool EmitSynthClose(int64_t offset, int64_t span_end);
+
+  // Fans the just-opened node's match out per accepting machine member
+  // (query_id 0 for single-query machines) into the recorder. Only called
+  // when acceptance was sampled true and a sink is installed.
+  void RecordMatch(int64_t start, int64_t certainty);
 
   StreamMachine* machine_;
   Format format_;
@@ -338,6 +378,12 @@ class StreamingSelector {
   MatchCallback match_callback_;
   RecoveryPolicy policy_ = RecoveryPolicy::kFailFast;
   StreamLimits limits_;
+
+  // Match-event pipeline: the bounded emission buffer between the scan
+  // loops and the installed MatchSink (inactive when no sink is set), plus
+  // a reusable scratch vector for the per-member fan-out.
+  MatchRecorder recorder_;
+  std::vector<int32_t> member_scratch_;
 
   // Per-byte tables: either borrowed from a shared plan (owned_tables_
   // null) or privately built at construction. tables_ is never null.

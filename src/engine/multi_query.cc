@@ -164,6 +164,27 @@ std::vector<int64_t> MultiQueryPlan::MemberCountsToSlots(
   return slot_counts;
 }
 
+std::vector<std::vector<int32_t>> MultiQueryPlan::MemberQueryIds() const {
+  // Slot -> submitted query indices first; member order is slot order on
+  // every tier except kMixed, where product mask bits lead.
+  std::vector<std::vector<int32_t>> by_slot(
+      static_cast<size_t>(num_slots()));
+  for (size_t i = 0; i < slot_of_.size(); ++i) {
+    by_slot[static_cast<size_t>(slot_of_[i])].push_back(
+        static_cast<int32_t>(i));
+  }
+  if (tier_ != MultiTier::kMixed) return by_slot;
+  std::vector<std::vector<int32_t>> by_member;
+  by_member.reserve(by_slot.size());
+  for (int slot : product_slot_) {
+    by_member.push_back(by_slot[static_cast<size_t>(slot)]);
+  }
+  for (int slot : dra_slot_) {
+    by_member.push_back(by_slot[static_cast<size_t>(slot)]);
+  }
+  return by_member;
+}
+
 MultiQueryPlan::Stats MultiQueryPlan::stats() const {
   Stats stats;
   stats.num_queries = num_queries();
@@ -235,6 +256,33 @@ void BatchSession::set_recovery_policy(RecoveryPolicy policy) {
   }
 }
 
+void BatchSession::set_match_sink(MatchSink* sink) {
+  if (runner_) {
+    if (sink == nullptr) {
+      runner_->selector().set_match_sink(nullptr);
+      return;
+    }
+    fan_out_ = MatchFanOutSink(sink, plan_->MemberQueryIds());
+    runner_->selector().set_match_sink(&fan_out_);
+    return;
+  }
+  slot_sinks_.clear();
+  if (sink == nullptr) {
+    for (auto& session : sessions_) session->set_match_sink(nullptr);
+    return;
+  }
+  // One adapter per lockstep slot session: each session emits query_id 0,
+  // remapped here to the slot's submitted query indices.
+  std::vector<std::vector<int32_t>> by_slot = plan_->MemberQueryIds();
+  slot_sinks_.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    slot_sinks_.push_back(std::make_unique<MatchFanOutSink>(
+        sink,
+        std::vector<std::vector<int32_t>>{std::move(by_slot[i])}));
+    sessions_[i]->set_match_sink(slot_sinks_.back().get());
+  }
+}
+
 std::vector<int64_t> BatchSession::query_matches() const {
   if (runner_) {
     return plan_->ExpandCounts(
@@ -259,7 +307,20 @@ const StreamError& BatchSession::stream_error() const {
 
 StreamStats BatchSession::stats() const {
   if (runner_) return runner_->stats();
-  return sessions_.front()->stats();
+  // Lockstep slots see the same framing, so the scanner-side counters are
+  // identical across sessions; only the recorder counters differ per slot
+  // (each slot has its own pending buffer). Sum emissions, max the peak.
+  StreamStats stats = sessions_.front()->stats();
+  stats.matches_emitted = 0;
+  stats.pending_matches_peak = 0;
+  for (const auto& session : sessions_) {
+    StreamStats s = session->stats();
+    stats.matches_emitted += s.matches_emitted;
+    if (s.pending_matches_peak > stats.pending_matches_peak) {
+      stats.pending_matches_peak = s.pending_matches_peak;
+    }
+  }
+  return stats;
 }
 
 MultiTier BatchSession::active_tier() const {

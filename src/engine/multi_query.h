@@ -130,6 +130,14 @@ class MultiQueryPlan {
   std::vector<int64_t> MemberCountsToSlots(
       const std::vector<int64_t>& member_counts) const;
 
+  // Member index -> submission-order query ids, for fanning the product
+  // machine's MatchEvents (whose query_id is a member index, in counts()
+  // order: product mask bits first, then DRA members) out to the queries
+  // as submitted. Textual duplicates of one query all appear under their
+  // shared member, so a CountingSink fed through this mapping reports
+  // exactly query_matches().
+  std::vector<std::vector<int32_t>> MemberQueryIds() const;
+
   Stats stats() const;
 
  private:
@@ -153,6 +161,47 @@ class MultiQueryPlan {
   std::vector<int> product_slot_;
   std::vector<int> dra_slot_;
   std::vector<const ByteDraRunner*> mixed_dras_;  // borrowed from slot_plans_
+};
+
+// Remaps MatchEvents whose query_id indexes an internal id space (product
+// machine members, or a single-slot session's constant 0) onto
+// submission-order query ids, duplicating each event for every textual
+// duplicate of the query. Events pass through in arrival order with their
+// offsets untouched; ids outside the mapping are dropped.
+class MatchFanOutSink : public MatchSink {
+ public:
+  MatchFanOutSink() = default;
+  MatchFanOutSink(MatchSink* sink, std::vector<std::vector<int32_t>> ids)
+      : sink_(sink), ids_(std::move(ids)) {}
+
+  void OnMatch(const MatchEvent& event) override {
+    Fire(event, /*close=*/false);
+  }
+  void OnSpanClose(const MatchEvent& event) override {
+    Fire(event, /*close=*/true);
+  }
+  bool wants_spans() const override {
+    return sink_ != nullptr && sink_->wants_spans();
+  }
+
+ private:
+  void Fire(const MatchEvent& event, bool close) {
+    if (sink_ == nullptr) return;
+    const size_t member = static_cast<size_t>(event.query_id);
+    if (member >= ids_.size()) return;
+    for (int32_t query : ids_[member]) {
+      MatchEvent remapped = event;
+      remapped.query_id = query;
+      if (close) {
+        sink_->OnSpanClose(remapped);
+      } else {
+        sink_->OnMatch(remapped);
+      }
+    }
+  }
+
+  MatchSink* sink_ = nullptr;
+  std::vector<std::vector<int32_t>> ids_;
 };
 
 // The run-many half: one document stream answering the whole batch.
@@ -186,6 +235,15 @@ class BatchSession {
   void set_limits(const StreamLimits& limits);
   void set_recovery_policy(RecoveryPolicy policy);
 
+  // Streams every pre-selected node into `sink` as a MatchEvent whose
+  // query_id is the submission-order query index, at its earliest certain
+  // byte; duplicates of one query each get their own event, so a
+  // CountingSink(num_queries()) reports exactly query_matches(). Product
+  // tiers interleave all queries' events in document order; the
+  // independent tier delivers each slot's events in document order but
+  // interleaves slots per fed chunk. Survives Reset() like limits.
+  void set_match_sink(MatchSink* sink);
+
   // Selection counts per submitted query, in submission order.
   std::vector<int64_t> query_matches() const;
 
@@ -215,6 +273,12 @@ class BatchSession {
   std::shared_ptr<const MultiQueryPlan> plan_;
   std::optional<MultiTagDfaRunner> runner_;          // product tiers
   std::vector<std::unique_ptr<Session>> sessions_;   // independent tier
+  // Member/slot -> query-id remapping in front of the user's sink:
+  // fan_out_ serves the product runner; slot_sinks_ (one per lockstep
+  // session) serve the independent tier. Stable addresses — the
+  // selectors hold raw pointers into them.
+  MatchFanOutSink fan_out_;
+  std::vector<std::unique_ptr<MatchFanOutSink>> slot_sinks_;
 };
 
 // Bounded free-list of idle BatchSessions over one shared plan; the batch

@@ -46,6 +46,12 @@ class Session {
   bool Finish() { return selector_.Finish(); }
   void Reset() { selector_.Reset(); }
 
+  // Streams every pre-selected node into `sink` as a MatchEvent
+  // (query_id 0) at its earliest certain byte; survives Reset() like
+  // limits, so a pooled session keeps its sink wiring across documents.
+  // See StreamingSelector::set_match_sink.
+  void set_match_sink(MatchSink* sink) { selector_.set_match_sink(sink); }
+
   int64_t matches() const { return selector_.matches(); }
   StreamStats stats() const { return selector_.stats(); }
   bool failed() const { return selector_.failed(); }

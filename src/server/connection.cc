@@ -258,6 +258,7 @@ bool Connection::HandleRegister(std::string_view payload) {
   }
   batch_ = std::move(handle);
   merged_limits_ = merged;
+  matches_enabled_ = request.matches;
   SendFrame(FrameType::kRegistered, EncodeRegistered(batch_->info()));
   return true;
 }
@@ -269,7 +270,11 @@ bool Connection::HandleData(std::string_view payload) {
     return SendErrorAndClose("not_registered", "kData before kRegister");
   }
   if (phase_ == DocPhase::kIdle && !StartStream()) return true;  // shed
-  if (!stream_->Feed(payload)) FinishStreamWithError();
+  if (stream_->Feed(payload)) {
+    FlushMatches();  // incremental: events certain in this chunk go out now
+  } else {
+    FinishStreamWithError();
+  }
   return true;
 }
 
@@ -291,9 +296,14 @@ bool Connection::HandleFinish() {
     }
   }
   if (stream_->Finish()) {
+    // Synthetic EOF closes (kAutoClose recovery) resolve their spans in
+    // Finish; flush them ahead of the verdict so every event of the
+    // document precedes its kCounts.
+    FlushMatches();
     SendFrame(FrameType::kCounts, EncodeCounts(stream_->counts()));
     Bump(host_->counters().streams_completed);
   } else {
+    FlushMatches();  // pending spans arrive truncated, not dropped
     SendFrame(FrameType::kError,
               EncodeErrorInfo(
                   StreamErrorInfo(stream_->stream_error(), &batch_->alphabet())));
@@ -322,7 +332,8 @@ bool Connection::StartStream() {
     phase_ = DocPhase::kDiscarding;  // connection survives; client may retry
     return false;
   }
-  stream_ = batch_->Acquire(merged_limits_, host_->recovery_policy());
+  stream_ =
+      batch_->Acquire(merged_limits_, host_->recovery_policy(), matches_enabled_);
   int64_t active =
       host_->admission_state().active_streams.fetch_add(1, kRelaxed) + 1;
   ServerCounters::RaisePeak(&host_->counters().streams_peak, active);
@@ -332,12 +343,35 @@ bool Connection::StartStream() {
 }
 
 void Connection::FinishStreamWithError() {
+  FlushMatches();  // pending spans arrive truncated, not dropped
   SendFrame(FrameType::kError,
             EncodeErrorInfo(
                 StreamErrorInfo(stream_->stream_error(), &batch_->alphabet())));
   Bump(host_->counters().streams_failed);
   ReleaseStream();
   phase_ = DocPhase::kDiscarding;
+}
+
+void Connection::FlushMatches() {
+  if (!stream_ || !stream_->matches_enabled()) return;
+  std::vector<MatchWireRecord> records = stream_->TakeMatches();
+  ServerCounters::RaisePeak(&host_->counters().match_buffer_peak,
+                            stream_->stats().pending_matches_peak);
+  if (records.empty()) return;
+  int64_t opens = 0;
+  for (const MatchWireRecord& record : records) {
+    if (!record.close) ++opens;
+  }
+  Bump(host_->counters().matches_emitted, opens);
+  // Chunked so one pathological kData cannot mint a frame larger than a
+  // client-side decoder cap.
+  constexpr size_t kRecordsPerFrame = 4096;
+  for (size_t i = 0; i < records.size(); i += kRecordsPerFrame) {
+    size_t n = std::min(kRecordsPerFrame, records.size() - i);
+    SendFrame(FrameType::kMatches,
+              EncodeMatches({records.begin() + static_cast<ptrdiff_t>(i),
+                             records.begin() + static_cast<ptrdiff_t>(i + n)}));
+  }
 }
 
 void Connection::SendFrame(FrameType type, std::string_view payload) {

@@ -78,6 +78,12 @@ class Connection : public EventLoop::Handler {
   // Admits + leases a stream for a new document; on shed, emits the typed
   // frame and flips to kDiscarding (returns false).
   bool StartStream();
+  // Drains the stream's buffered MatchEvents into kMatches frames (chunked
+  // so no single frame outgrows a client-side decoder cap). The frames
+  // join the normal output queue, so the existing backpressure machinery
+  // paces them: a slow reader pauses further kData decoding, not the
+  // server.
+  void FlushMatches();
   // Emits the structured StreamError verdict and flips to kDiscarding.
   void FinishStreamWithError();
   // End-of-document bookkeeping (drain-pending connections close here).
@@ -112,6 +118,7 @@ class Connection : public EventLoop::Handler {
   std::shared_ptr<BatchHandle> batch_;
   std::unique_ptr<BatchStream> stream_;
   StreamLimits merged_limits_;  // server defaults merged with the request
+  bool matches_enabled_ = false;  // register-time kMatches opt-in
 
   bool paused_ = false;         // backpressure: reads + decoding stopped
   bool closing_ = false;        // flush remaining output, then close

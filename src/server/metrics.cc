@@ -20,6 +20,8 @@ void SnapshotCounters(const ServerCounters& counters, ServerStats* stats) {
   stats->disconnects_mid_stream = load(counters.disconnects_mid_stream);
   stats->protocol_errors = load(counters.protocol_errors);
   stats->backpressure_pauses = load(counters.backpressure_pauses);
+  stats->matches_emitted = load(counters.matches_emitted);
+  stats->match_buffer_peak = load(counters.match_buffer_peak);
   stats->drain_completed_streams = load(counters.drain_completed_streams);
   stats->drain_forced_closes = load(counters.drain_forced_closes);
   stats->bytes_in = load(counters.bytes_in);
@@ -54,6 +56,8 @@ std::string RenderMetrics(const ServerStats& stats) {
   line("server_disconnects_mid_stream", stats.disconnects_mid_stream);
   line("server_protocol_errors", stats.protocol_errors);
   line("server_backpressure_pauses", stats.backpressure_pauses);
+  line("server_matches_emitted", stats.matches_emitted);
+  line("server_match_buffer_peak", stats.match_buffer_peak);
   line("server_drain_completed_streams", stats.drain_completed_streams);
   line("server_drain_forced_closes", stats.drain_forced_closes);
   line("server_bytes_in", stats.bytes_in);

@@ -33,6 +33,12 @@ struct ServerCounters {
   std::atomic<int64_t> protocol_errors{0};
   std::atomic<int64_t> backpressure_pauses{0};
 
+  // Match-event pipeline (matches=1 registrations): MatchEvents shipped in
+  // kMatches frames, and the high-watermark of any one stream's pending
+  // span buffer (the max_pending_matches-bounded emission buffer).
+  std::atomic<int64_t> matches_emitted{0};
+  std::atomic<int64_t> match_buffer_peak{0};
+
   std::atomic<int64_t> drain_completed_streams{0};  // finished during drain
   std::atomic<int64_t> drain_forced_closes{0};      // kShed(drain_deadline)
 
@@ -77,6 +83,8 @@ struct ServerStats {
   int64_t disconnects_mid_stream = 0;
   int64_t protocol_errors = 0;
   int64_t backpressure_pauses = 0;
+  int64_t matches_emitted = 0;
+  int64_t match_buffer_peak = 0;
   int64_t drain_completed_streams = 0;
   int64_t drain_forced_closes = 0;
   int64_t bytes_in = 0;

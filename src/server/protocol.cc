@@ -100,6 +100,7 @@ bool IsKnownFrameType(uint8_t byte) {
     case FrameType::kError:
     case FrameType::kShed:
     case FrameType::kMetricsText:
+    case FrameType::kMatches:
       return true;
   }
   return false;
@@ -127,6 +128,8 @@ const char* FrameTypeName(FrameType type) {
       return "kShed";
     case FrameType::kMetricsText:
       return "kMetricsText";
+    case FrameType::kMatches:
+      return "kMatches";
   }
   return "unknown";
 }
@@ -225,6 +228,13 @@ std::string EncodeRegister(const RegisterRequest& request) {
     AppendKeyValue("max_recovered_errors",
                    request.limits.max_recovered_errors, &payload);
   }
+  if (request.limits.max_pending_matches != StreamLimits::kUnlimited) {
+    AppendKeyValue("max_pending_matches",
+                   request.limits.max_pending_matches, &payload);
+  }
+  if (request.matches) {
+    AppendKeyValue("matches", static_cast<int64_t>(1), &payload);
+  }
   for (const std::string& query : request.queries) {
     AppendKeyValue("query", query, &payload);
   }
@@ -251,9 +261,14 @@ bool ParseRegister(std::string_view payload, RegisterRequest* request,
       request->queries.emplace_back(value);
       return true;
     }
+    if (key == "matches") {
+      request->matches = value == "1";
+      return true;
+    }
     int64_t parsed = 0;
     if (key == "max_depth" || key == "max_document_bytes" ||
-        key == "max_events" || key == "max_recovered_errors") {
+        key == "max_events" || key == "max_recovered_errors" ||
+        key == "max_pending_matches") {
       if (!ParseInt64(value, &parsed)) {
         *error = std::string("non-numeric ") + std::string(key);
         return false;
@@ -265,6 +280,9 @@ bool ParseRegister(std::string_view payload, RegisterRequest* request,
       if (key == "max_events") request->limits.max_events = parsed;
       if (key == "max_recovered_errors") {
         request->limits.max_recovered_errors = parsed;
+      }
+      if (key == "max_pending_matches") {
+        request->limits.max_pending_matches = parsed;
       }
       return true;
     }
@@ -378,6 +396,94 @@ bool ParseCounts(std::string_view payload, std::vector<int64_t>* counts) {
     if (!ParseInt64(payload.substr(start, end - start), &value)) return false;
     counts->push_back(value);
     start = end + 1;
+  }
+  return true;
+}
+
+namespace {
+
+// Signed decimal field; end_offset is -1 for truncated spans.
+bool ParseSignedInt64(std::string_view text, int64_t* value) {
+  bool negative = !text.empty() && text[0] == '-';
+  if (negative) text.remove_prefix(1);
+  int64_t parsed = 0;
+  if (!ParseInt64(text, &parsed)) return false;
+  *value = negative ? -parsed : parsed;
+  return true;
+}
+
+// Splits `line` on single spaces into at most `max_fields` fields.
+int SplitFields(std::string_view line, std::string_view* fields,
+                int max_fields) {
+  int count = 0;
+  size_t start = 0;
+  while (start <= line.size() && count < max_fields) {
+    size_t end = line.find(' ', start);
+    if (end == std::string_view::npos) end = line.size();
+    fields[count++] = line.substr(start, end - start);
+    if (end == line.size()) return count;
+    start = end + 1;
+  }
+  return start <= line.size() ? -1 : count;  // -1: too many fields
+}
+
+}  // namespace
+
+std::string EncodeMatches(const std::vector<MatchWireRecord>& records) {
+  std::string payload;
+  payload.reserve(records.size() * 16);
+  for (const MatchWireRecord& record : records) {
+    const MatchEvent& e = record.event;
+    payload.push_back(record.close ? 'c' : 'm');
+    payload.push_back(' ');
+    payload.append(std::to_string(e.query_id));
+    payload.push_back(' ');
+    payload.append(std::to_string(e.start_offset));
+    payload.push_back(' ');
+    if (record.close) {
+      payload.append(std::to_string(e.end_offset));
+      payload.push_back(' ');
+    }
+    payload.append(std::to_string(e.certainty_offset));
+    payload.push_back('\n');
+  }
+  return payload;
+}
+
+bool ParseMatches(std::string_view payload,
+                  std::vector<MatchWireRecord>* records) {
+  records->clear();
+  size_t start = 0;
+  while (start < payload.size()) {
+    size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) end = payload.size();
+    std::string_view line = payload.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string_view fields[5];
+    int n = SplitFields(line, fields, 5);
+    MatchWireRecord record;
+    int64_t query = 0;
+    if (fields[0] == "m" && n == 4) {
+      record.close = false;
+      if (!ParseInt64(fields[1], &query) ||
+          !ParseSignedInt64(fields[2], &record.event.start_offset) ||
+          !ParseSignedInt64(fields[3], &record.event.certainty_offset)) {
+        return false;
+      }
+    } else if (fields[0] == "c" && n == 5) {
+      record.close = true;
+      if (!ParseInt64(fields[1], &query) ||
+          !ParseSignedInt64(fields[2], &record.event.start_offset) ||
+          !ParseSignedInt64(fields[3], &record.event.end_offset) ||
+          !ParseSignedInt64(fields[4], &record.event.certainty_offset)) {
+        return false;
+      }
+    } else {
+      return false;
+    }
+    record.event.query_id = static_cast<int32_t>(query);
+    records->push_back(record);
   }
   return true;
 }

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "base/match_sink.h"
 #include "dra/stream_error.h"
 #include "dra/streaming.h"
 
@@ -25,6 +27,10 @@ namespace sst {
 //   server  -> kRegistered  slots/tier verdicts   (or kError and close)
 //   repeat:
 //     client -> kData*       document bytes, any chunking
+//     server -> kMatches*    (matches=1 registrations) streamed MatchEvents,
+//               flushed incrementally after each kData under the normal
+//               output-buffer backpressure; events arrive before the
+//               document's verdict frame
 //     client -> kFinish      end of document
 //     server -> kCounts      per-query selection counts in submission order
 //               (or kError   structured StreamError verdict; the stream
@@ -50,6 +56,7 @@ enum class FrameType : uint8_t {
   kError = 'E',
   kShed = 'S',
   kMetricsText = 'T',
+  kMatches = 'P',
 };
 
 bool IsKnownFrameType(uint8_t byte);
@@ -114,9 +121,15 @@ struct RegisterRequest {
   std::string alphabet;  // tag letters, e.g. "abcdef"
   StreamFormat format = StreamFormat::kCompactMarkup;
   // Client-side stream limits; merged with the server's defaults via
-  // StreamLimits::Merged (clients can only tighten).
+  // StreamLimits::Merged (clients can only tighten). max_pending_matches
+  // bounds the per-stream span buffer when `matches` is on.
   StreamLimits limits;
   std::vector<std::string> queries;  // XPath texts, one per batch member
+  // Opt into streamed MatchEvents: the server interleaves kMatches frames
+  // with the document's kData acknowledgment-free flow, each record at its
+  // earliest certain byte. Counts-only clients leave this off and the
+  // result path stays byte-identical to the pre-match-event protocol.
+  bool matches = false;
 };
 
 std::string EncodeRegister(const RegisterRequest& request);
@@ -158,6 +171,50 @@ ErrorInfo StreamErrorInfo(const StreamError& error, const Alphabet* alphabet);
 
 std::string EncodeCounts(const std::vector<int64_t>& counts);
 bool ParseCounts(std::string_view payload, std::vector<int64_t>* counts);
+
+// --- kMatches payload --------------------------------------------------------
+
+// One sink callback on the wire, in arrival order:
+//   m <query> <start> <certainty>            OnMatch (span end pending)
+//   c <query> <start> <end> <certainty>      OnSpanClose (end -1: truncated)
+// Offsets are document byte offsets, identical to what an offline
+// CollectingSink over the same bytes reports — the wire adds framing, not
+// semantics.
+struct MatchWireRecord {
+  bool close = false;  // false: OnMatch; true: OnSpanClose
+  MatchEvent event;
+
+  friend bool operator==(const MatchWireRecord&,
+                         const MatchWireRecord&) = default;
+};
+
+std::string EncodeMatches(const std::vector<MatchWireRecord>& records);
+bool ParseMatches(std::string_view payload,
+                  std::vector<MatchWireRecord>* records);
+
+// MatchSink that buffers the interleaved callback sequence as wire
+// records, for incremental kMatches flushes: the serving layer installs
+// one per leased stream and Take()s it after every fed chunk.
+class MatchWireBuffer : public MatchSink {
+ public:
+  void OnMatch(const MatchEvent& event) override {
+    records_.push_back({/*close=*/false, event});
+  }
+  void OnSpanClose(const MatchEvent& event) override {
+    records_.push_back({/*close=*/true, event});
+  }
+
+  bool empty() const { return records_.empty(); }
+  std::vector<MatchWireRecord> Take() {
+    std::vector<MatchWireRecord> taken = std::move(records_);
+    records_.clear();
+    return taken;
+  }
+  void Reset() { records_.clear(); }
+
+ private:
+  std::vector<MatchWireRecord> records_;
+};
 
 }  // namespace sst
 

@@ -115,6 +115,10 @@ std::vector<int64_t> BatchStream::counts() const {
   return batch_->query_matches();
 }
 
+StreamStats BatchStream::stats() const {
+  return single_ ? single_->stats() : batch_->stats();
+}
+
 // --- BatchHandle ----------------------------------------------------------
 
 std::shared_ptr<BatchHandle> BatchHandle::Create(
@@ -162,16 +166,20 @@ SessionPool::Stats BatchHandle::pool_stats() const {
 }
 
 std::unique_ptr<BatchStream> BatchHandle::Acquire(const StreamLimits& limits,
-                                                  RecoveryPolicy policy) {
+                                                  RecoveryPolicy policy,
+                                                  bool matches) {
   auto stream = std::unique_ptr<BatchStream>(new BatchStream());
+  stream->matches_enabled_ = matches;
   if (single_pool_) {
     stream->single_ = single_pool_->Acquire();
     stream->single_->selector().set_limits(limits);
     stream->single_->selector().set_recovery_policy(policy);
+    stream->single_->set_match_sink(matches ? &stream->wire_ : nullptr);
   } else {
     stream->batch_ = batch_pool_->Acquire();
     stream->batch_->set_limits(limits);
     stream->batch_->set_recovery_policy(policy);
+    stream->batch_->set_match_sink(matches ? &stream->wire_ : nullptr);
   }
   return stream;
 }
@@ -179,8 +187,12 @@ std::unique_ptr<BatchStream> BatchHandle::Acquire(const StreamLimits& limits,
 void BatchHandle::Release(std::unique_ptr<BatchStream> stream) {
   if (!stream) return;
   if (stream->single_) {
+    // Unhook the sink before pooling: the wire buffer dies with the lease,
+    // and pooled sessions keep their sink wiring across Reset.
+    stream->single_->set_match_sink(nullptr);
     single_pool_->Release(std::move(stream->single_));
   } else if (stream->batch_) {
+    stream->batch_->set_match_sink(nullptr);
     batch_pool_->Release(std::move(stream->batch_));
   }
 }

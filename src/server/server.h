@@ -37,12 +37,27 @@ class BatchStream {
   // Per-query selection counts in submission order.
   std::vector<int64_t> counts() const;
 
+  // Match-event surface (matches=1 leases only; see BatchHandle::Acquire).
+  // The wrapped session streams MatchEvents into an internal wire buffer;
+  // the connection drains it after every fed chunk — so buffered growth
+  // between flushes is bounded by one chunk's events — and once more
+  // before the verdict frame (pending spans truncated by an error land
+  // there).
+  bool matches_enabled() const { return matches_enabled_; }
+  std::vector<MatchWireRecord> TakeMatches() { return wire_.Take(); }
+
+  // Per-document stream counters of the wrapped session, including
+  // matches_emitted and pending_matches_peak for the metrics export.
+  StreamStats stats() const;
+
  private:
   friend class BatchHandle;
   BatchStream() = default;
 
   std::unique_ptr<Session> single_;     // single-query registrations
   std::unique_ptr<BatchSession> batch_;  // multi-query registrations
+  bool matches_enabled_ = false;
+  MatchWireBuffer wire_;  // sink target while this lease is live
 };
 
 // One registered batch: the compiled plan plus its session pool, shared by
@@ -69,9 +84,13 @@ class BatchHandle {
 
   // Leases a configured per-document stream. `limits` must pass
   // StreamLimits::Validate() (the connection merges and validates at
-  // register time).
+  // register time). With `matches` the leased session streams MatchEvents
+  // into the BatchStream's wire buffer; Release always unhooks the sink
+  // before the session returns to the pool (the buffer dies with the
+  // lease).
   std::unique_ptr<BatchStream> Acquire(const StreamLimits& limits,
-                                       RecoveryPolicy policy);
+                                       RecoveryPolicy policy,
+                                       bool matches = false);
   void Release(std::unique_ptr<BatchStream> stream);
 
  private:

@@ -401,6 +401,142 @@ TEST(Server, AnswersCleanDocumentsLikeTheOfflineEngine) {
   EXPECT_EQ(server.stats().streams_completed, 3);
 }
 
+// --- streamed match events over the wire -------------------------------------
+
+// Drains kMatches frames into `records` until a non-kMatches frame (the
+// document's verdict) arrives.
+bool ReadMatchesUntilVerdict(TestClient* client,
+                             std::vector<MatchWireRecord>* records,
+                             Frame* verdict) {
+  Frame frame;
+  while (client->ReadFrame(&frame)) {
+    if (frame.type == FrameType::kMatches) {
+      std::vector<MatchWireRecord> decoded;
+      if (!ParseMatches(frame.payload, &decoded)) return false;
+      records->insert(records->end(), decoded.begin(), decoded.end());
+      continue;
+    }
+    *verdict = std::move(frame);
+    return true;
+  }
+  return false;
+}
+
+// The offline oracle's wire records: the same engine path with the same
+// sink type, fed in one chunk (the product tier's event log is
+// chunking-invariant, so the wire must replay it byte for byte).
+std::vector<MatchWireRecord> OfflineMatchRecords(
+    const std::vector<std::string>& queries, std::string_view document,
+    bool* ok) {
+  std::vector<BatchQuery> batch;
+  for (const std::string& text : queries) {
+    batch.push_back(BatchQuery{QuerySyntax::kXPath, text});
+  }
+  auto plan = MultiQueryPlan::Compile(
+      batch, Alphabet::FromLetters(kLetters), MultiQueryOptions{});
+  BatchSession session(plan);
+  MatchWireBuffer sink;
+  session.set_match_sink(&sink);
+  *ok = session.Feed(document) && session.Finish();
+  return sink.Take();
+}
+
+TEST(Server, MatchFramesReplayOfflineSinkExactly) {
+  QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  RegisterRequest request;
+  request.alphabet = kLetters;
+  request.queries = TestQueries();
+  request.matches = true;
+  client.Send(FrameType::kRegister, EncodeRegister(request));
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  ASSERT_EQ(frame.type, FrameType::kRegistered);
+
+  int64_t total_opens = 0;
+  for (uint64_t seed : {11u, 22u}) {
+    std::string document = MakeDocument(seed, 2000);
+    OfflineVerdict offline = OfflineRun(TestQueries(), document);
+    ASSERT_TRUE(offline.ok);
+    bool offline_ok = false;
+    std::vector<MatchWireRecord> expected =
+        OfflineMatchRecords(TestQueries(), document, &offline_ok);
+    ASSERT_TRUE(offline_ok);
+
+    SendDocument(&client, document, /*chunk=*/777);
+    std::vector<MatchWireRecord> records;
+    Frame verdict;
+    ASSERT_TRUE(ReadMatchesUntilVerdict(&client, &records, &verdict));
+    ASSERT_EQ(verdict.type, FrameType::kCounts);
+    std::vector<int64_t> counts;
+    ASSERT_TRUE(ParseCounts(verdict.payload, &counts));
+    EXPECT_EQ(counts, offline.counts);
+    EXPECT_EQ(records, expected);
+
+    // Counting parity straight off the wire: OnMatch records per query
+    // reproduce the kCounts verdict.
+    std::vector<int64_t> wire_counts(counts.size(), 0);
+    for (const MatchWireRecord& record : records) {
+      if (!record.close) {
+        ASSERT_GE(record.event.query_id, 0);
+        ASSERT_LT(static_cast<size_t>(record.event.query_id),
+                  wire_counts.size());
+        ++wire_counts[static_cast<size_t>(record.event.query_id)];
+        ++total_opens;
+      }
+    }
+    EXPECT_EQ(wire_counts, counts);
+  }
+
+  // A truncated document: the spans still pending at the error arrive
+  // truncated (end -1) before the kError verdict — reported, not dropped.
+  std::string document = MakeDocument(33, 1500);
+  document.resize(document.size() / 2);
+  bool offline_ok = true;
+  std::vector<MatchWireRecord> expected =
+      OfflineMatchRecords(TestQueries(), document, &offline_ok);
+  ASSERT_FALSE(offline_ok);
+  SendDocument(&client, document, /*chunk=*/777);
+  std::vector<MatchWireRecord> records;
+  Frame verdict;
+  ASSERT_TRUE(ReadMatchesUntilVerdict(&client, &records, &verdict));
+  ASSERT_EQ(verdict.type, FrameType::kError);
+  EXPECT_EQ(records, expected);
+  bool saw_truncated = false;
+  for (const MatchWireRecord& record : records) {
+    saw_truncated |= record.close && record.event.end_offset == -1;
+  }
+  EXPECT_TRUE(saw_truncated);
+
+  EXPECT_GE(server.stats().matches_emitted, total_opens);
+  EXPECT_GE(server.stats().match_buffer_peak, 1);
+
+  client.Send(FrameType::kGoodbye, "");
+  EXPECT_TRUE(client.ReadEof());
+  server.Stop();
+}
+
+// Counts-only registrations must never receive kMatches frames.
+TEST(Server, CountsOnlyClientsSeeNoMatchFrames) {
+  QueryServer server(SmallServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  ASSERT_TRUE(RegisterDefault(&client));
+  SendDocument(&client, MakeDocument(7, 1000));
+  Frame frame;
+  ASSERT_TRUE(client.ReadFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kCounts);
+  EXPECT_EQ(server.stats().matches_emitted, 0);
+  server.Stop();
+}
+
 TEST(Server, MetricsFrameAndStatsAgree) {
   QueryServer server(SmallServerOptions());
   std::string error;
