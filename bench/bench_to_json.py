@@ -48,6 +48,14 @@ def compact(raw):
                        "latency_to_certainty_bytes", "certainty_lead_bytes",
                        "match_p50_ms", "match_p99_ms"):
                 entry[key] = value
+            # Incremental-reevaluation counters (bench_incremental):
+            # rounded, since tiny jitter in a 1000x speedup figure is
+            # noise in the diff.
+            elif key in ("speedup_vs_rescan", "bytes_rescanned",
+                         "rescan_ms", "edit_us"):
+                entry[key] = round(value, 1)
+            elif key in ("spliced_fraction", "pooled_vs_vector"):
+                entry[key] = round(value, 3)
         out["benchmarks"].append(entry)
     out["benchmarks"].sort(key=lambda entry: entry["name"] or "")
     return out

@@ -13,6 +13,12 @@ pins one benchmark to a fraction of another from the SAME run — e.g. the
 counting-sink scan must reach >= 95% of the sink-off scan, the
 match-event pipeline's <=5% overhead budget.
 
+A third optional section, "counter_floors", pins a user counter of a
+named benchmark to an absolute minimum — machine-independent ratios the
+benchmark computes itself, like bench_incremental's speedup_vs_rescan
+(incremental edits must beat a full rescan by >= 10x). Any section may
+be absent; a file may carry only counter_floors.
+
 Usage:
   check_bench_baselines.py [--artifact BENCH_streaming.json]
                            [--baselines bench/bench_baselines.json]
@@ -40,10 +46,14 @@ def main():
         bench["name"]: bench.get("mib_per_second")
         for bench in artifact.get("benchmarks", [])
     }
+    rows = {bench["name"]: bench for bench in artifact.get("benchmarks", [])}
 
     failures = []
-    print(f"{'benchmark':55} {'baseline':>10} {'floor':>10} {'measured':>10}")
-    for name, baseline in sorted(baselines["baselines_mib_per_second"].items()):
+    absolute = baselines.get("baselines_mib_per_second", {})
+    if absolute:
+        print(f"{'benchmark':55} {'baseline':>10} {'floor':>10} "
+              f"{'measured':>10}")
+    for name, baseline in sorted(absolute.items()):
         floor = baseline * (1.0 - args.tolerance)
         got = measured.get(name)
         shown = "MISSING" if got is None else f"{got:.1f}"
@@ -76,6 +86,25 @@ def main():
             failures.append(
                 f"{name}: {got:.1f} MiB/s is {ratio:.1%} of {other} "
                 f"({ref:.1f} MiB/s), below the {min_ratio:.0%} floor")
+
+    counters = baselines.get("counter_floors", {})
+    if counters:
+        print(f"\n{'benchmark':45} {'counter':20} {'min':>10} "
+              f"{'measured':>10}")
+    for name, spec in sorted(counters.items()):
+        counter = spec["counter"]
+        floor = float(spec["min"])
+        row = rows.get(name)
+        got = None if row is None else row.get(counter)
+        shown = "MISSING" if got is None else f"{got:.1f}"
+        print(f"{name:45} {counter:20} {floor:10.1f} {shown:>10}")
+        if got is None:
+            failures.append(
+                f"{name}.{counter}: not present in {args.artifact}")
+        elif got < floor:
+            failures.append(
+                f"{name}.{counter}: {got:.1f} below the committed floor "
+                f"{floor:.1f}")
 
     if failures:
         print("\nFAIL: padded-corpus throughput regression", file=sys.stderr)

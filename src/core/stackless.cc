@@ -50,6 +50,25 @@ class OwningStackMachine final : public StreamMachine {
   void OnClose(Symbol symbol) override { inner_.OnClose(symbol); }
   bool InAcceptingState() const override { return inner_.InAcceptingState(); }
 
+  // Checkpoint protocol and stack diagnostics pass through to the pooled
+  // evaluator (see BorrowingStackMachine in engine/query_plan.cc).
+  bool SaveConfig(std::vector<int64_t>* out) override {
+    return inner_.SaveConfig(out);
+  }
+  bool RestoreConfig(const std::vector<int64_t>& config) override {
+    return inner_.RestoreConfig(config);
+  }
+  bool ConfigEqualsCurrent(const std::vector<int64_t>& config) const override {
+    return inner_.ConfigEqualsCurrent(config);
+  }
+  void ReleaseConfig(const std::vector<int64_t>& config) override {
+    inner_.ReleaseConfig(config);
+  }
+  int64_t StackDepthPeak() const override { return inner_.StackDepthPeak(); }
+  int64_t StackUnderflowCloses() const override {
+    return inner_.StackUnderflowCloses();
+  }
+
  private:
   Dfa dfa_;
   StackQueryEvaluator inner_;

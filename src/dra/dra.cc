@@ -1,5 +1,6 @@
 #include "dra/dra.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/check.h"
@@ -180,6 +181,28 @@ void DraRunner::SyncExportedDraConfig(const DraConfig& config) {
   for (int r = 0; r < dra_->num_registers; ++r) {
     registers_[r] = config.registers[static_cast<size_t>(r)];
   }
+}
+
+bool DraRunner::SaveConfig(std::vector<int64_t>* out) {
+  out->clear();
+  out->push_back(state_);
+  out->push_back(depth_);
+  out->insert(out->end(), registers_.begin(), registers_.end());
+  return true;
+}
+
+bool DraRunner::RestoreConfig(const std::vector<int64_t>& config) {
+  if (config.size() != 2 + registers_.size()) return false;
+  state_ = static_cast<int>(config[0]);
+  depth_ = config[1];
+  std::copy(config.begin() + 2, config.end(), registers_.begin());
+  return true;
+}
+
+bool DraRunner::ConfigEqualsCurrent(const std::vector<int64_t>& config) const {
+  if (config.size() != 2 + registers_.size()) return false;
+  if (config[0] != state_ || config[1] != depth_) return false;
+  return std::equal(config.begin() + 2, config.end(), registers_.begin());
 }
 
 void DraRunner::Step(Symbol symbol, bool is_close) {

@@ -100,6 +100,12 @@ class DraRunner final : public StreamMachine {
   DraConfig ExportedDraConfig() const override;
   void SyncExportedDraConfig(const DraConfig& config) override;
 
+  // Checkpoint protocol: state, depth, register bank — the O(1)
+  // configuration Definition 2.1 promises.
+  bool SaveConfig(std::vector<int64_t>* out) override;
+  bool RestoreConfig(const std::vector<int64_t>& config) override;
+  bool ConfigEqualsCurrent(const std::vector<int64_t>& config) const override;
+
  private:
   void Step(Symbol symbol, bool is_close);
 

@@ -83,6 +83,45 @@ class StreamMachine {
   virtual const Dra* ExportDra() const { return nullptr; }
   virtual DraConfig ExportedDraConfig() const { return {}; }
   virtual void SyncExportedDraConfig(const DraConfig& /*config*/) {}
+
+  // Checkpoint protocol (incremental re-evaluation, engine/incremental.h):
+  // machines that can serialize their full configuration into a flat word
+  // vector support suspend/resume at arbitrary event boundaries. The
+  // stackless tiers write O(1)-to-O(registers) words — the paper's cheap-
+  // snapshot asset; the stack tier stores a handle to a retained head in
+  // its pooled persistent stack (eval/stack_evaluator.h), still O(1).
+  //
+  //   SaveConfig        appends nothing on failure; true and `out`
+  //                     overwritten on success. May retain machine-owned
+  //                     resources: every saved config must eventually be
+  //                     passed to ReleaseConfig or dropped via Reset().
+  //   RestoreConfig     adopts a previously saved (not yet released)
+  //                     config; the config stays valid and may be restored
+  //                     again (repeated edits resume from one checkpoint).
+  //   ConfigEqualsCurrent  true iff the machine's live configuration is
+  //                     semantically identical to the saved one — the
+  //                     convergence test of incremental re-evaluation.
+  //                     Diagnostic counters do not participate.
+  //   ReleaseConfig     drops one saved config (frees pooled stack nodes
+  //                     on the stack tier; no-op for flat configs).
+  //
+  // The default "unsupported" answers keep exotic machines (products,
+  // test doubles) safely on the full-rescan path.
+  virtual bool SaveConfig(std::vector<int64_t>* /*out*/) { return false; }
+  virtual bool RestoreConfig(const std::vector<int64_t>& /*config*/) {
+    return false;
+  }
+  virtual bool ConfigEqualsCurrent(
+      const std::vector<int64_t>& /*config*/) const {
+    return false;
+  }
+  virtual void ReleaseConfig(const std::vector<int64_t>& /*config*/) {}
+
+  // Stack-tier diagnostics, surfaced through StreamStats (and from there
+  // the server metrics frame). Zero on the stackless tiers by definition:
+  // their whole point is having no stack to peak or underflow.
+  virtual int64_t StackDepthPeak() const { return 0; }
+  virtual int64_t StackUnderflowCloses() const { return 0; }
 };
 
 // Runs the machine over the given encoding and returns, per opening tag in

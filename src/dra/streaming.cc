@@ -248,6 +248,115 @@ void StreamingSelector::Reset() {
   recorder_.Reset();  // keeps the sink and max_pending wiring
 }
 
+bool StreamingSelector::SaveCheckpoint(SelectorCheckpoint* out) {
+  SST_CHECK(!failed_);
+  // Pending spans belong to nodes whose close has not arrived; resuming
+  // from a checkpoint would have to re-buffer them, which the recorder
+  // cannot express. Verdict-only sinks (the incremental engine's own)
+  // never buffer, so this rejects only span-collecting configurations.
+  if (recorder_.pending() > 0) return false;
+  if (!machine_->SaveConfig(&out->machine_config)) return false;
+  out->open_labels = open_labels_;
+  out->tag_buf.assign(tag_buf_, tag_len_);
+  out->in_tag = in_tag_;
+  out->tag_first = tag_first_;
+  out->tag_closing = tag_closing_;
+  out->have_pending = have_pending_;
+  out->pending_byte = pending_byte_;
+  out->pending_offset = pending_offset_;
+  out->tag_start = tag_start_;
+  out->in_skip = in_skip_;
+  out->skip_depth = skip_depth_;
+  out->demoted = demoted_;
+  out->bytes_fed = bytes_fed_;
+  out->chunks_fed = chunks_fed_;
+  out->events = events_;
+  out->nodes = nodes_;
+  out->matches = matches_;
+  out->depth = depth_;
+  out->errors_recovered = errors_recovered_;
+  out->subtrees_skipped = subtrees_skipped_;
+  out->error_offset = error_offset_;
+  out->saw_root = saw_root_;
+  out->machine_underflows = machine_->StackUnderflowCloses();
+  out->stream_error = stream_error_;
+  out->recovered = recovered_errors_;
+  return true;
+}
+
+bool StreamingSelector::RestoreCheckpoint(const SelectorCheckpoint& cp) {
+  if (!machine_->RestoreConfig(cp.machine_config)) return false;
+  open_labels_ = cp.open_labels;
+  SST_CHECK(cp.tag_buf.size() <= kMaxTagBytes);
+  std::memcpy(tag_buf_, cp.tag_buf.data(), cp.tag_buf.size());
+  tag_len_ = static_cast<uint32_t>(cp.tag_buf.size());
+  in_tag_ = cp.in_tag;
+  tag_first_ = cp.tag_first;
+  tag_closing_ = cp.tag_closing;
+  have_pending_ = cp.have_pending;
+  pending_byte_ = cp.pending_byte;
+  pending_offset_ = cp.pending_offset;
+  tag_start_ = cp.tag_start;
+  in_skip_ = cp.in_skip;
+  skip_depth_ = cp.skip_depth;
+  demoted_ = cp.demoted;
+  chunk_base_ = cp.bytes_fed;
+  bytes_fed_ = cp.bytes_fed;
+  chunks_fed_ = cp.chunks_fed;
+  events_ = cp.events;
+  nodes_ = cp.nodes;
+  matches_ = cp.matches;
+  depth_ = cp.depth;
+  max_depth_ = cp.depth;  // segment-peak accounting: TakeSegmentPeakDepth
+  errors_recovered_ = cp.errors_recovered;
+  subtrees_skipped_ = cp.subtrees_skipped;
+  error_offset_ = cp.error_offset;
+  saw_root_ = cp.saw_root;
+  failed_ = false;
+  stream_error_ = cp.stream_error;
+  error_ = stream_error_.ok() ? std::string() : stream_error_.Render(alphabet_);
+  recovered_errors_ = cp.recovered;
+  recorder_.Reset();  // keeps the sink and max_pending wiring
+  return true;
+}
+
+void StreamingSelector::ReleaseCheckpoint(const SelectorCheckpoint& cp) {
+  machine_->ReleaseConfig(cp.machine_config);
+}
+
+bool StreamingSelector::CheckpointConverged(const SelectorCheckpoint& cp,
+                                            int64_t delta) const {
+  if (failed_) return false;
+  if (depth_ != cp.depth || saw_root_ != cp.saw_root) return false;
+  if (in_skip_ != cp.in_skip || skip_depth_ != cp.skip_depth ||
+      demoted_ != cp.demoted) {
+    return false;
+  }
+  if (in_tag_ != cp.in_tag || tag_first_ != cp.tag_first ||
+      tag_closing_ != cp.tag_closing || have_pending_ != cp.have_pending ||
+      pending_byte_ != cp.pending_byte) {
+    return false;
+  }
+  // Absolute lexer offsets participate only while live (a completed token
+  // leaves them stale), and must agree modulo the edit's byte shift.
+  if (have_pending_ && pending_offset_ != cp.pending_offset + delta) {
+    return false;
+  }
+  if (in_tag_ && tag_start_ != cp.tag_start + delta) return false;
+  if (tag_len_ != cp.tag_buf.size() ||
+      std::memcmp(tag_buf_, cp.tag_buf.data(), tag_len_) != 0) {
+    return false;
+  }
+  if (open_labels_ != cp.open_labels) return false;
+  return machine_->ConfigEqualsCurrent(cp.machine_config);
+}
+
+int64_t StreamingSelector::TakeSegmentPeakDepth() {
+  int64_t peak = max_depth_;
+  max_depth_ = depth_;
+  return peak;
+}
+
 StreamError StreamingSelector::MakeError(StreamErrorCode code, int64_t offset,
                                          Symbol expected, Symbol got) const {
   StreamError err;

@@ -70,7 +70,13 @@ struct StreamStats {
   int64_t error_offset = -1;  // byte offset of the first error, -1 if none
   int64_t matches_emitted = 0;  // MatchSink OnMatch events (0 with no sink)
   int64_t pending_matches_peak = 0;  // emission-buffer high-water
+  int64_t max_stack_depth = 0;   // stack-tier peak stacked states (0 on the
+                                 // stackless tiers, whose configs hold none)
+  int64_t underflow_closes = 0;  // stack-tier closes ignored with nothing
+                                 // open (unbalanced machine-level stream)
 };
+
+struct SelectorCheckpoint;
 
 // Incremental push-parser driving a StreamMachine: feed arbitrary byte
 // chunks (network reads, mmap windows); tag events are decoded on the fly
@@ -258,8 +264,52 @@ class StreamingSelector {
             subtrees_skipped_,
             error_offset_,
             recorder_.emitted(),
-            recorder_.peak_pending()};
+            recorder_.peak_pending(),
+            machine_->StackDepthPeak(),
+            machine_->StackUnderflowCloses()};
   }
+
+  // --- Checkpoint protocol (incremental re-evaluation) ------------------
+  // A SelectorCheckpoint is the selector's complete resumable state at a
+  // Feed boundary: machine configuration (via StreamMachine::SaveConfig),
+  // validator labels, lexer, recovery state, and the exact prefix values
+  // of every counter. engine/incremental.h records these on a byte grid
+  // and resumes/rescans/splices around edits; see DESIGN.md "Incremental
+  // re-evaluation".
+
+  // Captures the current state into `out` (overwritten). False — and no
+  // resources retained — when the machine does not support the config
+  // protocol or when pending match spans exist (checkpointing requires a
+  // verdict-only or absent sink). Must not be called after a fatal error.
+  // Saved checkpoints pin machine resources (stack-tier nodes) until
+  // ReleaseCheckpoint or machine Reset.
+  bool SaveCheckpoint(SelectorCheckpoint* out);
+
+  // Adopts a saved (not yet released) checkpoint, clearing any fatal
+  // state recorded since; the checkpoint stays valid for further
+  // restores. The running max-depth is re-based at the restored depth
+  // (see TakeSegmentPeakDepth). False if the machine rejects the config.
+  bool RestoreCheckpoint(const SelectorCheckpoint& cp);
+
+  // Drops one saved checkpoint (frees stack-tier nodes; flat-config tiers
+  // need no release, but calling this unconditionally is always correct).
+  void ReleaseCheckpoint(const SelectorCheckpoint& cp);
+
+  // Convergence test: true iff the live state at the current position is
+  // byte-for-byte the state `cp` recorded, modulo a uniform shift of
+  // `delta` bytes in every stored absolute offset (the edit's net size
+  // change). Counters and error history do not participate — they are
+  // prefix aggregates, spliced separately; what must agree is everything
+  // that determines the *future* of the run: depth, validator labels,
+  // lexer, recovery mode, tier demotion, and the machine configuration.
+  bool CheckpointConverged(const SelectorCheckpoint& cp, int64_t delta) const;
+
+  // Returns the peak depth since the last call (or Reset/Restore) and
+  // re-bases the running peak at the current depth. Lets a checkpointing
+  // caller keep exact per-segment peaks — and thus splice an exact global
+  // max_depth — at zero cost to the scan loops. Plain callers that never
+  // call this see the usual whole-run peak in stats().
+  int64_t TakeSegmentPeakDepth();
 
   // True when the fused byte→state fast path is active (registerless
   // machine + compact markup + single-letter labels, not demoted).
@@ -444,6 +494,54 @@ class StreamingSelector {
   StreamError stream_error_;
   std::string error_;
   std::vector<RecoveredError> recovered_errors_;
+};
+
+// Complete resumable state of a StreamingSelector at a Feed boundary; see
+// StreamingSelector::SaveCheckpoint. Offsets stored here are absolute
+// document positions — reusing a checkpoint recorded after an edit point
+// means shifting them by the edit's net byte delta (the engine layer's
+// rebase step). A checkpoint never stores recorder state: checkpointing
+// is only offered with verdict-only sinks, whose emission buffer is
+// always empty.
+struct SelectorCheckpoint {
+  // Machine configuration (StreamMachine::SaveConfig words; the stack tier
+  // stores a retained pool-slot handle — release via ReleaseCheckpoint).
+  std::vector<int64_t> machine_config;
+
+  // Well-formedness validator: the open-element labels, bottom to top.
+  std::vector<Symbol> open_labels;
+
+  // Lexer (partial multi-byte token across the boundary).
+  std::string tag_buf;
+  bool in_tag = false;
+  bool tag_first = false;
+  bool tag_closing = false;
+  bool have_pending = false;
+  unsigned char pending_byte = 0;
+  int64_t pending_offset = -1;
+  int64_t tag_start = -1;
+
+  // Recovery state.
+  bool in_skip = false;
+  int64_t skip_depth = 0;
+  bool demoted = false;
+
+  // Exact prefix counters (StreamStats minus the recorder-owned fields).
+  int64_t bytes_fed = 0;
+  int64_t chunks_fed = 0;
+  int64_t events = 0;
+  int64_t nodes = 0;
+  int64_t matches = 0;
+  int64_t depth = 0;
+  int64_t errors_recovered = 0;
+  int64_t subtrees_skipped = 0;
+  int64_t error_offset = -1;
+  bool saw_root = false;
+  int64_t machine_underflows = 0;  // stack-tier underflow count at capture
+
+  // Error history of the prefix: the first error plus every recovered one.
+  StreamError stream_error;
+  std::vector<StreamingSelector::RecoveredError> recovered;
 };
 
 }  // namespace sst

@@ -65,6 +65,20 @@ class TagDfaMachine final : public StreamMachine {
   int ExportedState() const override { return state_; }
   void SyncExportedState(int state) override { state_ = state; }
 
+  // Checkpoint protocol: the registerless configuration is one word.
+  bool SaveConfig(std::vector<int64_t>* out) override {
+    out->assign(1, state_);
+    return true;
+  }
+  bool RestoreConfig(const std::vector<int64_t>& config) override {
+    if (config.size() != 1) return false;
+    state_ = static_cast<int>(config[0]);
+    return true;
+  }
+  bool ConfigEqualsCurrent(const std::vector<int64_t>& config) const override {
+    return config.size() == 1 && config[0] == state_;
+  }
+
   int state() const { return state_; }
 
  private:

@@ -309,16 +309,25 @@ StreamStats BatchSession::stats() const {
   if (runner_) return runner_->stats();
   // Lockstep slots see the same framing, so the scanner-side counters are
   // identical across sessions; only the recorder counters differ per slot
-  // (each slot has its own pending buffer). Sum emissions, max the peak.
+  // (each slot has its own pending buffer) and the machine-side stack
+  // diagnostics (slots may run different tiers — a stack-baseline slot
+  // reports a peak while its stackless neighbors report 0). Sum the
+  // monotone counters, max the peaks.
   StreamStats stats = sessions_.front()->stats();
   stats.matches_emitted = 0;
   stats.pending_matches_peak = 0;
+  stats.max_stack_depth = 0;
+  stats.underflow_closes = 0;
   for (const auto& session : sessions_) {
     StreamStats s = session->stats();
     stats.matches_emitted += s.matches_emitted;
     if (s.pending_matches_peak > stats.pending_matches_peak) {
       stats.pending_matches_peak = s.pending_matches_peak;
     }
+    if (s.max_stack_depth > stats.max_stack_depth) {
+      stats.max_stack_depth = s.max_stack_depth;
+    }
+    stats.underflow_closes += s.underflow_closes;
   }
   return stats;
 }

@@ -47,6 +47,26 @@ class BorrowingStackMachine final : public StreamMachine {
   void OnClose(Symbol symbol) override { inner_.OnClose(symbol); }
   bool InAcceptingState() const override { return inner_.InAcceptingState(); }
 
+  // The checkpoint protocol and stack diagnostics pass straight through —
+  // without these forwards the stack tier would report checkpointing as
+  // unsupported and every edit would fall back to a full rescan.
+  bool SaveConfig(std::vector<int64_t>* out) override {
+    return inner_.SaveConfig(out);
+  }
+  bool RestoreConfig(const std::vector<int64_t>& config) override {
+    return inner_.RestoreConfig(config);
+  }
+  bool ConfigEqualsCurrent(const std::vector<int64_t>& config) const override {
+    return inner_.ConfigEqualsCurrent(config);
+  }
+  void ReleaseConfig(const std::vector<int64_t>& config) override {
+    inner_.ReleaseConfig(config);
+  }
+  int64_t StackDepthPeak() const override { return inner_.StackDepthPeak(); }
+  int64_t StackUnderflowCloses() const override {
+    return inner_.StackUnderflowCloses();
+  }
+
  private:
   StackQueryEvaluator inner_;
 };

@@ -129,6 +129,59 @@ bool StacklessQueryEvaluator::InAcceptingState() const {
   return !dead_ && blueprint_->dfa.accepting[witness_];
 }
 
+bool StacklessQueryEvaluator::SaveConfig(std::vector<int64_t>* out) {
+  out->clear();
+  out->push_back(dead_ ? 1 : 0);
+  out->push_back(witness_);
+  out->push_back(current_scc_);
+  out->push_back(depth_);
+  out->push_back(static_cast<int64_t>(chain_scc_.size()));
+  for (size_t i = 0; i < chain_scc_.size(); ++i) {
+    out->push_back(chain_scc_[i]);
+    out->push_back(chain_witness_[i]);
+    out->push_back(chain_depth_[i]);
+  }
+  return true;
+}
+
+bool StacklessQueryEvaluator::RestoreConfig(
+    const std::vector<int64_t>& config) {
+  if (config.size() < 5) return false;
+  const size_t chain = static_cast<size_t>(config[4]);
+  if (config.size() != 5 + 3 * chain) return false;
+  dead_ = config[0] != 0;
+  witness_ = static_cast<int>(config[1]);
+  current_scc_ = static_cast<int>(config[2]);
+  depth_ = config[3];
+  chain_scc_.resize(chain);
+  chain_witness_.resize(chain);
+  chain_depth_.resize(chain);
+  for (size_t i = 0; i < chain; ++i) {
+    chain_scc_[i] = static_cast<int>(config[5 + 3 * i]);
+    chain_witness_[i] = static_cast<int>(config[5 + 3 * i + 1]);
+    chain_depth_[i] = config[5 + 3 * i + 2];
+  }
+  return true;
+}
+
+bool StacklessQueryEvaluator::ConfigEqualsCurrent(
+    const std::vector<int64_t>& config) const {
+  if (config.size() != 5 + 3 * chain_scc_.size()) return false;
+  if ((config[0] != 0) != dead_ || config[1] != witness_ ||
+      config[2] != current_scc_ || config[3] != depth_ ||
+      config[4] != static_cast<int64_t>(chain_scc_.size())) {
+    return false;
+  }
+  for (size_t i = 0; i < chain_scc_.size(); ++i) {
+    if (config[5 + 3 * i] != chain_scc_[i] ||
+        config[5 + 3 * i + 1] != chain_witness_[i] ||
+        config[5 + 3 * i + 2] != chain_depth_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 // Control state of the materialized machine.

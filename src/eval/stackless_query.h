@@ -71,6 +71,13 @@ class StacklessQueryEvaluator final : public StreamMachine {
   void OnClose(Symbol symbol) override;
   bool InAcceptingState() const override;
 
+  // Checkpoint protocol: the Lemma 3.8 configuration — witness, current
+  // SCC, depth, and the live register chain (bounded by max_chain) — as a
+  // flat word vector.
+  bool SaveConfig(std::vector<int64_t>* out) override;
+  bool RestoreConfig(const std::vector<int64_t>& config) override;
+  bool ConfigEqualsCurrent(const std::vector<int64_t>& config) const override;
+
   // True once the machine has entered the dead sink (only possible on
   // invalid encodings or when the HAR precondition fails).
   bool dead() const { return dead_; }

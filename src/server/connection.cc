@@ -466,6 +466,14 @@ void Connection::UpdateInterest() {
 
 void Connection::ReleaseStream() {
   if (!stream_) return;
+  // Stack-tier observability rides the common release path so failed and
+  // shed streams report their peaks too, not just clean completions.
+  const StreamStats final_stats = stream_->stats();
+  ServerCounters::RaisePeak(&host_->counters().stack_depth_peak,
+                            final_stats.max_stack_depth);
+  if (final_stats.underflow_closes > 0) {
+    Bump(host_->counters().underflow_closes, final_stats.underflow_closes);
+  }
   batch_->Release(std::move(stream_));
   host_->admission_state().active_streams.fetch_sub(1, kRelaxed);
 }

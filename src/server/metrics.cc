@@ -22,6 +22,8 @@ void SnapshotCounters(const ServerCounters& counters, ServerStats* stats) {
   stats->backpressure_pauses = load(counters.backpressure_pauses);
   stats->matches_emitted = load(counters.matches_emitted);
   stats->match_buffer_peak = load(counters.match_buffer_peak);
+  stats->stack_depth_peak = load(counters.stack_depth_peak);
+  stats->underflow_closes = load(counters.underflow_closes);
   stats->drain_completed_streams = load(counters.drain_completed_streams);
   stats->drain_forced_closes = load(counters.drain_forced_closes);
   stats->bytes_in = load(counters.bytes_in);
@@ -58,6 +60,8 @@ std::string RenderMetrics(const ServerStats& stats) {
   line("server_backpressure_pauses", stats.backpressure_pauses);
   line("server_matches_emitted", stats.matches_emitted);
   line("server_match_buffer_peak", stats.match_buffer_peak);
+  line("server_stack_depth_peak", stats.stack_depth_peak);
+  line("server_underflow_closes", stats.underflow_closes);
   line("server_drain_completed_streams", stats.drain_completed_streams);
   line("server_drain_forced_closes", stats.drain_forced_closes);
   line("server_bytes_in", stats.bytes_in);

@@ -39,6 +39,14 @@ struct ServerCounters {
   std::atomic<int64_t> matches_emitted{0};
   std::atomic<int64_t> match_buffer_peak{0};
 
+  // Stack-tier observability (kStackBaseline registrations): the deepest
+  // evaluation stack any one stream reached, and closes tolerated with an
+  // empty stack (unbalanced machine-level streams). Both stay 0 while
+  // every registered plan runs on a stackless tier — which makes the pair
+  // the serving-layer witness of the paper's O(1)-configuration claim.
+  std::atomic<int64_t> stack_depth_peak{0};
+  std::atomic<int64_t> underflow_closes{0};
+
   std::atomic<int64_t> drain_completed_streams{0};  // finished during drain
   std::atomic<int64_t> drain_forced_closes{0};      // kShed(drain_deadline)
 
@@ -85,6 +93,8 @@ struct ServerStats {
   int64_t backpressure_pauses = 0;
   int64_t matches_emitted = 0;
   int64_t match_buffer_peak = 0;
+  int64_t stack_depth_peak = 0;
+  int64_t underflow_closes = 0;
   int64_t drain_completed_streams = 0;
   int64_t drain_forced_closes = 0;
   int64_t bytes_in = 0;

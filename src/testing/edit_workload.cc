@@ -1,0 +1,321 @@
+#include "testing/edit_workload.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iterator>
+#include <string>
+#include <utility>
+
+#include "base/check.h"
+#include "trees/encoding.h"
+#include "trees/generators.h"
+#include "trees/tree.h"
+
+namespace sst {
+
+namespace {
+
+constexpr int kMaxSnippetNodes = 8;
+constexpr int kMaxWsRun = 8;
+
+bool IsWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+         c == '\f';
+}
+
+bool IsTermLabelByte(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+// Offset of the first non-whitespace byte — the root's opening token.
+int64_t FirstTokenAt(std::string_view doc) {
+  for (size_t i = 0; i < doc.size(); ++i) {
+    if (!IsWs(doc[i])) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+int64_t SkipWs(std::string_view doc, int64_t i) {
+  while (i < static_cast<int64_t>(doc.size()) &&
+         IsWs(doc[static_cast<size_t>(i)])) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+const char* EditKindName(EditKind kind) {
+  switch (kind) {
+    case EditKind::kInsertSubtree:
+      return "insert_subtree";
+    case EditKind::kDeleteLeaf:
+      return "delete_leaf";
+    case EditKind::kReplaceLeaf:
+      return "replace_leaf";
+    case EditKind::kRelabelLeaf:
+      return "relabel_leaf";
+    case EditKind::kInsertWhitespace:
+      return "insert_ws";
+    case EditKind::kDeleteWhitespace:
+      return "delete_ws";
+    case EditKind::kCorruptByte:
+      return "corrupt_byte";
+  }
+  return "?";
+}
+
+EditWorkload::EditWorkload(const Alphabet* alphabet, StreamFormat format,
+                           uint64_t seed)
+    : alphabet_(alphabet), format_(format), rng_(seed) {
+  SST_CHECK(alphabet_ != nullptr && alphabet_->size() > 0);
+}
+
+std::string EditWorkload::Apply(std::string_view doc, const DocEdit& edit) {
+  SST_CHECK(edit.offset >= 0 && edit.old_len >= 0 &&
+            edit.offset + edit.old_len <= static_cast<int64_t>(doc.size()));
+  std::string out;
+  out.reserve(doc.size() - edit.old_len + edit.new_bytes.size());
+  out.append(doc.substr(0, static_cast<size_t>(edit.offset)));
+  out.append(edit.new_bytes);
+  out.append(doc.substr(static_cast<size_t>(edit.offset + edit.old_len)));
+  return out;
+}
+
+DocEdit EditWorkload::Diff(std::string_view before, std::string_view after) {
+  size_t prefix = 0;
+  const size_t max_prefix = std::min(before.size(), after.size());
+  while (prefix < max_prefix && before[prefix] == after[prefix]) ++prefix;
+  size_t suffix = 0;
+  const size_t max_suffix = max_prefix - prefix;
+  while (suffix < max_suffix &&
+         before[before.size() - 1 - suffix] ==
+             after[after.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  DocEdit edit;
+  edit.offset = static_cast<int64_t>(prefix);
+  edit.old_len = static_cast<int64_t>(before.size() - prefix - suffix);
+  edit.new_bytes = std::string(after.substr(prefix,
+                                            after.size() - prefix - suffix));
+  return edit;
+}
+
+EditWorkload::LeafSpan EditWorkload::FindLeaf(std::string_view doc,
+                                              int64_t from) const {
+  const int64_t n = static_cast<int64_t>(doc.size());
+  const int64_t root = FirstTokenAt(doc);
+  if (root < 0 || n == 0) return {};
+  // Scan [from, n) then [0, from): every position is visited once.
+  for (int64_t step = 0; step < n; ++step) {
+    const int64_t i = (from + step) % n;
+    if (i == root) continue;  // never the root element
+    const char c = doc[static_cast<size_t>(i)];
+    switch (format_) {
+      case StreamFormat::kCompactMarkup: {
+        if (c < 'a' || c > 'z') break;
+        const int64_t j = SkipWs(doc, i + 1);
+        if (j < n && doc[static_cast<size_t>(j)] == c - 'a' + 'A') {
+          const std::string label(1, c);
+          return {i, j + 1, alphabet_->Find(label)};
+        }
+        break;
+      }
+      case StreamFormat::kCompactTerm: {
+        // A leaf is label '{' ws* '}'; anchor on the label's first byte
+        // (the byte before it must not itself be a label byte).
+        if (!IsTermLabelByte(c)) break;
+        if (i > 0 && IsTermLabelByte(doc[static_cast<size_t>(i - 1)])) break;
+        int64_t j = i;
+        while (j < n && IsTermLabelByte(doc[static_cast<size_t>(j)])) ++j;
+        if (j >= n || doc[static_cast<size_t>(j)] != '{') break;
+        const int64_t k = SkipWs(doc, j + 1);
+        if (k < n && doc[static_cast<size_t>(k)] == '}') {
+          const std::string label(doc.substr(static_cast<size_t>(i),
+                                             static_cast<size_t>(j - i)));
+          return {i, k + 1, alphabet_->Find(label)};
+        }
+        break;
+      }
+      case StreamFormat::kXmlLite: {
+        if (c != '<' || i + 1 >= n ||
+            doc[static_cast<size_t>(i + 1)] == '/') {
+          break;
+        }
+        int64_t j = i + 1;
+        while (j < n && doc[static_cast<size_t>(j)] != '>' &&
+               doc[static_cast<size_t>(j)] != '<') {
+          ++j;
+        }
+        if (j >= n || doc[static_cast<size_t>(j)] != '>') break;
+        const std::string label(doc.substr(static_cast<size_t>(i + 1),
+                                           static_cast<size_t>(j - i - 1)));
+        const int64_t k = SkipWs(doc, j + 1);
+        const std::string close = "</" + label + ">";
+        if (doc.substr(static_cast<size_t>(k)).rfind(close, 0) == 0) {
+          return {i, k + static_cast<int64_t>(close.size()),
+                  alphabet_->Find(label)};
+        }
+        break;
+      }
+    }
+  }
+  return {};
+}
+
+int64_t EditWorkload::FindInsertPoint(std::string_view doc,
+                                      int64_t from) const {
+  const int64_t n = static_cast<int64_t>(doc.size());
+  if (n == 0) return -1;
+  for (int64_t step = 0; step < n; ++step) {
+    const int64_t i = (from + step) % n;
+    const char c = doc[static_cast<size_t>(i)];
+    switch (format_) {
+      case StreamFormat::kCompactMarkup:
+        if (c >= 'a' && c <= 'z') return i + 1;
+        break;
+      case StreamFormat::kCompactTerm:
+        if (c == '{') return i + 1;
+        break;
+      case StreamFormat::kXmlLite: {
+        if (c != '<' || i + 1 >= n ||
+            doc[static_cast<size_t>(i + 1)] == '/') {
+          break;
+        }
+        int64_t j = i + 1;
+        while (j < n && doc[static_cast<size_t>(j)] != '>' &&
+               doc[static_cast<size_t>(j)] != '<') {
+          ++j;
+        }
+        if (j < n && doc[static_cast<size_t>(j)] == '>') return j + 1;
+        break;
+      }
+    }
+  }
+  return -1;
+}
+
+std::string EditWorkload::RandomSnippet(int max_nodes) {
+  const int nodes = static_cast<int>(rng_.NextInRange(1, max_nodes));
+  const Tree tree =
+      RandomTree(nodes, alphabet_->size(), rng_.NextDouble(), &rng_);
+  const EventStream events = Encode(tree);
+  switch (format_) {
+    case StreamFormat::kCompactMarkup:
+      return ToCompactMarkup(*alphabet_, events);
+    case StreamFormat::kCompactTerm:
+      return ToCompactTerm(*alphabet_, events);
+    case StreamFormat::kXmlLite:
+      return ToXmlLite(*alphabet_, events);
+  }
+  return {};
+}
+
+DocEdit EditWorkload::Next(std::string_view doc) {
+  static constexpr EditKind kWellFormed[] = {
+      EditKind::kInsertSubtree,     EditKind::kDeleteLeaf,
+      EditKind::kReplaceLeaf,       EditKind::kRelabelLeaf,
+      EditKind::kInsertWhitespace,  EditKind::kDeleteWhitespace,
+  };
+  return Make(kWellFormed[rng_.NextBelow(std::size(kWellFormed))], doc);
+}
+
+DocEdit EditWorkload::Make(EditKind kind, std::string_view doc) {
+  const int64_t n = static_cast<int64_t>(doc.size());
+  const int64_t from = n > 0 ? static_cast<int64_t>(rng_.NextBelow(
+                                   static_cast<uint64_t>(n)))
+                             : 0;
+  DocEdit edit;
+
+  switch (kind) {
+    case EditKind::kInsertSubtree:
+    case EditKind::kCorruptByte: {
+      const int64_t at = FindInsertPoint(doc, from);
+      if (at < 0) {  // tagless document: splice a fresh root in
+        edit.offset = 0;
+        edit.new_bytes = RandomSnippet(kMaxSnippetNodes);
+        return edit;
+      }
+      edit.offset = at;
+      edit.new_bytes = kind == EditKind::kCorruptByte
+                           ? std::string("?")
+                           : RandomSnippet(kMaxSnippetNodes);
+      return edit;
+    }
+
+    case EditKind::kDeleteLeaf:
+    case EditKind::kReplaceLeaf: {
+      const LeafSpan leaf = FindLeaf(doc, from);
+      if (leaf.begin < 0) break;  // no non-root leaf: fall through
+      edit.offset = leaf.begin;
+      edit.old_len = leaf.end - leaf.begin;
+      if (kind == EditKind::kReplaceLeaf) {
+        edit.new_bytes = RandomSnippet(kMaxSnippetNodes);
+      }
+      return edit;
+    }
+
+    case EditKind::kRelabelLeaf: {
+      if (alphabet_->size() < 2) break;
+      const LeafSpan leaf = FindLeaf(doc, from);
+      if (leaf.begin < 0 || leaf.symbol < 0) break;
+      Symbol other = static_cast<Symbol>(
+          rng_.NextBelow(static_cast<uint64_t>(alphabet_->size())));
+      if (other == leaf.symbol) {
+        other = (other + 1) % alphabet_->size();
+      }
+      EventStream events = {TagEvent{true, other}, TagEvent{false, other}};
+      edit.offset = leaf.begin;
+      edit.old_len = leaf.end - leaf.begin;
+      switch (format_) {
+        case StreamFormat::kCompactMarkup:
+          edit.new_bytes = ToCompactMarkup(*alphabet_, events);
+          break;
+        case StreamFormat::kCompactTerm:
+          edit.new_bytes = ToCompactTerm(*alphabet_, events);
+          break;
+        case StreamFormat::kXmlLite:
+          edit.new_bytes = ToXmlLite(*alphabet_, events);
+          break;
+      }
+      return edit;
+    }
+
+    case EditKind::kDeleteWhitespace: {
+      // Any whitespace byte is inter-token in all three formats (no
+      // format puts whitespace inside a token), so deleting a run is
+      // always structure-preserving.
+      for (int64_t step = 0; step < n; ++step) {
+        const int64_t i = (from + step) % n;
+        if (!IsWs(doc[static_cast<size_t>(i)])) continue;
+        int64_t j = i;
+        while (j < n && IsWs(doc[static_cast<size_t>(j)])) ++j;
+        edit.offset = i;
+        edit.old_len = j - i;
+        return edit;
+      }
+      break;  // no whitespace anywhere: fall through to insertion
+    }
+
+    case EditKind::kInsertWhitespace:
+      break;  // handled by the shared fallback below
+  }
+
+  // Fallback (and the kInsertWhitespace body): grow a whitespace run at a
+  // legal splice point. Always possible once the document has any tag.
+  const int64_t at = FindInsertPoint(doc, from);
+  if (at < 0) {
+    edit.offset = 0;
+    edit.new_bytes = RandomSnippet(kMaxSnippetNodes);
+    return edit;
+  }
+  static constexpr char kWs[] = {' ', '\n', '\t'};
+  edit.offset = at;
+  const int64_t run = rng_.NextInRange(1, kMaxWsRun);
+  for (int64_t i = 0; i < run; ++i) {
+    edit.new_bytes.push_back(kWs[rng_.NextBelow(std::size(kWs))]);
+  }
+  return edit;
+}
+
+}  // namespace sst

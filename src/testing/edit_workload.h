@@ -1,0 +1,97 @@
+#ifndef SST_TESTING_EDIT_WORKLOAD_H_
+#define SST_TESTING_EDIT_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "automata/alphabet.h"
+#include "base/rng.h"
+#include "dra/streaming.h"
+
+namespace sst {
+
+// One byte splice of a serialized document: `new_bytes` replaces the range
+// [offset, offset + old_len). The uniform edit representation shared by
+// the incremental-reevaluation property tests and the edit benchmark —
+// exactly the shape IncrementalSession::ApplyEdit consumes.
+struct DocEdit {
+  int64_t offset = 0;
+  int64_t old_len = 0;
+  std::string new_bytes;
+};
+
+// The structural flavor of a generated edit.
+enum class EditKind {
+  kInsertSubtree,     // splice a freshly generated balanced subtree in
+  kDeleteLeaf,        // remove one leaf element
+  kReplaceLeaf,       // swap a leaf for a generated balanced subtree
+  kRelabelLeaf,       // change a leaf's label in place
+  kInsertWhitespace,  // grow an inter-tag whitespace run
+  kDeleteWhitespace,  // shrink one
+  kCorruptByte,       // inject a byte no token can start with (malformed)
+};
+
+const char* EditKindName(EditKind kind);
+
+// Seeded generator of random small edits over a serialized document.
+// Structural edits are balanced (insert/delete/replace whole subtrees,
+// relabel leaves), so a well-formed document stays well-formed — except
+// kCorruptByte, which deliberately manufactures a malformed region for
+// the recovery-path properties. Edits are found by a bounded local scan
+// around a random position, so generation cost is independent of document
+// size (the 100 MB benchmark corpus relies on this).
+//
+// Determinism: the same (alphabet, format, seed) over the same document
+// sequence yields the same edits on every platform (base/rng.h).
+class EditWorkload {
+ public:
+  // `alphabet` must outlive the workload and contain the labels the
+  // documents use; generated subtrees draw labels uniformly from it.
+  EditWorkload(const Alphabet* alphabet, StreamFormat format, uint64_t seed);
+
+  // A random edit of `doc`, drawn over the well-formed kinds.
+  DocEdit Next(std::string_view doc);
+
+  // An edit of the requested kind; falls back to a whitespace insertion
+  // when the document offers no target (e.g. kDeleteLeaf on a leafless
+  // root). kCorruptByte is only produced when asked for explicitly.
+  DocEdit Make(EditKind kind, std::string_view doc);
+
+  // Applies an edit, returning the post-edit document.
+  static std::string Apply(std::string_view doc, const DocEdit& edit);
+
+  // Canonical single-splice diff (longest common prefix + suffix) between
+  // two versions — turns arbitrary before/after pairs into the ApplyEdit
+  // shape.
+  static DocEdit Diff(std::string_view before, std::string_view after);
+
+ private:
+  struct LeafSpan {
+    int64_t begin = -1;  // first byte of the leaf's opening token
+    int64_t end = -1;    // byte just past the leaf's closing token
+    Symbol symbol = -1;
+  };
+
+  // First leaf element found scanning forward from `from` (wrapping to
+  // the start once), never the root element itself. begin -1 when the
+  // document has no non-root leaf.
+  LeafSpan FindLeaf(std::string_view doc, int64_t from) const;
+
+  // A byte position just past some opening token, scanning forward from
+  // `from` (wrapping once); -1 when the document has no opening tag.
+  // Splicing balanced content or whitespace there is always legal (the
+  // enclosing element is open, so the document stays single-rooted).
+  int64_t FindInsertPoint(std::string_view doc, int64_t from) const;
+
+  // Serialization of a random tree of 1..max_nodes nodes in this format.
+  std::string RandomSnippet(int max_nodes);
+
+  const Alphabet* alphabet_;
+  StreamFormat format_;
+  Rng rng_;
+};
+
+}  // namespace sst
+
+#endif  // SST_TESTING_EDIT_WORKLOAD_H_

@@ -1,0 +1,506 @@
+// Tests for the refcounted pooled persistent stack (base/pooled_stack.h)
+// and the rewritten StackQueryEvaluator on top of it: behavioral parity
+// with the retained std::vector baseline (VectorStackQueryEvaluator),
+// zero heap allocation in steady state, O(1) snapshots whose shared
+// suffixes survive pop/push churn, iterative release of million-deep
+// chains, and Reset() releasing every retained checkpoint slot.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "automata/alphabet.h"
+#include "automata/minimize.h"
+#include "base/pooled_stack.h"
+#include "base/rng.h"
+#include "dra/streaming.h"
+#include "eval/stack_evaluator.h"
+#include "test_util.h"
+#include "trees/encoding.h"
+
+// Global allocation counter so tests can assert that the pooled stack's
+// steady state performs no heap allocation (acceptance criterion of the
+// incremental-reevaluation PR). Counts every operator new in the binary;
+// tests only look at deltas.
+namespace {
+std::atomic<int64_t> g_heap_allocations{0};
+}  // namespace
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace sst {
+namespace {
+
+using IntStack = PooledStack<int>;
+
+// --- PooledStack unit behavior ----------------------------------------
+
+TEST(PooledStack, PushPopLifo) {
+  IntStack stack;
+  EXPECT_TRUE(stack.empty());
+  EXPECT_EQ(stack.size(), 0u);
+  // Deep enough to cross several chunk boundaries both ways.
+  const int depth = static_cast<int>(IntStack::kChunkCapacity) * 3 + 7;
+  for (int i = 0; i < depth; ++i) stack.Push(i);
+  EXPECT_EQ(stack.size(), static_cast<uint64_t>(depth));
+  for (int i = depth - 1; i >= 0; --i) {
+    EXPECT_EQ(stack.top(), i);
+    stack.Pop();
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(PooledStack, SnapshotSurvivesPopAndPushChurn) {
+  IntStack stack;
+  for (int i = 0; i < 5; ++i) stack.Push(i);
+  IntStack::Snapshot snap = stack.TakeSnapshot();
+  ASSERT_NE(snap.head, nullptr);
+  EXPECT_EQ(IntStack::SnapshotSize(snap), 5u);
+
+  // Mutate the live stack away from the snapshot: the pushes land in a
+  // copy-on-write chunk, never overwriting what the snapshot can see.
+  stack.Pop();
+  stack.Pop();
+  stack.Push(77);
+  stack.Push(78);
+  stack.Push(79);
+  EXPECT_EQ(stack.size(), 6u);
+  EXPECT_FALSE(stack.EqualsSnapshot(snap));
+
+  // ...then restore it: the snapshot's values are intact.
+  stack.Restore(snap, 5);
+  EXPECT_EQ(stack.size(), 5u);
+  for (int i = 4; i >= 0; --i) {
+    EXPECT_EQ(stack.top(), i);
+    stack.Pop();
+  }
+
+  // The snapshot still holds its own reference and restores again.
+  stack.Restore(snap, 5);
+  EXPECT_EQ(stack.size(), 5u);
+  EXPECT_TRUE(stack.EqualsSnapshot(snap));
+  stack.Release(snap);
+  stack.Clear();
+}
+
+TEST(PooledStack, EmptySnapshotRoundTrips) {
+  IntStack stack;
+  IntStack::Snapshot snap = stack.TakeSnapshot();
+  EXPECT_EQ(snap.head, nullptr);
+  stack.Push(1);
+  stack.Restore(snap, 0);
+  EXPECT_TRUE(stack.empty());
+  stack.Release(snap);  // releasing the empty snapshot is a no-op
+}
+
+TEST(PooledStack, SnapshotsShareCommonSuffixStructurally) {
+  const int chunk = static_cast<int>(IntStack::kChunkCapacity);
+  IntStack stack;
+  for (int i = 0; i < 4 * chunk; ++i) stack.Push(i);
+  IntStack::Snapshot deep = stack.TakeSnapshot();
+  for (int i = 0; i < 2 * chunk; ++i) stack.Pop();
+  IntStack::Snapshot shallow = stack.TakeSnapshot();
+
+  // The shallow snapshot's chunk IS a chunk of the deep chain — suffix
+  // sharing is physical, not a copy.
+  const IntStack::Node* walk = deep.head;
+  while (walk != nullptr && walk != shallow.head) walk = walk->prev;
+  EXPECT_EQ(walk, shallow.head);
+
+  stack.Release(deep);
+  // After the deep chain is released, the shallow snapshot (and the live
+  // stack, which sits at the same position) still read correctly.
+  EXPECT_EQ(stack.size(), static_cast<uint64_t>(2 * chunk));
+  EXPECT_EQ(stack.top(), 2 * chunk - 1);
+  EXPECT_TRUE(stack.EqualsSnapshot(shallow));
+  stack.Release(shallow);
+  stack.Clear();
+}
+
+TEST(PooledStack, EqualityComparesByValueAndShortCircuitsSharedTails) {
+  IntStack pool;
+  for (int i = 0; i < 8; ++i) pool.Push(i);
+  IntStack::Snapshot a = pool.TakeSnapshot();
+  // Divergent top over a shared tail.
+  pool.Pop();
+  pool.Push(99);
+  IntStack::Snapshot b = pool.TakeSnapshot();
+  EXPECT_FALSE(IntStack::SnapshotsEqual(a, b));
+
+  // Rebuild the same value on top: equal by value though the live chain
+  // now tops out in a different (copy-on-write) chunk.
+  pool.Pop();
+  pool.Push(7);
+  IntStack::Snapshot c = pool.TakeSnapshot();
+  EXPECT_NE(a.head, c.head);
+  EXPECT_TRUE(IntStack::SnapshotsEqual(a, c));
+
+  // Different depths are never equal.
+  pool.Push(8);
+  EXPECT_FALSE(pool.EqualsSnapshot(a));
+
+  pool.Release(a);
+  pool.Release(b);
+  pool.Release(c);
+  pool.Clear();
+}
+
+TEST(PooledStack, SnapshotValuesSurviveDeepChurnAcrossChunkBoundaries) {
+  // A snapshot taken mid-chunk must keep every value it can see while the
+  // live stack pops below it and pushes past it repeatedly — the ApplyEdit
+  // rescan pattern. Exercises copy-on-write at and around boundaries.
+  const int chunk = static_cast<int>(IntStack::kChunkCapacity);
+  IntStack stack;
+  Rng rng(91);
+  std::vector<int> shadow;
+  for (int i = 0; i < 3 * chunk + chunk / 2; ++i) {
+    stack.Push(i * 3);
+    shadow.push_back(i * 3);
+  }
+  IntStack::Snapshot snap = stack.TakeSnapshot();
+  const std::vector<int> frozen = shadow;
+
+  for (int round = 0; round < 200; ++round) {
+    const int pops = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(stack.size()) + 1));
+    for (int i = 0; i < pops; ++i) {
+      stack.Pop();
+      shadow.pop_back();
+    }
+    const int pushes = static_cast<int>(rng.NextBelow(80));
+    for (int i = 0; i < pushes; ++i) {
+      const int value = static_cast<int>(rng.NextBelow(1000));
+      stack.Push(value);
+      shadow.push_back(value);
+    }
+    ASSERT_EQ(stack.size(), shadow.size());
+    ASSERT_EQ(stack.EqualsSnapshot(snap), shadow == frozen);
+  }
+
+  // The snapshot restores byte-for-byte after all that churn.
+  stack.Restore(snap, frozen.size());
+  for (auto it = frozen.rbegin(); it != frozen.rend(); ++it) {
+    ASSERT_EQ(stack.top(), *it);
+    stack.Pop();
+  }
+  EXPECT_TRUE(stack.empty());
+  stack.Release(snap);
+}
+
+TEST(PooledStack, FreeListRecyclesNodesAcrossClear) {
+  IntStack stack;
+  for (int i = 0; i < 600; ++i) stack.Push(i);
+  const size_t warm_slabs = stack.slabs();
+  EXPECT_GE(warm_slabs, 1u);
+  stack.Clear();
+  // Refill to the same depth: same slabs, nothing new allocated.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 600; ++i) stack.Push(i);
+    EXPECT_EQ(stack.slabs(), warm_slabs);
+    stack.Clear();
+  }
+}
+
+TEST(PooledStack, MillionDeepChainReleasesIteratively) {
+  constexpr uint64_t kDepth = 1'000'000;
+  IntStack stack;
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    stack.Push(static_cast<int>(i & 0xff));
+  }
+  EXPECT_EQ(stack.size(), kDepth);
+  IntStack::Snapshot snap = stack.TakeSnapshot();
+  EXPECT_EQ(IntStack::SnapshotSize(snap), kDepth);
+  // Both releases walk the whole chunk chain; a recursive implementation
+  // would blow the thread stack long before 10^6 / kChunkCapacity frames.
+  stack.Clear();
+  stack.Release(snap);
+  EXPECT_TRUE(stack.empty());
+  // And the pool reuses all of it.
+  const size_t warm_slabs = stack.slabs();
+  for (uint64_t i = 0; i < kDepth; ++i) {
+    stack.Push(static_cast<int>(i & 0xff));
+  }
+  EXPECT_EQ(stack.slabs(), warm_slabs);
+  stack.Clear();
+}
+
+// --- Evaluator parity with the vector baseline ------------------------
+
+// Drives pooled and vector evaluators through the same random event
+// stream — including unbalanced closes (underflows) and interleaved
+// accept checks — asserting lockstep equality of every observable.
+TEST(StackEvaluatorParity, RandomEventStreamsMatchVectorBaseline) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(41);
+  const auto dfas = testing::SampleLanguages(
+      8, alphabet.size(), [](const Dfa&) { return true; }, &rng);
+  ASSERT_FALSE(dfas.empty());
+  for (const Dfa& dfa : dfas) {
+    StackQueryEvaluator pooled(&dfa);
+    VectorStackQueryEvaluator vec(&dfa);
+    for (int trial = 0; trial < 20; ++trial) {
+      for (int step = 0; step < 400; ++step) {
+        const Symbol symbol =
+            static_cast<Symbol>(rng.NextBelow(alphabet.size()));
+        if (rng.NextBool(0.55)) {
+          pooled.OnOpen(symbol);
+          vec.OnOpen(symbol);
+        } else {
+          // Half the closes land on empty stacks early on: underflow
+          // tolerance must match too.
+          pooled.OnClose(symbol);
+          vec.OnClose(symbol);
+        }
+        ASSERT_EQ(pooled.InAcceptingState(), vec.InAcceptingState());
+        ASSERT_EQ(pooled.depth(), vec.depth());
+        ASSERT_EQ(pooled.max_stack_depth(), vec.max_stack_depth());
+        ASSERT_EQ(pooled.underflow_closes(), vec.underflow_closes());
+        ASSERT_EQ(pooled.StackDepthPeak(), vec.StackDepthPeak());
+        ASSERT_EQ(pooled.StackUnderflowCloses(), vec.StackUnderflowCloses());
+      }
+      pooled.Reset();
+      vec.Reset();
+      ASSERT_EQ(pooled.depth(), 0u);
+      ASSERT_EQ(pooled.InAcceptingState(), vec.InAcceptingState());
+    }
+  }
+}
+
+// Same parity through the full streaming selector on serialized trees:
+// match counts, stats (including the new max_stack_depth /
+// underflow_closes), and error behavior agree document for document.
+TEST(StackEvaluatorParity, SelectorRunsMatchVectorBaseline) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Rng rng(43);
+  Dfa dfa = CompileRegex("(a|b)*a", alphabet);
+  const auto trees = testing::SampleTrees(25, alphabet.size(), &rng);
+  for (StreamFormat format :
+       {StreamFormat::kCompactMarkup, StreamFormat::kXmlLite,
+        StreamFormat::kCompactTerm}) {
+    for (const Tree& tree : trees) {
+      const EventStream events = Encode(tree);
+      std::string doc;
+      switch (format) {
+        case StreamFormat::kCompactMarkup:
+          doc = ToCompactMarkup(alphabet, events);
+          break;
+        case StreamFormat::kXmlLite:
+          doc = ToXmlLite(alphabet, events);
+          break;
+        case StreamFormat::kCompactTerm:
+          doc = ToCompactTerm(alphabet, events);
+          break;
+      }
+      StackQueryEvaluator pooled(&dfa);
+      VectorStackQueryEvaluator vec(&dfa);
+      StreamingSelector pooled_sel(&pooled, format, &alphabet);
+      StreamingSelector vec_sel(&vec, format, &alphabet);
+      ASSERT_EQ(pooled_sel.Feed(doc), vec_sel.Feed(doc));
+      ASSERT_EQ(pooled_sel.Finish(), vec_sel.Finish());
+      EXPECT_EQ(pooled_sel.matches(), vec_sel.matches());
+      const StreamStats ps = pooled_sel.stats();
+      const StreamStats vs = vec_sel.stats();
+      EXPECT_EQ(ps.max_stack_depth, vs.max_stack_depth);
+      EXPECT_EQ(ps.underflow_closes, vs.underflow_closes);
+      EXPECT_EQ(ps.max_depth, vs.max_depth);
+      EXPECT_EQ(ps.events, vs.events);
+      // Stack size tracks element depth exactly when driven through the
+      // selector (it never feeds unbalanced closes).
+      EXPECT_EQ(ps.max_stack_depth, ps.max_depth);
+      EXPECT_EQ(ps.underflow_closes, 0);
+    }
+  }
+}
+
+// --- Steady-state allocation -------------------------------------------
+
+// After one warm-up document has sized the slab pool, further documents
+// of no greater depth must allocate nothing: pushes come from the free
+// list, checkpoint slots are recycled, Reset() keeps the slabs.
+TEST(StackEvaluatorAllocation, SteadyStateIsAllocationFree) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+
+  constexpr int kDepth = 800;
+  constexpr int kRounds = 50;
+  std::vector<std::vector<int64_t>> configs(4);
+
+  auto run_document = [&](bool with_checkpoints) {
+    for (int i = 0; i < kDepth; ++i) machine.OnOpen(0);
+    if (with_checkpoints) {
+      for (auto& config : configs) {
+        ASSERT_TRUE(machine.SaveConfig(&config));
+      }
+      for (auto& config : configs) machine.ReleaseConfig(config);
+    }
+    for (int i = 0; i < kDepth; ++i) machine.OnClose(0);
+    machine.Reset();
+  };
+
+  // Warm-up sizes the slab pool, the config vectors, and the slot
+  // registry.
+  run_document(true);
+  run_document(true);
+
+  const int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < kRounds; ++round) run_document(true);
+  const int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0)
+      << "pooled stack steady state allocated " << (after - before)
+      << " times over " << kRounds << " documents";
+}
+
+// Snapshot + restore cycles (the ApplyEdit hot path) are allocation-free
+// too once warm.
+TEST(StackEvaluatorAllocation, SnapshotRestoreCycleIsAllocationFree) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("(a|b)*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+  std::vector<int64_t> config;
+
+  for (int i = 0; i < 300; ++i) machine.OnOpen(i % 2);
+  ASSERT_TRUE(machine.SaveConfig(&config));
+
+  auto churn = [&] {
+    for (int i = 0; i < 100; ++i) machine.OnClose(0);
+    for (int i = 0; i < 150; ++i) machine.OnOpen(1);
+    ASSERT_TRUE(machine.RestoreConfig(config));
+    ASSERT_TRUE(machine.ConfigEqualsCurrent(config));
+  };
+  churn();  // warm-up
+
+  const int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) churn();
+  const int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+
+  machine.ReleaseConfig(config);
+}
+
+// --- Checkpoint protocol ----------------------------------------------
+
+TEST(StackEvaluatorCheckpoint, ConfigRoundTripsAcrossDivergence) {
+  Alphabet alphabet = Alphabet::FromLetters("abc");
+  Dfa dfa = CompileRegex("a(b|c)*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+
+  machine.OnOpen(0);
+  machine.OnOpen(1);
+  machine.OnOpen(2);
+  std::vector<int64_t> config;
+  ASSERT_TRUE(machine.SaveConfig(&config));
+  EXPECT_TRUE(machine.ConfigEqualsCurrent(config));
+  const bool accepting_at_save = machine.InAcceptingState();
+
+  // Diverge: the config must stop matching, then match again after an
+  // equivalent-by-value rebuild, then restore exactly.
+  machine.OnClose(2);
+  EXPECT_FALSE(machine.ConfigEqualsCurrent(config));
+  machine.OnOpen(2);
+  EXPECT_TRUE(machine.ConfigEqualsCurrent(config));
+  machine.OnOpen(1);
+  machine.OnOpen(1);
+  EXPECT_FALSE(machine.ConfigEqualsCurrent(config));
+
+  ASSERT_TRUE(machine.RestoreConfig(config));
+  EXPECT_TRUE(machine.ConfigEqualsCurrent(config));
+  EXPECT_EQ(machine.depth(), 3u);
+  EXPECT_EQ(machine.InAcceptingState(), accepting_at_save);
+  // Peak depth re-bases at the restored depth.
+  EXPECT_EQ(machine.max_stack_depth(), 3u);
+
+  machine.ReleaseConfig(config);
+  EXPECT_EQ(machine.live_checkpoints(), 0u);
+}
+
+TEST(StackEvaluatorCheckpoint, SlotRecyclingAndRejects) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+
+  machine.OnOpen(0);
+  std::vector<int64_t> a, b;
+  ASSERT_TRUE(machine.SaveConfig(&a));
+  machine.OnOpen(0);
+  ASSERT_TRUE(machine.SaveConfig(&b));
+  EXPECT_EQ(machine.live_checkpoints(), 2u);
+
+  machine.ReleaseConfig(a);
+  EXPECT_EQ(machine.live_checkpoints(), 1u);
+  std::vector<int64_t> c;
+  ASSERT_TRUE(machine.SaveConfig(&c));
+  // The freed slot is reused, not appended.
+  EXPECT_EQ(c[1], a[1]);
+
+  // Malformed configs are rejected, not trusted.
+  EXPECT_FALSE(machine.RestoreConfig({}));
+  EXPECT_FALSE(machine.RestoreConfig({0, 999, 0}));      // stale 3-word shape
+  EXPECT_FALSE(machine.RestoreConfig({0, 999, 0, 0}));   // slot out of range
+  EXPECT_FALSE(machine.ConfigEqualsCurrent({0, 999, 0, 0}));
+
+  machine.ReleaseConfig(b);
+  machine.ReleaseConfig(c);
+  EXPECT_EQ(machine.live_checkpoints(), 0u);
+}
+
+// Reset() must release every retained checkpoint head back to the pool —
+// a pooled Session returned to SessionPool with live checkpoints must not
+// leak nodes or keep stale slots (ISSUE 10 satellite).
+TEST(StackEvaluatorCheckpoint, ResetReleasesRetainedCheckpoints) {
+  Alphabet alphabet = Alphabet::FromLetters("ab");
+  Dfa dfa = CompileRegex("a*", alphabet);
+  StackQueryEvaluator machine(&dfa);
+
+  std::vector<std::vector<int64_t>> configs(8);
+  for (int depth = 0; depth < 700; ++depth) {
+    machine.OnOpen(0);
+    if (depth % 100 == 0) {
+      ASSERT_TRUE(machine.SaveConfig(&configs[static_cast<size_t>(
+          depth / 100)]));
+    }
+  }
+  EXPECT_GT(machine.live_checkpoints(), 0u);
+  const size_t warm_slabs = machine.pool_slabs();
+
+  machine.Reset();
+  EXPECT_EQ(machine.live_checkpoints(), 0u);
+  EXPECT_EQ(machine.depth(), 0u);
+  // Old configs no longer resolve: their slots are recycled or cleared,
+  // never dangling. (Restoring must either fail or land on a fresh save,
+  // not touch freed nodes — exercised under ASan.)
+  for (const auto& config : configs) {
+    if (config.size() == 4) {
+      EXPECT_FALSE(machine.RestoreConfig(config));
+    }
+  }
+
+  // All nodes went back to the free list: refilling to the same depth
+  // allocates no new slab.
+  const int64_t before = g_heap_allocations.load(std::memory_order_relaxed);
+  for (int depth = 0; depth < 700; ++depth) machine.OnOpen(0);
+  EXPECT_EQ(machine.pool_slabs(), warm_slabs);
+  const int64_t after = g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0);
+  machine.Reset();
+}
+
+}  // namespace
+}  // namespace sst
